@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the compiler itself: variant
+//! construction (Sec. IV lowering), full-pool enumeration, base-set
+//! selection, and the DP optimal solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmc_bench::workload::ShapeSampler;
+use gmc_core::expand::CostMatrix;
+use gmc_core::{all_variants, build_variant, optimal_cost, select_base_set, ParenTree};
+use gmc_ir::InstanceSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_build_variant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_variant");
+    let mut rng = StdRng::seed_from_u64(1);
+    let sampler = ShapeSampler::uniform();
+    for n in [5usize, 7, 10] {
+        let shape = sampler.sample(&mut rng, n);
+        let tree = ParenTree::fanning_out(n, n / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| build_variant(&shape, &tree).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_variants");
+    let mut rng = StdRng::seed_from_u64(2);
+    let sampler = ShapeSampler::uniform();
+    for n in [5usize, 7] {
+        let shape = sampler.sample(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| all_variants(&shape).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_optimal_cost");
+    let mut rng = StdRng::seed_from_u64(3);
+    let sampler = ShapeSampler::uniform();
+    for n in [7usize, 12, 20] {
+        let shape = sampler.sample(&mut rng, n);
+        let inst = InstanceSampler::new(&shape, 2, 1000).sample(&mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| optimal_cost(&shape, &inst).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_base_set_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_base_set");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let sampler = ShapeSampler::uniform();
+    for n in [5usize, 7] {
+        let shape = sampler.sample(&mut rng, n);
+        let training = InstanceSampler::new(&shape, 2, 1000).sample_many(&mut rng, 500);
+        let pool = all_variants(&shape).unwrap();
+        let matrix = CostMatrix::flops(&pool, &training);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| select_base_set(&shape, &training, matrix.optimal()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_variant,
+    bench_all_variants,
+    bench_dp,
+    bench_base_set_selection
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the run-time dispatch overhead: the cost the
+//! paper trades against performance when growing the variant set
+//! (Sec. V: "both overheads grow linearly with the number of generated
+//! variants").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmc_bench::workload::ShapeSampler;
+use gmc_core::{all_variants, CompiledChain};
+use gmc_ir::InstanceSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    let mut rng = StdRng::seed_from_u64(6);
+    let sampler = ShapeSampler::uniform();
+    let shape = sampler.sample(&mut rng, 7);
+    let pool = all_variants(&shape).unwrap();
+    let inst = InstanceSampler::new(&shape, 2, 1000).sample(&mut rng);
+
+    // Dispatch overhead as a function of the number of variants in the set.
+    for k in [2usize, 4, 8, 16, 64, pool.len()] {
+        let chain = CompiledChain::from_variants(shape.clone(), pool[..k].to_vec());
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| chain.dispatch(&inst));
+        });
+    }
+    group.finish();
+}
+
+fn bench_instance_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sampler = ShapeSampler::uniform();
+    let shape = sampler.sample(&mut rng, 7);
+    let pool = all_variants(&shape).unwrap();
+    let chain = CompiledChain::from_variants(shape.clone(), pool[..4].to_vec());
+    let inst = InstanceSampler::new(&shape, 4, 16).sample(&mut rng);
+    // Zero matrices suffice for size inference.
+    let q = inst.sizes();
+    let leaves: Vec<gmc_linalg::Matrix> = shape
+        .operands()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let (r, cl) = if op.transposed {
+                (q[i + 1], q[i])
+            } else {
+                (q[i], q[i + 1])
+            };
+            gmc_linalg::Matrix::zeros(r as usize, cl as usize)
+        })
+        .collect();
+    c.bench_function("instance_of", |b| {
+        b.iter(|| chain.instance_of(&leaves).unwrap());
+    });
+}
+
+/// Multi-versioned dispatch versus the "search at run time" alternative
+/// the paper discusses in Sec. I: running the full DP and lowering the
+/// winning parenthesization once the sizes are known. Dispatch over a
+/// precompiled set is orders of magnitude cheaper, which is the paper's
+/// case for multi-versioning in low-latency settings.
+fn bench_dispatch_vs_runtime_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_vs_runtime_search");
+    let mut rng = StdRng::seed_from_u64(8);
+    let sampler = ShapeSampler::uniform();
+    let shape = sampler.sample(&mut rng, 7);
+    let pool = all_variants(&shape).unwrap();
+    let chain = CompiledChain::from_variants(shape.clone(), pool[..3].to_vec());
+    let inst = InstanceSampler::new(&shape, 2, 1000).sample(&mut rng);
+
+    group.bench_function("multi_versioned_dispatch", |b| {
+        b.iter(|| chain.dispatch(&inst));
+    });
+    group.bench_function("runtime_dp_search", |b| {
+        b.iter(|| gmc_core::optimal_variant(&shape, &inst).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_instance_inference,
+    bench_dispatch_vs_runtime_search
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion throughput benchmarks of the kernel substrate: GEMM against
+//! the structured kernels whose relative costs the paper's cost model
+//! relies on (TRMM at half of GEMM, TRSM likewise, solves in between).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmc_kernels::{cost_flops, execute_assoc, AssocExec, Kernel};
+use gmc_linalg::{
+    random_general, random_lower_triangular, random_nonsingular, random_spd, Side, Triangle,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    let mut rng = StdRng::seed_from_u64(5);
+    let m = 128usize;
+
+    let cases: Vec<(Kernel, AssocExec, gmc_linalg::Matrix, gmc_linalg::Matrix)> = vec![
+        (
+            Kernel::Gemm,
+            AssocExec {
+                kernel: Kernel::Gemm,
+                side: Side::Left,
+                left_trans: false,
+                right_trans: false,
+                left_tri: None,
+                right_tri: None,
+            },
+            random_general(&mut rng, m, m),
+            random_general(&mut rng, m, m),
+        ),
+        (
+            Kernel::Trmm,
+            AssocExec {
+                kernel: Kernel::Trmm,
+                side: Side::Left,
+                left_trans: false,
+                right_trans: false,
+                left_tri: Some(Triangle::Lower),
+                right_tri: None,
+            },
+            random_lower_triangular(&mut rng, m, false),
+            random_general(&mut rng, m, m),
+        ),
+        (
+            Kernel::Trsm,
+            AssocExec {
+                kernel: Kernel::Trsm,
+                side: Side::Left,
+                left_trans: false,
+                right_trans: false,
+                left_tri: Some(Triangle::Lower),
+                right_tri: None,
+            },
+            random_lower_triangular(&mut rng, m, true),
+            random_general(&mut rng, m, m),
+        ),
+        (
+            Kernel::Gegesv,
+            AssocExec {
+                kernel: Kernel::Gegesv,
+                side: Side::Left,
+                left_trans: false,
+                right_trans: false,
+                left_tri: None,
+                right_tri: None,
+            },
+            random_nonsingular(&mut rng, m),
+            random_general(&mut rng, m, m),
+        ),
+        (
+            Kernel::Pogesv,
+            AssocExec {
+                kernel: Kernel::Pogesv,
+                side: Side::Left,
+                left_trans: false,
+                right_trans: false,
+                left_tri: None,
+                right_tri: None,
+            },
+            random_spd(&mut rng, m),
+            random_general(&mut rng, m, m),
+        ),
+    ];
+
+    for (kernel, call, a, b) in &cases {
+        let flops = cost_flops(*kernel, Side::Left, false, m as u64, m as u64, m as u64);
+        group.throughput(Throughput::Elements(flops as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            kernel,
+            |bch, _| {
+                bch.iter(|| execute_assoc(call, a, b).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

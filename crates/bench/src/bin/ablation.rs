@@ -1,0 +1,92 @@
+//! Ablation study of the Sec. IV design choices (per-experiment index E8
+//! in DESIGN.md): how much FLOP cost do the inversion-propagation heuristic
+//! and the feature-inference tables actually save?
+//!
+//! For each sampled shape we lower the *same* parenthesizations with the
+//! optimization disabled and compare against the full compiler, so the
+//! measured gap isolates the lowering quality from the parenthesization
+//! choice.
+//!
+//! ```text
+//! cargo run -p gmc-bench --release --bin ablation -- --shapes 100 --instances 50
+//! ```
+
+use gmc_bench::ecdf::Ecdf;
+use gmc_bench::report::{arg_u64, arg_usize, print_header, print_row};
+use gmc_bench::workload::{sample_shapes, ShapeSampler};
+use gmc_core::{build_variant_with, BuildOptions, ParenTree};
+use gmc_ir::InstanceSampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "--n", 7);
+    let num_shapes = arg_usize(&args, "--shapes", 60);
+    let instances = arg_usize(&args, "--instances", 30);
+    let seed = arg_u64(&args, "--seed", 0xab1a);
+
+    println!("Ablation of the Sec. IV variant-construction pipeline (n = {n})");
+    println!(
+        "{num_shapes} shapes x {instances} instances, ratio = ablated FLOPs / full-compiler FLOPs"
+    );
+
+    let full = BuildOptions::default();
+    let no_invprop = BuildOptions {
+        propagate_single_inversion: false,
+        ..full
+    };
+    let no_infer = BuildOptions {
+        infer_structures: false,
+        ..full
+    };
+    let neither = BuildOptions {
+        propagate_single_inversion: false,
+        infer_structures: false,
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = ShapeSampler::uniform();
+    let shapes = sample_shapes(&sampler, &mut rng, n, num_shapes);
+
+    let mut e_invprop = Ecdf::new();
+    let mut e_infer = Ecdf::new();
+    let mut e_neither = Ecdf::new();
+
+    for shape in &shapes {
+        let trees: Vec<ParenTree> = (0..=n).map(|h| ParenTree::fanning_out(n, h)).collect();
+        let inst_sampler = InstanceSampler::new(shape, 2, 1000);
+        for q in inst_sampler.sample_many(&mut rng, instances) {
+            // Best-in-family cost under each lowering mode, on the same
+            // parenthesization family (the fanning-out set).
+            let best = |opts: BuildOptions| -> f64 {
+                trees
+                    .iter()
+                    .map(|t| {
+                        build_variant_with(shape, t, opts)
+                            .expect("builds")
+                            .flops(&q)
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let base = best(full);
+            e_invprop.push(best(no_invprop) / base);
+            e_infer.push(best(no_infer) / base);
+            e_neither.push(best(neither) / base);
+        }
+    }
+
+    print_header("ablated cost / full-compiler cost (fanning-out family)");
+    print_row("-invprop", &e_invprop.summary());
+    print_row("-infer", &e_infer.summary());
+    print_row("-both", &e_neither.summary());
+    println!(
+        "\nreading: a max of {:.2} for -invprop means disabling the inversion-propagation",
+        e_invprop.max()
+    );
+    println!(
+        "heuristic made some instance {:.0}% more expensive; 1.00 rows would mean the",
+        (e_invprop.max() - 1.0) * 100.0
+    );
+    println!("optimization never matters on the sampled workload.");
+}

@@ -1,0 +1,107 @@
+//! Accuracy assessment of the Sec. VII-B performance models (experiment
+//! E10 in DESIGN.md): how well does `sum(FLOPs / interpolated FLOP/s)`
+//! predict actual variant execution time?
+//!
+//! The paper's claim is that "rather simple performance models" beat plain
+//! FLOP counts for expansion and dispatch; this binary quantifies the
+//! model's error on freshly sampled shapes and instances (never seen at
+//! model-measurement time), and compares its *ranking* quality against
+//! FLOPs: how often does each cost estimate pick the truly fastest of two
+//! random variants?
+//!
+//! ```text
+//! cargo run -p gmc-bench --release --bin model_accuracy -- --shapes 10 --instances 6
+//! ```
+
+use gmc_bench::report::{arg_u64, arg_usize};
+use gmc_bench::workload::{instantiate, sample_shapes, ShapeSampler};
+use gmc_core::all_variants;
+use gmc_ir::InstanceSampler;
+use gmc_perfmodel::{measure_models, quick_grid, MeasureOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n = arg_usize(&args, "--n", 7);
+    let num_shapes = arg_usize(&args, "--shapes", 6);
+    let instances = arg_usize(&args, "--instances", 4);
+    let lo = arg_u64(&args, "--lo", 24);
+    let hi = arg_u64(&args, "--hi", 160);
+    let seed = arg_u64(&args, "--seed", 0xacc);
+
+    println!("performance-model accuracy (n = {n}, {num_shapes} shapes x {instances} instances, sizes [{lo}, {hi}])");
+    let t0 = Instant::now();
+    let models = measure_models(&MeasureOptions {
+        grid: quick_grid(),
+        reps: 2,
+        seed,
+    });
+    println!("models measured in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = ShapeSampler::half_rectangular();
+
+    let mut abs_pct_errors: Vec<f64> = Vec::new();
+    let mut model_rank_hits = 0usize;
+    let mut flop_rank_hits = 0usize;
+    let mut rank_trials = 0usize;
+
+    for shape in sample_shapes(&sampler, &mut rng, n, num_shapes) {
+        let pool = all_variants(&shape).expect("valid shape");
+        let inst_sampler = InstanceSampler::new(&shape, lo, hi);
+        for q in inst_sampler.sample_many(&mut rng, instances) {
+            let leaves = instantiate(&shape, &q, &mut rng);
+            // Measure a subsample of variants (full pool is 132 at n = 7).
+            let stride = (pool.len() / 16).max(1);
+            let chosen: Vec<usize> = (0..pool.len()).step_by(stride).collect();
+            let mut measured: Vec<(usize, f64, f64, f64)> = Vec::new();
+            for &vi in &chosen {
+                let v = &pool[vi];
+                let t0 = Instant::now();
+                let _ = v.execute(&leaves).expect("variant executes");
+                let t = t0.elapsed().as_secs_f64().max(1e-9);
+                measured.push((vi, t, models.variant_time(v, &q), v.flops(&q)));
+            }
+            for &(_, t, est, _) in &measured {
+                abs_pct_errors.push(100.0 * (est - t).abs() / t);
+            }
+            // Pairwise ranking quality.
+            for i in 0..measured.len() {
+                for j in i + 1..measured.len() {
+                    let (a, b) = (&measured[i], &measured[j]);
+                    if (a.1 - b.1).abs() / a.1.max(b.1) < 0.05 {
+                        continue; // too close to call
+                    }
+                    rank_trials += 1;
+                    let truth = a.1 < b.1;
+                    if (a.2 < b.2) == truth {
+                        model_rank_hits += 1;
+                    }
+                    if (a.3 < b.3) == truth {
+                        flop_rank_hits += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    abs_pct_errors.sort_by(f64::total_cmp);
+    let mean = abs_pct_errors.iter().sum::<f64>() / abs_pct_errors.len() as f64;
+    let median = abs_pct_errors[abs_pct_errors.len() / 2];
+    let p90 = abs_pct_errors[(abs_pct_errors.len() as f64 * 0.9) as usize];
+    println!(
+        "\ntime-estimate error over {} variant executions:",
+        abs_pct_errors.len()
+    );
+    println!("  mean |error| = {mean:.1}%   median = {median:.1}%   p90 = {p90:.1}%");
+    println!("\npairwise ranking accuracy over {rank_trials} decided pairs:");
+    println!(
+        "  performance models: {:.1}%    raw FLOPs: {:.1}%",
+        100.0 * model_rank_hits as f64 / rank_trials.max(1) as f64,
+        100.0 * flop_rank_hits as f64 / rank_trials.max(1) as f64
+    );
+    println!("\n(the models should rank at least as well as FLOPs — that gap is why");
+    println!(" E_s1,M beats E_s1,F in Fig. 6)");
+}

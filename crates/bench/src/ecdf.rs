@@ -1,0 +1,272 @@
+//! Empirical CDF summaries of ratio-over-optimum samples.
+
+/// A collection of per-instance ratios over the optimum (always >= 1).
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    samples: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Create an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        Ecdf::default()
+    }
+
+    /// Record one ratio sample.
+    pub fn push(&mut self, ratio: f64) {
+        self.samples.push(ratio);
+    }
+
+    /// Merge another collection into this one.
+    pub fn extend(&mut self, other: &Ecdf) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Fraction of samples at or below `x` (the eCDF value at `x`).
+    #[must_use]
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&s| s <= x).count() as f64 / self.samples.len() as f64
+    }
+
+    /// The `p`-th percentile (0–100), by nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collection is empty or `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "no samples");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// The largest ratio observed.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The mean ratio.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Summary row used by the experiment reports: fractions at the
+    /// thresholds the paper quotes, plus the maximum.
+    #[must_use]
+    pub fn summary(&self) -> EcdfSummary {
+        EcdfSummary {
+            n: self.len(),
+            at_1_05: self.fraction_at_or_below(1.05),
+            at_1_1: self.fraction_at_or_below(1.1),
+            at_1_2: self.fraction_at_or_below(1.2),
+            at_1_5: self.fraction_at_or_below(1.5),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+impl Ecdf {
+    /// The eCDF evaluated on an even grid over `[lo, hi]` with `points`
+    /// samples: `(x, fraction <= x)` pairs, suitable for CSV export or
+    /// plotting (the curves of Figs. 5 and 6).
+    #[must_use]
+    pub fn curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2 && lo < hi, "need a proper grid");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+/// Render several eCDFs as an ASCII plot (y: 0..100%, x: ratio over
+/// optimum), one glyph per series — a terminal rendition of Figs. 5/6.
+#[must_use]
+pub fn ascii_plot(
+    series: &[(&str, &Ecdf)],
+    lo: f64,
+    hi: f64,
+    width: usize,
+    height: usize,
+) -> String {
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+    let mut rows = vec![vec![' '; width]; height];
+    for (si, (_, e)) in series.iter().enumerate() {
+        if e.is_empty() {
+            continue;
+        }
+        let g = glyphs[si % glyphs.len()];
+        for (col, (_, frac)) in e.curve(lo, hi, width).iter().enumerate() {
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            rows[row.min(height - 1)][col] = g;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let pct = 100.0 * (1.0 - i as f64 / (height - 1) as f64);
+        out.push_str(&format!("{pct:>5.0}% |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("       {}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "       {:<10}{:^width$}{:>10}\n",
+        format!("{lo:.2}"),
+        "ratio over optimum",
+        format!("{hi:.2}"),
+        width = width.saturating_sub(20)
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "       {} = {}\n",
+            glyphs[si % glyphs.len()],
+            name
+        ));
+    }
+    out
+}
+
+/// Write eCDF curves as CSV: one `x` column plus one column per series.
+#[must_use]
+pub fn csv_curves(series: &[(&str, &Ecdf)], lo: f64, hi: f64, points: usize) -> String {
+    let mut out = String::from("ratio");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    let curves: Vec<Vec<(f64, f64)>> = series
+        .iter()
+        .map(|(_, e)| e.curve(lo, hi, points))
+        .collect();
+    for i in 0..points {
+        let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+        out.push_str(&format!("{x:.4}"));
+        for c in &curves {
+            out.push_str(&format!(",{:.4}", c[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The headline numbers of an eCDF (thresholds from Sec. VII).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcdfSummary {
+    /// Sample count.
+    pub n: usize,
+    /// Fraction of instances with ratio <= 1.05.
+    pub at_1_05: f64,
+    /// Fraction <= 1.1.
+    pub at_1_1: f64,
+    /// Fraction <= 1.2.
+    pub at_1_2: f64,
+    /// Fraction <= 1.5.
+    pub at_1_5: f64,
+    /// Largest ratio.
+    pub max: f64,
+    /// Mean ratio.
+    pub mean: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ecdf {
+        let mut e = Ecdf::new();
+        for r in [1.0, 1.0, 1.04, 1.15, 1.3, 2.0] {
+            e.push(r);
+        }
+        e
+    }
+
+    #[test]
+    fn fractions() {
+        let e = sample();
+        assert!((e.fraction_at_or_below(1.05) - 0.5).abs() < 1e-12);
+        assert!((e.fraction_at_or_below(1.2) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((e.fraction_at_or_below(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_and_mean() {
+        let e = sample();
+        assert_eq!(e.max(), 2.0);
+        assert!((e.mean() - (1.0 + 1.0 + 1.04 + 1.15 + 1.3 + 2.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles() {
+        let e = sample();
+        assert_eq!(e.percentile(0.0), 1.0);
+        assert_eq!(e.percentile(100.0), 2.0);
+        assert!(e.percentile(50.0) <= 1.15 + 1e-12);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = sample();
+        let b = sample();
+        a.extend(&b);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn curve_is_monotone_from_zero_to_one() {
+        let e = sample();
+        let c = e.curve(1.0, 2.0, 11);
+        assert_eq!(c.len(), 11);
+        assert!(c.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn ascii_plot_contains_series_glyphs_and_legend() {
+        let e = sample();
+        let plot = ascii_plot(&[("E_s", &e), ("L", &e)], 1.0, 2.0, 40, 10);
+        assert!(plot.contains("* = E_s"));
+        assert!(plot.contains("+ = L"));
+        assert!(plot.contains("100%"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let e = sample();
+        let csv = csv_curves(&[("a", &e), ("b", &e)], 1.0, 1.5, 6);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "ratio,a,b");
+        assert_eq!(lines.len(), 7);
+        assert!(lines[6].starts_with("1.5000"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the symgmc reproduction.
+//!
+//! * [`workload`] — random shape and instance generators matching
+//!   Sec. VII's setup (ten feature options per matrix, at least one
+//!   rectangular matrix per chain).
+//! * [`ecdf`] — empirical CDF summaries of cost/time ratios over optimum.
+//! * [`armadillo`] — the Armadillo-style baseline evaluator (left-to-right,
+//!   explicit inverses, `trimatl`/`symmatl` multiply hints, no inverse
+//!   propagation).
+//! * [`report`] — plain-text tables for the experiment binaries.
+
+#![warn(missing_docs)]
+pub mod armadillo;
+pub mod ecdf;
+pub mod report;
+pub mod workload;
+
+pub use armadillo::{armadillo_execute, armadillo_flops};
+pub use ecdf::Ecdf;
+pub use workload::{enumerate_shapes, random_shape, sample_shapes, ShapeSampler};

@@ -1,0 +1,75 @@
+//! Plain-text report tables for the experiment binaries.
+
+use crate::ecdf::EcdfSummary;
+
+/// Print the header of a ratio-over-optimum table.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "set", "samples", "<=1.05", "<=1.10", "<=1.20", "<=1.50", "max", "mean"
+    );
+}
+
+/// Print one summary row.
+pub fn print_row(label: &str, s: &EcdfSummary) {
+    println!(
+        "{:<10} {:>9} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>10.2} {:>9.3}",
+        label,
+        s.n,
+        100.0 * s.at_1_05,
+        100.0 * s.at_1_1,
+        100.0 * s.at_1_2,
+        100.0 * s.at_1_5,
+        s.max,
+        s.mean
+    );
+}
+
+/// Minimal command-line flag parsing: `--key value` pairs.
+#[must_use]
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse an integer flag with a default.
+#[must_use]
+pub fn arg_usize(args: &[String], key: &str, default: usize) -> usize {
+    arg_value(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parse a `u64` flag with a default.
+#[must_use]
+pub fn arg_u64(args: &[String], key: &str, default: u64) -> u64 {
+    arg_value(args, key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `true` if the boolean flag is present.
+#[must_use]
+pub fn arg_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["--shapes", "12", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_usize(&args, "--shapes", 5), 12);
+        assert_eq!(arg_usize(&args, "--train", 7), 7);
+        assert!(arg_flag(&args, "--full"));
+        assert!(!arg_flag(&args, "--quick"));
+        assert_eq!(arg_u64(&args, "--seed", 3), 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Shape workload generators for the experiments (Sec. VII).
+//!
+//! The paper restricts each matrix to ten feature/operator options (no
+//! transpositions): general singular or inverted-general; SPD possibly
+//! inverted; lower/upper triangular possibly nonsingular and possibly
+//! inverted. Every chain must contain at least one rectangular matrix.
+
+use gmc_ir::{Instance, Operand, Property, Shape, Structure};
+use gmc_linalg::{
+    random_general, random_lower_triangular, random_nonsingular, random_spd, random_symmetric,
+    random_upper_triangular, Matrix,
+};
+use rand::Rng;
+
+/// Sampler of random experiment shapes.
+#[derive(Debug, Clone)]
+pub struct ShapeSampler {
+    options: Vec<Operand>,
+    /// Probability that a matrix is the rectangular (plain general) option;
+    /// the other nine options share the remaining mass equally. The
+    /// FLOPs experiment uses the uniform `1/10`; the time experiment uses
+    /// `1/2` (Sec. VII-B).
+    rectangular_prob: f64,
+}
+
+impl ShapeSampler {
+    /// Uniform sampling over the ten options (Sec. VII-A).
+    #[must_use]
+    pub fn uniform() -> Self {
+        ShapeSampler {
+            options: Operand::experiment_options(),
+            rectangular_prob: 0.1,
+        }
+    }
+
+    /// 50% rectangular probability, nine square options equiprobable
+    /// (Sec. VII-B).
+    #[must_use]
+    pub fn half_rectangular() -> Self {
+        ShapeSampler {
+            options: Operand::experiment_options(),
+            rectangular_prob: 0.5,
+        }
+    }
+
+    /// Sample one shape of length `n` containing at least one rectangular
+    /// matrix (resampling until the constraint holds).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Shape {
+        loop {
+            let ops: Vec<Operand> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(self.rectangular_prob) {
+                        self.options[0] // plain general: the rectangular option
+                    } else {
+                        let i = rng.gen_range(1..self.options.len());
+                        self.options[i]
+                    }
+                })
+                .collect();
+            if !ops.iter().any(|o| !o.forces_square()) {
+                continue;
+            }
+            if let Ok(shape) = Shape::new(ops) {
+                return shape;
+            }
+        }
+    }
+}
+
+/// Sample `count` distinct-ish random shapes (duplicates allowed, as in the
+/// paper's random sampling).
+pub fn sample_shapes<R: Rng + ?Sized>(
+    sampler: &ShapeSampler,
+    rng: &mut R,
+    n: usize,
+    count: usize,
+) -> Vec<Shape> {
+    (0..count).map(|_| sampler.sample(rng, n)).collect()
+}
+
+/// Convenience: one random shape with the uniform option distribution.
+pub fn random_shape<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Shape {
+    ShapeSampler::uniform().sample(rng, n)
+}
+
+/// Enumerate *all* experiment shapes of length `n` with at least one
+/// rectangular matrix — the `10^n - 9^n` shapes of Sec. VII-A. Use only for
+/// small `n` (the count is ~41k at `n = 5`).
+pub fn enumerate_shapes(n: usize) -> impl Iterator<Item = Shape> {
+    let options = Operand::experiment_options();
+    let total = 10usize.pow(n as u32);
+    (0..total).filter_map(move |mut code| {
+        let mut ops = Vec::with_capacity(n);
+        let mut has_rect = false;
+        for _ in 0..n {
+            let opt = options[code % 10];
+            has_rect |= !opt.forces_square();
+            ops.push(opt);
+            code /= 10;
+        }
+        if has_rect {
+            Shape::new(ops).ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Generate concrete matrices realizing `shape` on `instance`: SPD, (well
+/// conditioned) symmetric, triangular with dominant diagonals where
+/// invertibility is declared, dense otherwise. Shared by the time
+/// experiment and the integration tests.
+///
+/// # Panics
+///
+/// Panics if `instance` does not match the shape.
+pub fn instantiate<R: Rng + ?Sized>(
+    shape: &Shape,
+    instance: &Instance,
+    rng: &mut R,
+) -> Vec<Matrix> {
+    assert_eq!(instance.len(), shape.num_sizes(), "instance/shape mismatch");
+    let q = instance.sizes();
+    shape
+        .operands()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let (rows, cols) = if op.transposed {
+                (q[i + 1] as usize, q[i] as usize)
+            } else {
+                (q[i] as usize, q[i + 1] as usize)
+            };
+            match (op.features.structure, op.features.property) {
+                (Structure::Symmetric, Property::Spd) => random_spd(rng, rows),
+                (Structure::Symmetric, _) => {
+                    let mut m = random_symmetric(rng, rows);
+                    for d in 0..rows {
+                        let v = m.get(d, d) + rows as f64;
+                        m.set(d, d, v);
+                    }
+                    m
+                }
+                (Structure::LowerTri, p) => random_lower_triangular(rng, rows, p.is_invertible()),
+                (Structure::UpperTri, p) => random_upper_triangular(rng, rows, p.is_invertible()),
+                (Structure::General, p) if p.is_invertible() => random_nonsingular(rng, rows),
+                _ => random_general(rng, rows, cols),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instantiate_produces_consistent_matrices() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let sampler = ShapeSampler::uniform();
+        for _ in 0..20 {
+            let shape = sampler.sample(&mut rng, 5);
+            let inst = gmc_ir::InstanceSampler::new(&shape, 3, 12).sample(&mut rng);
+            let mats = instantiate(&shape, &inst, &mut rng);
+            for (i, (op, m)) in shape.operands().iter().zip(&mats).enumerate() {
+                let (r, c) = if op.transposed {
+                    (inst.q(i + 1), inst.q(i))
+                } else {
+                    (inst.q(i), inst.q(i + 1))
+                };
+                assert_eq!((m.rows() as u64, m.cols() as u64), (r, c));
+                if op.features.structure == Structure::LowerTri {
+                    assert!(m.is_lower_triangular(0.0));
+                }
+                if op.features.structure == Structure::Symmetric {
+                    assert!(m.is_symmetric(1e-12));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_shapes_have_a_rectangular_matrix() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sampler = ShapeSampler::uniform();
+        for _ in 0..50 {
+            let s = sampler.sample(&mut rng, 6);
+            assert_eq!(s.len(), 6);
+            assert!(s.has_rectangular());
+        }
+    }
+
+    #[test]
+    fn enumeration_count_matches_formula() {
+        for n in 1..=4usize {
+            let count = enumerate_shapes(n).count();
+            assert_eq!(count, 10usize.pow(n as u32) - 9usize.pow(n as u32), "n={n}");
+        }
+    }
+
+    #[test]
+    fn half_rectangular_sampler_biases_toward_general() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sampler = ShapeSampler::half_rectangular();
+        let mut rect = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let s = sampler.sample(&mut rng, 7);
+            rect += s.operands().iter().filter(|o| !o.forces_square()).count();
+            total += s.len();
+        }
+        let frac = rect as f64 / total as f64;
+        assert!(frac > 0.4 && frac < 0.6, "rectangular fraction {frac}");
+    }
+}

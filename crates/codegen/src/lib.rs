@@ -1,0 +1,24 @@
+//! Source-code emission for compiled chains.
+//!
+//! The paper's code generator (Fig. 1) outputs a set of C++ functions — one
+//! per selected variant, each paired with a cost function — plus a dispatch
+//! function that evaluates every cost on the concrete sizes and forwards to
+//! the cheapest variant. [`cpp::emit_cpp`] reproduces exactly that layout;
+//! [`rust::emit_rust`] emits an equivalent Rust module targeting the `gmc`
+//! crates.
+//!
+//! The emitted C++ targets a thin runtime (`gmc_runtime.hpp`, whose
+//! interface is declared at the top of the generated file): `GEMM`-class
+//! kernels map to CBLAS calls, solve-class kernels to the custom kernels of
+//! Table I (prefixed `gmc_`), matching the paper's white/gray split in
+//! Fig. 3.
+
+#![warn(missing_docs)]
+pub mod cpp;
+pub mod runtime;
+pub mod rust;
+mod util;
+
+pub use cpp::emit_cpp;
+pub use runtime::emit_runtime_header;
+pub use rust::emit_rust;

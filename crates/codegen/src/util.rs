@@ -1,0 +1,48 @@
+use gmc_core::{ValRef, Variant};
+use gmc_ir::Poly;
+
+/// Name of the value behind a [`ValRef`] in generated code: `A0, A1, ...`
+/// for inputs, `t0, t1, ...` for temporaries.
+pub(crate) fn val_name(r: ValRef) -> String {
+    match r {
+        ValRef::Leaf(i) => format!("A{i}"),
+        ValRef::Temp(i) => format!("t{i}"),
+    }
+}
+
+/// Render a cost polynomial as a C-like arithmetic expression over the size
+/// array `q` (used identically by the C++ and Rust emitters, with `idx`
+/// formatting the variable access).
+pub(crate) fn poly_expr<F: Fn(usize) -> String>(poly: &Poly, idx: F) -> String {
+    if poly.is_zero() {
+        return "0.0".to_string();
+    }
+    let mut terms = Vec::new();
+    for (mono, coeff) in poly.iter() {
+        let mut factors = Vec::new();
+        let c = coeff.to_f64();
+        // Render exact small rationals as divisions for readability.
+        if (c - c.round()).abs() < 1e-12 {
+            factors.push(format!("{:.1}", c.round()));
+        } else {
+            factors.push(format!("({}.0 / {}.0)", coeff.numer(), coeff.denom()));
+        }
+        for &(v, e) in mono.factors() {
+            for _ in 0..e {
+                factors.push(idx(v));
+            }
+        }
+        terms.push(factors.join(" * "));
+    }
+    terms.join(" + ")
+}
+
+/// The last value computed by a variant's association steps (the chain
+/// result before finalizers), or input 0 for single-matrix chains.
+pub(crate) fn result_ref(variant: &Variant) -> ValRef {
+    if variant.steps().is_empty() {
+        ValRef::Leaf(0)
+    } else {
+        ValRef::Temp(variant.steps().len() - 1)
+    }
+}

@@ -1,0 +1,306 @@
+//! Dynamic-programming solver for the GMCP with *known* sizes.
+//!
+//! This is the generalized-matrix-chain analogue of the classical MCP
+//! dynamic program (Barthels et al., CGO 2018): for every sub-chain
+//! `[i, j]` it keeps, per distinct result descriptor (structure, property,
+//! pending operators, stored orientation), the minimum cost of computing
+//! that sub-chain. Because feature inference makes the downstream kernel
+//! choice depend on the intermediate's features, the DP state must be the
+//! descriptor, not just the span.
+//!
+//! The result equals `min_{A in A} T(A, q)` over the full variant set and
+//! is cross-validated against [`crate::enumerate::all_variants`] by tests.
+
+use crate::builder::{associate, finalizes_for, leaf_descs, BuildError, NodeDesc};
+use gmc_ir::{Instance, Shape};
+use gmc_kernels::{cost_flops, finalize_cost_flops};
+use std::collections::HashMap;
+
+/// State key: everything about an intermediate that affects downstream
+/// decisions (the temp index does not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DescKey {
+    structure: gmc_ir::Structure,
+    property: gmc_ir::Property,
+    transposed: bool,
+    inverted: bool,
+    rows: usize,
+    cols: usize,
+}
+
+fn key(d: &NodeDesc) -> DescKey {
+    DescKey {
+        structure: d.structure,
+        property: d.property,
+        transposed: d.transposed,
+        inverted: d.inverted,
+        rows: d.rows,
+        cols: d.cols,
+    }
+}
+
+/// The optimal FLOP count over all variants for `shape` on `instance`.
+///
+/// Runs in `O(n^3 s^2)` where `s` is the (small) number of distinct
+/// descriptor states per span, so it scales to chains far beyond the
+/// enumeration limit.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (unreachable for valid shapes).
+///
+/// # Panics
+///
+/// Panics if `instance` has the wrong number of sizes for `shape`.
+pub fn optimal_cost(shape: &Shape, instance: &Instance) -> Result<f64, BuildError> {
+    optimal(shape, instance).map(|(_, cost)| cost)
+}
+
+/// The optimal *variant* (and its cost) for `shape` on `instance`: the
+/// run-time-search alternative discussed in Sec. I of the paper (as
+/// implemented by Linnea for fixed sizes). The DP reconstructs the best
+/// parenthesization by backtracking and lowers it with the deterministic
+/// Sec. IV builder.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (unreachable for valid shapes).
+///
+/// # Panics
+///
+/// Panics if `instance` has the wrong number of sizes for `shape`.
+pub fn optimal_variant(
+    shape: &Shape,
+    instance: &Instance,
+) -> Result<(crate::variant::Variant, f64), BuildError> {
+    let (tree, cost) = optimal(shape, instance)?;
+    let variant = crate::builder::build_variant(shape, &tree)?;
+    debug_assert!(
+        (variant.flops(instance) - cost).abs() <= 1e-6 * cost.max(1.0),
+        "backtracked tree must reproduce the DP cost"
+    );
+    Ok((variant, cost))
+}
+
+fn optimal(
+    shape: &Shape,
+    instance: &Instance,
+) -> Result<(crate::paren::ParenTree, f64), BuildError> {
+    assert_eq!(
+        instance.len(),
+        shape.num_sizes(),
+        "instance length must be n + 1"
+    );
+    let n = shape.len();
+    let classes = shape.size_classes();
+    let leaves = leaf_descs(shape, &classes);
+    let q = instance.sizes();
+
+    use crate::paren::ParenTree;
+    /// Back-pointer: the split and the child state keys (`None` = leaf).
+    type Back = (usize, Option<DescKey>, Option<DescKey>);
+    type State = (NodeDesc, f64, Option<Back>);
+
+    if n == 1 {
+        let desc = leaves[0];
+        let (finalizes, _) = finalizes_for(&desc)?;
+        let cost = finalizes
+            .iter()
+            .map(|f| finalize_cost_flops(f.kernel, q[f.size_sym]))
+            .sum();
+        return Ok((ParenTree::Leaf(0), cost));
+    }
+
+    // best[i][j - i - 1] for spans [i, j], j > i; leaves handled separately.
+    // Each entry: descriptor -> (desc, min cost, back-pointer).
+    let mut best: Vec<Vec<HashMap<DescKey, State>>> = vec![Vec::new(); n];
+    for (i, row) in best.iter_mut().enumerate() {
+        row.resize(n - i - 1, HashMap::new());
+    }
+
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut states: HashMap<DescKey, State> = HashMap::new();
+            for split in i..j {
+                // Left sub-chain [i, split], right [split + 1, j].
+                let left_states: Vec<(NodeDesc, f64, Option<DescKey>)> = if split == i {
+                    vec![(leaves[i], 0.0, None)]
+                } else {
+                    best[i][split - i - 1]
+                        .iter()
+                        .map(|(k, &(d, c, _))| (d, c, Some(*k)))
+                        .collect()
+                };
+                let right_states: Vec<(NodeDesc, f64, Option<DescKey>)> = if split + 1 == j {
+                    vec![(leaves[j], 0.0, None)]
+                } else {
+                    best[split + 1][j - split - 2]
+                        .iter()
+                        .map(|(k, &(d, c, _))| (d, c, Some(*k)))
+                        .collect()
+                };
+                for &(ld, lc, lk) in &left_states {
+                    for &(rd, rc, rk) in &right_states {
+                        let (step, result) = associate(ld, rd, &classes)?;
+                        let (a, b, c) = step.triplet;
+                        let cost = lc
+                            + rc
+                            + cost_flops(step.kernel, step.side, step.cheap, q[a], q[b], q[c]);
+                        let entry =
+                            states
+                                .entry(key(&result))
+                                .or_insert((result, f64::INFINITY, None));
+                        if cost < entry.1 {
+                            *entry = (result, cost, Some((split, lk, rk)));
+                        }
+                    }
+                }
+            }
+            best[i][j - i - 1] = states;
+        }
+    }
+
+    // Pick the best final state including forced finalizers.
+    let mut min = f64::INFINITY;
+    let mut min_key: Option<DescKey> = None;
+    for (k, (desc, cost, _)) in &best[0][n - 2] {
+        let (finalizes, _) = finalizes_for(desc)?;
+        let extra: f64 = finalizes
+            .iter()
+            .map(|f| finalize_cost_flops(f.kernel, q[f.size_sym]))
+            .sum();
+        if cost + extra < min {
+            min = cost + extra;
+            min_key = Some(*k);
+        }
+    }
+    let min_key = min_key.expect("non-empty chain has final states");
+
+    // Backtrack the optimal parenthesization.
+    type BestTable = [Vec<
+        HashMap<
+            DescKey,
+            (
+                NodeDesc,
+                f64,
+                Option<(usize, Option<DescKey>, Option<DescKey>)>,
+            ),
+        >,
+    >];
+    #[allow(clippy::type_complexity)]
+    fn rebuild(best: &BestTable, i: usize, j: usize, k: Option<DescKey>) -> ParenTree {
+        match k {
+            None => ParenTree::Leaf(i),
+            Some(k) => {
+                let (_, _, back) = best[i][j - i - 1][&k];
+                let (split, lk, rk) = back.expect("internal states have back-pointers");
+                ParenTree::node(rebuild(best, i, split, lk), rebuild(best, split + 1, j, rk))
+            }
+        }
+    }
+    let tree = rebuild(&best, 0, n - 1, Some(min_key));
+    Ok((tree, min))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::all_variants;
+    use gmc_ir::{Features, InstanceSampler, Operand, Property, Structure};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn operands() -> Vec<Operand> {
+        Operand::experiment_options()
+    }
+
+    #[test]
+    fn matches_enumeration_on_random_shapes() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let opts = operands();
+        for trial in 0..40 {
+            let n = 2 + trial % 5;
+            let ops: Vec<Operand> = (0..n)
+                .map(|_| opts[rand::Rng::gen_range(&mut rng, 0..opts.len())])
+                .collect();
+            let shape = match Shape::new(ops) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let sampler = InstanceSampler::new(&shape, 2, 60);
+            let inst = sampler.sample(&mut rng);
+            let vs = all_variants(&shape).unwrap();
+            let enum_min = vs
+                .iter()
+                .map(|v| v.flops(&inst))
+                .fold(f64::INFINITY, f64::min);
+            let dp = optimal_cost(&shape, &inst).unwrap();
+            let rel = (dp - enum_min).abs() / enum_min.max(1.0);
+            assert!(
+                rel < 1e-9,
+                "shape {} inst {inst}: dp {dp} enum {enum_min}",
+                shape
+            );
+        }
+    }
+
+    #[test]
+    fn classic_mcp_dp() {
+        // Standard matrix chain: DP must reproduce the textbook optimum.
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g; 4]).unwrap();
+        // q = (10, 100, 5, 50, 1): textbook DP gives the optimal GEMM plan.
+        let inst = gmc_ir::Instance::new(vec![10, 100, 5, 50, 1]);
+        let dp = optimal_cost(&shape, &inst).unwrap();
+        let vs = all_variants(&shape).unwrap();
+        let enum_min = vs
+            .iter()
+            .map(|v| v.flops(&inst))
+            .fold(f64::INFINITY, f64::min);
+        assert!((dp - enum_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_matrix_chain() {
+        let spd = Operand::plain(Features::new(Structure::Symmetric, Property::Spd)).inverted();
+        let shape = Shape::new(vec![spd]).unwrap();
+        let inst = gmc_ir::Instance::new(vec![6, 6]);
+        // Explicit SPD inverse: m^3.
+        assert_eq!(optimal_cost(&shape, &inst).unwrap(), 216.0);
+    }
+
+    #[test]
+    fn optimal_variant_reproduces_optimal_cost() {
+        let mut rng = StdRng::seed_from_u64(321);
+        let opts = operands();
+        for trial in 0..20 {
+            let n = 2 + trial % 5;
+            let ops: Vec<Operand> = (0..n)
+                .map(|_| opts[rand::Rng::gen_range(&mut rng, 0..opts.len())])
+                .collect();
+            let shape = match Shape::new(ops) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let inst = InstanceSampler::new(&shape, 2, 400).sample(&mut rng);
+            let (variant, cost) = super::optimal_variant(&shape, &inst).unwrap();
+            let direct = variant.flops(&inst);
+            assert!(
+                (direct - cost).abs() <= 1e-9 * cost.max(1.0),
+                "variant cost {direct} vs dp {cost} on {shape}"
+            );
+            assert!((cost - optimal_cost(&shape, &inst).unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scales_to_long_chains() {
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g; 20]).unwrap();
+        let sizes: Vec<u64> = (0..21).map(|i| 2 + (i * 37) % 100).collect();
+        let inst = gmc_ir::Instance::new(sizes);
+        let c = optimal_cost(&shape, &inst).unwrap();
+        assert!(c.is_finite() && c > 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Enumeration of the full variant set `A` for a shape.
+
+use crate::builder::{build_variant, BuildError};
+use crate::paren::ParenTree;
+use crate::variant::Variant;
+use gmc_ir::Shape;
+
+/// Build the deterministic variant for *every* parenthesization of the
+/// chain — the set `A` of Sec. V, one variant per parenthesization.
+///
+/// The number of variants is `Catalan(n - 1)` (132 for `n = 7`); this is
+/// intended for the chain lengths of the paper's experiments. For long
+/// chains prefer [`crate::dp::optimal_cost`] to obtain the per-instance
+/// optimum without materializing `A`.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (unreachable for valid shapes).
+pub fn all_variants(shape: &Shape) -> Result<Vec<Variant>, BuildError> {
+    ParenTree::enumerate(0, shape.len() - 1)
+        .iter()
+        .map(|t| build_variant(shape, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_ir::{Features, Instance, Operand};
+
+    #[test]
+    fn counts_match_catalan() {
+        let g = Operand::plain(Features::general());
+        for n in 1..=6 {
+            let shape = Shape::new(vec![g; n]).unwrap();
+            let vs = all_variants(&shape).unwrap();
+            assert_eq!(vs.len() as u128, ParenTree::count(n));
+        }
+    }
+
+    #[test]
+    fn classic_mcp_motivating_example() {
+        // Column vectors x, y, z in R^m: x^T (y z^T) performs m times more
+        // multiplications than (x^T y) z^T (Sec. I of the paper).
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g.transposed(), g, g.transposed()]).unwrap();
+        // q = (1, m, 1, m): x^T is 1 x m, y is m x 1, z^T is 1 x m.
+        let m = 100;
+        let inst = Instance::new(vec![1, m, 1, m]);
+        let vs = all_variants(&shape).unwrap();
+        assert_eq!(vs.len(), 2);
+        let costs: Vec<f64> = vs.iter().map(|v| v.flops(&inst)).collect();
+        let (lo, hi) = (
+            costs.iter().cloned().fold(f64::INFINITY, f64::min),
+            costs.iter().cloned().fold(0.0, f64::max),
+        );
+        // Ratio m: 2*m*1*m + 2*1*m*m vs 2*1*m*1 + 2*1*1*m.
+        assert!(
+            (hi / lo - m as f64 / 1.0).abs() < 1.0,
+            "ratio = {}",
+            hi / lo
+        );
+    }
+
+    #[test]
+    fn sec_v_cost_ratio_example() {
+        // For G1 G2 G3 with q = (1, s, 1, s), the ratio of the right-to-left
+        // to the left-to-right cost q1 q3 (q0+q2) / (q0 q2 (q1+q3)) = s^2
+        // ... grows without bound as s grows.
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g, g, g]).unwrap();
+        for s in [10u64, 100, 1000] {
+            let inst = Instance::new(vec![1, s, 1, s]);
+            let vs = all_variants(&shape).unwrap();
+            let costs: Vec<f64> = vs.iter().map(|v| v.flops(&inst)).collect();
+            let ratio = costs.iter().cloned().fold(0.0, f64::max)
+                / costs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let expect = (s * s) as f64 * (1.0 + 1.0) / (s as f64 * 2.0); // q1 q3 (q0+q2) / (q0 q2 (q1+q3))
+            assert!((ratio - expect).abs() / expect < 1e-9, "s = {s}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Empirical expansion of a variant set (Sec. VI, Algorithm 1).
+//!
+//! Given the full variant pool `A`, a sampled instance set `Q`, an
+//! objective `F` over per-instance penalties, and a cardinality budget `K`,
+//! the greedy procedure repeatedly adds the variant that improves `F` the
+//! most, stopping early when no candidate improves it.
+
+use crate::theory::penalty;
+use crate::variant::Variant;
+use gmc_ir::Instance;
+
+/// Sampled objective functions over per-instance penalties (Sec. VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// `F_max`: the largest penalty over the sample.
+    MaxPenalty,
+    /// `F_avg`: the mean penalty over the sample.
+    AvgPenalty,
+}
+
+impl Objective {
+    fn evaluate(self, penalties: impl Iterator<Item = f64>) -> f64 {
+        match self {
+            Objective::MaxPenalty => penalties.fold(f64::NEG_INFINITY, f64::max),
+            Objective::AvgPenalty => {
+                let (mut sum, mut count) = (0.0, 0usize);
+                for p in penalties {
+                    sum += p;
+                    count += 1;
+                }
+                if count == 0 {
+                    f64::INFINITY
+                } else {
+                    sum / count as f64
+                }
+            }
+        }
+    }
+}
+
+/// Precomputed per-variant, per-instance costs plus per-instance optima.
+///
+/// Row `v` of `costs` holds the cost of variant `v` on every instance;
+/// `optimal[i]` is the minimum over the *full* pool on instance `i`.
+#[derive(Debug, Clone)]
+pub struct CostMatrix {
+    costs: Vec<Vec<f64>>,
+    optimal: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Compute a cost matrix using FLOP costs.
+    #[must_use]
+    pub fn flops(pool: &[Variant], instances: &[Instance]) -> Self {
+        Self::with(pool, instances, |v, q| v.flops(q))
+    }
+
+    /// Compute a cost matrix over a *partial* pool with externally supplied
+    /// per-instance optima (e.g. from the DP solver when the full pool is
+    /// too large to enumerate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `optimal.len() != instances.len()`.
+    #[must_use]
+    pub fn flops_with_optimal(pool: &[Variant], instances: &[Instance], optimal: Vec<f64>) -> Self {
+        assert_eq!(optimal.len(), instances.len(), "one optimum per instance");
+        let costs: Vec<Vec<f64>> = pool
+            .iter()
+            .map(|v| instances.iter().map(|q| v.flops(q)).collect())
+            .collect();
+        CostMatrix { costs, optimal }
+    }
+
+    /// Compute a cost matrix with a custom cost function (e.g. a
+    /// performance-model time estimate).
+    #[must_use]
+    pub fn with<F: Fn(&Variant, &Instance) -> f64>(
+        pool: &[Variant],
+        instances: &[Instance],
+        cost: F,
+    ) -> Self {
+        let costs: Vec<Vec<f64>> = pool
+            .iter()
+            .map(|v| instances.iter().map(|q| cost(v, q)).collect())
+            .collect();
+        let optimal = (0..instances.len())
+            .map(|i| costs.iter().map(|row| row[i]).fold(f64::INFINITY, f64::min))
+            .collect();
+        CostMatrix { costs, optimal }
+    }
+
+    /// Number of variants in the pool.
+    #[must_use]
+    pub fn num_variants(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of sampled instances.
+    #[must_use]
+    pub fn num_instances(&self) -> usize {
+        self.optimal.len()
+    }
+
+    /// Per-instance optimal costs over the full pool.
+    #[must_use]
+    pub fn optimal(&self) -> &[f64] {
+        &self.optimal
+    }
+
+    /// The cost of variant `v` on instance `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[must_use]
+    pub fn cost(&self, v: usize, i: usize) -> f64 {
+        self.costs[v][i]
+    }
+
+    /// Evaluate the objective of a set of variant indices.
+    #[must_use]
+    pub fn objective(&self, set: &[usize], objective: Objective) -> f64 {
+        objective.evaluate((0..self.num_instances()).map(|i| {
+            let best = set
+                .iter()
+                .map(|&v| self.costs[v][i])
+                .fold(f64::INFINITY, f64::min);
+            penalty(best, self.optimal[i])
+        }))
+    }
+}
+
+/// Algorithm 1 (`ExpandSet`): greedily grow `initial` (indices into the
+/// pool behind `matrix`) to at most `k` variants, minimizing `objective`.
+///
+/// Returns the expanded index set. Stops early when no candidate improves
+/// the objective, exactly as the paper's algorithm does.
+#[must_use]
+pub fn expand_set(
+    matrix: &CostMatrix,
+    initial: &[usize],
+    k: usize,
+    objective: Objective,
+) -> Vec<usize> {
+    let mut set: Vec<usize> = initial.to_vec();
+    let mut v_min = if set.is_empty() {
+        f64::INFINITY
+    } else {
+        matrix.objective(&set, objective)
+    };
+    while set.len() < k {
+        let mut best_candidate: Option<usize> = None;
+        let mut v_star = f64::INFINITY;
+        for d in 0..matrix.num_variants() {
+            if set.contains(&d) {
+                continue;
+            }
+            let mut trial = set.clone();
+            trial.push(d);
+            let val = matrix.objective(&trial, objective);
+            if val < v_star {
+                v_star = val;
+                best_candidate = Some(d);
+            }
+        }
+        match best_candidate {
+            Some(d) if v_star < v_min => {
+                set.push(d);
+                v_min = v_star;
+            }
+            _ => return set,
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::all_variants;
+    use crate::theory::select_base_set;
+    use gmc_ir::{Features, InstanceSampler, Operand, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool_and_instances() -> (Vec<Variant>, Vec<Instance>, Shape) {
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g; 5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sampler = InstanceSampler::new(&shape, 2, 300);
+        let instances = sampler.sample_many(&mut rng, 250);
+        let pool = all_variants(&shape).unwrap();
+        (pool, instances, shape)
+    }
+
+    #[test]
+    fn expansion_never_worsens_objective() {
+        let (pool, instances, shape) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        let base = select_base_set(&shape, &instances, matrix.optimal()).unwrap();
+        let initial: Vec<usize> = base
+            .variants
+            .iter()
+            .map(|v| pool.iter().position(|p| p.paren() == v.paren()).unwrap())
+            .collect();
+        let before = matrix.objective(&initial, Objective::AvgPenalty);
+        let expanded = expand_set(&matrix, &initial, initial.len() + 2, Objective::AvgPenalty);
+        let after = matrix.objective(&expanded, Objective::AvgPenalty);
+        assert!(after <= before + 1e-12);
+        assert!(expanded.len() <= initial.len() + 2);
+        assert!(expanded.starts_with(&initial), "expansion only adds");
+    }
+
+    #[test]
+    fn full_pool_has_zero_penalty() {
+        let (pool, instances, _) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        let all: Vec<usize> = (0..pool.len()).collect();
+        assert!(matrix.objective(&all, Objective::MaxPenalty).abs() < 1e-12);
+        assert!(matrix.objective(&all, Objective::AvgPenalty).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_from_empty_picks_something() {
+        let (pool, instances, _) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        let set = expand_set(&matrix, &[], 1, Objective::AvgPenalty);
+        assert_eq!(set.len(), 1);
+        // The chosen singleton must be the pool-wide argmin of the objective.
+        let chosen = matrix.objective(&set, Objective::AvgPenalty);
+        for v in 0..matrix.num_variants() {
+            assert!(chosen <= matrix.objective(&[v], Objective::AvgPenalty) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn early_stop_when_no_improvement() {
+        let (pool, instances, _) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        // Start from the full pool: nothing can improve.
+        let all: Vec<usize> = (0..pool.len()).collect();
+        let set = expand_set(&matrix, &all, all.len() + 5, Objective::AvgPenalty);
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn objectives_differ() {
+        let (pool, instances, shape) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        let base = select_base_set(&shape, &instances, matrix.optimal()).unwrap();
+        let initial: Vec<usize> = base
+            .variants
+            .iter()
+            .map(|v| pool.iter().position(|p| p.paren() == v.paren()).unwrap())
+            .collect();
+        // Both objectives run; results may or may not coincide, but both
+        // must be supersets of the initial set with bounded size.
+        for obj in [Objective::MaxPenalty, Objective::AvgPenalty] {
+            let s = expand_set(&matrix, &initial, initial.len() + 1, obj);
+            assert!(s.len() <= initial.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Compiler core for Generalized Matrix Chains with symbolic sizes.
+//!
+//! This crate implements the paper's primary contribution: a
+//! multi-versioning code generator. Given the [`gmc_ir::Shape`] of a chain
+//! (features and unary operators, sizes unknown):
+//!
+//! 1. [`builder`] lowers any parenthesization to a deterministic code
+//!    *variant* — a sequence of kernel calls with a symbolic cost function
+//!    (Sec. IV: inversion propagation, kernel assignment, transposition
+//!    propagation, feature/size inference).
+//! 2. [`theory`] selects the base set `E_s` of at most `n + 1` fanning-out
+//!    variants whose best-in-set cost is within a constant factor of optimal
+//!    on *every* instance (Theorems 1 and 2).
+//! 3. [`expand`] grows the set greedily on sampled instances to tighten the
+//!    gap (Algorithm 1).
+//! 4. [`program`] packages the selected variants behind a run-time dispatch
+//!    that picks the cheapest variant for the concrete sizes at hand and
+//!    executes it on real matrices.
+//!
+//! ```
+//! use gmc_core::CompiledChain;
+//! use gmc_ir::grammar::parse_program;
+//! use gmc_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "Matrix A <General, Singular>;
+//!      Matrix B <General, Singular>;
+//!      Matrix C <General, Singular>;
+//!      X := A * B * C;",
+//! )?;
+//! let compiled = CompiledChain::compile(program.shape().clone())?;
+//! let (a, b, c) = (Matrix::zeros(4, 30), Matrix::zeros(30, 2), Matrix::zeros(2, 50));
+//! let x = compiled.evaluate(&[a, b, c])?;
+//! assert_eq!((x.rows(), x.cols()), (4, 50));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+pub mod alpha;
+pub mod builder;
+pub mod dp;
+pub mod enumerate;
+pub mod expand;
+pub mod library;
+pub mod paren;
+pub mod program;
+pub mod reference;
+pub mod theory;
+pub mod variant;
+
+pub use alpha::{alpha_hat, catalogue_alpha_hat, shape_penalty_bound, TermKind};
+pub use builder::{build_variant, build_variant_with, BuildError, BuildOptions};
+pub use dp::{optimal_cost, optimal_variant};
+pub use enumerate::all_variants;
+pub use expand::{expand_set, Objective};
+pub use library::ChainLibrary;
+pub use paren::ParenTree;
+pub use program::{CompileOptions, CompiledChain, CostModel, FlopCost, ProgramError};
+pub use theory::{fanning_out_set, penalty, select_base_set, select_base_set_with, TheoryError};
+pub use variant::{ExecVariantError, Finalize, Step, ValRef, Variant};

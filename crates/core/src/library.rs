@@ -1,0 +1,166 @@
+//! A registry of compiled chains.
+//!
+//! Fig. 1 of the paper notes that "an application can contain multiple
+//! sets of generated code: one for each type of generalized matrix chain
+//! used by the application". [`ChainLibrary`] is that container: named
+//! compiled chains behind one lookup-and-evaluate interface.
+
+use crate::program::{CompileOptions, CompiledChain, CostModel, ProgramError};
+use gmc_ir::Shape;
+use gmc_linalg::Matrix;
+use std::collections::BTreeMap;
+
+/// A named collection of compiled chains.
+#[derive(Debug, Clone, Default)]
+pub struct ChainLibrary {
+    chains: BTreeMap<String, CompiledChain>,
+}
+
+impl ChainLibrary {
+    /// An empty library.
+    #[must_use]
+    pub fn new() -> Self {
+        ChainLibrary::default()
+    }
+
+    /// Compile `shape` with default options and register it under `name`,
+    /// replacing any previous entry with that name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn compile(&mut self, name: &str, shape: Shape) -> Result<&CompiledChain, ProgramError> {
+        let chain = CompiledChain::compile(shape)?;
+        self.chains.insert(name.to_string(), chain);
+        Ok(&self.chains[name])
+    }
+
+    /// Compile with explicit options and register.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn compile_with(
+        &mut self,
+        name: &str,
+        shape: Shape,
+        options: &CompileOptions,
+    ) -> Result<&CompiledChain, ProgramError> {
+        let chain = CompiledChain::compile_with(shape, options)?;
+        self.chains.insert(name.to_string(), chain);
+        Ok(&self.chains[name])
+    }
+
+    /// Register an already-compiled chain.
+    pub fn insert(&mut self, name: &str, chain: CompiledChain) {
+        self.chains.insert(name.to_string(), chain);
+    }
+
+    /// Look up a chain.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&CompiledChain> {
+        self.chains.get(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.chains.keys().map(String::as_str)
+    }
+
+    /// Number of registered chains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// `true` if no chains are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Evaluate a registered chain on concrete matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::InconsistentSizes`] if `name` is unknown,
+    /// and propagates evaluation errors.
+    pub fn evaluate(&self, name: &str, leaves: &[Matrix]) -> Result<Matrix, ProgramError> {
+        match self.get(name) {
+            Some(chain) => chain.evaluate(leaves),
+            None => Err(ProgramError::InconsistentSizes(format!(
+                "no chain registered under `{name}`"
+            ))),
+        }
+    }
+
+    /// Evaluate with a custom dispatch cost model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChainLibrary::evaluate`].
+    pub fn evaluate_with<M: CostModel>(
+        &self,
+        name: &str,
+        leaves: &[Matrix],
+        model: &M,
+    ) -> Result<Matrix, ProgramError> {
+        match self.get(name) {
+            Some(chain) => chain.evaluate_with(leaves, model),
+            None => Err(ProgramError::InconsistentSizes(format!(
+                "no chain registered under `{name}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_ir::{Features, Operand, Property, Structure};
+    use gmc_linalg::{random_general, random_spd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn register_and_evaluate_multiple_chains() {
+        let g = Operand::plain(Features::general());
+        let p = Operand::plain(Features::new(Structure::Symmetric, Property::Spd)).inverted();
+        let mut lib = ChainLibrary::new();
+        lib.compile("product", Shape::new(vec![g, g]).unwrap())
+            .unwrap();
+        lib.compile("solve", Shape::new(vec![p, g]).unwrap())
+            .unwrap();
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.names().collect::<Vec<_>>(), vec!["product", "solve"]);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_general(&mut rng, 3, 5);
+        let b = random_general(&mut rng, 5, 2);
+        let x = lib.evaluate("product", &[a, b]).unwrap();
+        assert_eq!((x.rows(), x.cols()), (3, 2));
+
+        let pm = random_spd(&mut rng, 4);
+        let c = random_general(&mut rng, 4, 3);
+        let y = lib.evaluate("solve", &[pm, c]).unwrap();
+        assert_eq!((y.rows(), y.cols()), (4, 3));
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let lib = ChainLibrary::new();
+        assert!(lib.evaluate("missing", &[]).is_err());
+        assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let g = Operand::plain(Features::general());
+        let mut lib = ChainLibrary::new();
+        lib.compile("c", Shape::new(vec![g, g]).unwrap()).unwrap();
+        lib.compile("c", Shape::new(vec![g, g, g]).unwrap())
+            .unwrap();
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.get("c").unwrap().shape().len(), 3);
+    }
+}

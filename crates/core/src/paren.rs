@@ -1,0 +1,229 @@
+//! Parenthesizations of a chain, represented as binary expression trees.
+
+use std::fmt;
+
+/// A parenthesization of (a contiguous span of) a matrix chain.
+///
+/// Leaves are matrix indices (zero-based); internal nodes are associations.
+/// A chain with `n` matrices admits `Catalan(n - 1)` distinct trees.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ParenTree {
+    /// The matrix `M_i` (zero-based index `i`).
+    Leaf(usize),
+    /// The association of two sub-chains.
+    Node(Box<ParenTree>, Box<ParenTree>),
+}
+
+impl ParenTree {
+    /// Combine two trees into an association node.
+    #[must_use]
+    pub fn node(left: ParenTree, right: ParenTree) -> ParenTree {
+        ParenTree::Node(Box::new(left), Box::new(right))
+    }
+
+    /// The inclusive span `(first leaf, last leaf)` covered by this tree.
+    #[must_use]
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            ParenTree::Leaf(i) => (*i, *i),
+            ParenTree::Node(l, r) => (l.span().0, r.span().1),
+        }
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn num_leaves(&self) -> usize {
+        let (lo, hi) = self.span();
+        hi - lo + 1
+    }
+
+    /// Enumerate all parenthesizations of the leaf range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn enumerate(lo: usize, hi: usize) -> Vec<ParenTree> {
+        assert!(lo <= hi, "empty span");
+        if lo == hi {
+            return vec![ParenTree::Leaf(lo)];
+        }
+        let mut out = Vec::new();
+        for split in lo..hi {
+            let lefts = ParenTree::enumerate(lo, split);
+            let rights = ParenTree::enumerate(split + 1, hi);
+            for l in &lefts {
+                for r in &rights {
+                    out.push(ParenTree::node(l.clone(), r.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Left-to-right evaluation of leaves `lo..=hi`:
+    /// `(((M_lo M_{lo+1}) M_{lo+2}) ...)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn left_to_right(lo: usize, hi: usize) -> ParenTree {
+        assert!(lo <= hi, "empty span");
+        let mut tree = ParenTree::Leaf(lo);
+        for i in lo + 1..=hi {
+            tree = ParenTree::node(tree, ParenTree::Leaf(i));
+        }
+        tree
+    }
+
+    /// Right-to-left evaluation of leaves `lo..=hi`:
+    /// `(... (M_{hi-2} (M_{hi-1} M_hi)))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn right_to_left(lo: usize, hi: usize) -> ParenTree {
+        assert!(lo <= hi, "empty span");
+        let mut tree = ParenTree::Leaf(hi);
+        for i in (lo..hi).rev() {
+            tree = ParenTree::node(ParenTree::Leaf(i), tree);
+        }
+        tree
+    }
+
+    /// The fanning-out parenthesization `E_h` for a chain of `n` matrices
+    /// (Eq. 4 of the paper): the prefix `M_1 .. M_h` is computed
+    /// right-to-left, the suffix `M_{h+1} .. M_n` left-to-right, and the two
+    /// partial results are associated last.
+    ///
+    /// `h` ranges over `0..=n` (size-symbol positions). For `h = 0` the
+    /// whole chain is the suffix (pure left-to-right); for `h = n` it is the
+    /// prefix (pure right-to-left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `h > n`.
+    #[must_use]
+    pub fn fanning_out(n: usize, h: usize) -> ParenTree {
+        assert!(n > 0, "empty chain");
+        assert!(h <= n, "h out of range");
+        if h == 0 {
+            return ParenTree::left_to_right(0, n - 1);
+        }
+        if h == n {
+            return ParenTree::right_to_left(0, n - 1);
+        }
+        let prefix = ParenTree::right_to_left(0, h - 1);
+        let suffix = ParenTree::left_to_right(h, n - 1);
+        ParenTree::node(prefix, suffix)
+    }
+
+    /// The number of distinct parenthesizations of an `n`-matrix chain
+    /// (`Catalan(n - 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn count(n: usize) -> u128 {
+        assert!(n > 0, "empty chain");
+        // C_k = (2k)! / (k! (k+1)!) computed iteratively.
+        let k = (n - 1) as u128;
+        let mut c: u128 = 1;
+        for i in 0..k {
+            c = c * 2 * (2 * i + 1) / (i + 2);
+        }
+        c
+    }
+}
+
+impl fmt::Display for ParenTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParenTree::Leaf(i) => write!(f, "M{}", i + 1),
+            ParenTree::Node(l, r) => write!(f, "({l} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn enumeration_counts_are_catalan() {
+        for n in 1..=8 {
+            let trees = ParenTree::enumerate(0, n - 1);
+            assert_eq!(trees.len() as u128, ParenTree::count(n), "n = {n}");
+            // All distinct.
+            let set: HashSet<_> = trees.iter().collect();
+            assert_eq!(set.len(), trees.len());
+        }
+    }
+
+    #[test]
+    fn catalan_values() {
+        assert_eq!(ParenTree::count(1), 1);
+        assert_eq!(ParenTree::count(2), 1);
+        assert_eq!(ParenTree::count(3), 2);
+        assert_eq!(ParenTree::count(4), 5);
+        assert_eq!(ParenTree::count(5), 14);
+        assert_eq!(ParenTree::count(7), 132);
+        assert_eq!(ParenTree::count(15), 2_674_440);
+    }
+
+    #[test]
+    fn spans_are_contiguous() {
+        for tree in ParenTree::enumerate(0, 4) {
+            assert_eq!(tree.span(), (0, 4));
+            assert_eq!(tree.num_leaves(), 5);
+        }
+    }
+
+    #[test]
+    fn left_to_right_shape() {
+        let t = ParenTree::left_to_right(0, 3);
+        assert_eq!(t.to_string(), "(((M1 M2) M3) M4)");
+    }
+
+    #[test]
+    fn right_to_left_shape() {
+        let t = ParenTree::right_to_left(0, 3);
+        assert_eq!(t.to_string(), "(M1 (M2 (M3 M4)))");
+    }
+
+    #[test]
+    fn fanning_out_matches_eq4() {
+        // n = 5, h = 2: ((M1 (M2)) ...) -> prefix (M1 M2) r-to-l, suffix
+        // ((M3 M4) M5) l-to-r.
+        let t = ParenTree::fanning_out(5, 2);
+        assert_eq!(t.to_string(), "((M1 M2) ((M3 M4) M5))");
+        let t = ParenTree::fanning_out(5, 0);
+        assert_eq!(t.to_string(), "((((M1 M2) M3) M4) M5)");
+        let t = ParenTree::fanning_out(5, 5);
+        assert_eq!(t.to_string(), "(M1 (M2 (M3 (M4 M5))))");
+        let t = ParenTree::fanning_out(5, 3);
+        assert_eq!(t.to_string(), "((M1 (M2 M3)) (M4 M5))");
+    }
+
+    #[test]
+    fn fanning_out_family_size() {
+        // n + 1 distinct members for n >= 4, n - 1 for n <= 3 (paper, Sec. V).
+        for n in 1..=8usize {
+            let set: HashSet<ParenTree> = (0..=n).map(|h| ParenTree::fanning_out(n, h)).collect();
+            let expect = if n <= 3 { (n - 1).max(1) } else { n + 1 };
+            assert_eq!(set.len(), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fanning_out_members_are_valid_parenthesizations() {
+        let all: HashSet<ParenTree> = ParenTree::enumerate(0, 5).into_iter().collect();
+        for h in 0..=6 {
+            assert!(all.contains(&ParenTree::fanning_out(6, h)));
+        }
+    }
+}

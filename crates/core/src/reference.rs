@@ -1,0 +1,75 @@
+//! Naive reference evaluation of a chain, used as a numeric oracle in
+//! tests: materialize every `op(M_i)` explicitly (explicit inverses and
+//! transposes) and multiply left-to-right with plain GEMM.
+
+use crate::variant::ExecVariantError;
+use gmc_ir::{Property, Shape, Structure};
+use gmc_kernels::ExecError;
+use gmc_linalg::{inverse_general, inverse_spd, matmul, Matrix, Transpose};
+
+/// Evaluate the chain by brute force.
+///
+/// # Errors
+///
+/// Returns [`ExecVariantError`] on arity mismatch or a singular explicit
+/// inverse.
+pub fn evaluate_reference(shape: &Shape, leaves: &[Matrix]) -> Result<Matrix, ExecVariantError> {
+    if leaves.len() != shape.len() {
+        return Err(ExecVariantError::WrongArity {
+            expected: shape.len(),
+            got: leaves.len(),
+        });
+    }
+    let mut acc: Option<Matrix> = None;
+    for (op, stored) in shape.operands().iter().zip(leaves) {
+        let mut m = stored.clone();
+        if op.inverted {
+            m = match (op.features.structure, op.features.property) {
+                (Structure::Symmetric, Property::Spd) => {
+                    inverse_spd(&m).map_err(|e| ExecVariantError::Kernel(ExecError::Linalg(e)))?
+                }
+                _ => inverse_general(&m)
+                    .map_err(|e| ExecVariantError::Kernel(ExecError::Linalg(e)))?,
+            };
+        }
+        if op.transposed {
+            m = m.transposed();
+        }
+        acc = Some(match acc {
+            None => m,
+            Some(prev) => matmul(&prev, Transpose::No, &m, Transpose::No),
+        });
+    }
+    Ok(acc.expect("shape is non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_ir::{Features, Operand};
+    use gmc_linalg::{random_general, relative_error};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plain_product() {
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g, g]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_general(&mut rng, 3, 4);
+        let b = random_general(&mut rng, 4, 2);
+        let got = evaluate_reference(&shape, &[a.clone(), b.clone()]).unwrap();
+        let want = matmul(&a, Transpose::No, &b, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-14);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g, g]).unwrap();
+        assert!(matches!(
+            evaluate_reference(&shape, &[Matrix::zeros(2, 2)]),
+            Err(ExecVariantError::WrongArity { .. })
+        ));
+    }
+}

@@ -1,0 +1,262 @@
+//! Code variants: sequences of kernel calls that evaluate a chain.
+//!
+//! A variant is the paper's `{(K_i, (a_i, b_i, c_i))}_{i=1}^{n-1}`
+//! representation (Sec. III-B), enriched with everything needed to execute
+//! the calls numerically (sides, transposition flags, stored triangles) and
+//! with optional *finalizer* steps for the rare cases where an inversion or
+//! transposition propagates all the way to the end result (Sec. IV).
+
+use crate::paren::ParenTree;
+use gmc_ir::{Instance, Poly, Property, Structure};
+use gmc_kernels::{execute_assoc, execute_finalize, AssocExec, ExecError, FinalizeKernel, Kernel};
+use gmc_linalg::{Matrix, Side, Triangle};
+use std::error::Error;
+use std::fmt;
+
+/// Reference to a value during variant execution: either an input matrix or
+/// the result of an earlier step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValRef {
+    /// The `i`-th input matrix of the chain (zero-based).
+    Leaf(usize),
+    /// The result of step `i` of the variant.
+    Temp(usize),
+}
+
+/// One association step: a kernel call combining two values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Left operand of the association.
+    pub left: ValRef,
+    /// Right operand of the association.
+    pub right: ValRef,
+    /// The assigned kernel.
+    pub kernel: Kernel,
+    /// Side of the structured/coefficient operand.
+    pub side: Side,
+    /// Implicit transposition of the left operand.
+    pub left_trans: bool,
+    /// Implicit transposition of the right operand.
+    pub right_trans: bool,
+    /// Stored triangle of the left operand, if triangular.
+    pub left_tri: Option<Triangle>,
+    /// Stored triangle of the right operand, if triangular.
+    pub right_tri: Option<Triangle>,
+    /// Selects the cheaper branch of two-case cost functions (Table I).
+    pub cheap: bool,
+    /// Size-symbol triplet `(a, b, c)` in canonical (class-representative)
+    /// form: the call multiplies/solves `q_a × q_b` against `q_b × q_c`.
+    pub triplet: (usize, usize, usize),
+}
+
+/// A finalizer applied to the end result (explicit inverse or transpose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finalize {
+    /// The finalizer kernel.
+    pub kernel: FinalizeKernel,
+    /// Stored triangle, required by [`FinalizeKernel::Trtri`].
+    pub tri: Option<Triangle>,
+    /// Canonical size symbol of the (square) result for costing.
+    pub size_sym: usize,
+}
+
+/// Descriptor of the variant's final result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultDesc {
+    /// Structure of the delivered result.
+    pub structure: Structure,
+    /// Property of the delivered result.
+    pub property: Property,
+    /// Canonical row-size symbol.
+    pub rows_sym: usize,
+    /// Canonical column-size symbol.
+    pub cols_sym: usize,
+}
+
+/// Errors from executing a variant on concrete matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecVariantError {
+    /// Wrong number of input matrices.
+    WrongArity {
+        /// Number of matrices the chain expects.
+        expected: usize,
+        /// Number of matrices supplied.
+        got: usize,
+    },
+    /// Input matrix `index` has dimensions inconsistent with its neighbours.
+    DimensionMismatch {
+        /// Zero-based input index.
+        index: usize,
+    },
+    /// A kernel call failed.
+    Kernel(ExecError),
+}
+
+impl fmt::Display for ExecVariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecVariantError::WrongArity { expected, got } => {
+                write!(f, "chain expects {expected} matrices, got {got}")
+            }
+            ExecVariantError::DimensionMismatch { index } => {
+                write!(f, "input matrix {index} has inconsistent dimensions")
+            }
+            ExecVariantError::Kernel(e) => write!(f, "kernel failure: {e}"),
+        }
+    }
+}
+
+impl Error for ExecVariantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecVariantError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for ExecVariantError {
+    fn from(e: ExecError) -> Self {
+        ExecVariantError::Kernel(e)
+    }
+}
+
+/// A compiled code variant for one parenthesization of a chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    pub(crate) steps: Vec<Step>,
+    pub(crate) finalizes: Vec<Finalize>,
+    pub(crate) cost: Poly,
+    pub(crate) paren: ParenTree,
+    pub(crate) result: ResultDesc,
+    pub(crate) num_leaves: usize,
+}
+
+impl Variant {
+    /// The association steps in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Finalizer steps applied to the end result (usually empty).
+    #[must_use]
+    pub fn finalizes(&self) -> &[Finalize] {
+        &self.finalizes
+    }
+
+    /// The symbolic FLOP cost function over canonical size symbols.
+    #[must_use]
+    pub fn cost_poly(&self) -> &Poly {
+        &self.cost
+    }
+
+    /// Evaluate the FLOP cost on a concrete instance.
+    #[must_use]
+    pub fn flops(&self, instance: &Instance) -> f64 {
+        self.cost.eval(instance.sizes())
+    }
+
+    /// The parenthesization this variant was lowered from.
+    #[must_use]
+    pub fn paren(&self) -> &ParenTree {
+        &self.paren
+    }
+
+    /// Descriptor of the delivered result.
+    #[must_use]
+    pub fn result(&self) -> ResultDesc {
+        self.result
+    }
+
+    /// Number of chain matrices.
+    #[must_use]
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The distinct kernels this variant invokes, in call order.
+    #[must_use]
+    pub fn kernels_used(&self) -> Vec<Kernel> {
+        let mut seen = Vec::new();
+        for s in &self.steps {
+            if !seen.contains(&s.kernel) {
+                seen.push(s.kernel);
+            }
+        }
+        seen
+    }
+
+    /// Execute the variant on concrete input matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecVariantError`] if the inputs have the wrong arity or a
+    /// kernel fails (e.g. a numerically singular coefficient).
+    pub fn execute(&self, leaves: &[Matrix]) -> Result<Matrix, ExecVariantError> {
+        if leaves.len() != self.num_leaves {
+            return Err(ExecVariantError::WrongArity {
+                expected: self.num_leaves,
+                got: leaves.len(),
+            });
+        }
+        let mut temps: Vec<Matrix> = Vec::with_capacity(self.steps.len());
+        let resolve = |r: ValRef, temps: &[Matrix]| -> Matrix {
+            match r {
+                ValRef::Leaf(i) => leaves[i].clone(),
+                ValRef::Temp(i) => temps[i].clone(),
+            }
+        };
+        for step in &self.steps {
+            let left = resolve(step.left, &temps);
+            let right = resolve(step.right, &temps);
+            let call = AssocExec {
+                kernel: step.kernel,
+                side: step.side,
+                left_trans: step.left_trans,
+                right_trans: step.right_trans,
+                left_tri: step.left_tri,
+                right_tri: step.right_tri,
+            };
+            temps.push(execute_assoc(&call, &left, &right)?);
+        }
+        let mut result = match temps.pop() {
+            Some(m) => m,
+            // Single-matrix chain: the "result" is the lone input.
+            None => leaves[0].clone(),
+        };
+        for fin in &self.finalizes {
+            result = execute_finalize(fin.kernel, fin.tri, &result)?;
+        }
+        Ok(result)
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "variant for {}:", self.paren)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            let opnd = |r: ValRef| match r {
+                ValRef::Leaf(i) => format!("M{}", i + 1),
+                ValRef::Temp(i) => format!("X{}", i + 1),
+            };
+            writeln!(
+                f,
+                "  X{} := {}({}{}, {}{})   (a,b,c)=({},{},{})",
+                i + 1,
+                s.kernel,
+                opnd(s.left),
+                if s.left_trans { "^T" } else { "" },
+                opnd(s.right),
+                if s.right_trans { "^T" } else { "" },
+                s.triplet.0,
+                s.triplet.1,
+                s.triplet.2,
+            )?;
+        }
+        for fin in &self.finalizes {
+            writeln!(f, "  finalize: {}", fin.kernel)?;
+        }
+        write!(f, "  cost = {}", self.cost)
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the Sec. IV variant builder: structural
+//! invariants every lowered variant must satisfy, over random experiment
+//! shapes and random parenthesizations.
+
+use gmc_core::{all_variants, build_variant, ParenTree, ValRef};
+use gmc_ir::{InstanceSampler, Operand, Shape};
+use gmc_kernels::KernelClass;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (1usize..=6)
+        .prop_flat_map(|n| proptest::collection::vec(0usize..10, n))
+        .prop_map(|codes| {
+            let options = Operand::experiment_options();
+            Shape::new(codes.into_iter().map(|i| options[i]).collect()).unwrap()
+        })
+}
+
+fn arb_tree_for(n: usize) -> impl Strategy<Value = ParenTree> {
+    // Pick a random parenthesization by index into the enumeration.
+    let trees = ParenTree::enumerate(0, n - 1);
+    let len = trees.len();
+    (0..len).prop_map(move |i| trees[i].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn variant_structure_invariants(shape in arb_shape(), seed in 0u64..10_000) {
+        let n = shape.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for tree in ParenTree::enumerate(0, n - 1).iter().take(10) {
+            let v = build_variant(&shape, tree).unwrap();
+            // Exactly n - 1 association steps.
+            prop_assert_eq!(v.steps().len(), n - 1);
+            // Every leaf is consumed exactly once across all steps
+            // (single-matrix chains have no steps at all).
+            let mut leaf_uses = vec![0usize; n];
+            let mut temp_uses = vec![0usize; v.steps().len()];
+            for s in v.steps() {
+                for r in [s.left, s.right] {
+                    match r {
+                        ValRef::Leaf(i) => leaf_uses[i] += 1,
+                        ValRef::Temp(t) => temp_uses[t] += 1,
+                    }
+                }
+            }
+            if n >= 2 {
+                prop_assert!(leaf_uses.iter().all(|&u| u == 1), "each matrix used once");
+            }
+            // Every temp except the last is consumed exactly once; the last
+            // is the result.
+            if !v.steps().is_empty() {
+                let k = v.steps().len();
+                prop_assert!(temp_uses[..k - 1].iter().all(|&u| u == 1));
+                prop_assert_eq!(temp_uses[k - 1], 0);
+            }
+            // Temps are only referenced after they are produced.
+            for (idx, s) in v.steps().iter().enumerate() {
+                for r in [s.left, s.right] {
+                    if let ValRef::Temp(t) = r {
+                        prop_assert!(t < idx);
+                    }
+                }
+            }
+            // Cost is a degree-3 polynomial (or zero for n = 1 with no op).
+            prop_assert!(v.cost_poly().is_zero() || v.cost_poly().degree() == 3);
+            // Cost is positive on any instance (n >= 2).
+            if n >= 2 {
+                let q = InstanceSampler::new(&shape, 2, 100).sample(&mut rng);
+                prop_assert!(v.flops(&q) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn no_inversions_means_no_solves(shape in arb_shape()) {
+        // Inversions cannot be created out of thin air: a chain with no
+        // inverted operand lowers to multiply kernels only, and never
+        // forces an explicit inverse. (The converse bound does not hold:
+        // propagation can *split* one inversion into two solves, as in the
+        // Sec. IV worked example.)
+        prop_assume!(shape.operands().iter().all(|o| !o.inverted));
+        for v in all_variants(&shape).unwrap().iter() {
+            for s in v.steps() {
+                prop_assert_eq!(
+                    s.kernel.class(),
+                    KernelClass::Multiply,
+                    "{} uses a solve without any inversion",
+                    v.paren()
+                );
+            }
+            prop_assert!(v
+                .finalizes()
+                .iter()
+                .all(|f| f.kernel == gmc_kernels::FinalizeKernel::Transpose));
+        }
+    }
+
+    #[test]
+    fn all_variants_of_a_shape_share_result_shape(shape in arb_shape(), seed in 0u64..10_000) {
+        prop_assume!(shape.len() >= 2);
+        let vs = all_variants(&shape).unwrap();
+        let first = vs[0].result();
+        for v in &vs {
+            let r = v.result();
+            prop_assert_eq!(r.rows_sym, first.rows_sym);
+            prop_assert_eq!(r.cols_sym, first.cols_sym);
+        }
+        let _ = seed;
+    }
+
+    #[test]
+    fn fanning_out_variant_count_bound(shape in arb_shape(), tree_seed in 0u64..100) {
+        // |E| <= n + 1 and the base family always exists.
+        let fanning = gmc_core::fanning_out_set(&shape).unwrap();
+        prop_assert!(fanning.len() <= shape.len() + 1);
+        prop_assert!(!fanning.is_empty());
+        let _ = tree_seed;
+    }
+
+    #[test]
+    fn triplets_are_canonical(shape in arb_shape(), idx in 0usize..5) {
+        let n = shape.len();
+        prop_assume!(n >= 2);
+        let trees = ParenTree::enumerate(0, n - 1);
+        let tree = &trees[idx % trees.len()];
+        let v = build_variant(&shape, tree).unwrap();
+        let classes = shape.size_classes();
+        for s in v.steps() {
+            for sym in [s.triplet.0, s.triplet.1, s.triplet.2] {
+                prop_assert!(sym < shape.num_sizes());
+                prop_assert_eq!(classes.find(sym), sym, "symbols are class representatives");
+            }
+        }
+    }
+}
+
+#[test]
+fn random_tree_strategy_is_exercised() {
+    use proptest::strategy::ValueTree;
+    // Smoke test for the helper (kept out of proptest to avoid an unused
+    // warning if strategies change).
+    let mut runner = proptest::test_runner::TestRunner::default();
+    let strat = arb_tree_for(5);
+    for _ in 0..5 {
+        let tree = strat
+            .new_tree(&mut runner)
+            .expect("strategy works")
+            .current();
+        assert_eq!(tree.span(), (0, 4));
+    }
+}

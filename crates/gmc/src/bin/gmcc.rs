@@ -1,0 +1,34 @@
+//! `gmcc` — the command-line code generator (Fig. 1 of the paper).
+//!
+//! ```text
+//! gmcc chain.gmc --emit both --out generated/ --expand 1 --report
+//! ```
+
+use gmc::driver::{parse_args, run, usage};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gmcc: {e}");
+            eprint!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+    match run(&config) {
+        Ok(written) => {
+            for path in written {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("gmcc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

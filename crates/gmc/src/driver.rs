@@ -1,0 +1,323 @@
+//! The `gmcc` compiler driver: the command-line face of the code
+//! generator in Fig. 1. Parses a `.gmc` program, selects variants, and
+//! emits C++ and/or Rust sources plus the runtime header.
+
+use gmc_codegen::{emit_cpp, emit_runtime_header, emit_rust};
+use gmc_core::{CompileOptions, CompiledChain, Objective};
+use gmc_ir::grammar::parse_program;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// What to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitKind {
+    /// C++ translation unit + runtime header.
+    Cpp,
+    /// Rust module.
+    Rust,
+    /// Both back-ends.
+    Both,
+}
+
+impl EmitKind {
+    /// Parse an `--emit` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DriverError`] for unknown values.
+    pub fn parse(s: &str) -> Result<Self, DriverError> {
+        match s {
+            "cpp" => Ok(EmitKind::Cpp),
+            "rust" => Ok(EmitKind::Rust),
+            "both" => Ok(EmitKind::Both),
+            other => Err(DriverError::Usage(format!(
+                "unknown --emit value `{other}` (expected cpp, rust, or both)"
+            ))),
+        }
+    }
+}
+
+/// Driver configuration, filled from command-line arguments.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Input `.gmc` file.
+    pub input: PathBuf,
+    /// Output directory for emitted sources.
+    pub out_dir: PathBuf,
+    /// Base name of emitted functions/files (defaults to the program's
+    /// left-hand-side identifier).
+    pub name: Option<String>,
+    /// Back-end(s) to emit.
+    pub emit: EmitKind,
+    /// Algorithm-1 expansion steps beyond the Theorem-2 base set.
+    pub expand: usize,
+    /// Training-instance count for selection.
+    pub train: usize,
+    /// Print a human-readable variant report to stdout.
+    pub report: bool,
+}
+
+/// Errors from the driver.
+#[derive(Debug)]
+pub enum DriverError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O failure (payload: path and cause).
+    Io(PathBuf, std::io::Error),
+    /// Parse or compilation failure.
+    Compile(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Usage(msg) => write!(f, "usage error: {msg}"),
+            DriverError::Io(path, e) => write!(f, "io error on {}: {e}", path.display()),
+            DriverError::Compile(msg) => write!(f, "compile error: {msg}"),
+        }
+    }
+}
+
+impl Error for DriverError {}
+
+/// Parse the `gmcc` command line (without the leading program name).
+///
+/// # Errors
+///
+/// Returns [`DriverError::Usage`] on malformed arguments.
+pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
+    let mut input: Option<PathBuf> = None;
+    let mut config = DriverConfig {
+        input: PathBuf::new(),
+        out_dir: PathBuf::from("."),
+        name: None,
+        emit: EmitKind::Cpp,
+        expand: 0,
+        train: 1000,
+        report: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                config.out_dir = it
+                    .next()
+                    .ok_or_else(|| DriverError::Usage("--out needs a directory".into()))?
+                    .into();
+            }
+            "--name" => {
+                config.name = Some(
+                    it.next()
+                        .ok_or_else(|| DriverError::Usage("--name needs a value".into()))?
+                        .clone(),
+                );
+            }
+            "--emit" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DriverError::Usage("--emit needs a value".into()))?;
+                config.emit = EmitKind::parse(v)?;
+            }
+            "--expand" => {
+                config.expand = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| DriverError::Usage("--expand needs an integer".into()))?;
+            }
+            "--train" => {
+                config.train = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| DriverError::Usage("--train needs an integer".into()))?;
+            }
+            "--report" => config.report = true,
+            other if other.starts_with("--") => {
+                return Err(DriverError::Usage(format!("unknown flag `{other}`")));
+            }
+            path => {
+                if input.replace(PathBuf::from(path)).is_some() {
+                    return Err(DriverError::Usage("more than one input file".into()));
+                }
+            }
+        }
+    }
+    config.input = input.ok_or_else(|| DriverError::Usage("missing input .gmc file".into()))?;
+    Ok(config)
+}
+
+/// Compile one `.gmc` source string and return the emitted artifacts as
+/// `(file name, contents)` pairs plus the human-readable report.
+///
+/// # Errors
+///
+/// Returns [`DriverError::Compile`] on parse or selection failure.
+pub fn compile_source(
+    source: &str,
+    config: &DriverConfig,
+) -> Result<(Vec<(String, String)>, String), DriverError> {
+    let program = parse_program(source).map_err(|e| DriverError::Compile(e.to_string()))?;
+    let name = config
+        .name
+        .clone()
+        .unwrap_or_else(|| program.lhs().to_lowercase());
+    let options = CompileOptions {
+        training_instances: config.train,
+        expand_by: config.expand,
+        objective: Objective::AvgPenalty,
+        ..CompileOptions::default()
+    };
+    let chain = CompiledChain::compile_with(program.shape().clone(), &options)
+        .map_err(|e| DriverError::Compile(e.to_string()))?;
+
+    let mut files = Vec::new();
+    if matches!(config.emit, EmitKind::Cpp | EmitKind::Both) {
+        files.push((format!("{name}.cpp"), emit_cpp(&chain, &name)));
+        files.push(("gmc_runtime.hpp".to_string(), emit_runtime_header()));
+    }
+    if matches!(config.emit, EmitKind::Rust | EmitKind::Both) {
+        files.push((format!("{name}.rs"), emit_rust(&chain, &name)));
+    }
+
+    let mut report = format!(
+        "chain {} (n = {}), {} size-symbol class(es), {} variant(s) selected\n",
+        chain.shape(),
+        chain.shape().len(),
+        chain.shape().size_classes().num_classes(),
+        chain.variants().len(),
+    );
+    for (i, v) in chain.variants().iter().enumerate() {
+        report.push_str(&format!(
+            "  variant {i}: {}  cost = {}\n",
+            v.paren(),
+            v.cost_poly()
+        ));
+    }
+    Ok((files, report))
+}
+
+/// Run the driver end to end: read the input, compile, write artifacts.
+///
+/// # Errors
+///
+/// Propagates I/O and compilation failures.
+pub fn run(config: &DriverConfig) -> Result<Vec<PathBuf>, DriverError> {
+    let source = std::fs::read_to_string(&config.input)
+        .map_err(|e| DriverError::Io(config.input.clone(), e))?;
+    let (files, report) = compile_source(&source, config)?;
+    std::fs::create_dir_all(&config.out_dir)
+        .map_err(|e| DriverError::Io(config.out_dir.clone(), e))?;
+    let mut written = Vec::new();
+    for (fname, contents) in files {
+        let path: PathBuf = Path::new(&config.out_dir).join(fname);
+        std::fs::write(&path, contents).map_err(|e| DriverError::Io(path.clone(), e))?;
+        written.push(path);
+    }
+    if config.report {
+        print!("{report}");
+    }
+    Ok(written)
+}
+
+/// Usage text for `gmcc --help`.
+#[must_use]
+pub fn usage() -> &'static str {
+    "gmcc — code generator for generalized matrix chains with symbolic sizes
+
+USAGE:
+    gmcc <input.gmc> [--out DIR] [--name IDENT] [--emit cpp|rust|both]
+         [--expand K] [--train N] [--report]
+
+The input file uses the grammar of Fig. 2 of the paper:
+
+    Matrix A <General, Singular>;
+    Matrix L <LowerTri, NonSingular>;
+    X := A * L^-1;
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(extra: &[&str]) -> DriverConfig {
+        let mut args: Vec<String> = vec!["in.gmc".into()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        parse_args(&args).unwrap()
+    }
+
+    const SRC: &str = "
+        Matrix A <General, Singular>;
+        Matrix L <LowerTri, NonSingular>;
+        Matrix B <General, Singular>;
+        X := A * L^-1 * B;
+    ";
+
+    #[test]
+    fn arg_parsing() {
+        let c = cfg(&[
+            "--emit", "both", "--expand", "2", "--name", "foo", "--report",
+        ]);
+        assert_eq!(c.emit, EmitKind::Both);
+        assert_eq!(c.expand, 2);
+        assert_eq!(c.name.as_deref(), Some("foo"));
+        assert!(c.report);
+        assert_eq!(c.input, PathBuf::from("in.gmc"));
+    }
+
+    #[test]
+    fn missing_input_is_usage_error() {
+        assert!(matches!(
+            parse_args(&["--report".to_string()]),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(matches!(
+            parse_args(&["in.gmc".into(), "--frobnicate".into()]),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn compiles_to_cpp_and_rust() {
+        let c = cfg(&["--emit", "both", "--train", "100"]);
+        let (files, report) = compile_source(SRC, &c).unwrap();
+        let names: Vec<&str> = files.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["x.cpp", "gmc_runtime.hpp", "x.rs"]);
+        assert!(report.contains("variant 0"));
+        assert!(files[0].1.contains("void x("));
+        assert!(files[2].1.contains("pub fn x("));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let c = cfg(&[]);
+        let err = compile_source("Matrix A <General, Singular>; X := B;", &c).unwrap_err();
+        assert!(err.to_string().contains("undefined matrix"));
+    }
+
+    #[test]
+    fn end_to_end_writes_files() {
+        let dir = std::env::temp_dir().join("gmcc_test_out");
+        let _ = std::fs::remove_dir_all(&dir);
+        let input = dir.join("chain.gmc");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&input, SRC).unwrap();
+        let config = parse_args(&[
+            input.to_string_lossy().into_owned(),
+            "--out".into(),
+            dir.to_string_lossy().into_owned(),
+            "--emit".into(),
+            "cpp".into(),
+            "--train".into(),
+            "50".into(),
+        ])
+        .unwrap();
+        let written = run(&config).unwrap();
+        assert_eq!(written.len(), 2);
+        assert!(written.iter().all(|p| p.exists()));
+    }
+}

@@ -1,0 +1,95 @@
+//! # symgmc — compilation of generalized matrix chains with symbolic sizes
+//!
+//! A Rust reproduction of the CGO 2026 paper *"Compilation of Generalized
+//! Matrix Chains with Symbolic Sizes"* (López, Karlsson, Bientinesi).
+//!
+//! A Generalized Matrix Chain (GMC) is a product
+//! `op(M_1) op(M_2) ... op(M_n)` where each matrix carries features
+//! (general, symmetric, triangular, SPD, orthogonal, ...) and may be
+//! transposed and/or inverted. When matrix sizes are unknown at compile
+//! time, no single sequence of BLAS/LAPACK kernel calls is optimal for all
+//! sizes; this crate compiles a chain into a small set of *variants* with
+//! provably bounded worst-case penalty (at most `n + 1`, usually 2–3) and
+//! dispatches to the cheapest one at run time.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gmc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Describe the chain in the paper's input grammar (Fig. 2).
+//! let program = parse_program(
+//!     "Matrix H <General, Singular>;
+//!      Matrix P <Symmetric, SPD>;
+//!      Matrix G <General, Singular>;
+//!      X := H * P^-1 * G;",
+//! )?;
+//!
+//! // Compile: select the Theorem-2 base set behind a dispatcher.
+//! let chain = CompiledChain::compile(program.shape().clone())?;
+//!
+//! // Run time: sizes become known, the dispatcher picks the best variant.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let h = random_general(&mut rng, 4, 50);
+//! let p = random_spd(&mut rng, 50);
+//! let g = random_general(&mut rng, 50, 3);
+//! let x = chain.evaluate(&[h, p, g])?;
+//! assert_eq!((x.rows(), x.cols()), (4, 3));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`ir`] | features, shapes, the input grammar, symbolic cost polynomials |
+//! | [`linalg`] | dense matrix substrate (GEMM, TRSM, LU, Cholesky, QR, ...) |
+//! | [`kernels`] | the Table-I kernel catalogue: costs, mapping, inference, execution |
+//! | [`core`] | variant construction, theory-guided selection, expansion, dispatch |
+//! | [`codegen`] | C++ / Rust source emission (Fig. 1) |
+//! | [`perfmodel`] | measured per-kernel performance models (Sec. VII-B) |
+
+#![warn(missing_docs)]
+pub mod driver;
+
+pub use gmc_codegen as codegen;
+pub use gmc_core as core;
+pub use gmc_ir as ir;
+pub use gmc_kernels as kernels;
+pub use gmc_linalg as linalg;
+pub use gmc_perfmodel as perfmodel;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use gmc_codegen::{emit_cpp, emit_rust};
+    pub use gmc_core::{
+        all_variants, build_variant, expand_set, fanning_out_set, optimal_cost, select_base_set,
+        CompiledChain, CostModel, FlopCost, Objective, ParenTree, Variant,
+    };
+    pub use gmc_ir::grammar::parse_program;
+    pub use gmc_ir::{
+        Features, Instance, InstanceSampler, Operand, Poly, Property, Ratio, Shape, Structure,
+    };
+    pub use gmc_kernels::{FinalizeKernel, Kernel};
+    pub use gmc_linalg::{
+        random_general, random_lower_triangular, random_nonsingular, random_orthogonal, random_spd,
+        random_symmetric, random_upper_triangular, Matrix,
+    };
+    pub use gmc_perfmodel::{measure_models, MeasureOptions, PerfModels};
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g, g]).unwrap();
+        let chain = CompiledChain::compile(shape).unwrap();
+        assert!(!chain.variants().is_empty());
+    }
+}

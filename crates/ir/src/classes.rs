@@ -1,0 +1,136 @@
+//! Equivalence classes over size symbols (union-find).
+//!
+//! When matrix `M_i` is necessarily square, its row and column sizes are
+//! bound by equality (`q_{i-1} ~ q_i` in the paper's notation). The classes
+//! drive both instance sampling (one free size per class) and the
+//! Theorem-2 construction of the base variant set.
+
+/// A union-find structure over the size symbols `q_0 ... q_n`.
+#[derive(Debug, Clone)]
+pub struct EquivClasses {
+    parent: Vec<usize>,
+}
+
+impl EquivClasses {
+    /// Create `n` singleton classes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        EquivClasses {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// Number of symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if there are no symbols.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The canonical representative of `i`'s class (smallest member).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn find(&self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Merge the classes of `a` and `b`, keeping the smaller index as root.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+    }
+
+    /// Number of distinct classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        (0..self.len()).filter(|&i| self.find(i) == i).count()
+    }
+
+    /// The classes as sorted member lists, ordered by smallest member.
+    #[must_use]
+    pub fn classes(&self) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut roots: Vec<usize> = (0..self.len()).filter(|&i| self.find(i) == i).collect();
+        roots.sort_unstable();
+        for r in roots {
+            out.push((0..self.len()).filter(|&i| self.find(i) == r).collect());
+        }
+        out
+    }
+
+    /// A map `symbol -> canonical representative`, usable with
+    /// [`crate::Poly::rename_vars`].
+    #[must_use]
+    pub fn canonical_map(&self) -> Vec<usize> {
+        (0..self.len()).map(|i| self.find(i)).collect()
+    }
+
+    /// `true` if `a` and `b` are in the same class.
+    #[must_use]
+    pub fn same(&self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let c = EquivClasses::new(4);
+        assert_eq!(c.num_classes(), 4);
+        assert!(!c.same(0, 1));
+    }
+
+    #[test]
+    fn union_merges_transitively() {
+        let mut c = EquivClasses::new(5);
+        c.union(1, 2);
+        c.union(2, 3);
+        assert!(c.same(1, 3));
+        assert_eq!(c.num_classes(), 3);
+        assert_eq!(c.find(3), 1);
+    }
+
+    #[test]
+    fn classes_listing_sorted() {
+        let mut c = EquivClasses::new(6);
+        c.union(4, 2);
+        c.union(0, 1);
+        let cls = c.classes();
+        assert_eq!(cls, vec![vec![0, 1], vec![2, 4], vec![3], vec![5]]);
+    }
+
+    #[test]
+    fn canonical_map_for_poly_rename() {
+        let mut c = EquivClasses::new(3);
+        c.union(2, 1);
+        assert_eq!(c.canonical_map(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut c = EquivClasses::new(3);
+        c.union(0, 1);
+        c.union(0, 1);
+        c.union(1, 0);
+        assert_eq!(c.num_classes(), 2);
+    }
+}

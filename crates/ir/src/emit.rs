@@ -1,0 +1,110 @@
+//! Pretty-printer for shapes back into the Fig. 2 grammar.
+//!
+//! Useful for logging experiment shapes in a replayable form; round-trips
+//! through [`crate::grammar::parse_program`] up to the simplification
+//! rewrites (which are idempotent).
+
+use crate::features::{Property, Structure};
+use crate::shape::Shape;
+use std::fmt::Write;
+
+fn structure_kw(s: Structure) -> &'static str {
+    match s {
+        Structure::General => "General",
+        Structure::Symmetric => "Symmetric",
+        Structure::LowerTri => "LowerTri",
+        Structure::UpperTri => "UpperTri",
+    }
+}
+
+fn property_kw(p: Property) -> &'static str {
+    match p {
+        Property::Singular => "Singular",
+        Property::NonSingular => "NonSingular",
+        Property::Spd => "SPD",
+        Property::Orthogonal => "Orthogonal",
+    }
+}
+
+/// Emit a complete grammar program for `shape`, assigning operand names
+/// `M1, M2, ...` and left-hand side `lhs`.
+///
+/// # Example
+///
+/// ```
+/// use gmc_ir::{emit::emit_program, grammar::parse_program, Features, Operand, Shape};
+/// let g = Operand::plain(Features::general());
+/// let shape = Shape::new(vec![g, g.transposed()])?;
+/// let src = emit_program(&shape, "X");
+/// let reparsed = parse_program(&src).unwrap();
+/// assert_eq!(reparsed.shape(), &shape);
+/// # Ok::<(), gmc_ir::ShapeError>(())
+/// ```
+#[must_use]
+pub fn emit_program(shape: &Shape, lhs: &str) -> String {
+    let mut out = String::new();
+    for (i, op) in shape.operands().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "Matrix M{} <{}, {}>;",
+            i + 1,
+            structure_kw(op.features.structure),
+            property_kw(op.features.property)
+        );
+    }
+    let _ = write!(out, "{lhs} :=");
+    for (i, op) in shape.operands().iter().enumerate() {
+        let sup = match (op.transposed, op.inverted) {
+            (false, false) => "",
+            (true, false) => "^T",
+            (false, true) => "^-1",
+            (true, true) => "^-T",
+        };
+        let sep = if i == 0 { " " } else { " * " };
+        let _ = write!(out, "{sep}M{}{sup}", i + 1);
+    }
+    let _ = writeln!(out, ";");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::Features;
+    use crate::grammar::parse_program;
+    use crate::operand::Operand;
+
+    #[test]
+    fn round_trips_through_parser() {
+        let g = Operand::plain(Features::general());
+        let l = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular));
+        let p = Operand::plain(Features::new(Structure::Symmetric, Property::Spd));
+        let shape = Shape::new(vec![g, l.inverted(), p.inverted(), g.transposed()]).unwrap();
+        let src = emit_program(&shape, "R");
+        let program = parse_program(&src).unwrap();
+        assert_eq!(program.shape(), &shape);
+        assert_eq!(program.lhs(), "R");
+    }
+
+    #[test]
+    fn round_trips_all_experiment_options() {
+        for op in Operand::experiment_options() {
+            let g = Operand::plain(Features::general());
+            let shape = Shape::new(vec![op, g]).unwrap();
+            let src = emit_program(&shape, "X");
+            let program = parse_program(&src).unwrap();
+            assert_eq!(program.shape(), &shape, "source:\n{src}");
+        }
+    }
+
+    #[test]
+    fn emitted_source_is_readable() {
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g, g]).unwrap();
+        let src = emit_program(&shape, "X");
+        assert_eq!(
+            src,
+            "Matrix M1 <General, Singular>;\nMatrix M2 <General, Singular>;\nX := M1 * M2;\n"
+        );
+    }
+}

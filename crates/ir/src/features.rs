@@ -1,0 +1,246 @@
+//! Matrix features: structures and properties (Sec. III-A of the paper).
+//!
+//! The *structure* reflects how entries are arranged in memory; the
+//! *property* determines invertibility and which kernels may solve linear
+//! systems with the matrix as coefficient.
+
+use std::fmt;
+
+/// How the entries of a matrix are arranged.
+///
+/// All structures except [`Structure::General`] imply the matrix is square.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Structure {
+    /// A dense rectangular matrix.
+    General,
+    /// A symmetric matrix (stored dense).
+    Symmetric,
+    /// A lower-triangular matrix.
+    LowerTri,
+    /// An upper-triangular matrix.
+    UpperTri,
+}
+
+impl Structure {
+    /// The structure of the transpose.
+    #[must_use]
+    pub fn transposed(self) -> Structure {
+        match self {
+            Structure::LowerTri => Structure::UpperTri,
+            Structure::UpperTri => Structure::LowerTri,
+            other => other,
+        }
+    }
+
+    /// `true` for lower- or upper-triangular.
+    #[must_use]
+    pub fn is_triangular(self) -> bool {
+        matches!(self, Structure::LowerTri | Structure::UpperTri)
+    }
+
+    /// `true` if this structure forces the matrix to be square.
+    #[must_use]
+    pub fn forces_square(self) -> bool {
+        self != Structure::General
+    }
+
+    /// All structures, for enumeration in tests and the experiment driver.
+    pub const ALL: [Structure; 4] = [
+        Structure::General,
+        Structure::Symmetric,
+        Structure::LowerTri,
+        Structure::UpperTri,
+    ];
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Structure::General => "General",
+            Structure::Symmetric => "Symmetric",
+            Structure::LowerTri => "LowerTri",
+            Structure::UpperTri => "UpperTri",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Whether (and how) a matrix is invertible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Property {
+    /// No invertibility assumption; the matrix may be rectangular.
+    Singular,
+    /// Invertible (and hence square).
+    NonSingular,
+    /// Symmetric positive-definite (implies the symmetric structure).
+    Spd,
+    /// Orthogonal: `M^{-1} = M^T`.
+    Orthogonal,
+}
+
+impl Property {
+    /// `true` if the property guarantees invertibility.
+    #[must_use]
+    pub fn is_invertible(self) -> bool {
+        !matches!(self, Property::Singular)
+    }
+
+    /// `true` if this property forces the matrix to be square.
+    #[must_use]
+    pub fn forces_square(self) -> bool {
+        self.is_invertible()
+    }
+
+    /// All properties, for enumeration in tests and the experiment driver.
+    pub const ALL: [Property; 4] = [
+        Property::Singular,
+        Property::NonSingular,
+        Property::Spd,
+        Property::Orthogonal,
+    ];
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Property::Singular => "Singular",
+            Property::NonSingular => "NonSingular",
+            Property::Spd => "SPD",
+            Property::Orthogonal => "Orthogonal",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The feature pair (structure, property) carried by a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Features {
+    /// Memory arrangement of the entries.
+    pub structure: Structure,
+    /// Invertibility class.
+    pub property: Property,
+}
+
+impl Features {
+    /// Create a feature pair.
+    #[must_use]
+    pub fn new(structure: Structure, property: Property) -> Self {
+        Features {
+            structure,
+            property,
+        }
+    }
+
+    /// Shorthand for a general matrix with no invertibility assumption.
+    #[must_use]
+    pub fn general() -> Self {
+        Features::new(Structure::General, Property::Singular)
+    }
+
+    /// Validity per Sec. III-A: some combinations of structure and property
+    /// are contradictory.
+    ///
+    /// * `SPD` requires the symmetric structure (the paper: "the general
+    ///   structure cannot be combined with the symmetric positive-definite
+    ///   property").
+    /// * A triangular orthogonal matrix is a (signed) identity; the paper
+    ///   rewrites it away, so as a *stored feature pair* it is flagged
+    ///   invalid here and handled by [`crate::rewrite`].
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        match self.property {
+            Property::Spd => self.structure == Structure::Symmetric,
+            Property::Orthogonal => self.structure == Structure::General,
+            _ => true,
+        }
+    }
+
+    /// `true` if a matrix with these features must be square.
+    #[must_use]
+    pub fn forces_square(self) -> bool {
+        self.structure.forces_square() || self.property.forces_square()
+    }
+
+    /// Features of the transpose: structure flips triangularity; the
+    /// property is preserved (orthogonality, SPD-ness, and invertibility are
+    /// all closed under transposition).
+    #[must_use]
+    pub fn transposed(self) -> Features {
+        Features::new(self.structure.transposed(), self.property)
+    }
+
+    /// Features of the inverse, when it exists: triangularity and symmetry
+    /// are preserved by inversion, as are SPD-ness and orthogonality.
+    ///
+    /// Returns `None` if the matrix is not known to be invertible.
+    #[must_use]
+    pub fn inverted(self) -> Option<Features> {
+        if self.property.is_invertible() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Features {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.structure, self.property)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transposition_flips_triangularity() {
+        assert_eq!(Structure::LowerTri.transposed(), Structure::UpperTri);
+        assert_eq!(Structure::UpperTri.transposed(), Structure::LowerTri);
+        assert_eq!(Structure::General.transposed(), Structure::General);
+        assert_eq!(Structure::Symmetric.transposed(), Structure::Symmetric);
+    }
+
+    #[test]
+    fn squareness_rules() {
+        assert!(!Features::general().forces_square());
+        assert!(Features::new(Structure::Symmetric, Property::Singular).forces_square());
+        assert!(Features::new(Structure::General, Property::NonSingular).forces_square());
+        assert!(Features::new(Structure::General, Property::Orthogonal).forces_square());
+    }
+
+    #[test]
+    fn validity_rules() {
+        assert!(Features::new(Structure::Symmetric, Property::Spd).is_valid());
+        assert!(!Features::new(Structure::General, Property::Spd).is_valid());
+        assert!(!Features::new(Structure::LowerTri, Property::Spd).is_valid());
+        assert!(!Features::new(Structure::LowerTri, Property::Orthogonal).is_valid());
+        assert!(!Features::new(Structure::Symmetric, Property::Orthogonal).is_valid());
+        assert!(Features::new(Structure::General, Property::Orthogonal).is_valid());
+        for s in Structure::ALL {
+            assert!(Features::new(s, Property::Singular).is_valid());
+            assert!(Features::new(s, Property::NonSingular).is_valid());
+        }
+    }
+
+    #[test]
+    fn inversion_requires_invertibility() {
+        assert!(Features::general().inverted().is_none());
+        let l = Features::new(Structure::LowerTri, Property::NonSingular);
+        assert_eq!(l.inverted(), Some(l));
+    }
+
+    #[test]
+    fn transpose_preserves_property() {
+        let f = Features::new(Structure::LowerTri, Property::NonSingular);
+        let t = f.transposed();
+        assert_eq!(t.structure, Structure::UpperTri);
+        assert_eq!(t.property, Property::NonSingular);
+    }
+
+    #[test]
+    fn display_is_grammar_like() {
+        let f = Features::new(Structure::Symmetric, Property::Spd);
+        assert_eq!(f.to_string(), "<Symmetric, SPD>");
+    }
+}

@@ -1,0 +1,221 @@
+//! Concrete instances of a symbolic chain and random instance sampling.
+
+use crate::classes::EquivClasses;
+use crate::shape::Shape;
+use rand::Rng;
+use std::fmt;
+
+/// A concrete assignment of sizes `q = (q_0, ..., q_n)` to a symbolic chain.
+///
+/// Invariant: sizes bound by the shape's equivalence classes are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instance {
+    sizes: Vec<u64>,
+}
+
+impl Instance {
+    /// Create an instance from an explicit size vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero.
+    #[must_use]
+    pub fn new(sizes: Vec<u64>) -> Self {
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "matrix sizes must be positive"
+        );
+        Instance { sizes }
+    }
+
+    /// The size vector.
+    #[must_use]
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// The value of `q_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn q(&self, i: usize) -> u64 {
+        self.sizes[i]
+    }
+
+    /// Number of size symbols (`n + 1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` if there are no sizes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The index of (one of) the minimum sizes — the `m` of Lemma 2.
+    #[must_use]
+    pub fn argmin(&self) -> usize {
+        self.sizes
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &s)| s)
+            .map(|(i, _)| i)
+            .expect("instance is non-empty")
+    }
+
+    /// `true` if the instance respects the equality constraints of `classes`.
+    #[must_use]
+    pub fn respects(&self, classes: &EquivClasses) -> bool {
+        self.sizes.len() == classes.len()
+            && (0..self.sizes.len()).all(|i| self.sizes[i] == self.sizes[classes.find(i)])
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q = (")?;
+        for (i, s) in self.sizes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Samples random instances of a shape with sizes in a configured range,
+/// respecting the shape's size-symbol equivalence classes.
+///
+/// The paper's experiments sample uniformly in `[2, 1000]` (FLOPs
+/// experiment) or `[50, 1000]` (time experiment).
+///
+/// # Example
+///
+/// ```
+/// use gmc_ir::{Features, InstanceSampler, Operand, Shape};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let g = Operand::plain(Features::general());
+/// let shape = Shape::new(vec![g, g])?;
+/// let sampler = InstanceSampler::new(&shape, 2, 1000);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let inst = sampler.sample(&mut rng);
+/// assert_eq!(inst.len(), 3);
+/// assert!(inst.sizes().iter().all(|&s| (2..=1000).contains(&s)));
+/// # Ok::<(), gmc_ir::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstanceSampler {
+    classes: EquivClasses,
+    lo: u64,
+    hi: u64,
+}
+
+impl InstanceSampler {
+    /// Create a sampler for `shape` with sizes uniform in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > hi`.
+    #[must_use]
+    pub fn new(shape: &Shape, lo: u64, hi: u64) -> Self {
+        assert!(lo > 0 && lo <= hi, "invalid size range [{lo}, {hi}]");
+        InstanceSampler {
+            classes: shape.size_classes(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Sample one instance.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Instance {
+        let n = self.classes.len();
+        let mut sizes = vec![0u64; n];
+        for i in 0..n {
+            let root = self.classes.find(i);
+            if root == i {
+                sizes[i] = rng.gen_range(self.lo..=self.hi);
+            } else {
+                sizes[i] = sizes[root];
+            }
+        }
+        Instance::new(sizes)
+    }
+
+    /// Sample `count` instances.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Instance> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{Features, Property, Structure};
+    use crate::operand::Operand;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shape_glg() -> Shape {
+        let g = Operand::plain(Features::general());
+        let l =
+            Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular)).inverted();
+        Shape::new(vec![g, l, g]).unwrap()
+    }
+
+    #[test]
+    fn samples_respect_classes() {
+        let shape = shape_glg();
+        let sampler = InstanceSampler::new(&shape, 2, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let inst = sampler.sample(&mut rng);
+            assert!(inst.respects(&shape.size_classes()));
+            assert_eq!(inst.q(1), inst.q(2));
+            assert!(inst.sizes().iter().all(|&s| (2..=50).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn argmin_finds_smallest() {
+        let inst = Instance::new(vec![9, 3, 3, 7]);
+        assert_eq!(inst.argmin(), 1);
+    }
+
+    #[test]
+    fn respects_detects_violation() {
+        let shape = shape_glg();
+        let bad = Instance::new(vec![4, 5, 6, 7]);
+        assert!(!bad.respects(&shape.size_classes()));
+    }
+
+    #[test]
+    fn sample_many_count() {
+        let shape = shape_glg();
+        let sampler = InstanceSampler::new(&shape, 2, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sampler.sample_many(&mut rng, 17).len(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must be positive")]
+    fn zero_size_rejected() {
+        let _ = Instance::new(vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size range")]
+    fn bad_range_rejected() {
+        let _ = InstanceSampler::new(&shape_glg(), 5, 4);
+    }
+
+    #[test]
+    fn display_lists_sizes() {
+        let inst = Instance::new(vec![2, 3]);
+        assert_eq!(inst.to_string(), "q = (2, 3)");
+    }
+}

@@ -1,0 +1,162 @@
+//! A single chain operand: a matrix with features and unary operators.
+
+use crate::features::{Features, Property, Structure};
+use std::fmt;
+
+/// One operand `op(M_i)` of a generalized matrix chain.
+///
+/// The unary operator `op` is encoded by the `transposed` / `inverted`
+/// flags (`op(M) = M, M^T, M^{-1}, M^{-T}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Operand {
+    /// Feature pair of the stored matrix.
+    pub features: Features,
+    /// `true` if the operand is transposed.
+    pub transposed: bool,
+    /// `true` if the operand is inverted.
+    pub inverted: bool,
+}
+
+impl Operand {
+    /// A plain (untransformed) operand with the given features.
+    #[must_use]
+    pub fn plain(features: Features) -> Self {
+        Operand {
+            features,
+            transposed: false,
+            inverted: false,
+        }
+    }
+
+    /// Builder-style: mark the operand transposed.
+    #[must_use]
+    pub fn transposed(mut self) -> Self {
+        self.transposed = !self.transposed;
+        self
+    }
+
+    /// Builder-style: mark the operand inverted.
+    #[must_use]
+    pub fn inverted(mut self) -> Self {
+        self.inverted = !self.inverted;
+        self
+    }
+
+    /// The *effective* structure, after applying the transposition flag.
+    ///
+    /// (Inversion preserves structure for the structures we track.)
+    #[must_use]
+    pub fn effective_structure(&self) -> Structure {
+        if self.transposed {
+            self.features.structure.transposed()
+        } else {
+            self.features.structure
+        }
+    }
+
+    /// The operand's property (unchanged by transposition or inversion).
+    #[must_use]
+    pub fn property(&self) -> Property {
+        self.features.property
+    }
+
+    /// `true` if the underlying matrix must be square.
+    #[must_use]
+    pub fn forces_square(&self) -> bool {
+        self.features.forces_square() || self.inverted
+    }
+
+    /// Validity of the operand: the features must be valid and inversion
+    /// requires an invertible property.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.features.is_valid() && (!self.inverted || self.features.property.is_invertible())
+    }
+
+    /// The ten feature/operator options used in the paper's experiments
+    /// (Sec. VII-A): general singular; general inverted; SPD plain or
+    /// inverted; lower/upper triangular singular, nonsingular, or inverted.
+    #[must_use]
+    pub fn experiment_options() -> Vec<Operand> {
+        let g = |p| Features::new(Structure::General, p);
+        let s = |p| Features::new(Structure::Symmetric, p);
+        let l = |p| Features::new(Structure::LowerTri, p);
+        let u = |p| Features::new(Structure::UpperTri, p);
+        vec![
+            Operand::plain(g(Property::Singular)),
+            Operand::plain(g(Property::NonSingular)).inverted(),
+            Operand::plain(s(Property::Spd)),
+            Operand::plain(s(Property::Spd)).inverted(),
+            Operand::plain(l(Property::Singular)),
+            Operand::plain(l(Property::NonSingular)),
+            Operand::plain(l(Property::NonSingular)).inverted(),
+            Operand::plain(u(Property::Singular)),
+            Operand::plain(u(Property::NonSingular)),
+            Operand::plain(u(Property::NonSingular)).inverted(),
+        ]
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.features)?;
+        match (self.transposed, self.inverted) {
+            (false, false) => Ok(()),
+            (true, false) => write!(f, "^T"),
+            (false, true) => write!(f, "^-1"),
+            (true, true) => write!(f, "^-T"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_structure_respects_transpose() {
+        let l = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular));
+        assert_eq!(l.effective_structure(), Structure::LowerTri);
+        assert_eq!(l.transposed().effective_structure(), Structure::UpperTri);
+    }
+
+    #[test]
+    fn inverted_singular_is_invalid() {
+        let bad = Operand::plain(Features::general()).inverted();
+        assert!(!bad.is_valid());
+        let ok =
+            Operand::plain(Features::new(Structure::General, Property::NonSingular)).inverted();
+        assert!(ok.is_valid());
+    }
+
+    #[test]
+    fn experiment_options_are_ten_valid_untransposed() {
+        let opts = Operand::experiment_options();
+        assert_eq!(opts.len(), 10);
+        assert!(opts.iter().all(Operand::is_valid));
+        assert!(opts.iter().all(|o| !o.transposed));
+        // Exactly one option (plain general) is rectangular-capable.
+        assert_eq!(opts.iter().filter(|o| !o.forces_square()).count(), 1);
+    }
+
+    #[test]
+    fn builder_flags_toggle() {
+        let o = Operand::plain(Features::general())
+            .transposed()
+            .transposed();
+        assert!(!o.transposed);
+    }
+
+    #[test]
+    fn display_notation() {
+        let f = Features::new(Structure::LowerTri, Property::NonSingular);
+        assert_eq!(
+            Operand::plain(f).inverted().to_string(),
+            "<LowerTri, NonSingular>^-1"
+        );
+        assert_eq!(
+            Operand::plain(f).transposed().inverted().to_string(),
+            "<LowerTri, NonSingular>^-T"
+        );
+    }
+}

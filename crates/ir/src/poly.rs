@@ -1,0 +1,331 @@
+//! Exact multivariate polynomials over the symbolic size vector
+//! `q = (q_0, ..., q_n)`.
+//!
+//! Variant cost functions (Sec. III-C of the paper) are sums of kernel cost
+//! terms such as `2 q_0 q_1 q_2` or `8/3 q_1^3`. We represent them as sparse
+//! polynomials with exact rational coefficients so that symbolic costs can be
+//! compared, printed, and evaluated on concrete instances.
+
+use crate::ratio::Ratio;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A monomial: sorted, deduplicated `(variable index, exponent)` pairs.
+///
+/// The variable index `i` refers to the size symbol `q_i`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial(Vec<(usize, u32)>);
+
+impl Monomial {
+    /// The monomial `1` (empty product).
+    #[must_use]
+    pub fn one() -> Self {
+        Monomial(Vec::new())
+    }
+
+    /// The monomial `q_i`.
+    #[must_use]
+    pub fn var(i: usize) -> Self {
+        Monomial(vec![(i, 1)])
+    }
+
+    /// Build from unsorted factors, merging duplicate variables.
+    #[must_use]
+    pub fn from_factors(factors: &[(usize, u32)]) -> Self {
+        let mut map: BTreeMap<usize, u32> = BTreeMap::new();
+        for &(v, e) in factors {
+            if e > 0 {
+                *map.entry(v).or_insert(0) += e;
+            }
+        }
+        Monomial(map.into_iter().collect())
+    }
+
+    /// Multiply two monomials.
+    #[must_use]
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut factors = self.0.clone();
+        factors.extend_from_slice(&other.0);
+        Monomial::from_factors(&factors)
+    }
+
+    /// Total degree.
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.0.iter().map(|&(_, e)| e).sum()
+    }
+
+    /// Evaluate on the instance vector `q` (values of `q_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of bounds for `q`.
+    #[must_use]
+    pub fn eval(&self, q: &[u64]) -> f64 {
+        self.0
+            .iter()
+            .map(|&(v, e)| (q[v] as f64).powi(e as i32))
+            .product()
+    }
+
+    /// The `(variable, exponent)` pairs.
+    #[must_use]
+    pub fn factors(&self) -> &[(usize, u32)] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for &(v, e) in &self.0 {
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            if e == 1 {
+                write!(f, "q{v}")?;
+            } else {
+                write!(f, "q{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sparse multivariate polynomial with [`Ratio`] coefficients.
+///
+/// # Example
+///
+/// ```
+/// use gmc_ir::{Poly, Ratio};
+/// // 2 * q0 * q1 * q2  (the GEMM cost for the triplet (0,1,2))
+/// let cost = Poly::term(Ratio::from(2), &[(0, 1), (1, 1), (2, 1)]);
+/// assert_eq!(cost.eval(&[10, 20, 30]), 12_000.0);
+/// assert_eq!(cost.to_string(), "2*q0*q1*q2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, Ratio>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Self {
+        Poly::default()
+    }
+
+    /// A single term `coeff * prod q_v^e`.
+    #[must_use]
+    pub fn term(coeff: Ratio, factors: &[(usize, u32)]) -> Self {
+        let mut p = Poly::zero();
+        p.add_term(coeff, Monomial::from_factors(factors));
+        p
+    }
+
+    /// A constant polynomial.
+    #[must_use]
+    pub fn constant(c: Ratio) -> Self {
+        Poly::term(c, &[])
+    }
+
+    /// The polynomial `q_i`.
+    #[must_use]
+    pub fn var(i: usize) -> Self {
+        Poly::term(Ratio::ONE, &[(i, 1)])
+    }
+
+    /// Add `coeff * mono`, dropping the term if the result cancels to zero.
+    pub fn add_term(&mut self, coeff: Ratio, mono: Monomial) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(mono.clone()).or_insert(Ratio::ZERO);
+        *entry += coeff;
+        if entry.is_zero() {
+            self.terms.remove(&mono);
+        }
+    }
+
+    /// `true` iff this is the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of (nonzero) terms.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterate `(monomial, coefficient)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &Ratio)> {
+        self.terms.iter()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Evaluate on the instance vector `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial references a variable index out of bounds.
+    #[must_use]
+    pub fn eval(&self, q: &[u64]) -> f64 {
+        self.terms.iter().map(|(m, c)| c.to_f64() * m.eval(q)).sum()
+    }
+
+    /// Rename variables: variable `i` becomes `map[i]`.
+    ///
+    /// Used when size symbols are merged by an equivalence class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of bounds for `map`.
+    #[must_use]
+    pub fn rename_vars(&self, map: &[usize]) -> Poly {
+        let mut out = Poly::zero();
+        for (mono, &coeff) in &self.terms {
+            let factors: Vec<(usize, u32)> =
+                mono.factors().iter().map(|&(v, e)| (map[v], e)).collect();
+            out.add_term(coeff, Monomial::from_factors(&factors));
+        }
+        out
+    }
+}
+
+impl Add<&Poly> for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, &c) in &rhs.terms {
+            out.add_term(c, m.clone());
+        }
+        out
+    }
+}
+
+impl AddAssign<&Poly> for Poly {
+    fn add_assign(&mut self, rhs: &Poly) {
+        for (m, &c) in &rhs.terms {
+            self.add_term(c, m.clone());
+        }
+    }
+}
+
+impl Mul<&Poly> for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &rhs.terms {
+                out.add_term(ca * cb, ma.mul(mb));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.terms {
+            if first {
+                first = false;
+            } else {
+                write!(f, " + ")?;
+            }
+            if m.factors().is_empty() {
+                write!(f, "{c}")?;
+            } else if *c == Ratio::ONE {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{c}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomial_merging() {
+        let m = Monomial::from_factors(&[(2, 1), (0, 2), (2, 1)]);
+        assert_eq!(m.factors(), &[(0, 2), (2, 2)]);
+        assert_eq!(m.degree(), 4);
+        assert_eq!(m.eval(&[3, 1, 2]), 36.0);
+    }
+
+    #[test]
+    fn addition_cancels() {
+        let a = Poly::term(Ratio::from(2), &[(0, 1)]);
+        let b = Poly::term(Ratio::from(-2), &[(0, 1)]);
+        assert!((&a + &b).is_zero());
+    }
+
+    #[test]
+    fn gemm_like_cost() {
+        // 2 q0 q1 q2 + 2 q0 q2 q3 evaluated on (2, 3, 4, 5).
+        let mut p = Poly::term(Ratio::from(2), &[(0, 1), (1, 1), (2, 1)]);
+        p += &Poly::term(Ratio::from(2), &[(0, 1), (2, 1), (3, 1)]);
+        assert_eq!(p.eval(&[2, 3, 4, 5]), 48.0 + 80.0);
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!(p.degree(), 3);
+    }
+
+    #[test]
+    fn multiplication() {
+        // (q0 + 1) * (q0 - 1) = q0^2 - 1.
+        let mut a = Poly::var(0);
+        a += &Poly::constant(Ratio::ONE);
+        let mut b = Poly::var(0);
+        b += &Poly::constant(Ratio::from(-1));
+        let c = &a * &b;
+        assert_eq!(c.eval(&[7]), 48.0);
+        assert_eq!(c.num_terms(), 2);
+    }
+
+    #[test]
+    fn rename_merges_variables() {
+        // q1 * q2 with q2 -> q1 becomes q1^2.
+        let p = Poly::term(Ratio::ONE, &[(1, 1), (2, 1)]);
+        let renamed = p.rename_vars(&[0, 1, 1]);
+        assert_eq!(renamed, Poly::term(Ratio::ONE, &[(1, 2)]));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Poly::zero().to_string(), "0");
+        assert_eq!(Poly::constant(Ratio::new(1, 3)).to_string(), "1/3");
+        let p = Poly::term(Ratio::new(8, 3), &[(1, 3)]);
+        assert_eq!(p.to_string(), "8/3*q1^3");
+        assert_eq!(Poly::var(4).to_string(), "q4");
+    }
+
+    #[test]
+    fn rational_coefficients_are_exact() {
+        // 1/3 + 1/3 + 1/3 == 1 exactly.
+        let third = Poly::constant(Ratio::new(1, 3));
+        let mut sum = Poly::zero();
+        for _ in 0..3 {
+            sum += &third;
+        }
+        assert_eq!(sum, Poly::constant(Ratio::ONE));
+    }
+}

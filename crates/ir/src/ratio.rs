@@ -1,0 +1,226 @@
+//! A minimal exact rational number type.
+//!
+//! Kernel FLOP costs have coefficients like `1/3`, `5/3`, `7/3`, `8/3`
+//! (Table I of the paper). Representing them exactly keeps symbolic cost
+//! polynomials canonical — two variants have equal cost functions iff their
+//! polynomial representations are identical — which floating-point
+//! coefficients would not guarantee.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// Always kept in canonical form: the denominator is positive and
+/// `gcd(|num|, den) == 1`.
+///
+/// # Example
+///
+/// ```
+/// use gmc_ir::Ratio;
+/// let a = Ratio::new(8, 3);
+/// let b = Ratio::new(1, 3);
+/// assert_eq!(a - b, Ratio::from(7) / Ratio::from(3));
+/// assert_eq!((a - b).to_f64(), 7.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a < 0 {
+        -a
+    } else {
+        a
+    }
+}
+
+impl Ratio {
+    /// The value zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The value one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Create `num / den` in canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "ratio with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Ratio { num, den }
+    }
+
+    /// Numerator (canonical form).
+    #[must_use]
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (canonical form, always positive).
+    #[must_use]
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Convert to `f64`.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `true` iff the value is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(v: i64) -> Self {
+        Ratio {
+            num: i128::from(v),
+            den: 1,
+        }
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(rhs.num != 0, "division by zero ratio");
+        Ratio::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(Ratio::new(4, 6), Ratio::new(2, 3));
+        assert_eq!(Ratio::new(-4, -6), Ratio::new(2, 3));
+        assert_eq!(Ratio::new(4, -6), Ratio::new(-2, 3));
+        assert_eq!(Ratio::new(0, 5), Ratio::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a + b, Ratio::new(1, 2));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 18));
+        assert_eq!(a / b, Ratio::from(2));
+        assert_eq!(-a, Ratio::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert!(Ratio::new(7, 3) > Ratio::from(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(8, 3).to_string(), "8/3");
+        assert_eq!(Ratio::from(5).to_string(), "5");
+        assert_eq!(Ratio::new(-1, 3).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn conversion() {
+        assert_eq!(Ratio::new(7, 2).to_f64(), 3.5);
+        assert!(Ratio::new(1, 1).is_positive());
+        assert!(!Ratio::ZERO.is_positive());
+        assert!(Ratio::ZERO.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Input simplification rewrites (Sec. III-A of the paper).
+//!
+//! Before a shape is formed, some feature/operator combinations are
+//! normalized:
+//!
+//! 1. a transposition applied to a matrix with the symmetric structure is
+//!    removed (`S^T = S`);
+//! 2. an inversion applied to an orthogonal matrix is replaced by a
+//!    transposition (`Q^{-1} = Q^T`);
+//! 3. a matrix whose features imply it is an identity matrix (triangular
+//!    structure combined with the orthogonal property) is removed from the
+//!    chain entirely.
+
+use crate::features::Property;
+use crate::operand::Operand;
+use std::fmt;
+
+/// A record of one applied rewrite, for diagnostics and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rewrite {
+    /// `S^T -> S` at the original operand position.
+    DropTransposeOfSymmetric(usize),
+    /// `Q^{-1} -> Q^T` at the original operand position.
+    InverseOfOrthogonalToTranspose(usize),
+    /// A triangular-orthogonal (identity) matrix was removed.
+    RemoveIdentity(usize),
+}
+
+impl fmt::Display for Rewrite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rewrite::DropTransposeOfSymmetric(i) => {
+                write!(f, "operand {i}: removed transpose of symmetric matrix")
+            }
+            Rewrite::InverseOfOrthogonalToTranspose(i) => {
+                write!(
+                    f,
+                    "operand {i}: rewrote inverse of orthogonal matrix to transpose"
+                )
+            }
+            Rewrite::RemoveIdentity(i) => {
+                write!(
+                    f,
+                    "operand {i}: removed identity (triangular orthogonal) matrix"
+                )
+            }
+        }
+    }
+}
+
+/// Apply all simplification rewrites to an operand list.
+///
+/// Returns the simplified operands together with the rewrites applied (with
+/// indices referring to the *original* positions).
+///
+/// Note the resulting list can be empty if every operand simplified away
+/// (a chain of identity matrices); callers should handle that case.
+#[must_use]
+pub fn simplify(operands: &[Operand]) -> (Vec<Operand>, Vec<Rewrite>) {
+    let mut out = Vec::with_capacity(operands.len());
+    let mut log = Vec::new();
+    for (i, &op) in operands.iter().enumerate() {
+        let mut op = op;
+        // Rule 3: triangular structure + orthogonal property = identity.
+        if op.features.property == Property::Orthogonal && op.features.structure.is_triangular() {
+            log.push(Rewrite::RemoveIdentity(i));
+            continue;
+        }
+        // Rule 2: inversion of an orthogonal matrix becomes transposition.
+        if op.inverted && op.features.property == Property::Orthogonal {
+            op.inverted = false;
+            op.transposed = !op.transposed;
+            log.push(Rewrite::InverseOfOrthogonalToTranspose(i));
+        }
+        // Rule 1: transposition of a symmetric matrix is a no-op.
+        if op.transposed && op.features.structure == crate::features::Structure::Symmetric {
+            op.transposed = false;
+            log.push(Rewrite::DropTransposeOfSymmetric(i));
+        }
+        out.push(op);
+    }
+    (out, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{Features, Property, Structure};
+
+    fn q() -> Operand {
+        Operand::plain(Features::new(Structure::General, Property::Orthogonal))
+    }
+
+    fn s() -> Operand {
+        Operand::plain(Features::new(Structure::Symmetric, Property::Spd))
+    }
+
+    #[test]
+    fn transpose_of_symmetric_removed() {
+        let (ops, log) = simplify(&[s().transposed()]);
+        assert_eq!(ops.len(), 1);
+        assert!(!ops[0].transposed);
+        assert_eq!(log, vec![Rewrite::DropTransposeOfSymmetric(0)]);
+    }
+
+    #[test]
+    fn inverse_of_orthogonal_becomes_transpose() {
+        let (ops, log) = simplify(&[q().inverted()]);
+        assert_eq!(ops.len(), 1);
+        assert!(!ops[0].inverted);
+        assert!(ops[0].transposed);
+        assert_eq!(log, vec![Rewrite::InverseOfOrthogonalToTranspose(0)]);
+    }
+
+    #[test]
+    fn inverse_transpose_of_orthogonal_becomes_plain() {
+        let (ops, _) = simplify(&[q().inverted().transposed()]);
+        assert!(!ops[0].inverted);
+        assert!(!ops[0].transposed);
+    }
+
+    #[test]
+    fn identity_matrices_removed() {
+        // A lower-triangular orthogonal matrix is the identity (up to signs).
+        let ident = Operand {
+            features: Features {
+                structure: Structure::LowerTri,
+                property: Property::Orthogonal,
+            },
+            transposed: false,
+            inverted: false,
+        };
+        let g = Operand::plain(Features::general());
+        let (ops, log) = simplify(&[g, ident, g]);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(log, vec![Rewrite::RemoveIdentity(1)]);
+    }
+
+    #[test]
+    fn plain_operands_untouched() {
+        let g = Operand::plain(Features::general());
+        let (ops, log) = simplify(&[g, g.transposed()]);
+        assert_eq!(ops.len(), 2);
+        assert!(ops[1].transposed);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn all_identity_chain_empties() {
+        let ident = Operand {
+            features: Features {
+                structure: Structure::UpperTri,
+                property: Property::Orthogonal,
+            },
+            transposed: false,
+            inverted: false,
+        };
+        let (ops, log) = simplify(&[ident, ident]);
+        assert!(ops.is_empty());
+        assert_eq!(log.len(), 2);
+    }
+}

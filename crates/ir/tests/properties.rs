@@ -1,0 +1,175 @@
+//! Property-based tests for the IR crate: algebraic laws of the exact
+//! rational and polynomial types, sampler invariants, and grammar
+//! round-trips.
+
+use gmc_ir::emit::emit_program;
+use gmc_ir::grammar::parse_program;
+use gmc_ir::{EquivClasses, Instance, InstanceSampler, Operand, Poly, Ratio, Shape};
+use proptest::prelude::*;
+
+fn arb_ratio() -> impl Strategy<Value = Ratio> {
+    (-1000i64..1000, 1i64..100).prop_map(|(n, d)| Ratio::new(n.into(), d.into()))
+}
+
+fn arb_poly() -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(
+        (
+            arb_ratio(),
+            proptest::collection::vec((0usize..4, 1u32..3), 0..3),
+        ),
+        0..5,
+    )
+    .prop_map(|terms| {
+        let mut p = Poly::zero();
+        for (c, factors) in terms {
+            p += &Poly::term(c, &factors);
+        }
+        p
+    })
+}
+
+fn arb_point() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..60, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- Ratio: field laws ---
+
+    #[test]
+    fn ratio_addition_commutes(a in arb_ratio(), b in arb_ratio()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn ratio_multiplication_associates(a in arb_ratio(), b in arb_ratio(), c in arb_ratio()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn ratio_distributes(a in arb_ratio(), b in arb_ratio(), c in arb_ratio()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn ratio_subtraction_inverts_addition(a in arb_ratio(), b in arb_ratio()) {
+        prop_assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn ratio_division_inverts_multiplication(a in arb_ratio(), b in arb_ratio()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(a * b / b, a);
+    }
+
+    #[test]
+    fn ratio_ordering_agrees_with_f64(a in arb_ratio(), b in arb_ratio()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    // --- Poly: ring laws and evaluation homomorphism ---
+
+    #[test]
+    fn poly_addition_commutes(a in arb_poly(), b in arb_poly()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn poly_multiplication_commutes(a in arb_poly(), b in arb_poly()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn poly_eval_is_additive(a in arb_poly(), b in arb_poly(), q in arb_point()) {
+        let lhs = (&a + &b).eval(&q);
+        let rhs = a.eval(&q) + b.eval(&q);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn poly_eval_is_multiplicative(a in arb_poly(), b in arb_poly(), q in arb_point()) {
+        let lhs = (&a * &b).eval(&q);
+        let rhs = a.eval(&q) * b.eval(&q);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + lhs.abs().max(rhs.abs())));
+    }
+
+    #[test]
+    fn poly_rename_preserves_eval_under_equal_values(a in arb_poly(), v in 1u64..60) {
+        // Renaming all variables to variable 0 must agree with evaluating
+        // on a constant vector.
+        let renamed = a.rename_vars(&[0, 0, 0, 0]);
+        let q = vec![v; 4];
+        let lhs = renamed.eval(&q);
+        let rhs = a.eval(&q);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    // --- Instances and classes ---
+
+    #[test]
+    fn sampler_respects_classes(op_codes in proptest::collection::vec(0usize..10, 2..7), seed in 0u64..1000) {
+        let options = Operand::experiment_options();
+        let ops: Vec<Operand> = op_codes.iter().map(|&i| options[i]).collect();
+        let shape = Shape::new(ops).unwrap();
+        let sampler = InstanceSampler::new(&shape, 2, 500);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let inst: Instance = sampler.sample(&mut rng);
+        prop_assert!(inst.respects(&shape.size_classes()));
+    }
+
+    #[test]
+    fn union_find_partitions(pairs in proptest::collection::vec((0usize..8, 0usize..8), 0..10)) {
+        let mut c = EquivClasses::new(8);
+        for (a, b) in pairs {
+            c.union(a, b);
+        }
+        // classes() is a partition: disjoint, covering, sorted.
+        let classes = c.classes();
+        let mut seen = [false; 8];
+        for class in &classes {
+            for &m in class {
+                prop_assert!(!seen[m]);
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(classes.len(), c.num_classes());
+    }
+
+    // --- Grammar round-trip ---
+
+    // --- Parser robustness: never panics, whatever the input ---
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in ".{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_grammar_like_input(
+        parts in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "Matrix", "A", "B", "<", ">", ",", ";", "*", ":=", "^T", "^-1", "^-T",
+                "General", "Symmetric", "LowerTri", "UpperTri",
+                "Singular", "NonSingular", "SPD", "Orthogonal", "X", " ", "\n",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = parse_program(&src);
+    }
+
+    #[test]
+    fn emit_parse_round_trip(op_codes in proptest::collection::vec(0usize..10, 1..8)) {
+        let options = Operand::experiment_options();
+        let ops: Vec<Operand> = op_codes.iter().map(|&i| options[i]).collect();
+        let shape = Shape::new(ops).unwrap();
+        let src = emit_program(&shape, "X");
+        let program = parse_program(&src).unwrap();
+        prop_assert_eq!(program.shape(), &shape);
+    }
+}

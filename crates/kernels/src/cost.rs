@@ -1,0 +1,305 @@
+//! FLOP cost functions of Table I.
+//!
+//! Every association in a variant combines an operand of size
+//! `q_a × q_b` with an operand of size `q_b × q_c` (Sec. III-B). Costs are
+//! expressed over these three size symbols. In the paper's `(m, k, n)`
+//! convention `m = q_a`, `k = q_b`, `n = q_c`.
+//!
+//! The `cheap` flag selects the cheaper branch of cost functions with two
+//! cases (e.g. `TRTRMM`: `m³/3` when both operands have the same
+//! triangularity, `2m³/3` otherwise; `GETRSV`: `2m³` when coefficient side
+//! and right-hand-side triangularity line up favourably, `8m³/3` otherwise).
+//! The variant builder computes the flag from the association's features.
+
+use crate::kernel::{FinalizeKernel, Kernel};
+use gmc_ir::{Poly, Ratio};
+use gmc_linalg::Side;
+
+/// Cost-function type of Sec. V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// `phi(a, b, c) = beta * a * b * c`.
+    TypeI,
+    /// `phi(a, b, c) = beta1 * a^3 + beta2 * a^2 * c` (coefficient on the left).
+    TypeIIa,
+    /// `phi(a, b, c) = beta1 * c^3 + beta2 * c^2 * a` (coefficient on the right).
+    TypeIIb,
+}
+
+/// The cost class of a kernel invocation.
+#[must_use]
+pub fn cost_class(kernel: Kernel, side: Side) -> CostClass {
+    if kernel.is_type_two() {
+        match side {
+            Side::Left => CostClass::TypeIIa,
+            Side::Right => CostClass::TypeIIb,
+        }
+    } else {
+        CostClass::TypeI
+    }
+}
+
+fn r(num: i64, den: i64) -> Ratio {
+    Ratio::new(i128::from(num), i128::from(den))
+}
+
+/// The Type-I coefficient `beta` such that `phi = beta * q_a * q_b * q_c`
+/// on valid instances (where the square-operand equalities hold).
+///
+/// Returns `None` for Type II invocations.
+#[must_use]
+pub fn type_one_beta(kernel: Kernel, cheap: bool) -> Option<Ratio> {
+    let beta = match kernel {
+        Kernel::Gemm | Kernel::Symm | Kernel::Sysymm => r(2, 1),
+        Kernel::Trmm | Kernel::Trsymm | Kernel::Trsm | Kernel::Trsysv => r(1, 1),
+        Kernel::Trtrmm => {
+            if cheap {
+                r(1, 3)
+            } else {
+                r(2, 3)
+            }
+        }
+        Kernel::Gesysv => r(8, 3),
+        Kernel::Getrsv => {
+            if cheap {
+                r(2, 1)
+            } else {
+                r(8, 3)
+            }
+        }
+        Kernel::Sysysv | Kernel::Sytrsv | Kernel::Posysv => r(7, 3),
+        Kernel::Potrsv => {
+            if cheap {
+                r(5, 3)
+            } else {
+                r(7, 3)
+            }
+        }
+        Kernel::Trtrsv => {
+            if cheap {
+                r(1, 3)
+            } else {
+                r(1, 1)
+            }
+        }
+        Kernel::Gegesv | Kernel::Sygesv | Kernel::Pogesv => return None,
+    };
+    Some(beta)
+}
+
+/// The Type-II coefficients `(beta1, beta2)` of `beta1 x³ + beta2 x² y`.
+///
+/// Returns `None` for Type I kernels.
+#[must_use]
+pub fn type_two_betas(kernel: Kernel) -> Option<(Ratio, Ratio)> {
+    match kernel {
+        Kernel::Gegesv => Some((r(2, 3), r(2, 1))),
+        Kernel::Sygesv | Kernel::Pogesv => Some((r(1, 3), r(2, 1))),
+        _ => None,
+    }
+}
+
+/// Symbolic FLOP cost of one association: the kernel is invoked on operands
+/// `q_a × q_b` and `q_b × q_c`, with the structured/coefficient operand on
+/// `side`.
+///
+/// For Type-I kernels the cost is `beta q_a q_b q_c`; on valid instances the
+/// square-operand equalities make this identical to the `beta m³` /
+/// `beta m² n` forms of Table I. For Type-II kernels the coefficient matrix
+/// is square (`q_a ~ q_b` on the left, `q_b ~ q_c` on the right) and the
+/// cost keeps its two-term form.
+#[must_use]
+pub fn cost_poly(kernel: Kernel, side: Side, cheap: bool, a: usize, b: usize, c: usize) -> Poly {
+    match cost_class(kernel, side) {
+        CostClass::TypeI => {
+            let beta = type_one_beta(kernel, cheap).expect("type I kernel has beta");
+            Poly::term(beta, &[(a, 1), (b, 1), (c, 1)])
+        }
+        CostClass::TypeIIa => {
+            // Coefficient is q_a × q_b with q_a ~ q_b; RHS q_b × q_c.
+            let (b1, b2) = type_two_betas(kernel).expect("type II kernel has betas");
+            let mut p = Poly::term(b1, &[(a, 2), (b, 1)]);
+            p += &Poly::term(b2, &[(a, 1), (b, 1), (c, 1)]);
+            p
+        }
+        CostClass::TypeIIb => {
+            // Coefficient is q_b × q_c with q_b ~ q_c; RHS q_a × q_b.
+            let (b1, b2) = type_two_betas(kernel).expect("type II kernel has betas");
+            let mut p = Poly::term(b1, &[(b, 1), (c, 2)]);
+            p += &Poly::term(b2, &[(a, 1), (b, 1), (c, 1)]);
+            p
+        }
+    }
+}
+
+/// Concrete FLOP cost of one association on sizes `(qa, qb, qc)`.
+#[must_use]
+pub fn cost_flops(kernel: Kernel, side: Side, cheap: bool, qa: u64, qb: u64, qc: u64) -> f64 {
+    let (qa, qb, qc) = (qa as f64, qb as f64, qc as f64);
+    match cost_class(kernel, side) {
+        CostClass::TypeI => type_one_beta(kernel, cheap).expect("type I").to_f64() * qa * qb * qc,
+        CostClass::TypeIIa => {
+            let (b1, b2) = type_two_betas(kernel).expect("type II");
+            b1.to_f64() * qa * qa * qb + b2.to_f64() * qa * qb * qc
+        }
+        CostClass::TypeIIb => {
+            let (b1, b2) = type_two_betas(kernel).expect("type II");
+            b1.to_f64() * qb * qc * qc + b2.to_f64() * qa * qb * qc
+        }
+    }
+}
+
+/// Symbolic FLOP cost of a finalizer applied to a `q_a × q_a` result (for
+/// explicit inverses) or `q_a × q_c` result (transpose; zero FLOPs).
+#[must_use]
+pub fn finalize_cost_poly(kernel: FinalizeKernel, a: usize) -> Poly {
+    match kernel {
+        FinalizeKernel::Getri | FinalizeKernel::Sytri => Poly::term(r(2, 1), &[(a, 3)]),
+        FinalizeKernel::Potri => Poly::term(r(1, 1), &[(a, 3)]),
+        FinalizeKernel::Trtri => Poly::term(r(1, 3), &[(a, 3)]),
+        FinalizeKernel::Transpose => Poly::zero(),
+    }
+}
+
+/// Concrete FLOP cost of a finalizer on an `m × m` (or `m × n`) result.
+#[must_use]
+pub fn finalize_cost_flops(kernel: FinalizeKernel, m: u64) -> f64 {
+    let m = m as f64;
+    match kernel {
+        FinalizeKernel::Getri | FinalizeKernel::Sytri => 2.0 * m * m * m,
+        FinalizeKernel::Potri => m * m * m,
+        FinalizeKernel::Trtri => m * m * m / 3.0,
+        FinalizeKernel::Transpose => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_cost_is_2mkn() {
+        let p = cost_poly(Kernel::Gemm, Side::Left, false, 0, 1, 2);
+        assert_eq!(p.to_string(), "2*q0*q1*q2");
+        assert_eq!(cost_flops(Kernel::Gemm, Side::Left, false, 3, 4, 5), 120.0);
+    }
+
+    #[test]
+    fn trsm_cost_depends_on_side_only_through_symbols() {
+        // Left: coefficient q_a ~ q_b square, cost m^2 n = qa qb qc.
+        let left = cost_flops(Kernel::Trsm, Side::Left, false, 10, 10, 5);
+        assert_eq!(left, 500.0);
+        // Right: coefficient q_b ~ q_c, cost m n^2 = qa qb qc.
+        let right = cost_flops(Kernel::Trsm, Side::Right, false, 5, 10, 10);
+        assert_eq!(right, 500.0);
+    }
+
+    #[test]
+    fn gegesv_left_matches_table() {
+        // 2/3 m^3 + 2 m^2 n with m = 6, n = 4.
+        let got = cost_flops(Kernel::Gegesv, Side::Left, false, 6, 6, 4);
+        let want = 2.0 / 3.0 * 216.0 + 2.0 * 36.0 * 4.0;
+        assert!((got - want).abs() < 1e-12);
+        let p = cost_poly(Kernel::Gegesv, Side::Left, false, 0, 1, 2);
+        assert!((p.eval(&[6, 6, 4]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gegesv_right_matches_table() {
+        // X op(A) = B: 2/3 n^3 + 2 n^2 m with m = 4 (rows of B), n = 6.
+        let got = cost_flops(Kernel::Gegesv, Side::Right, false, 4, 6, 6);
+        let want = 2.0 / 3.0 * 216.0 + 2.0 * 36.0 * 4.0;
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sygesv_pogesv_share_betas() {
+        assert_eq!(
+            type_two_betas(Kernel::Sygesv),
+            type_two_betas(Kernel::Pogesv)
+        );
+        let (b1, b2) = type_two_betas(Kernel::Sygesv).unwrap();
+        assert_eq!(b1, Ratio::new(1, 3));
+        assert_eq!(b2, Ratio::from(2));
+    }
+
+    #[test]
+    fn cheap_flags_select_cheaper_branch() {
+        for k in [
+            Kernel::Trtrmm,
+            Kernel::Getrsv,
+            Kernel::Potrsv,
+            Kernel::Trtrsv,
+        ] {
+            let cheap = cost_flops(k, Side::Left, true, 8, 8, 8);
+            let costly = cost_flops(k, Side::Left, false, 8, 8, 8);
+            assert!(cheap < costly, "{k}");
+        }
+    }
+
+    #[test]
+    fn table_one_square_costs() {
+        // All-square kernels at m = 3 (27 m^3-units).
+        let m3 = 27.0;
+        let cases = [
+            (Kernel::Sysymm, false, 2.0 * m3),
+            (Kernel::Trsymm, false, m3),
+            (Kernel::Trtrmm, true, m3 / 3.0),
+            (Kernel::Trtrmm, false, 2.0 * m3 / 3.0),
+            (Kernel::Gesysv, false, 8.0 * m3 / 3.0),
+            (Kernel::Getrsv, true, 2.0 * m3),
+            (Kernel::Getrsv, false, 8.0 * m3 / 3.0),
+            (Kernel::Sysysv, false, 7.0 * m3 / 3.0),
+            (Kernel::Sytrsv, false, 7.0 * m3 / 3.0),
+            (Kernel::Posysv, false, 7.0 * m3 / 3.0),
+            (Kernel::Potrsv, true, 5.0 * m3 / 3.0),
+            (Kernel::Potrsv, false, 7.0 * m3 / 3.0),
+            (Kernel::Trsysv, false, m3),
+            (Kernel::Trtrsv, true, m3 / 3.0),
+            (Kernel::Trtrsv, false, m3),
+        ];
+        for (k, cheap, want) in cases {
+            let got = cost_flops(k, Side::Left, cheap, 3, 3, 3);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "{k} cheap={cheap}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn finalizer_costs() {
+        assert_eq!(finalize_cost_flops(FinalizeKernel::Getri, 4), 128.0);
+        assert_eq!(finalize_cost_flops(FinalizeKernel::Potri, 4), 64.0);
+        assert!((finalize_cost_flops(FinalizeKernel::Trtri, 3) - 9.0).abs() < 1e-12);
+        assert_eq!(finalize_cost_flops(FinalizeKernel::Transpose, 100), 0.0);
+        assert!(finalize_cost_poly(FinalizeKernel::Transpose, 0).is_zero());
+        assert_eq!(
+            finalize_cost_poly(FinalizeKernel::Trtri, 1).to_string(),
+            "1/3*q1^3"
+        );
+    }
+
+    #[test]
+    fn poly_and_flops_agree_on_random_sizes() {
+        for k in Kernel::ALL {
+            for side in [Side::Left, Side::Right] {
+                for cheap in [false, true] {
+                    let p = cost_poly(k, side, cheap, 0, 1, 2);
+                    // Use square-consistent sizes so the Type-I abc form is valid.
+                    let q = [7u64, 7, 7];
+                    let direct = cost_flops(k, side, cheap, q[0], q[1], q[2]);
+                    assert!((p.eval(&q) - direct).abs() < 1e-9, "{k} {side:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_class_assignment() {
+        assert_eq!(cost_class(Kernel::Gemm, Side::Left), CostClass::TypeI);
+        assert_eq!(cost_class(Kernel::Gegesv, Side::Left), CostClass::TypeIIa);
+        assert_eq!(cost_class(Kernel::Gegesv, Side::Right), CostClass::TypeIIb);
+        assert_eq!(cost_class(Kernel::Trsm, Side::Right), CostClass::TypeI);
+    }
+}

@@ -1,0 +1,545 @@
+//! Numeric execution of the kernel catalogue on top of [`gmc_linalg`].
+//!
+//! Each association kernel is executed by the most structure-exploiting
+//! routine available in the substrate. One documented substitution (see
+//! DESIGN.md): symmetric-indefinite coefficient solves (`SY..SV`) factor via
+//! LU with partial pivoting rather than Bunch–Kaufman LDLᵀ; numerically
+//! correct, with the Table-I cost model unchanged.
+
+use crate::kernel::{FinalizeKernel, Kernel};
+use gmc_linalg::{
+    cholesky, getrs, inverse_general, inverse_spd, inverse_triangular, lu_factor, matmul, potrs,
+    symm, trmm, trsm, LinalgError, Matrix, Side, Transpose, Triangle,
+};
+use std::error::Error;
+use std::fmt;
+
+/// Everything needed to execute one association numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssocExec {
+    /// The kernel to invoke.
+    pub kernel: Kernel,
+    /// Side of the structured/coefficient operand.
+    pub side: Side,
+    /// Implicit transposition of the first (left) operand.
+    pub left_trans: bool,
+    /// Implicit transposition of the second (right) operand.
+    pub right_trans: bool,
+    /// Stored triangle of the left operand, if triangular.
+    pub left_tri: Option<Triangle>,
+    /// Stored triangle of the right operand, if triangular.
+    pub right_tri: Option<Triangle>,
+}
+
+/// Errors from numeric kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The underlying linear-algebra routine failed.
+    Linalg(LinalgError),
+    /// The call requests a transposition pattern the kernel does not
+    /// support; the variant builder should have rewritten it away.
+    UnsupportedTranspose(Kernel),
+    /// A triangular operand is missing its triangle annotation.
+    MissingTriangle(Kernel),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Linalg(e) => write!(f, "kernel execution failed: {e}"),
+            ExecError::UnsupportedTranspose(k) => {
+                write!(
+                    f,
+                    "kernel {k} does not support the requested transposition pattern"
+                )
+            }
+            ExecError::MissingTriangle(k) => {
+                write!(f, "kernel {k} requires a triangle annotation")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ExecError {
+    fn from(e: LinalgError) -> Self {
+        ExecError::Linalg(e)
+    }
+}
+
+fn t(flag: bool) -> Transpose {
+    if flag {
+        Transpose::Yes
+    } else {
+        Transpose::No
+    }
+}
+
+/// Triangular-times-triangular multiply exploiting both triangles.
+///
+/// Computes `op(A) * op(B)` where both operands are triangular; only the
+/// live triangles are read, keeping the operation ~6x cheaper than a dense
+/// GEMM for same-triangularity inputs.
+fn trtr_multiply(
+    a: &Matrix,
+    ta: bool,
+    tri_a: Triangle,
+    b: &Matrix,
+    tb: bool,
+    tri_b: Triangle,
+) -> Matrix {
+    let n = a.rows();
+    let ea = if ta { tri_a.transposed() } else { tri_a };
+    let eb = if tb { tri_b.transposed() } else { tri_b };
+    let av = |i: usize, j: usize| {
+        let v = if ta { a.get(j, i) } else { a.get(i, j) };
+        let live = match ea {
+            Triangle::Lower => j <= i,
+            Triangle::Upper => i <= j,
+        };
+        if live {
+            v
+        } else {
+            0.0
+        }
+    };
+    let bv = |i: usize, j: usize| {
+        let v = if tb { b.get(j, i) } else { b.get(i, j) };
+        let live = match eb {
+            Triangle::Lower => j <= i,
+            Triangle::Upper => i <= j,
+        };
+        if live {
+            v
+        } else {
+            0.0
+        }
+    };
+    let mut c = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            // Restrict the summation index to where both factors are live.
+            let (lo_a, hi_a) = match ea {
+                Triangle::Lower => (0, i),
+                Triangle::Upper => (i, n - 1),
+            };
+            let (lo_b, hi_b) = match eb {
+                Triangle::Lower => (j, n - 1),
+                Triangle::Upper => (0, j),
+            };
+            let lo = lo_a.max(lo_b);
+            let hi = hi_a.min(hi_b);
+            if lo > hi {
+                continue;
+            }
+            let mut s = 0.0;
+            for k in lo..=hi {
+                s += av(i, k) * bv(k, j);
+            }
+            c.set(i, j, s);
+        }
+    }
+    c
+}
+
+/// Execute one association: `result := op(left) * op(right)` via the call's
+/// kernel.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if a factorization fails, a triangle annotation is
+/// missing, or the transposition pattern is unsupported (a variant-builder
+/// bug rather than a user error).
+pub fn execute_assoc(call: &AssocExec, left: &Matrix, right: &Matrix) -> Result<Matrix, ExecError> {
+    let k = call.kernel;
+    match k {
+        Kernel::Gemm => Ok(matmul(left, t(call.left_trans), right, t(call.right_trans))),
+        Kernel::Symm => {
+            // Structured (symmetric) operand on `side`; symmetric operands
+            // carry no transposition (removed by simplification).
+            let (a, b, tb) = match call.side {
+                Side::Left => {
+                    if call.left_trans {
+                        return Err(ExecError::UnsupportedTranspose(k));
+                    }
+                    (left, right, call.right_trans)
+                }
+                Side::Right => {
+                    if call.right_trans {
+                        return Err(ExecError::UnsupportedTranspose(k));
+                    }
+                    (right, left, call.left_trans)
+                }
+            };
+            let (m, n) = match call.side {
+                Side::Left => (a.rows(), if tb { b.rows() } else { b.cols() }),
+                Side::Right => (if tb { b.cols() } else { b.rows() }, a.rows()),
+            };
+            let mut c = Matrix::zeros(m, n);
+            symm(call.side, 1.0, a, b, t(tb), 0.0, &mut c);
+            Ok(c)
+        }
+        Kernel::Trmm | Kernel::Trsymm => {
+            // Triangular operand on `side` (transposable); the other operand
+            // must be untransposed (TRMM does not support it; the builder
+            // rewrites).
+            let (tri_op, tri, ta, other, other_trans) = match call.side {
+                Side::Left => (
+                    left,
+                    call.left_tri.ok_or(ExecError::MissingTriangle(k))?,
+                    call.left_trans,
+                    right,
+                    call.right_trans,
+                ),
+                Side::Right => (
+                    right,
+                    call.right_tri.ok_or(ExecError::MissingTriangle(k))?,
+                    call.right_trans,
+                    left,
+                    call.left_trans,
+                ),
+            };
+            if other_trans {
+                return Err(ExecError::UnsupportedTranspose(k));
+            }
+            let mut b = other.clone();
+            trmm(call.side, tri, t(ta), 1.0, tri_op, &mut b);
+            Ok(b)
+        }
+        Kernel::Sysymm => {
+            // Both symmetric; no transpositions possible.
+            if call.left_trans || call.right_trans {
+                return Err(ExecError::UnsupportedTranspose(k));
+            }
+            Ok(matmul(left, Transpose::No, right, Transpose::No))
+        }
+        Kernel::Trtrmm => {
+            let tri_l = call.left_tri.ok_or(ExecError::MissingTriangle(k))?;
+            let tri_r = call.right_tri.ok_or(ExecError::MissingTriangle(k))?;
+            Ok(trtr_multiply(
+                left,
+                call.left_trans,
+                tri_l,
+                right,
+                call.right_trans,
+                tri_r,
+            ))
+        }
+        // Solve kernels: the coefficient operand sits on `side` and is
+        // logically inverted; the right-hand side must be untransposed.
+        Kernel::Gegesv | Kernel::Gesysv | Kernel::Getrsv => {
+            let (coeff, ta, rhs, rhs_trans) = solve_operands(call, left, right);
+            if rhs_trans {
+                return Err(ExecError::UnsupportedTranspose(k));
+            }
+            let f = lu_factor(coeff)?;
+            let mut x = rhs.clone();
+            getrs(&f, t(ta), call.side, &mut x);
+            Ok(x)
+        }
+        Kernel::Sygesv | Kernel::Sysysv | Kernel::Sytrsv => {
+            // Symmetric coefficient: transposition is a no-op; factor via LU
+            // (documented substitution for Bunch–Kaufman).
+            let (coeff, _ta, rhs, rhs_trans) = solve_operands(call, left, right);
+            if rhs_trans {
+                return Err(ExecError::UnsupportedTranspose(k));
+            }
+            let f = lu_factor(coeff)?;
+            let mut x = rhs.clone();
+            getrs(&f, Transpose::No, call.side, &mut x);
+            Ok(x)
+        }
+        Kernel::Pogesv | Kernel::Posysv | Kernel::Potrsv => {
+            let (coeff, _ta, rhs, rhs_trans) = solve_operands(call, left, right);
+            if rhs_trans {
+                return Err(ExecError::UnsupportedTranspose(k));
+            }
+            let f = cholesky(coeff)?;
+            let mut x = rhs.clone();
+            potrs(&f, call.side, &mut x);
+            Ok(x)
+        }
+        Kernel::Trsm | Kernel::Trsysv | Kernel::Trtrsv => {
+            let (coeff, ta, rhs, rhs_trans) = solve_operands(call, left, right);
+            if rhs_trans {
+                return Err(ExecError::UnsupportedTranspose(k));
+            }
+            let tri = match call.side {
+                Side::Left => call.left_tri,
+                Side::Right => call.right_tri,
+            }
+            .ok_or(ExecError::MissingTriangle(k))?;
+            let mut x = rhs.clone();
+            trsm(call.side, tri, t(ta), 1.0, coeff, &mut x);
+            Ok(x)
+        }
+    }
+}
+
+fn solve_operands<'m>(
+    call: &AssocExec,
+    left: &'m Matrix,
+    right: &'m Matrix,
+) -> (&'m Matrix, bool, &'m Matrix, bool) {
+    match call.side {
+        Side::Left => (left, call.left_trans, right, call.right_trans),
+        Side::Right => (right, call.right_trans, left, call.left_trans),
+    }
+}
+
+/// Execute a finalizer on the chain's end result.
+///
+/// `tri` must name the stored triangle for [`FinalizeKernel::Trtri`].
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on factorization failure or a missing triangle
+/// annotation.
+pub fn execute_finalize(
+    kernel: FinalizeKernel,
+    tri: Option<Triangle>,
+    input: &Matrix,
+) -> Result<Matrix, ExecError> {
+    match kernel {
+        FinalizeKernel::Getri | FinalizeKernel::Sytri => Ok(inverse_general(input)?),
+        FinalizeKernel::Potri => Ok(inverse_spd(input)?),
+        FinalizeKernel::Trtri => {
+            let tri = tri.ok_or(ExecError::MissingTriangle(Kernel::Trtrmm))?;
+            Ok(inverse_triangular(input, tri))
+        }
+        FinalizeKernel::Transpose => Ok(input.transposed()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_linalg::{
+        random_general, random_lower_triangular, random_nonsingular, random_spd, random_symmetric,
+        random_upper_triangular, relative_error,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    fn call(kernel: Kernel, side: Side) -> AssocExec {
+        AssocExec {
+            kernel,
+            side,
+            left_trans: false,
+            right_trans: false,
+            left_tri: None,
+            right_tri: None,
+        }
+    }
+
+    #[test]
+    fn gemm_with_transposes() {
+        let mut r = rng();
+        let a = random_general(&mut r, 4, 6);
+        let b = random_general(&mut r, 4, 5);
+        let mut c = call(Kernel::Gemm, Side::Left);
+        c.left_trans = true;
+        let got = execute_assoc(&c, &a, &b).unwrap();
+        let want = matmul(&a, Transpose::Yes, &b, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn symm_left_and_right() {
+        let mut r = rng();
+        let s = random_symmetric(&mut r, 5);
+        let g = random_general(&mut r, 5, 3);
+        let got = execute_assoc(&call(Kernel::Symm, Side::Left), &s, &g).unwrap();
+        let want = matmul(&s, Transpose::No, &g, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-13);
+
+        let h = random_general(&mut r, 3, 5);
+        let got = execute_assoc(&call(Kernel::Symm, Side::Right), &h, &s).unwrap();
+        let want = matmul(&h, Transpose::No, &s, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn trmm_left_with_transpose() {
+        let mut r = rng();
+        let l = random_lower_triangular(&mut r, 4, true);
+        let g = random_general(&mut r, 4, 6);
+        let mut c = call(Kernel::Trmm, Side::Left);
+        c.left_tri = Some(Triangle::Lower);
+        c.left_trans = true;
+        let got = execute_assoc(&c, &l, &g).unwrap();
+        let want = matmul(&l, Transpose::Yes, &g, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn trmm_rejects_transposed_general() {
+        let mut r = rng();
+        let l = random_lower_triangular(&mut r, 4, true);
+        let g = random_general(&mut r, 6, 4);
+        let mut c = call(Kernel::Trmm, Side::Left);
+        c.left_tri = Some(Triangle::Lower);
+        c.right_trans = true;
+        assert!(matches!(
+            execute_assoc(&c, &l, &g),
+            Err(ExecError::UnsupportedTranspose(Kernel::Trmm))
+        ));
+    }
+
+    #[test]
+    fn trtrmm_same_and_mixed_triangularity() {
+        let mut r = rng();
+        let l1 = random_lower_triangular(&mut r, 5, true);
+        let l2 = random_lower_triangular(&mut r, 5, true);
+        let u = random_upper_triangular(&mut r, 5, true);
+
+        let mut c = call(Kernel::Trtrmm, Side::Left);
+        c.left_tri = Some(Triangle::Lower);
+        c.right_tri = Some(Triangle::Lower);
+        let got = execute_assoc(&c, &l1, &l2).unwrap();
+        let want = matmul(&l1, Transpose::No, &l2, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-13);
+        assert!(got.is_lower_triangular(1e-14));
+
+        let mut c = call(Kernel::Trtrmm, Side::Left);
+        c.left_tri = Some(Triangle::Lower);
+        c.right_tri = Some(Triangle::Upper);
+        let got = execute_assoc(&c, &l1, &u).unwrap();
+        let want = matmul(&l1, Transpose::No, &u, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn trtrmm_with_transposed_operand() {
+        let mut r = rng();
+        let l1 = random_lower_triangular(&mut r, 4, true);
+        let l2 = random_lower_triangular(&mut r, 4, true);
+        let mut c = call(Kernel::Trtrmm, Side::Left);
+        c.left_tri = Some(Triangle::Lower);
+        c.right_tri = Some(Triangle::Lower);
+        c.right_trans = true;
+        let got = execute_assoc(&c, &l1, &l2).unwrap();
+        let want = matmul(&l1, Transpose::No, &l2, Transpose::Yes);
+        assert!(relative_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn gegesv_solves_left_and_right() {
+        let mut r = rng();
+        let a = random_nonsingular(&mut r, 5);
+        let b = random_general(&mut r, 5, 3);
+        let got = execute_assoc(&call(Kernel::Gegesv, Side::Left), &a, &b).unwrap();
+        // a * got == b
+        let back = matmul(&a, Transpose::No, &got, Transpose::No);
+        assert!(relative_error(&back, &b) < 1e-9);
+
+        let c2 = random_general(&mut r, 3, 5);
+        let got = execute_assoc(&call(Kernel::Gegesv, Side::Right), &c2, &a).unwrap();
+        let back = matmul(&got, Transpose::No, &a, Transpose::No);
+        assert!(relative_error(&back, &c2) < 1e-9);
+    }
+
+    #[test]
+    fn gegesv_transposed_coefficient() {
+        let mut r = rng();
+        let a = random_nonsingular(&mut r, 4);
+        let b = random_general(&mut r, 4, 2);
+        let mut c = call(Kernel::Gegesv, Side::Left);
+        c.left_trans = true;
+        let got = execute_assoc(&c, &a, &b).unwrap();
+        let back = matmul(&a, Transpose::Yes, &got, Transpose::No);
+        assert!(relative_error(&back, &b) < 1e-9);
+    }
+
+    #[test]
+    fn pogesv_solves_spd_system() {
+        let mut r = rng();
+        let a = random_spd(&mut r, 6);
+        let b = random_general(&mut r, 6, 2);
+        let got = execute_assoc(&call(Kernel::Pogesv, Side::Left), &a, &b).unwrap();
+        let back = matmul(&a, Transpose::No, &got, Transpose::No);
+        assert!(relative_error(&back, &b) < 1e-9);
+    }
+
+    #[test]
+    fn sygesv_solves_symmetric_indefinite() {
+        let mut r = rng();
+        let mut a = random_symmetric(&mut r, 5);
+        // Shift the diagonal to keep it nonsingular but possibly indefinite.
+        for i in 0..5 {
+            let v = a.get(i, i) + if i % 2 == 0 { 4.0 } else { -4.0 };
+            a.set(i, i, v);
+        }
+        let b = random_general(&mut r, 5, 3);
+        let got = execute_assoc(&call(Kernel::Sygesv, Side::Left), &a, &b).unwrap();
+        let back = matmul(&a, Transpose::No, &got, Transpose::No);
+        assert!(relative_error(&back, &b) < 1e-9);
+    }
+
+    #[test]
+    fn trsm_right_side() {
+        let mut r = rng();
+        let u = random_upper_triangular(&mut r, 4, true);
+        let b = random_general(&mut r, 3, 4);
+        let mut c = call(Kernel::Trsm, Side::Right);
+        c.right_tri = Some(Triangle::Upper);
+        let got = execute_assoc(&c, &b, &u).unwrap();
+        let back = matmul(&got, Transpose::No, &u, Transpose::No);
+        assert!(relative_error(&back, &b) < 1e-10);
+    }
+
+    #[test]
+    fn trtrsv_triangular_rhs() {
+        let mut r = rng();
+        let l = random_lower_triangular(&mut r, 5, true);
+        let l2 = random_lower_triangular(&mut r, 5, true);
+        let mut c = call(Kernel::Trtrsv, Side::Left);
+        c.left_tri = Some(Triangle::Lower);
+        c.right_tri = Some(Triangle::Lower);
+        let got = execute_assoc(&c, &l, &l2).unwrap();
+        let back = matmul(&l, Transpose::No, &got, Transpose::No);
+        assert!(relative_error(&back, &l2) < 1e-10);
+    }
+
+    #[test]
+    fn finalizers() {
+        let mut r = rng();
+        let a = random_nonsingular(&mut r, 4);
+        let inv = execute_finalize(FinalizeKernel::Getri, None, &a).unwrap();
+        assert!(matmul(&a, Transpose::No, &inv, Transpose::No).is_identity(1e-9));
+
+        let p = random_spd(&mut r, 4);
+        let inv = execute_finalize(FinalizeKernel::Potri, None, &p).unwrap();
+        assert!(matmul(&p, Transpose::No, &inv, Transpose::No).is_identity(1e-9));
+
+        let l = random_lower_triangular(&mut r, 4, true);
+        let inv = execute_finalize(FinalizeKernel::Trtri, Some(Triangle::Lower), &l).unwrap();
+        assert!(matmul(&l, Transpose::No, &inv, Transpose::No).is_identity(1e-9));
+
+        let g = random_general(&mut r, 3, 5);
+        let gt = execute_finalize(FinalizeKernel::Transpose, None, &g).unwrap();
+        assert_eq!(gt, g.transposed());
+    }
+
+    #[test]
+    fn solve_singular_coefficient_errors() {
+        let a = Matrix::zeros(3, 3);
+        let b = Matrix::identity(3);
+        assert!(matches!(
+            execute_assoc(&call(Kernel::Gegesv, Side::Left), &a, &b),
+            Err(ExecError::Linalg(_))
+        ));
+    }
+}

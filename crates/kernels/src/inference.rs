@@ -1,0 +1,172 @@
+//! Feature inference for intermediate results (Fig. 4).
+//!
+//! After each association the code generator infers the structure and
+//! property of the result from the operands' features alone — no algebraic
+//! relations between matrices are tracked, so the inference is conservative
+//! but never wrong (Sec. IV, step 4).
+
+use gmc_ir::{Property, Structure};
+
+/// Infer the structure of `X := op_eff(A) * op_eff(B)` from the operands'
+/// *effective* structures (left table of Fig. 4).
+///
+/// For solve kernels, pass the effective structure of the coefficient
+/// matrix itself: inversion preserves triangularity and symmetry, so the
+/// same table covers `A^{-1} B` and `A B^{-1}`.
+///
+/// Rules:
+/// * anything involving a general operand is general;
+/// * symmetric times symmetric (or symmetric/triangular mixes) is general —
+///   symmetry is not preserved by multiplication;
+/// * same-triangularity products stay triangular, mixed triangularity is
+///   general.
+#[must_use]
+pub fn infer_structure(left: Structure, right: Structure) -> Structure {
+    use Structure::{General, LowerTri, Symmetric, UpperTri};
+    match (left, right) {
+        (LowerTri, LowerTri) => LowerTri,
+        (UpperTri, UpperTri) => UpperTri,
+        (General | Symmetric | LowerTri | UpperTri, _) => General,
+    }
+}
+
+/// Infer the property of the result (right table of Fig. 4).
+///
+/// The result is known invertible only when *both* operands are square and
+/// invertible (feature-wise, a product of invertible square matrices is
+/// invertible). Orthogonality survives only when both operands are
+/// orthogonal and neither is inverted away from the group (the inverse of
+/// an orthogonal matrix is orthogonal, so inversion flags are irrelevant
+/// here). SPD-ness is never inferred: `A B` of two SPD matrices is not
+/// symmetric in general, and the tables do not track the algebraic
+/// relations that would justify it.
+///
+/// `left_square` / `right_square` state whether the operands' features force
+/// them square; a rectangular operand can only yield a
+/// [`Property::Singular`] result.
+#[must_use]
+pub fn infer_property(
+    left: Property,
+    left_square: bool,
+    right: Property,
+    right_square: bool,
+) -> Property {
+    if !left_square || !right_square {
+        return Property::Singular;
+    }
+    match (left, right) {
+        (Property::Orthogonal, Property::Orthogonal) => Property::Orthogonal,
+        (l, r) if l.is_invertible() && r.is_invertible() => Property::NonSingular,
+        _ => Property::Singular,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_absorbs() {
+        for s in Structure::ALL {
+            assert_eq!(infer_structure(Structure::General, s), Structure::General);
+            assert_eq!(infer_structure(s, Structure::General), Structure::General);
+        }
+    }
+
+    #[test]
+    fn triangular_products() {
+        assert_eq!(
+            infer_structure(Structure::LowerTri, Structure::LowerTri),
+            Structure::LowerTri
+        );
+        assert_eq!(
+            infer_structure(Structure::UpperTri, Structure::UpperTri),
+            Structure::UpperTri
+        );
+        assert_eq!(
+            infer_structure(Structure::LowerTri, Structure::UpperTri),
+            Structure::General
+        );
+        assert_eq!(
+            infer_structure(Structure::UpperTri, Structure::LowerTri),
+            Structure::General
+        );
+    }
+
+    #[test]
+    fn symmetry_not_preserved() {
+        assert_eq!(
+            infer_structure(Structure::Symmetric, Structure::Symmetric),
+            Structure::General
+        );
+        assert_eq!(
+            infer_structure(Structure::Symmetric, Structure::LowerTri),
+            Structure::General
+        );
+    }
+
+    #[test]
+    fn paper_example_ut_times_l_is_lower() {
+        // X := U^T L: effective structure of U^T is LowerTri.
+        let ut_eff = Structure::UpperTri.transposed();
+        assert_eq!(
+            infer_structure(ut_eff, Structure::LowerTri),
+            Structure::LowerTri
+        );
+    }
+
+    #[test]
+    fn rectangular_results_are_singular() {
+        assert_eq!(
+            infer_property(Property::NonSingular, true, Property::NonSingular, false),
+            Property::Singular
+        );
+    }
+
+    #[test]
+    fn invertibility_propagates() {
+        assert_eq!(
+            infer_property(Property::NonSingular, true, Property::Spd, true),
+            Property::NonSingular
+        );
+        assert_eq!(
+            infer_property(Property::Orthogonal, true, Property::NonSingular, true),
+            Property::NonSingular
+        );
+        assert_eq!(
+            infer_property(Property::Singular, true, Property::NonSingular, true),
+            Property::Singular
+        );
+    }
+
+    #[test]
+    fn orthogonality_is_a_group() {
+        assert_eq!(
+            infer_property(Property::Orthogonal, true, Property::Orthogonal, true),
+            Property::Orthogonal
+        );
+    }
+
+    #[test]
+    fn qt_g_is_general_per_paper() {
+        // The paper's example: Q^T G is inferred general even when Q is the
+        // Q-factor of G's QR decomposition.
+        assert_eq!(
+            infer_structure(Structure::General, Structure::General),
+            Structure::General
+        );
+        assert_eq!(
+            infer_property(Property::Orthogonal, true, Property::Singular, false),
+            Property::Singular
+        );
+    }
+
+    #[test]
+    fn spd_never_inferred() {
+        for l in Property::ALL {
+            for r in Property::ALL {
+                assert_ne!(infer_property(l, true, r, true), Property::Spd);
+            }
+        }
+    }
+}

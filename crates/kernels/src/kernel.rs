@@ -1,0 +1,242 @@
+//! The kernel enumeration (Table I of the paper).
+
+use std::fmt;
+
+/// Broad kernel class following the paper's naming convention: `..MM`
+/// kernels compute matrix products, `..SV` kernels solve linear systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Matrix-product kernels (`XXMM` / `XXYYMM`).
+    Multiply,
+    /// Linear-system kernels (`XXSV` / `XXYYSV`).
+    Solve,
+}
+
+/// The association kernels of Table I.
+///
+/// For `Solve` kernels the first two letters name the coefficient matrix
+/// features and the next two the right-hand side features (`GE` general,
+/// `SY` symmetric, `PO` symmetric positive-definite, `TR` triangular).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kernel {
+    /// `C := alpha op(A) op(B) + beta C`, general times general (BLAS).
+    Gemm,
+    /// Symmetric times general (BLAS).
+    Symm,
+    /// Triangular times general (BLAS).
+    Trmm,
+    /// Symmetric times symmetric (custom).
+    Sysymm,
+    /// Triangular times symmetric (custom).
+    Trsymm,
+    /// Triangular times triangular (custom).
+    Trtrmm,
+    /// Solve with general coefficient, general right-hand side (custom; the
+    /// paper elongates the name to avoid clashing with LAPACK `GESV`).
+    Gegesv,
+    /// Solve with general coefficient, symmetric right-hand side (custom).
+    Gesysv,
+    /// Solve with general coefficient, triangular right-hand side (custom).
+    Getrsv,
+    /// Solve with symmetric coefficient, general right-hand side (custom).
+    Sygesv,
+    /// Solve with symmetric coefficient, symmetric right-hand side (custom).
+    Sysysv,
+    /// Solve with symmetric coefficient, triangular right-hand side (custom).
+    Sytrsv,
+    /// Solve with SPD coefficient, general right-hand side (custom).
+    Pogesv,
+    /// Solve with SPD coefficient, symmetric right-hand side (custom).
+    Posysv,
+    /// Solve with SPD coefficient, triangular right-hand side (custom).
+    Potrsv,
+    /// Solve with triangular coefficient, general right-hand side (BLAS).
+    Trsm,
+    /// Solve with triangular coefficient, symmetric right-hand side (custom).
+    Trsysv,
+    /// Solve with triangular coefficient, triangular right-hand side (custom).
+    Trtrsv,
+}
+
+impl Kernel {
+    /// All association kernels, in Table-I order.
+    pub const ALL: [Kernel; 18] = [
+        Kernel::Gemm,
+        Kernel::Symm,
+        Kernel::Trmm,
+        Kernel::Sysymm,
+        Kernel::Trsymm,
+        Kernel::Trtrmm,
+        Kernel::Gegesv,
+        Kernel::Gesysv,
+        Kernel::Getrsv,
+        Kernel::Sygesv,
+        Kernel::Sysysv,
+        Kernel::Sytrsv,
+        Kernel::Pogesv,
+        Kernel::Posysv,
+        Kernel::Potrsv,
+        Kernel::Trsm,
+        Kernel::Trsysv,
+        Kernel::Trtrsv,
+    ];
+
+    /// The BLAS-style upper-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Gemm => "GEMM",
+            Kernel::Symm => "SYMM",
+            Kernel::Trmm => "TRMM",
+            Kernel::Sysymm => "SYSYMM",
+            Kernel::Trsymm => "TRSYMM",
+            Kernel::Trtrmm => "TRTRMM",
+            Kernel::Gegesv => "GEGESV",
+            Kernel::Gesysv => "GESYSV",
+            Kernel::Getrsv => "GETRSV",
+            Kernel::Sygesv => "SYGESV",
+            Kernel::Sysysv => "SYSYSV",
+            Kernel::Sytrsv => "SYTRSV",
+            Kernel::Pogesv => "POGESV",
+            Kernel::Posysv => "POSYSV",
+            Kernel::Potrsv => "POTRSV",
+            Kernel::Trsm => "TRSM",
+            Kernel::Trsysv => "TRSYSV",
+            Kernel::Trtrsv => "TRTRSV",
+        }
+    }
+
+    /// Multiply or solve.
+    #[must_use]
+    pub fn class(self) -> KernelClass {
+        match self {
+            Kernel::Gemm
+            | Kernel::Symm
+            | Kernel::Trmm
+            | Kernel::Sysymm
+            | Kernel::Trsymm
+            | Kernel::Trtrmm => KernelClass::Multiply,
+            _ => KernelClass::Solve,
+        }
+    }
+
+    /// `true` if this kernel exists in standard BLAS (white background in
+    /// Fig. 3); the rest are the paper's custom kernels.
+    #[must_use]
+    pub fn is_standard_blas(self) -> bool {
+        matches!(
+            self,
+            Kernel::Gemm | Kernel::Symm | Kernel::Trmm | Kernel::Trsm
+        )
+    }
+
+    /// `true` if the kernel solves a linear system with a non-triangular
+    /// coefficient matrix and a general (rectangular-capable) right-hand
+    /// side — the Type II kernels of Sec. V.
+    #[must_use]
+    pub fn is_type_two(self) -> bool {
+        matches!(self, Kernel::Gegesv | Kernel::Sygesv | Kernel::Pogesv)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Unary finalizer kernels.
+///
+/// When a propagated inversion or transposition reaches the end result of a
+/// chain, the paper forces an explicit inverse or transpose (Sec. IV). These
+/// are not association kernels, so they live in their own enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FinalizeKernel {
+    /// Explicit inverse of a general matrix (LAPACK `GETRF` + `GETRI`, 2m³).
+    Getri,
+    /// Explicit inverse of a symmetric indefinite matrix (2m³).
+    Sytri,
+    /// Explicit inverse of an SPD matrix (`POTRF` + `POTRI`, m³).
+    Potri,
+    /// Explicit inverse of a triangular matrix (`TRTRI`, m³/3).
+    Trtri,
+    /// Explicit out-of-place transpose (0 FLOPs; memory traffic only).
+    Transpose,
+}
+
+impl FinalizeKernel {
+    /// The LAPACK-style name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FinalizeKernel::Getri => "GETRI",
+            FinalizeKernel::Sytri => "SYTRI",
+            FinalizeKernel::Potri => "POTRI",
+            FinalizeKernel::Trtri => "TRTRI",
+            FinalizeKernel::Transpose => "TRANSPOSE",
+        }
+    }
+}
+
+impl fmt::Display for FinalizeKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_eighteen_association_kernels() {
+        assert_eq!(Kernel::ALL.len(), 18);
+        // All names unique.
+        let mut names: Vec<&str> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn six_multiplies_twelve_solves() {
+        let mults = Kernel::ALL
+            .iter()
+            .filter(|k| k.class() == KernelClass::Multiply)
+            .count();
+        assert_eq!(mults, 6);
+        assert_eq!(Kernel::ALL.len() - mults, 12);
+    }
+
+    #[test]
+    fn standard_blas_subset() {
+        let std: Vec<Kernel> = Kernel::ALL
+            .iter()
+            .copied()
+            .filter(|k| k.is_standard_blas())
+            .collect();
+        assert_eq!(
+            std,
+            vec![Kernel::Gemm, Kernel::Symm, Kernel::Trmm, Kernel::Trsm]
+        );
+    }
+
+    #[test]
+    fn type_two_kernels_are_the_three_general_rhs_solvers() {
+        let t2: Vec<Kernel> = Kernel::ALL
+            .iter()
+            .copied()
+            .filter(|k| k.is_type_two())
+            .collect();
+        assert_eq!(t2, vec![Kernel::Gegesv, Kernel::Sygesv, Kernel::Pogesv]);
+    }
+
+    #[test]
+    fn solve_kernel_names_end_in_sv() {
+        for k in Kernel::ALL {
+            if k.class() == KernelClass::Solve && k != Kernel::Trsm {
+                assert!(k.name().ends_with("SV"), "{k}");
+            }
+        }
+    }
+}

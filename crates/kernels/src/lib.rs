@@ -1,0 +1,28 @@
+//! Kernel catalogue for the `symgmc` generalized matrix chain compiler.
+//!
+//! This crate is the *instruction set* `I` of the paper's LAMP instance
+//! (Definition 1): the kernels of Table I, each with
+//!
+//! * a FLOP cost function ([`cost`]), exactly as listed in Table I, in both
+//!   symbolic ([`gmc_ir::Poly`]) and concrete form;
+//! * a cost-type classification (Type I / IIa / IIb, Sec. V);
+//! * the association-to-kernel mapping of Fig. 3 ([`mapping`]);
+//! * the structure/property inference tables of Fig. 4 ([`inference`]);
+//! * a numeric implementation on top of [`gmc_linalg`] ([`exec`]).
+//!
+//! Kernels whose names have a white background in Fig. 3 exist in BLAS
+//! (`GEMM`, `SYMM`, `TRMM`, `TRSM`); the rest are the paper's custom kernels
+//! (gray background), which we implement from scratch.
+
+#![warn(missing_docs)]
+pub mod cost;
+pub mod exec;
+pub mod inference;
+pub mod kernel;
+pub mod mapping;
+
+pub use cost::{cost_flops, cost_poly, finalize_cost_flops, finalize_cost_poly, CostClass};
+pub use exec::{execute_assoc, execute_finalize, AssocExec, ExecError};
+pub use inference::{infer_property, infer_structure};
+pub use kernel::{FinalizeKernel, Kernel, KernelClass};
+pub use mapping::{assign_kernel, AssocOperand, KernelChoice, MappingError};

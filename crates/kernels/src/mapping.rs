@@ -1,0 +1,347 @@
+//! The association-to-kernel mapping of Fig. 3.
+//!
+//! Every association combines two operands, at most one of which is
+//! inverted (the builder's inversion-propagation step guarantees this).
+//! The left table of Fig. 3 (no inversion) and the right table (one
+//! inversion) are encoded here. The code generator always picks the
+//! best-fitting (most specialized) kernel for the operand features.
+
+use crate::kernel::Kernel;
+use gmc_ir::{Property, Structure};
+use gmc_linalg::Side;
+use std::error::Error;
+use std::fmt;
+
+/// One operand of an association, as seen by kernel assignment: the
+/// *effective* structure (after any transposition), the property, and
+/// whether the operand is inverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AssocOperand {
+    /// Effective structure (transposition already applied).
+    pub structure: Structure,
+    /// Property of the operand.
+    pub property: Property,
+    /// `true` if this operand is inverted in the association.
+    pub inverted: bool,
+}
+
+impl AssocOperand {
+    /// Create an operand description.
+    #[must_use]
+    pub fn new(structure: Structure, property: Property, inverted: bool) -> Self {
+        AssocOperand {
+            structure,
+            property,
+            inverted,
+        }
+    }
+}
+
+/// A kernel choice for an association: the kernel plus which side the
+/// structured/coefficient operand sits on.
+///
+/// For multiply kernels with one structured operand (`SYMM`, `TRMM`,
+/// `TRSYMM`) and for all solve kernels, `side` names the position of the
+/// symmetric/triangular/coefficient operand. For symmetric two-operand
+/// kernels (`GEMM`, `SYSYMM`, `TRTRMM`) the side is conventionally `Left`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelChoice {
+    /// The assigned kernel.
+    pub kernel: Kernel,
+    /// Side of the structured/coefficient operand.
+    pub side: Side,
+}
+
+/// Errors from kernel assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// Both operands are inverted; the builder must have rewritten this
+    /// association before assignment.
+    BothInverted,
+    /// The inverted operand is not known to be invertible.
+    NotInvertible(AssocOperand),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::BothInverted => {
+                write!(
+                    f,
+                    "both operands inverted; inversion propagation must run first"
+                )
+            }
+            MappingError::NotInvertible(op) => {
+                write!(f, "inverted operand is not invertible: {op:?}")
+            }
+        }
+    }
+}
+
+impl Error for MappingError {}
+
+/// Structure category used by the lookup tables: general, symmetric, or
+/// triangular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cat {
+    Ge,
+    Sy,
+    Tr,
+}
+
+fn cat(s: Structure) -> Cat {
+    match s {
+        Structure::General => Cat::Ge,
+        Structure::Symmetric => Cat::Sy,
+        Structure::LowerTri | Structure::UpperTri => Cat::Tr,
+    }
+}
+
+/// Assign the best-fitting kernel to the association `left * right`
+/// (Fig. 3).
+///
+/// # Errors
+///
+/// Returns [`MappingError::BothInverted`] if both operands carry an
+/// inversion (the caller must rewrite first) and
+/// [`MappingError::NotInvertible`] if an inverted operand's property does
+/// not guarantee invertibility.
+pub fn assign_kernel(
+    left: AssocOperand,
+    right: AssocOperand,
+) -> Result<KernelChoice, MappingError> {
+    if left.inverted && right.inverted {
+        return Err(MappingError::BothInverted);
+    }
+    for op in [left, right] {
+        if op.inverted && !op.property.is_invertible() {
+            return Err(MappingError::NotInvertible(op));
+        }
+    }
+
+    if !left.inverted && !right.inverted {
+        // Left table of Fig. 3: products.
+        let choice = match (cat(left.structure), cat(right.structure)) {
+            (Cat::Ge, Cat::Ge) => KernelChoice {
+                kernel: Kernel::Gemm,
+                side: Side::Left,
+            },
+            (Cat::Sy, Cat::Ge) => KernelChoice {
+                kernel: Kernel::Symm,
+                side: Side::Left,
+            },
+            (Cat::Ge, Cat::Sy) => KernelChoice {
+                kernel: Kernel::Symm,
+                side: Side::Right,
+            },
+            (Cat::Tr, Cat::Ge) => KernelChoice {
+                kernel: Kernel::Trmm,
+                side: Side::Left,
+            },
+            (Cat::Ge, Cat::Tr) => KernelChoice {
+                kernel: Kernel::Trmm,
+                side: Side::Right,
+            },
+            (Cat::Sy, Cat::Sy) => KernelChoice {
+                kernel: Kernel::Sysymm,
+                side: Side::Left,
+            },
+            (Cat::Tr, Cat::Sy) => KernelChoice {
+                kernel: Kernel::Trsymm,
+                side: Side::Left,
+            },
+            (Cat::Sy, Cat::Tr) => KernelChoice {
+                kernel: Kernel::Trsymm,
+                side: Side::Right,
+            },
+            (Cat::Tr, Cat::Tr) => KernelChoice {
+                kernel: Kernel::Trtrmm,
+                side: Side::Left,
+            },
+        };
+        return Ok(choice);
+    }
+
+    // Right table of Fig. 3: solves. The inverted operand is the
+    // coefficient matrix.
+    let (coeff, rhs, side) = if left.inverted {
+        (left, right, Side::Left)
+    } else {
+        (right, left, Side::Right)
+    };
+    let kernel = match (cat(coeff.structure), coeff.property, cat(rhs.structure)) {
+        // SPD coefficients get the PO* kernels.
+        (Cat::Sy, Property::Spd, Cat::Ge) => Kernel::Pogesv,
+        (Cat::Sy, Property::Spd, Cat::Sy) => Kernel::Posysv,
+        (Cat::Sy, Property::Spd, Cat::Tr) => Kernel::Potrsv,
+        // Plain symmetric coefficients.
+        (Cat::Sy, _, Cat::Ge) => Kernel::Sygesv,
+        (Cat::Sy, _, Cat::Sy) => Kernel::Sysysv,
+        (Cat::Sy, _, Cat::Tr) => Kernel::Sytrsv,
+        // General coefficients.
+        (Cat::Ge, _, Cat::Ge) => Kernel::Gegesv,
+        (Cat::Ge, _, Cat::Sy) => Kernel::Gesysv,
+        (Cat::Ge, _, Cat::Tr) => Kernel::Getrsv,
+        // Triangular coefficients.
+        (Cat::Tr, _, Cat::Ge) => Kernel::Trsm,
+        (Cat::Tr, _, Cat::Sy) => Kernel::Trsysv,
+        (Cat::Tr, _, Cat::Tr) => Kernel::Trtrsv,
+    };
+    Ok(KernelChoice { kernel, side })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(structure: Structure, property: Property, inverted: bool) -> AssocOperand {
+        AssocOperand::new(structure, property, inverted)
+    }
+
+    fn ge() -> AssocOperand {
+        op(Structure::General, Property::Singular, false)
+    }
+
+    fn sy() -> AssocOperand {
+        op(Structure::Symmetric, Property::Singular, false)
+    }
+
+    fn spd(inv: bool) -> AssocOperand {
+        op(Structure::Symmetric, Property::Spd, inv)
+    }
+
+    fn lo(inv: bool) -> AssocOperand {
+        op(Structure::LowerTri, Property::NonSingular, inv)
+    }
+
+    #[test]
+    fn product_table() {
+        assert_eq!(assign_kernel(ge(), ge()).unwrap().kernel, Kernel::Gemm);
+        let c = assign_kernel(sy(), ge()).unwrap();
+        assert_eq!((c.kernel, c.side), (Kernel::Symm, Side::Left));
+        let c = assign_kernel(ge(), sy()).unwrap();
+        assert_eq!((c.kernel, c.side), (Kernel::Symm, Side::Right));
+        let c = assign_kernel(lo(false), ge()).unwrap();
+        assert_eq!((c.kernel, c.side), (Kernel::Trmm, Side::Left));
+        let c = assign_kernel(ge(), lo(false)).unwrap();
+        assert_eq!((c.kernel, c.side), (Kernel::Trmm, Side::Right));
+        assert_eq!(assign_kernel(sy(), sy()).unwrap().kernel, Kernel::Sysymm);
+        assert_eq!(
+            assign_kernel(lo(false), sy()).unwrap().kernel,
+            Kernel::Trsymm
+        );
+        assert_eq!(
+            assign_kernel(sy(), lo(false)).unwrap().kernel,
+            Kernel::Trsymm
+        );
+        assert_eq!(
+            assign_kernel(lo(false), lo(false)).unwrap().kernel,
+            Kernel::Trtrmm
+        );
+    }
+
+    #[test]
+    fn spd_products_use_symmetric_kernels() {
+        // A non-inverted SPD operand is just a symmetric matrix to a product.
+        assert_eq!(
+            assign_kernel(spd(false), ge()).unwrap().kernel,
+            Kernel::Symm
+        );
+        assert_eq!(
+            assign_kernel(spd(false), spd(false)).unwrap().kernel,
+            Kernel::Sysymm
+        );
+    }
+
+    #[test]
+    fn solve_table_by_coefficient() {
+        let gen_inv = op(Structure::General, Property::NonSingular, true);
+        assert_eq!(assign_kernel(gen_inv, ge()).unwrap().kernel, Kernel::Gegesv);
+        assert_eq!(assign_kernel(gen_inv, sy()).unwrap().kernel, Kernel::Gesysv);
+        assert_eq!(
+            assign_kernel(gen_inv, lo(false)).unwrap().kernel,
+            Kernel::Getrsv
+        );
+
+        let sym_inv = op(Structure::Symmetric, Property::NonSingular, true);
+        assert_eq!(assign_kernel(sym_inv, ge()).unwrap().kernel, Kernel::Sygesv);
+        assert_eq!(assign_kernel(sym_inv, sy()).unwrap().kernel, Kernel::Sysysv);
+        assert_eq!(
+            assign_kernel(sym_inv, lo(false)).unwrap().kernel,
+            Kernel::Sytrsv
+        );
+
+        assert_eq!(
+            assign_kernel(spd(true), ge()).unwrap().kernel,
+            Kernel::Pogesv
+        );
+        assert_eq!(
+            assign_kernel(spd(true), sy()).unwrap().kernel,
+            Kernel::Posysv
+        );
+        assert_eq!(
+            assign_kernel(spd(true), lo(false)).unwrap().kernel,
+            Kernel::Potrsv
+        );
+
+        assert_eq!(assign_kernel(lo(true), ge()).unwrap().kernel, Kernel::Trsm);
+        assert_eq!(
+            assign_kernel(lo(true), sy()).unwrap().kernel,
+            Kernel::Trsysv
+        );
+        assert_eq!(
+            assign_kernel(lo(true), lo(false)).unwrap().kernel,
+            Kernel::Trtrsv
+        );
+    }
+
+    #[test]
+    fn solve_side_follows_inverted_operand() {
+        let c = assign_kernel(ge(), lo(true)).unwrap();
+        assert_eq!((c.kernel, c.side), (Kernel::Trsm, Side::Right));
+        let c = assign_kernel(lo(true), ge()).unwrap();
+        assert_eq!((c.kernel, c.side), (Kernel::Trsm, Side::Left));
+        let c = assign_kernel(sy(), spd(true)).unwrap();
+        assert_eq!((c.kernel, c.side), (Kernel::Posysv, Side::Right));
+    }
+
+    #[test]
+    fn both_inverted_rejected() {
+        let gi = op(Structure::General, Property::NonSingular, true);
+        assert_eq!(assign_kernel(gi, gi), Err(MappingError::BothInverted));
+    }
+
+    #[test]
+    fn inverted_singular_rejected() {
+        let bad = op(Structure::General, Property::Singular, true);
+        assert!(matches!(
+            assign_kernel(bad, ge()),
+            Err(MappingError::NotInvertible(_))
+        ));
+    }
+
+    #[test]
+    fn every_feature_pair_maps_to_some_kernel() {
+        // Exhaustive coverage of the two tables: no combination panics.
+        let structures = [
+            Structure::General,
+            Structure::Symmetric,
+            Structure::LowerTri,
+            Structure::UpperTri,
+        ];
+        for &ls in &structures {
+            for &rs in &structures {
+                for linv in [false, true] {
+                    for rinv in [false, true] {
+                        if linv && rinv {
+                            continue;
+                        }
+                        let l = op(ls, Property::NonSingular, linv);
+                        let r = op(rs, Property::NonSingular, rinv);
+                        assert!(assign_kernel(l, r).is_ok());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Exhaustive execution coverage: every kernel, on both sides, with every
+//! supported coefficient-transposition pattern, verified against dense
+//! reference arithmetic.
+
+use gmc_kernels::{execute_assoc, AssocExec, Kernel};
+use gmc_linalg::{
+    inverse_general, inverse_spd, matmul, random_general, random_lower_triangular,
+    random_nonsingular, random_spd, random_symmetric, random_upper_triangular, relative_error,
+    Matrix, Side, Transpose, Triangle,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 7;
+const M: usize = 5; // companion dimension for rectangular operands
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0xc0e)
+}
+
+/// Dense reference for `op(A)^{inv_a} * op(B)^{inv_b}` built from explicit
+/// inverses and transposes.
+fn reference(a: &Matrix, ta: bool, inv_a: bool, b: &Matrix, tb: bool, inv_b: bool) -> Matrix {
+    let lift = |m: &Matrix, t: bool, inv: bool| -> Matrix {
+        let mut x = m.clone();
+        if inv {
+            x = if x.is_symmetric(1e-12) && gmc_linalg::cholesky(&x).is_ok() {
+                inverse_spd(&x).unwrap()
+            } else {
+                inverse_general(&x).unwrap()
+            };
+        }
+        if t {
+            x = x.transposed();
+        }
+        x
+    };
+    let la = lift(a, ta, inv_a);
+    let lb = lift(b, tb, inv_b);
+    matmul(&la, Transpose::No, &lb, Transpose::No)
+}
+
+fn check(call: &AssocExec, a: &Matrix, b: &Matrix, inv_left: bool, inv_right: bool) {
+    let got = execute_assoc(call, a, b).unwrap_or_else(|e| panic!("{:?}: {e}", call.kernel));
+    let want = reference(a, call.left_trans, inv_left, b, call.right_trans, inv_right);
+    let err = relative_error(&got, &want);
+    assert!(
+        err < 1e-7,
+        "{:?} side={:?}: error {err}",
+        call.kernel,
+        call.side
+    );
+}
+
+#[test]
+fn symm_right_with_transposed_general() {
+    let mut r = rng();
+    let s = random_symmetric(&mut r, N);
+    let g = random_general(&mut r, N, M); // used transposed: M x N
+    let call = AssocExec {
+        kernel: Kernel::Symm,
+        side: Side::Right,
+        left_trans: true,
+        right_trans: false,
+        left_tri: None,
+        right_tri: None,
+    };
+    check(&call, &g, &s, false, false);
+}
+
+#[test]
+fn trmm_right_transposed_triangular() {
+    let mut r = rng();
+    let g = random_general(&mut r, M, N);
+    let u = random_upper_triangular(&mut r, N, false);
+    let call = AssocExec {
+        kernel: Kernel::Trmm,
+        side: Side::Right,
+        left_trans: false,
+        right_trans: true,
+        left_tri: None,
+        right_tri: Some(Triangle::Upper),
+    };
+    check(&call, &g, &u, false, false);
+}
+
+#[test]
+fn trsymm_both_sides() {
+    let mut r = rng();
+    let l = random_lower_triangular(&mut r, N, false);
+    let s = random_symmetric(&mut r, N);
+    for (side, first, second) in [(Side::Left, &l, &s), (Side::Right, &s, &l)] {
+        let call = AssocExec {
+            kernel: Kernel::Trsymm,
+            side,
+            left_trans: false,
+            right_trans: false,
+            left_tri: (side == Side::Left).then_some(Triangle::Lower),
+            right_tri: (side == Side::Right).then_some(Triangle::Lower),
+        };
+        check(&call, first, second, false, false);
+    }
+}
+
+#[test]
+fn solves_on_the_right_side() {
+    // X * A^{-1} = B A^{-1} for every coefficient family.
+    let mut r = rng();
+    let rhs_g = random_general(&mut r, M, N);
+    let cases: Vec<(Kernel, Matrix, Option<Triangle>)> = vec![
+        (Kernel::Gegesv, random_nonsingular(&mut r, N), None),
+        (
+            Kernel::Sygesv,
+            {
+                let mut s = random_symmetric(&mut r, N);
+                for i in 0..N {
+                    let v = s.get(i, i) + N as f64;
+                    s.set(i, i, v);
+                }
+                s
+            },
+            None,
+        ),
+        (Kernel::Pogesv, random_spd(&mut r, N), None),
+        (
+            Kernel::Trsm,
+            random_lower_triangular(&mut r, N, true),
+            Some(Triangle::Lower),
+        ),
+    ];
+    for (kernel, coeff, tri) in cases {
+        let call = AssocExec {
+            kernel,
+            side: Side::Right,
+            left_trans: false,
+            right_trans: false,
+            left_tri: None,
+            right_tri: tri,
+        };
+        check(&call, &rhs_g, &coeff, false, true);
+    }
+}
+
+#[test]
+fn transposed_coefficient_solves() {
+    // op(A)^{-1} with op = transpose: supported on general and triangular
+    // coefficients (symmetric/SPD transposes are no-ops).
+    let mut r = rng();
+    let b = random_general(&mut r, N, M);
+    for (kernel, coeff, tri) in [
+        (Kernel::Gegesv, random_nonsingular(&mut r, N), None),
+        (
+            Kernel::Trsm,
+            random_lower_triangular(&mut r, N, true),
+            Some(Triangle::Lower),
+        ),
+    ] {
+        let call = AssocExec {
+            kernel,
+            side: Side::Left,
+            left_trans: true,
+            right_trans: false,
+            left_tri: tri,
+            right_tri: None,
+        };
+        check(&call, &coeff, &b, true, false);
+    }
+}
+
+#[test]
+fn symmetric_rhs_solves() {
+    let mut r = rng();
+    let s = random_symmetric(&mut r, N);
+    for (kernel, coeff, tri) in [
+        (Kernel::Gesysv, random_nonsingular(&mut r, N), None),
+        (Kernel::Posysv, random_spd(&mut r, N), None),
+        (
+            Kernel::Trsysv,
+            random_lower_triangular(&mut r, N, true),
+            Some(Triangle::Lower),
+        ),
+    ] {
+        let call = AssocExec {
+            kernel,
+            side: Side::Left,
+            left_trans: false,
+            right_trans: false,
+            left_tri: tri,
+            right_tri: None,
+        };
+        check(&call, &coeff, &s, true, false);
+    }
+}
+
+#[test]
+fn triangular_rhs_solves() {
+    let mut r = rng();
+    let l = random_lower_triangular(&mut r, N, false);
+    for (kernel, coeff, ltri) in [
+        (Kernel::Getrsv, random_nonsingular(&mut r, N), None),
+        (Kernel::Potrsv, random_spd(&mut r, N), None),
+        (
+            Kernel::Trtrsv,
+            random_lower_triangular(&mut r, N, true),
+            Some(Triangle::Lower),
+        ),
+        (
+            Kernel::Sytrsv,
+            {
+                let mut s = random_symmetric(&mut r, N);
+                for i in 0..N {
+                    let v = s.get(i, i) + N as f64;
+                    s.set(i, i, v);
+                }
+                s
+            },
+            None,
+        ),
+    ] {
+        let call = AssocExec {
+            kernel,
+            side: Side::Left,
+            left_trans: false,
+            right_trans: false,
+            left_tri: ltri,
+            right_tri: Some(Triangle::Lower),
+        };
+        check(&call, &coeff, &l, true, false);
+    }
+}
+
+#[test]
+fn sysymm_dense_product_of_symmetrics() {
+    let mut r = rng();
+    let s1 = random_symmetric(&mut r, N);
+    let s2 = random_symmetric(&mut r, N);
+    let call = AssocExec {
+        kernel: Kernel::Sysymm,
+        side: Side::Left,
+        left_trans: false,
+        right_trans: false,
+        left_tri: None,
+        right_tri: None,
+    };
+    check(&call, &s1, &s2, false, false);
+}
+
+#[test]
+fn trtrmm_upper_times_lower() {
+    let mut r = rng();
+    let u = random_upper_triangular(&mut r, N, false);
+    let l = random_lower_triangular(&mut r, N, false);
+    let call = AssocExec {
+        kernel: Kernel::Trtrmm,
+        side: Side::Left,
+        left_trans: false,
+        right_trans: false,
+        left_tri: Some(Triangle::Upper),
+        right_tri: Some(Triangle::Lower),
+    };
+    check(&call, &u, &l, false, false);
+}

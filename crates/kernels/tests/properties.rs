@@ -1,0 +1,125 @@
+//! Property-based tests of the kernel catalogue: cost-function laws the
+//! Sec. V theory depends on, mapping totality, and inference sanity.
+
+use gmc_ir::{Property, Structure};
+use gmc_kernels::{
+    assign_kernel, cost_flops, cost_poly, infer_property, infer_structure, AssocOperand, Kernel,
+    KernelClass,
+};
+use gmc_linalg::Side;
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (0usize..Kernel::ALL.len()).prop_map(|i| Kernel::ALL[i])
+}
+
+fn arb_side() -> impl Strategy<Value = Side> {
+    any::<bool>().prop_map(|b| if b { Side::Left } else { Side::Right })
+}
+
+fn arb_structure() -> impl Strategy<Value = Structure> {
+    (0usize..4).prop_map(|i| Structure::ALL[i])
+}
+
+fn arb_property() -> impl Strategy<Value = Property> {
+    (0usize..4).prop_map(|i| Property::ALL[i])
+}
+
+/// Square-consistent sizes for a kernel invocation: Type-II coefficients
+/// force the coefficient square; Type-I all-square kernels force everything
+/// equal. Using all-equal sizes is always valid.
+fn square_sizes(m: u64) -> (u64, u64, u64) {
+    (m, m, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Monotonicity in each argument — the premise of Lemma 1.
+    #[test]
+    fn cost_is_monotone(kernel in arb_kernel(), side in arb_side(), cheap in any::<bool>(), m in 1u64..300, bump in 1u64..100) {
+        let (a, b, c) = square_sizes(m);
+        let base = cost_flops(kernel, side, cheap, a, b, c);
+        prop_assert!(cost_flops(kernel, side, cheap, a + bump, b + bump, c + bump) >= base);
+    }
+
+    /// The symbolic polynomial and the direct evaluation agree on
+    /// square-consistent instances.
+    #[test]
+    fn poly_matches_direct(kernel in arb_kernel(), side in arb_side(), cheap in any::<bool>(), m in 1u64..500) {
+        let p = cost_poly(kernel, side, cheap, 0, 1, 2);
+        let q = [m, m, m];
+        let direct = cost_flops(kernel, side, cheap, m, m, m);
+        let via_poly = p.eval(&q);
+        prop_assert!((via_poly - direct).abs() <= 1e-9 * direct.max(1.0));
+    }
+
+    /// Costs scale cubically: doubling every dimension multiplies the cost
+    /// by exactly 8 (all Table-I terms are degree 3).
+    #[test]
+    fn cost_is_homogeneous_of_degree_three(kernel in arb_kernel(), side in arb_side(), cheap in any::<bool>(), m in 1u64..200) {
+        let base = cost_flops(kernel, side, cheap, m, m, m);
+        let doubled = cost_flops(kernel, side, cheap, 2 * m, 2 * m, 2 * m);
+        prop_assert!((doubled - 8.0 * base).abs() <= 1e-6 * doubled.max(1.0));
+    }
+
+    /// The cheap branch never exceeds the expensive branch.
+    #[test]
+    fn cheap_branch_is_cheaper_or_equal(kernel in arb_kernel(), side in arb_side(), m in 1u64..300) {
+        let cheap = cost_flops(kernel, side, true, m, m, m);
+        let costly = cost_flops(kernel, side, false, m, m, m);
+        prop_assert!(cheap <= costly);
+    }
+
+    /// Kernel assignment is total over valid operand pairs and respects the
+    /// multiply/solve split.
+    #[test]
+    fn mapping_is_total_and_classified(
+        ls in arb_structure(), lp in arb_property(),
+        rs in arb_structure(), rp in arb_property(),
+        linv in any::<bool>(), rinv in any::<bool>(),
+    ) {
+        prop_assume!(!(linv && rinv));
+        prop_assume!(!linv || lp.is_invertible());
+        prop_assume!(!rinv || rp.is_invertible());
+        let l = AssocOperand::new(ls, lp, linv);
+        let r = AssocOperand::new(rs, rp, rinv);
+        let choice = assign_kernel(l, r).unwrap();
+        let expect_solve = linv || rinv;
+        prop_assert_eq!(
+            choice.kernel.class() == KernelClass::Solve,
+            expect_solve,
+            "kernel {} for inverted={}",
+            choice.kernel, expect_solve
+        );
+        // The coefficient side points at the inverted operand.
+        if linv {
+            prop_assert_eq!(choice.side, Side::Left);
+        }
+        if rinv {
+            prop_assert_eq!(choice.side, Side::Right);
+        }
+    }
+
+    /// Structure inference is closed and General-absorbing.
+    #[test]
+    fn inference_absorbs_general(s in arb_structure()) {
+        prop_assert_eq!(infer_structure(Structure::General, s), Structure::General);
+        prop_assert_eq!(infer_structure(s, Structure::General), Structure::General);
+    }
+
+    /// Property inference never invents SPD or orthogonality from
+    /// non-orthogonal operands.
+    #[test]
+    fn inference_is_conservative(lp in arb_property(), rp in arb_property(), lsq in any::<bool>(), rsq in any::<bool>()) {
+        let out = infer_property(lp, lsq, rp, rsq);
+        prop_assert_ne!(out, Property::Spd);
+        if out == Property::Orthogonal {
+            prop_assert_eq!(lp, Property::Orthogonal);
+            prop_assert_eq!(rp, Property::Orthogonal);
+        }
+        if !(lsq && rsq) {
+            prop_assert_eq!(out, Property::Singular);
+        }
+    }
+}

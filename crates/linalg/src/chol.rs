@@ -1,0 +1,172 @@
+use crate::matrix::{Matrix, Transpose, Triangle};
+use crate::symm::Side;
+use crate::tri::trsm;
+use crate::{LinalgError, Result};
+
+/// A Cholesky factorization `A = L * L^T` of a symmetric positive-definite
+/// matrix (LAPACK `POTRF`, lower variant).
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+impl CholeskyFactor {
+    /// The lower-triangular factor `L`.
+    #[must_use]
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Consume the factorization and return `L`.
+    #[must_use]
+    pub fn into_l(self) -> Matrix {
+        self.l
+    }
+}
+
+/// Compute the lower Cholesky factor of a symmetric positive-definite matrix.
+///
+/// Only the lower triangle of `a` is referenced.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] if a non-positive pivot is
+/// encountered, and [`LinalgError::DimensionMismatch`] if `a` is not square.
+///
+/// # Example
+///
+/// ```
+/// use gmc_linalg::{cholesky, Matrix};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(2, 2, &[4.0, 2.0, 2.0, 5.0]);
+/// let f = cholesky(&a)?;
+/// assert!((f.l().get(0, 0) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<CholeskyFactor> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "cholesky requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            let v = l.get(j, k);
+            d -= v * v;
+        }
+        if d <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite(j));
+        }
+        let djj = d.sqrt();
+        l.set(j, j, djj);
+        for i in j + 1..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= l.get(i, k) * l.get(j, k);
+            }
+            l.set(i, j, s / djj);
+        }
+    }
+    Ok(CholeskyFactor { l })
+}
+
+/// Solve `A X = B` (left) or `X A = B` (right) for SPD `A` given its
+/// Cholesky factor, overwriting `B` (LAPACK `POTRS`, extended with a
+/// right-side variant).
+///
+/// # Panics
+///
+/// Panics if the dimensions of `B` are incompatible.
+pub fn potrs(f: &CholeskyFactor, side: Side, b: &mut Matrix) {
+    match side {
+        Side::Left => {
+            // L L^T X = B.
+            trsm(Side::Left, Triangle::Lower, Transpose::No, 1.0, &f.l, b);
+            trsm(Side::Left, Triangle::Lower, Transpose::Yes, 1.0, &f.l, b);
+        }
+        Side::Right => {
+            // X L L^T = B.
+            trsm(Side::Right, Triangle::Lower, Transpose::Yes, 1.0, &f.l, b);
+            trsm(Side::Right, Triangle::Lower, Transpose::No, 1.0, &f.l, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms::relative_error;
+
+    fn spd(n: usize) -> Matrix {
+        // A = B B^T + n*I is SPD.
+        let b = Matrix::from_fn(n, n, |i, j| (((i * 13 + j * 7) % 9) as f64 - 4.0) / 3.0);
+        let mut a = matmul(&b, Transpose::No, &b, Transpose::Yes);
+        for i in 0..n {
+            let v = a.get(i, i) + n as f64;
+            a.set(i, i, v);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(6);
+        let f = cholesky(&a).unwrap();
+        let llt = matmul(f.l(), Transpose::No, f.l(), Transpose::Yes);
+        assert!(relative_error(&llt, &a) < 1e-12);
+        assert!(f.l().is_lower_triangular(0.0));
+    }
+
+    #[test]
+    fn solve_left_and_right() {
+        let a = spd(5);
+        let f = cholesky(&a).unwrap();
+
+        let x = Matrix::from_fn(5, 2, |i, j| (i + 3 * j) as f64 * 0.2 - 1.0);
+        let mut b = matmul(&a, Transpose::No, &x, Transpose::No);
+        potrs(&f, Side::Left, &mut b);
+        assert!(relative_error(&b, &x) < 1e-10);
+
+        let y = Matrix::from_fn(3, 5, |i, j| (2 * i + j) as f64 * 0.1);
+        let mut c = matmul(&y, Transpose::No, &a, Transpose::No);
+        potrs(&f, Side::Right, &mut c);
+        assert!(relative_error(&c, &y) < 1e-10);
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite(_))
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            cholesky(&Matrix::zeros(2, 3)),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn ignores_upper_triangle() {
+        let mut a = spd(4);
+        // Poison strictly-upper entries; factorization must not read them.
+        for j in 0..4 {
+            for i in 0..j {
+                a.set(i, j, f64::NAN);
+            }
+        }
+        let f = cholesky(&a).unwrap();
+        assert!(f.l().as_slice().iter().all(|v| v.is_finite()));
+    }
+}

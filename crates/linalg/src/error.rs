@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by factorizations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible with the requested operation.
+    ///
+    /// Carries a human-readable description of the mismatch.
+    DimensionMismatch(String),
+    /// A factorization encountered a (numerically) singular pivot.
+    ///
+    /// The payload is the zero-based index of the offending pivot.
+    SingularPivot(usize),
+    /// A Cholesky factorization found a non-positive diagonal entry, so the
+    /// input matrix is not positive definite.
+    NotPositiveDefinite(usize),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            LinalgError::SingularPivot(i) => write!(f, "singular pivot at index {i}"),
+            LinalgError::NotPositiveDefinite(i) => {
+                write!(f, "matrix not positive definite (leading minor {i})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::DimensionMismatch("2x3 * 4x5".into());
+        assert!(e.to_string().contains("2x3 * 4x5"));
+        let e = LinalgError::SingularPivot(3);
+        assert!(e.to_string().contains('3'));
+        let e = LinalgError::NotPositiveDefinite(1);
+        assert!(e.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

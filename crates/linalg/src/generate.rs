@@ -1,0 +1,143 @@
+//! Random generators for structured matrices.
+//!
+//! The experiment harness needs well-conditioned random instances of every
+//! feature combination in the paper's grammar: general, symmetric, SPD,
+//! lower/upper triangular (singular or not), and orthogonal.
+
+use crate::gemm::matmul;
+use crate::matrix::{Matrix, Transpose, Triangle};
+use crate::qr::householder_qr;
+use rand::Rng;
+
+/// A random general matrix with i.i.d. entries in `[-1, 1]`.
+#[must_use]
+pub fn random_general<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..=1.0))
+}
+
+/// A random nonsingular (well-conditioned, diagonally dominant) matrix.
+#[must_use]
+pub fn random_nonsingular<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    let mut a = random_general(rng, n, n);
+    for i in 0..n {
+        let v = a.get(i, i) + n as f64;
+        a.set(i, i, v);
+    }
+    a
+}
+
+/// A random symmetric (possibly indefinite) matrix.
+#[must_use]
+pub fn random_symmetric<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    let mut a = random_general(rng, n, n);
+    a.symmetrize();
+    a
+}
+
+/// A random symmetric positive-definite matrix (`B Bᵀ + n·I`).
+#[must_use]
+pub fn random_spd<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    let b = random_general(rng, n, n);
+    let mut a = matmul(&b, Transpose::No, &b, Transpose::Yes);
+    for i in 0..n {
+        let v = a.get(i, i) + n as f64;
+        a.set(i, i, v);
+    }
+    a.symmetrize(); // kill rounding asymmetry
+    a
+}
+
+/// A random lower-triangular matrix; `nonsingular` forces a dominant diagonal.
+#[must_use]
+pub fn random_lower_triangular<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    nonsingular: bool,
+) -> Matrix {
+    let mut a = random_general(rng, n, n);
+    a.force_triangle(Triangle::Lower);
+    if nonsingular {
+        for i in 0..n {
+            a.set(i, i, 1.0 + rng.gen_range(0.5..=1.5));
+        }
+    }
+    a
+}
+
+/// A random upper-triangular matrix; `nonsingular` forces a dominant diagonal.
+#[must_use]
+pub fn random_upper_triangular<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    nonsingular: bool,
+) -> Matrix {
+    random_lower_triangular(rng, n, nonsingular).transposed()
+}
+
+/// A random orthogonal matrix (Q factor of the QR factorization of a random
+/// general matrix).
+#[must_use]
+pub fn random_orthogonal<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    let a = random_general(rng, n, n);
+    householder_qr(&a).into_parts().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chol::cholesky;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn general_has_requested_shape() {
+        let m = random_general(&mut rng(), 3, 7);
+        assert_eq!((m.rows(), m.cols()), (3, 7));
+        assert!(m.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn nonsingular_is_invertible() {
+        let a = random_nonsingular(&mut rng(), 8);
+        assert!(crate::inverse_general(&a).is_ok());
+    }
+
+    #[test]
+    fn symmetric_is_symmetric() {
+        assert!(random_symmetric(&mut rng(), 6).is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn spd_is_positive_definite() {
+        let a = random_spd(&mut rng(), 6);
+        assert!(a.is_symmetric(1e-12));
+        assert!(cholesky(&a).is_ok());
+    }
+
+    #[test]
+    fn triangular_structure_holds() {
+        let l = random_lower_triangular(&mut rng(), 5, true);
+        assert!(l.is_lower_triangular(0.0));
+        assert!((0..5).all(|i| l.get(i, i).abs() >= 0.5));
+        let u = random_upper_triangular(&mut rng(), 5, false);
+        assert!(u.is_upper_triangular(0.0));
+    }
+
+    #[test]
+    fn orthogonal_has_orthonormal_columns() {
+        let q = random_orthogonal(&mut rng(), 7);
+        let qtq = matmul(&q, Transpose::Yes, &q, Transpose::No);
+        assert!(qtq.is_identity(1e-11));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_general(&mut rng(), 4, 4);
+        let b = random_general(&mut rng(), 4, 4);
+        assert_eq!(a, b);
+    }
+}

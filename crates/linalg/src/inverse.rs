@@ -1,0 +1,119 @@
+use crate::chol::cholesky;
+use crate::lu::{getrs, lu_factor};
+use crate::matrix::{Matrix, Transpose, Triangle};
+use crate::symm::Side;
+use crate::tri::trsm;
+use crate::Result;
+
+/// Explicitly invert a general nonsingular matrix via LU (LAPACK
+/// `GETRF` + `GETRI`).
+///
+/// Explicit inversion is numerically inferior to solving linear systems — the
+/// compiler only emits it when an inversion propagates to the end result — but
+/// the capability must exist.
+///
+/// # Errors
+///
+/// Propagates factorization errors (singular or non-square input).
+pub fn inverse_general(a: &Matrix) -> Result<Matrix> {
+    let f = lu_factor(a)?;
+    let mut x = Matrix::identity(a.rows());
+    getrs(&f, Transpose::No, Side::Left, &mut x);
+    Ok(x)
+}
+
+/// Explicitly invert a symmetric positive-definite matrix via Cholesky
+/// (LAPACK `POTRF` + `POTRI`).
+///
+/// # Errors
+///
+/// Propagates factorization errors (not positive definite or non-square).
+pub fn inverse_spd(a: &Matrix) -> Result<Matrix> {
+    let f = cholesky(a)?;
+    let mut x = Matrix::identity(a.rows());
+    // A^{-1} = L^{-T} L^{-1}.
+    trsm(
+        Side::Left,
+        Triangle::Lower,
+        Transpose::No,
+        1.0,
+        f.l(),
+        &mut x,
+    );
+    trsm(
+        Side::Left,
+        Triangle::Lower,
+        Transpose::Yes,
+        1.0,
+        f.l(),
+        &mut x,
+    );
+    Ok(x)
+}
+
+/// Explicitly invert a nonsingular triangular matrix (LAPACK `TRTRI`).
+///
+/// The result is triangular with the same triangularity.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or has an exactly-zero diagonal entry.
+#[must_use]
+pub fn inverse_triangular(a: &Matrix, tri: Triangle) -> Matrix {
+    let mut x = Matrix::identity(a.rows());
+    trsm(Side::Left, tri, Transpose::No, 1.0, a, &mut x);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    #[test]
+    fn general_inverse() {
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                6.0
+            } else {
+                ((i * 3 + j) % 4) as f64 - 1.5
+            }
+        });
+        let inv = inverse_general(&a).unwrap();
+        let prod = matmul(&a, Transpose::No, &inv, Transpose::No);
+        assert!(prod.is_identity(1e-10));
+    }
+
+    #[test]
+    fn spd_inverse() {
+        let b = Matrix::from_fn(4, 4, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+        let mut a = matmul(&b, Transpose::No, &b, Transpose::Yes);
+        for i in 0..4 {
+            let v = a.get(i, i) + 4.0;
+            a.set(i, i, v);
+        }
+        let inv = inverse_spd(&a).unwrap();
+        let prod = matmul(&a, Transpose::No, &inv, Transpose::No);
+        assert!(prod.is_identity(1e-10));
+        assert!(inv.is_symmetric(1e-10));
+    }
+
+    #[test]
+    fn triangular_inverse_preserves_structure() {
+        let mut a = Matrix::from_fn(5, 5, |i, j| 0.3 * (i as f64) + 0.1 * (j as f64) + 0.2);
+        a.force_triangle(Triangle::Lower);
+        for i in 0..5 {
+            a.set(i, i, 2.0);
+        }
+        let inv = inverse_triangular(&a, Triangle::Lower);
+        assert!(inv.is_lower_triangular(1e-13));
+        let prod = matmul(&a, Transpose::No, &inv, Transpose::No);
+        assert!(prod.is_identity(1e-12));
+    }
+
+    #[test]
+    fn singular_general_errors() {
+        let a = Matrix::zeros(2, 2);
+        assert!(inverse_general(&a).is_err());
+    }
+}

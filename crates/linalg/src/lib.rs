@@ -1,0 +1,62 @@
+//! Dense linear-algebra substrate for the `symgmc` generalized matrix chain
+//! compiler.
+//!
+//! This crate provides the numeric layer that generated variants execute on:
+//! a column-major [`Matrix`] type plus BLAS-3 style kernels (`gemm`, `symm`,
+//! `trmm`, `trsm`), LAPACK-style factorizations (LU with partial pivoting,
+//! Cholesky, Householder QR), explicit inverses, and random generators for
+//! structured matrices (symmetric, SPD, triangular, orthogonal).
+//!
+//! Everything is implemented from scratch in safe Rust; no external BLAS is
+//! required. The kernels favour cache-friendly loop orders over absolute
+//! peak performance — the compiler's experiments depend on the *relative*
+//! costs of kernels, which these implementations preserve.
+//!
+//! # Example
+//!
+//! ```
+//! use gmc_linalg::{Matrix, gemm, Transpose};
+//!
+//! let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+//! let b = Matrix::from_fn(3, 2, |i, j| (i * j) as f64);
+//! let mut c = Matrix::zeros(2, 2);
+//! gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+//! assert_eq!(c.get(0, 0), a.row(0).iter().zip(b.col(0)).map(|(x, y)| x * y).sum::<f64>());
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels use explicit loop indices throughout: triangular loops
+// with data-dependent bounds read far clearer with `for i in k..n` than
+// with iterator adapters, and the indices mirror the LAPACK reference
+// formulations the code follows.
+#![allow(clippy::needless_range_loop)]
+
+mod chol;
+mod error;
+mod gemm;
+mod generate;
+mod inverse;
+mod lu;
+mod matrix;
+mod norms;
+mod qr;
+mod symm;
+mod tri;
+
+pub use chol::{cholesky, potrs, CholeskyFactor};
+pub use error::LinalgError;
+pub use gemm::{gemm, matmul};
+pub use generate::{
+    random_general, random_lower_triangular, random_nonsingular, random_orthogonal, random_spd,
+    random_symmetric, random_upper_triangular,
+};
+pub use inverse::{inverse_general, inverse_spd, inverse_triangular};
+pub use lu::{getrs, lu_factor, LuFactors};
+pub use matrix::{Matrix, Transpose, Triangle};
+pub use norms::{frobenius_norm, max_abs, relative_error};
+pub use qr::{householder_qr, QrFactors};
+pub use symm::{symm, Side};
+pub use tri::{trmm, trsm};
+
+/// Result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,302 @@
+use crate::matrix::{Matrix, Transpose, Triangle};
+use crate::symm::Side;
+use crate::tri::trsm;
+use crate::{LinalgError, Result};
+
+/// An LU factorization with partial pivoting: `P * A = L * U`.
+///
+/// `L` is unit-lower-triangular and `U` upper-triangular, packed into a
+/// single matrix (LAPACK `GETRF` convention). `pivots[k]` records the row
+/// swapped with row `k` at step `k`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: Matrix,
+    pivots: Vec<usize>,
+}
+
+impl LuFactors {
+    /// The packed `L \ U` matrix.
+    #[must_use]
+    pub fn packed(&self) -> &Matrix {
+        &self.lu
+    }
+
+    /// The pivot vector.
+    #[must_use]
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// Extract `L` (unit lower-triangular) as a dense matrix.
+    #[must_use]
+    pub fn l(&self) -> Matrix {
+        let n = self.lu.rows();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                self.lu.get(i, j)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Extract `U` (upper-triangular) as a dense matrix.
+    #[must_use]
+    pub fn u(&self) -> Matrix {
+        let n = self.lu.rows();
+        Matrix::from_fn(n, n, |i, j| if i <= j { self.lu.get(i, j) } else { 0.0 })
+    }
+
+    /// Apply the row permutation `P` to a fresh copy of `b`.
+    #[must_use]
+    pub fn permute(&self, b: &Matrix) -> Matrix {
+        let mut x = b.clone();
+        for (k, &p) in self.pivots.iter().enumerate() {
+            if p != k {
+                for j in 0..x.cols() {
+                    let t = x.get(k, j);
+                    x.set(k, j, x.get(p, j));
+                    x.set(p, j, t);
+                }
+            }
+        }
+        x
+    }
+
+    /// Apply the *inverse* row permutation `P^T` to a fresh copy of `b`.
+    #[must_use]
+    pub fn permute_inv(&self, b: &Matrix) -> Matrix {
+        let mut x = b.clone();
+        for (k, &p) in self.pivots.iter().enumerate().rev() {
+            if p != k {
+                for j in 0..x.cols() {
+                    let t = x.get(k, j);
+                    x.set(k, j, x.get(p, j));
+                    x.set(p, j, t);
+                }
+            }
+        }
+        x
+    }
+}
+
+/// Factor a square matrix as `P * A = L * U` with partial pivoting
+/// (LAPACK `GETRF`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::SingularPivot`] if a pivot column is exactly zero
+/// and [`LinalgError::DimensionMismatch`] if `A` is not square.
+pub fn lu_factor(a: &Matrix) -> Result<LuFactors> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "lu_factor requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut pivots = vec![0usize; n];
+    for k in 0..n {
+        // Pivot search in column k.
+        let mut p = k;
+        let mut best = lu.get(k, k).abs();
+        for i in k + 1..n {
+            let v = lu.get(i, k).abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        pivots[k] = p;
+        if best == 0.0 {
+            return Err(LinalgError::SingularPivot(k));
+        }
+        if p != k {
+            for j in 0..n {
+                let t = lu.get(k, j);
+                lu.set(k, j, lu.get(p, j));
+                lu.set(p, j, t);
+            }
+        }
+        let d = lu.get(k, k);
+        for i in k + 1..n {
+            let mult = lu.get(i, k) / d;
+            lu.set(i, k, mult);
+            if mult != 0.0 {
+                for j in k + 1..n {
+                    let v = lu.get(i, j) - mult * lu.get(k, j);
+                    lu.set(i, j, v);
+                }
+            }
+        }
+    }
+    Ok(LuFactors { lu, pivots })
+}
+
+/// Solve `op(A) X = B` (left) or `X op(A) = B` (right) given an LU
+/// factorization of `A`, overwriting `B` with the solution (LAPACK `GETRS`,
+/// extended with a right-side variant).
+///
+/// # Panics
+///
+/// Panics if the dimensions of `B` are incompatible with `A`.
+pub fn getrs(f: &LuFactors, ta: Transpose, side: Side, b: &mut Matrix) {
+    let l = f.l();
+    match (side, ta) {
+        (Side::Left, Transpose::No) => {
+            // A X = B -> L U X = P B.
+            let mut x = f.permute(b);
+            trsm(Side::Left, Triangle::Lower, Transpose::No, 1.0, &l, &mut x);
+            trsm(
+                Side::Left,
+                Triangle::Upper,
+                Transpose::No,
+                1.0,
+                &f.lu,
+                &mut x,
+            );
+            *b = x;
+        }
+        (Side::Left, Transpose::Yes) => {
+            // A^T X = B -> U^T L^T P X = B.
+            let mut x = b.clone();
+            trsm(
+                Side::Left,
+                Triangle::Upper,
+                Transpose::Yes,
+                1.0,
+                &f.lu,
+                &mut x,
+            );
+            trsm(Side::Left, Triangle::Lower, Transpose::Yes, 1.0, &l, &mut x);
+            *b = f.permute_inv(&x);
+        }
+        (Side::Right, Transpose::No) => {
+            // X A = B with P A = L U, i.e. A = P^T L U:
+            // X P^T L U = B; solve for Y = X P^T, then X = Y P.
+            let mut x = b.clone();
+            trsm(
+                Side::Right,
+                Triangle::Upper,
+                Transpose::No,
+                1.0,
+                &f.lu,
+                &mut x,
+            );
+            trsm(Side::Right, Triangle::Lower, Transpose::No, 1.0, &l, &mut x);
+            *b = permute_cols_inv(f, &x);
+        }
+        (Side::Right, Transpose::Yes) => {
+            // X A^T = B <=> A X^T = B^T.
+            let mut xt = b.transposed();
+            getrs(f, Transpose::No, Side::Left, &mut xt);
+            *b = xt.transposed();
+        }
+    }
+}
+
+fn permute_cols_inv(f: &LuFactors, x: &Matrix) -> Matrix {
+    // Given y = X P^T, recover X = y P (columns permuted by pivot sequence).
+    let mut out = x.clone();
+    for (k, &p) in f.pivots.iter().enumerate().rev() {
+        if p != k {
+            for i in 0..out.rows() {
+                let t = out.get(i, k);
+                out.set(i, k, out.get(i, p));
+                out.set(i, p, t);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms::relative_error;
+
+    fn test_matrix(n: usize) -> Matrix {
+        // Diagonally dominant, well-conditioned.
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                n as f64 + 1.0
+            } else {
+                (((i * 31 + j * 17) % 11) as f64 - 5.0) / 11.0
+            }
+        })
+    }
+
+    #[test]
+    fn factorization_reconstructs() {
+        let a = test_matrix(7);
+        let f = lu_factor(&a).unwrap();
+        let pa = f.permute(&a);
+        let lu = matmul(&f.l(), Transpose::No, &f.u(), Transpose::No);
+        assert!(relative_error(&lu, &pa) < 1e-12);
+    }
+
+    #[test]
+    fn solve_left_no_trans() {
+        let a = test_matrix(6);
+        let x = Matrix::from_fn(6, 2, |i, j| (i + j) as f64 - 3.0);
+        let b = matmul(&a, Transpose::No, &x, Transpose::No);
+        let f = lu_factor(&a).unwrap();
+        let mut got = b.clone();
+        getrs(&f, Transpose::No, Side::Left, &mut got);
+        assert!(relative_error(&got, &x) < 1e-10);
+    }
+
+    #[test]
+    fn solve_left_trans() {
+        let a = test_matrix(5);
+        let x = Matrix::from_fn(5, 3, |i, j| 0.5 * (i as f64) - (j as f64));
+        let b = matmul(&a, Transpose::Yes, &x, Transpose::No);
+        let f = lu_factor(&a).unwrap();
+        let mut got = b.clone();
+        getrs(&f, Transpose::Yes, Side::Left, &mut got);
+        assert!(relative_error(&got, &x) < 1e-10);
+    }
+
+    #[test]
+    fn solve_right_no_trans() {
+        let a = test_matrix(4);
+        let x = Matrix::from_fn(3, 4, |i, j| (2 * i + 3 * j) as f64 * 0.1);
+        let b = matmul(&x, Transpose::No, &a, Transpose::No);
+        let f = lu_factor(&a).unwrap();
+        let mut got = b.clone();
+        getrs(&f, Transpose::No, Side::Right, &mut got);
+        assert!(relative_error(&got, &x) < 1e-10);
+    }
+
+    #[test]
+    fn solve_right_trans() {
+        let a = test_matrix(4);
+        let x = Matrix::from_fn(2, 4, |i, j| (i * 5 + j) as f64);
+        let b = matmul(&x, Transpose::No, &a, Transpose::Yes);
+        let f = lu_factor(&a).unwrap();
+        let mut got = b.clone();
+        getrs(&f, Transpose::Yes, Side::Right, &mut got);
+        assert!(relative_error(&got, &x) < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::zeros(3, 3);
+        let err = lu_factor(&a).unwrap_err();
+        assert_eq!(err, LinalgError::SingularPivot(0));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            lu_factor(&a),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,428 @@
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Whether an operand participates in an operation transposed.
+///
+/// Mirrors the `op(X) = X, X^T` notation of BLAS and of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    #[default]
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Transpose {
+    /// Flip the transposition flag.
+    #[must_use]
+    pub fn toggled(self) -> Self {
+        match self {
+            Transpose::No => Transpose::Yes,
+            Transpose::Yes => Transpose::No,
+        }
+    }
+
+    /// `true` if the operand is transposed.
+    #[must_use]
+    pub fn is_trans(self) -> bool {
+        matches!(self, Transpose::Yes)
+    }
+}
+
+/// Which triangle of a matrix carries data (for triangular kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Triangle {
+    /// Lower-triangular.
+    Lower,
+    /// Upper-triangular.
+    Upper,
+}
+
+impl Triangle {
+    /// The triangle obtained by transposing a matrix with this triangle.
+    #[must_use]
+    pub fn transposed(self) -> Self {
+        match self {
+            Triangle::Lower => Triangle::Upper,
+            Triangle::Upper => Triangle::Lower,
+        }
+    }
+}
+
+/// A dense, column-major, `f64` matrix.
+///
+/// Storage is column-major to match BLAS conventions: element `(i, j)` lives
+/// at `data[i + j * rows]`.
+///
+/// # Example
+///
+/// ```
+/// use gmc_linalg::Matrix;
+/// let m = Matrix::from_fn(2, 2, |i, j| if i == j { 1.0 } else { 0.0 });
+/// assert!(m.is_identity(1e-15));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create the `n`-by-`n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Create a matrix from a generator function `f(i, j)`.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major slice of `rows * cols` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols`.
+    #[must_use]
+    pub fn from_rows(rows: usize, cols: usize, values: &[f64]) -> Self {
+        assert_eq!(values.len(), rows * cols, "wrong number of elements");
+        Matrix::from_fn(rows, cols, |i, j| values[i * cols + j])
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows]
+    }
+
+    /// Set element `(i, j)` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.rows] = v;
+    }
+
+    /// Raw column-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    #[must_use]
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable borrow of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copy of row `i` (rows are strided in column-major storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.rows);
+        (0..self.cols).map(|j| self.get(i, j)).collect()
+    }
+
+    /// The explicit transpose.
+    #[must_use]
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Scale every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// `true` if the matrix is the identity to within `tol`.
+    #[must_use]
+    pub fn is_identity(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        self.iter_indexed()
+            .all(|(i, j, v)| (v - if i == j { 1.0 } else { 0.0 }).abs() <= tol)
+    }
+
+    /// `true` if symmetric to within `tol`.
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.is_square()
+            && self
+                .iter_indexed()
+                .all(|(i, j, v)| (v - self.get(j, i)).abs() <= tol)
+    }
+
+    /// `true` if (numerically) lower-triangular to within `tol`.
+    #[must_use]
+    pub fn is_lower_triangular(&self, tol: f64) -> bool {
+        self.iter_indexed()
+            .all(|(i, j, v)| j <= i || v.abs() <= tol)
+    }
+
+    /// `true` if (numerically) upper-triangular to within `tol`.
+    #[must_use]
+    pub fn is_upper_triangular(&self, tol: f64) -> bool {
+        self.iter_indexed()
+            .all(|(i, j, v)| i <= j || v.abs() <= tol)
+    }
+
+    /// Iterate over `(i, j, value)` triples in column-major order.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.cols).flat_map(move |j| (0..self.rows).map(move |i| (i, j, self.get(i, j))))
+    }
+
+    /// Zero out the strictly-upper or strictly-lower triangle, making the
+    /// matrix exactly triangular.
+    pub fn force_triangle(&mut self, tri: Triangle) {
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                let kill = match tri {
+                    Triangle::Lower => j > i,
+                    Triangle::Upper => i > j,
+                };
+                if kill {
+                    self.set(i, j, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Symmetrize in place: `A <- (A + A^T) / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for j in 0..self.cols {
+            for i in 0..j {
+                let v = 0.5 * (self.get(i, j) + self.get(j, i));
+                self.set(i, j, v);
+                self.set(j, i, v);
+            }
+        }
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o += r;
+        }
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut out = self.clone();
+        for (o, r) in out.data.iter_mut().zip(&rhs.data) {
+            *o -= r;
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        let show_cols = self.cols.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            for j in 0..show_cols {
+                write!(f, "{:10.4} ", self.get(i, j))?;
+            }
+            if show_cols < self.cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if show_rows < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 4);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let id = Matrix::identity(5);
+        assert!(id.is_identity(0.0));
+        assert!(id.is_symmetric(0.0));
+        assert!(id.is_lower_triangular(0.0));
+        assert!(id.is_upper_triangular(0.0));
+    }
+
+    #[test]
+    fn from_rows_is_row_major() {
+        let m = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of elements")]
+    fn from_rows_validates_length() {
+        let _ = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn column_access_is_contiguous() {
+        let m = Matrix::from_fn(4, 2, |i, j| (i + 100 * j) as f64);
+        assert_eq!(m.col(1), &[100.0, 101.0, 102.0, 103.0]);
+        assert_eq!(m.row(2), vec![2.0, 102.0]);
+    }
+
+    #[test]
+    fn triangle_predicates() {
+        let mut m = Matrix::from_fn(3, 3, |_, _| 1.0);
+        assert!(!m.is_lower_triangular(0.0));
+        m.force_triangle(Triangle::Lower);
+        assert!(m.is_lower_triangular(0.0));
+        assert!(!m.is_upper_triangular(0.0));
+        let mut u = Matrix::from_fn(3, 3, |_, _| 1.0);
+        u.force_triangle(Triangle::Upper);
+        assert!(u.is_upper_triangular(0.0));
+    }
+
+    #[test]
+    fn symmetrize_makes_symmetric() {
+        let mut m = Matrix::from_fn(4, 4, |i, j| (3 * i + j) as f64);
+        assert!(!m.is_symmetric(1e-12));
+        m.symmetrize();
+        assert!(m.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn add_sub_elementwise() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::identity(2);
+        let c = &a + &b;
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(1, 1), 3.0);
+        let d = &c - &b;
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn transpose_flags() {
+        assert_eq!(Transpose::No.toggled(), Transpose::Yes);
+        assert_eq!(Transpose::Yes.toggled(), Transpose::No);
+        assert!(Transpose::Yes.is_trans());
+        assert!(!Transpose::No.is_trans());
+        assert_eq!(Triangle::Lower.transposed(), Triangle::Upper);
+        assert_eq!(Triangle::Upper.transposed(), Triangle::Lower);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_truncates() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains("..."));
+    }
+}

@@ -1,0 +1,69 @@
+use crate::matrix::Matrix;
+
+/// The Frobenius norm `sqrt(sum a_ij^2)`.
+#[must_use]
+pub fn frobenius_norm(a: &Matrix) -> f64 {
+    a.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// The largest absolute entry.
+#[must_use]
+pub fn max_abs(a: &Matrix) -> f64 {
+    a.as_slice().iter().fold(0.0, |acc, v| acc.max(v.abs()))
+}
+
+/// Relative error `||got - want||_F / max(||want||_F, 1)`.
+///
+/// The denominator is floored at 1 so comparisons against (near-)zero
+/// reference values remain meaningful.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+#[must_use]
+pub fn relative_error(got: &Matrix, want: &Matrix) -> f64 {
+    assert_eq!(
+        (got.rows(), got.cols()),
+        (want.rows(), want.cols()),
+        "relative_error: shape mismatch"
+    );
+    frobenius_norm(&(got - want)) / frobenius_norm(want).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frobenius_of_identity() {
+        assert!((frobenius_norm(&Matrix::identity(9)) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let mut m = Matrix::zeros(3, 3);
+        m.set(1, 2, -7.5);
+        assert_eq!(max_abs(&m), 7.5);
+    }
+
+    #[test]
+    fn relative_error_zero_for_equal() {
+        let m = Matrix::from_fn(2, 5, |i, j| (i * j) as f64);
+        assert_eq!(relative_error(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn relative_error_scales() {
+        let a = Matrix::identity(4);
+        let mut b = a.clone();
+        b.set(0, 0, 1.5);
+        let e = relative_error(&b, &a);
+        assert!((e - 0.25).abs() < 1e-15); // ||diff|| = 0.5, ||a|| = 2
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn relative_error_rejects_mismatch() {
+        let _ = relative_error(&Matrix::zeros(2, 2), &Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,163 @@
+use crate::matrix::Matrix;
+
+/// A Householder QR factorization `A = Q * R` with `Q` orthogonal and `R`
+/// upper-triangular (LAPACK `GEQRF` + `ORGQR`).
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl QrFactors {
+    /// The orthogonal factor `Q` (`m`-by-`m`).
+    #[must_use]
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`m`-by-`n`).
+    #[must_use]
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Consume the factorization, returning `(Q, R)`.
+    #[must_use]
+    pub fn into_parts(self) -> (Matrix, Matrix) {
+        (self.q, self.r)
+    }
+}
+
+/// Compute a full Householder QR factorization of `a`.
+///
+/// `Q` is accumulated explicitly as an `m`-by-`m` orthogonal matrix; this is
+/// used primarily to *generate* random orthogonal matrices for the
+/// experiments, so simplicity beats performance here.
+///
+/// # Example
+///
+/// ```
+/// use gmc_linalg::{householder_qr, matmul, relative_error, Matrix, Transpose};
+/// let a = Matrix::from_fn(4, 3, |i, j| ((i * 3 + j * 2) % 5) as f64 + 1.0);
+/// let f = householder_qr(&a);
+/// let qr = matmul(f.q(), Transpose::No, f.r(), Transpose::No);
+/// assert!(relative_error(&qr, &a) < 1e-12);
+/// ```
+#[must_use]
+pub fn householder_qr(a: &Matrix) -> QrFactors {
+    let m = a.rows();
+    let n = a.cols();
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+
+    for k in 0..n.min(m.saturating_sub(1)) {
+        // Build the Householder vector for column k.
+        let mut norm = 0.0;
+        for i in k..m {
+            let v = r.get(i, k);
+            norm += v * v;
+        }
+        let norm = norm.sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        let akk = r.get(k, k);
+        let alpha = if akk >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m];
+        v[k] = akk - alpha;
+        for i in k + 1..m {
+            v[i] = r.get(i, k);
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv == 0.0 {
+            continue;
+        }
+        let beta = 2.0 / vtv;
+
+        // R <- (I - beta v v^T) R.
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r.get(i, j);
+            }
+            let f = beta * dot;
+            for i in k..m {
+                let val = r.get(i, j) - f * v[i];
+                r.set(i, j, val);
+            }
+        }
+        // Q <- Q (I - beta v v^T).
+        for i in 0..m {
+            let mut dot = 0.0;
+            for p in k..m {
+                dot += q.get(i, p) * v[p];
+            }
+            let f = beta * dot;
+            for p in k..m {
+                let val = q.get(i, p) - f * v[p];
+                q.set(i, p, val);
+            }
+        }
+    }
+    // Clean tiny subdiagonal residue so R is exactly upper-triangular.
+    for j in 0..n {
+        for i in j + 1..m {
+            r.set(i, j, 0.0);
+        }
+    }
+    QrFactors { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::matrix::Transpose;
+    use crate::norms::relative_error;
+
+    #[test]
+    fn reconstructs_input() {
+        let a = Matrix::from_fn(5, 5, |i, j| (((i * 7 + j * 3) % 10) as f64 - 4.5) / 2.0);
+        let f = householder_qr(&a);
+        let qr = matmul(f.q(), Transpose::No, f.r(), Transpose::No);
+        assert!(relative_error(&qr, &a) < 1e-12);
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i as f64) - (j as f64) * 1.7).sin());
+        let f = householder_qr(&a);
+        let qtq = matmul(f.q(), Transpose::Yes, f.q(), Transpose::No);
+        assert!(qtq.is_identity(1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64 + 1.0);
+        let f = householder_qr(&a);
+        assert!(f.r().is_upper_triangular(0.0));
+    }
+
+    #[test]
+    fn tall_matrix() {
+        let a = Matrix::from_fn(7, 3, |i, j| ((i + j * j) % 6) as f64 - 2.0);
+        let f = householder_qr(&a);
+        let qr = matmul(f.q(), Transpose::No, f.r(), Transpose::No);
+        assert!(relative_error(&qr, &a) < 1e-12);
+        assert_eq!(f.q().rows(), 7);
+        assert_eq!(f.q().cols(), 7);
+        assert_eq!(f.r().rows(), 7);
+        assert_eq!(f.r().cols(), 3);
+    }
+
+    #[test]
+    fn into_parts_returns_both() {
+        // Householder reflectors may flip signs, so check Q R = A rather
+        // than expecting Q = R = I.
+        let a = Matrix::identity(3);
+        let (q, r) = householder_qr(&a).into_parts();
+        let qr = matmul(&q, Transpose::No, &r, Transpose::No);
+        assert!(relative_error(&qr, &a) < 1e-13);
+        assert!(r.is_upper_triangular(0.0));
+    }
+}

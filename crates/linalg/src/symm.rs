@@ -1,0 +1,179 @@
+use crate::matrix::{Matrix, Transpose};
+
+/// Which side a (symmetric or triangular) operand appears on in a
+/// two-operand kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The structured operand is the left factor.
+    Left,
+    /// The structured operand is the right factor.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// Symmetric matrix-matrix multiply (BLAS `SYMM`, extended with `op(B)` as in
+/// the paper's Table I): `C := alpha * A * op(B) + beta * C` (left) or
+/// `C := alpha * op(B) * A + beta * C` (right), with `A` symmetric.
+///
+/// The full storage of `A` is referenced (we keep symmetric matrices dense),
+/// but only `A`'s symmetry is assumed, never checked.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or the dimensions are inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use gmc_linalg::{symm, Matrix, Side, Transpose};
+/// let a = Matrix::identity(2);
+/// let b = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+/// let mut c = Matrix::zeros(2, 2);
+/// symm(Side::Left, 1.0, &a, &b, Transpose::No, 0.0, &mut c);
+/// assert_eq!(c, b);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn symm(
+    side: Side,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    assert!(a.is_square(), "symm: A must be square");
+    let bdim = match tb {
+        Transpose::No => (b.rows(), b.cols()),
+        Transpose::Yes => (b.cols(), b.rows()),
+    };
+    let (m, n) = match side {
+        Side::Left => (a.rows(), bdim.1),
+        Side::Right => (bdim.0, a.rows()),
+    };
+    match side {
+        Side::Left => assert_eq!(a.cols(), bdim.0, "symm: size mismatch"),
+        Side::Right => assert_eq!(bdim.1, a.rows(), "symm: size mismatch"),
+    }
+    assert_eq!((c.rows(), c.cols()), (m, n), "symm: C has wrong shape");
+
+    if beta != 1.0 {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+
+    let bval = |i: usize, j: usize| match tb {
+        Transpose::No => b.get(i, j),
+        Transpose::Yes => b.get(j, i),
+    };
+
+    match side {
+        Side::Left => {
+            for j in 0..n {
+                for p in 0..a.cols() {
+                    let f = alpha * bval(p, j);
+                    if f == 0.0 {
+                        continue;
+                    }
+                    let acol = a.col(p);
+                    let ccol = c.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += acol[i] * f;
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            for j in 0..n {
+                for i in 0..m {
+                    let mut s = 0.0;
+                    for p in 0..a.rows() {
+                        s += bval(i, p) * a.get(p, j);
+                    }
+                    let v = c.get(i, j) + alpha * s;
+                    c.set(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms::relative_error;
+
+    fn sym(n: usize) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 7) as f64);
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn left_matches_gemm() {
+        let a = sym(4);
+        let b = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 - 2.0);
+        let mut c = Matrix::zeros(4, 3);
+        symm(Side::Left, 1.0, &a, &b, Transpose::No, 0.0, &mut c);
+        let want = matmul(&a, Transpose::No, &b, Transpose::No);
+        assert!(relative_error(&c, &want) < 1e-13);
+    }
+
+    #[test]
+    fn right_matches_gemm() {
+        let a = sym(3);
+        let b = Matrix::from_fn(5, 3, |i, j| (2 * i + j) as f64);
+        let mut c = Matrix::zeros(5, 3);
+        symm(Side::Right, 1.0, &a, &b, Transpose::No, 0.0, &mut c);
+        let want = matmul(&b, Transpose::No, &a, Transpose::No);
+        assert!(relative_error(&c, &want) < 1e-13);
+    }
+
+    #[test]
+    fn transposed_general_operand() {
+        let a = sym(4);
+        let b = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let mut c = Matrix::zeros(4, 3);
+        symm(Side::Left, 1.0, &a, &b, Transpose::Yes, 0.0, &mut c);
+        let want = matmul(&a, Transpose::No, &b, Transpose::Yes);
+        assert!(relative_error(&c, &want) < 1e-13);
+
+        // Side::Right with op(B) = B (3x4): C = B * A is 3x4.
+        let mut c3 = Matrix::zeros(3, 4);
+        symm(Side::Right, 1.0, &a, &b, Transpose::No, 0.0, &mut c3);
+        let want3 = matmul(&b, Transpose::No, &a, Transpose::No);
+        assert!(relative_error(&c3, &want3) < 1e-13);
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = sym(2);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::from_fn(2, 2, |_, _| 1.0);
+        symm(Side::Left, 2.0, &a, &b, Transpose::No, 3.0, &mut c);
+        for (i, j, v) in c.iter_indexed() {
+            assert!((v - (2.0 * a.get(i, j) + 3.0)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symm: A must be square")]
+    fn rejects_non_square_a() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 3);
+        let mut c = Matrix::zeros(2, 3);
+        symm(Side::Left, 1.0, &a, &b, Transpose::No, 0.0, &mut c);
+    }
+}

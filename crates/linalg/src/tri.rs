@@ -1,0 +1,360 @@
+use crate::matrix::{Matrix, Transpose, Triangle};
+use crate::symm::Side;
+
+/// Triangular matrix-matrix multiply (BLAS `TRMM`):
+/// `B := alpha * op(A) * B` (left) or `B := alpha * B * op(A)` (right),
+/// where `A` is triangular.
+///
+/// Only the triangle of `A` named by `tri` is referenced; `tri` describes the
+/// *stored* triangle, before `op` is applied.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or sizes are incompatible.
+///
+/// # Example
+///
+/// ```
+/// use gmc_linalg::{trmm, Matrix, Side, Transpose, Triangle};
+/// let a = Matrix::from_rows(2, 2, &[2.0, 0.0, 1.0, 3.0]); // lower
+/// let mut b = Matrix::identity(2);
+/// trmm(Side::Left, Triangle::Lower, Transpose::No, 1.0, &a, &mut b);
+/// assert_eq!(b.get(1, 0), 1.0);
+/// ```
+pub fn trmm(side: Side, tri: Triangle, ta: Transpose, alpha: f64, a: &Matrix, b: &mut Matrix) {
+    assert!(a.is_square(), "trmm: A must be square");
+    let n = a.rows();
+    match side {
+        Side::Left => assert_eq!(b.rows(), n, "trmm: size mismatch"),
+        Side::Right => assert_eq!(b.cols(), n, "trmm: size mismatch"),
+    }
+    // Effective triangle after transposition.
+    let eff = match ta {
+        Transpose::No => tri,
+        Transpose::Yes => tri.transposed(),
+    };
+    let at = |i: usize, j: usize| -> f64 {
+        let v = match ta {
+            Transpose::No => a.get(i, j),
+            Transpose::Yes => a.get(j, i),
+        };
+        // Reference only the stored triangle.
+        let stored = match eff {
+            Triangle::Lower => j <= i,
+            Triangle::Upper => i <= j,
+        };
+        if stored {
+            v
+        } else {
+            0.0
+        }
+    };
+
+    match side {
+        Side::Left => {
+            // B := alpha * T * B, processed per column of B.
+            for jc in 0..b.cols() {
+                let col: Vec<f64> = b.col(jc).to_vec();
+                let out = b.col_mut(jc);
+                match eff {
+                    Triangle::Lower => {
+                        for i in (0..n).rev() {
+                            let mut s = 0.0;
+                            for j in 0..=i {
+                                s += at(i, j) * col[j];
+                            }
+                            out[i] = alpha * s;
+                        }
+                    }
+                    Triangle::Upper => {
+                        for i in 0..n {
+                            let mut s = 0.0;
+                            for j in i..n {
+                                s += at(i, j) * col[j];
+                            }
+                            out[i] = alpha * s;
+                        }
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // B := alpha * B * T, processed per row of B.
+            let rows = b.rows();
+            for ir in 0..rows {
+                let row: Vec<f64> = (0..n).map(|j| b.get(ir, j)).collect();
+                for jc in 0..n {
+                    let mut s = 0.0;
+                    match eff {
+                        Triangle::Lower => {
+                            for p in jc..n {
+                                s += row[p] * at(p, jc);
+                            }
+                        }
+                        Triangle::Upper => {
+                            for p in 0..=jc {
+                                s += row[p] * at(p, jc);
+                            }
+                        }
+                    }
+                    b.set(ir, jc, alpha * s);
+                }
+            }
+        }
+    }
+}
+
+/// Triangular solve with multiple right-hand sides (BLAS `TRSM`):
+/// solves `op(A) * X = alpha * B` (left) or `X * op(A) = alpha * B` (right)
+/// for `X`, overwriting `B`.
+///
+/// # Panics
+///
+/// Panics if `A` is not square, sizes are incompatible, or a diagonal entry
+/// of `A` is exactly zero.
+///
+/// # Example
+///
+/// ```
+/// use gmc_linalg::{trsm, trmm, Matrix, Side, Transpose, Triangle};
+/// let a = Matrix::from_rows(2, 2, &[2.0, 0.0, 1.0, 4.0]);
+/// let mut x = Matrix::from_rows(2, 1, &[2.0, 5.0]);
+/// trsm(Side::Left, Triangle::Lower, Transpose::No, 1.0, &a, &mut x);
+/// // verify A * x = b
+/// assert!((2.0 * x.get(0, 0) - 2.0).abs() < 1e-12);
+/// assert!((x.get(0, 0) + 4.0 * x.get(1, 0) - 5.0).abs() < 1e-12);
+/// ```
+pub fn trsm(side: Side, tri: Triangle, ta: Transpose, alpha: f64, a: &Matrix, b: &mut Matrix) {
+    assert!(a.is_square(), "trsm: A must be square");
+    let n = a.rows();
+    match side {
+        Side::Left => assert_eq!(b.rows(), n, "trsm: size mismatch"),
+        Side::Right => assert_eq!(b.cols(), n, "trsm: size mismatch"),
+    }
+    let eff = match ta {
+        Transpose::No => tri,
+        Transpose::Yes => tri.transposed(),
+    };
+    let at = |i: usize, j: usize| -> f64 {
+        match ta {
+            Transpose::No => a.get(i, j),
+            Transpose::Yes => a.get(j, i),
+        }
+    };
+
+    if alpha != 1.0 {
+        b.scale(alpha);
+    }
+
+    match side {
+        Side::Left => {
+            for jc in 0..b.cols() {
+                match eff {
+                    Triangle::Lower => {
+                        // Forward substitution.
+                        for i in 0..n {
+                            let mut s = b.get(i, jc);
+                            for j in 0..i {
+                                s -= at(i, j) * b.get(j, jc);
+                            }
+                            let d = at(i, i);
+                            assert!(d != 0.0, "trsm: zero diagonal at {i}");
+                            b.set(i, jc, s / d);
+                        }
+                    }
+                    Triangle::Upper => {
+                        // Back substitution.
+                        for i in (0..n).rev() {
+                            let mut s = b.get(i, jc);
+                            for j in i + 1..n {
+                                s -= at(i, j) * b.get(j, jc);
+                            }
+                            let d = at(i, i);
+                            assert!(d != 0.0, "trsm: zero diagonal at {i}");
+                            b.set(i, jc, s / d);
+                        }
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // X * T = B  <=>  T^T * X^T = B^T; solve row-wise.
+            let rows = b.rows();
+            for ir in 0..rows {
+                match eff {
+                    Triangle::Lower => {
+                        // x * L = b: process columns right-to-left.
+                        for j in (0..n).rev() {
+                            let mut s = b.get(ir, j);
+                            for p in j + 1..n {
+                                s -= b.get(ir, p) * at(p, j);
+                            }
+                            let d = at(j, j);
+                            assert!(d != 0.0, "trsm: zero diagonal at {j}");
+                            b.set(ir, j, s / d);
+                        }
+                    }
+                    Triangle::Upper => {
+                        // x * U = b: process columns left-to-right.
+                        for j in 0..n {
+                            let mut s = b.get(ir, j);
+                            for p in 0..j {
+                                s -= b.get(ir, p) * at(p, j);
+                            }
+                            let d = at(j, j);
+                            assert!(d != 0.0, "trsm: zero diagonal at {j}");
+                            b.set(ir, j, s / d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use crate::norms::relative_error;
+
+    fn lower(n: usize) -> Matrix {
+        let mut a = Matrix::from_fn(n, n, |i, j| 1.0 + (i * n + j) as f64 * 0.1);
+        a.force_triangle(Triangle::Lower);
+        for i in 0..n {
+            a.set(i, i, 2.0 + i as f64); // well-conditioned diagonal
+        }
+        a
+    }
+
+    fn upper(n: usize) -> Matrix {
+        lower(n).transposed()
+    }
+
+    #[test]
+    fn trmm_left_matches_gemm() {
+        let a = lower(5);
+        let b = Matrix::from_fn(5, 3, |i, j| (i + 2 * j) as f64 - 4.0);
+        let mut got = b.clone();
+        trmm(
+            Side::Left,
+            Triangle::Lower,
+            Transpose::No,
+            1.0,
+            &a,
+            &mut got,
+        );
+        let want = matmul(&a, Transpose::No, &b, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn trmm_right_matches_gemm() {
+        let a = upper(4);
+        let b = Matrix::from_fn(3, 4, |i, j| 1.0 / (1.0 + (i + j) as f64));
+        let mut got = b.clone();
+        trmm(
+            Side::Right,
+            Triangle::Upper,
+            Transpose::No,
+            1.0,
+            &a,
+            &mut got,
+        );
+        let want = matmul(&b, Transpose::No, &a, Transpose::No);
+        assert!(relative_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn trmm_transposed_matches_gemm() {
+        let a = lower(6);
+        let b = Matrix::from_fn(6, 2, |i, j| ((i * 3 + j) % 5) as f64);
+        let mut got = b.clone();
+        trmm(
+            Side::Left,
+            Triangle::Lower,
+            Transpose::Yes,
+            2.0,
+            &a,
+            &mut got,
+        );
+        let mut want = matmul(&a, Transpose::Yes, &b, Transpose::No);
+        want.scale(2.0);
+        assert!(relative_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn trmm_ignores_garbage_in_dead_triangle() {
+        // Fill the strictly-upper triangle with NaN; TRMM must not read it.
+        let mut a = lower(4);
+        for j in 0..4 {
+            for i in 0..j {
+                a.set(i, j, f64::NAN);
+            }
+        }
+        let b = Matrix::identity(4);
+        let mut got = b.clone();
+        trmm(
+            Side::Left,
+            Triangle::Lower,
+            Transpose::No,
+            1.0,
+            &a,
+            &mut got,
+        );
+        assert!(got.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn trsm_left_round_trips_with_trmm() {
+        for (tri, ta) in [
+            (Triangle::Lower, Transpose::No),
+            (Triangle::Lower, Transpose::Yes),
+            (Triangle::Upper, Transpose::No),
+            (Triangle::Upper, Transpose::Yes),
+        ] {
+            let a = match tri {
+                Triangle::Lower => lower(5),
+                Triangle::Upper => upper(5),
+            };
+            let x = Matrix::from_fn(5, 3, |i, j| (i as f64 - j as f64) * 0.3 + 1.0);
+            let mut b = x.clone();
+            trmm(Side::Left, tri, ta, 1.0, &a, &mut b);
+            trsm(Side::Left, tri, ta, 1.0, &a, &mut b);
+            assert!(relative_error(&b, &x) < 1e-11, "{tri:?} {ta:?}");
+        }
+    }
+
+    #[test]
+    fn trsm_right_round_trips_with_trmm() {
+        for (tri, ta) in [
+            (Triangle::Lower, Transpose::No),
+            (Triangle::Lower, Transpose::Yes),
+            (Triangle::Upper, Transpose::No),
+            (Triangle::Upper, Transpose::Yes),
+        ] {
+            let a = match tri {
+                Triangle::Lower => lower(4),
+                Triangle::Upper => upper(4),
+            };
+            let x = Matrix::from_fn(3, 4, |i, j| ((2 * i + j) % 7) as f64 - 3.0);
+            let mut b = x.clone();
+            trmm(Side::Right, tri, ta, 1.0, &a, &mut b);
+            trsm(Side::Right, tri, ta, 1.0, &a, &mut b);
+            assert!(relative_error(&b, &x) < 1e-11, "{tri:?} {ta:?}");
+        }
+    }
+
+    #[test]
+    fn trsm_applies_alpha() {
+        let a = Matrix::identity(3);
+        let mut b = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let want = {
+            let mut w = b.clone();
+            w.scale(3.0);
+            w
+        };
+        trsm(Side::Left, Triangle::Lower, Transpose::No, 3.0, &a, &mut b);
+        assert_eq!(b, want);
+    }
+}

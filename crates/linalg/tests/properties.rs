@@ -1,0 +1,140 @@
+//! Property-based tests of the linear-algebra substrate: solver round
+//! trips, factorization identities, and kernel/gemm agreement on random
+//! sizes and contents.
+
+use gmc_linalg::{
+    cholesky, gemm, getrs, householder_qr, inverse_general, lu_factor, matmul, potrs,
+    random_general, random_lower_triangular, random_nonsingular, random_spd, random_symmetric,
+    relative_error, symm, trmm, trsm, Matrix, Side, Transpose, Triangle,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lu_solve_round_trip(n in 1usize..12, k in 1usize..6, seed in 0u64..10_000) {
+        let mut rng = rng_for(seed);
+        let a = random_nonsingular(&mut rng, n);
+        let x = random_general(&mut rng, n, k);
+        let b = matmul(&a, Transpose::No, &x, Transpose::No);
+        let f = lu_factor(&a).unwrap();
+        let mut got = b;
+        getrs(&f, Transpose::No, Side::Left, &mut got);
+        prop_assert!(relative_error(&got, &x) < 1e-8);
+    }
+
+    #[test]
+    fn lu_transpose_solve_round_trip(n in 1usize..12, seed in 0u64..10_000) {
+        let mut rng = rng_for(seed);
+        let a = random_nonsingular(&mut rng, n);
+        let x = random_general(&mut rng, n, 2);
+        let b = matmul(&a, Transpose::Yes, &x, Transpose::No);
+        let f = lu_factor(&a).unwrap();
+        let mut got = b;
+        getrs(&f, Transpose::Yes, Side::Left, &mut got);
+        prop_assert!(relative_error(&got, &x) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_round_trip(n in 1usize..12, seed in 0u64..10_000) {
+        let mut rng = rng_for(seed);
+        let a = random_spd(&mut rng, n);
+        let x = random_general(&mut rng, n, 3);
+        let b = matmul(&a, Transpose::No, &x, Transpose::No);
+        let f = cholesky(&a).unwrap();
+        let mut got = b;
+        potrs(&f, Side::Left, &mut got);
+        prop_assert!(relative_error(&got, &x) < 1e-8);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthogonal(m in 1usize..10, n in 1usize..10, seed in 0u64..10_000) {
+        let mut rng = rng_for(seed);
+        let a = random_general(&mut rng, m, n);
+        let f = householder_qr(&a);
+        let qr = matmul(f.q(), Transpose::No, f.r(), Transpose::No);
+        prop_assert!(relative_error(&qr, &a) < 1e-10);
+        let qtq = matmul(f.q(), Transpose::Yes, f.q(), Transpose::No);
+        prop_assert!(qtq.is_identity(1e-10));
+        prop_assert!(f.r().is_upper_triangular(1e-14));
+    }
+
+    #[test]
+    fn inverse_is_two_sided(n in 1usize..10, seed in 0u64..10_000) {
+        let mut rng = rng_for(seed);
+        let a = random_nonsingular(&mut rng, n);
+        let inv = inverse_general(&a).unwrap();
+        prop_assert!(matmul(&a, Transpose::No, &inv, Transpose::No).is_identity(1e-8));
+        prop_assert!(matmul(&inv, Transpose::No, &a, Transpose::No).is_identity(1e-8));
+    }
+
+    #[test]
+    fn trsm_inverts_trmm(n in 1usize..10, k in 1usize..5, seed in 0u64..10_000, upper in any::<bool>(), ta in any::<bool>()) {
+        let mut rng = rng_for(seed);
+        let (a, tri) = if upper {
+            (random_lower_triangular(&mut rng, n, true).transposed(), Triangle::Upper)
+        } else {
+            (random_lower_triangular(&mut rng, n, true), Triangle::Lower)
+        };
+        let t = if ta { Transpose::Yes } else { Transpose::No };
+        let x = random_general(&mut rng, n, k);
+        let mut b = x.clone();
+        trmm(Side::Left, tri, t, 1.0, &a, &mut b);
+        trsm(Side::Left, tri, t, 1.0, &a, &mut b);
+        prop_assert!(relative_error(&b, &x) < 1e-8);
+    }
+
+    #[test]
+    fn symm_agrees_with_gemm(n in 1usize..10, k in 1usize..6, seed in 0u64..10_000) {
+        let mut rng = rng_for(seed);
+        let a = random_symmetric(&mut rng, n);
+        let b = random_general(&mut rng, n, k);
+        let mut c = Matrix::zeros(n, k);
+        symm(Side::Left, 1.0, &a, &b, Transpose::No, 0.0, &mut c);
+        let want = matmul(&a, Transpose::No, &b, Transpose::No);
+        prop_assert!(relative_error(&c, &want) < 1e-11);
+    }
+
+    #[test]
+    fn gemm_alpha_beta_linear(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 0u64..10_000) {
+        let mut rng = rng_for(seed);
+        let a = random_general(&mut rng, m, k);
+        let b = random_general(&mut rng, k, n);
+        let c0 = random_general(&mut rng, m, n);
+        // C = 2 A B + 3 C0 == 2 (A B) + 3 C0 elementwise.
+        let mut c = c0.clone();
+        gemm(2.0, &a, Transpose::No, &b, Transpose::No, 3.0, &mut c);
+        let ab = matmul(&a, Transpose::No, &b, Transpose::No);
+        for (i, j, v) in c.iter_indexed() {
+            let want = 2.0 * ab.get(i, j) + 3.0 * c0.get(i, j);
+            prop_assert!((v - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(m in 1usize..10, n in 1usize..10, seed in 0u64..10_000) {
+        let mut rng = rng_for(seed);
+        let a = random_general(&mut rng, m, n);
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn lu_right_solves(n in 1usize..10, k in 1usize..5, seed in 0u64..10_000, ta in any::<bool>()) {
+        let mut rng = rng_for(seed);
+        let a = random_nonsingular(&mut rng, n);
+        let x = random_general(&mut rng, k, n);
+        let t = if ta { Transpose::Yes } else { Transpose::No };
+        let b = matmul(&x, Transpose::No, &a, t);
+        let f = lu_factor(&a).unwrap();
+        let mut got = b;
+        getrs(&f, t, Side::Right, &mut got);
+        prop_assert!(relative_error(&got, &x) < 1e-8);
+    }
+}

@@ -1,0 +1,58 @@
+//! Measurement grids and kernel dimensionality.
+
+use gmc_kernels::Kernel;
+
+/// The paper's grid: six points per axis over `[50, 1000]`.
+#[must_use]
+pub fn paper_grid() -> Vec<u64> {
+    vec![50, 100, 300, 500, 700, 1000]
+}
+
+/// A small grid suitable for quick model building on a laptop-scale run of
+/// the experiments (our kernels are single-threaded; see DESIGN.md).
+#[must_use]
+pub fn quick_grid() -> Vec<u64> {
+    vec![32, 64, 128, 256]
+}
+
+/// Number of free size axes of a kernel invocation:
+///
+/// * `GEMM` has three (`m`, `k`, `n`);
+/// * kernels with one square structured/coefficient operand and a general
+///   rectangular companion have two (`m`, `n`);
+/// * kernels whose operands are all square have one (`m`).
+#[must_use]
+pub fn kernel_dims(kernel: Kernel) -> usize {
+    match kernel {
+        Kernel::Gemm => 3,
+        Kernel::Symm
+        | Kernel::Trmm
+        | Kernel::Trsm
+        | Kernel::Gegesv
+        | Kernel::Sygesv
+        | Kernel::Pogesv => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_matches_paper() {
+        assert_eq!(paper_grid(), vec![50, 100, 300, 500, 700, 1000]);
+    }
+
+    #[test]
+    fn dims_partition_the_catalogue() {
+        let mut counts = [0usize; 4];
+        for k in Kernel::ALL {
+            counts[kernel_dims(k)] += 1;
+        }
+        assert_eq!(counts[3], 1); // GEMM
+        assert_eq!(counts[2], 6); // one-square-operand kernels
+        assert_eq!(counts[1], 11); // all-square kernels
+        assert_eq!(counts[0], 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Clamped multilinear interpolation on a Cartesian grid.
+
+/// A `d`-dimensional Cartesian grid of sample values with multilinear
+/// interpolation (d ∈ {1, 2, 3}); queries outside the grid are clamped to
+/// the boundary, matching the paper's "crude but effective" models.
+///
+/// Values are stored row-major over the axes: index
+/// `((i0 * g + i1) * g + i2)` for 3-D with `g` points per axis.
+#[derive(Debug, Clone)]
+pub struct GridInterpolator {
+    axis: Vec<f64>,
+    dims: usize,
+    values: Vec<f64>,
+}
+
+impl GridInterpolator {
+    /// Create an interpolator over `axis^dims` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is not 1–3, the axis is not strictly increasing, or
+    /// `values.len() != axis.len().pow(dims)`.
+    #[must_use]
+    pub fn new(axis: Vec<f64>, dims: usize, values: Vec<f64>) -> Self {
+        assert!((1..=3).contains(&dims), "dims must be 1, 2, or 3");
+        assert!(axis.len() >= 2, "need at least two grid points");
+        assert!(
+            axis.windows(2).all(|w| w[0] < w[1]),
+            "axis must be strictly increasing"
+        );
+        assert_eq!(
+            values.len(),
+            axis.len().pow(dims as u32),
+            "values must fill the grid"
+        );
+        GridInterpolator { axis, dims, values }
+    }
+
+    /// Number of axes.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The shared axis values.
+    #[must_use]
+    pub fn axis(&self) -> &[f64] {
+        &self.axis
+    }
+
+    /// The flattened sample values (row-major over the axes).
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Locate `x` on the axis: returns `(lower index, fraction)` with the
+    /// query clamped into the grid range.
+    fn locate(&self, x: f64) -> (usize, f64) {
+        let n = self.axis.len();
+        if x <= self.axis[0] {
+            return (0, 0.0);
+        }
+        if x >= self.axis[n - 1] {
+            return (n - 2, 1.0);
+        }
+        let mut i = 0;
+        while self.axis[i + 1] < x {
+            i += 1;
+        }
+        let t = (x - self.axis[i]) / (self.axis[i + 1] - self.axis[i]);
+        (i, t)
+    }
+
+    fn value_at(&self, idx: &[usize]) -> f64 {
+        let g = self.axis.len();
+        let mut flat = 0;
+        for &i in idx {
+            flat = flat * g + i;
+        }
+        self.values[flat]
+    }
+
+    /// Interpolate at `point` (only the first `dims` coordinates are used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dims` coordinates are supplied.
+    #[must_use]
+    pub fn interpolate(&self, point: &[f64]) -> f64 {
+        assert!(point.len() >= self.dims, "point has too few coordinates");
+        let located: Vec<(usize, f64)> =
+            point[..self.dims].iter().map(|&x| self.locate(x)).collect();
+        // Sum over the 2^d corners of the surrounding cell.
+        let corners = 1usize << self.dims;
+        let mut acc = 0.0;
+        for corner in 0..corners {
+            let mut weight = 1.0;
+            let mut idx = Vec::with_capacity(self.dims);
+            for (d, &(i, t)) in located.iter().enumerate() {
+                if corner & (1 << d) == 0 {
+                    weight *= 1.0 - t;
+                    idx.push(i);
+                } else {
+                    weight *= t;
+                    idx.push(i + 1);
+                }
+            }
+            if weight != 0.0 {
+                acc += weight * self.value_at(&idx);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_d_linear() {
+        let it = GridInterpolator::new(vec![0.0, 10.0], 1, vec![0.0, 100.0]);
+        assert_eq!(it.interpolate(&[5.0]), 50.0);
+        assert_eq!(it.interpolate(&[0.0]), 0.0);
+        assert_eq!(it.interpolate(&[10.0]), 100.0);
+    }
+
+    #[test]
+    fn clamping_outside_range() {
+        let it = GridInterpolator::new(vec![1.0, 2.0], 1, vec![3.0, 7.0]);
+        assert_eq!(it.interpolate(&[0.0]), 3.0);
+        assert_eq!(it.interpolate(&[9.0]), 7.0);
+    }
+
+    #[test]
+    fn two_d_bilinear() {
+        // f(x, y) = x + 10 y sampled on {0,1}^2 interpolates exactly.
+        let it = GridInterpolator::new(vec![0.0, 1.0], 2, vec![0.0, 10.0, 1.0, 11.0]);
+        assert!((it.interpolate(&[0.5, 0.5]) - 5.5).abs() < 1e-12);
+        assert!((it.interpolate(&[0.25, 0.75]) - 7.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_d_trilinear_reproduces_linear_function() {
+        let axis = vec![0.0, 2.0, 4.0];
+        let f = |x: f64, y: f64, z: f64| 1.0 + x + 2.0 * y + 3.0 * z;
+        let mut values = Vec::new();
+        for &x in &axis {
+            for &y in &axis {
+                for &z in &axis {
+                    values.push(f(x, y, z));
+                }
+            }
+        }
+        let it = GridInterpolator::new(axis, 3, values);
+        for p in [[1.0, 1.0, 1.0], [0.5, 3.0, 2.5], [4.0, 0.0, 4.0]] {
+            assert!((it.interpolate(&p) - f(p[0], p[1], p[2])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interior_multi_cell_lookup() {
+        let it = GridInterpolator::new(vec![0.0, 1.0, 2.0, 4.0], 1, vec![0.0, 1.0, 4.0, 16.0]);
+        assert!((it.interpolate(&[3.0]) - 10.0).abs() < 1e-12); // halfway 4..16
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_axis() {
+        let _ = GridInterpolator::new(vec![1.0, 1.0], 1, vec![0.0, 0.0]);
+    }
+}

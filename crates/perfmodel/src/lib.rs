@@ -1,0 +1,26 @@
+//! Performance models for execution-time dispatch (Sec. VII-B of the paper).
+//!
+//! The paper builds per-kernel models by timing each kernel on a
+//! 3D/2D/1D Cartesian grid with six points per axis over `[50, 1000]`,
+//! recording the performance (FLOP/s) at each point, and estimating a
+//! kernel call's time as `FLOPs / interpolated performance`. A variant's
+//! time estimate is the sum over its kernel calls.
+//!
+//! This crate reproduces that construction on top of our own kernel
+//! substrate: [`measure::measure_models`] times every kernel on a grid,
+//! [`interp::GridInterpolator`] performs clamped multilinear interpolation,
+//! and [`model::PerfModels`] implements [`gmc_core::CostModel`] so compiled
+//! chains can dispatch on estimated execution time.
+
+#![warn(missing_docs)]
+pub mod grid;
+pub mod interp;
+pub mod measure;
+pub mod model;
+pub mod serialize;
+
+pub use grid::{kernel_dims, paper_grid, quick_grid};
+pub use interp::GridInterpolator;
+pub use measure::{measure_models, MeasureOptions};
+pub use model::PerfModels;
+pub use serialize::{from_text, to_text, LoadError};

@@ -1,0 +1,266 @@
+//! Grid measurement of kernel performance.
+//!
+//! For each kernel we run the numeric implementation on every point of a
+//! 1D/2D/3D size grid, record FLOP/s (Table-I FLOPs divided by the best
+//! observed wall time), and hand the samples to a [`GridInterpolator`].
+
+use crate::grid::kernel_dims;
+use crate::interp::GridInterpolator;
+use crate::model::PerfModels;
+use gmc_kernels::{
+    cost_flops, execute_assoc, execute_finalize, finalize_cost_flops, AssocExec, FinalizeKernel,
+    Kernel,
+};
+use gmc_linalg::{
+    random_general, random_lower_triangular, random_nonsingular, random_spd, random_symmetric,
+    Matrix, Side, Triangle,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Options for [`measure_models`].
+#[derive(Debug, Clone)]
+pub struct MeasureOptions {
+    /// Grid points per axis (strictly increasing sizes).
+    pub grid: Vec<u64>,
+    /// Timing repetitions per point; the best time is kept.
+    pub reps: usize,
+    /// RNG seed for operand generation.
+    pub seed: u64,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            grid: crate::grid::quick_grid(),
+            reps: 2,
+            seed: 0xbe2c4,
+        }
+    }
+}
+
+/// The "natural" cheap-branch setting used when timing each kernel (the
+/// operands generated below realize the cheap case where one exists).
+#[must_use]
+pub fn natural_cheap(kernel: Kernel) -> bool {
+    matches!(
+        kernel,
+        Kernel::Trtrmm | Kernel::Getrsv | Kernel::Potrsv | Kernel::Trtrsv
+    )
+}
+
+/// Generate the operand pair for timing `kernel` at coefficient size `m`
+/// and companion dimension `n` (ignored by 1-D kernels).
+fn operands_for(kernel: Kernel, m: usize, n: usize, rng: &mut StdRng) -> (Matrix, Matrix) {
+    match kernel {
+        Kernel::Gemm => unreachable!("GEMM is handled by the 3-D path"),
+        Kernel::Symm => (random_symmetric(rng, m), random_general(rng, m, n)),
+        Kernel::Trmm => (
+            random_lower_triangular(rng, m, false),
+            random_general(rng, m, n),
+        ),
+        Kernel::Trsm => (
+            random_lower_triangular(rng, m, true),
+            random_general(rng, m, n),
+        ),
+        Kernel::Gegesv => (random_nonsingular(rng, m), random_general(rng, m, n)),
+        Kernel::Sygesv => (diag_dominant_symmetric(rng, m), random_general(rng, m, n)),
+        Kernel::Pogesv => (random_spd(rng, m), random_general(rng, m, n)),
+        Kernel::Sysymm => (random_symmetric(rng, m), random_symmetric(rng, m)),
+        Kernel::Trsymm => (
+            random_lower_triangular(rng, m, false),
+            random_symmetric(rng, m),
+        ),
+        Kernel::Trtrmm => (
+            random_lower_triangular(rng, m, false),
+            random_lower_triangular(rng, m, false),
+        ),
+        Kernel::Gesysv => (random_nonsingular(rng, m), random_symmetric(rng, m)),
+        Kernel::Getrsv => (
+            random_nonsingular(rng, m),
+            random_lower_triangular(rng, m, false),
+        ),
+        Kernel::Sysysv => (diag_dominant_symmetric(rng, m), random_symmetric(rng, m)),
+        Kernel::Sytrsv => (
+            diag_dominant_symmetric(rng, m),
+            random_lower_triangular(rng, m, false),
+        ),
+        Kernel::Posysv => (random_spd(rng, m), random_symmetric(rng, m)),
+        Kernel::Potrsv => (random_spd(rng, m), random_lower_triangular(rng, m, false)),
+        Kernel::Trsysv => (
+            random_lower_triangular(rng, m, true),
+            random_symmetric(rng, m),
+        ),
+        Kernel::Trtrsv => (
+            random_lower_triangular(rng, m, true),
+            random_lower_triangular(rng, m, false),
+        ),
+    }
+}
+
+fn diag_dominant_symmetric(rng: &mut StdRng, m: usize) -> Matrix {
+    let mut a = random_symmetric(rng, m);
+    for i in 0..m {
+        let v = a.get(i, i) + m as f64;
+        a.set(i, i, v);
+    }
+    a
+}
+
+fn exec_call(kernel: Kernel) -> AssocExec {
+    let tri = |needed: bool| if needed { Some(Triangle::Lower) } else { None };
+    let left_tri = matches!(
+        kernel,
+        Kernel::Trmm
+            | Kernel::Trsm
+            | Kernel::Trsymm
+            | Kernel::Trtrmm
+            | Kernel::Trsysv
+            | Kernel::Trtrsv
+    );
+    let right_tri = matches!(
+        kernel,
+        Kernel::Trtrmm | Kernel::Getrsv | Kernel::Sytrsv | Kernel::Potrsv | Kernel::Trtrsv
+    );
+    AssocExec {
+        kernel,
+        side: Side::Left,
+        left_trans: false,
+        right_trans: false,
+        left_tri: tri(left_tri),
+        right_tri: tri(right_tri),
+    }
+}
+
+fn best_time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best.max(1e-9)
+}
+
+/// Measure performance models for all association and finalizer kernels.
+///
+/// Every kernel is timed on its grid (three axes for `GEMM`, two for
+/// one-square-operand kernels, one for all-square kernels); the recorded
+/// quantity is FLOP/s, except for the zero-FLOP transpose finalizer where
+/// it is elements/s.
+#[must_use]
+pub fn measure_models(options: &MeasureOptions) -> PerfModels {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let axis: Vec<f64> = options.grid.iter().map(|&g| g as f64).collect();
+    let g = options.grid.len();
+    let mut assoc: HashMap<Kernel, GridInterpolator> = HashMap::new();
+
+    for kernel in Kernel::ALL {
+        let dims = kernel_dims(kernel);
+        let mut values = Vec::with_capacity(g.pow(dims as u32));
+        match dims {
+            3 => {
+                for &m in &options.grid {
+                    for &k in &options.grid {
+                        for &n in &options.grid {
+                            let a = random_general(&mut rng, m as usize, k as usize);
+                            let b = random_general(&mut rng, k as usize, n as usize);
+                            let call = exec_call(kernel);
+                            let t = best_time(options.reps, || {
+                                let _ = execute_assoc(&call, &a, &b).expect("kernel runs");
+                            });
+                            values.push(cost_flops(kernel, Side::Left, false, m, k, n) / t);
+                        }
+                    }
+                }
+            }
+            2 => {
+                for &m in &options.grid {
+                    for &n in &options.grid {
+                        let (a, b) = operands_for(kernel, m as usize, n as usize, &mut rng);
+                        let call = exec_call(kernel);
+                        let t = best_time(options.reps, || {
+                            let _ = execute_assoc(&call, &a, &b).expect("kernel runs");
+                        });
+                        let flops = cost_flops(kernel, Side::Left, natural_cheap(kernel), m, m, n);
+                        values.push(flops / t);
+                    }
+                }
+            }
+            _ => {
+                for &m in &options.grid {
+                    let (a, b) = operands_for(kernel, m as usize, m as usize, &mut rng);
+                    let call = exec_call(kernel);
+                    let t = best_time(options.reps, || {
+                        let _ = execute_assoc(&call, &a, &b).expect("kernel runs");
+                    });
+                    let flops = cost_flops(kernel, Side::Left, natural_cheap(kernel), m, m, m);
+                    values.push(flops / t);
+                }
+            }
+        }
+        assoc.insert(kernel, GridInterpolator::new(axis.clone(), dims, values));
+    }
+
+    // Finalizers: 1-D grids.
+    let mut finalize: HashMap<FinalizeKernel, GridInterpolator> = HashMap::new();
+    for kernel in [
+        FinalizeKernel::Getri,
+        FinalizeKernel::Sytri,
+        FinalizeKernel::Potri,
+        FinalizeKernel::Trtri,
+        FinalizeKernel::Transpose,
+    ] {
+        let mut values = Vec::with_capacity(g);
+        for &m in &options.grid {
+            let input = match kernel {
+                FinalizeKernel::Potri => random_spd(&mut rng, m as usize),
+                FinalizeKernel::Trtri => random_lower_triangular(&mut rng, m as usize, true),
+                FinalizeKernel::Sytri => diag_dominant_symmetric(&mut rng, m as usize),
+                _ => random_nonsingular(&mut rng, m as usize),
+            };
+            let tri = matches!(kernel, FinalizeKernel::Trtri).then_some(Triangle::Lower);
+            let t = best_time(options.reps, || {
+                let _ = execute_finalize(kernel, tri, &input).expect("finalizer runs");
+            });
+            let work = if kernel == FinalizeKernel::Transpose {
+                (m * m) as f64 // elements moved
+            } else {
+                finalize_cost_flops(kernel, m)
+            };
+            values.push(work / t);
+        }
+        finalize.insert(kernel, GridInterpolator::new(axis.clone(), 1, values));
+    }
+
+    PerfModels::new(assoc, finalize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_all_kernels_on_tiny_grid() {
+        let options = MeasureOptions {
+            grid: vec![8, 16],
+            reps: 1,
+            seed: 7,
+        };
+        let models = measure_models(&options);
+        for k in Kernel::ALL {
+            let p = models.kernel_perf(k, &[12.0, 12.0, 12.0]);
+            assert!(p.is_finite() && p > 0.0, "{k}: perf {p}");
+        }
+    }
+
+    #[test]
+    fn natural_cheap_set() {
+        assert!(natural_cheap(Kernel::Trtrmm));
+        assert!(natural_cheap(Kernel::Getrsv));
+        assert!(!natural_cheap(Kernel::Gemm));
+        assert!(!natural_cheap(Kernel::Gegesv));
+    }
+}

@@ -1,0 +1,190 @@
+//! The assembled performance model: a [`gmc_core::CostModel`] that
+//! estimates a variant's execution time by summing per-kernel-call
+//! estimates `FLOPs / interpolated FLOP/s`.
+
+use crate::grid::kernel_dims;
+use crate::interp::GridInterpolator;
+use gmc_core::{CostModel, Variant};
+use gmc_ir::Instance;
+use gmc_kernels::{cost_flops, finalize_cost_flops, FinalizeKernel, Kernel};
+use gmc_linalg::Side;
+use std::collections::HashMap;
+
+/// Measured performance models for every kernel.
+#[derive(Debug, Clone)]
+pub struct PerfModels {
+    assoc: HashMap<Kernel, GridInterpolator>,
+    finalize: HashMap<FinalizeKernel, GridInterpolator>,
+}
+
+impl PerfModels {
+    /// Assemble models from per-kernel interpolators (see
+    /// [`crate::measure::measure_models`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any association or finalizer kernel is missing a model.
+    #[must_use]
+    pub fn new(
+        assoc: HashMap<Kernel, GridInterpolator>,
+        finalize: HashMap<FinalizeKernel, GridInterpolator>,
+    ) -> Self {
+        for k in Kernel::ALL {
+            assert!(assoc.contains_key(&k), "missing model for {k}");
+        }
+        for k in [
+            FinalizeKernel::Getri,
+            FinalizeKernel::Sytri,
+            FinalizeKernel::Potri,
+            FinalizeKernel::Trtri,
+            FinalizeKernel::Transpose,
+        ] {
+            assert!(finalize.contains_key(&k), "missing model for {k}");
+        }
+        PerfModels { assoc, finalize }
+    }
+
+    /// The interpolator behind an association kernel (for persistence).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: construction guarantees every kernel has a model.
+    #[must_use]
+    pub fn assoc_model(&self, kernel: Kernel) -> &crate::interp::GridInterpolator {
+        &self.assoc[&kernel]
+    }
+
+    /// The interpolator behind a finalizer kernel (for persistence).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: construction guarantees every finalizer has a model.
+    #[must_use]
+    pub fn finalize_model(&self, kernel: FinalizeKernel) -> &crate::interp::GridInterpolator {
+        &self.finalize[&kernel]
+    }
+
+    /// Interpolated FLOP/s of `kernel` at the point `(m, k, n)` (only the
+    /// first [`kernel_dims`] coordinates are used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer coordinates than the kernel's dimensionality are
+    /// supplied.
+    #[must_use]
+    pub fn kernel_perf(&self, kernel: Kernel, point: &[f64]) -> f64 {
+        self.assoc[&kernel].interpolate(point)
+    }
+
+    /// Estimated execution time (seconds) of one association.
+    #[must_use]
+    pub fn step_time(
+        &self,
+        kernel: Kernel,
+        side: Side,
+        cheap: bool,
+        qa: u64,
+        qb: u64,
+        qc: u64,
+    ) -> f64 {
+        let flops = cost_flops(kernel, side, cheap, qa, qb, qc);
+        let point = match kernel_dims(kernel) {
+            3 => [qa as f64, qb as f64, qc as f64],
+            2 => match side {
+                // (coefficient size, companion dimension).
+                Side::Left => [qa as f64, qc as f64, 0.0],
+                Side::Right => [qc as f64, qa as f64, 0.0],
+            },
+            _ => [qa as f64, 0.0, 0.0],
+        };
+        let perf = self.kernel_perf(kernel, &point).max(1.0);
+        flops / perf
+    }
+
+    /// Estimated execution time (seconds) of a finalizer on an `m x m`
+    /// result (`m x n` for the transpose, which is costed per element).
+    #[must_use]
+    pub fn finalize_time(&self, kernel: FinalizeKernel, m: u64) -> f64 {
+        let work = if kernel == FinalizeKernel::Transpose {
+            (m * m) as f64
+        } else {
+            finalize_cost_flops(kernel, m)
+        };
+        let rate = self.finalize[&kernel].interpolate(&[m as f64]).max(1.0);
+        work / rate
+    }
+
+    /// Estimated execution time (seconds) of a whole variant on `q`.
+    #[must_use]
+    pub fn variant_time(&self, variant: &Variant, q: &Instance) -> f64 {
+        let sizes = q.sizes();
+        let mut total = 0.0;
+        for s in variant.steps() {
+            let (a, b, c) = s.triplet;
+            total += self.step_time(s.kernel, s.side, s.cheap, sizes[a], sizes[b], sizes[c]);
+        }
+        for f in variant.finalizes() {
+            total += self.finalize_time(f.kernel, sizes[f.size_sym]);
+        }
+        total
+    }
+}
+
+impl CostModel for PerfModels {
+    fn variant_cost(&self, variant: &Variant, q: &Instance) -> f64 {
+        self.variant_time(variant, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{measure_models, MeasureOptions};
+    use gmc_core::{all_variants, CompiledChain};
+    use gmc_ir::{Features, Operand, Shape};
+
+    fn tiny_models() -> PerfModels {
+        measure_models(&MeasureOptions {
+            grid: vec![8, 32],
+            reps: 1,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn variant_time_is_positive_and_monotone_in_sizes() {
+        let models = tiny_models();
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g, g, g]).unwrap();
+        let vs = all_variants(&shape).unwrap();
+        let small = Instance::new(vec![8, 8, 8, 8]);
+        let large = Instance::new(vec![32, 32, 32, 32]);
+        for v in &vs {
+            let ts = models.variant_time(v, &small);
+            let tl = models.variant_time(v, &large);
+            assert!(ts > 0.0);
+            assert!(tl > ts, "time must grow with size");
+        }
+    }
+
+    #[test]
+    fn model_dispatch_works_with_compiled_chain() {
+        let models = tiny_models();
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g, g, g]).unwrap();
+        let pool = all_variants(&shape).unwrap();
+        let chain = CompiledChain::from_variants(shape, pool);
+        let q = Instance::new(vec![4, 32, 4, 32]);
+        let (idx, cost) = chain.dispatch_with(&q, &models);
+        assert!(cost > 0.0);
+        assert!(idx < chain.variants().len());
+    }
+
+    #[test]
+    fn transpose_finalizer_costed_per_element() {
+        let models = tiny_models();
+        let t8 = models.finalize_time(FinalizeKernel::Transpose, 8);
+        let t32 = models.finalize_time(FinalizeKernel::Transpose, 32);
+        assert!(t8 > 0.0 && t32 > t8);
+    }
+}

@@ -1,0 +1,238 @@
+//! Plain-text persistence for measured performance models.
+//!
+//! Measuring models on the paper grid takes minutes; applications (and the
+//! Fig. 6 harness via `--models <path>`) can measure once and reload. The
+//! format is a simple line-oriented text file — no external dependencies:
+//!
+//! ```text
+//! gmc-perfmodels v1
+//! kernel GEMM 3
+//! axis 32 64 128
+//! values 1.1e9 ...
+//! finalize GETRI 1
+//! axis 32 64 128
+//! values 9.0e8 ...
+//! ```
+
+use crate::interp::GridInterpolator;
+use crate::model::PerfModels;
+use gmc_kernels::{FinalizeKernel, Kernel};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from loading a model file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The header line is missing or has the wrong version.
+    BadHeader,
+    /// A malformed line (payload: 1-based line number).
+    BadLine(usize),
+    /// An unknown kernel name.
+    UnknownKernel(String),
+    /// Models are missing for some kernels.
+    Incomplete,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::BadHeader => write!(f, "missing or incompatible header"),
+            LoadError::BadLine(n) => write!(f, "malformed model file at line {n}"),
+            LoadError::UnknownKernel(k) => write!(f, "unknown kernel `{k}`"),
+            LoadError::Incomplete => write!(f, "model file does not cover every kernel"),
+        }
+    }
+}
+
+impl Error for LoadError {}
+
+const HEADER: &str = "gmc-perfmodels v1";
+
+fn kernel_by_name(name: &str) -> Option<Kernel> {
+    Kernel::ALL.into_iter().find(|k| k.name() == name)
+}
+
+fn finalize_by_name(name: &str) -> Option<FinalizeKernel> {
+    [
+        FinalizeKernel::Getri,
+        FinalizeKernel::Sytri,
+        FinalizeKernel::Potri,
+        FinalizeKernel::Trtri,
+        FinalizeKernel::Transpose,
+    ]
+    .into_iter()
+    .find(|k| k.name() == name)
+}
+
+fn emit_entry(out: &mut String, tag: &str, name: &str, it: &GridInterpolator) {
+    out.push_str(&format!("{tag} {name} {}\n", it.dims()));
+    out.push_str("axis");
+    for a in it.axis() {
+        out.push_str(&format!(" {a}"));
+    }
+    out.push('\n');
+    out.push_str("values");
+    for v in it.values() {
+        out.push_str(&format!(" {v:e}"));
+    }
+    out.push('\n');
+}
+
+/// Serialize models to the text format.
+#[must_use]
+pub fn to_text(models: &PerfModels) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for kernel in Kernel::ALL {
+        emit_entry(
+            &mut out,
+            "kernel",
+            kernel.name(),
+            models.assoc_model(kernel),
+        );
+    }
+    for kernel in [
+        FinalizeKernel::Getri,
+        FinalizeKernel::Sytri,
+        FinalizeKernel::Potri,
+        FinalizeKernel::Trtri,
+        FinalizeKernel::Transpose,
+    ] {
+        emit_entry(
+            &mut out,
+            "finalize",
+            kernel.name(),
+            models.finalize_model(kernel),
+        );
+    }
+    out
+}
+
+/// Parse models from the text format.
+///
+/// # Errors
+///
+/// Returns [`LoadError`] for malformed or incomplete files.
+pub fn from_text(text: &str) -> Result<PerfModels, LoadError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(LoadError::BadHeader),
+    }
+    let mut assoc: HashMap<Kernel, GridInterpolator> = HashMap::new();
+    let mut finalize: HashMap<FinalizeKernel, GridInterpolator> = HashMap::new();
+
+    while let Some((ln, line)) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().ok_or(LoadError::BadLine(ln + 1))?;
+        let name = parts.next().ok_or(LoadError::BadLine(ln + 1))?;
+        let dims: usize = parts
+            .next()
+            .and_then(|d| d.parse().ok())
+            .ok_or(LoadError::BadLine(ln + 1))?;
+
+        let (_, axis_line) = lines.next().ok_or(LoadError::BadLine(ln + 2))?;
+        let axis: Vec<f64> = axis_line
+            .trim()
+            .strip_prefix("axis")
+            .ok_or(LoadError::BadLine(ln + 2))?
+            .split_whitespace()
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| LoadError::BadLine(ln + 2))?;
+
+        let (_, values_line) = lines.next().ok_or(LoadError::BadLine(ln + 3))?;
+        let values: Vec<f64> = values_line
+            .trim()
+            .strip_prefix("values")
+            .ok_or(LoadError::BadLine(ln + 3))?
+            .split_whitespace()
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| LoadError::BadLine(ln + 3))?;
+
+        if axis.len() < 2 || values.len() != axis.len().pow(dims as u32) {
+            return Err(LoadError::BadLine(ln + 3));
+        }
+        let it = GridInterpolator::new(axis, dims, values);
+        match tag {
+            "kernel" => {
+                let k =
+                    kernel_by_name(name).ok_or_else(|| LoadError::UnknownKernel(name.into()))?;
+                assoc.insert(k, it);
+            }
+            "finalize" => {
+                let k =
+                    finalize_by_name(name).ok_or_else(|| LoadError::UnknownKernel(name.into()))?;
+                finalize.insert(k, it);
+            }
+            _ => return Err(LoadError::BadLine(ln + 1)),
+        }
+    }
+    if assoc.len() != Kernel::ALL.len() || finalize.len() != 5 {
+        return Err(LoadError::Incomplete);
+    }
+    Ok(PerfModels::new(assoc, finalize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{measure_models, MeasureOptions};
+    use gmc_linalg::Side;
+
+    fn tiny() -> PerfModels {
+        measure_models(&MeasureOptions {
+            grid: vec![8, 16],
+            reps: 1,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_estimates() {
+        let m = tiny();
+        let text = to_text(&m);
+        let loaded = from_text(&text).unwrap();
+        for kernel in Kernel::ALL {
+            for p in [[8.0, 8.0, 8.0], [12.0, 16.0, 9.0], [40.0, 40.0, 40.0]] {
+                let a = m.kernel_perf(kernel, &p);
+                let b = loaded.kernel_perf(kernel, &p);
+                assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{kernel}");
+            }
+        }
+        let a = m.step_time(Kernel::Gemm, Side::Left, false, 10, 11, 12);
+        let b = loaded.step_time(Kernel::Gemm, Side::Left, false, 10, 11, 12);
+        assert!((a - b).abs() <= 1e-12 * a.max(1e-12));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(from_text("nope\n"), Err(LoadError::BadHeader)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let m = tiny();
+        let text = to_text(&m);
+        let truncated: String = text.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        let text = format!("{HEADER}\nkernel BOGUS 1\naxis 1 2\nvalues 1 2\n");
+        assert!(matches!(from_text(&text), Err(LoadError::UnknownKernel(_))));
+    }
+
+    #[test]
+    fn incomplete_file_rejected() {
+        let text = format!("{HEADER}\nkernel GEMM 1\naxis 1 2\nvalues 1 2\n");
+        assert!(matches!(from_text(&text), Err(LoadError::Incomplete)));
+    }
+}

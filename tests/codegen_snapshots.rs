@@ -1,0 +1,126 @@
+//! Structure checks on the emitted C++ and Rust sources: the Fig. 1 layout
+//! (variants + cost functions + dispatch) must be present and internally
+//! consistent.
+
+use gmc::prelude::*;
+
+fn compiled_kalman() -> CompiledChain {
+    let program = parse_program(
+        "Matrix G1 <General, Singular>;
+         Matrix G2 <General, Singular>;
+         Matrix G3 <General, Singular>;
+         Matrix M  <Symmetric, SPD>;
+         K := G1 * G2 * G3^T * M^-1;",
+    )
+    .unwrap();
+    CompiledChain::compile(program.shape().clone()).unwrap()
+}
+
+#[test]
+fn cpp_has_fig1_layout() {
+    let chain = compiled_kalman();
+    let cpp = emit_cpp(&chain, "kalman_gain");
+    let k = chain.variants().len();
+    for i in 0..k {
+        assert!(
+            cpp.contains(&format!("kalman_gain_cost_{i}")),
+            "cost fn {i}"
+        );
+        assert!(
+            cpp.contains(&format!("kalman_gain_variant_{i}")),
+            "variant fn {i}"
+        );
+    }
+    assert!(cpp.contains("void kalman_gain("));
+    assert!(cpp.matches("case ").count() >= k);
+    // Balanced braces.
+    assert_eq!(cpp.matches('{').count(), cpp.matches('}').count());
+}
+
+#[test]
+fn cpp_uses_spd_solver_for_inverted_spd() {
+    let chain = compiled_kalman();
+    let cpp = emit_cpp(&chain, "f");
+    // M^{-1} with a general right-hand side must become POGESV somewhere
+    // in the emitted variants.
+    assert!(cpp.contains("gmc_pogesv("), "{cpp}");
+    // Nothing should be explicitly inverted in this chain.
+    assert!(!cpp.contains("gmc_getri("));
+}
+
+#[test]
+fn rust_module_is_well_formed() {
+    let chain = compiled_kalman();
+    let code = emit_rust(&chain, "kalman_gain");
+    assert!(code.contains("pub fn kalman_gain("));
+    assert!(code.contains("Kernel::"));
+    assert_eq!(code.matches('{').count(), code.matches('}').count());
+    // The dispatcher reads q[4] entries for a 4-chain: n + 1 sizes.
+    assert!(code.contains("let q: [f64; 5]"));
+}
+
+#[test]
+fn cost_functions_reference_only_valid_symbols() {
+    let chain = compiled_kalman();
+    let cpp = emit_cpp(&chain, "f");
+    let n = chain.shape().len();
+    // Size-symbol accesses in cost expressions must be in 0..=n (the
+    // declaration `long q[n+1];` itself is not an access).
+    for idx in 0..=9usize {
+        if cpp.contains(&format!("(double)q[{idx}]")) {
+            assert!(idx <= n, "symbol q[{idx}] out of range");
+        }
+    }
+    assert!(cpp.contains(&format!("long q[{}];", n + 1)));
+}
+
+#[test]
+fn single_matrix_chain_emits() {
+    // n = 1 chains have no association steps, only (possibly) finalizers.
+    let p = Operand::plain(Features::new(Structure::Symmetric, Property::Spd)).inverted();
+    let shape = Shape::new(vec![p]).unwrap();
+    let pool = all_variants(&shape).unwrap();
+    assert_eq!(pool.len(), 1);
+    let chain = CompiledChain::from_variants(shape, pool);
+    let cpp = emit_cpp(&chain, "spd_inverse");
+    assert!(cpp.contains("gmc_potri(A0)"), "{cpp}");
+    assert_eq!(cpp.matches('{').count(), cpp.matches('}').count());
+    let rs = emit_rust(&chain, "spd_inverse");
+    assert!(rs.contains("FinalizeKernel::Potri"), "{rs}");
+    assert_eq!(rs.matches('{').count(), rs.matches('}').count());
+}
+
+#[test]
+fn runtime_header_pairs_with_generated_code() {
+    use gmc::codegen::emit_runtime_header;
+    let chain = compiled_kalman();
+    let cpp = emit_cpp(&chain, "f");
+    let header = emit_runtime_header();
+    // Every gmc_/cblas_ function the generated code calls is declared in
+    // the header.
+    for line in cpp.lines() {
+        for prefix in ["gmc_", "cblas_"] {
+            if let Some(pos) = line.find(prefix) {
+                let rest = &line[pos..];
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                assert!(header.contains(&name), "header missing {name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn emitters_cover_finalizers() {
+    // G1^{-1} G2^{-1} forces an explicit inverse of the end result.
+    let gi = Operand::plain(Features::new(Structure::General, Property::NonSingular)).inverted();
+    let shape = Shape::new(vec![gi, gi]).unwrap();
+    let pool = all_variants(&shape).unwrap();
+    let chain = CompiledChain::from_variants(shape, pool);
+    let cpp = emit_cpp(&chain, "invprod");
+    assert!(cpp.contains("gmc_getri("), "{cpp}");
+    let rs = emit_rust(&chain, "invprod");
+    assert!(rs.contains("FinalizeKernel::Getri"), "{rs}");
+}

@@ -1,0 +1,44 @@
+//! Property test: the DP solver's optimal cost equals the minimum over the
+//! explicitly enumerated variant set, on arbitrary experiment shapes and
+//! instances.
+
+use gmc::prelude::*;
+use proptest::prelude::*;
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    (0..10usize).prop_map(|i| Operand::experiment_options()[i])
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (2usize..=6)
+        .prop_flat_map(|n| proptest::collection::vec(arb_operand(), n))
+        .prop_map(|ops| Shape::new(ops).expect("experiment options are valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_equals_enumeration_minimum(shape in arb_shape(), seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = InstanceSampler::new(&shape, 2, 1000).sample(&mut rng);
+        let enum_min = all_variants(&shape)
+            .unwrap()
+            .iter()
+            .map(|v| v.flops(&q))
+            .fold(f64::INFINITY, f64::min);
+        let dp = optimal_cost(&shape, &q).unwrap();
+        let rel = (dp - enum_min).abs() / enum_min.max(1.0);
+        prop_assert!(rel < 1e-9, "dp {dp} vs enum {enum_min} on {shape} / {q}");
+    }
+
+    #[test]
+    fn dp_is_a_lower_bound_for_every_variant(shape in arb_shape(), seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = InstanceSampler::new(&shape, 2, 500).sample(&mut rng);
+        let dp = optimal_cost(&shape, &q).unwrap();
+        for v in all_variants(&shape).unwrap() {
+            prop_assert!(v.flops(&q) >= dp - 1e-6);
+        }
+    }
+}

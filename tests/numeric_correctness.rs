@@ -1,0 +1,115 @@
+//! Exhaustive numeric correctness: for random experiment shapes, *every*
+//! parenthesization's variant must produce the same value as the naive
+//! reference evaluator (which materializes explicit inverses).
+
+use gmc::prelude::*;
+use gmc_bench::workload::ShapeSampler;
+use gmc_core::reference::evaluate_reference;
+use gmc_linalg::relative_error;
+
+use gmc_bench::workload::instantiate as matrices_for;
+
+#[test]
+fn all_variants_agree_with_reference_on_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(777);
+    let sampler = ShapeSampler::uniform();
+    for n in 2..=5usize {
+        for _ in 0..6 {
+            let shape = sampler.sample(&mut rng, n);
+            let inst = InstanceSampler::new(&shape, 3, 14).sample(&mut rng);
+            let mats = matrices_for(&shape, &inst, &mut rng);
+            let want = evaluate_reference(&shape, &mats).unwrap();
+            for v in all_variants(&shape).unwrap() {
+                let got = v.execute(&mats).unwrap();
+                let err = relative_error(&got, &want);
+                assert!(
+                    err < 1e-6,
+                    "shape {shape}, variant {} (kernels {:?}): error {err}",
+                    v.paren(),
+                    v.kernels_used()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn transposed_operands_execute_correctly() {
+    // Transposition patterns beyond the experiment options: G^T, L^T, L^-T.
+    let g = Operand::plain(Features::general());
+    let l = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular));
+    let candidates = vec![
+        Shape::new(vec![g.transposed(), g]).unwrap(),
+        Shape::new(vec![g, g.transposed()]).unwrap(),
+        Shape::new(vec![l.transposed(), g]).unwrap(),
+        Shape::new(vec![g, l.transposed()]).unwrap(),
+        Shape::new(vec![l.transposed().inverted(), g]).unwrap(),
+        Shape::new(vec![g, l.transposed().inverted()]).unwrap(),
+        Shape::new(vec![g.transposed(), l.inverted(), g.transposed()]).unwrap(),
+    ];
+    let mut rng = StdRng::seed_from_u64(31);
+    for shape in candidates {
+        let inst = InstanceSampler::new(&shape, 3, 12).sample(&mut rng);
+        let mats = matrices_for(&shape, &inst, &mut rng);
+        let want = evaluate_reference(&shape, &mats).unwrap();
+        for v in all_variants(&shape).unwrap() {
+            let got = v.execute(&mats).unwrap();
+            let err = relative_error(&got, &want);
+            assert!(err < 1e-7, "shape {shape}: error {err}");
+        }
+    }
+}
+
+#[test]
+fn inverted_chains_with_propagation_execute_correctly() {
+    // Chains designed to exercise the inversion-propagation rewrites,
+    // including a forced explicit inverse on the end result.
+    let gi = Operand::plain(Features::new(Structure::General, Property::NonSingular)).inverted();
+    let li = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular)).inverted();
+    let l = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular));
+    let pi = Operand::plain(Features::new(Structure::Symmetric, Property::Spd)).inverted();
+    let g = Operand::plain(Features::general());
+
+    let candidates = vec![
+        Shape::new(vec![gi, gi]).unwrap(), // (G2 G1)^{-1}: GETRI finalizer
+        Shape::new(vec![l, gi, g]).unwrap(), // the Sec. IV worked example
+        Shape::new(vec![gi, li]).unwrap(), // mixed inverses
+        Shape::new(vec![pi, gi]).unwrap(), // SPD then general inverse
+        Shape::new(vec![g, gi, l]).unwrap(),
+        Shape::new(vec![li, li]).unwrap(),
+    ];
+    let mut rng = StdRng::seed_from_u64(55);
+    for shape in candidates {
+        let inst = InstanceSampler::new(&shape, 4, 10).sample(&mut rng);
+        let mats = matrices_for(&shape, &inst, &mut rng);
+        let want = evaluate_reference(&shape, &mats).unwrap();
+        for v in all_variants(&shape).unwrap() {
+            let got = v.execute(&mats).unwrap();
+            let err = relative_error(&got, &want);
+            assert!(err < 1e-6, "shape {shape}: error {err}");
+        }
+    }
+}
+
+#[test]
+fn single_matrix_chains() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let cases = vec![
+        Operand::plain(Features::general()),
+        Operand::plain(Features::general()).transposed(),
+        Operand::plain(Features::new(Structure::General, Property::NonSingular)).inverted(),
+        Operand::plain(Features::new(Structure::Symmetric, Property::Spd)).inverted(),
+        Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular))
+            .inverted()
+            .transposed(),
+    ];
+    for op in cases {
+        let shape = Shape::new(vec![op]).unwrap();
+        let inst = InstanceSampler::new(&shape, 5, 9).sample(&mut rng);
+        let mats = matrices_for(&shape, &inst, &mut rng);
+        let want = evaluate_reference(&shape, &mats).unwrap();
+        let v = build_variant(&shape, &ParenTree::Leaf(0)).unwrap();
+        let got = v.execute(&mats).unwrap();
+        assert!(relative_error(&got, &want) < 1e-8, "op {op:?}");
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end pipeline tests: grammar -> shape -> compile -> dispatch ->
+//! numeric execution, validated against the naive reference evaluator.
+
+use gmc::prelude::*;
+use gmc_core::reference::evaluate_reference;
+use gmc_linalg::relative_error;
+
+use gmc_bench::workload::instantiate as matrices_for;
+
+#[test]
+fn grammar_to_execution_kalman() {
+    let program = parse_program(
+        "Matrix G1 <General, Singular>;
+         Matrix G2 <General, Singular>;
+         Matrix G3 <General, Singular>;
+         Matrix M  <Symmetric, SPD>;
+         K := G1 * G2 * G3^T * M^-1;",
+    )
+    .unwrap();
+    let shape = program.shape().clone();
+    let chain = CompiledChain::compile(shape.clone()).unwrap();
+    let mut rng = StdRng::seed_from_u64(100);
+    let q = Instance::new(vec![30, 12, 9, 17, 17]);
+    let mats = matrices_for(&shape, &q, &mut rng);
+    let got = chain.evaluate(&mats).unwrap();
+    let want = evaluate_reference(&shape, &mats).unwrap();
+    assert!(relative_error(&got, &want) < 1e-8);
+}
+
+#[test]
+fn dispatch_cost_matches_executed_variant() {
+    let program = parse_program(
+        "Matrix A <General, Singular>;
+         Matrix B <General, Singular>;
+         Matrix C <General, Singular>;
+         X := A * B * C;",
+    )
+    .unwrap();
+    let shape = program.shape().clone();
+    let pool = all_variants(&shape).unwrap();
+    let chain = CompiledChain::from_variants(shape, pool.clone());
+    let q = Instance::new(vec![3, 90, 4, 80]);
+    let (idx, cost) = chain.dispatch(&q);
+    // The dispatched cost is the pool minimum.
+    let min = pool
+        .iter()
+        .map(|v| v.flops(&q))
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(cost, min);
+    assert_eq!(pool[idx].flops(&q), min);
+}
+
+#[test]
+fn random_shapes_compile_and_run_correctly() {
+    let mut rng = StdRng::seed_from_u64(2025);
+    let sampler = gmc_bench::workload::ShapeSampler::uniform();
+    for n in 2..=6usize {
+        for _ in 0..4 {
+            let shape = sampler.sample(&mut rng, n);
+            let chain = CompiledChain::compile(shape.clone()).unwrap();
+            let inst = InstanceSampler::new(&shape, 4, 24).sample(&mut rng);
+            let mats = matrices_for(&shape, &inst, &mut rng);
+            let got = chain.evaluate(&mats).unwrap();
+            let want = evaluate_reference(&shape, &mats).unwrap();
+            let err = relative_error(&got, &want);
+            assert!(err < 1e-6, "shape {shape}: error {err}");
+        }
+    }
+}
+
+#[test]
+fn perf_model_dispatch_end_to_end() {
+    let models = measure_models(&MeasureOptions {
+        grid: vec![8, 24],
+        reps: 1,
+        seed: 5,
+    });
+    let program = parse_program(
+        "Matrix A <General, Singular>;
+         Matrix L <LowerTri, NonSingular>;
+         Matrix B <General, Singular>;
+         X := A * L^-1 * B;",
+    )
+    .unwrap();
+    let shape = program.shape().clone();
+    let chain = CompiledChain::compile(shape.clone()).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let q = Instance::new(vec![20, 10, 10, 16]);
+    let mats = matrices_for(&shape, &q, &mut rng);
+    let got = chain.evaluate_with(&mats, &models).unwrap();
+    let want = evaluate_reference(&shape, &mats).unwrap();
+    assert!(relative_error(&got, &want) < 1e-8);
+}
+
+#[test]
+fn lying_about_features_fails_gracefully() {
+    // The user declares M as SPD but passes an indefinite matrix: the
+    // Cholesky-based kernels must report an error, not a wrong answer.
+    let program = parse_program(
+        "Matrix M <Symmetric, SPD>;
+         Matrix B <General, Singular>;
+         X := M^-1 * B;",
+    )
+    .unwrap();
+    let chain = CompiledChain::compile(program.shape().clone()).unwrap();
+    let mut not_spd = Matrix::identity(4);
+    not_spd.set(0, 0, -1.0); // indefinite
+    let b = Matrix::identity(4);
+    let err = chain.evaluate(&[not_spd, b]).unwrap_err();
+    assert!(
+        err.to_string().contains("positive definite"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn singular_runtime_matrix_fails_gracefully() {
+    let program = parse_program(
+        "Matrix A <General, NonSingular>;
+         Matrix B <General, Singular>;
+         X := A^-1 * B;",
+    )
+    .unwrap();
+    let chain = CompiledChain::compile(program.shape().clone()).unwrap();
+    let singular = Matrix::zeros(3, 3);
+    let b = Matrix::identity(3);
+    assert!(chain.evaluate(&[singular, b]).is_err());
+}
+
+#[test]
+fn every_selected_variant_executes_correctly() {
+    // Not just the dispatched one: all variants in the compiled set must be
+    // numerically interchangeable.
+    let program = parse_program(
+        "Matrix G1 <General, Singular>;
+         Matrix L  <LowerTri, NonSingular>;
+         Matrix G2 <General, Singular>;
+         Matrix P  <Symmetric, SPD>;
+         X := G1 * L^-1 * G2 * P^-1;",
+    )
+    .unwrap();
+    let shape = program.shape().clone();
+    let chain = CompiledChain::compile(shape.clone()).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    let q = Instance::new(vec![14, 10, 10, 12, 12]);
+    let mats = matrices_for(&shape, &q, &mut rng);
+    let want = evaluate_reference(&shape, &mats).unwrap();
+    for v in chain.variants() {
+        let got = v.execute(&mats).unwrap();
+        assert!(
+            relative_error(&got, &want) < 1e-7,
+            "variant {} diverges",
+            v.paren()
+        );
+    }
+}
