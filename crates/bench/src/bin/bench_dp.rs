@@ -1,0 +1,74 @@
+//! Compiler-latency trajectory harness: times the flat interned DP solver
+//! against the original HashMap formulation on 20-operand chains and
+//! writes `BENCH_dp.json`.
+//!
+//! Run with `cargo run --release --bin bench_dp [output.json]`.
+
+use gmc_core::dp::optimal_cost_reference;
+use gmc_core::optimal_cost;
+use gmc_ir::{Features, Instance, Operand, Property, Shape, Structure};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dp.json".to_owned());
+    let g = Operand::plain(Features::general());
+    let l = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular));
+    let chains: [(&str, Vec<Operand>); 2] = [
+        ("general-20", (0..20).map(|_| g).collect()),
+        (
+            "mixed-20",
+            (0..20).map(|i| if i % 3 == 0 { l } else { g }).collect(),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, ops) in chains {
+        let shape = Shape::new(ops).unwrap();
+        let sizes: Vec<u64> = (0..21).map(|i| 2 + (i * 37) % 100).collect();
+        let inst = Instance::new(sizes);
+        // Warm-up + sanity: both solvers must agree bit-for-bit.
+        let fast_cost = optimal_cost(&shape, &inst).unwrap();
+        let ref_cost = optimal_cost_reference(&shape, &inst).unwrap();
+        assert_eq!(fast_cost.to_bits(), ref_cost.to_bits(), "solver mismatch");
+
+        let reps = 300;
+        let flat = best_of(reps, || optimal_cost(&shape, &inst).unwrap());
+        let reference = best_of(reps, || optimal_cost_reference(&shape, &inst).unwrap());
+        println!(
+            "{name:<12} flat {:8.1} us   reference {:8.1} us   speedup {:.2}x",
+            flat * 1e6,
+            reference * 1e6,
+            reference / flat
+        );
+        rows.push((name, flat, reference));
+    }
+
+    let mut json =
+        String::from("{\n  \"bench\": \"optimal_cost\",\n  \"unit\": \"us\",\n  \"chains\": [\n");
+    for (idx, (name, flat, reference)) in rows.iter().enumerate() {
+        let comma = if idx + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"chain\": \"{name}\", \"flat_us\": {:.2}, \"reference_us\": {:.2}, \"speedup\": {:.4}}}{comma}",
+            flat * 1e6,
+            reference * 1e6,
+            reference / flat
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,66 @@
+//! GEMM perf-trajectory harness: measures the blocked kernel against the
+//! seed scalar kernel and writes `BENCH_gemm.json` so later PRs can track
+//! the FLOP-rate trajectory.
+//!
+//! Run with `cargo run --release --bin bench_gemm [output.json]`.
+
+use gmc_linalg::{gemm_blocked, gemm_scalar, random_general, Matrix, Transpose};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [64, 256, 512, 1024];
+
+/// Best-of-`reps` GFLOP/s for one kernel at size n.
+fn gflops<F: FnMut(&Matrix, &Matrix, &mut Matrix)>(n: usize, mut kernel: F) -> f64 {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let a = random_general(&mut rng, n, n);
+    let b = random_general(&mut rng, n, n);
+    let mut c = Matrix::zeros(n, n);
+    let flops = 2.0 * (n as f64).powi(3);
+    // Warm-up (also faults in the packing workspace).
+    kernel(&a, &b, &mut c);
+    let reps = (5e8 / flops).clamp(1.0, 20.0) as usize;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(3) {
+        let t = Instant::now();
+        kernel(&a, &b, &mut c);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    flops / best / 1e9
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_gemm.json".to_owned());
+    let mut rows = Vec::new();
+    for n in SIZES {
+        let blocked = gflops(n, |a, b, c| {
+            gemm_blocked(1.0, a, Transpose::No, b, Transpose::No, 0.0, c);
+        });
+        let scalar = gflops(n, |a, b, c| {
+            gemm_scalar(1.0, a, Transpose::No, b, Transpose::No, 0.0, c);
+        });
+        println!(
+            "n={n:<5} blocked {blocked:7.3} GFLOP/s   scalar {scalar:7.3} GFLOP/s   speedup {:.2}x",
+            blocked / scalar
+        );
+        rows.push((n, blocked, scalar));
+    }
+
+    let mut json =
+        String::from("{\n  \"bench\": \"gemm\",\n  \"unit\": \"GFLOP/s\",\n  \"sizes\": [\n");
+    for (idx, (n, blocked, scalar)) in rows.iter().enumerate() {
+        let comma = if idx + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {n}, \"blocked\": {blocked:.4}, \"scalar\": {scalar:.4}, \"speedup\": {:.4}}}{comma}",
+            blocked / scalar
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -7,10 +7,14 @@
 //! Cholesky, Householder QR), explicit inverses, and random generators for
 //! structured matrices (symmetric, SPD, triangular, orthogonal).
 //!
-//! Everything is implemented from scratch in safe Rust; no external BLAS is
-//! required. The kernels favour cache-friendly loop orders over absolute
-//! peak performance — the compiler's experiments depend on the *relative*
-//! costs of kernels, which these implementations preserve.
+//! Everything is implemented from scratch with no external BLAS. All code
+//! is safe Rust except the explicitly-SIMD GEMM micro-kernel, which uses
+//! `std::arch` AVX-512 intrinsics when the target supports them (with a
+//! safe autovectorized fallback elsewhere). GEMM is cache-blocked and
+//! packed in the BLIS style (see [`gemm`]'s module docs), and `symm` /
+//! `trmm` / `trsm` route their large block updates through the same
+//! packed core, so the *relative* kernel costs the compiler's experiments
+//! depend on are preserved while the absolute rates track the hardware.
 //!
 //! # Example
 //!
@@ -45,7 +49,10 @@ mod tri;
 
 pub use chol::{cholesky, potrs, CholeskyFactor};
 pub use error::LinalgError;
-pub use gemm::{gemm, matmul};
+pub use gemm::{
+    gemm, gemm_blocked, gemm_scalar, gemm_with, matmul, GemmWorkspace, BLOCKED_MIN_WORK, KC, MC,
+    MR, NC, NR,
+};
 pub use generate::{
     random_general, random_lower_triangular, random_nonsingular, random_orthogonal, random_spd,
     random_symmetric, random_upper_triangular,

@@ -73,39 +73,41 @@ pub fn symm(
         }
     }
 
-    let bval = |i: usize, j: usize| match tb {
-        Transpose::No => b.get(i, j),
-        Transpose::Yes => b.get(j, i),
-    };
-
+    // Symmetric operands are stored dense (full storage), so both sides
+    // route straight through the blocked GEMM core: the structure only
+    // matters to the *compiler's* cost model, not to the multiply itself.
+    let (brs, bcs) = crate::gemm::op_strides(b, tb);
+    let k = a.rows();
+    let ldc = c.rows();
     match side {
-        Side::Left => {
-            for j in 0..n {
-                for p in 0..a.cols() {
-                    let f = alpha * bval(p, j);
-                    if f == 0.0 {
-                        continue;
-                    }
-                    let acol = a.col(p);
-                    let ccol = c.col_mut(j);
-                    for i in 0..m {
-                        ccol[i] += acol[i] * f;
-                    }
-                }
-            }
-        }
-        Side::Right => {
-            for j in 0..n {
-                for i in 0..m {
-                    let mut s = 0.0;
-                    for p in 0..a.rows() {
-                        s += bval(i, p) * a.get(p, j);
-                    }
-                    let v = c.get(i, j) + alpha * s;
-                    c.set(i, j, v);
-                }
-            }
-        }
+        Side::Left => crate::gemm::gemm_acc_strided(
+            alpha,
+            m,
+            n,
+            k,
+            a.as_slice(),
+            1,
+            a.rows(),
+            b.as_slice(),
+            brs,
+            bcs,
+            c.as_mut_slice(),
+            ldc,
+        ),
+        Side::Right => crate::gemm::gemm_acc_strided(
+            alpha,
+            m,
+            n,
+            k,
+            b.as_slice(),
+            brs,
+            bcs,
+            a.as_slice(),
+            1,
+            a.rows(),
+            c.as_mut_slice(),
+            ldc,
+        ),
     }
 }
 

@@ -1,5 +1,27 @@
+//! Triangular multiply and solve (BLAS `TRMM` / `TRSM`).
+//!
+//! Both kernels are blocked for large operands: the triangular matrix is
+//! partitioned into `TRI_NB`-wide diagonal blocks, the small triangular
+//! work on each diagonal block runs the scalar reference loops, and every
+//! large off-diagonal block update is routed through the packed blocked
+//! GEMM core ([`crate::gemm`]), which is where almost all of the FLOPs
+//! live (`1 - TRI_NB/n` of them). Below [`TRI_BLOCK_MIN`] the original
+//! scalar kernels run unchanged.
+
 use crate::matrix::{Matrix, Transpose, Triangle};
 use crate::symm::Side;
+use std::cell::RefCell;
+
+/// Diagonal block size of the blocked triangular kernels.
+const TRI_NB: usize = 64;
+/// Minimum triangular dimension for the blocked path.
+const TRI_BLOCK_MIN: usize = 96;
+
+thread_local! {
+    /// Gather/scatter buffer for the left-side blocked kernels (disjoint
+    /// from the GEMM packing workspace, which is borrowed re-entrantly).
+    static TRI_BUF: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Triangular matrix-matrix multiply (BLAS `TRMM`):
 /// `B := alpha * op(A) * B` (left) or `B := alpha * B * op(A)` (right),
@@ -28,6 +50,419 @@ pub fn trmm(side: Side, tri: Triangle, ta: Transpose, alpha: f64, a: &Matrix, b:
         Side::Left => assert_eq!(b.rows(), n, "trmm: size mismatch"),
         Side::Right => assert_eq!(b.cols(), n, "trmm: size mismatch"),
     }
+    if n < TRI_BLOCK_MIN {
+        trmm_scalar(side, tri, ta, alpha, a, b);
+        return;
+    }
+    if alpha != 1.0 {
+        b.scale(alpha);
+    }
+    if alpha == 0.0 {
+        return;
+    }
+    let eff = match ta {
+        Transpose::No => tri,
+        Transpose::Yes => tri.transposed(),
+    };
+    let (trs, tcs) = crate::gemm::op_strides(a, ta);
+    match side {
+        Side::Left => trmm_blocked_left(eff, a.as_slice(), trs, tcs, n, b),
+        Side::Right => trmm_blocked_right(eff, a.as_slice(), trs, tcs, n, b),
+    }
+}
+
+/// Triangular solve with multiple right-hand sides (BLAS `TRSM`):
+/// solves `op(A) * X = alpha * B` (left) or `X * op(A) = alpha * B` (right)
+/// for `X`, overwriting `B`.
+///
+/// # Panics
+///
+/// Panics if `A` is not square, sizes are incompatible, or a diagonal entry
+/// of `A` is exactly zero.
+///
+/// # Example
+///
+/// ```
+/// use gmc_linalg::{trsm, trmm, Matrix, Side, Transpose, Triangle};
+/// let a = Matrix::from_rows(2, 2, &[2.0, 0.0, 1.0, 4.0]);
+/// let mut x = Matrix::from_rows(2, 1, &[2.0, 5.0]);
+/// trsm(Side::Left, Triangle::Lower, Transpose::No, 1.0, &a, &mut x);
+/// // verify A * x = b
+/// assert!((2.0 * x.get(0, 0) - 2.0).abs() < 1e-12);
+/// assert!((x.get(0, 0) + 4.0 * x.get(1, 0) - 5.0).abs() < 1e-12);
+/// ```
+pub fn trsm(side: Side, tri: Triangle, ta: Transpose, alpha: f64, a: &Matrix, b: &mut Matrix) {
+    assert!(a.is_square(), "trsm: A must be square");
+    let n = a.rows();
+    match side {
+        Side::Left => assert_eq!(b.rows(), n, "trsm: size mismatch"),
+        Side::Right => assert_eq!(b.cols(), n, "trsm: size mismatch"),
+    }
+    if n < TRI_BLOCK_MIN {
+        trsm_scalar(side, tri, ta, alpha, a, b);
+        return;
+    }
+    if alpha != 1.0 {
+        b.scale(alpha);
+    }
+    let eff = match ta {
+        Transpose::No => tri,
+        Transpose::Yes => tri.transposed(),
+    };
+    let (trs, tcs) = crate::gemm::op_strides(a, ta);
+    match side {
+        Side::Left => trsm_blocked_left(eff, a.as_slice(), trs, tcs, n, b),
+        Side::Right => trsm_blocked_right(eff, a.as_slice(), trs, tcs, n, b),
+    }
+}
+
+/// `(start, end)` of diagonal block `ib`.
+fn block_bounds(ib: usize, n: usize) -> (usize, usize) {
+    let r0 = ib * TRI_NB;
+    (r0, (r0 + TRI_NB).min(n))
+}
+
+fn with_buf<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    TRI_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
+
+/// `B := op(T) * B` with `op(T)` effectively `eff`-triangular, blocked by
+/// rows of B. The new value of row block `i` mixes the diagonal block with
+/// the *unmodified* row blocks on the stored side, so `Lower` runs
+/// bottom-up and `Upper` top-down; each block is computed into a scratch
+/// buffer and scattered back, which keeps every GEMM operand borrow
+/// disjoint.
+fn trmm_blocked_left(eff: Triangle, t: &[f64], trs: usize, tcs: usize, n: usize, b: &mut Matrix) {
+    let ldb = b.rows();
+    let ncols = b.cols();
+    let nblocks = n.div_ceil(TRI_NB);
+    let order: Box<dyn Iterator<Item = usize>> = match eff {
+        Triangle::Lower => Box::new((0..nblocks).rev()),
+        Triangle::Upper => Box::new(0..nblocks),
+    };
+    for ib in order {
+        let (r0, r1) = block_bounds(ib, n);
+        let nb = r1 - r0;
+        with_buf(nb * ncols, |out| {
+            {
+                let bs = b.as_slice();
+                // Diagonal block, triangle-masked: out = T[d,d] * B[block].
+                for c in 0..ncols {
+                    let bcol = &bs[c * ldb..c * ldb + n];
+                    for r in 0..nb {
+                        let (qlo, qhi) = match eff {
+                            Triangle::Lower => (0, r + 1),
+                            Triangle::Upper => (r, nb),
+                        };
+                        let mut s = 0.0;
+                        for q in qlo..qhi {
+                            s += t[(r0 + r) * trs + (r0 + q) * tcs] * bcol[r0 + q];
+                        }
+                        out[r + c * nb] = s;
+                    }
+                }
+                // Off-diagonal panel through the blocked GEMM core.
+                match eff {
+                    Triangle::Lower if r0 > 0 => crate::gemm::gemm_acc_strided(
+                        1.0,
+                        nb,
+                        ncols,
+                        r0,
+                        &t[r0 * trs..],
+                        trs,
+                        tcs,
+                        bs,
+                        1,
+                        ldb,
+                        out,
+                        nb,
+                    ),
+                    Triangle::Upper if r1 < n => crate::gemm::gemm_acc_strided(
+                        1.0,
+                        nb,
+                        ncols,
+                        n - r1,
+                        &t[r0 * trs + r1 * tcs..],
+                        trs,
+                        tcs,
+                        &bs[r1..],
+                        1,
+                        ldb,
+                        out,
+                        nb,
+                    ),
+                    _ => {}
+                }
+            }
+            let bm = b.as_mut_slice();
+            for c in 0..ncols {
+                bm[c * ldb + r0..c * ldb + r1].copy_from_slice(&out[c * nb..c * nb + nb]);
+            }
+        });
+    }
+}
+
+/// `B := B * op(T)`, blocked by columns of B. Column blocks of B are
+/// contiguous in column-major storage, so the update runs fully in place:
+/// the diagonal multiply consumes the block in dependency order, then the
+/// off-diagonal GEMM accumulates from the untouched side via a split
+/// borrow.
+fn trmm_blocked_right(eff: Triangle, t: &[f64], trs: usize, tcs: usize, n: usize, b: &mut Matrix) {
+    let ldb = b.rows();
+    let m = b.rows();
+    let nblocks = n.div_ceil(TRI_NB);
+    let order: Box<dyn Iterator<Item = usize>> = match eff {
+        Triangle::Lower => Box::new(0..nblocks),
+        Triangle::Upper => Box::new((0..nblocks).rev()),
+    };
+    for jb in order {
+        let (c0, c1) = block_bounds(jb, n);
+        let nb = c1 - c0;
+        match eff {
+            Triangle::Lower => {
+                // New block j uses T rows >= c0: the diagonal block and the
+                // columns to the *right* of it (unmodified, ascending order).
+                let (head, tail) = b.as_mut_slice().split_at_mut(c1 * ldb);
+                let block = &mut head[c0 * ldb..];
+                for r in 0..m {
+                    for c in 0..nb {
+                        let mut s = 0.0;
+                        for q in c..nb {
+                            s += block[r + q * ldb] * t[(c0 + q) * trs + (c0 + c) * tcs];
+                        }
+                        block[r + c * ldb] = s;
+                    }
+                }
+                if c1 < n {
+                    crate::gemm::gemm_acc_strided(
+                        1.0,
+                        m,
+                        nb,
+                        n - c1,
+                        tail,
+                        1,
+                        ldb,
+                        &t[c1 * trs + c0 * tcs..],
+                        trs,
+                        tcs,
+                        block,
+                        ldb,
+                    );
+                }
+            }
+            Triangle::Upper => {
+                let (head, tail) = b.as_mut_slice().split_at_mut(c0 * ldb);
+                let block = &mut tail[..nb * ldb];
+                for r in 0..m {
+                    for c in (0..nb).rev() {
+                        let mut s = 0.0;
+                        for q in 0..=c {
+                            s += block[r + q * ldb] * t[(c0 + q) * trs + (c0 + c) * tcs];
+                        }
+                        block[r + c * ldb] = s;
+                    }
+                }
+                if c0 > 0 {
+                    crate::gemm::gemm_acc_strided(
+                        1.0,
+                        m,
+                        nb,
+                        c0,
+                        head,
+                        1,
+                        ldb,
+                        &t[c0 * tcs..],
+                        trs,
+                        tcs,
+                        block,
+                        ldb,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Solve `op(T) * X = B` in place, blocked by rows of B: subtract the
+/// already-solved row blocks via the GEMM core, then run the scalar
+/// substitution on the diagonal block.
+fn trsm_blocked_left(eff: Triangle, t: &[f64], trs: usize, tcs: usize, n: usize, b: &mut Matrix) {
+    let ldb = b.rows();
+    let ncols = b.cols();
+    let nblocks = n.div_ceil(TRI_NB);
+    let order: Box<dyn Iterator<Item = usize>> = match eff {
+        Triangle::Lower => Box::new(0..nblocks),
+        Triangle::Upper => Box::new((0..nblocks).rev()),
+    };
+    for ib in order {
+        let (r0, r1) = block_bounds(ib, n);
+        let nb = r1 - r0;
+        with_buf(nb * ncols, |out| {
+            {
+                let bs = b.as_slice();
+                for c in 0..ncols {
+                    out[c * nb..c * nb + nb].copy_from_slice(&bs[c * ldb + r0..c * ldb + r1]);
+                }
+                match eff {
+                    Triangle::Lower if r0 > 0 => crate::gemm::gemm_acc_strided(
+                        -1.0,
+                        nb,
+                        ncols,
+                        r0,
+                        &t[r0 * trs..],
+                        trs,
+                        tcs,
+                        bs,
+                        1,
+                        ldb,
+                        out,
+                        nb,
+                    ),
+                    Triangle::Upper if r1 < n => crate::gemm::gemm_acc_strided(
+                        -1.0,
+                        nb,
+                        ncols,
+                        n - r1,
+                        &t[r0 * trs + r1 * tcs..],
+                        trs,
+                        tcs,
+                        &bs[r1..],
+                        1,
+                        ldb,
+                        out,
+                        nb,
+                    ),
+                    _ => {}
+                }
+            }
+            // Substitution on the diagonal block.
+            for c in 0..ncols {
+                let col = &mut out[c * nb..(c + 1) * nb];
+                match eff {
+                    Triangle::Lower => {
+                        for r in 0..nb {
+                            let mut s = col[r];
+                            for q in 0..r {
+                                s -= t[(r0 + r) * trs + (r0 + q) * tcs] * col[q];
+                            }
+                            let d = t[(r0 + r) * trs + (r0 + r) * tcs];
+                            assert!(d != 0.0, "trsm: zero diagonal at {}", r0 + r);
+                            col[r] = s / d;
+                        }
+                    }
+                    Triangle::Upper => {
+                        for r in (0..nb).rev() {
+                            let mut s = col[r];
+                            for q in r + 1..nb {
+                                s -= t[(r0 + r) * trs + (r0 + q) * tcs] * col[q];
+                            }
+                            let d = t[(r0 + r) * trs + (r0 + r) * tcs];
+                            assert!(d != 0.0, "trsm: zero diagonal at {}", r0 + r);
+                            col[r] = s / d;
+                        }
+                    }
+                }
+            }
+            let bm = b.as_mut_slice();
+            for c in 0..ncols {
+                bm[c * ldb + r0..c * ldb + r1].copy_from_slice(&out[c * nb..c * nb + nb]);
+            }
+        });
+    }
+}
+
+/// Solve `X * op(T) = B` in place, blocked by columns of B (contiguous, so
+/// split borrows suffice): subtract the already-solved column blocks via
+/// the GEMM core, then solve against the diagonal block row-wise.
+fn trsm_blocked_right(eff: Triangle, t: &[f64], trs: usize, tcs: usize, n: usize, b: &mut Matrix) {
+    let ldb = b.rows();
+    let m = b.rows();
+    let nblocks = n.div_ceil(TRI_NB);
+    let order: Box<dyn Iterator<Item = usize>> = match eff {
+        Triangle::Lower => Box::new((0..nblocks).rev()),
+        Triangle::Upper => Box::new(0..nblocks),
+    };
+    for jb in order {
+        let (c0, c1) = block_bounds(jb, n);
+        let nb = c1 - c0;
+        match eff {
+            Triangle::Lower => {
+                // X[:, j] T[j,j] = B[:, j] - X[:, >j] T[>j, j]; right blocks
+                // already solved (descending order).
+                let (head, tail) = b.as_mut_slice().split_at_mut(c1 * ldb);
+                let block = &mut head[c0 * ldb..];
+                if c1 < n {
+                    crate::gemm::gemm_acc_strided(
+                        -1.0,
+                        m,
+                        nb,
+                        n - c1,
+                        tail,
+                        1,
+                        ldb,
+                        &t[c1 * trs + c0 * tcs..],
+                        trs,
+                        tcs,
+                        block,
+                        ldb,
+                    );
+                }
+                for r in 0..m {
+                    for c in (0..nb).rev() {
+                        let mut s = block[r + c * ldb];
+                        for q in c + 1..nb {
+                            s -= block[r + q * ldb] * t[(c0 + q) * trs + (c0 + c) * tcs];
+                        }
+                        let d = t[(c0 + c) * trs + (c0 + c) * tcs];
+                        assert!(d != 0.0, "trsm: zero diagonal at {}", c0 + c);
+                        block[r + c * ldb] = s / d;
+                    }
+                }
+            }
+            Triangle::Upper => {
+                let (head, tail) = b.as_mut_slice().split_at_mut(c0 * ldb);
+                let block = &mut tail[..nb * ldb];
+                if c0 > 0 {
+                    crate::gemm::gemm_acc_strided(
+                        -1.0,
+                        m,
+                        nb,
+                        c0,
+                        head,
+                        1,
+                        ldb,
+                        &t[c0 * tcs..],
+                        trs,
+                        tcs,
+                        block,
+                        ldb,
+                    );
+                }
+                for r in 0..m {
+                    for c in 0..nb {
+                        let mut s = block[r + c * ldb];
+                        for q in 0..c {
+                            s -= block[r + q * ldb] * t[(c0 + q) * trs + (c0 + c) * tcs];
+                        }
+                        let d = t[(c0 + c) * trs + (c0 + c) * tcs];
+                        assert!(d != 0.0, "trsm: zero diagonal at {}", c0 + c);
+                        block[r + c * ldb] = s / d;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The seed's scalar TRMM (reference implementation and small-size path).
+fn trmm_scalar(side: Side, tri: Triangle, ta: Transpose, alpha: f64, a: &Matrix, b: &mut Matrix) {
+    let n = a.rows();
     // Effective triangle after transposition.
     let eff = match ta {
         Transpose::No => tri,
@@ -104,33 +539,9 @@ pub fn trmm(side: Side, tri: Triangle, ta: Transpose, alpha: f64, a: &Matrix, b:
     }
 }
 
-/// Triangular solve with multiple right-hand sides (BLAS `TRSM`):
-/// solves `op(A) * X = alpha * B` (left) or `X * op(A) = alpha * B` (right)
-/// for `X`, overwriting `B`.
-///
-/// # Panics
-///
-/// Panics if `A` is not square, sizes are incompatible, or a diagonal entry
-/// of `A` is exactly zero.
-///
-/// # Example
-///
-/// ```
-/// use gmc_linalg::{trsm, trmm, Matrix, Side, Transpose, Triangle};
-/// let a = Matrix::from_rows(2, 2, &[2.0, 0.0, 1.0, 4.0]);
-/// let mut x = Matrix::from_rows(2, 1, &[2.0, 5.0]);
-/// trsm(Side::Left, Triangle::Lower, Transpose::No, 1.0, &a, &mut x);
-/// // verify A * x = b
-/// assert!((2.0 * x.get(0, 0) - 2.0).abs() < 1e-12);
-/// assert!((x.get(0, 0) + 4.0 * x.get(1, 0) - 5.0).abs() < 1e-12);
-/// ```
-pub fn trsm(side: Side, tri: Triangle, ta: Transpose, alpha: f64, a: &Matrix, b: &mut Matrix) {
-    assert!(a.is_square(), "trsm: A must be square");
+/// The seed's scalar TRSM (reference implementation and small-size path).
+fn trsm_scalar(side: Side, tri: Triangle, ta: Transpose, alpha: f64, a: &Matrix, b: &mut Matrix) {
     let n = a.rows();
-    match side {
-        Side::Left => assert_eq!(b.rows(), n, "trsm: size mismatch"),
-        Side::Right => assert_eq!(b.cols(), n, "trsm: size mismatch"),
-    }
     let eff = match ta {
         Transpose::No => tri,
         Transpose::Yes => tri.transposed(),
@@ -356,5 +767,69 @@ mod tests {
         };
         trsm(Side::Left, Triangle::Lower, Transpose::No, 3.0, &a, &mut b);
         assert_eq!(b, want);
+    }
+
+    /// Blocked paths (n >= TRI_BLOCK_MIN) against the scalar reference,
+    /// all sides/triangles/transposes, with a non-block-multiple size.
+    #[test]
+    fn blocked_matches_scalar_reference() {
+        let n = super::TRI_BLOCK_MIN + super::TRI_NB / 2 + 3;
+        let ncols = 29;
+        for tri in [Triangle::Lower, Triangle::Upper] {
+            let a = match tri {
+                Triangle::Lower => lower(n),
+                Triangle::Upper => upper(n),
+            };
+            for ta in [Transpose::No, Transpose::Yes] {
+                for (side, rows, cols) in [(Side::Left, n, ncols), (Side::Right, ncols, n)] {
+                    let x = Matrix::from_fn(rows, cols, |i, j| {
+                        ((3 * i + 5 * j) % 17) as f64 * 0.25 - 2.0
+                    });
+
+                    let mut got = x.clone();
+                    trmm(side, tri, ta, 1.5, &a, &mut got);
+                    let mut want = x.clone();
+                    trmm_scalar(side, tri, ta, 1.5, &a, &mut want);
+                    assert!(
+                        relative_error(&got, &want) < 1e-12,
+                        "trmm {side:?} {tri:?} {ta:?}"
+                    );
+
+                    let mut got = x.clone();
+                    trsm(side, tri, ta, 0.5, &a, &mut got);
+                    let mut want = x.clone();
+                    trsm_scalar(side, tri, ta, 0.5, &a, &mut want);
+                    assert!(
+                        relative_error(&got, &want) < 1e-9,
+                        "trsm {side:?} {tri:?} {ta:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The blocked kernels must also leave the dead triangle unread.
+    #[test]
+    fn blocked_ignores_garbage_in_dead_triangle() {
+        let n = super::TRI_BLOCK_MIN + 10;
+        let mut a = lower(n);
+        for j in 0..n {
+            for i in 0..j {
+                a.set(i, j, f64::NAN);
+            }
+        }
+        for side in [Side::Left, Side::Right] {
+            let (rows, cols) = match side {
+                Side::Left => (n, 7),
+                Side::Right => (7, n),
+            };
+            let x = Matrix::from_fn(rows, cols, |i, j| (i + j) as f64 * 0.01 + 1.0);
+            let mut got = x.clone();
+            trmm(side, Triangle::Lower, Transpose::No, 1.0, &a, &mut got);
+            assert!(got.as_slice().iter().all(|v| v.is_finite()), "{side:?}");
+            let mut got = x.clone();
+            trsm(side, Triangle::Lower, Transpose::No, 1.0, &a, &mut got);
+            assert!(got.as_slice().iter().all(|v| v.is_finite()), "{side:?}");
+        }
     }
 }

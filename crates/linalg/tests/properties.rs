@@ -138,3 +138,123 @@ proptest! {
         prop_assert!(relative_error(&got, &x) < 1e-8);
     }
 }
+
+// Blocked-path properties: sizes above the dispatch thresholds so the
+// packed GEMM core and the blocked triangular kernels (not the scalar
+// fallbacks) are the code under test. Fewer cases — each one is a real
+// O(n^3) multiply.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn blocked_gemm_agrees_with_scalar(
+        m in 90usize..150,
+        k in 90usize..150,
+        n in 90usize..150,
+        seed in 0u64..10_000,
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+    ) {
+        let mut rng = rng_for(seed);
+        let ta = if ta { Transpose::Yes } else { Transpose::No };
+        let tb = if tb { Transpose::Yes } else { Transpose::No };
+        let (ar, ac) = if ta.is_trans() { (k, m) } else { (m, k) };
+        let (br, bc) = if tb.is_trans() { (n, k) } else { (k, n) };
+        let a = random_general(&mut rng, ar, ac);
+        let b = random_general(&mut rng, br, bc);
+        let mut want = random_general(&mut rng, m, n);
+        let mut got = want.clone();
+        gmc_linalg::gemm_scalar(0.8, &a, ta, &b, tb, -0.3, &mut want);
+        gmc_linalg::gemm_blocked(0.8, &a, ta, &b, tb, -0.3, &mut got);
+        prop_assert!(relative_error(&got, &want) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_symm_agrees_with_gemm(
+        n in 100usize..170,
+        k in 100usize..170,
+        seed in 0u64..10_000,
+        left in any::<bool>(),
+        tb in any::<bool>(),
+    ) {
+        let mut rng = rng_for(seed);
+        let s = random_symmetric(&mut rng, n);
+        let tb = if tb { Transpose::Yes } else { Transpose::No };
+        if left {
+            let g = match tb {
+                Transpose::No => random_general(&mut rng, n, k),
+                Transpose::Yes => random_general(&mut rng, k, n),
+            };
+            let mut c = Matrix::zeros(n, k);
+            symm(Side::Left, 1.0, &s, &g, tb, 0.0, &mut c);
+            let want = matmul(&s, Transpose::No, &g, tb);
+            prop_assert!(relative_error(&c, &want) < 1e-12);
+        } else {
+            let g = match tb {
+                Transpose::No => random_general(&mut rng, k, n),
+                Transpose::Yes => random_general(&mut rng, n, k),
+            };
+            let mut c = Matrix::zeros(k, n);
+            symm(Side::Right, 1.0, &s, &g, tb, 0.0, &mut c);
+            let want = matmul(&g, tb, &s, Transpose::No);
+            prop_assert!(relative_error(&c, &want) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn blocked_trsm_inverts_trmm(
+        n in 100usize..180,
+        k in 1usize..24,
+        seed in 0u64..10_000,
+        upper in any::<bool>(),
+        ta in any::<bool>(),
+        left in any::<bool>(),
+    ) {
+        let mut rng = rng_for(seed);
+        let tri = if upper { Triangle::Upper } else { Triangle::Lower };
+        let t = if ta { Transpose::Yes } else { Transpose::No };
+        let side = if left { Side::Left } else { Side::Right };
+        let a = {
+            let l = random_lower_triangular(&mut rng, n, true);
+            if upper { l.transposed() } else { l }
+        };
+        let x = match side {
+            Side::Left => random_general(&mut rng, n, k),
+            Side::Right => random_general(&mut rng, k, n),
+        };
+        let mut b = x.clone();
+        trmm(side, tri, t, 1.0, &a, &mut b);
+        trsm(side, tri, t, 1.0, &a, &mut b);
+        prop_assert!(relative_error(&b, &x) < 1e-7, "{side:?} {tri:?} {t:?}");
+    }
+
+    #[test]
+    fn blocked_trmm_agrees_with_gemm_after_masking(
+        n in 100usize..180,
+        k in 1usize..24,
+        seed in 0u64..10_000,
+        upper in any::<bool>(),
+        ta in any::<bool>(),
+        left in any::<bool>(),
+    ) {
+        let mut rng = rng_for(seed);
+        let tri = if upper { Triangle::Upper } else { Triangle::Lower };
+        let t = if ta { Transpose::Yes } else { Transpose::No };
+        let side = if left { Side::Left } else { Side::Right };
+        let a = {
+            let l = random_lower_triangular(&mut rng, n, false);
+            if upper { l.transposed() } else { l }
+        };
+        let x = match side {
+            Side::Left => random_general(&mut rng, n, k),
+            Side::Right => random_general(&mut rng, k, n),
+        };
+        let mut got = x.clone();
+        trmm(side, tri, t, 1.0, &a, &mut got);
+        let want = match side {
+            Side::Left => matmul(&a, t, &x, Transpose::No),
+            Side::Right => matmul(&x, Transpose::No, &a, t),
+        };
+        prop_assert!(relative_error(&got, &want) < 1e-11, "{side:?} {tri:?} {t:?}");
+    }
+}

@@ -78,7 +78,12 @@ fn time_based_expansion_reduces_time_objective() {
         .map(|v| pool.iter().position(|p| p.paren() == v.paren()).unwrap())
         .collect();
     let before = matrix.objective(&base_idx, Objective::AvgPenalty);
-    let grown = expand_set(&matrix, &base_idx, base_idx.len() + 2, Objective::AvgPenalty);
+    let grown = expand_set(
+        &matrix,
+        &base_idx,
+        base_idx.len() + 2,
+        Objective::AvgPenalty,
+    );
     let after = matrix.objective(&grown, Objective::AvgPenalty);
     assert!(after <= before + 1e-12);
 }

@@ -1,0 +1,7 @@
+//! Workspace facade crate.
+//!
+//! Exists to anchor the repo-level `tests/` and `examples/` directories;
+//! all functionality lives in the `crates/` members. Re-exports the
+//! `gmc` facade so `symgmc::prelude` works as a convenience.
+
+pub use gmc::prelude;

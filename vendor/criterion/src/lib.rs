@@ -1,0 +1,245 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple measurement loop: after a
+//! short warm-up, each benchmark body is timed over enough iterations to
+//! fill the measurement window, and the mean wall-clock time per
+//! iteration (plus derived throughput, when declared) is printed.
+//!
+//! There is no statistical analysis, outlier rejection, or HTML report;
+//! the numbers are honest wall-clock means, good enough for the coarse
+//! "is the blocked kernel N× faster" comparisons tracked in this repo.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and an input parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from the input parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Work performed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements (e.g. FLOPs).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Runs timing loops for one benchmark.
+pub struct Bencher<'a> {
+    measurement_time: Duration,
+    /// Mean seconds per iteration, recorded by [`Bencher::iter`].
+    result_secs: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    /// Time `f`, storing the mean seconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that fills
+        // roughly the measurement window.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_time;
+        let iters = (target.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1e9) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        *self.result_secs = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Compatibility no-op (sampling is time-based here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window for subsequent benchmarks.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Run a benchmark taking a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        let secs = self
+            .criterion
+            .run_one(&full, self.throughput, |b| f(b, input));
+        let _ = secs;
+        self
+    }
+
+    /// Run a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        self.criterion.run_one(&full, self.throughput, |b| f(b));
+        self
+    }
+
+    /// End the group (upstream flushes reports here; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) -> f64 {
+        let mut secs = 0.0;
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            result_secs: &mut secs,
+        };
+        f(&mut bencher);
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / secs;
+                println!(
+                    "{name:<48} time: {:>12}  thrpt: {rate:.3e} elem/s",
+                    fmt_time(secs)
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / secs / 1e9;
+                println!(
+                    "{name:<48} time: {:>12}  thrpt: {rate:.3} GB/s",
+                    fmt_time(secs)
+                );
+            }
+            None => println!("{name:<48} time: {:>12}", fmt_time(secs)),
+        }
+        secs
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declare a group of benchmark entry points.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

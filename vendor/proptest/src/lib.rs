@@ -1,0 +1,289 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`],
+//! range and tuple strategies, [`collection::vec`], [`sample::select`],
+//! `any::<T>()`, and the combinators `prop_map` / `prop_flat_map` /
+//! `prop_filter`.
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//! there is **no shrinking** (a failing case reports the original inputs),
+//! and the runner RNG is seeded deterministically so failures reproduce
+//! across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy combinator module namespace compatibility (`prop::...`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Reason, TestRunner};
+
+    /// Size specification for [`vec`]: an exact count or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Result<Self::Value, Reason> {
+            use rand::Rng;
+            let n = runner
+                .rng()
+                .gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Strategies drawing from explicit value pools.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Reason, TestRunner};
+
+    /// Strategy selecting a uniformly random element of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty option list");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> Result<T, Reason> {
+            use rand::Rng;
+            let i = runner.rng().gen_range(0..self.options.len());
+            Ok(self.options[i].clone())
+        }
+    }
+}
+
+/// Types with a canonical strategy, for [`arbitrary::any`].
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Reason, TestRunner};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Clone {
+        /// Draw an arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            use rand::Rng;
+            runner.rng().gen::<bool>()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    use rand::RngCore;
+                    runner.rng().next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            use rand::Rng;
+            runner.rng().gen::<f64>() * 2.0 - 1.0
+        }
+    }
+
+    /// The canonical strategy for an [`Arbitrary`] type.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> Result<T, Reason> {
+            Ok(T::arbitrary(runner))
+        }
+    }
+}
+
+/// The usual imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a [`proptest!`] body; failure reports the message and
+/// fails the test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assert inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+/// Discard the current test case (counts as neither pass nor fail).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config.clone());
+            let combined = ($($strat,)+);
+            let mut executed = 0u32;
+            let mut attempts = 0u32;
+            while executed < config.cases {
+                attempts += 1;
+                if attempts > config.cases.saturating_mul(20) {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} attempts)",
+                        stringify!($name),
+                        attempts
+                    );
+                }
+                let generated = match $crate::strategy::Strategy::generate(
+                    &combined,
+                    &mut runner,
+                ) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                };
+                let outcome: $crate::test_runner::TestCaseResult = (move || {
+                    #[allow(unused_parens, irrefutable_let_patterns)]
+                    let ($($pat,)+) = generated;
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => executed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest {} failed: {}", stringify!($name), msg)
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

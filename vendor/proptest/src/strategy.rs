@@ -1,0 +1,218 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::{Reason, TestRunner};
+use rand::Rng;
+
+/// A generated value plus (in upstream proptest) its shrink tree. This
+/// stand-in does not shrink, so the tree is just a snapshot of the value.
+pub trait ValueTree {
+    /// The type of value this tree produces.
+    type Value;
+
+    /// The current value.
+    fn current(&self) -> Self::Value;
+}
+
+/// A [`ValueTree`] holding one generated value.
+#[derive(Clone, Debug)]
+pub struct Snapshot<T>(T);
+
+impl<T: Clone> ValueTree for Snapshot<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: Clone;
+
+    /// Generate one value, or a rejection reason (e.g. a filter that never
+    /// matched).
+    fn generate(&self, runner: &mut TestRunner) -> Result<Self::Value, Reason>;
+
+    /// Generate a value tree (upstream-compatible entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason if generation failed.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Snapshot<Self::Value>, Reason>
+    where
+        Self: Sized,
+    {
+        self.generate(runner).map(Snapshot)
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<U: Clone, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chain a dependent strategy: `f` builds a new strategy from each
+    /// generated value.
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns `true`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Clone, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<U, Reason> {
+        self.inner.generate(runner).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<U::Value, Reason> {
+        let base = self.inner.generate(runner)?;
+        (self.f)(base).generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<S::Value, Reason> {
+        for _ in 0..64 {
+            let v = self.inner.generate(runner)?;
+            if (self.f)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(format!("filter never satisfied: {}", self.whence))
+    }
+}
+
+/// Strategy that always yields the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> Result<T, Reason> {
+        Ok(self.0.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<T, Reason> {
+        Ok(runner.rng().gen_range(self.clone()))
+    }
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<T, Reason> {
+        Ok(runner.rng().gen_range(self.clone()))
+    }
+}
+
+/// String patterns as strategies (upstream: full regex). This stand-in
+/// supports the forms the workspace uses: `.{lo,hi}` (random strings of
+/// bounded length) and plain literals (generated verbatim).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, runner: &mut TestRunner) -> Result<String, Reason> {
+        // Characters deliberately include grammar-significant ASCII, digits,
+        // whitespace, and some multi-byte code points.
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'M', 'X', '0', '9', '<', '>', ',', ';', '*', ':', '=', '^', '-',
+            'T', '1', ' ', '\n', '\t', '_', '(', ')', '{', '}', '"', '\\', 'é', 'λ', '∞',
+        ];
+        if let Some(spec) = self.strip_prefix(".{").and_then(|s| s.strip_suffix('}')) {
+            let (lo, hi) = spec
+                .split_once(',')
+                .ok_or_else(|| format!("unsupported pattern {self:?}"))?;
+            let lo: usize = lo.trim().parse().map_err(|e| format!("{e}"))?;
+            let hi: usize = hi.trim().parse().map_err(|e| format!("{e}"))?;
+            let n = runner.rng().gen_range(lo..=hi);
+            return Ok((0..n)
+                .map(|_| POOL[runner.rng().gen_range(0..POOL.len())])
+                .collect());
+        }
+        if self.contains(['[', '*', '+', '?', '|', '(', '.']) {
+            return Err(format!(
+                "proptest stand-in: unsupported regex pattern {self:?}"
+            ));
+        }
+        Ok((*self).to_owned())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Result<Self::Value, Reason> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Ok(($($name.generate(runner)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);

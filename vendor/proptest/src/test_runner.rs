@@ -1,0 +1,90 @@
+//! Test-runner plumbing: configuration, RNG, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Rejection reason for a strategy that could not produce a value.
+pub type Reason = String;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives strategy generation. Deterministically seeded so failures
+/// reproduce across runs (upstream seeds from entropy).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(0x5eed_cafe_f00d_0001),
+        }
+    }
+
+    /// The runner's RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// The runner's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProptestConfig {
+        &self.config
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` failed); it does not count.
+    Reject(Reason),
+    /// The property was falsified.
+    Fail(Reason),
+}
+
+impl TestCaseError {
+    /// A rejection with the given reason.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure with the given reason.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Outcome of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;

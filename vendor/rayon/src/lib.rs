@@ -1,0 +1,93 @@
+//! Minimal offline stand-in for `rayon`: scoped fork-join parallelism on
+//! top of [`std::thread::scope`].
+//!
+//! Only the structured-concurrency subset the workspace needs is provided:
+//! [`scope`] / [`Scope::spawn`], [`join`], and
+//! [`current_num_threads`]. Unlike real rayon there is no work-stealing
+//! pool — each `spawn` is an OS thread — so callers should spawn O(cores)
+//! coarse tasks, which is exactly how the GEMM panel parallelism uses it.
+
+/// Scoped task spawner handed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow from outside the scope; joined when the
+    /// scope ends.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Run `op` with a [`Scope`]; all spawned tasks complete before `scope`
+/// returns.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-lite: joined task panicked"))
+    })
+}
+
+/// Number of hardware threads available.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_all_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn split_at_mut_across_scope() {
+        let mut v = vec![0u64; 64];
+        let (lo, hi) = v.split_at_mut(32);
+        super::scope(|s| {
+            s.spawn(move |_| lo.iter_mut().for_each(|x| *x = 1));
+            s.spawn(move |_| hi.iter_mut().for_each(|x| *x = 2));
+        });
+        assert!(v[..32].iter().all(|&x| x == 1));
+        assert!(v[32..].iter().all(|&x| x == 2));
+    }
+}
