@@ -1,0 +1,111 @@
+//! End-to-end selection-latency trajectory: enumerate the Catalan-132
+//! pool of a 7-operand chain, fill the cost matrix, select the Theorem-2
+//! base set, and run the Algorithm-1 expansion — once with a serial
+//! session (`jobs = 1`) and once with the session's full thread budget —
+//! writing `BENCH_select.json`.
+//!
+//! The two runs must select identical variant sets (the session pins
+//! parallel == serial bit for bit); only wall-clock may differ. Build
+//! with `--features parallel` to exercise the threaded scan; without the
+//! feature (or on a single-core host) the "parallel" row degenerates to
+//! serial and the JSON says so.
+//!
+//! Run with `cargo run --release [--features parallel] --bin bench_select
+//! [output.json]`.
+
+use gmc_core::{CompileSession, Objective};
+use gmc_ir::{Features, InstanceSampler, Operand, Shape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One full selection pass; returns the expanded index set.
+fn select_once(session: &mut CompileSession, shape: &Shape) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let sampler = InstanceSampler::new(shape, 2, 500);
+    let training = sampler.sample_many(&mut rng, 400);
+    let pool = session.all_variants(shape).expect("pool under cap");
+    let matrix = session.cost_matrix(&pool, &training);
+    let base = gmc_core::select_base_set(shape, &training, matrix.optimal()).expect("base set");
+    let initial: Vec<usize> = base
+        .variants
+        .iter()
+        .map(|v| {
+            pool.iter()
+                .position(|p| p.paren() == v.paren())
+                .expect("base variant in pool")
+        })
+        .collect();
+    session.expand_set(&initial, initial.len() + 4, Objective::AvgPenalty)
+}
+
+fn best_of<F: FnMut() -> Vec<usize>>(reps: usize, mut f: F) -> (f64, Vec<usize>) {
+    let mut best = f64::INFINITY;
+    let mut result = Vec::new();
+    for _ in 0..reps {
+        let t = Instant::now();
+        result = std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_select.json".to_owned());
+    let g = Operand::plain(Features::general());
+    // n = 7: Catalan(6) = 132 variants, the paper's experiment scale.
+    let shape = Shape::new(vec![g; 7]).unwrap();
+
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let parallel_feature = cfg!(feature = "parallel");
+
+    let reps = 20;
+    let mut serial_session = CompileSession::new();
+    serial_session.set_jobs(1);
+    let (serial_s, serial_set) = best_of(reps, || select_once(&mut serial_session, &shape));
+
+    let mut parallel_session = CompileSession::new();
+    parallel_session.set_jobs(host_threads.max(2));
+    let (parallel_s, parallel_set) = best_of(reps, || select_once(&mut parallel_session, &shape));
+
+    assert_eq!(
+        serial_set, parallel_set,
+        "parallel selection must pick the identical variant set"
+    );
+
+    let speedup = serial_s / parallel_s;
+    let note = if !parallel_feature {
+        "parallel feature disabled: both rows ran the serial scan"
+    } else if host_threads == 1 {
+        "single-core host: thread budget caps the parallel path at 1x"
+    } else {
+        "serial vs threaded candidate scan on the same pool"
+    };
+    println!(
+        "selection n=7 pool=132: serial {:8.2} ms   jobs={} {:8.2} ms   speedup {:.2}x ({note})",
+        serial_s * 1e3,
+        parallel_session.jobs(),
+        parallel_s * 1e3,
+        speedup
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"selection_end_to_end\",\n  \"unit\": \"ms\",\n");
+    let _ = writeln!(json, "  \"chain\": \"general-7\",");
+    let _ = writeln!(json, "  \"pool_variants\": 132,");
+    let _ = writeln!(json, "  \"training_instances\": 400,");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"parallel_feature\": {parallel_feature},");
+    let _ = writeln!(json, "  \"serial_ms\": {:.3},", serial_s * 1e3);
+    let _ = writeln!(json, "  \"parallel_ms\": {:.3},", parallel_s * 1e3);
+    let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
+    let _ = writeln!(json, "  \"selected_variants\": {},", serial_set.len());
+    let _ = writeln!(json, "  \"note\": \"{note}\"");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -19,6 +19,6 @@ pub mod runtime;
 pub mod rust;
 mod util;
 
-pub use cpp::emit_cpp;
+pub use cpp::{emit_cpp, emit_cpp_into};
 pub use runtime::emit_runtime_header;
-pub use rust::emit_rust;
+pub use rust::{emit_rust, emit_rust_into};

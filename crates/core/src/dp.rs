@@ -11,6 +11,15 @@
 //! The result equals `min_{A in A} T(A, q)` over the full variant set and
 //! is cross-validated against [`crate::enumerate::all_variants`] by tests.
 //!
+//! Two entry points exist: the free functions [`optimal_cost`] /
+//! [`optimal_variant`] (one-shot, allocate their own state), and
+//! [`DpSolver`], a long-lived solver for one shape that reuses its
+//! descriptor interner, association memo, and state arena across
+//! instances — after the first solve, [`DpSolver::optimal_cost`] performs
+//! **no allocation**, which is what dispatch loops over many concrete
+//! size vectors want. [`crate::session::CompileSession`] keeps one
+//! `DpSolver` per compiled shape.
+//!
 //! # Implementation notes (hot-path layout)
 //!
 //! The solver is allocation-lean by design, replacing the original
@@ -33,7 +42,7 @@
 //! step`), so the optimum is bit-identical to the reference solver.
 
 use crate::builder::{associate, finalizes_for, leaf_descs, BuildError, NodeDesc};
-use crate::variant::ValRef;
+use crate::variant::{Finalize, ValRef};
 use gmc_ir::{EquivClasses, Instance, Property, Shape, Structure};
 use gmc_kernels::{cost_flops, finalize_cost_flops, Kernel};
 use gmc_linalg::Side;
@@ -293,7 +302,10 @@ impl StateArena {
 ///
 /// Runs in `O(n^3 s^2)` where `s` is the (small) number of distinct
 /// descriptor states per span, so it scales to chains far beyond the
-/// enumeration limit.
+/// enumeration limit. One-shot convenience: allocates a fresh
+/// [`DpSolver`]; callers that solve the same shape on many instances
+/// should hold a `DpSolver` (or a [`crate::session::CompileSession`]) to
+/// reuse its arenas.
 ///
 /// # Errors
 ///
@@ -303,7 +315,7 @@ impl StateArena {
 ///
 /// Panics if `instance` has the wrong number of sizes for `shape`.
 pub fn optimal_cost(shape: &Shape, instance: &Instance) -> Result<f64, BuildError> {
-    optimal(shape, instance).map(|(_, cost)| cost)
+    DpSolver::new(shape).optimal_cost(instance)
 }
 
 /// The optimal *variant* (and its cost) for `shape` on `instance`: the
@@ -323,172 +335,302 @@ pub fn optimal_variant(
     shape: &Shape,
     instance: &Instance,
 ) -> Result<(crate::variant::Variant, f64), BuildError> {
-    let (tree, cost) = optimal(shape, instance)?;
-    let variant = crate::builder::build_variant(shape, &tree)?;
-    debug_assert!(
-        (variant.flops(instance) - cost).abs() <= 1e-6 * cost.max(1.0),
-        "backtracked tree must reproduce the DP cost"
-    );
-    Ok((variant, cost))
+    DpSolver::new(shape).optimal_variant(instance)
 }
 
-fn optimal(
-    shape: &Shape,
-    instance: &Instance,
-) -> Result<(crate::paren::ParenTree, f64), BuildError> {
-    assert_eq!(
-        instance.len(),
-        shape.num_sizes(),
-        "instance length must be n + 1"
-    );
-    let n = shape.len();
-    let classes = shape.size_classes();
-    let leaves = leaf_descs(shape, &classes);
-    let q = instance.sizes();
+/// Up to two finalizer steps per descriptor (inverse, then transpose),
+/// memoized per interned id so repeated solves cost no allocation.
+type FinRecipe = [Option<Finalize>; 2];
 
-    use crate::paren::ParenTree;
+/// A reusable DP solver for one shape.
+///
+/// Owns the descriptor [`Interner`], the feature-level [`AssocMemo`], the
+/// span [`StateArena`], and the finalize memo, all of which persist across
+/// [`DpSolver::optimal_cost`] calls. The set of descriptors reachable per
+/// span depends only on the shape (never on the instance sizes), so after
+/// the first solve every table is warm and subsequent solves are
+/// allocation-free with costs **bit-identical** to a fresh solver — the
+/// relaxation order and summation order do not depend on table warmth.
+pub struct DpSolver {
+    shape: Shape,
+    classes: EquivClasses,
+    leaves: Vec<NodeDesc>,
+    leaf_ids: Vec<u32>,
+    interner: Interner,
+    memo: AssocMemo,
+    arena: StateArena,
+    /// Scratch: desc id -> absolute arena slot in the span being built.
+    slot_of: Vec<u32>,
+    /// Lazily computed finalizer recipe per interned descriptor id.
+    fin_memo: Vec<Option<FinRecipe>>,
+}
 
-    if n == 1 {
-        let desc = leaves[0];
-        let (finalizes, _) = finalizes_for(&desc)?;
-        let cost = finalizes
-            .iter()
-            .map(|f| finalize_cost_flops(f.kernel, q[f.size_sym]))
-            .sum();
-        return Ok((ParenTree::Leaf(0), cost));
+impl DpSolver {
+    /// A solver for `shape` with cold tables; the first solve warms them.
+    #[must_use]
+    pub fn new(shape: &Shape) -> Self {
+        let classes = shape.size_classes();
+        let leaves = leaf_descs(shape, &classes);
+        let mut interner = Interner::new(shape.num_sizes());
+        let leaf_ids: Vec<u32> = leaves.iter().map(|&d| interner.intern(d)).collect();
+        let n = shape.len();
+        let mut arena = StateArena::default();
+        arena.spans.resize(n * n, (0, 0));
+        DpSolver {
+            shape: shape.clone(),
+            classes,
+            leaves,
+            leaf_ids,
+            interner,
+            memo: AssocMemo::default(),
+            arena,
+            slot_of: Vec::new(),
+            fin_memo: Vec::new(),
+        }
     }
 
-    let mut interner = Interner::new(shape.num_sizes());
-    let leaf_ids: Vec<u32> = leaves.iter().map(|&d| interner.intern(d)).collect();
-    let mut memo = AssocMemo::default();
+    /// The shape this solver is specialized to.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
 
-    let mut arena = StateArena::default();
-    arena.spans.resize(n * n, (0, 0));
-    // Scratch: desc id -> absolute arena slot in the span being built.
-    let mut slot_of: Vec<u32> = Vec::new();
+    /// The optimal FLOP count for `instance` (see [`optimal_cost`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] (unreachable for valid shapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` has the wrong number of sizes for the shape.
+    pub fn optimal_cost(&mut self, instance: &Instance) -> Result<f64, BuildError> {
+        if self.shape.len() == 1 {
+            return self.leaf_cost(instance);
+        }
+        self.solve(instance).map(|(_, cost)| cost)
+    }
 
-    for len in 2..=n {
-        for i in 0..=n - len {
-            let j = i + len - 1;
-            let start = arena.ids.len();
-            for split in i..j {
-                // Left sub-chain [i, split], right [split + 1, j]. Single
-                // leaves are pseudo-states with zero cost.
-                let (l_start, ln, l_leaf) = if split == i {
-                    (0, 1, true)
-                } else {
-                    let (s0, sl) = arena.range(i, split, n);
-                    (s0, sl, false)
-                };
-                let (r_start, rn, r_leaf) = if split + 1 == j {
-                    (0, 1, true)
-                } else {
-                    let (s0, sl) = arena.range(split + 1, j, n);
-                    (s0, sl, false)
-                };
-                for ls in 0..ln {
-                    let (lid, lc) = if l_leaf {
-                        (leaf_ids[i], 0.0)
+    /// The optimal variant and its cost (see [`optimal_variant`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] (unreachable for valid shapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` has the wrong number of sizes for the shape.
+    pub fn optimal_variant(
+        &mut self,
+        instance: &Instance,
+    ) -> Result<(crate::variant::Variant, f64), BuildError> {
+        let (tree, cost) = if self.shape.len() == 1 {
+            (crate::paren::ParenTree::Leaf(0), self.leaf_cost(instance)?)
+        } else {
+            let (min_slot, cost) = self.solve(instance)?;
+            (self.backtrack(min_slot), cost)
+        };
+        let variant = crate::builder::build_variant(&self.shape, &tree)?;
+        debug_assert!(
+            (variant.flops(instance) - cost).abs() <= 1e-6 * cost.max(1.0),
+            "backtracked tree must reproduce the DP cost"
+        );
+        Ok((variant, cost))
+    }
+
+    fn leaf_cost(&self, instance: &Instance) -> Result<f64, BuildError> {
+        assert_eq!(
+            instance.len(),
+            self.shape.num_sizes(),
+            "instance length must be n + 1"
+        );
+        let q = instance.sizes();
+        let (finalizes, _) = finalizes_for(&self.leaves[0])?;
+        Ok(finalizes
+            .iter()
+            .map(|f| finalize_cost_flops(f.kernel, q[f.size_sym]))
+            .sum())
+    }
+
+    /// Finalize cost of the interned descriptor `id` on sizes `q`, through
+    /// the per-id recipe memo (summation order matches [`finalizes_for`]).
+    fn finalize_cost(&mut self, id: u32, q: &[u64]) -> Result<f64, BuildError> {
+        if self.fin_memo.len() < self.interner.descs.len() {
+            self.fin_memo.resize(self.interner.descs.len(), None);
+        }
+        let recipe = match self.fin_memo[id as usize] {
+            Some(r) => r,
+            None => {
+                let (finalizes, _) = finalizes_for(&self.interner.descs[id as usize])?;
+                debug_assert!(finalizes.len() <= 2, "at most inverse + transpose");
+                let mut r: FinRecipe = [None, None];
+                for (dst, f) in r.iter_mut().zip(&finalizes) {
+                    *dst = Some(*f);
+                }
+                self.fin_memo[id as usize] = Some(r);
+                r
+            }
+        };
+        Ok(recipe
+            .iter()
+            .flatten()
+            .map(|f| finalize_cost_flops(f.kernel, q[f.size_sym]))
+            .sum())
+    }
+
+    /// Fill the arena for `instance` and return the winning final-span slot
+    /// and total cost. Requires `n > 1`.
+    fn solve(&mut self, instance: &Instance) -> Result<(u32, f64), BuildError> {
+        assert_eq!(
+            instance.len(),
+            self.shape.num_sizes(),
+            "instance length must be n + 1"
+        );
+        let n = self.shape.len();
+        let q = instance.sizes();
+
+        // Reset the arena (capacity is retained across solves).
+        self.arena.ids.clear();
+        self.arena.costs.clear();
+        self.arena.back.clear();
+        self.arena.spans.iter_mut().for_each(|s| *s = (0, 0));
+
+        let DpSolver {
+            ref classes,
+            ref leaf_ids,
+            ref mut interner,
+            ref mut memo,
+            ref mut arena,
+            ref mut slot_of,
+            ..
+        } = *self;
+
+        for len in 2..=n {
+            for i in 0..=n - len {
+                let j = i + len - 1;
+                let start = arena.ids.len();
+                for split in i..j {
+                    // Left sub-chain [i, split], right [split + 1, j]. Single
+                    // leaves are pseudo-states with zero cost.
+                    let (l_start, ln, l_leaf) = if split == i {
+                        (0, 1, true)
                     } else {
-                        (arena.ids[l_start + ls], arena.costs[l_start + ls])
+                        let (s0, sl) = arena.range(i, split, n);
+                        (s0, sl, false)
                     };
-                    let lslot = if l_leaf { LEAF } else { ls as u32 };
-                    for rs in 0..rn {
-                        let (rid, rc) = if r_leaf {
-                            (leaf_ids[j], 0.0)
+                    let (r_start, rn, r_leaf) = if split + 1 == j {
+                        (0, 1, true)
+                    } else {
+                        let (s0, sl) = arena.range(split + 1, j, n);
+                        (s0, sl, false)
+                    };
+                    for ls in 0..ln {
+                        let (lid, lc) = if l_leaf {
+                            (leaf_ids[i], 0.0)
                         } else {
-                            (arena.ids[r_start + rs], arena.costs[r_start + rs])
+                            (arena.ids[l_start + ls], arena.costs[l_start + ls])
                         };
-                        let rslot = if r_leaf { LEAF } else { rs as u32 };
-                        let (res_id, flops) =
-                            memo.get_or_compute(lid, rid, &mut interner, &classes, q)?;
-                        let cost = lc + rc + flops;
-                        if slot_of.len() < interner.descs.len() {
-                            slot_of.resize(interner.descs.len(), NO_SLOT);
-                        }
-                        let slot = slot_of[res_id as usize];
-                        if slot == NO_SLOT {
-                            slot_of[res_id as usize] = arena.ids.len() as u32;
-                            arena.ids.push(res_id);
-                            arena.costs.push(cost);
-                            arena.back.push((split as u32, lslot, rslot));
-                        } else if cost < arena.costs[slot as usize] {
-                            arena.costs[slot as usize] = cost;
-                            arena.back[slot as usize] = (split as u32, lslot, rslot);
+                        let lslot = if l_leaf { LEAF } else { ls as u32 };
+                        for rs in 0..rn {
+                            let (rid, rc) = if r_leaf {
+                                (leaf_ids[j], 0.0)
+                            } else {
+                                (arena.ids[r_start + rs], arena.costs[r_start + rs])
+                            };
+                            let rslot = if r_leaf { LEAF } else { rs as u32 };
+                            let (res_id, flops) =
+                                memo.get_or_compute(lid, rid, interner, classes, q)?;
+                            let cost = lc + rc + flops;
+                            if slot_of.len() < interner.descs.len() {
+                                slot_of.resize(interner.descs.len(), NO_SLOT);
+                            }
+                            let slot = slot_of[res_id as usize];
+                            if slot == NO_SLOT {
+                                slot_of[res_id as usize] = arena.ids.len() as u32;
+                                arena.ids.push(res_id);
+                                arena.costs.push(cost);
+                                arena.back.push((split as u32, lslot, rslot));
+                            } else if cost < arena.costs[slot as usize] {
+                                arena.costs[slot as usize] = cost;
+                                arena.back[slot as usize] = (split as u32, lslot, rslot);
+                            }
                         }
                     }
                 }
+                // Reset only the touched scratch entries for the next span.
+                for &id in &arena.ids[start..] {
+                    slot_of[id as usize] = NO_SLOT;
+                }
+                arena.spans[i * n + j] = (start as u32, (arena.ids.len() - start) as u32);
             }
-            // Reset only the touched scratch entries for the next span.
-            for &id in &arena.ids[start..] {
-                slot_of[id as usize] = NO_SLOT;
-            }
-            arena.spans[i * n + j] = (start as u32, (arena.ids.len() - start) as u32);
         }
+
+        // Pick the best final state including forced finalizers.
+        let mut min = f64::INFINITY;
+        let mut min_slot = None;
+        let (f0, flen) = self.arena.range(0, n - 1, n);
+        for slot in 0..flen {
+            let id = self.arena.ids[f0 + slot];
+            let extra = self.finalize_cost(id, q)?;
+            let total = self.arena.costs[f0 + slot] + extra;
+            if total < min {
+                min = total;
+                min_slot = Some(slot as u32);
+            }
+        }
+        let min_slot = min_slot.expect("non-empty chain has final states");
+        Ok((min_slot, min))
     }
 
-    // Pick the best final state including forced finalizers.
-    let mut min = f64::INFINITY;
-    let mut min_slot = None;
-    let (f0, flen) = arena.range(0, n - 1, n);
-    for slot in 0..flen {
-        let id = arena.ids[f0 + slot];
-        let (finalizes, _) = finalizes_for(&interner.descs[id as usize])?;
-        let extra: f64 = finalizes
-            .iter()
-            .map(|f| finalize_cost_flops(f.kernel, q[f.size_sym]))
-            .sum();
-        let total = arena.costs[f0 + slot] + extra;
-        if total < min {
-            min = total;
-            min_slot = Some(slot as u32);
+    /// Reconstruct the winning parenthesization from the filled arena.
+    ///
+    /// Backtracks iteratively (chain length must not be bounded by the call
+    /// stack): an explicit work stack interleaves expansion with combining.
+    fn backtrack(&self, min_slot: u32) -> crate::paren::ParenTree {
+        use crate::paren::ParenTree;
+        let n = self.shape.len();
+        enum Task {
+            Build { i: usize, j: usize, slot: u32 },
+            Combine,
         }
-    }
-    let min_slot = min_slot.expect("non-empty chain has final states");
-
-    // Backtrack iteratively (chain length must not be bounded by the call
-    // stack): an explicit work stack interleaves expansion with combining.
-    enum Task {
-        Build { i: usize, j: usize, slot: u32 },
-        Combine,
-    }
-    let mut work = vec![Task::Build {
-        i: 0,
-        j: n - 1,
-        slot: min_slot,
-    }];
-    let mut built: Vec<ParenTree> = Vec::new();
-    while let Some(task) = work.pop() {
-        match task {
-            Task::Build { i, j, slot } => {
-                if slot == LEAF {
-                    built.push(ParenTree::Leaf(i));
-                } else {
-                    let (start, _) = arena.range(i, j, n);
-                    let (split, lslot, rslot) = arena.back[start + slot as usize];
-                    let split = split as usize;
-                    work.push(Task::Combine);
-                    work.push(Task::Build {
-                        i: split + 1,
-                        j,
-                        slot: rslot,
-                    });
-                    work.push(Task::Build {
-                        i,
-                        j: split,
-                        slot: lslot,
-                    });
+        let mut work = vec![Task::Build {
+            i: 0,
+            j: n - 1,
+            slot: min_slot,
+        }];
+        let mut built: Vec<ParenTree> = Vec::new();
+        while let Some(task) = work.pop() {
+            match task {
+                Task::Build { i, j, slot } => {
+                    if slot == LEAF {
+                        built.push(ParenTree::Leaf(i));
+                    } else {
+                        let (start, _) = self.arena.range(i, j, n);
+                        let (split, lslot, rslot) = self.arena.back[start + slot as usize];
+                        let split = split as usize;
+                        work.push(Task::Combine);
+                        work.push(Task::Build {
+                            i: split + 1,
+                            j,
+                            slot: rslot,
+                        });
+                        work.push(Task::Build {
+                            i,
+                            j: split,
+                            slot: lslot,
+                        });
+                    }
+                }
+                Task::Combine => {
+                    let right = built.pop().expect("combine has right subtree");
+                    let left = built.pop().expect("combine has left subtree");
+                    built.push(ParenTree::node(left, right));
                 }
             }
-            Task::Combine => {
-                let right = built.pop().expect("combine has right subtree");
-                let left = built.pop().expect("combine has left subtree");
-                built.push(ParenTree::node(left, right));
-            }
         }
+        debug_assert_eq!(built.len(), 1);
+        built.pop().expect("backtrack yields a tree")
     }
-    debug_assert_eq!(built.len(), 1);
-    Ok((built.pop().expect("backtrack yields a tree"), min))
 }
 
 /// The original HashMap-per-span formulation, kept verbatim as the
@@ -709,6 +851,55 @@ mod tests {
             c.to_bits(),
             optimal_cost_reference(&shape, &inst).unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn solver_reuse_is_bit_identical_across_instances() {
+        // One DpSolver solving many instances of one shape must reproduce
+        // fresh-solver and reference costs exactly: warm tables change
+        // nothing about relaxation or summation order.
+        let mut rng = StdRng::seed_from_u64(77);
+        let opts = operands();
+        for trial in 0..10 {
+            let n = 2 + trial % 7;
+            let ops: Vec<Operand> = (0..n)
+                .map(|_| opts[rand::Rng::gen_range(&mut rng, 0..opts.len())])
+                .collect();
+            let shape = match Shape::new(ops) {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let sampler = InstanceSampler::new(&shape, 2, 500);
+            let mut solver = DpSolver::new(&shape);
+            for _ in 0..8 {
+                let inst = sampler.sample(&mut rng);
+                let warm = solver.optimal_cost(&inst).unwrap();
+                let cold = optimal_cost(&shape, &inst).unwrap();
+                let reference = optimal_cost_reference(&shape, &inst).unwrap();
+                assert_eq!(warm.to_bits(), cold.to_bits(), "warm vs cold on {shape}");
+                assert_eq!(
+                    warm.to_bits(),
+                    reference.to_bits(),
+                    "warm vs ref on {shape}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solver_variant_reuse_matches_free_function() {
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g; 6]).unwrap();
+        let mut solver = DpSolver::new(&shape);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampler = InstanceSampler::new(&shape, 2, 300);
+        for _ in 0..5 {
+            let inst = sampler.sample(&mut rng);
+            let (warm_v, warm_c) = solver.optimal_variant(&inst).unwrap();
+            let (cold_v, cold_c) = optimal_variant(&shape, &inst).unwrap();
+            assert_eq!(warm_v.paren(), cold_v.paren());
+            assert_eq!(warm_c.to_bits(), cold_c.to_bits());
+        }
     }
 
     #[test]

@@ -1,27 +1,135 @@
 //! Enumeration of the full variant set `A` for a shape.
+//!
+//! The pool grows as `Catalan(n - 1)` — 132 variants for `n = 7`, 58 786
+//! for `n = 12`, ~2.7 million for `n = 15` — so enumeration is guarded by
+//! an explicit variant cap ([`DEFAULT_VARIANT_CAP`], configurable via
+//! [`all_variants_capped`] or
+//! [`crate::session::CompileSession::set_variant_cap`]). Chains past the
+//! cap get a typed [`EnumerateError::PoolTooLarge`] instead of an
+//! unbounded allocation blowup; use [`crate::dp::optimal_cost`] for the
+//! per-instance optimum without materializing `A`.
 
 use crate::builder::{build_variant, BuildError};
 use crate::paren::ParenTree;
 use crate::variant::Variant;
 use gmc_ir::Shape;
+use std::error::Error;
+use std::fmt;
+
+/// Default cap on the number of variants [`all_variants`] will build.
+///
+/// Catalan(12) = 208 012 exceeds it; every chain of the paper's
+/// experiments (`n <= 10`) fits comfortably.
+pub const DEFAULT_VARIANT_CAP: u64 = 1 << 16;
+
+/// Errors from enumerating the variant pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumerateError {
+    /// Variant construction failed.
+    Build(BuildError),
+    /// The chain's `Catalan(n - 1)` pool exceeds the configured cap.
+    PoolTooLarge {
+        /// Number of parenthesizations the chain admits.
+        variants: u128,
+        /// The cap that was exceeded.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for EnumerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumerateError::Build(e) => write!(f, "variant construction failed: {e}"),
+            EnumerateError::PoolTooLarge { variants, cap } => write!(
+                f,
+                "variant pool has {variants} parenthesizations, over the cap of {cap}; \
+                 use the DP solver for long chains"
+            ),
+        }
+    }
+}
+
+impl Error for EnumerateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnumerateError::Build(e) => Some(e),
+            EnumerateError::PoolTooLarge { .. } => None,
+        }
+    }
+}
+
+impl From<BuildError> for EnumerateError {
+    fn from(e: BuildError) -> Self {
+        EnumerateError::Build(e)
+    }
+}
 
 /// Build the deterministic variant for *every* parenthesization of the
-/// chain — the set `A` of Sec. V, one variant per parenthesization.
-///
-/// The number of variants is `Catalan(n - 1)` (132 for `n = 7`); this is
-/// intended for the chain lengths of the paper's experiments. For long
-/// chains prefer [`crate::dp::optimal_cost`] to obtain the per-instance
-/// optimum without materializing `A`.
+/// chain — the set `A` of Sec. V, one variant per parenthesization —
+/// refusing pools larger than [`DEFAULT_VARIANT_CAP`].
 ///
 /// # Errors
 ///
-/// Propagates [`BuildError`] (unreachable for valid shapes).
-pub fn all_variants(shape: &Shape) -> Result<Vec<Variant>, BuildError> {
-    ParenTree::enumerate(0, shape.len() - 1)
-        .iter()
-        .map(|t| build_variant(shape, t))
-        .collect()
+/// Returns [`EnumerateError::PoolTooLarge`] past the cap and propagates
+/// [`BuildError`] (unreachable for valid shapes).
+pub fn all_variants(shape: &Shape) -> Result<Vec<Variant>, EnumerateError> {
+    all_variants_capped(shape, DEFAULT_VARIANT_CAP)
 }
+
+/// [`all_variants`] with an explicit variant cap.
+///
+/// # Errors
+///
+/// Same as [`all_variants`], against the supplied `cap`.
+pub fn all_variants_capped(shape: &Shape, cap: u64) -> Result<Vec<Variant>, EnumerateError> {
+    let count = ParenTree::count(shape.len());
+    if count > u128::from(cap) {
+        return Err(EnumerateError::PoolTooLarge {
+            variants: count,
+            cap,
+        });
+    }
+    let trees = ParenTree::enumerate(0, shape.len() - 1);
+    build_pool(shape, &trees, 1).map_err(EnumerateError::Build)
+}
+
+/// Lower a list of parenthesizations into variants, splitting the work
+/// across up to `jobs` threads. The output order (and every variant in
+/// it) is identical for every `jobs` value: lowering is per-tree
+/// deterministic and results are written back in tree order.
+pub(crate) fn build_pool(
+    shape: &Shape,
+    trees: &[ParenTree],
+    jobs: usize,
+) -> Result<Vec<Variant>, BuildError> {
+    #[cfg(feature = "parallel")]
+    if jobs > 1 && trees.len() >= 2 * PAR_MIN_TREES_PER_JOB {
+        let jobs = jobs.min(trees.len() / PAR_MIN_TREES_PER_JOB).max(1);
+        let chunk = trees.len().div_ceil(jobs);
+        let mut out: Vec<Option<Result<Variant, BuildError>>> =
+            (0..trees.len()).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (tchunk, ochunk) in trees.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (t, o) in tchunk.iter().zip(ochunk.iter_mut()) {
+                        *o = Some(build_variant(shape, t));
+                    }
+                });
+            }
+        });
+        return out
+            .into_iter()
+            .map(|r| r.expect("every tree lowered"))
+            .collect();
+    }
+    let _ = jobs;
+    trees.iter().map(|t| build_variant(shape, t)).collect()
+}
+
+/// Below this many trees per worker, thread spawn overhead dominates
+/// (the vendored rayon shim spawns OS threads, not pool tasks).
+#[cfg(feature = "parallel")]
+const PAR_MIN_TREES_PER_JOB: usize = 16;
 
 #[cfg(test)]
 mod tests {
@@ -36,6 +144,29 @@ mod tests {
             let vs = all_variants(&shape).unwrap();
             assert_eq!(vs.len() as u128, ParenTree::count(n));
         }
+    }
+
+    #[test]
+    fn pool_cap_yields_typed_error() {
+        let g = Operand::plain(Features::general());
+        // n = 12: Catalan(11) = 58786 exceeds a cap of 1000.
+        let shape = Shape::new(vec![g; 12]).unwrap();
+        match all_variants_capped(&shape, 1000) {
+            Err(EnumerateError::PoolTooLarge { variants, cap }) => {
+                assert_eq!(variants, 58_786);
+                assert_eq!(cap, 1000);
+            }
+            other => panic!("expected PoolTooLarge, got {other:?}"),
+        }
+        // The default cap admits n = 7 (Catalan 132) without complaint.
+        let shape = Shape::new(vec![g; 7]).unwrap();
+        assert_eq!(all_variants(&shape).unwrap().len(), 132);
+        // And refuses n = 15 (~2.7M) before allocating anything.
+        let shape = Shape::new(vec![g; 15]).unwrap();
+        assert!(matches!(
+            all_variants(&shape),
+            Err(EnumerateError::PoolTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -4,6 +4,17 @@
 //! objective `F` over per-instance penalties, and a cardinality budget `K`,
 //! the greedy procedure repeatedly adds the variant that improves `F` the
 //! most, stopping early when no candidate improves it.
+//!
+//! The cost matrix is stored flat (one `variants x instances` buffer) and
+//! can be refilled in place ([`CostMatrix::fill_with`]), so a long-lived
+//! [`crate::session::CompileSession`] reuses one buffer across compiles.
+//! The greedy loop itself maintains the per-instance best-in-set cost
+//! incrementally: evaluating a candidate is `O(instances)` instead of
+//! `O(set x instances)`, and — because `min` is exact — every objective
+//! value is bit-identical to the textbook re-evaluation. With the
+//! `parallel` feature the candidate scan splits across threads, again
+//! without changing a single bit of the outcome (candidates are scored
+//! independently and the tie-break scan order is preserved).
 
 use crate::theory::penalty;
 use crate::variant::Variant;
@@ -40,15 +51,25 @@ impl Objective {
 
 /// Precomputed per-variant, per-instance costs plus per-instance optima.
 ///
-/// Row `v` of `costs` holds the cost of variant `v` on every instance;
-/// `optimal[i]` is the minimum over the *full* pool on instance `i`.
-#[derive(Debug, Clone)]
+/// Storage is one flat row-major buffer: row `v` holds the cost of variant
+/// `v` on every instance; `optimal[i]` is the minimum over the *full* pool
+/// on instance `i`. The buffer can be refilled in place so sessions reuse
+/// one allocation across compiles.
+#[derive(Debug, Clone, Default)]
 pub struct CostMatrix {
-    costs: Vec<Vec<f64>>,
+    costs: Vec<f64>,
+    num_variants: usize,
+    num_instances: usize,
     optimal: Vec<f64>,
 }
 
 impl CostMatrix {
+    /// An empty matrix, ready to be [`CostMatrix::fill_with`]ed.
+    #[must_use]
+    pub fn new() -> Self {
+        CostMatrix::default()
+    }
+
     /// Compute a cost matrix using FLOP costs.
     #[must_use]
     pub fn flops(pool: &[Variant], instances: &[Instance]) -> Self {
@@ -64,48 +85,137 @@ impl CostMatrix {
     /// Panics if `optimal.len() != instances.len()`.
     #[must_use]
     pub fn flops_with_optimal(pool: &[Variant], instances: &[Instance], optimal: Vec<f64>) -> Self {
-        assert_eq!(optimal.len(), instances.len(), "one optimum per instance");
-        let costs: Vec<Vec<f64>> = pool
-            .iter()
-            .map(|v| instances.iter().map(|q| v.flops(q)).collect())
-            .collect();
-        CostMatrix { costs, optimal }
+        let mut m = CostMatrix::new();
+        m.fill_flops_with_optimal(pool, instances, optimal, 1);
+        m
     }
 
     /// Compute a cost matrix with a custom cost function (e.g. a
     /// performance-model time estimate).
     #[must_use]
-    pub fn with<F: Fn(&Variant, &Instance) -> f64>(
+    pub fn with<F: Fn(&Variant, &Instance) -> f64 + Sync>(
         pool: &[Variant],
         instances: &[Instance],
         cost: F,
     ) -> Self {
-        let costs: Vec<Vec<f64>> = pool
-            .iter()
-            .map(|v| instances.iter().map(|q| cost(v, q)).collect())
-            .collect();
-        let optimal = (0..instances.len())
-            .map(|i| costs.iter().map(|row| row[i]).fold(f64::INFINITY, f64::min))
-            .collect();
-        CostMatrix { costs, optimal }
+        let mut m = CostMatrix::new();
+        m.fill_with(pool, instances, cost, 1);
+        m
+    }
+
+    /// Refill the matrix in place (reusing its buffers) with a custom cost
+    /// function, splitting the row fill across up to `jobs` threads when
+    /// the `parallel` feature is enabled. Every row is computed
+    /// independently, so the contents are identical for every `jobs`
+    /// value; the per-instance optima are reduced serially in pool order.
+    pub fn fill_with<F: Fn(&Variant, &Instance) -> f64 + Sync>(
+        &mut self,
+        pool: &[Variant],
+        instances: &[Instance],
+        cost: F,
+        jobs: usize,
+    ) {
+        self.fill_rows(pool, instances, &cost, jobs);
+        // Column minima, folded in pool order (same order as a fresh
+        // per-column fold over rows).
+        self.optimal.clear();
+        self.optimal.resize(self.num_instances, f64::INFINITY);
+        for row in self.costs.chunks_exact(self.num_instances.max(1)) {
+            for (o, &c) in self.optimal.iter_mut().zip(row) {
+                *o = o.min(c);
+            }
+        }
+    }
+
+    /// Refill in place with FLOP costs and externally supplied optima.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `optimal.len() != instances.len()`.
+    pub fn fill_flops_with_optimal(
+        &mut self,
+        pool: &[Variant],
+        instances: &[Instance],
+        optimal: Vec<f64>,
+        jobs: usize,
+    ) {
+        assert_eq!(optimal.len(), instances.len(), "one optimum per instance");
+        self.fill_rows(
+            pool,
+            instances,
+            &|v: &Variant, q: &Instance| v.flops(q),
+            jobs,
+        );
+        self.optimal = optimal;
+    }
+
+    fn fill_rows<F: Fn(&Variant, &Instance) -> f64 + Sync>(
+        &mut self,
+        pool: &[Variant],
+        instances: &[Instance],
+        cost: &F,
+        jobs: usize,
+    ) {
+        self.num_variants = pool.len();
+        self.num_instances = instances.len();
+        self.costs.clear();
+        self.costs.resize(pool.len() * instances.len(), 0.0);
+        let ni = instances.len().max(1);
+
+        #[cfg(feature = "parallel")]
+        if jobs > 1 && pool.len() * instances.len() >= PAR_MIN_CELLS {
+            let jobs = jobs.min(pool.len()).max(1);
+            let rows_per = pool.len().div_ceil(jobs);
+            rayon::scope(|s| {
+                for (vchunk, cchunk) in pool
+                    .chunks(rows_per)
+                    .zip(self.costs.chunks_mut(rows_per * ni))
+                {
+                    s.spawn(move |_| {
+                        for (v, row) in vchunk.iter().zip(cchunk.chunks_mut(ni)) {
+                            for (c, q) in row.iter_mut().zip(instances) {
+                                *c = cost(v, q);
+                            }
+                        }
+                    });
+                }
+            });
+            return;
+        }
+        let _ = jobs;
+        for (v, row) in pool.iter().zip(self.costs.chunks_mut(ni)) {
+            for (c, q) in row.iter_mut().zip(instances) {
+                *c = cost(v, q);
+            }
+        }
     }
 
     /// Number of variants in the pool.
     #[must_use]
     pub fn num_variants(&self) -> usize {
-        self.costs.len()
+        self.num_variants
     }
 
     /// Number of sampled instances.
     #[must_use]
     pub fn num_instances(&self) -> usize {
-        self.optimal.len()
+        self.num_instances
     }
 
     /// Per-instance optimal costs over the full pool.
     #[must_use]
     pub fn optimal(&self) -> &[f64] {
         &self.optimal
+    }
+
+    /// The costs of variant `v` on every instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds index.
+    #[must_use]
+    pub fn row(&self, v: usize) -> &[f64] {
+        &self.costs[v * self.num_instances..(v + 1) * self.num_instances]
     }
 
     /// The cost of variant `v` on instance `i`.
@@ -115,7 +225,8 @@ impl CostMatrix {
     /// Panics on out-of-bounds indices.
     #[must_use]
     pub fn cost(&self, v: usize, i: usize) -> f64 {
-        self.costs[v][i]
+        assert!(i < self.num_instances, "instance index out of bounds");
+        self.costs[v * self.num_instances + i]
     }
 
     /// Evaluate the objective of a set of variant indices.
@@ -124,11 +235,24 @@ impl CostMatrix {
         objective.evaluate((0..self.num_instances()).map(|i| {
             let best = set
                 .iter()
-                .map(|&v| self.costs[v][i])
+                .map(|&v| self.cost(v, i))
                 .fold(f64::INFINITY, f64::min);
             penalty(best, self.optimal[i])
         }))
     }
+}
+
+/// Below this many matrix cells the parallel fill/scan is not worth the
+/// per-call OS-thread spawns of the vendored rayon shim.
+#[cfg(feature = "parallel")]
+const PAR_MIN_CELLS: usize = 1 << 14;
+
+/// Reusable buffers for [`expand_set_with`]: the per-instance best-in-set
+/// cost vector (and nothing else). A session keeps one across compiles so
+/// steady-state expansion allocates only the returned index set.
+#[derive(Debug, Clone, Default)]
+pub struct ExpandScratch {
+    best: Vec<f64>,
 }
 
 /// Algorithm 1 (`ExpandSet`): greedily grow `initial` (indices into the
@@ -143,29 +267,59 @@ pub fn expand_set(
     k: usize,
     objective: Objective,
 ) -> Vec<usize> {
+    expand_set_with(
+        matrix,
+        initial,
+        k,
+        objective,
+        &mut ExpandScratch::default(),
+        1,
+    )
+}
+
+/// [`expand_set`] with caller-owned scratch and a thread budget for the
+/// candidate scan (effective only with the `parallel` feature).
+///
+/// The result is bit-identical for every `jobs` value: candidate scores
+/// are computed independently and the winner is the first strict minimum
+/// in candidate order, exactly as in the serial scan.
+#[must_use]
+pub fn expand_set_with(
+    matrix: &CostMatrix,
+    initial: &[usize],
+    k: usize,
+    objective: Objective,
+    scratch: &mut ExpandScratch,
+    jobs: usize,
+) -> Vec<usize> {
+    let ni = matrix.num_instances();
     let mut set: Vec<usize> = initial.to_vec();
+    scratch.best.clear();
+    scratch.best.resize(ni, f64::INFINITY);
+    for &v in &set {
+        for (b, &c) in scratch.best.iter_mut().zip(matrix.row(v)) {
+            *b = b.min(c);
+        }
+    }
     let mut v_min = if set.is_empty() {
         f64::INFINITY
     } else {
-        matrix.objective(&set, objective)
+        objective.evaluate(
+            scratch
+                .best
+                .iter()
+                .zip(matrix.optimal())
+                .map(|(&b, &o)| penalty(b, o)),
+        )
     };
     while set.len() < k {
-        let mut best_candidate: Option<usize> = None;
-        let mut v_star = f64::INFINITY;
-        for d in 0..matrix.num_variants() {
-            if set.contains(&d) {
-                continue;
-            }
-            let mut trial = set.clone();
-            trial.push(d);
-            let val = matrix.objective(&trial, objective);
-            if val < v_star {
-                v_star = val;
-                best_candidate = Some(d);
-            }
-        }
+        let (best_candidate, v_star) =
+            scan_candidates(matrix, &set, &scratch.best, objective, jobs);
         match best_candidate {
             Some(d) if v_star < v_min => {
+                for (b, &c) in scratch.best.iter_mut().zip(matrix.row(d)) {
+                    *b = b.min(c);
+                }
                 set.push(d);
                 v_min = v_star;
             }
@@ -173,6 +327,82 @@ pub fn expand_set(
         }
     }
     set
+}
+
+/// Score of adding candidate `d` to the set summarized by `best`.
+///
+/// `min` is exact, so `min(best[i], cost(d, i))` equals the fold over
+/// `set + {d}` in any order — the value matches the textbook trial-set
+/// re-evaluation bit for bit.
+fn candidate_value(matrix: &CostMatrix, best: &[f64], d: usize, objective: Objective) -> f64 {
+    objective.evaluate(
+        best.iter()
+            .zip(matrix.row(d))
+            .zip(matrix.optimal())
+            .map(|((&b, &c), &o)| penalty(b.min(c), o)),
+    )
+}
+
+/// Scan `range` for the first strict minimum among candidates not in
+/// `set`, seeded with `v_star = +inf`.
+fn scan_range(
+    matrix: &CostMatrix,
+    set: &[usize],
+    best: &[f64],
+    objective: Objective,
+    range: std::ops::Range<usize>,
+) -> (Option<usize>, f64) {
+    let mut best_candidate: Option<usize> = None;
+    let mut v_star = f64::INFINITY;
+    for d in range {
+        if set.contains(&d) {
+            continue;
+        }
+        let val = candidate_value(matrix, best, d, objective);
+        if val < v_star {
+            v_star = val;
+            best_candidate = Some(d);
+        }
+    }
+    (best_candidate, v_star)
+}
+
+fn scan_candidates(
+    matrix: &CostMatrix,
+    set: &[usize],
+    best: &[f64],
+    objective: Objective,
+    jobs: usize,
+) -> (Option<usize>, f64) {
+    let nv = matrix.num_variants();
+    #[cfg(feature = "parallel")]
+    if jobs > 1 && nv * matrix.num_instances() >= PAR_MIN_CELLS {
+        let jobs = jobs.min(nv).max(1);
+        let per = nv.div_ceil(jobs);
+        let mut partial: Vec<(Option<usize>, f64)> = vec![(None, f64::INFINITY); jobs];
+        rayon::scope(|s| {
+            for (c, out) in partial.iter_mut().enumerate() {
+                let lo = c * per;
+                let hi = ((c + 1) * per).min(nv);
+                s.spawn(move |_| {
+                    *out = scan_range(matrix, set, best, objective, lo..hi);
+                });
+            }
+        });
+        // Combine stripes in index order with the same strict-< rule, so
+        // the winner is the global first minimum, as in the serial scan.
+        let mut best_candidate: Option<usize> = None;
+        let mut v_star = f64::INFINITY;
+        for (cand, val) in partial {
+            if cand.is_some() && val < v_star {
+                v_star = val;
+                best_candidate = cand;
+            }
+        }
+        return (best_candidate, v_star);
+    }
+    let _ = jobs;
+    scan_range(matrix, set, best, objective, 0..nv)
 }
 
 #[cfg(test)]
@@ -242,6 +472,81 @@ mod tests {
         let all: Vec<usize> = (0..pool.len()).collect();
         let set = expand_set(&matrix, &all, all.len() + 5, Objective::AvgPenalty);
         assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn incremental_scan_matches_textbook_reevaluation() {
+        // The incremental best-cost scan must score candidates exactly as
+        // the textbook "clone the set, re-evaluate" loop does.
+        let (pool, instances, _) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        let set = vec![0usize, 3];
+        let mut best = vec![f64::INFINITY; matrix.num_instances()];
+        for &v in &set {
+            for (b, &c) in best.iter_mut().zip(matrix.row(v)) {
+                *b = b.min(c);
+            }
+        }
+        for d in 0..matrix.num_variants() {
+            if set.contains(&d) {
+                continue;
+            }
+            let incremental = candidate_value(&matrix, &best, d, Objective::AvgPenalty);
+            let mut trial = set.clone();
+            trial.push(d);
+            let textbook = matrix.objective(&trial, Objective::AvgPenalty);
+            assert_eq!(incremental.to_bits(), textbook.to_bits(), "candidate {d}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical() {
+        let (pool, instances, shape) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        let base = select_base_set(&shape, &instances, matrix.optimal()).unwrap();
+        let initial: Vec<usize> = base
+            .variants
+            .iter()
+            .map(|v| pool.iter().position(|p| p.paren() == v.paren()).unwrap())
+            .collect();
+        let mut scratch = ExpandScratch::default();
+        for k_extra in 0..3 {
+            let fresh = expand_set(
+                &matrix,
+                &initial,
+                initial.len() + k_extra,
+                Objective::AvgPenalty,
+            );
+            let reused = expand_set_with(
+                &matrix,
+                &initial,
+                initial.len() + k_extra,
+                Objective::AvgPenalty,
+                &mut scratch,
+                1,
+            );
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn refill_reuses_buffers_and_matches_fresh() {
+        let (pool, instances, _) = pool_and_instances();
+        let fresh = CostMatrix::flops(&pool, &instances);
+        let mut reused = CostMatrix::new();
+        reused.fill_with(&pool, &instances, |v, q| v.flops(q), 1);
+        let cap_before = reused.costs.capacity();
+        reused.fill_with(&pool, &instances, |v, q| v.flops(q), 1);
+        assert_eq!(reused.costs.capacity(), cap_before, "no regrowth on refill");
+        assert_eq!(fresh.num_variants(), reused.num_variants());
+        for v in 0..fresh.num_variants() {
+            for i in 0..fresh.num_instances() {
+                assert_eq!(fresh.cost(v, i).to_bits(), reused.cost(v, i).to_bits());
+            }
+        }
+        for (a, b) in fresh.optimal().iter().zip(reused.optimal()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

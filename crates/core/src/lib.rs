@@ -17,6 +17,14 @@
 //!    that picks the cheapest variant for the concrete sizes at hand and
 //!    executes it on real matrices.
 //!
+//! For one-off compiles the free functions below suffice. A service that
+//! compiles many programs or dispatches over many size vectors should
+//! hold a [`session::CompileSession`], which owns and reuses every
+//! stage's state (shape interner, per-shape DP solvers, cost-matrix and
+//! expansion scratch, GEMM workspace) and — behind the `parallel`
+//! feature — threads enumeration, the cost-matrix fill, and the
+//! Algorithm-1 candidate scan with bit-identical results.
+//!
 //! ```
 //! use gmc_core::CompiledChain;
 //! use gmc_ir::grammar::parse_program;
@@ -47,16 +55,18 @@ pub mod library;
 pub mod paren;
 pub mod program;
 pub mod reference;
+pub mod session;
 pub mod theory;
 pub mod variant;
 
 pub use alpha::{alpha_hat, catalogue_alpha_hat, shape_penalty_bound, TermKind};
 pub use builder::{build_variant, build_variant_with, BuildError, BuildOptions};
-pub use dp::{optimal_cost, optimal_variant};
-pub use enumerate::all_variants;
-pub use expand::{expand_set, Objective};
+pub use dp::{optimal_cost, optimal_variant, DpSolver};
+pub use enumerate::{all_variants, all_variants_capped, EnumerateError, DEFAULT_VARIANT_CAP};
+pub use expand::{expand_set, expand_set_with, CostMatrix, ExpandScratch, Objective};
 pub use library::ChainLibrary;
 pub use paren::ParenTree;
 pub use program::{CompileOptions, CompiledChain, CostModel, FlopCost, ProgramError};
+pub use session::CompileSession;
 pub use theory::{fanning_out_set, penalty, select_base_set, select_base_set_with, TheoryError};
 pub use variant::{ExecVariantError, Finalize, Step, ValRef, Variant};

@@ -9,14 +9,12 @@
 //! the cheapest variant.
 
 use crate::builder::BuildError;
-use crate::enumerate::all_variants;
-use crate::expand::{expand_set, CostMatrix, Objective};
-use crate::theory::{select_base_set, TheoryError};
+use crate::enumerate::EnumerateError;
+use crate::expand::Objective;
+use crate::theory::TheoryError;
 use crate::variant::{ExecVariantError, Variant};
-use gmc_ir::{Instance, InstanceSampler, Shape};
+use gmc_ir::{Instance, Shape};
 use gmc_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::error::Error;
 use std::fmt;
 
@@ -74,6 +72,8 @@ impl Default for CompileOptions {
 pub enum ProgramError {
     /// Variant construction failed.
     Build(BuildError),
+    /// Variant-pool enumeration failed (e.g. over the configured cap).
+    Enumerate(EnumerateError),
     /// Base-set selection failed.
     Theory(TheoryError),
     /// Evaluation failed.
@@ -86,6 +86,7 @@ impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProgramError::Build(e) => write!(f, "compilation failed: {e}"),
+            ProgramError::Enumerate(e) => write!(f, "variant enumeration failed: {e}"),
             ProgramError::Theory(e) => write!(f, "variant selection failed: {e}"),
             ProgramError::Exec(e) => write!(f, "evaluation failed: {e}"),
             ProgramError::InconsistentSizes(msg) => write!(f, "inconsistent matrix sizes: {msg}"),
@@ -97,6 +98,7 @@ impl Error for ProgramError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ProgramError::Build(e) => Some(e),
+            ProgramError::Enumerate(e) => Some(e),
             ProgramError::Theory(e) => Some(e),
             ProgramError::Exec(e) => Some(e),
             ProgramError::InconsistentSizes(_) => None,
@@ -107,6 +109,12 @@ impl Error for ProgramError {
 impl From<BuildError> for ProgramError {
     fn from(e: BuildError) -> Self {
         ProgramError::Build(e)
+    }
+}
+
+impl From<EnumerateError> for ProgramError {
+    fn from(e: EnumerateError) -> Self {
+        ProgramError::Enumerate(e)
     }
 }
 
@@ -150,50 +158,15 @@ impl CompiledChain {
     /// per-instance optimum comes from the DP solver — the Theorem-2
     /// guarantee is unaffected, only the expansion candidates shrink.
     ///
+    /// One-shot convenience: runs a throwaway
+    /// [`crate::session::CompileSession`]. Services compiling many
+    /// programs should hold a session to reuse its arenas and caches.
+    ///
     /// # Errors
     ///
     /// Returns [`ProgramError`] if selection fails.
     pub fn compile_with(shape: Shape, options: &CompileOptions) -> Result<Self, ProgramError> {
-        const ENUMERATION_CAP: u128 = 4096;
-        let mut rng = StdRng::seed_from_u64(options.seed);
-        let sampler = InstanceSampler::new(&shape, options.size_lo, options.size_hi);
-        let training = sampler.sample_many(&mut rng, options.training_instances.max(1));
-        let (pool, matrix) = if crate::paren::ParenTree::count(shape.len()) <= ENUMERATION_CAP {
-            let pool = all_variants(&shape)?;
-            let matrix = CostMatrix::flops(&pool, &training);
-            (pool, matrix)
-        } else {
-            let pool: Vec<Variant> = crate::theory::fanning_out_set(&shape)?
-                .into_iter()
-                .map(|(_, v)| v)
-                .collect();
-            let optimal: Vec<f64> = training
-                .iter()
-                .map(|q| crate::dp::optimal_cost(&shape, q))
-                .collect::<Result<_, _>>()?;
-            let matrix = CostMatrix::flops_with_optimal(&pool, &training, optimal);
-            (pool, matrix)
-        };
-        let base = select_base_set(&shape, &training, matrix.optimal())?;
-        let mut indices: Vec<usize> = base
-            .variants
-            .iter()
-            .map(|v| {
-                pool.iter()
-                    .position(|p| p.paren() == v.paren())
-                    .expect("base variants come from the pool")
-            })
-            .collect();
-        if options.expand_by > 0 {
-            indices = expand_set(
-                &matrix,
-                &indices,
-                indices.len() + options.expand_by,
-                options.objective,
-            );
-        }
-        let variants = indices.into_iter().map(|i| pool[i].clone()).collect();
-        Ok(CompiledChain { shape, variants })
+        crate::session::CompileSession::with_options(options.clone()).compile(&shape)
     }
 
     /// Build a compiled chain from explicitly chosen variants (used by the
@@ -356,6 +329,7 @@ impl CompiledChain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::enumerate::all_variants;
     use crate::reference::evaluate_reference;
     use gmc_ir::{Features, Operand, Property, Structure};
     use gmc_linalg::{random_general, random_lower_triangular, random_spd, relative_error};

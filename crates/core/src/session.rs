@@ -1,0 +1,570 @@
+//! A long-lived, reusable compilation pipeline (the tentpole of the
+//! production-scaling work): parse → enumerate → select → expand →
+//! dispatch/execute, with every stage's scratch state owned by one
+//! [`CompileSession`] and reused across calls.
+//!
+//! The free functions ([`crate::all_variants`], [`crate::optimal_cost`],
+//! [`crate::expand_set`], [`CompiledChain::compile`]) remain as one-shot
+//! conveniences — each allocates its own state per call. A service that
+//! compiles many programs, or dispatches one chain over many size
+//! vectors, should hold a session instead:
+//!
+//! * **Shape interning** ([`gmc_ir::ShapeInterner`]): every distinct
+//!   chain shape gets a dense [`ShapeId`]; repeated programs hit the
+//!   compiled-chain cache instead of re-running selection.
+//! * **DP solver reuse** ([`crate::dp::DpSolver`]): one solver per shape
+//!   keeps its descriptor interner, association memo, and state arena
+//!   warm, so per-instance optimal costs in dispatch loops are
+//!   allocation-free after the first call.
+//! * **Selection scratch** ([`CostMatrix`], [`ExpandScratch`]): the
+//!   variant × instance cost matrix and the greedy expansion's
+//!   best-in-set vector live in session buffers that are refilled in
+//!   place.
+//! * **Execution scratch** ([`GemmWorkspace`]): numeric evaluation packs
+//!   GEMM panels into the session workspace instead of thread-local
+//!   buffers.
+//!
+//! # Determinism
+//!
+//! Every session method is bit-identical to its one-shot counterpart:
+//! warm caches change *where* intermediate state lives, never the
+//! relaxation, summation, or tie-break order. This also holds for the
+//! thread count — see [`CompileSession::set_jobs`] — which is what makes
+//! the `parallel` feature safe to enable in production: a property test
+//! pins `parallel == serial` selection bit for bit.
+//!
+//! # Variant-pool growth
+//!
+//! The full pool `A` grows as `Catalan(n - 1)` in the chain length `n`:
+//! 132 variants at `n = 7`, 58 786 at `n = 12`, ~2.7 million at
+//! `n = 15`. [`CompileSession::all_variants`] therefore refuses chains
+//! past a configurable cap ([`CompileSession::set_variant_cap`]) with a
+//! typed [`EnumerateError::PoolTooLarge`], and
+//! [`CompileSession::compile`] automatically switches long chains to the
+//! DP-backed fanning-out path, which never materializes `A`.
+//!
+//! # Example
+//!
+//! ```
+//! use gmc_core::session::CompileSession;
+//! use gmc_linalg::Matrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut session = CompileSession::new();
+//! let (program, _id) = session.parse(
+//!     "Matrix A <General, Singular>;
+//!      Matrix B <General, Singular>;
+//!      X := A * B;",
+//! )?;
+//! let chain = session.compile(program.shape())?;
+//! // Second compile of the same shape is a cache hit.
+//! let again = session.compile(program.shape())?;
+//! assert_eq!(chain.variants().len(), again.variants().len());
+//! let x = session.evaluate(&chain, &[Matrix::zeros(3, 4), Matrix::zeros(4, 5)])?;
+//! assert_eq!((x.rows(), x.cols()), (3, 5));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::builder::BuildError;
+use crate::dp::DpSolver;
+use crate::enumerate::{build_pool, EnumerateError, DEFAULT_VARIANT_CAP};
+use crate::expand::{expand_set_with, CostMatrix, ExpandScratch};
+use crate::paren::ParenTree;
+use crate::program::{CompileOptions, CompiledChain, CostModel, ProgramError};
+use crate::theory::{fanning_out_set, select_base_set};
+use crate::variant::Variant;
+use gmc_ir::grammar::{parse_program, ParseError, Program};
+use gmc_ir::{Instance, InstanceSampler, Shape, ShapeId, ShapeInterner};
+use gmc_linalg::{GemmWorkspace, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Chains whose `Catalan(n - 1)` pool exceeds this are compiled through
+/// the scalable DP-backed path instead of full enumeration (`n <= 9`
+/// enumerates; see [`CompiledChain::compile_with`]).
+pub(crate) const ENUMERATION_CAP: u128 = 4096;
+
+/// A long-lived compiler pipeline: owns the descriptor interner, DP state
+/// arenas, cost-matrix scratch, and GEMM workspace, and reuses all of
+/// them across compiles and evaluations (see the [module docs](self)).
+pub struct CompileSession {
+    options: CompileOptions,
+    jobs: usize,
+    variant_cap: u64,
+    shapes: ShapeInterner,
+    solvers: HashMap<ShapeId, DpSolver>,
+    compiled: HashMap<ShapeId, CompiledChain>,
+    matrix: CostMatrix,
+    expand: ExpandScratch,
+    gemm_ws: GemmWorkspace,
+}
+
+impl Default for CompileSession {
+    fn default() -> Self {
+        CompileSession::new()
+    }
+}
+
+impl CompileSession {
+    /// A session with default [`CompileOptions`].
+    #[must_use]
+    pub fn new() -> Self {
+        CompileSession::with_options(CompileOptions::default())
+    }
+
+    /// A session with explicit compile options.
+    #[must_use]
+    pub fn with_options(options: CompileOptions) -> Self {
+        CompileSession {
+            options,
+            jobs: default_jobs(),
+            variant_cap: DEFAULT_VARIANT_CAP,
+            shapes: ShapeInterner::new(),
+            solvers: HashMap::new(),
+            compiled: HashMap::new(),
+            matrix: CostMatrix::new(),
+            expand: ExpandScratch::default(),
+            gemm_ws: GemmWorkspace::new(),
+        }
+    }
+
+    /// The session's compile options.
+    #[must_use]
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Replace the compile options. Invalidates the compiled-chain cache
+    /// (selection depends on the options); solver and scratch state stays.
+    pub fn set_options(&mut self, options: CompileOptions) {
+        self.options = options;
+        self.compiled.clear();
+    }
+
+    /// The thread budget for the parallel stages.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Set the thread budget for variant enumeration, cost-matrix fill,
+    /// and the expansion candidate scan. Effective only with the
+    /// `parallel` feature; results are bit-identical for every value
+    /// (work is split by index range and reduced in scan order). `0` is
+    /// treated as `1`.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// Cap on the number of variants [`CompileSession::all_variants`]
+    /// will materialize (default [`DEFAULT_VARIANT_CAP`]). The pool grows
+    /// as `Catalan(n - 1)`; see the [module docs](self). Invalidates the
+    /// compiled-chain cache: the cap also decides
+    /// [`CompileSession::compile`]'s enumerate-vs-DP path, so cached
+    /// chains must not outlive a cap change.
+    pub fn set_variant_cap(&mut self, cap: u64) {
+        if cap != self.variant_cap {
+            self.compiled.clear();
+        }
+        self.variant_cap = cap;
+    }
+
+    /// The configured variant cap.
+    #[must_use]
+    pub fn variant_cap(&self) -> u64 {
+        self.variant_cap
+    }
+
+    /// Parse a `.gmc` program and intern its shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseError`].
+    pub fn parse(&mut self, source: &str) -> Result<(Program, ShapeId), ParseError> {
+        let program = parse_program(source)?;
+        let id = self.shapes.intern(program.shape());
+        Ok((program, id))
+    }
+
+    /// Intern a shape, returning its dense session-local id.
+    pub fn intern(&mut self, shape: &Shape) -> ShapeId {
+        self.shapes.intern(shape)
+    }
+
+    /// The shape behind a [`ShapeId`] from this session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different session.
+    #[must_use]
+    pub fn shape(&self, id: ShapeId) -> &Shape {
+        self.shapes.get(id)
+    }
+
+    /// Build the full variant pool `A` for `shape` (see
+    /// [`crate::all_variants`]), parallelized over parenthesizations
+    /// across the session's thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnumerateError::PoolTooLarge`] past the session's
+    /// variant cap; build errors are unreachable for valid shapes.
+    pub fn all_variants(&mut self, shape: &Shape) -> Result<Vec<Variant>, EnumerateError> {
+        let count = ParenTree::count(shape.len());
+        if count > u128::from(self.variant_cap) {
+            return Err(EnumerateError::PoolTooLarge {
+                variants: count,
+                cap: self.variant_cap,
+            });
+        }
+        let trees = ParenTree::enumerate(0, shape.len() - 1);
+        build_pool(shape, &trees, self.jobs).map_err(EnumerateError::Build)
+    }
+
+    /// The per-instance optimal cost for `shape`, through the session's
+    /// per-shape [`DpSolver`] — allocation-free after the first call for
+    /// a given shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] (unreachable for valid shapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` has the wrong number of sizes for `shape`.
+    pub fn optimal_cost(&mut self, shape: &Shape, instance: &Instance) -> Result<f64, BuildError> {
+        let id = self.shapes.intern(shape);
+        self.solver_for(id).optimal_cost(instance)
+    }
+
+    /// The optimal variant and cost for `shape` on `instance`, through
+    /// the session solver (see [`crate::dp::optimal_variant`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] (unreachable for valid shapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance` has the wrong number of sizes for `shape`.
+    pub fn optimal_variant(
+        &mut self,
+        shape: &Shape,
+        instance: &Instance,
+    ) -> Result<(Variant, f64), BuildError> {
+        let id = self.shapes.intern(shape);
+        self.solver_for(id).optimal_variant(instance)
+    }
+
+    /// The session's solver for `shape`, creating (and caching) it on
+    /// first use.
+    pub fn solver(&mut self, shape: &Shape) -> &mut DpSolver {
+        let id = self.shapes.intern(shape);
+        self.solver_for(id)
+    }
+
+    fn solver_for(&mut self, id: ShapeId) -> &mut DpSolver {
+        let CompileSession {
+            solvers, shapes, ..
+        } = self;
+        solvers
+            .entry(id)
+            .or_insert_with(|| DpSolver::new(shapes.get(id)))
+    }
+
+    /// Fill the session cost matrix with FLOP costs for `pool` ×
+    /// `instances` (parallel row fill under the thread budget) and return
+    /// it.
+    pub fn cost_matrix(&mut self, pool: &[Variant], instances: &[Instance]) -> &CostMatrix {
+        self.matrix
+            .fill_with(pool, instances, |v, q| v.flops(q), self.jobs);
+        &self.matrix
+    }
+
+    /// [`CompileSession::cost_matrix`] with a custom cost function (e.g. a
+    /// measured performance model).
+    pub fn cost_matrix_with<F: Fn(&Variant, &Instance) -> f64 + Sync>(
+        &mut self,
+        pool: &[Variant],
+        instances: &[Instance],
+        cost: F,
+    ) -> &CostMatrix {
+        self.matrix.fill_with(pool, instances, cost, self.jobs);
+        &self.matrix
+    }
+
+    /// Algorithm-1 expansion over the session's current cost matrix (the
+    /// one filled by the latest `cost_matrix*` / `compile` call), reusing
+    /// the session's expansion scratch and thread budget.
+    #[must_use]
+    pub fn expand_set(
+        &mut self,
+        initial: &[usize],
+        k: usize,
+        objective: crate::expand::Objective,
+    ) -> Vec<usize> {
+        expand_set_with(
+            &self.matrix,
+            initial,
+            k,
+            objective,
+            &mut self.expand,
+            self.jobs,
+        )
+    }
+
+    /// Compile `shape` into a multi-versioned chain with the session's
+    /// options, caching the result per distinct shape.
+    ///
+    /// Semantics (and selected variants, bit for bit) match
+    /// [`CompiledChain::compile_with`]; the session reuses its scratch
+    /// and caches instead of allocating per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if selection fails.
+    pub fn compile(&mut self, shape: &Shape) -> Result<CompiledChain, ProgramError> {
+        let id = self.shapes.intern(shape);
+        if let Some(chain) = self.compiled.get(&id) {
+            return Ok(chain.clone());
+        }
+        let chain = self.compile_uncached(id)?;
+        self.compiled.insert(id, chain.clone());
+        Ok(chain)
+    }
+
+    /// Compile every shape in order, sharing the session caches (repeat
+    /// shapes are compiled once).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure.
+    pub fn compile_batch(&mut self, shapes: &[Shape]) -> Result<Vec<CompiledChain>, ProgramError> {
+        shapes.iter().map(|s| self.compile(s)).collect()
+    }
+
+    fn compile_uncached(&mut self, id: ShapeId) -> Result<CompiledChain, ProgramError> {
+        let shape = self.shapes.get(id).clone();
+        let options = self.options.clone();
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let sampler = InstanceSampler::new(&shape, options.size_lo, options.size_hi);
+        let training = sampler.sample_many(&mut rng, options.training_instances.max(1));
+
+        let enumerable =
+            ParenTree::count(shape.len()) <= ENUMERATION_CAP.min(u128::from(self.variant_cap));
+        let pool: Vec<Variant> = if enumerable {
+            let trees = ParenTree::enumerate(0, shape.len() - 1);
+            build_pool(&shape, &trees, self.jobs)?
+        } else {
+            fanning_out_set(&shape)?
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect()
+        };
+        if enumerable {
+            self.matrix
+                .fill_with(&pool, &training, |v, q| v.flops(q), self.jobs);
+        } else {
+            let solver = self.solver_for(id);
+            let optimal: Vec<f64> = training
+                .iter()
+                .map(|q| solver.optimal_cost(q))
+                .collect::<Result<_, _>>()?;
+            self.matrix
+                .fill_flops_with_optimal(&pool, &training, optimal, self.jobs);
+        }
+
+        let base = select_base_set(&shape, &training, self.matrix.optimal())?;
+        let mut indices: Vec<usize> = base
+            .variants
+            .iter()
+            .map(|v| {
+                pool.iter()
+                    .position(|p| p.paren() == v.paren())
+                    .expect("base variants come from the pool")
+            })
+            .collect();
+        if options.expand_by > 0 {
+            indices = expand_set_with(
+                &self.matrix,
+                &indices,
+                indices.len() + options.expand_by,
+                options.objective,
+                &mut self.expand,
+                self.jobs,
+            );
+        }
+        let variants = indices.into_iter().map(|i| pool[i].clone()).collect();
+        Ok(CompiledChain::from_variants(shape, variants))
+    }
+
+    /// Evaluate a compiled chain on concrete matrices (FLOP-cost
+    /// dispatch), packing GEMM panels into the session workspace instead
+    /// of thread-local buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] on inconsistent inputs or kernel failure.
+    pub fn evaluate(
+        &mut self,
+        chain: &CompiledChain,
+        leaves: &[Matrix],
+    ) -> Result<Matrix, ProgramError> {
+        self.evaluate_with(chain, leaves, &crate::program::FlopCost)
+    }
+
+    /// [`CompileSession::evaluate`] with a custom dispatch cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] on inconsistent inputs or kernel failure.
+    pub fn evaluate_with<M: CostModel>(
+        &mut self,
+        chain: &CompiledChain,
+        leaves: &[Matrix],
+        model: &M,
+    ) -> Result<Matrix, ProgramError> {
+        let q = chain.instance_of(leaves)?;
+        let (idx, _) = chain.dispatch_with(&q, model);
+        Ok(chain.variants()[idx].execute_with(&mut self.gemm_ws, leaves)?)
+    }
+
+    /// The session's GEMM packing workspace (e.g. to pre-reserve or
+    /// inspect capacity).
+    pub fn workspace(&mut self) -> &mut GemmWorkspace {
+        &mut self.gemm_ws
+    }
+
+    /// Number of distinct shapes this session has seen.
+    #[must_use]
+    pub fn num_shapes(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Number of compiled chains currently cached.
+    #[must_use]
+    pub fn num_cached_chains(&self) -> usize {
+        self.compiled.len()
+    }
+}
+
+fn default_jobs() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        rayon::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmc_ir::{Features, Operand, Property, Structure};
+
+    fn g() -> Operand {
+        Operand::plain(Features::general())
+    }
+
+    #[test]
+    fn session_compile_matches_one_shot() {
+        let shape = Shape::new(vec![g(); 5]).unwrap();
+        let opts = CompileOptions {
+            training_instances: 200,
+            expand_by: 2,
+            ..CompileOptions::default()
+        };
+        let mut session = CompileSession::with_options(opts.clone());
+        let from_session = session.compile(&shape).unwrap();
+        let one_shot = CompiledChain::compile_with(shape, &opts).unwrap();
+        assert_eq!(from_session.variants().len(), one_shot.variants().len());
+        for (a, b) in from_session.variants().iter().zip(one_shot.variants()) {
+            assert_eq!(a.paren(), b.paren());
+            assert_eq!(a.cost_poly(), b.cost_poly());
+        }
+    }
+
+    #[test]
+    fn compile_cache_hits_on_equal_shapes() {
+        let mut session = CompileSession::new();
+        let shape = Shape::new(vec![g(), g(), g()]).unwrap();
+        let first = session.compile(&shape).unwrap();
+        assert_eq!(session.num_cached_chains(), 1);
+        let second = session
+            .compile(&Shape::new(vec![g(), g(), g()]).unwrap())
+            .unwrap();
+        assert_eq!(session.num_cached_chains(), 1, "equal shape is a cache hit");
+        assert_eq!(first.variants().len(), second.variants().len());
+        // Changing options invalidates the cache.
+        session.set_options(CompileOptions {
+            expand_by: 1,
+            ..CompileOptions::default()
+        });
+        assert_eq!(session.num_cached_chains(), 0);
+    }
+
+    #[test]
+    fn session_optimal_cost_matches_free_function() {
+        let l = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular));
+        let shape = Shape::new(vec![g(), l, g(), g()]).unwrap();
+        let mut session = CompileSession::new();
+        for trial in 0..6u64 {
+            let inst = Instance::new(vec![3 + trial, 7 + trial, 7 + trial, 2 + trial, 9 + trial]);
+            let warm = session.optimal_cost(&shape, &inst).unwrap();
+            let cold = crate::dp::optimal_cost(&shape, &inst).unwrap();
+            assert_eq!(warm.to_bits(), cold.to_bits());
+        }
+        assert_eq!(session.num_shapes(), 1);
+    }
+
+    #[test]
+    fn session_variant_cap_is_configurable() {
+        let mut session = CompileSession::new();
+        session.set_variant_cap(10);
+        let shape = Shape::new(vec![g(); 7]).unwrap();
+        assert!(matches!(
+            session.all_variants(&shape),
+            Err(EnumerateError::PoolTooLarge {
+                variants: 132,
+                cap: 10
+            })
+        ));
+        session.set_variant_cap(DEFAULT_VARIANT_CAP);
+        assert_eq!(session.all_variants(&shape).unwrap().len(), 132);
+    }
+
+    #[test]
+    fn session_evaluate_uses_owned_workspace() {
+        let mut session = CompileSession::new();
+        let shape = Shape::new(vec![g(), g()]).unwrap();
+        let chain = session.compile(&shape).unwrap();
+        // Large enough to force the blocked GEMM path (m*n*k >= 32^3).
+        let a = Matrix::from_fn(40, 40, |i, j| (i + 2 * j) as f64 * 0.25);
+        let b = Matrix::from_fn(40, 40, |i, j| (i as f64) - (j as f64) * 0.5);
+        let x = session.evaluate(&chain, &[a.clone(), b.clone()]).unwrap();
+        assert_eq!((x.rows(), x.cols()), (40, 40));
+        assert!(session.workspace().capacity_bytes() > 0, "session packed");
+        // Repeat evaluation reuses the buffers without regrowth.
+        let bytes = session.workspace().capacity_bytes();
+        let _ = session.evaluate(&chain, &[a, b]).unwrap();
+        assert_eq!(session.workspace().capacity_bytes(), bytes);
+    }
+
+    #[test]
+    fn long_chain_compiles_through_session_dp_path() {
+        let shape = Shape::new(vec![g(); 12]).unwrap();
+        let opts = CompileOptions {
+            training_instances: 40,
+            size_hi: 150,
+            ..CompileOptions::default()
+        };
+        let mut session = CompileSession::with_options(opts);
+        let chain = session.compile(&shape).unwrap();
+        assert!(!chain.variants().is_empty());
+        assert!(chain.variants().len() <= 13);
+    }
+}

@@ -8,8 +8,11 @@
 
 use crate::paren::ParenTree;
 use gmc_ir::{Instance, Poly, Property, Structure};
-use gmc_kernels::{execute_assoc, execute_finalize, AssocExec, ExecError, FinalizeKernel, Kernel};
-use gmc_linalg::{Matrix, Side, Triangle};
+use gmc_kernels::{
+    execute_assoc, execute_assoc_with, execute_finalize, AssocExec, ExecError, FinalizeKernel,
+    Kernel,
+};
+use gmc_linalg::{GemmWorkspace, Matrix, Side, Triangle};
 use std::error::Error;
 use std::fmt;
 
@@ -194,6 +197,28 @@ impl Variant {
     /// Returns [`ExecVariantError`] if the inputs have the wrong arity or a
     /// kernel fails (e.g. a numerically singular coefficient).
     pub fn execute(&self, leaves: &[Matrix]) -> Result<Matrix, ExecVariantError> {
+        self.execute_steps(leaves, execute_assoc)
+    }
+
+    /// [`Variant::execute`] with a caller-provided GEMM packing workspace:
+    /// every `GEMM` step packs into `ws` instead of thread-local buffers,
+    /// so a session amortizes the packing allocation across evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Variant::execute`].
+    pub fn execute_with(
+        &self,
+        ws: &mut GemmWorkspace,
+        leaves: &[Matrix],
+    ) -> Result<Matrix, ExecVariantError> {
+        self.execute_steps(leaves, |call, l, r| execute_assoc_with(ws, call, l, r))
+    }
+
+    fn execute_steps<F>(&self, leaves: &[Matrix], mut exec: F) -> Result<Matrix, ExecVariantError>
+    where
+        F: FnMut(&AssocExec, &Matrix, &Matrix) -> Result<Matrix, ExecError>,
+    {
         if leaves.len() != self.num_leaves {
             return Err(ExecVariantError::WrongArity {
                 expected: self.num_leaves,
@@ -218,7 +243,7 @@ impl Variant {
                 left_tri: step.left_tri,
                 right_tri: step.right_tri,
             };
-            temps.push(execute_assoc(&call, &left, &right)?);
+            temps.push(exec(&call, &left, &right)?);
         }
         let mut result = match temps.pop() {
             Some(m) => m,

@@ -1,0 +1,193 @@
+//! Session-reuse guarantees: a long-lived [`CompileSession`] must behave
+//! exactly like a procession of fresh one-shot pipelines — same selected
+//! variants, bit-identical costs — while reusing its arenas, and the
+//! parallel feature must not change a single selected index.
+
+use gmc_core::dp::optimal_cost_reference;
+use gmc_core::{
+    expand_set, select_base_set, CompileOptions, CompileSession, CompiledChain, CostMatrix,
+    Objective,
+};
+use gmc_ir::{Instance, InstanceSampler, Operand, Shape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_shape(rng: &mut StdRng, n: usize) -> Option<Shape> {
+    let options = Operand::experiment_options();
+    let ops: Vec<Operand> = (0..n)
+        .map(|_| options[rand::Rng::gen_range(rng, 0..options.len())])
+        .collect();
+    Shape::new(ops).ok()
+}
+
+#[test]
+fn same_program_twice_is_bit_identical_to_fresh_sessions() {
+    let source = "
+        Matrix A <General, Singular>;
+        Matrix L <LowerTri, NonSingular>;
+        Matrix P <Symmetric, SPD>;
+        X := A * L^-1 * P^-1;
+    ";
+    let opts = CompileOptions {
+        training_instances: 300,
+        expand_by: 2,
+        ..CompileOptions::default()
+    };
+
+    let mut session = CompileSession::with_options(opts.clone());
+    let (program, id1) = session.parse(source).unwrap();
+    let first = session.compile(program.shape()).unwrap();
+    let (_, id2) = session.parse(source).unwrap();
+    assert_eq!(id1, id2, "re-parsing interns to the same shape id");
+    let second = session.compile(program.shape()).unwrap();
+    assert_eq!(
+        session.num_cached_chains(),
+        1,
+        "second compile is a cache hit"
+    );
+
+    let fresh = CompiledChain::compile_with(program.shape().clone(), &opts).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let sampler = InstanceSampler::new(program.shape(), 2, 400);
+    for chain in [&second, &fresh] {
+        assert_eq!(first.variants().len(), chain.variants().len());
+        for (a, b) in first.variants().iter().zip(chain.variants()) {
+            assert_eq!(a.paren(), b.paren());
+            assert_eq!(a.cost_poly(), b.cost_poly());
+            for q in sampler.sample_many(&mut rng, 20) {
+                assert_eq!(a.flops(&q).to_bits(), b.flops(&q).to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn fifty_distinct_programs_through_one_session() {
+    // 50 distinct shapes through one session: per-shape DP costs must be
+    // bit-identical to a fresh solver AND to the HashMap reference, and
+    // compiled selections must match fresh-session compiles.
+    let mut rng = StdRng::seed_from_u64(2026);
+    let opts = CompileOptions {
+        training_instances: 60,
+        size_hi: 200,
+        ..CompileOptions::default()
+    };
+    let mut session = CompileSession::with_options(opts.clone());
+    let mut distinct: Vec<Shape> = Vec::new();
+    while distinct.len() < 50 {
+        let n = 2 + distinct.len() % 6;
+        if let Some(shape) = random_shape(&mut rng, n) {
+            if !distinct.contains(&shape) {
+                distinct.push(shape);
+            }
+        }
+    }
+    for (i, shape) in distinct.iter().enumerate() {
+        let sampler = InstanceSampler::new(shape, 2, 300);
+        // Dispatch-loop pattern: several instances against the session's
+        // warm per-shape solver.
+        for _ in 0..3 {
+            let q = sampler.sample(&mut rng);
+            let warm = session.optimal_cost(shape, &q).unwrap();
+            let cold = gmc_core::optimal_cost(shape, &q).unwrap();
+            let reference = optimal_cost_reference(shape, &q).unwrap();
+            assert_eq!(warm.to_bits(), cold.to_bits(), "shape {i}: warm vs cold");
+            assert_eq!(
+                warm.to_bits(),
+                reference.to_bits(),
+                "shape {i}: warm vs ref"
+            );
+        }
+        // Every 10th shape, run full compilation both ways.
+        if i % 10 == 0 {
+            let via_session = session.compile(shape).unwrap();
+            let fresh = CompiledChain::compile_with(shape.clone(), &opts).unwrap();
+            assert_eq!(via_session.variants().len(), fresh.variants().len());
+            for (a, b) in via_session.variants().iter().zip(fresh.variants()) {
+                assert_eq!(a.paren(), b.paren(), "shape {i}");
+                assert_eq!(a.cost_poly(), b.cost_poly(), "shape {i}");
+            }
+        }
+    }
+    assert_eq!(session.num_shapes(), 50);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel and serial selection must pick identical variant sets —
+    /// pool order, cost matrix contents, base set, and every expansion
+    /// step. Under `--features parallel` the jobs=4 session actually
+    /// threads the scan; without it the property still pins the jobs
+    /// knob as a no-op.
+    #[test]
+    fn parallel_and_serial_selection_are_identical(
+        n in 3usize..=6,
+        code_seed in 0u64..5_000,
+        expand_by in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(code_seed);
+        let shape = match random_shape(&mut rng, n) {
+            Some(s) => s,
+            None => return Ok(()),
+        };
+        let sampler = InstanceSampler::new(&shape, 2, 300);
+        let training: Vec<Instance> = sampler.sample_many(&mut rng, 150);
+
+        let mut serial = CompileSession::new();
+        serial.set_jobs(1);
+        let mut threaded = CompileSession::new();
+        threaded.set_jobs(4);
+
+        // Stage 1: enumeration order and contents.
+        let pool_s = serial.all_variants(&shape).unwrap();
+        let pool_p = threaded.all_variants(&shape).unwrap();
+        prop_assert_eq!(pool_s.len(), pool_p.len());
+        for (a, b) in pool_s.iter().zip(&pool_p) {
+            prop_assert_eq!(a.paren(), b.paren());
+            prop_assert_eq!(a.cost_poly(), b.cost_poly());
+        }
+
+        // Stage 2: cost matrix contents, bit for bit.
+        let one_shot = CostMatrix::flops(&pool_s, &training);
+        {
+            let m_p = threaded.cost_matrix(&pool_p, &training);
+            for v in 0..one_shot.num_variants() {
+                for i in 0..one_shot.num_instances() {
+                    prop_assert_eq!(one_shot.cost(v, i).to_bits(), m_p.cost(v, i).to_bits());
+                }
+            }
+        }
+
+        // Stage 3: base set + greedy expansion.
+        let base = select_base_set(&shape, &training, one_shot.optimal()).unwrap();
+        let initial: Vec<usize> = base
+            .variants
+            .iter()
+            .map(|v| pool_s.iter().position(|p| p.paren() == v.paren()).unwrap())
+            .collect();
+        let k = initial.len() + expand_by;
+        let reference = expand_set(&one_shot, &initial, k, Objective::AvgPenalty);
+        let _ = serial.cost_matrix(&pool_s, &training);
+        let from_serial = serial.expand_set(&initial, k, Objective::AvgPenalty);
+        let from_threaded = threaded.expand_set(&initial, k, Objective::AvgPenalty);
+        prop_assert_eq!(&reference, &from_serial);
+        prop_assert_eq!(&reference, &from_threaded);
+
+        // Stage 4: whole-pipeline compile.
+        let opts = CompileOptions {
+            training_instances: 100,
+            expand_by,
+            ..CompileOptions::default()
+        };
+        serial.set_options(opts.clone());
+        threaded.set_options(opts);
+        let chain_s = serial.compile(&shape).unwrap();
+        let chain_p = threaded.compile(&shape).unwrap();
+        prop_assert_eq!(chain_s.variants().len(), chain_p.variants().len());
+        for (a, b) in chain_s.variants().iter().zip(chain_p.variants()) {
+            prop_assert_eq!(a.paren(), b.paren());
+        }
+    }
+}

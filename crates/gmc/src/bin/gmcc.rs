@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gmcc chain.gmc --emit both --out generated/ --expand 1 --report
+//! gmcc a.gmc b.gmc c.gmc --jobs 4 --out generated/   # batch mode
 //! ```
 
 use gmc::driver::{parse_args, run, usage};

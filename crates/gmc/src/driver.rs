@@ -1,10 +1,18 @@
 //! The `gmcc` compiler driver: the command-line face of the code
-//! generator in Fig. 1. Parses a `.gmc` program, selects variants, and
-//! emits C++ and/or Rust sources plus the runtime header.
+//! generator in Fig. 1. Parses `.gmc` programs, selects variants through
+//! a [`CompileSession`], and emits C++ and/or Rust sources plus the
+//! runtime header.
+//!
+//! The driver is batch-first: it accepts any number of input programs in
+//! one invocation, compiles them all through shared session state
+//! (repeated shapes hit the session cache), and with `--jobs N` splits
+//! the batch across `N` worker threads, each with its own session. The
+//! emitted artifacts are identical for every jobs value.
 
-use gmc_codegen::{emit_cpp, emit_runtime_header, emit_rust};
-use gmc_core::{CompileOptions, CompiledChain, Objective};
+use gmc_codegen::{emit_cpp_into, emit_runtime_header, emit_rust_into};
+use gmc_core::{CompileOptions, CompileSession, Objective};
 use gmc_ir::grammar::parse_program;
+use gmc_ir::Shape;
 use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -41,12 +49,12 @@ impl EmitKind {
 /// Driver configuration, filled from command-line arguments.
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
-    /// Input `.gmc` file.
-    pub input: PathBuf,
+    /// Input `.gmc` files (one compiled chain each).
+    pub inputs: Vec<PathBuf>,
     /// Output directory for emitted sources.
     pub out_dir: PathBuf,
-    /// Base name of emitted functions/files (defaults to the program's
-    /// left-hand-side identifier).
+    /// Base name of emitted functions/files (defaults to each program's
+    /// left-hand-side identifier; only honored for a single input).
     pub name: Option<String>,
     /// Back-end(s) to emit.
     pub emit: EmitKind,
@@ -54,6 +62,8 @@ pub struct DriverConfig {
     pub expand: usize,
     /// Training-instance count for selection.
     pub train: usize,
+    /// Worker threads for batch compilation (each owns a session).
+    pub jobs: usize,
     /// Print a human-readable variant report to stdout.
     pub report: bool,
 }
@@ -87,14 +97,14 @@ impl Error for DriverError {}
 ///
 /// Returns [`DriverError::Usage`] on malformed arguments.
 pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
-    let mut input: Option<PathBuf> = None;
     let mut config = DriverConfig {
-        input: PathBuf::new(),
+        inputs: Vec::new(),
         out_dir: PathBuf::from("."),
         name: None,
         emit: EmitKind::Cpp,
         expand: 0,
         train: 1000,
+        jobs: 1,
         report: false,
     };
     let mut it = args.iter();
@@ -131,52 +141,63 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| DriverError::Usage("--train needs an integer".into()))?;
             }
+            "--jobs" => {
+                config.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j: &usize| j >= 1)
+                    .ok_or_else(|| DriverError::Usage("--jobs needs a positive integer".into()))?;
+            }
             "--report" => config.report = true,
             other if other.starts_with("--") => {
                 return Err(DriverError::Usage(format!("unknown flag `{other}`")));
             }
-            path => {
-                if input.replace(PathBuf::from(path)).is_some() {
-                    return Err(DriverError::Usage("more than one input file".into()));
-                }
-            }
+            path => config.inputs.push(PathBuf::from(path)),
         }
     }
-    config.input = input.ok_or_else(|| DriverError::Usage("missing input .gmc file".into()))?;
+    if config.inputs.is_empty() {
+        return Err(DriverError::Usage("missing input .gmc file".into()));
+    }
     Ok(config)
 }
 
-/// Compile one `.gmc` source string and return the emitted artifacts as
-/// `(file name, contents)` pairs plus the human-readable report.
-///
-/// # Errors
-///
-/// Returns [`DriverError::Compile`] on parse or selection failure.
-pub fn compile_source(
-    source: &str,
-    config: &DriverConfig,
-) -> Result<(Vec<(String, String)>, String), DriverError> {
-    let program = parse_program(source).map_err(|e| DriverError::Compile(e.to_string()))?;
-    let name = config
-        .name
-        .clone()
-        .unwrap_or_else(|| program.lhs().to_lowercase());
-    let options = CompileOptions {
+/// One compiled program's artifacts: emitted `(file name, contents)`
+/// pairs and the human-readable variant report.
+pub type CompiledArtifacts = (Vec<(String, String)>, String);
+
+fn compile_options(config: &DriverConfig) -> CompileOptions {
+    CompileOptions {
         training_instances: config.train,
         expand_by: config.expand,
         objective: Objective::AvgPenalty,
         ..CompileOptions::default()
-    };
-    let chain = CompiledChain::compile_with(program.shape().clone(), &options)
-        .map_err(|e| DriverError::Compile(e.to_string()))?;
+    }
+}
+
+/// Compile one named shape through `session` and emit its artifacts,
+/// building into `buf` (reused across calls by batch workers).
+fn compile_one(
+    session: &mut CompileSession,
+    buf: &mut String,
+    shape: &Shape,
+    name: &str,
+    config: &DriverConfig,
+) -> Result<CompiledArtifacts, DriverError> {
+    let chain = session
+        .compile(shape)
+        .map_err(|e| DriverError::Compile(format!("{name}: {e}")))?;
 
     let mut files = Vec::new();
     if matches!(config.emit, EmitKind::Cpp | EmitKind::Both) {
-        files.push((format!("{name}.cpp"), emit_cpp(&chain, &name)));
+        buf.clear();
+        emit_cpp_into(buf, &chain, name);
+        files.push((format!("{name}.cpp"), buf.clone()));
         files.push(("gmc_runtime.hpp".to_string(), emit_runtime_header()));
     }
     if matches!(config.emit, EmitKind::Rust | EmitKind::Both) {
-        files.push((format!("{name}.rs"), emit_rust(&chain, &name)));
+        buf.clear();
+        emit_rust_into(buf, &chain, name);
+        files.push((format!("{name}.rs"), buf.clone()));
     }
 
     let mut report = format!(
@@ -196,25 +217,134 @@ pub fn compile_source(
     Ok((files, report))
 }
 
-/// Run the driver end to end: read the input, compile, write artifacts.
+/// Compile a batch of `.gmc` sources, in input order, through shared
+/// session state — or, with `config.jobs > 1`, across that many worker
+/// threads, each owning its own [`CompileSession`]. Output artifacts are
+/// identical for every jobs value (compilation is per-program
+/// deterministic); only wall-clock changes.
+///
+/// Function/file names default to each program's left-hand side
+/// (lowercased); `config.name` overrides it for a single-source batch,
+/// and repeated names get `_2`, `_3`, ... suffixes so artifacts never
+/// collide. The C++ runtime header is attached to the first C++-emitting
+/// program only.
+///
+/// # Errors
+///
+/// Returns the first parse or compilation failure, tagged with the
+/// program's name.
+pub fn compile_batch(
+    sources: &[String],
+    config: &DriverConfig,
+) -> Result<Vec<CompiledArtifacts>, DriverError> {
+    // Parse everything first: names must be fixed (and deduplicated)
+    // before emission, and parse errors should win over compile errors
+    // regardless of worker scheduling.
+    let mut work: Vec<(Shape, String)> = Vec::with_capacity(sources.len());
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for source in sources {
+        let program = parse_program(source).map_err(|e| DriverError::Compile(e.to_string()))?;
+        let base = match (&config.name, sources.len()) {
+            (Some(name), 1) => name.clone(),
+            _ => program.lhs().to_lowercase(),
+        };
+        // Probe suffixes until free, against *final* names: `x, x_2` must
+        // not collide with a literal `x_2` from another program.
+        let mut name = base.clone();
+        let mut k = 1usize;
+        while !used.insert(name.clone()) {
+            k += 1;
+            name = format!("{base}_{k}");
+        }
+        work.push((program.shape().clone(), name));
+    }
+
+    let jobs = config.jobs.min(work.len()).max(1);
+    let options = compile_options(config);
+    let mut results: Vec<Option<Result<CompiledArtifacts, DriverError>>> =
+        (0..work.len()).map(|_| None).collect();
+    if jobs > 1 {
+        let chunk = work.len().div_ceil(jobs);
+        let options = &options;
+        let config_ref = config;
+        std::thread::scope(|s| {
+            for (wchunk, rchunk) in work.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    let mut session = CompileSession::with_options(options.clone());
+                    let mut buf = String::new();
+                    for ((shape, name), slot) in wchunk.iter().zip(rchunk.iter_mut()) {
+                        *slot = Some(compile_one(&mut session, &mut buf, shape, name, config_ref));
+                    }
+                });
+            }
+        });
+    } else {
+        let mut session = CompileSession::with_options(options);
+        let mut buf = String::new();
+        for ((shape, name), slot) in work.iter().zip(results.iter_mut()) {
+            *slot = Some(compile_one(&mut session, &mut buf, shape, name, config));
+        }
+    }
+
+    let mut items: Vec<CompiledArtifacts> = results
+        .into_iter()
+        .map(|r| r.expect("every program compiled"))
+        .collect::<Result<_, _>>()?;
+    // The runtime header is a constant: keep only the first copy.
+    let mut header_seen = false;
+    for (files, _) in &mut items {
+        files.retain(|(fname, _)| {
+            if fname == "gmc_runtime.hpp" {
+                if header_seen {
+                    return false;
+                }
+                header_seen = true;
+            }
+            true
+        });
+    }
+    Ok(items)
+}
+
+/// Compile one `.gmc` source string and return the emitted artifacts as
+/// `(file name, contents)` pairs plus the human-readable report.
+///
+/// # Errors
+///
+/// Returns [`DriverError::Compile`] on parse or selection failure.
+pub fn compile_source(
+    source: &str,
+    config: &DriverConfig,
+) -> Result<CompiledArtifacts, DriverError> {
+    let mut items = compile_batch(std::slice::from_ref(&source.to_string()), config)?;
+    Ok(items.remove(0))
+}
+
+/// Run the driver end to end: read the inputs, compile the batch, write
+/// artifacts.
 ///
 /// # Errors
 ///
 /// Propagates I/O and compilation failures.
 pub fn run(config: &DriverConfig) -> Result<Vec<PathBuf>, DriverError> {
-    let source = std::fs::read_to_string(&config.input)
-        .map_err(|e| DriverError::Io(config.input.clone(), e))?;
-    let (files, report) = compile_source(&source, config)?;
+    let sources: Vec<String> = config
+        .inputs
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| DriverError::Io(p.clone(), e)))
+        .collect::<Result<_, _>>()?;
+    let items = compile_batch(&sources, config)?;
     std::fs::create_dir_all(&config.out_dir)
         .map_err(|e| DriverError::Io(config.out_dir.clone(), e))?;
     let mut written = Vec::new();
-    for (fname, contents) in files {
-        let path: PathBuf = Path::new(&config.out_dir).join(fname);
-        std::fs::write(&path, contents).map_err(|e| DriverError::Io(path.clone(), e))?;
-        written.push(path);
-    }
-    if config.report {
-        print!("{report}");
+    for (files, report) in items {
+        for (fname, contents) in files {
+            let path: PathBuf = Path::new(&config.out_dir).join(fname);
+            std::fs::write(&path, contents).map_err(|e| DriverError::Io(path.clone(), e))?;
+            written.push(path);
+        }
+        if config.report {
+            print!("{report}");
+        }
     }
     Ok(written)
 }
@@ -225,10 +355,12 @@ pub fn usage() -> &'static str {
     "gmcc — code generator for generalized matrix chains with symbolic sizes
 
 USAGE:
-    gmcc <input.gmc> [--out DIR] [--name IDENT] [--emit cpp|rust|both]
-         [--expand K] [--train N] [--report]
+    gmcc <input.gmc>... [--out DIR] [--name IDENT] [--emit cpp|rust|both]
+         [--expand K] [--train N] [--jobs N] [--report]
 
-The input file uses the grammar of Fig. 2 of the paper:
+Multiple inputs compile as one batch ( --jobs N splits it across N
+worker threads; artifacts are identical for every N). Each input file
+uses the grammar of Fig. 2 of the paper:
 
     Matrix A <General, Singular>;
     Matrix L <LowerTri, NonSingular>;
@@ -253,22 +385,43 @@ mod tests {
         X := A * L^-1 * B;
     ";
 
+    const SRC2: &str = "
+        Matrix H <General, Singular>;
+        Matrix P <Symmetric, SPD>;
+        Y := H * P^-1;
+    ";
+
     #[test]
     fn arg_parsing() {
         let c = cfg(&[
-            "--emit", "both", "--expand", "2", "--name", "foo", "--report",
+            "--emit", "both", "--expand", "2", "--name", "foo", "--report", "--jobs", "3",
         ]);
         assert_eq!(c.emit, EmitKind::Both);
         assert_eq!(c.expand, 2);
         assert_eq!(c.name.as_deref(), Some("foo"));
+        assert_eq!(c.jobs, 3);
         assert!(c.report);
-        assert_eq!(c.input, PathBuf::from("in.gmc"));
+        assert_eq!(c.inputs, vec![PathBuf::from("in.gmc")]);
+    }
+
+    #[test]
+    fn multiple_inputs_accepted() {
+        let c = parse_args(&["a.gmc".into(), "b.gmc".into(), "c.gmc".into()]).unwrap();
+        assert_eq!(c.inputs.len(), 3);
     }
 
     #[test]
     fn missing_input_is_usage_error() {
         assert!(matches!(
             parse_args(&["--report".to_string()]),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn bad_jobs_rejected() {
+        assert!(matches!(
+            parse_args(&["in.gmc".into(), "--jobs".into(), "0".into()]),
             Err(DriverError::Usage(_))
         ));
     }
@@ -300,6 +453,58 @@ mod tests {
     }
 
     #[test]
+    fn batch_compiles_multiple_programs() {
+        let c = cfg(&["--emit", "cpp", "--train", "50"]);
+        let sources = vec![SRC.to_string(), SRC2.to_string()];
+        let items = compile_batch(&sources, &c).unwrap();
+        assert_eq!(items.len(), 2);
+        let names0: Vec<&str> = items[0].0.iter().map(|(n, _)| n.as_str()).collect();
+        let names1: Vec<&str> = items[1].0.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names0, vec!["x.cpp", "gmc_runtime.hpp"]);
+        assert_eq!(names1, vec!["y.cpp"], "runtime header emitted once");
+    }
+
+    #[test]
+    fn batch_jobs_produce_identical_artifacts() {
+        let serial = cfg(&["--emit", "both", "--train", "60"]);
+        let mut parallel = serial.clone();
+        parallel.jobs = 3;
+        let sources = vec![
+            SRC.to_string(),
+            SRC2.to_string(),
+            SRC.to_string(), // repeat: name must uniquify to x_2
+        ];
+        let a = compile_batch(&sources, &serial).unwrap();
+        let b = compile_batch(&sources, &parallel).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((fa, ra), (fb, rb)) in a.iter().zip(&b) {
+            assert_eq!(fa, fb);
+            assert_eq!(ra, rb);
+        }
+        let last: Vec<&str> = a[2].0.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(last, vec!["x_2.cpp", "x_2.rs"]);
+    }
+
+    #[test]
+    fn name_uniquification_avoids_literal_suffix_collisions() {
+        // Two programs named X plus one literally named X_2: the second X
+        // must skip past the taken x_2 to x_3.
+        let src_x2 = "
+            Matrix H <General, Singular>;
+            Matrix P <Symmetric, SPD>;
+            X_2 := H * P^-1;
+        ";
+        let c = cfg(&["--emit", "rust", "--train", "40"]);
+        let sources = vec![SRC.to_string(), src_x2.to_string(), SRC.to_string()];
+        let items = compile_batch(&sources, &c).unwrap();
+        let names: Vec<&str> = items
+            .iter()
+            .flat_map(|(files, _)| files.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        assert_eq!(names, vec!["x.rs", "x_2.rs", "x_3.rs"]);
+    }
+
+    #[test]
     fn end_to_end_writes_files() {
         let dir = std::env::temp_dir().join("gmcc_test_out");
         let _ = std::fs::remove_dir_all(&dir);
@@ -318,6 +523,34 @@ mod tests {
         .unwrap();
         let written = run(&config).unwrap();
         assert_eq!(written.len(), 2);
+        assert!(written.iter().all(|p| p.exists()));
+    }
+
+    #[test]
+    fn end_to_end_batch_with_jobs() {
+        let dir = std::env::temp_dir().join("gmcc_test_out_batch");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let in1 = dir.join("one.gmc");
+        let in2 = dir.join("two.gmc");
+        std::fs::write(&in1, SRC).unwrap();
+        std::fs::write(&in2, SRC2).unwrap();
+        let config = parse_args(&[
+            in1.to_string_lossy().into_owned(),
+            in2.to_string_lossy().into_owned(),
+            "--out".into(),
+            dir.to_string_lossy().into_owned(),
+            "--emit".into(),
+            "both".into(),
+            "--train".into(),
+            "50".into(),
+            "--jobs".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        let written = run(&config).unwrap();
+        // x.cpp, gmc_runtime.hpp, x.rs, y.cpp, y.rs
+        assert_eq!(written.len(), 5);
         assert!(written.iter().all(|p| p.exists()));
     }
 }

@@ -66,7 +66,8 @@ pub mod prelude {
     pub use gmc_codegen::{emit_cpp, emit_rust};
     pub use gmc_core::{
         all_variants, build_variant, expand_set, fanning_out_set, optimal_cost, select_base_set,
-        CompiledChain, CostModel, FlopCost, Objective, ParenTree, Variant,
+        CompileSession, CompiledChain, CostModel, DpSolver, FlopCost, Objective, ParenTree,
+        Variant,
     };
     pub use gmc_ir::grammar::parse_program;
     pub use gmc_ir::{

@@ -1,0 +1,110 @@
+//! Shape interning: dense ids for the distinct shapes a long-lived
+//! compiler session has seen.
+//!
+//! A production service compiles many programs, most of which repeat a
+//! small set of chain shapes. [`ShapeInterner`] deduplicates them into
+//! stable [`ShapeId`]s so downstream caches (DP solver state, compiled
+//! chains) can key on a `u32` instead of cloning and hashing whole shapes
+//! on every lookup.
+
+use crate::shape::Shape;
+use std::collections::HashMap;
+
+/// Stable dense id of an interned [`Shape`] (valid for the lifetime of
+/// the interner that produced it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeId(u32);
+
+impl ShapeId {
+    /// The id as a dense index (`0..interner.len()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Deduplicating registry of shapes with dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct ShapeInterner {
+    shapes: Vec<Shape>,
+    ids: HashMap<Shape, u32>,
+}
+
+impl ShapeInterner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        ShapeInterner::default()
+    }
+
+    /// Intern `shape`, returning the existing id if an equal shape was
+    /// seen before.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u32::MAX` distinct shapes (not a practical limit).
+    pub fn intern(&mut self, shape: &Shape) -> ShapeId {
+        if let Some(&id) = self.ids.get(shape) {
+            return ShapeId(id);
+        }
+        let id = u32::try_from(self.shapes.len()).expect("shape space fits u32");
+        self.shapes.push(shape.clone());
+        self.ids.insert(shape.clone(), id);
+        ShapeId(id)
+    }
+
+    /// The shape behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different interner (index out of range).
+    #[must_use]
+    pub fn get(&self, id: ShapeId) -> &Shape {
+        &self.shapes[id.index()]
+    }
+
+    /// The id of `shape` if it has been interned.
+    #[must_use]
+    pub fn lookup(&self, shape: &Shape) -> Option<ShapeId> {
+        self.ids.get(shape).copied().map(ShapeId)
+    }
+
+    /// Number of distinct shapes interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// `true` if no shapes have been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::Features;
+    use crate::operand::Operand;
+
+    #[test]
+    fn interning_dedups_equal_shapes() {
+        let g = Operand::plain(Features::general());
+        let s2 = Shape::new(vec![g, g]).unwrap();
+        let s3 = Shape::new(vec![g, g, g]).unwrap();
+        let mut interner = ShapeInterner::new();
+        let a = interner.intern(&s2);
+        let b = interner.intern(&s3);
+        let c = interner.intern(&s2.clone());
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.get(a), &s2);
+        assert_eq!(interner.get(b), &s3);
+        assert_eq!(interner.lookup(&s3), Some(b));
+        assert_eq!(interner.lookup(&Shape::new(vec![g]).unwrap()), None);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+}

@@ -43,6 +43,7 @@ pub mod emit;
 pub mod features;
 pub mod grammar;
 pub mod instance;
+pub mod intern;
 pub mod operand;
 pub mod poly;
 pub mod ratio;
@@ -52,6 +53,7 @@ pub mod shape;
 pub use classes::EquivClasses;
 pub use features::{Features, Property, Structure};
 pub use instance::{Instance, InstanceSampler};
+pub use intern::{ShapeId, ShapeInterner};
 pub use operand::Operand;
 pub use poly::Poly;
 pub use ratio::Ratio;

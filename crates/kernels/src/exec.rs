@@ -8,8 +8,8 @@
 
 use crate::kernel::{FinalizeKernel, Kernel};
 use gmc_linalg::{
-    cholesky, getrs, inverse_general, inverse_spd, inverse_triangular, lu_factor, matmul, potrs,
-    symm, trmm, trsm, LinalgError, Matrix, Side, Transpose, Triangle,
+    cholesky, gemm_with, getrs, inverse_general, inverse_spd, inverse_triangular, lu_factor,
+    matmul, potrs, symm, trmm, trsm, GemmWorkspace, LinalgError, Matrix, Side, Transpose, Triangle,
 };
 use std::error::Error;
 use std::fmt;
@@ -282,6 +282,48 @@ pub fn execute_assoc(call: &AssocExec, left: &Matrix, right: &Matrix) -> Result<
             Ok(x)
         }
     }
+}
+
+/// [`execute_assoc`] with a caller-provided GEMM packing workspace.
+///
+/// `GEMM` steps pack their panels into `ws` (reused across calls —
+/// a compile session passes its owned workspace here); every other
+/// kernel is unaffected and delegates to [`execute_assoc`].
+///
+/// # Errors
+///
+/// Same as [`execute_assoc`].
+pub fn execute_assoc_with(
+    ws: &mut GemmWorkspace,
+    call: &AssocExec,
+    left: &Matrix,
+    right: &Matrix,
+) -> Result<Matrix, ExecError> {
+    if call.kernel == Kernel::Gemm {
+        let m = if call.left_trans {
+            left.cols()
+        } else {
+            left.rows()
+        };
+        let n = if call.right_trans {
+            right.rows()
+        } else {
+            right.cols()
+        };
+        let mut c = Matrix::zeros(m, n);
+        gemm_with(
+            ws,
+            1.0,
+            left,
+            t(call.left_trans),
+            right,
+            t(call.right_trans),
+            0.0,
+            &mut c,
+        );
+        return Ok(c);
+    }
+    execute_assoc(call, left, right)
 }
 
 fn solve_operands<'m>(

@@ -22,7 +22,7 @@ pub mod kernel;
 pub mod mapping;
 
 pub use cost::{cost_flops, cost_poly, finalize_cost_flops, finalize_cost_poly, CostClass};
-pub use exec::{execute_assoc, execute_finalize, AssocExec, ExecError};
+pub use exec::{execute_assoc, execute_assoc_with, execute_finalize, AssocExec, ExecError};
 pub use inference::{infer_property, infer_structure};
 pub use kernel::{FinalizeKernel, Kernel, KernelClass};
 pub use mapping::{assign_kernel, AssocOperand, KernelChoice, MappingError};

@@ -32,12 +32,15 @@
 //! | `MC`  | 128       | row block; the packed `MC x KC` A block stays L2-resident |
 //! | `NC`  | 4096      | column stripe; bounds the packed B stripe (`KC*NC` doubles) |
 //!
-//! On x86-64 with AVX-512 (the repo's `.cargo/config.toml` compiles with
-//! `target-cpu=native`) the micro-kernel is written with explicit
-//! `std::arch` intrinsics — a 16x14 tile in 28 zmm accumulators; on every
-//! other target a safe autovectorizable 16x6 kernel is used. Measured
-//! numbers are tracked in `BENCH_gemm.json` via
-//! `cargo run --release --bin bench_gemm`.
+//! On x86-64 the micro-kernel is selected **at runtime**: if
+//! `is_x86_feature_detected!("avx512f")` reports support, an explicit
+//! `std::arch` intrinsics kernel runs — a 16x14 tile in 28 zmm
+//! accumulators, compiled with `#[target_feature(enable = "avx512f")]` so
+//! it exists even in binaries built without `target-cpu=native`; otherwise
+//! (and on every other architecture) a safe autovectorizable 16x6 kernel
+//! is used. Detection is a cached flag, checked once per `gemm_core`
+//! call, far outside the inner loops. Measured numbers are tracked in
+//! `BENCH_gemm.json` via `cargo run --release --bin bench_gemm`.
 //!
 //! Padding in the packed buffers makes every micro-kernel invocation a
 //! full `MR x NR` tile; ragged edges only affect the write-back mask, so
@@ -74,17 +77,23 @@ use std::cell::RefCell;
 
 /// Rows of the register micro-tile.
 pub const MR: usize = 16;
-/// Columns of the register micro-tile.
-///
-/// With AVX-512 the micro-kernel holds a 16x14 tile (28 zmm accumulators +
-/// 2 A vectors + 1 broadcast = 31 of 32 registers, the BLIS skylake-x
-/// shape); elsewhere a 16x6 tile keeps the autovectorized kernel inside
-/// 16 ymm registers' worth of accumulators without spilling.
-#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
-pub const NR: usize = 14;
-#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+/// Columns of the AVX-512 register micro-tile: a 16x14 tile holds 28 zmm
+/// accumulators + 2 A vectors + 1 broadcast = 31 of 32 registers (the
+/// BLIS skylake-x shape).
+#[cfg(target_arch = "x86_64")]
+const NR_AVX512: usize = 14;
+/// Columns of the portable register micro-tile: 16x6 keeps the
+/// autovectorized kernel inside 16 ymm registers' worth of accumulators
+/// without spilling.
+const NR_PORTABLE: usize = 6;
+/// Columns of the *widest* micro-tile the runtime dispatcher may select
+/// on this architecture (the actual tile is chosen per process by CPU
+/// feature detection; see the module docs).
+#[cfg(target_arch = "x86_64")]
+pub const NR: usize = NR_AVX512;
+#[cfg(not(target_arch = "x86_64"))]
 #[allow(missing_docs)]
-pub const NR: usize = 6;
+pub const NR: usize = NR_PORTABLE;
 /// Depth (k) blocking: length of packed micro-panels.
 pub const KC: usize = 256;
 /// Row (m) blocking: rows of A packed per block.
@@ -184,7 +193,11 @@ pub fn gemm(
 /// when the problem clears [`BLOCKED_MIN_WORK`]).
 ///
 /// Use this when the caller executes many multiplies and wants packing
-/// buffers reused deterministically instead of per-thread.
+/// buffers reused deterministically instead of per-thread. With the
+/// `parallel` feature on a multi-threaded host, wide problems still take
+/// the column-stripe split (per-thread workspaces; `ws` goes unused for
+/// that call) so the session path never loses GEMM parallelism — the
+/// result is bitwise identical either way.
 ///
 /// # Panics
 ///
@@ -207,26 +220,43 @@ pub fn gemm_with(
     }
     if m * n * k < BLOCKED_MIN_WORK {
         scalar_core(alpha, a, ta, b, tb, c);
-    } else {
-        let (ars, acs) = op_strides(a, ta);
-        let (brs, bcs) = op_strides(b, tb);
-        let ldc = c.rows();
-        gemm_core(
-            ws,
-            m,
-            n,
-            k,
-            alpha,
-            a.as_slice(),
-            ars,
-            acs,
-            b.as_slice(),
-            brs,
-            bcs,
-            c.as_mut_slice(),
-            ldc,
-        );
+        return;
     }
+    let (ars, acs) = op_strides(a, ta);
+    let (brs, bcs) = op_strides(b, tb);
+    let ldc = c.rows();
+    #[cfg(feature = "parallel")]
+    if parallel_stripes(
+        m,
+        n,
+        k,
+        alpha,
+        a.as_slice(),
+        ars,
+        acs,
+        b.as_slice(),
+        brs,
+        bcs,
+        c.as_mut_slice(),
+        ldc,
+    ) {
+        return;
+    }
+    gemm_core(
+        ws,
+        m,
+        n,
+        k,
+        alpha,
+        a.as_slice(),
+        ars,
+        acs,
+        b.as_slice(),
+        brs,
+        bcs,
+        c.as_mut_slice(),
+        ldc,
+    );
 }
 
 /// Force the blocked kernel regardless of problem size (test/bench entry
@@ -347,44 +377,21 @@ fn blocked_entry(
     let ldc = c.rows();
 
     #[cfg(feature = "parallel")]
-    {
-        let threads = rayon::current_num_threads().min(n.div_ceil(2 * NR)).max(1);
-        if threads > 1 {
-            // Split C's columns into `threads` NR-aligned stripes; each
-            // thread runs the serial core on its stripe with its own
-            // thread-local workspace. Stripes are disjoint, so results are
-            // bitwise identical to the serial kernel.
-            let cols_per = n.div_ceil(threads).div_ceil(NR) * NR;
-            let a_sl = a.as_slice();
-            let b_sl = b.as_slice();
-            rayon::scope(|s| {
-                for (chunk_idx, c_chunk) in c.as_mut_slice().chunks_mut(cols_per * ldc).enumerate()
-                {
-                    let jc0 = chunk_idx * cols_per;
-                    s.spawn(move |_| {
-                        let nc = c_chunk.len() / ldc;
-                        TLS_WS.with(|ws| {
-                            gemm_core(
-                                &mut ws.borrow_mut(),
-                                m,
-                                nc,
-                                k,
-                                alpha,
-                                a_sl,
-                                ars,
-                                acs,
-                                &b_sl[jc0 * bcs..],
-                                brs,
-                                bcs,
-                                c_chunk,
-                                ldc,
-                            );
-                        });
-                    });
-                }
-            });
-            return;
-        }
+    if parallel_stripes(
+        m,
+        n,
+        k,
+        alpha,
+        a.as_slice(),
+        ars,
+        acs,
+        b.as_slice(),
+        brs,
+        bcs,
+        c.as_mut_slice(),
+        ldc,
+    ) {
+        return;
     }
 
     TLS_WS.with(|ws| {
@@ -406,6 +413,62 @@ fn blocked_entry(
     });
 }
 
+/// Split C's columns into tile-aligned stripes across threads; each
+/// thread runs the serial core on its stripe with its own thread-local
+/// workspace. Stripes are disjoint, so results are bitwise identical to
+/// the serial kernel. Returns `false` (doing nothing) when one thread —
+/// or too few columns — makes the split pointless; the caller then runs
+/// the serial core itself.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn parallel_stripes(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    ars: usize,
+    acs: usize,
+    b: &[f64],
+    brs: usize,
+    bcs: usize,
+    c: &mut [f64],
+    ldc: usize,
+) -> bool {
+    let nrv = nr_runtime();
+    let threads = rayon::current_num_threads().min(n.div_ceil(2 * nrv)).max(1);
+    if threads <= 1 {
+        return false;
+    }
+    let cols_per = n.div_ceil(threads).div_ceil(nrv) * nrv;
+    rayon::scope(|s| {
+        for (chunk_idx, c_chunk) in c.chunks_mut(cols_per * ldc).enumerate() {
+            let jc0 = chunk_idx * cols_per;
+            s.spawn(move |_| {
+                let nc = c_chunk.len() / ldc;
+                TLS_WS.with(|ws| {
+                    gemm_core(
+                        &mut ws.borrow_mut(),
+                        m,
+                        nc,
+                        k,
+                        alpha,
+                        a,
+                        ars,
+                        acs,
+                        &b[jc0 * bcs..],
+                        brs,
+                        bcs,
+                        c_chunk,
+                        ldc,
+                    );
+                });
+            });
+        }
+    });
+    true
+}
+
 /// Iterate `(offset, len)` blocks of `total` in steps of `step`.
 fn blocks(total: usize, step: usize) -> impl Iterator<Item = (usize, usize)> {
     (0..total.div_ceil(step)).map(move |i| {
@@ -420,9 +483,46 @@ fn ensure_len(buf: &mut Vec<f64>, len: usize) {
     }
 }
 
+/// Cached runtime CPU-feature probe: `true` when the AVX-512 micro-kernel
+/// may run on this machine.
+#[cfg(target_arch = "x86_64")]
+fn avx512_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static CACHE: AtomicU8 = AtomicU8::new(0); // 0 = unknown, 1 = no, 2 = yes
+    match CACHE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let yes = std::is_x86_feature_detected!("avx512f");
+            CACHE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
+/// The micro-tile width the runtime dispatcher selects on this machine
+/// (used by the parallel column-stripe split; serial builds inline the
+/// choice inside [`gemm_core`]).
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+pub(crate) fn nr_runtime() -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx512_available() {
+            NR_AVX512
+        } else {
+            NR_PORTABLE
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        NR_PORTABLE
+    }
+}
+
 /// The serial blocked kernel over raw strided views:
 /// `C[.., ..] += alpha * A_view(m x k) * B_view(k x n)`, with C column-major
-/// of leading dimension `ldc`. `beta` must already be applied.
+/// of leading dimension `ldc`. `beta` must already be applied. Selects the
+/// micro-kernel (and its tile width) by runtime CPU feature detection.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_core(
     ws: &mut GemmWorkspace,
@@ -439,23 +539,85 @@ pub(crate) fn gemm_core(
     c: &mut [f64],
     ldc: usize,
 ) {
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        gemm_core_n::<NR_AVX512>(
+            ws,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            ars,
+            acs,
+            b,
+            brs,
+            bcs,
+            c,
+            ldc,
+            micro_kernel_avx512_entry,
+        );
+        return;
+    }
+    gemm_core_n::<NR_PORTABLE>(
+        ws,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        ars,
+        acs,
+        b,
+        brs,
+        bcs,
+        c,
+        ldc,
+        micro_kernel_portable::<NR_PORTABLE>,
+    );
+}
+
+/// A micro-kernel entry point: `C_tile += alpha * Ap * Bp` over packed
+/// panels, with `(m_eff, n_eff)` masking the ragged write-back.
+type MicroKernelFn = fn(f64, &[f64], &[f64], &mut [f64], usize, usize, usize);
+
+/// The blocked core, monomorphized per micro-tile width `NRV`. `micro`
+/// must consume `kc x NRV` B panels (enforced by the instantiations in
+/// [`gemm_core`]).
+#[allow(clippy::too_many_arguments)]
+fn gemm_core_n<const NRV: usize>(
+    ws: &mut GemmWorkspace,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    ars: usize,
+    acs: usize,
+    b: &[f64],
+    brs: usize,
+    bcs: usize,
+    c: &mut [f64],
+    ldc: usize,
+    micro: MicroKernelFn,
+) {
     let GemmWorkspace { ap, bp } = ws;
     for (jc, nc) in blocks(n, NC) {
         for (pc, kc) in blocks(k, KC) {
-            let nc_r = nc.div_ceil(NR) * NR;
+            let nc_r = nc.div_ceil(NRV) * NRV;
             ensure_len(bp, nc_r * kc);
-            pack_b(&mut bp[..nc_r * kc], b, brs, bcs, pc, kc, jc, nc);
+            pack_b::<NRV>(&mut bp[..nc_r * kc], b, brs, bcs, pc, kc, jc, nc);
             for (ic, mc) in blocks(m, MC) {
                 let mc_r = mc.div_ceil(MR) * MR;
                 ensure_len(ap, mc_r * kc);
                 pack_a(&mut ap[..mc_r * kc], a, ars, acs, ic, mc, pc, kc);
-                for (jr, nr_eff) in blocks(nc, NR) {
-                    let bpan = &bp[(jr / NR) * NR * kc..][..NR * kc];
+                for (jr, nr_eff) in blocks(nc, NRV) {
+                    let bpan = &bp[(jr / NRV) * NRV * kc..][..NRV * kc];
                     for (ir, mr_eff) in blocks(mc, MR) {
                         let apan = &ap[(ir / MR) * MR * kc..][..MR * kc];
                         let off = (jc + jr) * ldc + ic + ir;
                         let len = (nr_eff - 1) * ldc + mr_eff;
-                        micro_kernel(
+                        micro(
                             alpha,
                             apan,
                             bpan,
@@ -560,10 +722,10 @@ fn pack_a(
     }
 }
 
-/// Pack a `kc x nc` block of the strided B view into NR-column
+/// Pack a `kc x nc` block of the strided B view into `NRV`-column
 /// micro-panels, zero-padding the ragged last panel.
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+fn pack_b<const NRV: usize>(
     bp: &mut [f64],
     b: &[f64],
     brs: usize,
@@ -576,35 +738,58 @@ fn pack_b(
     let mut dst = 0;
     let mut jp = 0;
     while jp < nc {
-        let cols = NR.min(nc - jp);
+        let cols = NRV.min(nc - jp);
         for p in 0..kc {
             let base = (p0 + p) * brs + (j0 + jp) * bcs;
-            if cols == NR && bcs == 1 {
-                bp[dst..dst + NR].copy_from_slice(&b[base..base + NR]);
+            if cols == NRV && bcs == 1 {
+                bp[dst..dst + NRV].copy_from_slice(&b[base..base + NRV]);
             } else {
                 for j in 0..cols {
                     bp[dst + j] = b[base + j * bcs];
                 }
-                bp[dst + cols..dst + NR].fill(0.0);
+                bp[dst + cols..dst + NRV].fill(0.0);
             }
-            dst += NR;
+            dst += NRV;
         }
-        jp += NR;
+        jp += NRV;
     }
 }
 
+/// Safe entry to the AVX-512 micro-kernel.
+///
+/// Only reachable from [`gemm_core`] after [`avx512_available`] returned
+/// `true`, which is the safety contract of the `target_feature` call.
+#[cfg(target_arch = "x86_64")]
+fn micro_kernel_avx512_entry(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    debug_assert!(avx512_available(), "dispatcher must gate this path");
+    // SAFETY: the dispatcher selected this entry only after runtime
+    // detection of avx512f on the executing CPU.
+    unsafe { micro_kernel_avx512(alpha, ap, bp, c, ldc, m_eff, n_eff) }
+}
+
 /// Register-tiled micro-kernel: `C_tile += alpha * Ap * Bp` where Ap is an
-/// `MR x kc` packed panel and Bp a `kc x NR` packed panel. The accumulator
-/// lives in `MR x NR` registers; `m_eff`/`n_eff` mask the ragged
-/// write-back.
+/// `MR x kc` packed panel and Bp a `kc x NR_AVX512` packed panel. The
+/// accumulator lives in `MR x NR_AVX512` registers; `m_eff`/`n_eff` mask
+/// the ragged write-back.
 ///
 /// AVX-512 variant: the one explicitly-SIMD (and `unsafe`) routine in the
-/// crate. Safety rests on the packed-panel layout: `ap` holds `kc` groups
-/// of exactly `MR` doubles and `bp` `kc` groups of exactly `NR`, both
-/// zero-padded by the packing routines, and the caller slices `c` to cover
-/// the `m_eff x n_eff` tile.
-#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
-fn micro_kernel(
+/// crate, compiled with its own `target_feature` so it exists in portable
+/// builds and is chosen by runtime detection. Safety rests on the
+/// packed-panel layout: `ap` holds `kc` groups of exactly `MR` doubles and
+/// `bp` `kc` groups of exactly `NR_AVX512`, both zero-padded by the
+/// packing routines, the caller slices `c` to cover the `m_eff x n_eff`
+/// tile — and on the executing CPU supporting avx512f.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn micro_kernel_avx512(
     alpha: f64,
     ap: &[f64],
     bp: &[f64],
@@ -616,6 +801,7 @@ fn micro_kernel(
     use std::arch::x86_64::{
         _mm512_fmadd_pd, _mm512_loadu_pd, _mm512_set1_pd, _mm512_setzero_pd, _mm512_storeu_pd,
     };
+    const NR: usize = NR_AVX512;
     const LANES: usize = 8;
     const AV: usize = MR / LANES; // A vectors per k step
     debug_assert_eq!(ap.len() % MR, 0);
@@ -661,14 +847,12 @@ fn micro_kernel(
             }
         }
     }
-    // Quiet the unused-helper warning on this path.
-    let _ = fmadd;
 }
 
-/// Portable autovectorized variant (see the AVX-512 one above for the
-/// contract).
-#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
-fn micro_kernel(
+/// Portable autovectorized micro-kernel over `kc x NRV` panels (see the
+/// AVX-512 one above for the contract). Generic over the tile width so it
+/// can also serve as a correctness oracle for the wide tile in tests.
+fn micro_kernel_portable<const NRV: usize>(
     alpha: f64,
     ap: &[f64],
     bp: &[f64],
@@ -677,19 +861,19 @@ fn micro_kernel(
     m_eff: usize,
     n_eff: usize,
 ) {
-    let mut acc = [[0.0f64; MR]; NR];
-    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+    let mut acc = [[0.0f64; MR]; NRV];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NRV)) {
         let a: &[f64; MR] = a.try_into().unwrap();
-        let b: &[f64; NR] = b.try_into().unwrap();
-        for j in 0..NR {
+        let b: &[f64; NRV] = b.try_into().unwrap();
+        for j in 0..NRV {
             let bj = b[j];
             for i in 0..MR {
                 acc[j][i] = fmadd(a[i], bj, acc[j][i]);
             }
         }
     }
-    if m_eff == MR && n_eff == NR {
-        for j in 0..NR {
+    if m_eff == MR && n_eff == NRV {
+        for j in 0..NRV {
             let col = &mut c[j * ldc..j * ldc + MR];
             for i in 0..MR {
                 col[i] += alpha * acc[j][i];
@@ -942,6 +1126,77 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Drive one micro-kernel instantiation through the blocked core on a
+    /// fresh workspace: `C += A * B` (no transposes, alpha = 1).
+    fn run_core<const NRV: usize>(micro: MicroKernelFn, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut ws = GemmWorkspace::new();
+        let ldc = c.rows();
+        gemm_core_n::<NRV>(
+            &mut ws,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            1,
+            a.rows(),
+            b.as_slice(),
+            1,
+            b.rows(),
+            c.as_mut_slice(),
+            ldc,
+            micro,
+        );
+    }
+
+    #[test]
+    fn portable_micro_kernel_matches_scalar() {
+        // The portable 16x6 path must stay correct even on hosts where the
+        // runtime dispatcher would pick AVX-512, so drive it explicitly.
+        for &(m, n, k) in &[
+            (MR - 1, NR_PORTABLE - 1, 5),
+            (2 * MR + 3, 3 * NR_PORTABLE + 2, KC + 5),
+            (MC + 1, NR_PORTABLE, 33),
+        ] {
+            let a = Matrix::from_fn(m, k, |i, j| ((3 * i + 5 * j) % 11) as f64 - 4.0);
+            let b = Matrix::from_fn(k, n, |i, j| ((2 * i + 7 * j) % 13) as f64 - 6.0);
+            let mut want = Matrix::zeros(m, n);
+            gemm_scalar(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut want);
+            let mut got = Matrix::zeros(m, n);
+            run_core::<NR_PORTABLE>(micro_kernel_portable::<NR_PORTABLE>, &a, &b, &mut got);
+            for (i, j, v) in got.iter_indexed() {
+                assert!(
+                    (v - want.get(i, j)).abs() < 1e-10,
+                    "({m},{n},{k}) at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn runtime_isa_paths_agree() {
+        if !std::is_x86_feature_detected!("avx512f") {
+            // The dispatcher would never pick the wide tile here; nothing
+            // to cross-check.
+            return;
+        }
+        let (m, n, k) = (2 * MR + 5, 2 * NR_AVX512 + 3, KC + 9);
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 9) as f64 - 4.0);
+        let b = Matrix::from_fn(k, n, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+        let mut wide = Matrix::zeros(m, n);
+        run_core::<NR_AVX512>(micro_kernel_avx512_entry, &a, &b, &mut wide);
+        let mut narrow = Matrix::zeros(m, n);
+        run_core::<NR_PORTABLE>(micro_kernel_portable::<NR_PORTABLE>, &a, &b, &mut narrow);
+        for (i, j, v) in wide.iter_indexed() {
+            assert!(
+                (v - narrow.get(i, j)).abs() < 1e-10,
+                "isa mismatch at ({i},{j})"
+            );
         }
     }
 

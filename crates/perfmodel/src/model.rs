@@ -114,6 +114,19 @@ impl PerfModels {
         work / rate
     }
 
+    /// Fill a session-owned [`gmc_core::expand::CostMatrix`] with
+    /// model-estimated times for `pool` × `instances`, reusing the
+    /// matrix's buffers (the session-scratch analogue of
+    /// `CostMatrix::with(pool, instances, |v, q| models.variant_time(v, q))`).
+    pub fn fill_cost_matrix(
+        &self,
+        pool: &[Variant],
+        instances: &[Instance],
+        matrix: &mut gmc_core::expand::CostMatrix,
+    ) {
+        matrix.fill_with(pool, instances, |v, q| self.variant_time(v, q), 1);
+    }
+
     /// Estimated execution time (seconds) of a whole variant on `q`.
     #[must_use]
     pub fn variant_time(&self, variant: &Variant, q: &Instance) -> f64 {
@@ -178,6 +191,27 @@ mod tests {
         let (idx, cost) = chain.dispatch_with(&q, &models);
         assert!(cost > 0.0);
         assert!(idx < chain.variants().len());
+    }
+
+    #[test]
+    fn fill_cost_matrix_matches_one_shot() {
+        let models = tiny_models();
+        let g = Operand::plain(Features::general());
+        let shape = Shape::new(vec![g, g, g, g]).unwrap();
+        let pool = all_variants(&shape).unwrap();
+        let instances: Vec<Instance> = (1..5u64)
+            .map(|s| Instance::new(vec![4 * s, 8, 2 * s, 16, 4]))
+            .collect();
+        let one_shot =
+            gmc_core::expand::CostMatrix::with(&pool, &instances, |v, q| models.variant_time(v, q));
+        let mut reused = gmc_core::expand::CostMatrix::new();
+        models.fill_cost_matrix(&pool, &instances, &mut reused);
+        models.fill_cost_matrix(&pool, &instances, &mut reused);
+        for v in 0..one_shot.num_variants() {
+            for i in 0..one_shot.num_instances() {
+                assert_eq!(one_shot.cost(v, i).to_bits(), reused.cost(v, i).to_bits());
+            }
+        }
     }
 
     #[test]

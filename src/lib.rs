@@ -3,5 +3,42 @@
 //! Exists to anchor the repo-level `tests/` and `examples/` directories;
 //! all functionality lives in the `crates/` members. Re-exports the
 //! `gmc` facade so `symgmc::prelude` works as a convenience.
+//!
+//! # Architecture: the session pipeline
+//!
+//! The compiler is organized as one pipeline — parse `.gmc` → enumerate
+//! the variant set `A` → select the Theorem-2 base set → expand it
+//! greedily (Algorithm 1) → emit code / dispatch at run time — and the
+//! production entry point to that pipeline is
+//! `gmc_core::session::CompileSession`, a long-lived object that owns
+//! every stage's state:
+//!
+//! | stage | session-owned state | crate |
+//! |-------|--------------------|-------|
+//! | parse | `ShapeInterner` (dense ids for distinct shapes) | `gmc-ir` |
+//! | per-instance optimum | one `DpSolver` per shape (interner + memo + arena, allocation-free when warm) | `gmc-core::dp` |
+//! | selection | flat `CostMatrix` + `ExpandScratch`, refilled in place | `gmc-core::expand` |
+//! | emission | caller-owned `String` buffers (`emit_*_into`) | `gmc-codegen` |
+//! | execution | `GemmWorkspace` packing buffers | `gmc-linalg` / `gmc-kernels` |
+//!
+//! The one-shot free functions (`all_variants`, `optimal_cost`,
+//! `CompiledChain::compile`) remain and are documented as conveniences;
+//! each is a thin wrapper over throwaway session state, and every
+//! session method is **bit-identical** to its one-shot counterpart.
+//!
+//! Two knobs scale the pipeline:
+//!
+//! * the `parallel` cargo feature threads variant enumeration, the
+//!   cost-matrix fill, and the Algorithm-1 candidate scan (plus GEMM
+//!   column stripes in `gmc-linalg`) through the vendored rayon shim —
+//!   with results pinned bit-identical to serial by a property test
+//!   (`crates/core/tests/session_reuse.rs`);
+//! * the `gmcc` driver compiles whole batches (`gmcc a.gmc b.gmc
+//!   --jobs N`), one session per worker thread.
+//!
+//! Selection latency is tracked in `BENCH_select.json`
+//! (`cargo run --release --features parallel --bin bench_select`),
+//! alongside `BENCH_gemm.json` / `BENCH_dp.json` for the kernel and DP
+//! trajectories.
 
 pub use gmc::prelude;
