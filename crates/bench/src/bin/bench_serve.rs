@@ -1,0 +1,190 @@
+//! Serving-layer throughput trajectory: cold vs. warm vs.
+//! restored-from-disk compiles through the sharded
+//! [`gmc_serve::CompileService`], written to `BENCH_serve.json`.
+//!
+//! Three phases over the same workload of distinct `.gmc` programs:
+//!
+//! * **cold** — a fresh service compiles every shape for the first time
+//!   (full enumeration + selection per shape);
+//! * **warm** — the same service replays the workload; every request is
+//!   a shard-cache hit (lookup + emit only);
+//! * **restored** — the service snapshots to disk, shuts down, and a
+//!   *new* service starts from the snapshot; the replay must run at
+//!   warm speed (every request a cache hit) with byte-identical
+//!   artifacts, proving a restart never pays the cold path again.
+//!
+//! Each phase is best-of-`reps` (fresh service per cold/restored rep) to
+//! tame timer wobble on the 1-core dev host. Run with
+//! `cargo run --release --bin bench_serve [--smoke] [output.json]`;
+//! `--smoke` shrinks the workload for CI.
+
+use gmc_core::CompileOptions;
+use gmc_serve::{CompileRequest, CompileResponse, CompileService, Emit, ServeConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A workload of distinct chain programs: lengths 3..=3+k with feature
+/// mixes cycling through general, triangular-solve, and SPD operands.
+fn workload(count: usize) -> Vec<String> {
+    let decls = [
+        ("General, Singular", ""),
+        ("LowerTri, NonSingular", "^-1"),
+        ("Symmetric, SPD", ""),
+        ("UpperTri, NonSingular", ""),
+        ("General, Singular", ""),
+    ];
+    (0..count)
+        .map(|i| {
+            let n = 3 + i % 4;
+            let mut src = String::new();
+            let mut rhs = Vec::new();
+            for j in 0..n {
+                // Rotate the feature mix per program so every source has
+                // a distinct shape.
+                let (features, op) = decls[(i + j) % decls.len()];
+                let _ = writeln!(src, "Matrix M{j} <{features}>;");
+                rhs.push(format!("M{j}{op}"));
+            }
+            let _ = writeln!(src, "X{i} := {};", rhs.join(" * "));
+            src
+        })
+        .collect()
+}
+
+fn submit_all(service: &mut CompileService, sources: &[String]) -> Vec<CompileResponse> {
+    for (i, source) in sources.iter().enumerate() {
+        service.submit(CompileRequest {
+            id: i as u64,
+            name: Some(format!("x{i}")),
+            source: source.clone(),
+            emit: Emit::Both,
+        });
+    }
+    let mut responses = service.drain();
+    responses.sort_by_key(|r| r.id);
+    responses
+}
+
+fn files_of(responses: &[CompileResponse]) -> Vec<Vec<(String, String)>> {
+    responses
+        .iter()
+        .map(|r| r.result.as_ref().expect("workload compiles").files.clone())
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let (distinct, warm_rounds, reps) = if smoke { (6, 2, 2) } else { (12, 4, 5) };
+    let shards = 2usize;
+    let sources = workload(distinct);
+    let options = CompileOptions {
+        training_instances: 300,
+        expand_by: 1,
+        ..CompileOptions::default()
+    };
+    let snapshot_path = std::env::temp_dir().join("bench_serve_snapshot.txt");
+    let _ = std::fs::remove_file(&snapshot_path);
+    let config = |snap: bool| ServeConfig {
+        shards,
+        options: options.clone(),
+        snapshot_path: snap.then(|| snapshot_path.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Cold: fresh service per rep, every shape selected from scratch.
+    let mut cold_s = f64::INFINITY;
+    let mut reference = Vec::new();
+    for _ in 0..reps {
+        let mut service = CompileService::start(config(false)).expect("cold start");
+        let t = Instant::now();
+        let responses = submit_all(&mut service, &sources);
+        cold_s = cold_s.min(t.elapsed().as_secs_f64());
+        assert!(responses.iter().all(|r| !r.cache_hit), "cold = no hits");
+        reference = files_of(&responses);
+        let _ = service.shutdown();
+    }
+
+    // Warm: one service, replay the workload after a priming pass.
+    let mut service = CompileService::start(config(true)).expect("warm start");
+    let primed = submit_all(&mut service, &sources);
+    assert_eq!(files_of(&primed), reference, "priming matches cold");
+    let mut warm_s = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..warm_rounds {
+            let responses = submit_all(&mut service, &sources);
+            debug_assert!(responses.iter().all(|r| r.cache_hit));
+        }
+        warm_s = warm_s.min(t.elapsed().as_secs_f64() / warm_rounds as f64);
+    }
+    service
+        .save_snapshot(&snapshot_path)
+        .expect("write snapshot");
+    let _ = service.shutdown();
+    let snapshot_bytes = std::fs::metadata(&snapshot_path)
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    // Restored: brand-new service per rep, loading the snapshot from
+    // disk; the whole workload must be cache hits with identical bytes.
+    let mut restored_s = f64::INFINITY;
+    for _ in 0..reps {
+        let mut service = CompileService::start(config(true)).expect("restored start");
+        let t = Instant::now();
+        let responses = submit_all(&mut service, &sources);
+        restored_s = restored_s.min(t.elapsed().as_secs_f64());
+        assert!(
+            responses.iter().all(|r| r.cache_hit),
+            "every restored request must be a cache hit"
+        );
+        assert_eq!(
+            files_of(&responses),
+            reference,
+            "restored artifacts must be byte-identical to cold"
+        );
+        let stats = service.shutdown();
+        assert_eq!(stats.restored(), distinct);
+    }
+
+    let per_req = |s: f64| s * 1e3 / distinct as f64;
+    let (cold_ms, warm_ms, restored_ms) = (per_req(cold_s), per_req(warm_s), per_req(restored_s));
+    let restored_speedup = cold_ms / restored_ms;
+    let warm_speedup = cold_ms / warm_ms;
+    println!(
+        "serve {distinct} shapes x {shards} shards: cold {cold_ms:8.3} ms/req   \
+         warm {warm_ms:8.3} ms/req ({warm_speedup:.1}x)   \
+         restored {restored_ms:8.3} ms/req ({restored_speedup:.1}x, snapshot {snapshot_bytes} B)"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"serve_cold_warm_restored\",\n");
+    let _ = writeln!(json, "  \"unit\": \"ms_per_request\",");
+    let _ = writeln!(json, "  \"distinct_shapes\": {distinct},");
+    let _ = writeln!(json, "  \"warm_rounds\": {warm_rounds},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"shards\": {shards},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"cold_ms_per_req\": {cold_ms:.4},");
+    let _ = writeln!(json, "  \"warm_ms_per_req\": {warm_ms:.4},");
+    let _ = writeln!(json, "  \"restored_ms_per_req\": {restored_ms:.4},");
+    let _ = writeln!(json, "  \"warm_speedup_vs_cold\": {warm_speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"restored_speedup_vs_cold\": {restored_speedup:.2},"
+    );
+    let _ = writeln!(json, "  \"snapshot_bytes\": {snapshot_bytes},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"restored replay verified cache-hit and byte-identical to cold; \
+         1-core dev host, so shard threads interleave — ratios measure per-request work \
+         saved, not parallel scaling\""
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -292,6 +292,28 @@ pub fn expand_set_with(
     scratch: &mut ExpandScratch,
     jobs: usize,
 ) -> Vec<usize> {
+    expand_set_striped(matrix, initial, k, objective, scratch, jobs, 0)
+}
+
+/// [`expand_set_with`] with an explicit candidate-scan stripe size: the
+/// number of candidates each spawned task scans. `0` means one stripe
+/// per thread (`num_variants / jobs`, the default); smaller stripes give
+/// the vendored rayon shim more, finer tasks, which many-core hosts can
+/// tune through [`crate::CompileOptions::scan_stripe`] without
+/// rebuilding. Purely a scheduling knob: stripes are reduced in index
+/// order with the same strict-minimum rule, so the selected set is
+/// bit-identical for every stripe (and jobs) value.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn expand_set_striped(
+    matrix: &CostMatrix,
+    initial: &[usize],
+    k: usize,
+    objective: Objective,
+    scratch: &mut ExpandScratch,
+    jobs: usize,
+    stripe: usize,
+) -> Vec<usize> {
     let ni = matrix.num_instances();
     let mut set: Vec<usize> = initial.to_vec();
     scratch.best.clear();
@@ -314,7 +336,7 @@ pub fn expand_set_with(
     };
     while set.len() < k {
         let (best_candidate, v_star) =
-            scan_candidates(matrix, &set, &scratch.best, objective, jobs);
+            scan_candidates(matrix, &set, &scratch.best, objective, jobs, stripe);
         match best_candidate {
             Some(d) if v_star < v_min => {
                 for (b, &c) in scratch.best.iter_mut().zip(matrix.row(d)) {
@@ -373,13 +395,19 @@ fn scan_candidates(
     best: &[f64],
     objective: Objective,
     jobs: usize,
+    stripe: usize,
 ) -> (Option<usize>, f64) {
     let nv = matrix.num_variants();
     #[cfg(feature = "parallel")]
     if jobs > 1 && nv * matrix.num_instances() >= PAR_MIN_CELLS {
-        let jobs = jobs.min(nv).max(1);
-        let per = nv.div_ceil(jobs);
-        let mut partial: Vec<(Option<usize>, f64)> = vec![(None, f64::INFINITY); jobs];
+        let per = if stripe == 0 {
+            nv.div_ceil(jobs.min(nv).max(1))
+        } else {
+            stripe
+        }
+        .max(1);
+        let tasks = nv.div_ceil(per);
+        let mut partial: Vec<(Option<usize>, f64)> = vec![(None, f64::INFINITY); tasks];
         rayon::scope(|s| {
             for (c, out) in partial.iter_mut().enumerate() {
                 let lo = c * per;
@@ -401,7 +429,7 @@ fn scan_candidates(
         }
         return (best_candidate, v_star);
     }
-    let _ = jobs;
+    let _ = (jobs, stripe);
     scan_range(matrix, set, best, objective, 0..nv)
 }
 
@@ -546,6 +574,36 @@ mod tests {
         }
         for (a, b) in fresh.optimal().iter().zip(reused.optimal()) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn stripe_size_never_changes_the_selection() {
+        // The stripe knob tunes task granularity only; with the parallel
+        // feature the jobs=4 runs actually thread the scan, and without
+        // it the knob must be a no-op either way.
+        let (pool, instances, shape) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        let base = select_base_set(&shape, &instances, matrix.optimal()).unwrap();
+        let initial: Vec<usize> = base
+            .variants
+            .iter()
+            .map(|v| pool.iter().position(|p| p.paren() == v.paren()).unwrap())
+            .collect();
+        let k = initial.len() + 3;
+        let reference = expand_set(&matrix, &initial, k, Objective::AvgPenalty);
+        for stripe in [0usize, 1, 3, 7, 1000] {
+            let mut scratch = ExpandScratch::default();
+            let got = expand_set_striped(
+                &matrix,
+                &initial,
+                k,
+                Objective::AvgPenalty,
+                &mut scratch,
+                4,
+                stripe,
+            );
+            assert_eq!(reference, got, "stripe = {stripe}");
         }
     }
 

@@ -53,6 +53,7 @@ pub mod enumerate;
 pub mod expand;
 pub mod library;
 pub mod paren;
+pub mod persist;
 pub mod program;
 pub mod reference;
 pub mod session;
@@ -63,10 +64,13 @@ pub use alpha::{alpha_hat, catalogue_alpha_hat, shape_penalty_bound, TermKind};
 pub use builder::{build_variant, build_variant_with, BuildError, BuildOptions};
 pub use dp::{optimal_cost, optimal_variant, DpSolver};
 pub use enumerate::{all_variants, all_variants_capped, EnumerateError, DEFAULT_VARIANT_CAP};
-pub use expand::{expand_set, expand_set_with, CostMatrix, ExpandScratch, Objective};
+pub use expand::{
+    expand_set, expand_set_striped, expand_set_with, CostMatrix, ExpandScratch, Objective,
+};
 pub use library::ChainLibrary;
 pub use paren::ParenTree;
+pub use persist::{PersistError, SessionSnapshot};
 pub use program::{CompileOptions, CompiledChain, CostModel, FlopCost, ProgramError};
-pub use session::CompileSession;
+pub use session::{CacheStats, CompileSession, DEFAULT_CHAIN_CACHE_CAPACITY};
 pub use theory::{fanning_out_set, penalty, select_base_set, select_base_set_with, TheoryError};
 pub use variant::{ExecVariantError, Finalize, Step, ValRef, Variant};

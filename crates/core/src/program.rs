@@ -52,6 +52,13 @@ pub struct CompileOptions {
     pub objective: Objective,
     /// RNG seed for reproducible selection.
     pub seed: u64,
+    /// Candidate-scan stripe size for the parallel expansion: how many
+    /// candidates each spawned task scans (`0` = one stripe per thread).
+    /// A pure scheduling knob for many-core hosts — the selected set is
+    /// bit-identical for every value (see
+    /// [`crate::expand::expand_set_striped`]), so it is excluded from
+    /// the persistence options fingerprint.
+    pub scan_stripe: usize,
 }
 
 impl Default for CompileOptions {
@@ -63,6 +70,7 @@ impl Default for CompileOptions {
             expand_by: 0,
             objective: Objective::AvgPenalty,
             seed: 0x5e1ec7,
+            scan_stripe: 0,
         }
     }
 }
@@ -211,6 +219,30 @@ impl CompiledChain {
     #[must_use]
     pub fn dispatch(&self, q: &Instance) -> (usize, f64) {
         self.dispatch_with(q, &FlopCost)
+    }
+
+    /// The human-readable variant report printed by `gmcc --report` and
+    /// streamed by the compile service: one header line plus one line per
+    /// selected variant with its parenthesization and cost polynomial.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut report = format!(
+            "chain {} (n = {}), {} size-symbol class(es), {} variant(s) selected\n",
+            self.shape,
+            self.shape.len(),
+            self.shape.size_classes().num_classes(),
+            self.variants.len(),
+        );
+        for (i, v) in self.variants.iter().enumerate() {
+            let _ = writeln!(
+                report,
+                "  variant {i}: {}  cost = {}",
+                v.paren(),
+                v.cost_poly()
+            );
+        }
+        report
     }
 
     /// A human-readable account of one dispatch decision: every variant's

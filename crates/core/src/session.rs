@@ -11,7 +11,14 @@
 //!
 //! * **Shape interning** ([`gmc_ir::ShapeInterner`]): every distinct
 //!   chain shape gets a dense [`ShapeId`]; repeated programs hit the
-//!   compiled-chain cache instead of re-running selection.
+//!   compiled-chain cache instead of re-running selection. The cache is
+//!   **bounded** (LRU eviction at
+//!   [`DEFAULT_CHAIN_CACHE_CAPACITY`], tunable via
+//!   [`CompileSession::set_chain_cache_capacity`]) and instrumented
+//!   ([`CompileSession::cache_stats`]), and its contents can be
+//!   persisted and restored bit-identically for warm service restarts
+//!   ([`CompileSession::snapshot`] / [`CompileSession::restore`]; see
+//!   [`crate::persist`]).
 //! * **DP solver reuse** ([`crate::dp::DpSolver`]): one solver per shape
 //!   keeps its descriptor interner, association memo, and state arena
 //!   warm, so per-instance optimal costs in dispatch loops are
@@ -69,8 +76,9 @@
 use crate::builder::BuildError;
 use crate::dp::DpSolver;
 use crate::enumerate::{build_pool, EnumerateError, DEFAULT_VARIANT_CAP};
-use crate::expand::{expand_set_with, CostMatrix, ExpandScratch};
+use crate::expand::{expand_set_striped, CostMatrix, ExpandScratch};
 use crate::paren::ParenTree;
+use crate::persist::{options_key, PersistError, SessionSnapshot};
 use crate::program::{CompileOptions, CompiledChain, CostModel, ProgramError};
 use crate::theory::{fanning_out_set, select_base_set};
 use crate::variant::Variant;
@@ -86,6 +94,45 @@ use std::collections::HashMap;
 /// enumerates; see [`CompiledChain::compile_with`]).
 pub(crate) const ENUMERATION_CAP: u128 = 4096;
 
+/// Default capacity of the compiled-chain cache. Each cached chain is a
+/// handful of variants (kernel sequences + cost polynomials), so a few
+/// hundred distinct shapes is cheap; services tune this per shard via
+/// [`CompileSession::set_chain_cache_capacity`].
+pub const DEFAULT_CHAIN_CACHE_CAPACITY: usize = 256;
+
+/// Observability counters for the compiled-chain cache (cumulative for
+/// the session's lifetime; survive cache invalidations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compiles served from the cache.
+    pub hits: u64,
+    /// Compiles that had to run the full selection pipeline.
+    pub misses: u64,
+    /// Chains evicted by the LRU policy (capacity pressure only — not
+    /// invalidations from option changes).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of compiles served from the cache (`0.0` before any
+    /// compile).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A cached chain plus its LRU clock reading.
+struct CachedChain {
+    chain: CompiledChain,
+    last_used: u64,
+}
+
 /// A long-lived compiler pipeline: owns the descriptor interner, DP state
 /// arenas, cost-matrix scratch, and GEMM workspace, and reuses all of
 /// them across compiles and evaluations (see the [module docs](self)).
@@ -95,7 +142,10 @@ pub struct CompileSession {
     variant_cap: u64,
     shapes: ShapeInterner,
     solvers: HashMap<ShapeId, DpSolver>,
-    compiled: HashMap<ShapeId, CompiledChain>,
+    compiled: HashMap<ShapeId, CachedChain>,
+    cache_capacity: usize,
+    cache_tick: u64,
+    cache_stats: CacheStats,
     matrix: CostMatrix,
     expand: ExpandScratch,
     gemm_ws: GemmWorkspace,
@@ -124,6 +174,9 @@ impl CompileSession {
             shapes: ShapeInterner::new(),
             solvers: HashMap::new(),
             compiled: HashMap::new(),
+            cache_capacity: DEFAULT_CHAIN_CACHE_CAPACITY,
+            cache_tick: 0,
+            cache_stats: CacheStats::default(),
             matrix: CostMatrix::new(),
             expand: ExpandScratch::default(),
             gemm_ws: GemmWorkspace::new(),
@@ -305,13 +358,14 @@ impl CompileSession {
         k: usize,
         objective: crate::expand::Objective,
     ) -> Vec<usize> {
-        expand_set_with(
+        expand_set_striped(
             &self.matrix,
             initial,
             k,
             objective,
             &mut self.expand,
             self.jobs,
+            self.options.scan_stripe,
         )
     }
 
@@ -327,12 +381,48 @@ impl CompileSession {
     /// Returns [`ProgramError`] if selection fails.
     pub fn compile(&mut self, shape: &Shape) -> Result<CompiledChain, ProgramError> {
         let id = self.shapes.intern(shape);
-        if let Some(chain) = self.compiled.get(&id) {
-            return Ok(chain.clone());
+        self.cache_tick += 1;
+        let tick = self.cache_tick;
+        if let Some(entry) = self.compiled.get_mut(&id) {
+            entry.last_used = tick;
+            self.cache_stats.hits += 1;
+            return Ok(entry.chain.clone());
         }
+        self.cache_stats.misses += 1;
         let chain = self.compile_uncached(id)?;
-        self.compiled.insert(id, chain.clone());
+        self.insert_cached(id, chain.clone());
         Ok(chain)
+    }
+
+    /// Insert a freshly compiled (or restored) chain, evicting
+    /// least-recently-used entries down to capacity first.
+    fn insert_cached(&mut self, id: ShapeId, chain: CompiledChain) {
+        if self.cache_capacity == 0 {
+            return;
+        }
+        self.evict_down_to(self.cache_capacity - 1);
+        self.compiled.insert(
+            id,
+            CachedChain {
+                chain,
+                last_used: self.cache_tick,
+            },
+        );
+    }
+
+    fn evict_down_to(&mut self, capacity: usize) {
+        while self.compiled.len() > capacity {
+            // Ticks are unique, so the LRU victim is unambiguous; the
+            // O(len) scan is fine at the capacities a shard runs with.
+            let victim = self
+                .compiled
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&id, _)| id)
+                .expect("cache is non-empty");
+            self.compiled.remove(&victim);
+            self.cache_stats.evictions += 1;
+        }
     }
 
     /// Compile every shape in order, sharing the session caches (repeat
@@ -387,13 +477,14 @@ impl CompileSession {
             })
             .collect();
         if options.expand_by > 0 {
-            indices = expand_set_with(
+            indices = expand_set_striped(
                 &self.matrix,
                 &indices,
                 indices.len() + options.expand_by,
                 options.objective,
                 &mut self.expand,
                 self.jobs,
+                options.scan_stripe,
             );
         }
         let variants = indices.into_iter().map(|i| pool[i].clone()).collect();
@@ -447,6 +538,116 @@ impl CompileSession {
     #[must_use]
     pub fn num_cached_chains(&self) -> usize {
         self.compiled.len()
+    }
+
+    /// The compiled-chain cache capacity
+    /// (default [`DEFAULT_CHAIN_CACHE_CAPACITY`]).
+    #[must_use]
+    pub fn chain_cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Bound the compiled-chain cache: at most `capacity` chains stay
+    /// resident, evicted least-recently-used (a compile — hit or miss —
+    /// counts as a use). Shrinking below the current occupancy evicts
+    /// immediately; `0` disables caching entirely (every compile
+    /// re-selects). Eviction never changes results — an evicted shape is
+    /// simply re-selected on its next compile, bit-identically.
+    pub fn set_chain_cache_capacity(&mut self, capacity: usize) {
+        self.cache_capacity = capacity;
+        self.evict_down_to(capacity);
+    }
+
+    /// Cumulative hit/miss/eviction counters for the compiled-chain
+    /// cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+
+    /// Snapshot the compiled-chain cache for warm-restart persistence:
+    /// shape descriptors plus selected parenthesizations, in dense
+    /// [`ShapeId`] order (see [`crate::persist`] for the format). The
+    /// snapshot records decisions, not emitted code, so it stays small
+    /// and restores bit-identically.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut entries = Vec::with_capacity(self.compiled.len());
+        for (id, shape) in self.shapes.iter() {
+            if let Some(entry) = self.compiled.get(&id) {
+                let parens: Vec<ParenTree> = entry
+                    .chain
+                    .variants()
+                    .iter()
+                    .map(|v| v.paren().clone())
+                    .collect();
+                entries.push((shape.clone(), parens));
+            }
+        }
+        SessionSnapshot::from_parts(options_key(&self.options, self.variant_cap), entries)
+    }
+
+    /// Restore every chain recorded in `snapshot` into the cache,
+    /// re-lowering each recorded parenthesization with the deterministic
+    /// variant builder — no enumeration, DP, or expansion runs, and the
+    /// restored chains are bit-identical to what [`CompileSession::compile`]
+    /// would produce. Returns the number of chains restored (shapes
+    /// already cached are skipped; restores count as neither hits nor
+    /// misses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::OptionsMismatch`] unless the snapshot was
+    /// taken under this session's selection options *and* variant cap
+    /// (the cap decides the enumerate-vs-DP compile path, so recorded
+    /// decisions are only valid under the same cap), and
+    /// [`PersistError::Rebuild`] if a recorded tree fails to lower. On
+    /// any error the cache is left untouched — a failed restore is a
+    /// cold start, never a half-warm one.
+    pub fn restore(&mut self, snapshot: &SessionSnapshot) -> Result<usize, PersistError> {
+        self.restore_filtered(snapshot, |_| true)
+    }
+
+    /// [`CompileSession::restore`] for the shapes `keep` accepts — a
+    /// sharded service restores into each shard only the shapes that
+    /// route to it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompileSession::restore`].
+    pub fn restore_filtered(
+        &mut self,
+        snapshot: &SessionSnapshot,
+        keep: impl Fn(&Shape) -> bool,
+    ) -> Result<usize, PersistError> {
+        let expected = options_key(&self.options, self.variant_cap);
+        if snapshot.options_fingerprint() != expected {
+            return Err(PersistError::OptionsMismatch {
+                expected,
+                found: snapshot.options_fingerprint().to_string(),
+            });
+        }
+        // Rebuild everything first, insert only if the whole snapshot
+        // lowers: a corrupt entry must not leave the cache half-warm.
+        let mut pending: Vec<(ShapeId, Shape, Vec<Variant>)> = Vec::new();
+        for (shape, parens) in snapshot.entries() {
+            if !keep(shape) {
+                continue;
+            }
+            let id = self.shapes.intern(shape);
+            if self.compiled.contains_key(&id) || pending.iter().any(|(pid, ..)| *pid == id) {
+                continue;
+            }
+            let variants = build_pool(shape, parens, self.jobs)
+                .map_err(|e| PersistError::Rebuild(e.to_string()))?;
+            pending.push((id, shape.clone(), variants));
+        }
+        let restored = pending.len();
+        for (id, shape, variants) in pending {
+            self.cache_tick += 1;
+            self.insert_cached(id, CompiledChain::from_variants(shape, variants));
+        }
+        Ok(restored)
     }
 }
 
@@ -552,6 +753,95 @@ mod tests {
         let bytes = session.workspace().capacity_bytes();
         let _ = session.evaluate(&chain, &[a, b]).unwrap();
         assert_eq!(session.workspace().capacity_bytes(), bytes);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_counts() {
+        let mut session = CompileSession::new();
+        session.set_chain_cache_capacity(2);
+        let shapes: Vec<Shape> = (2..=4).map(|n| Shape::new(vec![g(); n]).unwrap()).collect();
+        session.compile(&shapes[0]).unwrap(); // miss: {0}
+        session.compile(&shapes[1]).unwrap(); // miss: {0, 1}
+        session.compile(&shapes[0]).unwrap(); // hit, refreshes 0
+        session.compile(&shapes[2]).unwrap(); // miss, evicts 1 (LRU): {0, 2}
+        assert_eq!(session.num_cached_chains(), 2);
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 1));
+        session.compile(&shapes[0]).unwrap(); // still cached: hit
+        session.compile(&shapes[1]).unwrap(); // evicted above: miss again
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 4, 2));
+        assert!((stats.hit_rate() - 2.0 / 6.0).abs() < 1e-12);
+        // Shrinking the capacity evicts immediately; 0 disables caching.
+        session.set_chain_cache_capacity(1);
+        assert_eq!(session.num_cached_chains(), 1);
+        session.set_chain_cache_capacity(0);
+        assert_eq!(session.num_cached_chains(), 0);
+        session.compile(&shapes[0]).unwrap();
+        assert_eq!(session.num_cached_chains(), 0, "capacity 0 caches nothing");
+    }
+
+    #[test]
+    fn snapshot_restore_rebuilds_identical_chains() {
+        let opts = CompileOptions {
+            training_instances: 120,
+            expand_by: 1,
+            ..CompileOptions::default()
+        };
+        let mut original = CompileSession::with_options(opts.clone());
+        let l =
+            Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular)).inverted();
+        let shapes = [
+            Shape::new(vec![g(); 4]).unwrap(),
+            Shape::new(vec![g(), l, g()]).unwrap(),
+        ];
+        let chains: Vec<_> = shapes
+            .iter()
+            .map(|s| original.compile(s).unwrap())
+            .collect();
+
+        let snap = original.snapshot();
+        assert_eq!(snap.len(), 2);
+        let text = snap.encode();
+        drop(original);
+
+        let mut restored = CompileSession::with_options(opts.clone());
+        let decoded = crate::persist::SessionSnapshot::decode(&text).unwrap();
+        assert_eq!(restored.restore(&decoded).unwrap(), 2);
+        assert_eq!(restored.num_cached_chains(), 2);
+        let before = restored.cache_stats();
+        assert_eq!((before.hits, before.misses), (0, 0), "restore is neither");
+        for (shape, want) in shapes.iter().zip(&chains) {
+            let got = restored.compile(shape).unwrap();
+            for (a, b) in got.variants().iter().zip(want.variants()) {
+                assert_eq!(a.paren(), b.paren());
+                assert_eq!(a.cost_poly(), b.cost_poly());
+            }
+        }
+        assert_eq!(restored.cache_stats().hits, 2, "restored chains are hits");
+
+        // Restoring under different options is refused.
+        let mut other = CompileSession::new();
+        assert!(matches!(
+            other.restore(&decoded),
+            Err(PersistError::OptionsMismatch { .. })
+        ));
+        // So is a different variant cap: it changes the enumerate-vs-DP
+        // compile path, i.e. the decisions themselves.
+        let mut capped = CompileSession::with_options(opts.clone());
+        capped.set_variant_cap(10);
+        assert!(matches!(
+            capped.restore(&decoded),
+            Err(PersistError::OptionsMismatch { .. })
+        ));
+        assert_eq!(capped.num_cached_chains(), 0, "failed restore stays cold");
+        // Filtered restore keeps only the accepted shapes.
+        let mut half = CompileSession::with_options(opts);
+        assert_eq!(
+            half.restore_filtered(&decoded, |s| s.len() == 3).unwrap(),
+            1
+        );
+        assert_eq!(half.num_cached_chains(), 1);
     }
 
     #[test]

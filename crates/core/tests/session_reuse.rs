@@ -1,12 +1,15 @@
 //! Session-reuse guarantees: a long-lived [`CompileSession`] must behave
 //! exactly like a procession of fresh one-shot pipelines — same selected
 //! variants, bit-identical costs — while reusing its arenas, and the
-//! parallel feature must not change a single selected index.
+//! parallel feature must not change a single selected index. The same
+//! bar holds for the bounded cache and warm-restart persistence: LRU
+//! eviction only ever forgets (re-compiles are bit-identical), and a
+//! save → drop → load round trip emits byte-identical C++/Rust.
 
 use gmc_core::dp::optimal_cost_reference;
 use gmc_core::{
     expand_set, select_base_set, CompileOptions, CompileSession, CompiledChain, CostMatrix,
-    Objective,
+    Objective, SessionSnapshot,
 };
 use gmc_ir::{Instance, InstanceSampler, Operand, Shape};
 use proptest::prelude::*;
@@ -111,6 +114,100 @@ fn fifty_distinct_programs_through_one_session() {
         }
     }
     assert_eq!(session.num_shapes(), 50);
+}
+
+#[test]
+fn lru_eviction_at_capacity_recompiles_bit_identically() {
+    // A capacity-2 cache cycling through 4 shapes: the counters prove
+    // the LRU policy (oldest shape evicted), and the post-eviction
+    // recompile is bit-identical to the cached original.
+    let opts = CompileOptions {
+        training_instances: 80,
+        ..CompileOptions::default()
+    };
+    let mut session = CompileSession::with_options(opts);
+    session.set_chain_cache_capacity(2);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut shapes = Vec::new();
+    while shapes.len() < 4 {
+        if let Some(s) = random_shape(&mut rng, 3 + shapes.len() % 3) {
+            if !shapes.contains(&s) {
+                shapes.push(s);
+            }
+        }
+    }
+    let originals: Vec<CompiledChain> =
+        shapes.iter().map(|s| session.compile(s).unwrap()).collect();
+    // 4 compiles into capacity 2: all misses, 2 evictions (the oldest).
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (0, 4, 2));
+    assert_eq!(session.num_cached_chains(), 2);
+    // The two newest shapes are resident (hits); the two oldest were
+    // evicted and recompile from scratch, selecting identical variants.
+    for (i, shape) in shapes.iter().enumerate().rev() {
+        let again = session.compile(shape).unwrap();
+        assert_eq!(again.variants().len(), originals[i].variants().len());
+        for (a, b) in again.variants().iter().zip(originals[i].variants()) {
+            assert_eq!(a.paren(), b.paren(), "shape {i}");
+            assert_eq!(a.cost_poly(), b.cost_poly(), "shape {i}");
+        }
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.hits, 2, "shapes 3 and 2 were resident");
+    assert_eq!(stats.misses, 6, "shapes 1 and 0 re-selected");
+}
+
+#[test]
+fn save_drop_load_round_trip_emits_byte_identical_artifacts() {
+    let opts = CompileOptions {
+        training_instances: 120,
+        expand_by: 1,
+        ..CompileOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut shapes = Vec::new();
+    while shapes.len() < 6 {
+        if let Some(s) = random_shape(&mut rng, 2 + shapes.len() % 5) {
+            if !shapes.contains(&s) {
+                shapes.push(s);
+            }
+        }
+    }
+
+    // Original session: compile everything, emit, snapshot to disk.
+    let mut original = CompileSession::with_options(opts.clone());
+    let mut want = Vec::new();
+    for (i, shape) in shapes.iter().enumerate() {
+        let chain = original.compile(shape).unwrap();
+        let mut cpp = String::new();
+        gmc_codegen::emit_cpp_into(&mut cpp, &chain, &format!("f{i}"));
+        let mut rust = String::new();
+        gmc_codegen::emit_rust_into(&mut rust, &chain, &format!("f{i}"));
+        want.push((cpp, rust));
+    }
+    let dir = std::env::temp_dir().join("gmc_core_persist_roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("session.snap");
+    original.snapshot().save(&path).unwrap();
+    drop(original);
+
+    // Fresh process-equivalent: load and re-emit without re-selection.
+    let mut restored = CompileSession::with_options(opts);
+    let snap = SessionSnapshot::load(&path).unwrap();
+    assert_eq!(restored.restore(&snap).unwrap(), shapes.len());
+    for (i, shape) in shapes.iter().enumerate() {
+        let chain = restored.compile(shape).unwrap();
+        let mut cpp = String::new();
+        gmc_codegen::emit_cpp_into(&mut cpp, &chain, &format!("f{i}"));
+        let mut rust = String::new();
+        gmc_codegen::emit_rust_into(&mut rust, &chain, &format!("f{i}"));
+        assert_eq!(cpp, want[i].0, "C++ byte-identical for shape {i}");
+        assert_eq!(rust, want[i].1, "Rust byte-identical for shape {i}");
+    }
+    // And the counters prove no selection pipeline ran: all hits.
+    let stats = restored.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (shapes.len() as u64, 0));
 }
 
 proptest! {

@@ -3,9 +3,10 @@
 //! ```text
 //! gmcc chain.gmc --emit both --out generated/ --expand 1 --report
 //! gmcc a.gmc b.gmc c.gmc --jobs 4 --out generated/   # batch mode
+//! gmcc --serve - --jobs 4 --persist cache.snap       # JSONL daemon
 //! ```
 
-use gmc::driver::{parse_args, run, usage};
+use gmc::driver::{parse_args, run, run_serve, usage};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,10 +22,28 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if config.serve.is_some() {
+        // Request-level failures are reported in-band as `"ok":false`
+        // lines; only transport/snapshot problems are fatal.
+        match run_serve(&config) {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("gmcc: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     match run(&config) {
-        Ok(written) => {
-            for path in written {
+        Ok(outcome) => {
+            for path in &outcome.written {
                 println!("wrote {}", path.display());
+            }
+            for (input, e) in &outcome.failures {
+                eprintln!("gmcc: {}: {e}", input.display());
+            }
+            if !outcome.failures.is_empty() {
+                std::process::exit(1);
             }
         }
         Err(e) => {

@@ -62,10 +62,20 @@ pub struct DriverConfig {
     pub expand: usize,
     /// Training-instance count for selection.
     pub train: usize,
-    /// Worker threads for batch compilation (each owns a session).
+    /// Worker threads for batch compilation (each owns a session); in
+    /// serve mode, the shard count.
     pub jobs: usize,
     /// Print a human-readable variant report to stdout.
     pub report: bool,
+    /// Serve mode: read JSONL compile requests from this path (`-` for
+    /// stdin) and stream JSONL responses to stdout instead of compiling
+    /// `inputs`.
+    pub serve: Option<String>,
+    /// Per-shard compiled-chain cache capacity (serve mode).
+    pub cache_cap: usize,
+    /// Warm-restart snapshot file (serve mode): loaded on start if it
+    /// exists, written on shutdown.
+    pub persist: Option<PathBuf>,
 }
 
 /// Errors from the driver.
@@ -106,10 +116,35 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
         train: 1000,
         jobs: 1,
         report: false,
+        serve: None,
+        cache_cap: gmc_core::DEFAULT_CHAIN_CACHE_CAPACITY,
+        persist: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--serve" => {
+                config.serve = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            DriverError::Usage("--serve needs a path or `-` for stdin".into())
+                        })?
+                        .clone(),
+                );
+            }
+            "--cache-cap" => {
+                config.cache_cap = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| DriverError::Usage("--cache-cap needs an integer".into()))?;
+            }
+            "--persist" => {
+                config.persist = Some(
+                    it.next()
+                        .ok_or_else(|| DriverError::Usage("--persist needs a file path".into()))?
+                        .into(),
+                );
+            }
             "--out" => {
                 config.out_dir = it
                     .next()
@@ -155,7 +190,7 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
             path => config.inputs.push(PathBuf::from(path)),
         }
     }
-    if config.inputs.is_empty() {
+    if config.inputs.is_empty() && config.serve.is_none() {
         return Err(DriverError::Usage("missing input .gmc file".into()));
     }
     Ok(config)
@@ -200,21 +235,7 @@ fn compile_one(
         files.push((format!("{name}.rs"), buf.clone()));
     }
 
-    let mut report = format!(
-        "chain {} (n = {}), {} size-symbol class(es), {} variant(s) selected\n",
-        chain.shape(),
-        chain.shape().len(),
-        chain.shape().size_classes().num_classes(),
-        chain.variants().len(),
-    );
-    for (i, v) in chain.variants().iter().enumerate() {
-        report.push_str(&format!(
-            "  variant {i}: {}  cost = {}\n",
-            v.paren(),
-            v.cost_poly()
-        ));
-    }
-    Ok((files, report))
+    Ok((files, chain.describe()))
 }
 
 /// Compile a batch of `.gmc` sources, in input order, through shared
@@ -237,13 +258,60 @@ pub fn compile_batch(
     sources: &[String],
     config: &DriverConfig,
 ) -> Result<Vec<CompiledArtifacts>, DriverError> {
+    let (results, parse_failures) = compile_batch_inner(sources, config);
+    // Parse errors win over compile errors regardless of worker
+    // scheduling; otherwise the first failure in input order wins.
+    let first_err = parse_failures
+        .first()
+        .copied()
+        .or_else(|| results.iter().position(Result::is_err));
+    match first_err {
+        Some(i) => Err(results
+            .into_iter()
+            .nth(i)
+            .expect("index is in range")
+            .expect_err("position pointed at an error")),
+        None => Ok(results
+            .into_iter()
+            .map(|r| r.expect("no failures remain"))
+            .collect()),
+    }
+}
+
+/// [`compile_batch`] without the fail-fast contract: every input gets its
+/// own `Result`, so one broken program in a batch neither hides the
+/// diagnostics of the others nor suppresses their artifacts. Used by
+/// [`run`], which emits the successes and reports each failure.
+pub fn compile_batch_results(
+    sources: &[String],
+    config: &DriverConfig,
+) -> Vec<Result<CompiledArtifacts, DriverError>> {
+    compile_batch_inner(sources, config).0
+}
+
+/// Shared batch core. Returns per-input results plus the indices that
+/// failed at *parse* (as opposed to selection), which `compile_batch`
+/// needs for its error-priority contract.
+fn compile_batch_inner(
+    sources: &[String],
+    config: &DriverConfig,
+) -> (Vec<Result<CompiledArtifacts, DriverError>>, Vec<usize>) {
     // Parse everything first: names must be fixed (and deduplicated)
-    // before emission, and parse errors should win over compile errors
-    // regardless of worker scheduling.
-    let mut work: Vec<(Shape, String)> = Vec::with_capacity(sources.len());
+    // before emission. Only successfully parsed programs claim names.
+    let mut work: Vec<(usize, Shape, String)> = Vec::with_capacity(sources.len());
+    let mut parse_failures: Vec<usize> = Vec::new();
+    let mut results: Vec<Option<Result<CompiledArtifacts, DriverError>>> =
+        (0..sources.len()).map(|_| None).collect();
     let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
-    for source in sources {
-        let program = parse_program(source).map_err(|e| DriverError::Compile(e.to_string()))?;
+    for (index, source) in sources.iter().enumerate() {
+        let program = match parse_program(source) {
+            Ok(p) => p,
+            Err(e) => {
+                results[index] = Some(Err(DriverError::Compile(e.to_string())));
+                parse_failures.push(index);
+                continue;
+            }
+        };
         let base = match (&config.name, sources.len()) {
             (Some(name), 1) => name.clone(),
             _ => program.lhs().to_lowercase(),
@@ -256,23 +324,23 @@ pub fn compile_batch(
             k += 1;
             name = format!("{base}_{k}");
         }
-        work.push((program.shape().clone(), name));
+        work.push((index, program.shape().clone(), name));
     }
 
     let jobs = config.jobs.min(work.len()).max(1);
     let options = compile_options(config);
-    let mut results: Vec<Option<Result<CompiledArtifacts, DriverError>>> =
+    let mut compiled: Vec<Option<Result<CompiledArtifacts, DriverError>>> =
         (0..work.len()).map(|_| None).collect();
     if jobs > 1 {
         let chunk = work.len().div_ceil(jobs);
         let options = &options;
         let config_ref = config;
         std::thread::scope(|s| {
-            for (wchunk, rchunk) in work.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            for (wchunk, rchunk) in work.chunks(chunk).zip(compiled.chunks_mut(chunk)) {
                 s.spawn(move || {
                     let mut session = CompileSession::with_options(options.clone());
                     let mut buf = String::new();
-                    for ((shape, name), slot) in wchunk.iter().zip(rchunk.iter_mut()) {
+                    for ((_, shape, name), slot) in wchunk.iter().zip(rchunk.iter_mut()) {
                         *slot = Some(compile_one(&mut session, &mut buf, shape, name, config_ref));
                     }
                 });
@@ -281,19 +349,22 @@ pub fn compile_batch(
     } else {
         let mut session = CompileSession::with_options(options);
         let mut buf = String::new();
-        for ((shape, name), slot) in work.iter().zip(results.iter_mut()) {
+        for ((_, shape, name), slot) in work.iter().zip(compiled.iter_mut()) {
             *slot = Some(compile_one(&mut session, &mut buf, shape, name, config));
         }
     }
+    for ((index, _, _), result) in work.iter().zip(compiled) {
+        results[*index] = Some(result.expect("every parsed program compiled"));
+    }
 
-    let mut items: Vec<CompiledArtifacts> = results
+    let mut results: Vec<Result<CompiledArtifacts, DriverError>> = results
         .into_iter()
-        .map(|r| r.expect("every program compiled"))
-        .collect::<Result<_, _>>()?;
+        .map(|r| r.expect("every input produced a result"))
+        .collect();
     // The runtime header is a constant: keep only the first copy.
     let mut header_seen = false;
-    for (files, _) in &mut items {
-        files.retain(|(fname, _)| {
+    for files in results.iter_mut().filter_map(|r| r.as_mut().ok()) {
+        files.0.retain(|(fname, _)| {
             if fname == "gmc_runtime.hpp" {
                 if header_seen {
                     return false;
@@ -303,7 +374,7 @@ pub fn compile_batch(
             true
         });
     }
-    Ok(items)
+    (results, parse_failures)
 }
 
 /// Compile one `.gmc` source string and return the emitted artifacts as
@@ -320,33 +391,211 @@ pub fn compile_source(
     Ok(items.remove(0))
 }
 
+/// What one `gmcc` invocation accomplished: the artifacts written, plus
+/// the inputs that failed (each with its own diagnostic). The binary
+/// exits nonzero when `failures` is non-empty, but every healthy input
+/// still gets its artifacts — one broken file never takes down a batch.
+#[derive(Debug, Default)]
+pub struct RunOutcome {
+    /// Paths of all artifacts written.
+    pub written: Vec<PathBuf>,
+    /// `(input path, error)` for every input that failed to read, parse,
+    /// or compile.
+    pub failures: Vec<(PathBuf, DriverError)>,
+}
+
 /// Run the driver end to end: read the inputs, compile the batch, write
-/// artifacts.
+/// the artifacts of every input that succeeded, and report the rest in
+/// [`RunOutcome::failures`].
 ///
 /// # Errors
 ///
-/// Propagates I/O and compilation failures.
-pub fn run(config: &DriverConfig) -> Result<Vec<PathBuf>, DriverError> {
-    let sources: Vec<String> = config
-        .inputs
-        .iter()
-        .map(|p| std::fs::read_to_string(p).map_err(|e| DriverError::Io(p.clone(), e)))
-        .collect::<Result<_, _>>()?;
-    let items = compile_batch(&sources, config)?;
-    std::fs::create_dir_all(&config.out_dir)
-        .map_err(|e| DriverError::Io(config.out_dir.clone(), e))?;
-    let mut written = Vec::new();
-    for (files, report) in items {
-        for (fname, contents) in files {
-            let path: PathBuf = Path::new(&config.out_dir).join(fname);
-            std::fs::write(&path, contents).map_err(|e| DriverError::Io(path.clone(), e))?;
-            written.push(path);
-        }
-        if config.report {
-            print!("{report}");
+/// Only batch-fatal failures (e.g. an unwritable output directory) are
+/// returned as `Err`; per-input problems land in the outcome.
+pub fn run(config: &DriverConfig) -> Result<RunOutcome, DriverError> {
+    let mut outcome = RunOutcome::default();
+    // Read what we can; unreadable inputs become per-file failures.
+    let mut readable: Vec<usize> = Vec::with_capacity(config.inputs.len());
+    let mut sources: Vec<String> = Vec::with_capacity(config.inputs.len());
+    for (i, path) in config.inputs.iter().enumerate() {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                readable.push(i);
+                sources.push(text);
+            }
+            Err(e) => outcome
+                .failures
+                .push((path.clone(), DriverError::Io(path.clone(), e))),
         }
     }
-    Ok(written)
+    // `--name` is only honored for a single *requested* input; if read
+    // failures shrink a multi-file batch to one source, the override
+    // must not silently transfer to a different program.
+    let mut batch_config = config.clone();
+    if config.inputs.len() > 1 {
+        batch_config.name = None;
+    }
+    let results = compile_batch_results(&sources, &batch_config);
+    std::fs::create_dir_all(&config.out_dir)
+        .map_err(|e| DriverError::Io(config.out_dir.clone(), e))?;
+    for (input_idx, result) in readable.into_iter().zip(results) {
+        match result {
+            Ok((files, report)) => {
+                for (fname, contents) in files {
+                    let path: PathBuf = Path::new(&config.out_dir).join(fname);
+                    std::fs::write(&path, contents)
+                        .map_err(|e| DriverError::Io(path.clone(), e))?;
+                    outcome.written.push(path);
+                }
+                if config.report {
+                    print!("{report}");
+                }
+            }
+            Err(e) => outcome.failures.push((config.inputs[input_idx].clone(), e)),
+        }
+    }
+    // Keep diagnostics in input order even when reads and compiles fail
+    // for different files.
+    outcome
+        .failures
+        .sort_by_key(|(path, _)| config.inputs.iter().position(|p| p == path));
+    Ok(outcome)
+}
+
+/// Serve mode (`gmcc --serve <path|->`): front a
+/// [`gmc_serve::CompileService`] with JSONL requests from a file or
+/// stdin, streaming one JSONL response line per request to stdout (see
+/// [`gmc_serve::jsonl`] for the wire format). `--jobs` sets the shard
+/// count, `--cache-cap` bounds each shard's compiled-chain cache, and
+/// `--persist FILE` makes restarts warm: the snapshot is loaded on start
+/// (if present) and rewritten on shutdown. The C++ runtime header is
+/// attached to the first response that carries a `.cpp` artifact.
+///
+/// Returns `(requests, failed requests)`; request failures are reported
+/// in-band as `"ok":false` response lines, so the daemon itself exits
+/// zero unless the transport or snapshot is broken.
+///
+/// # Errors
+///
+/// Returns [`DriverError`] for transport-level problems: unreadable
+/// request source, a corrupt or incompatible snapshot, or a broken
+/// stdout pipe.
+pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
+    use gmc_serve::{jsonl, CompileRequest, CompileService, Emit, ServeConfig};
+    use std::io::{BufRead, Write};
+
+    let source = config
+        .serve
+        .as_deref()
+        .expect("serve mode requires --serve");
+    let reader: Box<dyn BufRead> = if source == "-" {
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    } else {
+        let path = PathBuf::from(source);
+        let file = std::fs::File::open(&path).map_err(|e| DriverError::Io(path, e))?;
+        Box::new(std::io::BufReader::new(file))
+    };
+    let default_emit = match config.emit {
+        EmitKind::Cpp => Emit::Cpp,
+        EmitKind::Rust => Emit::Rust,
+        EmitKind::Both => Emit::Both,
+    };
+    let mut service = CompileService::start(ServeConfig {
+        shards: config.jobs,
+        options: compile_options(config),
+        cache_capacity: config.cache_cap,
+        snapshot_path: config.persist.clone(),
+    })
+    .map_err(|e| DriverError::Compile(e.to_string()))?;
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut header_sent = false;
+    let mut failures: u64 = 0;
+    let mut emit_line = |mut response: gmc_serve::CompileResponse| -> Result<(), DriverError> {
+        if let Ok(artifacts) = &mut response.result {
+            if !header_sent && artifacts.files.iter().any(|(n, _)| n.ends_with(".cpp")) {
+                artifacts.files.insert(
+                    0,
+                    (
+                        "gmc_runtime.hpp".to_string(),
+                        gmc_serve::emit_runtime_header(),
+                    ),
+                );
+                header_sent = true;
+            }
+        } else {
+            failures += 1;
+        }
+        writeln!(out, "{}", jsonl::response_line(&response))
+            .map_err(|e| DriverError::Io(PathBuf::from("<stdout>"), e))
+    };
+    let error_response = |id: u64, msg: String| gmc_serve::CompileResponse {
+        id,
+        shard: None,
+        cache_hit: false,
+        result: Err(msg),
+    };
+
+    let mut requests: u64 = 0;
+    for line in reader.lines() {
+        let line = line.map_err(|e| DriverError::Io(PathBuf::from(source), e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        requests += 1;
+        // Requests without an explicit id (and malformed lines) are
+        // assigned their 1-based position in the stream, as documented
+        // in `gmc_serve::jsonl`; explicit ids are the client's own
+        // namespace and pass through untouched.
+        let stream_id = requests;
+        match jsonl::parse_request(&line) {
+            Ok(raw) => {
+                let id = raw.id.unwrap_or(stream_id);
+                match raw.emit.as_deref().map(Emit::parse) {
+                    None => service.submit(CompileRequest {
+                        id,
+                        name: raw.name,
+                        source: raw.source,
+                        emit: default_emit,
+                    }),
+                    Some(Ok(emit)) => service.submit(CompileRequest {
+                        id,
+                        name: raw.name,
+                        source: raw.source,
+                        emit,
+                    }),
+                    Some(Err(msg)) => emit_line(error_response(id, msg))?,
+                }
+            }
+            Err(msg) => emit_line(error_response(
+                stream_id,
+                format!("bad request line: {msg}"),
+            ))?,
+        }
+        // Stream whatever has already finished before blocking on more
+        // input.
+        while let Some(response) = service.try_recv() {
+            emit_line(response)?;
+        }
+    }
+    while let Some(response) = service.recv() {
+        emit_line(response)?;
+    }
+    if let Some(path) = &config.persist {
+        service
+            .save_snapshot(path)
+            .map_err(|e| DriverError::Compile(e.to_string()))?;
+    }
+    let stats = service.shutdown();
+    eprintln!(
+        "gmcc --serve: {requests} request(s), {failures} failed, {} shard(s), \
+         {} cache hit(s), {} restored from snapshot",
+        stats.shards.len(),
+        stats.cache_hits(),
+        stats.restored(),
+    );
+    Ok((requests, failures))
 }
 
 /// Usage text for `gmcc --help`.
@@ -357,14 +606,25 @@ pub fn usage() -> &'static str {
 USAGE:
     gmcc <input.gmc>... [--out DIR] [--name IDENT] [--emit cpp|rust|both]
          [--expand K] [--train N] [--jobs N] [--report]
+    gmcc --serve <requests.jsonl|-> [--jobs SHARDS] [--cache-cap N]
+         [--persist FILE] [--emit cpp|rust|both] [--expand K] [--train N]
 
 Multiple inputs compile as one batch ( --jobs N splits it across N
-worker threads; artifacts are identical for every N). Each input file
-uses the grammar of Fig. 2 of the paper:
+worker threads; artifacts are identical for every N). A failing input
+is reported per file and exits nonzero, but the rest of the batch still
+emits. Each input file uses the grammar of Fig. 2 of the paper:
 
     Matrix A <General, Singular>;
     Matrix L <LowerTri, NonSingular>;
     X := A * L^-1;
+
+With --serve, gmcc becomes a sharded compile service: each line of the
+request source is a JSON object like
+    {\"id\": 1, \"name\": \"x\", \"emit\": \"both\", \"source\": \"...\"}
+and each response is streamed back as one JSON line. --jobs sets the
+shard count (requests route by shape hash, so repeat shapes hit a warm
+shard); --persist FILE snapshots the compiled-chain caches on shutdown
+and restores them on the next start.
 "
 }
 
@@ -521,9 +781,10 @@ mod tests {
             "50".into(),
         ])
         .unwrap();
-        let written = run(&config).unwrap();
-        assert_eq!(written.len(), 2);
-        assert!(written.iter().all(|p| p.exists()));
+        let outcome = run(&config).unwrap();
+        assert!(outcome.failures.is_empty());
+        assert_eq!(outcome.written.len(), 2);
+        assert!(outcome.written.iter().all(|p| p.exists()));
     }
 
     #[test]
@@ -548,9 +809,138 @@ mod tests {
             "2".into(),
         ])
         .unwrap();
-        let written = run(&config).unwrap();
+        let outcome = run(&config).unwrap();
+        assert!(outcome.failures.is_empty());
         // x.cpp, gmc_runtime.hpp, x.rs, y.cpp, y.rs
-        assert_eq!(written.len(), 5);
-        assert!(written.iter().all(|p| p.exists()));
+        assert_eq!(outcome.written.len(), 5);
+        assert!(outcome.written.iter().all(|p| p.exists()));
+    }
+
+    #[test]
+    fn batch_results_report_each_failure_without_stopping() {
+        let c = cfg(&["--emit", "cpp", "--train", "40"]);
+        let sources = vec![
+            SRC.to_string(),
+            "Matrix A <General, Singular>; X := B;".to_string(), // undefined B
+            SRC2.to_string(),
+        ];
+        let results = compile_batch_results(&sources, &c);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok(), "healthy input before the failure");
+        assert!(results[1]
+            .as_ref()
+            .unwrap_err()
+            .to_string()
+            .contains("undefined matrix"));
+        let after: Vec<&str> = results[2]
+            .as_ref()
+            .unwrap()
+            .0
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(after, vec!["y.cpp"], "input after the failure still emits");
+        // The fail-fast wrapper keeps its contract: first (parse) error.
+        assert!(compile_batch(&sources, &c).is_err());
+    }
+
+    #[test]
+    fn end_to_end_batch_emits_successes_and_exits_dirty() {
+        let dir = std::env::temp_dir().join("gmcc_test_out_hardened");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.gmc");
+        let bad = dir.join("bad.gmc");
+        let missing = dir.join("missing.gmc");
+        std::fs::write(&good, SRC).unwrap();
+        std::fs::write(&bad, "Matrix A <General, Singular>; X := B;").unwrap();
+        let config = parse_args(&[
+            good.to_string_lossy().into_owned(),
+            bad.to_string_lossy().into_owned(),
+            missing.to_string_lossy().into_owned(),
+            "--out".into(),
+            dir.to_string_lossy().into_owned(),
+            "--emit".into(),
+            "cpp".into(),
+            "--train".into(),
+            "40".into(),
+        ])
+        .unwrap();
+        let outcome = run(&config).unwrap();
+        // The good program's artifacts exist despite two sick siblings.
+        assert_eq!(outcome.written.len(), 2, "x.cpp + runtime header");
+        assert!(outcome.written.iter().all(|p| p.exists()));
+        // Each failure is tagged with its own input path, in input order.
+        assert_eq!(outcome.failures.len(), 2);
+        assert_eq!(outcome.failures[0].0, bad);
+        assert!(outcome.failures[0]
+            .1
+            .to_string()
+            .contains("undefined matrix"));
+        assert_eq!(outcome.failures[1].0, missing);
+        assert!(matches!(outcome.failures[1].1, DriverError::Io(..)));
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let c = parse_args(&[
+            "--serve".into(),
+            "-".into(),
+            "--jobs".into(),
+            "3".into(),
+            "--cache-cap".into(),
+            "17".into(),
+            "--persist".into(),
+            "snap.txt".into(),
+        ])
+        .unwrap();
+        assert_eq!(c.serve.as_deref(), Some("-"));
+        assert_eq!(c.jobs, 3);
+        assert_eq!(c.cache_cap, 17);
+        assert_eq!(c.persist, Some(PathBuf::from("snap.txt")));
+        assert!(c.inputs.is_empty(), "serve mode needs no inputs");
+        // Without --serve, missing inputs stay an error.
+        assert!(matches!(
+            parse_args(&["--cache-cap".into(), "9".into()]),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_end_to_end_streams_jsonl_and_persists() {
+        let dir = std::env::temp_dir().join("gmcc_serve_e2e");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests = dir.join("requests.jsonl");
+        let snapshot = dir.join("cache.snap");
+        let src = SRC.replace('\n', " ");
+        std::fs::write(
+            &requests,
+            format!(
+                "{{\"id\": 1, \"emit\": \"both\", \"source\": \"{src}\"}}\n\
+                 {{\"id\": 2, \"source\": \"not a program\"}}\n\
+                 {{\"id\": 3, \"source\": \"{src}\"}}\n"
+            ),
+        )
+        .unwrap();
+        let config = parse_args(&[
+            "--serve".into(),
+            requests.to_string_lossy().into_owned(),
+            "--jobs".into(),
+            "2".into(),
+            "--train".into(),
+            "40".into(),
+            "--persist".into(),
+            snapshot.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        let (requests_seen, failures) = run_serve(&config).unwrap();
+        assert_eq!((requests_seen, failures), (3, 1));
+        // The snapshot persisted the one distinct shape for warm restarts.
+        let text = std::fs::read_to_string(&snapshot).unwrap();
+        assert!(text.starts_with("gmc-session-snapshot v1"));
+        assert_eq!(text.matches("\nshape ").count(), 1);
+        let (_, failures_again) = run_serve(&config).unwrap();
+        assert_eq!(failures_again, 1, "restart serves the same stream");
     }
 }

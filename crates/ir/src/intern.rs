@@ -80,6 +80,17 @@ impl ShapeInterner {
     pub fn is_empty(&self) -> bool {
         self.shapes.is_empty()
     }
+
+    /// Iterate `(id, shape)` pairs in dense-id order — the serialization
+    /// order used by session snapshots, so persisted structures can
+    /// reference shapes by their `u32` ids instead of repeating
+    /// descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = (ShapeId, &Shape)> {
+        self.shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ShapeId(i as u32), s))
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +117,7 @@ mod tests {
         assert_eq!(interner.lookup(&Shape::new(vec![g]).unwrap()), None);
         assert_eq!(a.index(), 0);
         assert_eq!(b.index(), 1);
+        let pairs: Vec<(ShapeId, &Shape)> = interner.iter().collect();
+        assert_eq!(pairs, vec![(a, &s2), (b, &s3)], "iter is dense-id order");
     }
 }

@@ -73,6 +73,80 @@ impl Operand {
         self.features.is_valid() && (!self.inverted || self.features.property.is_invertible())
     }
 
+    /// Compact textual code for persistence: one structure letter
+    /// (`G`/`S`/`L`/`U`), one property letter (`s`ingular,
+    /// `n`on-singular, s`p`d, `o`rthogonal), then optional `t`
+    /// (transposed) and `i` (inverted) flags, in that order. Examples:
+    /// `Gs`, `Lni`, `Gsti`. Round-trips through
+    /// [`Operand::from_compact`].
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let s = match self.features.structure {
+            Structure::General => 'G',
+            Structure::Symmetric => 'S',
+            Structure::LowerTri => 'L',
+            Structure::UpperTri => 'U',
+        };
+        let p = match self.features.property {
+            Property::Singular => 's',
+            Property::NonSingular => 'n',
+            Property::Spd => 'p',
+            Property::Orthogonal => 'o',
+        };
+        let mut out = String::with_capacity(4);
+        out.push(s);
+        out.push(p);
+        if self.transposed {
+            out.push('t');
+        }
+        if self.inverted {
+            out.push('i');
+        }
+        out
+    }
+
+    /// Parse an operand code produced by [`Operand::compact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed code. Feature *validity*
+    /// (e.g. inverting a singular matrix) is not checked here; validate
+    /// through [`crate::Shape::new`].
+    pub fn from_compact(code: &str) -> Result<Operand, String> {
+        let mut chars = code.chars();
+        let structure = match chars.next() {
+            Some('G') => Structure::General,
+            Some('S') => Structure::Symmetric,
+            Some('L') => Structure::LowerTri,
+            Some('U') => Structure::UpperTri,
+            other => return Err(format!("bad structure letter {other:?} in `{code}`")),
+        };
+        let property = match chars.next() {
+            Some('s') => Property::Singular,
+            Some('n') => Property::NonSingular,
+            Some('p') => Property::Spd,
+            Some('o') => Property::Orthogonal,
+            other => return Err(format!("bad property letter {other:?} in `{code}`")),
+        };
+        let mut op = Operand::plain(Features::new(structure, property));
+        let rest: Vec<char> = chars.collect();
+        match rest.as_slice() {
+            [] => {}
+            ['t'] => op.transposed = true,
+            ['i'] => op.inverted = true,
+            ['t', 'i'] => {
+                op.transposed = true;
+                op.inverted = true;
+            }
+            _ => {
+                return Err(format!(
+                    "bad operator flags in `{code}` (expect t, i, or ti)"
+                ))
+            }
+        }
+        Ok(op)
+    }
+
     /// The ten feature/operator options used in the paper's experiments
     /// (Sec. VII-A): general singular; general inverted; SPD plain or
     /// inverted; lower/upper triangular singular, nonsingular, or inverted.
@@ -145,6 +219,26 @@ mod tests {
             .transposed()
             .transposed();
         assert!(!o.transposed);
+    }
+
+    #[test]
+    fn compact_codes_round_trip() {
+        // Every experiment option, plus transposed combinations.
+        let mut ops = Operand::experiment_options();
+        ops.extend(
+            Operand::experiment_options()
+                .into_iter()
+                .map(Operand::transposed),
+        );
+        for op in ops {
+            let code = op.compact();
+            assert_eq!(Operand::from_compact(&code), Ok(op), "code `{code}`");
+        }
+        assert_eq!(Operand::plain(Features::general()).compact(), "Gs");
+        assert!(Operand::from_compact("").is_err());
+        assert!(Operand::from_compact("G").is_err());
+        assert!(Operand::from_compact("Gsx").is_err());
+        assert!(Operand::from_compact("Gsit").is_err(), "flags are ordered");
     }
 
     #[test]

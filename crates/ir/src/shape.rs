@@ -139,6 +139,32 @@ impl Shape {
         self.operands.iter().filter(|o| o.forces_square()).count()
     }
 
+    /// Compact, parseable single-line code for persistence:
+    /// space-joined [`Operand::compact`] codes, e.g. `Gs Lni Gst`.
+    /// Round-trips through [`Shape::from_compact`].
+    #[must_use]
+    pub fn compact(&self) -> String {
+        self.operands
+            .iter()
+            .map(Operand::compact)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Parse a shape code produced by [`Shape::compact`], re-validating
+    /// the operand combination exactly as [`Shape::new`] does.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed or invalid code.
+    pub fn from_compact(code: &str) -> Result<Shape, String> {
+        let operands: Vec<Operand> = code
+            .split_whitespace()
+            .map(Operand::from_compact)
+            .collect::<Result<_, _>>()?;
+        Shape::new(operands).map_err(|e| e.to_string())
+    }
+
     /// A compact single-line description, e.g. `G * L^-1 * G^T`.
     #[must_use]
     pub fn brief(&self) -> String {
@@ -232,6 +258,17 @@ mod tests {
         assert_eq!(classes.find(3), classes.find(4));
         assert_ne!(classes.find(1), classes.find(2));
         assert_ne!(classes.find(4), classes.find(5));
+    }
+
+    #[test]
+    fn compact_round_trips() {
+        let shape = Shape::new(vec![g(), l_inv(), g().transposed()]).unwrap();
+        let code = shape.compact();
+        assert_eq!(code, "Gs Lni Gst");
+        assert_eq!(Shape::from_compact(&code), Ok(shape));
+        // Invalid operand combinations are rejected on parse, like `new`.
+        assert!(Shape::from_compact("Gsi").is_err(), "inverted singular");
+        assert!(Shape::from_compact("").is_err(), "empty chain");
     }
 
     #[test]

@@ -24,22 +24,27 @@
 //!
 //! # Blocking parameters
 //!
-//! | param | value     | constraint |
-//! |-------|-----------|------------|
-//! | `MR`  | 16        | rows of the register tile (multiple of the SIMD width) |
-//! | `NR`  | 14 or 6   | columns of the register tile (14 with AVX-512, else 6) |
-//! | `KC`  | 256       | depth panel; a `KC x NR` B micro-panel stays near L1 |
-//! | `MC`  | 128       | row block; the packed `MC x KC` A block stays L2-resident |
-//! | `NC`  | 4096      | column stripe; bounds the packed B stripe (`KC*NC` doubles) |
+//! | param | value      | constraint |
+//! |-------|------------|------------|
+//! | `MR`  | 16         | rows of the register tile (multiple of the SIMD width) |
+//! | `NR`  | 14, 4 or 6 | columns of the register tile (14 AVX-512, 4 AVX2, else 6) |
+//! | `KC`  | 256        | depth panel; a `KC x NR` B micro-panel stays near L1 |
+//! | `MC`  | 128        | row block; the packed `MC x KC` A block stays L2-resident |
+//! | `NC`  | 4096       | column stripe; bounds the packed B stripe (`KC*NC` doubles) |
 //!
-//! On x86-64 the micro-kernel is selected **at runtime**: if
-//! `is_x86_feature_detected!("avx512f")` reports support, an explicit
-//! `std::arch` intrinsics kernel runs — a 16x14 tile in 28 zmm
-//! accumulators, compiled with `#[target_feature(enable = "avx512f")]` so
-//! it exists even in binaries built without `target-cpu=native`; otherwise
-//! (and on every other architecture) a safe autovectorizable 16x6 kernel
-//! is used. Detection is a cached flag, checked once per `gemm_core`
-//! call, far outside the inner loops. Measured numbers are tracked in
+//! On x86-64 the micro-kernel is selected **at runtime** down a
+//! three-rung ladder, so binaries built without `target-cpu=native`
+//! still hit the widest path the executing CPU supports:
+//!
+//! 1. `avx512f` → an explicit `std::arch` 16x14 tile in 28 zmm
+//!    accumulators (`#[target_feature(enable = "avx512f")]`);
+//! 2. `avx2` + `fma` → a 16x4 tile filling all 16 ymm registers with
+//!    accumulators, for the in-between host generations;
+//! 3. otherwise (and on every other architecture) a safe
+//!    autovectorizable 16x6 kernel.
+//!
+//! Detection is a cached flag, checked once per `gemm_core` call, far
+//! outside the inner loops. Measured numbers are tracked in
 //! `BENCH_gemm.json` via `cargo run --release --bin bench_gemm`.
 //!
 //! Padding in the packed buffers makes every micro-kernel invocation a
@@ -82,6 +87,12 @@ pub const MR: usize = 16;
 /// BLIS skylake-x shape).
 #[cfg(target_arch = "x86_64")]
 const NR_AVX512: usize = 14;
+/// Columns of the AVX2 register micro-tile: 16x4 keeps the accumulator in
+/// all 16 ymm registers; the A vectors fold into the FMA's memory
+/// operand, so only the B broadcast transiently spills. Selected on hosts
+/// with AVX2+FMA but no AVX-512 (the "in-between" generations).
+#[cfg(target_arch = "x86_64")]
+const NR_AVX2: usize = 4;
 /// Columns of the portable register micro-tile: 16x6 keeps the
 /// autovectorized kernel inside 16 ymm registers' worth of accumulators
 /// without spilling.
@@ -500,6 +511,24 @@ fn avx512_available() -> bool {
     }
 }
 
+/// Cached runtime CPU-feature probe for the middle rung of the dispatch
+/// ladder: AVX2 *and* FMA (both are required by the 16x4 kernel, and
+/// pre-FMA AVX2 parts exist).
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static CACHE: AtomicU8 = AtomicU8::new(0); // 0 = unknown, 1 = no, 2 = yes
+    match CACHE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let yes = std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma");
+            CACHE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+    }
+}
+
 /// The micro-tile width the runtime dispatcher selects on this machine
 /// (used by the parallel column-stripe split; serial builds inline the
 /// choice inside [`gemm_core`]).
@@ -509,6 +538,8 @@ pub(crate) fn nr_runtime() -> usize {
     {
         if avx512_available() {
             NR_AVX512
+        } else if avx2_available() {
+            NR_AVX2
         } else {
             NR_PORTABLE
         }
@@ -556,6 +587,26 @@ pub(crate) fn gemm_core(
             c,
             ldc,
             micro_kernel_avx512_entry,
+        );
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        gemm_core_n::<NR_AVX2>(
+            ws,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            ars,
+            acs,
+            b,
+            brs,
+            bcs,
+            c,
+            ldc,
+            micro_kernel_avx2_entry,
         );
         return;
     }
@@ -838,6 +889,96 @@ unsafe fn micro_kernel_avx512(
             for (j, col) in tile.iter_mut().enumerate() {
                 _mm512_storeu_pd(col.as_mut_ptr(), acc[AV * j]);
                 _mm512_storeu_pd(col.as_mut_ptr().add(LANES), acc[AV * j + 1]);
+            }
+            for j in 0..n_eff {
+                let col = &mut c[j * ldc..j * ldc + m_eff];
+                for (i, ci) in col.iter_mut().enumerate() {
+                    *ci += alpha * tile[j][i];
+                }
+            }
+        }
+    }
+}
+
+/// Safe entry to the AVX2 micro-kernel.
+///
+/// Only reachable from [`gemm_core`] after [`avx2_available`] returned
+/// `true`, which is the safety contract of the `target_feature` call.
+#[cfg(target_arch = "x86_64")]
+fn micro_kernel_avx2_entry(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    debug_assert!(avx2_available(), "dispatcher must gate this path");
+    // SAFETY: the dispatcher selected this entry only after runtime
+    // detection of avx2 + fma on the executing CPU.
+    unsafe { micro_kernel_avx2(alpha, ap, bp, c, ldc, m_eff, n_eff) }
+}
+
+/// Register-tiled AVX2+FMA micro-kernel over `kc x NR_AVX2` packed
+/// panels — the middle rung of the runtime dispatch ladder (AVX-512 >
+/// AVX2 > portable autovec), for the hosts where a portable build would
+/// otherwise fall to the SSE2 baseline. Same packed-panel safety
+/// contract as the AVX-512 kernel above; the 16x4 tile fills all 16 ymm
+/// registers with accumulators and lets the FMA's memory operand stream
+/// the L1-hot A panel.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn micro_kernel_avx2(
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    ldc: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    use std::arch::x86_64::{
+        _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_storeu_pd,
+    };
+    const NR: usize = NR_AVX2;
+    const LANES: usize = 4;
+    const AV: usize = MR / LANES; // A vectors per k step
+    debug_assert_eq!(ap.len() % MR, 0);
+    debug_assert_eq!(bp.len() / NR, ap.len() / MR);
+
+    let kc = ap.len() / MR;
+    unsafe {
+        let mut acc = [_mm256_setzero_pd(); AV * NR];
+        let mut apt = ap.as_ptr();
+        let mut bpt = bp.as_ptr();
+        for _ in 0..kc {
+            for j in 0..NR {
+                let bj = _mm256_set1_pd(*bpt.add(j));
+                for v in 0..AV {
+                    let av = _mm256_loadu_pd(apt.add(v * LANES));
+                    acc[AV * j + v] = _mm256_fmadd_pd(av, bj, acc[AV * j + v]);
+                }
+            }
+            apt = apt.add(MR);
+            bpt = bpt.add(NR);
+        }
+        if m_eff == MR && n_eff == NR {
+            let va = _mm256_set1_pd(alpha);
+            for j in 0..NR {
+                let cp = c.as_mut_ptr().add(j * ldc);
+                for v in 0..AV {
+                    let cv = _mm256_loadu_pd(cp.add(v * LANES));
+                    _mm256_storeu_pd(cp.add(v * LANES), _mm256_fmadd_pd(acc[AV * j + v], va, cv));
+                }
+            }
+        } else {
+            // Ragged edge: spill the tile and apply a masked scalar update.
+            let mut tile = [[0.0f64; MR]; NR];
+            for (j, col) in tile.iter_mut().enumerate() {
+                for v in 0..AV {
+                    _mm256_storeu_pd(col.as_mut_ptr().add(v * LANES), acc[AV * j + v]);
+                }
             }
             for j in 0..n_eff {
                 let col = &mut c[j * ldc..j * ldc + m_eff];
@@ -1180,23 +1321,61 @@ mod tests {
     #[cfg(target_arch = "x86_64")]
     #[test]
     fn runtime_isa_paths_agree() {
-        if !std::is_x86_feature_detected!("avx512f") {
-            // The dispatcher would never pick the wide tile here; nothing
-            // to cross-check.
-            return;
-        }
         let (m, n, k) = (2 * MR + 5, 2 * NR_AVX512 + 3, KC + 9);
         let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 9) as f64 - 4.0);
         let b = Matrix::from_fn(k, n, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
-        let mut wide = Matrix::zeros(m, n);
-        run_core::<NR_AVX512>(micro_kernel_avx512_entry, &a, &b, &mut wide);
         let mut narrow = Matrix::zeros(m, n);
         run_core::<NR_PORTABLE>(micro_kernel_portable::<NR_PORTABLE>, &a, &b, &mut narrow);
-        for (i, j, v) in wide.iter_indexed() {
-            assert!(
-                (v - narrow.get(i, j)).abs() < 1e-10,
-                "isa mismatch at ({i},{j})"
-            );
+        // Cross-check every ISA rung the executing CPU supports against
+        // the portable tile.
+        let mut checked = Vec::new();
+        if std::is_x86_feature_detected!("avx512f") {
+            let mut wide = Matrix::zeros(m, n);
+            run_core::<NR_AVX512>(micro_kernel_avx512_entry, &a, &b, &mut wide);
+            checked.push(("avx512", wide));
+        }
+        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+            let mut mid = Matrix::zeros(m, n);
+            run_core::<NR_AVX2>(micro_kernel_avx2_entry, &a, &b, &mut mid);
+            checked.push(("avx2", mid));
+        }
+        for (isa, got) in checked {
+            for (i, j, v) in got.iter_indexed() {
+                assert!(
+                    (v - narrow.get(i, j)).abs() < 1e-10,
+                    "{isa} mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_micro_kernel_matches_scalar_on_ragged_edges() {
+        if !(std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")) {
+            return;
+        }
+        // Sizes straddling the 16x4 tile: full tiles, ragged rows, ragged
+        // columns, and sub-tile problems.
+        for &(m, n, k) in &[
+            (MR, NR_AVX2, 7),
+            (MR - 3, NR_AVX2 - 1, 5),
+            (2 * MR + 3, 3 * NR_AVX2 + 2, KC + 5),
+            (MC + 1, NR_AVX2, 33),
+            (5, 2 * NR_AVX2 + 1, KC - 1),
+        ] {
+            let a = Matrix::from_fn(m, k, |i, j| ((3 * i + 5 * j) % 11) as f64 - 4.0);
+            let b = Matrix::from_fn(k, n, |i, j| ((2 * i + 7 * j) % 13) as f64 - 6.0);
+            let mut want = Matrix::zeros(m, n);
+            gemm_scalar(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut want);
+            let mut got = Matrix::zeros(m, n);
+            run_core::<NR_AVX2>(micro_kernel_avx2_entry, &a, &b, &mut got);
+            for (i, j, v) in got.iter_indexed() {
+                assert!(
+                    (v - want.get(i, j)).abs() < 1e-10,
+                    "({m},{n},{k}) at ({i},{j})"
+                );
+            }
         }
     }
 

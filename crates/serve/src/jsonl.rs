@@ -1,0 +1,384 @@
+//! Minimal JSONL wire format for the `gmcc --serve` daemon.
+//!
+//! One JSON object per line. Requests are flat objects:
+//!
+//! ```text
+//! {"id": 1, "name": "x", "emit": "both", "source": "Matrix A <General, Singular>; ..."}
+//! ```
+//!
+//! `source` is required; `id` (default: position in the stream), `name`
+//! (default: the program's left-hand side), and `emit`
+//! (`cpp`/`rust`/`both`, default: the daemon's `--emit`) are optional.
+//! Responses are one line per request, in completion order:
+//!
+//! ```text
+//! {"id":1,"ok":true,"shard":0,"cache_hit":false,
+//!  "files":[{"name":"x.cpp","content":"..."}],"report":"..."}
+//! {"id":2,"ok":false,"error":"parse error: ..."}
+//! ```
+//!
+//! The build environment vendors no JSON crate, so this module carries a
+//! deliberately small hand parser: flat objects, string/unsigned-integer
+//! /boolean/null values, full string escapes (including `\uXXXX` with
+//! surrogate pairs). Nested containers are rejected — the protocol never
+//! produces them in requests.
+
+use crate::CompileResponse;
+use std::fmt::Write as _;
+
+/// A parsed request line, before defaults are applied.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RawRequest {
+    /// Explicit request id, if given.
+    pub id: Option<u64>,
+    /// Artifact base name, if given.
+    pub name: Option<String>,
+    /// Emit selector (`cpp`/`rust`/`both`), if given.
+    pub emit: Option<String>,
+    /// The `.gmc` program text.
+    pub source: String,
+}
+
+/// Parse one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the malformed JSON or a
+/// missing `source` field.
+pub fn parse_request(line: &str) -> Result<RawRequest, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let mut request = RawRequest::default();
+    let mut have_source = false;
+    p.ws();
+    p.eat(b'{')?;
+    p.ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.ws();
+            let key = p.string()?;
+            p.ws();
+            p.eat(b':')?;
+            p.ws();
+            match key.as_str() {
+                "id" => request.id = Some(p.unsigned()?),
+                "name" => request.name = Some(p.string()?),
+                "emit" => request.emit = Some(p.string()?),
+                "source" => {
+                    request.source = p.string()?;
+                    have_source = true;
+                }
+                _ => p.skip_scalar()?,
+            }
+            p.ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected `,` or `}}`, got {}", show(other))),
+            }
+        }
+    }
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after the JSON object".into());
+    }
+    if !have_source {
+        return Err("request is missing the `source` field".into());
+    }
+    Ok(request)
+}
+
+/// Render one response line (newline not included).
+#[must_use]
+pub fn response_line(response: &CompileResponse) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"id\":{}", response.id);
+    match &response.result {
+        Ok(artifacts) => {
+            out.push_str(",\"ok\":true");
+            if let Some(shard) = response.shard {
+                let _ = write!(out, ",\"shard\":{shard}");
+            }
+            let _ = write!(out, ",\"cache_hit\":{}", response.cache_hit);
+            out.push_str(",\"files\":[");
+            for (i, (name, contents)) in artifacts.files.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"content\":\"{}\"}}",
+                    escape(name),
+                    escape(contents)
+                );
+            }
+            let _ = write!(out, "],\"report\":\"{}\"}}", escape(&artifacts.report));
+        }
+        Err(e) => {
+            let _ = write!(out, ",\"ok\":false,\"error\":\"{}\"}}", escape(e));
+        }
+    }
+    out
+}
+
+/// JSON-escape a string (quotes, backslashes, and control characters).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn show(b: Option<u8>) -> String {
+    match b {
+        Some(b) => format!("`{}`", b as char),
+        None => "end of line".to_string(),
+    }
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected `{}`, got {}", want as char, show(other))),
+        }
+    }
+
+    fn unsigned(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number, got {}", show(self.peek())));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|_| "number out of range".to_string())
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .next()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| "bad \\u escape".to_string())?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            if self.next() != Some(b'\\') || self.next() != Some(b'u') {
+                                return Err("lone high surrogate".into());
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("bad low surrogate".into());
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(char::from_u32(code).ok_or_else(|| "bad \\u escape".to_string())?);
+                    }
+                    other => return Err(format!("bad escape {}", show(other))),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let start = self.pos - 1;
+                    while self.peek().is_some_and(|b| (b & 0xC0) == 0x80) {
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid utf8 in string".to_string())?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    /// Skip an ignored scalar value (string, number, boolean, null).
+    fn skip_scalar(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b) if b.is_ascii_digit() || b == b'-' => {
+                self.pos += 1;
+                while self
+                    .peek()
+                    .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            other => Err(format!(
+                "unsupported value starting with {} (nested objects/arrays are not part of the protocol)",
+                show(other)
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal, expected `{word}`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Artifacts;
+
+    #[test]
+    fn parses_a_full_request() {
+        let line = r#"{"id": 7, "name": "kalman", "emit": "both", "source": "X := A * B;\n", "extra": null}"#;
+        let r = parse_request(line).unwrap();
+        assert_eq!(r.id, Some(7));
+        assert_eq!(r.name.as_deref(), Some("kalman"));
+        assert_eq!(r.emit.as_deref(), Some("both"));
+        assert_eq!(r.source, "X := A * B;\n");
+    }
+
+    #[test]
+    fn defaults_stay_unset() {
+        let r = parse_request(r#"{"source":"X := A;"}"#).unwrap();
+        assert_eq!(
+            r,
+            RawRequest {
+                id: None,
+                name: None,
+                emit: None,
+                source: "X := A;".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip_through_parse() {
+        let source = "line1\nline2\t\"quoted\" \\ backslash \u{8} ünïcode 🦀";
+        let line = format!(r#"{{"source":"{}"}}"#, escape(source));
+        let r = parse_request(&line).unwrap();
+        assert_eq!(r.source, source);
+        // Explicit \u escapes, including a surrogate pair.
+        let r = parse_request("{\"source\":\"\\u0041\\uD83E\\uDD80\"}").unwrap();
+        assert_eq!(r.source, "A\u{1F980}");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            r#"{"id": 1}"#,
+            r#"{"source": "x" "#,
+            r#"{"source": "x"} trailing"#,
+            r#"{"source": ["x"]}"#,
+            r#"{"id": -3, "source": "x"}"#,
+            r#"{"source": "\uD800"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_valid_and_escaped() {
+        let ok = CompileResponse {
+            id: 3,
+            shard: Some(1),
+            cache_hit: true,
+            result: Ok(Artifacts {
+                files: vec![("x.cpp".into(), "void x();\n// \"quoted\"".into())],
+                report: "chain G\n".into(),
+            }),
+        };
+        let line = response_line(&ok);
+        assert_eq!(
+            line,
+            "{\"id\":3,\"ok\":true,\"shard\":1,\"cache_hit\":true,\"files\":[{\"name\":\"x.cpp\",\
+             \"content\":\"void x();\\n// \\\"quoted\\\"\"}],\"report\":\"chain G\\n\"}"
+        );
+        let err = CompileResponse {
+            id: 4,
+            shard: None,
+            cache_hit: false,
+            result: Err("parse error: line 1".into()),
+        };
+        assert_eq!(
+            response_line(&err),
+            "{\"id\":4,\"ok\":false,\"error\":\"parse error: line 1\"}"
+        );
+    }
+}

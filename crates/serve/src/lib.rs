@@ -1,0 +1,744 @@
+//! `gmc-serve`: a sharded compile service on top of
+//! [`gmc_core::CompileSession`].
+//!
+//! The one-shot `gmcc` pipeline dies cold after every invocation; this
+//! crate is the serving layer that keeps it warm. It is the PlanB shape
+//! — a compact persisted structure plus a bounded in-memory cache turns
+//! a per-request computation into a lookup:
+//!
+//! * **Shard pool.** [`CompileService::start`] spawns `shards` worker
+//!   threads, each owning one `CompileSession` (sessions are
+//!   single-threaded by design — one per worker, never shared).
+//! * **Shape-hash routing.** [`CompileService::submit`] parses the
+//!   request in the submitting thread and routes it by [`route`] — a
+//!   stable hash of the chain *shape* modulo the shard count — so
+//!   repeated shapes always land on the shard whose bounded LRU cache
+//!   (and warm DP solver) already holds them. Routing is a performance
+//!   hint only: every shard can compile every shape, and compilation is
+//!   deterministic, so artifacts are identical wherever a request lands.
+//! * **Warm-restart persistence.** [`CompileService::snapshot`] merges
+//!   the per-shard caches into one
+//!   [`gmc_core::SessionSnapshot`] — shape descriptors plus selected
+//!   parenthesizations, *not* emitted code (see `gmc_core::persist` for
+//!   the `gmc-session-snapshot v1` format). On start, each shard
+//!   restores exactly the shapes that route to it under the *current*
+//!   shard count, so snapshots survive resharding. Restored chains are
+//!   bit-identical to freshly compiled ones (pinned by tests below):
+//!   the first request for a persisted shape is a cache hit, no
+//!   enumeration/DP/expansion runs.
+//!
+//! Responses stream back over a channel as shards finish, tagged with
+//! the caller's request id (completion order is not submission order).
+//! The `gmcc --serve` daemon fronts this API with JSONL over
+//! stdin/stdout ([`jsonl`]); `bench_serve` records the cold vs. warm
+//! vs. restored-from-disk throughput trajectory in `BENCH_serve.json`.
+
+#![warn(missing_docs)]
+
+pub mod jsonl;
+
+pub use gmc_codegen::emit_runtime_header;
+use gmc_codegen::{emit_cpp_into, emit_rust_into};
+use gmc_core::{
+    CompileOptions, CompileSession, PersistError, SessionSnapshot, DEFAULT_CHAIN_CACHE_CAPACITY,
+};
+use gmc_ir::grammar::parse_program;
+use gmc_ir::Shape;
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Which back-end(s) a request wants emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Emit {
+    /// C++ translation unit (runtime header served separately).
+    #[default]
+    Cpp,
+    /// Rust module.
+    Rust,
+    /// Both back-ends.
+    Both,
+}
+
+impl Emit {
+    /// Parse an emit selector (`cpp`, `rust`, or `both`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown value.
+    pub fn parse(s: &str) -> Result<Emit, String> {
+        match s {
+            "cpp" => Ok(Emit::Cpp),
+            "rust" => Ok(Emit::Rust),
+            "both" => Ok(Emit::Both),
+            other => Err(format!("unknown emit value `{other}`")),
+        }
+    }
+}
+
+/// One compile request.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Base name for emitted functions/files; defaults to the program's
+    /// left-hand-side identifier, lowercased.
+    pub name: Option<String>,
+    /// The `.gmc` program text.
+    pub source: String,
+    /// Back-end selection.
+    pub emit: Emit,
+}
+
+/// The artifacts of one successful compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifacts {
+    /// Emitted `(file name, contents)` pairs.
+    pub files: Vec<(String, String)>,
+    /// Human-readable variant report
+    /// ([`gmc_core::CompiledChain::describe`]).
+    pub report: String,
+}
+
+/// One compile response (streamed; completion order ≠ submission order).
+#[derive(Debug)]
+pub struct CompileResponse {
+    /// The request id.
+    pub id: u64,
+    /// Which shard served it (`None` if the request failed before
+    /// routing, i.e. at parse).
+    pub shard: Option<usize>,
+    /// `true` if the shard's compiled-chain cache already held the shape
+    /// (including chains restored from a snapshot).
+    pub cache_hit: bool,
+    /// The artifacts, or a rendered error.
+    pub result: Result<Artifacts, String>,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker count; each worker owns one session. `0` is treated as 1.
+    pub shards: usize,
+    /// Compile options for every shard (must match a restored snapshot's
+    /// fingerprint).
+    pub options: CompileOptions,
+    /// Per-shard compiled-chain cache capacity.
+    pub cache_capacity: usize,
+    /// Snapshot file for warm restarts: loaded on start when it exists
+    /// (missing file = cold start, not an error); written by
+    /// [`CompileService::save_snapshot`].
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            options: CompileOptions::default(),
+            cache_capacity: DEFAULT_CHAIN_CACHE_CAPACITY,
+            snapshot_path: None,
+        }
+    }
+}
+
+/// Per-shard observability counters, collected at shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Requests this shard served.
+    pub requests: u64,
+    /// Compiled-chain cache hits.
+    pub cache_hits: u64,
+    /// Cache misses (full selection pipeline ran).
+    pub cache_misses: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Chains restored from the snapshot at startup.
+    pub restored: usize,
+}
+
+/// Whole-service counters returned by [`CompileService::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Total requests across shards.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total cache hits across shards.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Total chains restored from the startup snapshot.
+    #[must_use]
+    pub fn restored(&self) -> usize {
+        self.shards.iter().map(|s| s.restored).sum()
+    }
+}
+
+/// Errors from starting or persisting the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Loading or saving the snapshot failed.
+    Persist(PersistError),
+    /// The snapshot was taken under different compile options.
+    SnapshotMismatch {
+        /// The snapshot's options fingerprint.
+        found: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Persist(e) => write!(f, "snapshot error: {e}"),
+            ServeError::SnapshotMismatch { found } => write!(
+                f,
+                "snapshot options fingerprint `{found}` does not match the service options \
+                 (recompile cold or delete the snapshot)"
+            ),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Persist(e) => Some(e),
+            ServeError::SnapshotMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}
+
+/// Stable shard routing: hash of the chain shape modulo the shard count.
+///
+/// Uses `DefaultHasher::new()` (fixed keys, process-independent), so a
+/// restarted service with the same shard count routes every shape to the
+/// shard that restored it. Correctness never depends on this stability:
+/// the startup restore filters with the *same* function in the same
+/// process, and any shard compiles any shape identically.
+#[must_use]
+pub fn route(shape: &Shape, shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    shape.hash(&mut h);
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// Work items a shard receives.
+enum Job {
+    Compile(Box<CompileJob>),
+    Snapshot(Sender<SessionSnapshot>),
+}
+
+struct CompileJob {
+    id: u64,
+    name: String,
+    shape: Shape,
+    emit: Emit,
+}
+
+/// A running sharded compile service (see the [module docs](self)).
+pub struct CompileService {
+    job_txs: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<ShardStats>>,
+    results_tx: Sender<CompileResponse>,
+    results_rx: Receiver<CompileResponse>,
+    pending: usize,
+    /// Outstanding responses per shard, so a crashed worker (a shard
+    /// thread only exits early by panicking) can be written off instead
+    /// of blocking [`CompileService::recv`] forever.
+    pending_by_shard: Vec<usize>,
+}
+
+impl CompileService {
+    /// Spawn the shard pool, restoring the snapshot in
+    /// `config.snapshot_path` (when present) into the shards its shapes
+    /// route to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the snapshot exists but is unreadable,
+    /// malformed, or was taken under different compile options.
+    pub fn start(config: ServeConfig) -> Result<CompileService, ServeError> {
+        let shards = config.shards.max(1);
+        let snapshot = match &config.snapshot_path {
+            Some(path) if path.exists() => {
+                let snap = SessionSnapshot::load(path)?;
+                if !snap.compatible_with(&config.options) {
+                    return Err(ServeError::SnapshotMismatch {
+                        found: snap.options_fingerprint().to_string(),
+                    });
+                }
+                Some(Arc::new(snap))
+            }
+            _ => None,
+        };
+        let (results_tx, results_rx) = channel();
+        let mut job_txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = channel();
+            let results = results_tx.clone();
+            let options = config.options.clone();
+            let capacity = config.cache_capacity;
+            let snap = snapshot.clone();
+            handles.push(std::thread::spawn(move || {
+                shard_main(index, shards, rx, &results, options, capacity, snap)
+            }));
+            job_txs.push(tx);
+        }
+        Ok(CompileService {
+            job_txs,
+            handles,
+            results_tx,
+            results_rx,
+            pending: 0,
+            pending_by_shard: vec![0; shards],
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Outstanding responses (submitted minus received).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Parse, route, and enqueue a request. Parse failures produce an
+    /// error *response* (with `shard: None`) rather than an error here,
+    /// so one bad request never stalls a stream.
+    pub fn submit(&mut self, request: CompileRequest) {
+        self.pending += 1;
+        let program = match parse_program(&request.source) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = self.results_tx.send(CompileResponse {
+                    id: request.id,
+                    shard: None,
+                    cache_hit: false,
+                    result: Err(format!("parse error: {e}")),
+                });
+                return;
+            }
+        };
+        let name = request.name.unwrap_or_else(|| program.lhs().to_lowercase());
+        let shape = program.shape().clone();
+        let shard = route(&shape, self.shards());
+        let id = request.id;
+        let job = Job::Compile(Box::new(CompileJob {
+            id,
+            name,
+            shape,
+            emit: request.emit,
+        }));
+        // A send only fails if the worker panicked; answer in-band so
+        // the caller's pending count still balances.
+        if self.job_txs[shard].send(job).is_ok() {
+            self.pending_by_shard[shard] += 1;
+        } else {
+            let _ = self.results_tx.send(CompileResponse {
+                id,
+                shard: None,
+                cache_hit: false,
+                result: Err(format!("shard {shard} worker terminated unexpectedly")),
+            });
+        }
+    }
+
+    fn note_received(&mut self, response: &CompileResponse) {
+        self.pending -= 1;
+        if let Some(shard) = response.shard {
+            self.pending_by_shard[shard] = self.pending_by_shard[shard].saturating_sub(1);
+        }
+    }
+
+    /// Write off the outstanding requests of any shard whose thread has
+    /// exited while the service still holds its job sender — which only
+    /// happens if the worker panicked. Their responses will never
+    /// arrive; waiting for them would hang [`CompileService::recv`].
+    fn reap_dead_shards(&mut self) {
+        for (shard, handle) in self.handles.iter().enumerate() {
+            if self.pending_by_shard[shard] > 0 && handle.is_finished() {
+                self.pending -= self.pending_by_shard[shard];
+                self.pending_by_shard[shard] = 0;
+            }
+        }
+    }
+
+    /// Block for the next response; `None` once nothing is outstanding
+    /// (including requests written off because their shard crashed).
+    pub fn recv(&mut self) -> Option<CompileResponse> {
+        loop {
+            if self.pending == 0 {
+                return None;
+            }
+            match self
+                .results_rx
+                .recv_timeout(std::time::Duration::from_millis(50))
+            {
+                Ok(r) => {
+                    self.note_received(&r);
+                    return Some(r);
+                }
+                // The channel was idle for a beat: check for crashed
+                // shards before waiting again (buffered responses are
+                // always drained first, so a dead shard's surviving
+                // output is never thrown away).
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => self.reap_dead_shards(),
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// The next response only if one is already available.
+    pub fn try_recv(&mut self) -> Option<CompileResponse> {
+        if self.pending == 0 {
+            return None;
+        }
+        match self.results_rx.try_recv() {
+            Ok(r) => {
+                self.note_received(&r);
+                Some(r)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Receive every outstanding response (blocking).
+    pub fn drain(&mut self) -> Vec<CompileResponse> {
+        let mut out = Vec::with_capacity(self.pending);
+        while let Some(r) = self.recv() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Merge every shard's compiled-chain cache into one snapshot.
+    /// Waits for shards to reach the snapshot job, so submit-then-
+    /// snapshot sees all prior compiles of each shard's queue.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut merged: Option<SessionSnapshot> = None;
+        for tx in &self.job_txs {
+            let (reply_tx, reply_rx) = channel();
+            let _ = tx.send(Job::Snapshot(reply_tx));
+            if let Ok(snap) = reply_rx.recv() {
+                merged = Some(match merged.take() {
+                    None => snap,
+                    Some(mut m) => {
+                        // Shards share one options fingerprint by
+                        // construction, so merge cannot fail.
+                        let _ = m.merge(snap);
+                        m
+                    }
+                });
+            }
+        }
+        merged.expect("service has at least one shard")
+    }
+
+    /// [`CompileService::snapshot`] straight to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        Ok(self.snapshot().save(path)?)
+    }
+
+    /// Stop accepting work, join every shard, and return the collected
+    /// per-shard counters.
+    #[must_use]
+    pub fn shutdown(self) -> ServiceStats {
+        let CompileService {
+            job_txs, handles, ..
+        } = self;
+        drop(job_txs);
+        let shards = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect();
+        ServiceStats { shards }
+    }
+}
+
+fn shard_main(
+    index: usize,
+    shards: usize,
+    jobs: Receiver<Job>,
+    results: &Sender<CompileResponse>,
+    options: CompileOptions,
+    cache_capacity: usize,
+    snapshot: Option<Arc<SessionSnapshot>>,
+) -> ShardStats {
+    let mut session = CompileSession::with_options(options);
+    session.set_chain_cache_capacity(cache_capacity);
+    let mut stats = ShardStats::default();
+    if let Some(snap) = snapshot {
+        // Compatibility was validated in `start`. A rebuild failure
+        // (corrupted decisions) degrades to a genuinely cold shard —
+        // restore inserts nothing on error — and is worth a diagnostic,
+        // since the operator should delete the snapshot.
+        match session.restore_filtered(&snap, |shape| route(shape, shards) == index) {
+            Ok(n) => stats.restored = n,
+            Err(e) => eprintln!("gmc-serve: shard {index}: snapshot restore failed: {e}"),
+        }
+    }
+    let mut buf = String::new();
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Compile(job) => {
+                stats.requests += 1;
+                let hits_before = session.cache_stats().hits;
+                let result = match session.compile(&job.shape) {
+                    Ok(chain) => {
+                        let mut files = Vec::new();
+                        if matches!(job.emit, Emit::Cpp | Emit::Both) {
+                            buf.clear();
+                            emit_cpp_into(&mut buf, &chain, &job.name);
+                            files.push((format!("{}.cpp", job.name), buf.clone()));
+                        }
+                        if matches!(job.emit, Emit::Rust | Emit::Both) {
+                            buf.clear();
+                            emit_rust_into(&mut buf, &chain, &job.name);
+                            files.push((format!("{}.rs", job.name), buf.clone()));
+                        }
+                        Ok(Artifacts {
+                            files,
+                            report: chain.describe(),
+                        })
+                    }
+                    Err(e) => Err(format!("compile error: {e}")),
+                };
+                let response = CompileResponse {
+                    id: job.id,
+                    shard: Some(index),
+                    cache_hit: session.cache_stats().hits > hits_before,
+                    result,
+                };
+                let _ = results.send(response);
+            }
+            Job::Snapshot(reply) => {
+                let _ = reply.send(session.snapshot());
+            }
+        }
+    }
+    let cache = session.cache_stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+    stats.evictions = cache.evictions;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC_A: &str = "
+        Matrix A <General, Singular>;
+        Matrix L <LowerTri, NonSingular>;
+        Matrix B <General, Singular>;
+        X := A * L^-1 * B;
+    ";
+    const SRC_B: &str = "
+        Matrix H <General, Singular>;
+        Matrix P <Symmetric, SPD>;
+        Y := H * P^-1;
+    ";
+    const SRC_C: &str = "
+        Matrix A <General, Singular>;
+        Matrix B <General, Singular>;
+        Matrix C <General, Singular>;
+        Matrix D <General, Singular>;
+        Z := A * B * C * D;
+    ";
+
+    fn fast_options() -> CompileOptions {
+        CompileOptions {
+            training_instances: 60,
+            ..CompileOptions::default()
+        }
+    }
+
+    fn config(shards: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            options: fast_options(),
+            ..ServeConfig::default()
+        }
+    }
+
+    fn request(id: u64, source: &str) -> CompileRequest {
+        CompileRequest {
+            id,
+            name: None,
+            source: source.to_string(),
+            emit: Emit::Both,
+        }
+    }
+
+    fn by_id(mut responses: Vec<CompileResponse>) -> Vec<CompileResponse> {
+        responses.sort_by_key(|r| r.id);
+        responses
+    }
+
+    #[test]
+    fn sharded_service_compiles_and_caches() {
+        let mut service = CompileService::start(config(2)).unwrap();
+        for round in 0..2u64 {
+            for (i, src) in [SRC_A, SRC_B, SRC_C].iter().enumerate() {
+                service.submit(request(round * 3 + i as u64, src));
+            }
+        }
+        let responses = by_id(service.drain());
+        assert_eq!(responses.len(), 6);
+        for r in &responses {
+            let artifacts = r.result.as_ref().expect("compiles succeed");
+            assert_eq!(artifacts.files.len(), 2, "cpp + rust");
+            assert!(artifacts.report.contains("variant 0"));
+            assert_eq!(r.cache_hit, r.id >= 3, "second round hits, id {}", r.id);
+        }
+        // Identical sources repeat on the same shard and artifacts.
+        for i in 0..3 {
+            assert_eq!(responses[i].shard, responses[i + 3].shard);
+            assert_eq!(
+                responses[i].result.as_ref().unwrap(),
+                responses[i + 3].result.as_ref().unwrap()
+            );
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.requests(), 6);
+        assert_eq!(stats.cache_hits(), 3);
+    }
+
+    #[test]
+    fn parse_errors_come_back_as_responses() {
+        let mut service = CompileService::start(config(1)).unwrap();
+        service.submit(request(7, "Matrix A <General, Singular>; X := B;"));
+        service.submit(request(8, SRC_B));
+        let responses = by_id(service.drain());
+        assert_eq!(responses.len(), 2);
+        assert!(responses[0]
+            .result
+            .as_ref()
+            .unwrap_err()
+            .contains("undefined"));
+        assert_eq!(responses[0].shard, None);
+        assert!(responses[1].result.is_ok(), "stream continues past errors");
+    }
+
+    #[test]
+    fn snapshot_restart_restores_warm_and_byte_identical() {
+        let dir = std::env::temp_dir().join("gmc_serve_snapshot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.txt");
+
+        let mut cfg = config(2);
+        cfg.snapshot_path = Some(path.clone());
+        let mut cold = CompileService::start(cfg.clone()).unwrap();
+        for (i, src) in [SRC_A, SRC_B, SRC_C].iter().enumerate() {
+            cold.submit(request(i as u64, src));
+        }
+        let cold_responses = by_id(cold.drain());
+        cold.save_snapshot(&path).unwrap();
+        let cold_stats = cold.shutdown();
+        assert_eq!(cold_stats.cache_hits(), 0);
+
+        // Restart — same shard count: every first request is a cache hit
+        // and every artifact is byte-identical to the cold compile.
+        let mut warm = CompileService::start(cfg).unwrap();
+        for (i, src) in [SRC_A, SRC_B, SRC_C].iter().enumerate() {
+            warm.submit(request(i as u64, src));
+        }
+        let warm_responses = by_id(warm.drain());
+        for (c, w) in cold_responses.iter().zip(&warm_responses) {
+            assert!(w.cache_hit, "restored chain serves id {} warm", w.id);
+            assert_eq!(
+                c.result.as_ref().unwrap(),
+                w.result.as_ref().unwrap(),
+                "byte-identical artifacts for id {}",
+                w.id
+            );
+        }
+        let warm_stats = warm.shutdown();
+        assert_eq!(warm_stats.restored(), 3);
+        assert_eq!(warm_stats.cache_hits(), 3);
+
+        // Resharding still works: shapes re-route, nothing is lost.
+        let mut resharded_cfg = config(3);
+        resharded_cfg.snapshot_path = Some(path.clone());
+        let mut resharded = CompileService::start(resharded_cfg).unwrap();
+        assert_eq!(resharded.shards(), 3);
+        for (i, src) in [SRC_A, SRC_B, SRC_C].iter().enumerate() {
+            resharded.submit(request(i as u64, src));
+        }
+        for r in resharded.drain() {
+            assert!(r.cache_hit, "restored across reshard, id {}", r.id);
+        }
+        let stats = resharded.shutdown();
+        assert_eq!(stats.restored(), 3);
+    }
+
+    #[test]
+    fn snapshot_with_other_options_is_refused() {
+        let dir = std::env::temp_dir().join("gmc_serve_mismatch_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.txt");
+        let mut cfg = config(1);
+        cfg.snapshot_path = Some(path.clone());
+        let mut service = CompileService::start(cfg).unwrap();
+        service.submit(request(0, SRC_B));
+        service.drain();
+        service.save_snapshot(&path).unwrap();
+        let _ = service.shutdown();
+
+        let mismatched = ServeConfig {
+            shards: 1,
+            options: CompileOptions {
+                training_instances: 61,
+                ..CompileOptions::default()
+            },
+            cache_capacity: DEFAULT_CHAIN_CACHE_CAPACITY,
+            snapshot_path: Some(path),
+        };
+        assert!(matches!(
+            CompileService::start(mismatched),
+            Err(ServeError::SnapshotMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let program = parse_program(SRC_A).unwrap();
+        for shards in 1..=5 {
+            let r = route(program.shape(), shards);
+            assert!(r < shards);
+            assert_eq!(r, route(program.shape(), shards), "stable");
+        }
+    }
+}

@@ -26,18 +26,52 @@
 //! each is a thin wrapper over throwaway session state, and every
 //! session method is **bit-identical** to its one-shot counterpart.
 //!
-//! Two knobs scale the pipeline:
+//! # The serving layer (`gmc-serve`)
+//!
+//! On top of the session sits the serving subsystem, which keeps the
+//! pipeline warm across requests *and across restarts*:
+//!
+//! * **Sharded service** (`gmc_serve::CompileService`): N worker
+//!   threads, each owning one session, fed through a work queue.
+//!   Requests are parsed in the submitting thread and routed by a
+//!   stable hash of the chain *shape* modulo the shard count, so repeat
+//!   shapes always land on the shard whose caches are already warm.
+//!   Routing is purely a performance hint — compilation is
+//!   deterministic, so artifacts are identical wherever a request lands.
+//! * **Bounded chain cache**: each session's compiled-chain cache is
+//!   LRU-bounded (`CompileSession::set_chain_cache_capacity`) with
+//!   hit/miss/eviction counters (`cache_stats`) for observability; the
+//!   one-shot CLI and the service share the same implementation.
+//! * **Warm-restart persistence** (`gmc_core::persist`): the cache
+//!   snapshots to a compact text format — shape descriptors (via
+//!   `ShapeInterner` dense ids) plus selected parenthesizations, never
+//!   emitted code — and `restore()` re-lowers each tree with the
+//!   deterministic builder, yielding **byte-identical** artifacts
+//!   without re-running enumeration/DP/expansion.
+//! * **`gmcc --serve <path|->`**: a JSONL daemon fronting the service
+//!   (one request object per line in, one response line out;
+//!   `--persist FILE` makes restarts warm). Batch mode is hardened the
+//!   same way: per-file diagnostics, healthy inputs still emit, dirty
+//!   exit code.
+//!
+//! Three knobs scale the pipeline:
 //!
 //! * the `parallel` cargo feature threads variant enumeration, the
 //!   cost-matrix fill, and the Algorithm-1 candidate scan (plus GEMM
 //!   column stripes in `gmc-linalg`) through the vendored rayon shim —
 //!   with results pinned bit-identical to serial by a property test
 //!   (`crates/core/tests/session_reuse.rs`);
+//! * `CompileOptions::scan_stripe` tunes the candidate-scan task
+//!   granularity for many-core hosts without rebuilding (bit-identical
+//!   for every value);
 //! * the `gmcc` driver compiles whole batches (`gmcc a.gmc b.gmc
-//!   --jobs N`), one session per worker thread.
+//!   --jobs N`), one session per worker thread — or serves forever with
+//!   `--serve`.
 //!
 //! Selection latency is tracked in `BENCH_select.json`
-//! (`cargo run --release --features parallel --bin bench_select`),
+//! (`cargo run --release --features parallel --bin bench_select`), the
+//! serving trajectory (cold vs. warm vs. restored-from-disk) in
+//! `BENCH_serve.json` (`cargo run --release --bin bench_serve`),
 //! alongside `BENCH_gemm.json` / `BENCH_dp.json` for the kernel and DP
 //! trajectories.
 
