@@ -1,11 +1,14 @@
 //! Compiler-latency trajectory harness: times the flat interned DP solver
-//! against the original HashMap formulation on 20-operand chains and
-//! writes `BENCH_dp.json`.
+//! against the original HashMap formulation on 20-operand chains — cold
+//! (fresh solver per solve) and warm (one reusable [`DpSolver`], its
+//! interner/memo/arena allocation-free after the first solve, with the
+//! final-state fold running on the selection engine's shared
+//! first-strict-minimum reduction) — and writes `BENCH_dp.json`.
 //!
-//! Run with `cargo run --release --bin bench_dp [output.json]`.
+//! Run with `cargo run --release --bin bench_dp [--smoke] [output.json]`.
 
 use gmc_core::dp::optimal_cost_reference;
-use gmc_core::optimal_cost;
+use gmc_core::{optimal_cost, DpSolver};
 use gmc_ir::{Features, Instance, Operand, Property, Shape, Structure};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -21,9 +24,15 @@ fn best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_dp.json".to_owned());
+    let mut out_path = "BENCH_dp.json".to_owned();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let g = Operand::plain(Features::general());
     let l = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular));
     let chains: [(&str, Vec<Operand>); 2] = [
@@ -39,33 +48,43 @@ fn main() {
         let shape = Shape::new(ops).unwrap();
         let sizes: Vec<u64> = (0..21).map(|i| 2 + (i * 37) % 100).collect();
         let inst = Instance::new(sizes);
-        // Warm-up + sanity: both solvers must agree bit-for-bit.
+        // Warm-up + sanity: all solvers must agree bit-for-bit.
+        let mut solver = DpSolver::new(&shape);
+        let warm_cost = solver.optimal_cost(&inst).unwrap();
         let fast_cost = optimal_cost(&shape, &inst).unwrap();
         let ref_cost = optimal_cost_reference(&shape, &inst).unwrap();
         assert_eq!(fast_cost.to_bits(), ref_cost.to_bits(), "solver mismatch");
+        assert_eq!(warm_cost.to_bits(), fast_cost.to_bits(), "warm mismatch");
 
-        let reps = 300;
+        let reps = if smoke { 5 } else { 300 };
         let flat = best_of(reps, || optimal_cost(&shape, &inst).unwrap());
+        let warm = best_of(reps, || solver.optimal_cost(&inst).unwrap());
         let reference = best_of(reps, || optimal_cost_reference(&shape, &inst).unwrap());
         println!(
-            "{name:<12} flat {:8.1} us   reference {:8.1} us   speedup {:.2}x",
+            "{name:<12} warm {:8.1} us   flat {:8.1} us   reference {:8.1} us   \
+             speedup {:.2}x (warm {:.2}x)",
+            warm * 1e6,
             flat * 1e6,
             reference * 1e6,
-            reference / flat
+            reference / flat,
+            reference / warm,
         );
-        rows.push((name, flat, reference));
+        rows.push((name, warm, flat, reference));
     }
 
     let mut json =
         String::from("{\n  \"bench\": \"optimal_cost\",\n  \"unit\": \"us\",\n  \"chains\": [\n");
-    for (idx, (name, flat, reference)) in rows.iter().enumerate() {
+    for (idx, (name, warm, flat, reference)) in rows.iter().enumerate() {
         let comma = if idx + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"chain\": \"{name}\", \"flat_us\": {:.2}, \"reference_us\": {:.2}, \"speedup\": {:.4}}}{comma}",
+            "    {{\"chain\": \"{name}\", \"warm_us\": {:.2}, \"flat_us\": {:.2}, \
+             \"reference_us\": {:.2}, \"speedup\": {:.4}, \"warm_speedup\": {:.4}}}{comma}",
+            warm * 1e6,
             flat * 1e6,
             reference * 1e6,
-            reference / flat
+            reference / flat,
+            reference / warm
         );
     }
     json.push_str("  ]\n}\n");

@@ -1,24 +1,32 @@
 //! End-to-end selection-latency trajectory: enumerate the Catalan-132
 //! pool of a 7-operand chain, fill the cost matrix, select the Theorem-2
-//! base set, and run the Algorithm-1 expansion — once with a serial
-//! session (`jobs = 1`) and once with the session's full thread budget —
+//! base set, and run the Algorithm-1 expansion — once on the engine's
+//! forced-portable (scalar) rung, once on the host's best SIMD rung
+//! (both `jobs = 1`), and once with the session's full thread budget —
 //! writing `BENCH_select.json`.
 //!
-//! The two runs must select identical variant sets (the session pins
-//! parallel == serial bit for bit); only wall-clock may differ. Build
-//! with `--features parallel` to exercise the threaded scan; without the
-//! feature (or on a single-core host) the "parallel" row degenerates to
-//! serial and the JSON says so.
+//! All runs must select identical variant sets: the engine's canonical
+//! blocked reduction makes scalar == AVX2 == AVX-512 bit for bit, and
+//! the session pins parallel == serial; only wall-clock may differ. The
+//! recorded `speedup_vs_pr3` compares the SIMD single-thread time to
+//! the 7.498 ms the pre-engine (PR 3) scalar pipeline measured on the
+//! same workload and host.
 //!
-//! Run with `cargo run --release [--features parallel] --bin bench_select
-//! [output.json]`.
+//! Run with `cargo run --release [--features parallel] --bin
+//! bench_select [--smoke] [output.json]`.
 
+use gmc_core::simd::{self, SimdLevel};
 use gmc_core::{CompileSession, Objective};
 use gmc_ir::{Features, InstanceSampler, Operand, Shape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Single-thread end-to-end selection latency of the PR 3 pipeline on
+/// this workload (dev host), the baseline the tentpole is measured
+/// against (see `BENCH_select.json` history).
+const PR3_SERIAL_MS: f64 = 7.498;
 
 /// One full selection pass; returns the expanded index set.
 fn select_once(session: &mut CompileSession, shape: &Shape) -> Vec<usize> {
@@ -52,9 +60,15 @@ fn best_of<F: FnMut() -> Vec<usize>>(reps: usize, mut f: F) -> (f64, Vec<usize>)
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_select.json".to_owned());
+    let mut out_path = "BENCH_select.json".to_owned();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let g = Operand::plain(Features::general());
     // n = 7: Catalan(6) = 132 variants, the paper's experiment scale.
     let shape = Shape::new(vec![g; 7]).unwrap();
@@ -63,35 +77,57 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let parallel_feature = cfg!(feature = "parallel");
+    let simd_level = simd::active_level();
 
-    let reps = 20;
-    let mut serial_session = CompileSession::new();
-    serial_session.set_jobs(1);
-    let (serial_s, serial_set) = best_of(reps, || select_once(&mut serial_session, &shape));
+    let reps = if smoke { 2 } else { 20 };
 
+    // Scalar rung, jobs = 1: the engine's portable reference path.
+    simd::force_level(Some(SimdLevel::Portable));
+    let mut scalar_session = CompileSession::new();
+    scalar_session.set_jobs(1);
+    let (scalar_s, scalar_set) = best_of(reps, || select_once(&mut scalar_session, &shape));
+
+    // Best SIMD rung, jobs = 1: the single-thread headline.
+    simd::force_level(None);
+    let mut simd_session = CompileSession::new();
+    simd_session.set_jobs(1);
+    let (simd_s, simd_set) = best_of(reps, || select_once(&mut simd_session, &shape));
+
+    // Full thread budget on the SIMD rung (1x on the 1-core dev host).
     let mut parallel_session = CompileSession::new();
     parallel_session.set_jobs(host_threads.max(2));
     let (parallel_s, parallel_set) = best_of(reps, || select_once(&mut parallel_session, &shape));
 
     assert_eq!(
-        serial_set, parallel_set,
+        scalar_set, simd_set,
+        "scalar and SIMD selection must pick the identical variant set"
+    );
+    assert_eq!(
+        simd_set, parallel_set,
         "parallel selection must pick the identical variant set"
     );
 
-    let speedup = serial_s / parallel_s;
+    let scalar_vs_simd = scalar_s / simd_s;
+    let speedup_vs_pr3 = PR3_SERIAL_MS / (simd_s * 1e3);
+    let parallel_speedup = simd_s / parallel_s;
     let note = if !parallel_feature {
-        "parallel feature disabled: both rows ran the serial scan"
+        "parallel feature disabled: the parallel row ran the serial scan"
     } else if host_threads == 1 {
         "single-core host: thread budget caps the parallel path at 1x"
     } else {
         "serial vs threaded candidate scan on the same pool"
     };
     println!(
-        "selection n=7 pool=132: serial {:8.2} ms   jobs={} {:8.2} ms   speedup {:.2}x ({note})",
-        serial_s * 1e3,
+        "selection n=7 pool=132: scalar {:7.3} ms   {} {:7.3} ms ({:.2}x)   \
+         jobs={} {:7.3} ms   vs PR3 baseline {:.2} ms: {:.2}x",
+        scalar_s * 1e3,
+        simd_level.name(),
+        simd_s * 1e3,
+        scalar_vs_simd,
         parallel_session.jobs(),
         parallel_s * 1e3,
-        speedup
+        PR3_SERIAL_MS,
+        speedup_vs_pr3,
     );
 
     let mut json = String::from("{\n  \"bench\": \"selection_end_to_end\",\n  \"unit\": \"ms\",\n");
@@ -100,10 +136,22 @@ fn main() {
     let _ = writeln!(json, "  \"training_instances\": 400,");
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(json, "  \"parallel_feature\": {parallel_feature},");
-    let _ = writeln!(json, "  \"serial_ms\": {:.3},", serial_s * 1e3);
+    let _ = writeln!(json, "  \"simd_level\": \"{}\",", simd_level.name());
+    let _ = writeln!(json, "  \"scalar_ms\": {:.3},", scalar_s * 1e3);
+    let _ = writeln!(json, "  \"simd_ms\": {:.3},", simd_s * 1e3);
+    let _ = writeln!(json, "  \"scalar_vs_simd_speedup\": {scalar_vs_simd:.4},");
+    let _ = writeln!(json, "  \"pr3_serial_ms\": {PR3_SERIAL_MS},");
+    let _ = writeln!(json, "  \"speedup_vs_pr3\": {speedup_vs_pr3:.4},");
+    let _ = writeln!(
+        json,
+        "  \"pr3_baseline_note\": \"pr3_serial_ms was measured on the 1-core AVX-512 dev \
+         host; speedup_vs_pr3 is only meaningful on that host\","
+    );
+    let _ = writeln!(json, "  \"serial_ms\": {:.3},", simd_s * 1e3);
     let _ = writeln!(json, "  \"parallel_ms\": {:.3},", parallel_s * 1e3);
-    let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
-    let _ = writeln!(json, "  \"selected_variants\": {},", serial_set.len());
+    let _ = writeln!(json, "  \"speedup\": {parallel_speedup:.4},");
+    let _ = writeln!(json, "  \"selected_variants\": {},", simd_set.len());
+    let _ = writeln!(json, "  \"scalar_simd_sets_bit_identical\": true,");
     let _ = writeln!(json, "  \"note\": \"{note}\"");
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write benchmark json");

@@ -363,6 +363,9 @@ pub struct DpSolver {
     slot_of: Vec<u32>,
     /// Lazily computed finalizer recipe per interned descriptor id.
     fin_memo: Vec<Option<FinRecipe>>,
+    /// Scratch for the final-state totals (cost + finalizers), reduced
+    /// with the selection engine's first-strict-minimum helper.
+    final_totals: Vec<f64>,
 }
 
 impl DpSolver {
@@ -386,6 +389,7 @@ impl DpSolver {
             arena,
             slot_of: Vec::new(),
             fin_memo: Vec::new(),
+            final_totals: Vec::new(),
         }
     }
 
@@ -565,21 +569,23 @@ impl DpSolver {
             }
         }
 
-        // Pick the best final state including forced finalizers.
-        let mut min = f64::INFINITY;
-        let mut min_slot = None;
+        // Pick the best final state including forced finalizers. The
+        // per-slot totals fill a reusable scratch vector and the winner
+        // is the *first strict minimum* — the same tie-break rule and
+        // reduction helper (`simd::argmin_first`) the selection
+        // engine's candidate scan uses, identical on every ladder rung.
         let (f0, flen) = self.arena.range(0, n - 1, n);
+        let mut totals = std::mem::take(&mut self.final_totals);
+        totals.clear();
         for slot in 0..flen {
             let id = self.arena.ids[f0 + slot];
             let extra = self.finalize_cost(id, q)?;
-            let total = self.arena.costs[f0 + slot] + extra;
-            if total < min {
-                min = total;
-                min_slot = Some(slot as u32);
-            }
+            totals.push(self.arena.costs[f0 + slot] + extra);
         }
-        let min_slot = min_slot.expect("non-empty chain has final states");
-        Ok((min_slot, min))
+        let (min_slot, min) = crate::simd::argmin_first(crate::simd::active_level(), &totals)
+            .expect("non-empty chain has final states");
+        self.final_totals = totals;
+        Ok((min_slot as u32, min))
     }
 
     /// Reconstruct the winning parenthesization from the filled arena.

@@ -1,4 +1,5 @@
-//! Empirical expansion of a variant set (Sec. VI, Algorithm 1).
+//! Empirical expansion of a variant set (Sec. VI, Algorithm 1), on top
+//! of the vectorized selection engine ([`crate::simd`]).
 //!
 //! Given the full variant pool `A`, a sampled instance set `Q`, an
 //! objective `F` over per-instance penalties, and a cardinality budget `K`,
@@ -8,15 +9,22 @@
 //! The cost matrix is stored flat (one `variants x instances` buffer) and
 //! can be refilled in place ([`CostMatrix::fill_with`]), so a long-lived
 //! [`crate::session::CompileSession`] reuses one buffer across compiles.
+//! FLOP fills ([`CostMatrix::fill_flops`]) compile each variant's cost
+//! polynomial into a flat multiply chain ([`crate::simd::CompiledPoly`])
+//! and stream it over transposed instance lanes
+//! ([`crate::simd::SizeLanes`]), 8 instances per iteration on AVX-512.
 //! The greedy loop itself maintains the per-instance best-in-set cost
 //! incrementally: evaluating a candidate is `O(instances)` instead of
 //! `O(set x instances)`, and — because `min` is exact — every objective
-//! value is bit-identical to the textbook re-evaluation. With the
-//! `parallel` feature the candidate scan splits across threads, again
-//! without changing a single bit of the outcome (candidates are scored
-//! independently and the tie-break scan order is preserved).
+//! value is bit-identical to the textbook re-evaluation. Candidate
+//! scores and objective seeds are reduced in the engine's **canonical
+//! blocked order** (see [`crate::simd`]), so the scalar, AVX2, and
+//! AVX-512 rungs select identical sets bit for bit; with the `parallel`
+//! feature the candidate scan additionally splits across threads,
+//! again without changing a single bit of the outcome (candidates are
+//! scored independently and the tie-break scan order is preserved).
 
-use crate::theory::penalty;
+use crate::simd::{self, CompiledPoly, SimdLevel, SizeLanes};
 use crate::variant::Variant;
 use gmc_ir::Instance;
 
@@ -30,7 +38,13 @@ pub enum Objective {
 }
 
 impl Objective {
-    fn evaluate(self, penalties: impl Iterator<Item = f64>) -> f64 {
+    /// Straight left-to-right fold over an arbitrary penalty iterator —
+    /// a convenience for external callers. The selection engine itself
+    /// reduces slices in the canonical blocked order
+    /// ([`Objective::over`] via [`crate::simd`]), which supersedes this
+    /// fold as the reference for selection decisions; the two can
+    /// differ in the final ulp for `AvgPenalty`.
+    pub fn evaluate(self, penalties: impl Iterator<Item = f64>) -> f64 {
         match self {
             Objective::MaxPenalty => penalties.fold(f64::NEG_INFINITY, f64::max),
             Objective::AvgPenalty => {
@@ -43,6 +57,22 @@ impl Objective {
                     f64::INFINITY
                 } else {
                     sum / count as f64
+                }
+            }
+        }
+    }
+
+    /// The objective of the best-in-set vector `best` (optionally
+    /// `min`-ed with a candidate row), reduced in the canonical blocked
+    /// order on the given engine rung.
+    fn over(self, level: SimdLevel, best: &[f64], row: Option<&[f64]>, optimal: &[f64]) -> f64 {
+        match self {
+            Objective::MaxPenalty => simd::penalty_max(level, best, row, optimal),
+            Objective::AvgPenalty => {
+                if best.is_empty() {
+                    f64::INFINITY
+                } else {
+                    simd::penalty_sum(level, best, row, optimal) / best.len() as f64
                 }
             }
         }
@@ -61,6 +91,8 @@ pub struct CostMatrix {
     num_variants: usize,
     num_instances: usize,
     optimal: Vec<f64>,
+    /// Transposed instance sizes for the compiled-polynomial fill.
+    lanes: SizeLanes,
 }
 
 impl CostMatrix {
@@ -70,10 +102,13 @@ impl CostMatrix {
         CostMatrix::default()
     }
 
-    /// Compute a cost matrix using FLOP costs.
+    /// Compute a cost matrix using FLOP costs (through the vectorized
+    /// compiled-polynomial fill; see [`CostMatrix::fill_flops`]).
     #[must_use]
     pub fn flops(pool: &[Variant], instances: &[Instance]) -> Self {
-        Self::with(pool, instances, |v, q| v.flops(q))
+        let mut m = CostMatrix::new();
+        m.fill_flops(pool, instances, 1);
+        m
     }
 
     /// Compute a cost matrix over a *partial* pool with externally supplied
@@ -103,11 +138,13 @@ impl CostMatrix {
         m
     }
 
-    /// Refill the matrix in place (reusing its buffers) with a custom cost
-    /// function, splitting the row fill across up to `jobs` threads when
-    /// the `parallel` feature is enabled. Every row is computed
-    /// independently, so the contents are identical for every `jobs`
-    /// value; the per-instance optima are reduced serially in pool order.
+    /// Refill the matrix in place (reusing its buffers) with a custom
+    /// per-cell cost function, splitting the row fill across up to
+    /// `jobs` threads when the `parallel` feature is enabled. Every row
+    /// is computed independently, so the contents are identical for
+    /// every `jobs` value; the per-instance optima are folded
+    /// element-wise in pool order (exact `min` — identical on every
+    /// engine rung).
     pub fn fill_with<F: Fn(&Variant, &Instance) -> f64 + Sync>(
         &mut self,
         pool: &[Variant],
@@ -115,16 +152,55 @@ impl CostMatrix {
         cost: F,
         jobs: usize,
     ) {
-        self.fill_rows(pool, instances, &cost, jobs);
-        // Column minima, folded in pool order (same order as a fresh
-        // per-column fold over rows).
-        self.optimal.clear();
-        self.optimal.resize(self.num_instances, f64::INFINITY);
-        for row in self.costs.chunks_exact(self.num_instances.max(1)) {
-            for (o, &c) in self.optimal.iter_mut().zip(row) {
-                *o = o.min(c);
-            }
-        }
+        self.fill_rows_with(
+            pool,
+            instances,
+            |v, qs, row| {
+                for (c, q) in row.iter_mut().zip(qs) {
+                    *c = cost(v, q);
+                }
+            },
+            jobs,
+        );
+    }
+
+    /// Refill the matrix in place with a **batched row** cost function:
+    /// `fill_row(variant, instances, row)` writes the variant's cost on
+    /// every instance at once, letting the cost model hoist per-variant
+    /// work (kernel-model lookups, axis resolution, polynomial
+    /// compilation) out of the per-instance loop — see
+    /// `gmc_perfmodel::PerfModels::fill_cost_matrix`. Rows are
+    /// independent, so the parallel split never changes the contents.
+    pub fn fill_rows_with<F: Fn(&Variant, &[Instance], &mut [f64]) + Sync>(
+        &mut self,
+        pool: &[Variant],
+        instances: &[Instance],
+        fill_row: F,
+        jobs: usize,
+    ) {
+        self.fill_rows(pool, instances, &fill_row, jobs);
+        self.fold_optimal(simd::active_level());
+    }
+
+    /// Refill in place with FLOP costs through the vectorized
+    /// compiled-polynomial engine, on the active ladder rung.
+    pub fn fill_flops(&mut self, pool: &[Variant], instances: &[Instance], jobs: usize) {
+        self.fill_flops_level(pool, instances, jobs, simd::active_level());
+    }
+
+    /// [`CostMatrix::fill_flops`] on an explicit engine rung (requests
+    /// above the CPU's capability are clamped). The contents are
+    /// bit-identical for every rung *and* every `jobs` value — pinned
+    /// by `tests/simd_paths.rs`.
+    pub fn fill_flops_level(
+        &mut self,
+        pool: &[Variant],
+        instances: &[Instance],
+        jobs: usize,
+        level: SimdLevel,
+    ) {
+        self.fill_flops_rows(pool, instances, jobs, level);
+        self.fold_optimal(level);
     }
 
     /// Refill in place with FLOP costs and externally supplied optima.
@@ -140,27 +216,39 @@ impl CostMatrix {
         jobs: usize,
     ) {
         assert_eq!(optimal.len(), instances.len(), "one optimum per instance");
-        self.fill_rows(
-            pool,
-            instances,
-            &|v: &Variant, q: &Instance| v.flops(q),
-            jobs,
-        );
+        self.fill_flops_rows(pool, instances, jobs, simd::active_level());
         self.optimal = optimal;
     }
 
-    fn fill_rows<F: Fn(&Variant, &Instance) -> f64 + Sync>(
-        &mut self,
-        pool: &[Variant],
-        instances: &[Instance],
-        cost: &F,
-        jobs: usize,
-    ) {
+    /// Column minima over the filled rows, folded element-wise in pool
+    /// order (same order as a fresh per-column fold over rows; `min` is
+    /// exact, so the lane width cannot change a bit).
+    fn fold_optimal(&mut self, level: SimdLevel) {
+        self.optimal.clear();
+        self.optimal.resize(self.num_instances, f64::INFINITY);
+        for row in self.costs.chunks_exact(self.num_instances.max(1)) {
+            simd::min_in_place(level, &mut self.optimal, row);
+        }
+    }
+
+    /// Resize the flat buffer for a `pool x instances` fill, returning
+    /// the row length used for chunking.
+    fn reset_rows(&mut self, pool: &[Variant], instances: &[Instance]) -> usize {
         self.num_variants = pool.len();
         self.num_instances = instances.len();
         self.costs.clear();
         self.costs.resize(pool.len() * instances.len(), 0.0);
-        let ni = instances.len().max(1);
+        instances.len().max(1)
+    }
+
+    fn fill_rows<F: Fn(&Variant, &[Instance], &mut [f64]) + Sync>(
+        &mut self,
+        pool: &[Variant],
+        instances: &[Instance],
+        fill_row: &F,
+        jobs: usize,
+    ) {
+        let ni = self.reset_rows(pool, instances);
 
         #[cfg(feature = "parallel")]
         if jobs > 1 && pool.len() * instances.len() >= PAR_MIN_CELLS {
@@ -173,9 +261,7 @@ impl CostMatrix {
                 {
                     s.spawn(move |_| {
                         for (v, row) in vchunk.iter().zip(cchunk.chunks_mut(ni)) {
-                            for (c, q) in row.iter_mut().zip(instances) {
-                                *c = cost(v, q);
-                            }
+                            fill_row(v, instances, row);
                         }
                     });
                 }
@@ -184,9 +270,47 @@ impl CostMatrix {
         }
         let _ = jobs;
         for (v, row) in pool.iter().zip(self.costs.chunks_mut(ni)) {
-            for (c, q) in row.iter_mut().zip(instances) {
-                *c = cost(v, q);
-            }
+            fill_row(v, instances, row);
+        }
+    }
+
+    /// The FLOP row fill: transpose the instances into symbol lanes
+    /// once, then compile each variant's cost polynomial and stream it
+    /// across the lanes on the requested rung.
+    fn fill_flops_rows(
+        &mut self,
+        pool: &[Variant],
+        instances: &[Instance],
+        jobs: usize,
+        level: SimdLevel,
+    ) {
+        let ni = self.reset_rows(pool, instances);
+        self.lanes.fill(instances);
+        let CostMatrix { costs, lanes, .. } = self;
+        let lanes: &SizeLanes = lanes;
+
+        #[cfg(feature = "parallel")]
+        if jobs > 1 && pool.len() * instances.len() >= PAR_MIN_CELLS {
+            let jobs = jobs.min(pool.len()).max(1);
+            let rows_per = pool.len().div_ceil(jobs);
+            rayon::scope(|s| {
+                for (vchunk, cchunk) in pool.chunks(rows_per).zip(costs.chunks_mut(rows_per * ni)) {
+                    s.spawn(move |_| {
+                        let mut program = CompiledPoly::new();
+                        for (v, row) in vchunk.iter().zip(cchunk.chunks_mut(ni)) {
+                            program.compile(v.cost_poly());
+                            program.eval_rows(level, lanes, row);
+                        }
+                    });
+                }
+            });
+            return;
+        }
+        let _ = jobs;
+        let mut program = CompiledPoly::new();
+        for (v, row) in pool.iter().zip(costs.chunks_mut(ni)) {
+            program.compile(v.cost_poly());
+            program.eval_rows(level, lanes, row);
         }
     }
 
@@ -229,16 +353,16 @@ impl CostMatrix {
         self.costs[v * self.num_instances + i]
     }
 
-    /// Evaluate the objective of a set of variant indices.
+    /// Evaluate the objective of a set of variant indices (canonical
+    /// blocked reduction; bit-identical to [`candidate_value`] scoring).
     #[must_use]
     pub fn objective(&self, set: &[usize], objective: Objective) -> f64 {
-        objective.evaluate((0..self.num_instances()).map(|i| {
-            let best = set
-                .iter()
-                .map(|&v| self.cost(v, i))
-                .fold(f64::INFINITY, f64::min);
-            penalty(best, self.optimal[i])
-        }))
+        let level = simd::active_level();
+        let mut best = vec![f64::INFINITY; self.num_instances];
+        for &v in set {
+            simd::min_in_place(level, &mut best, self.row(v));
+        }
+        objective.over(level, &best, None, &self.optimal)
     }
 }
 
@@ -248,7 +372,8 @@ impl CostMatrix {
 const PAR_MIN_CELLS: usize = 1 << 14;
 
 /// Reusable buffers for [`expand_set_with`]: the per-instance best-in-set
-/// cost vector (and nothing else). A session keeps one across compiles so
+/// cost vector — the lane buffer the engine's 8-wide candidate scoring
+/// streams (and nothing else). A session keeps one across compiles so
 /// steady-state expansion allocates only the returned index set.
 #[derive(Debug, Clone, Default)]
 pub struct ExpandScratch {
@@ -314,34 +439,51 @@ pub fn expand_set_striped(
     jobs: usize,
     stripe: usize,
 ) -> Vec<usize> {
+    expand_set_striped_level(
+        matrix,
+        initial,
+        k,
+        objective,
+        scratch,
+        jobs,
+        stripe,
+        simd::active_level(),
+    )
+}
+
+/// [`expand_set_striped`] on an explicit engine rung (requests above the
+/// CPU's capability are clamped). The selected set is bit-identical for
+/// every rung — the cross-rung property `tests/simd_paths.rs` pins.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn expand_set_striped_level(
+    matrix: &CostMatrix,
+    initial: &[usize],
+    k: usize,
+    objective: Objective,
+    scratch: &mut ExpandScratch,
+    jobs: usize,
+    stripe: usize,
+    level: SimdLevel,
+) -> Vec<usize> {
     let ni = matrix.num_instances();
     let mut set: Vec<usize> = initial.to_vec();
     scratch.best.clear();
     scratch.best.resize(ni, f64::INFINITY);
     for &v in &set {
-        for (b, &c) in scratch.best.iter_mut().zip(matrix.row(v)) {
-            *b = b.min(c);
-        }
+        simd::min_in_place(level, &mut scratch.best, matrix.row(v));
     }
     let mut v_min = if set.is_empty() {
         f64::INFINITY
     } else {
-        objective.evaluate(
-            scratch
-                .best
-                .iter()
-                .zip(matrix.optimal())
-                .map(|(&b, &o)| penalty(b, o)),
-        )
+        objective.over(level, &scratch.best, None, matrix.optimal())
     };
     while set.len() < k {
         let (best_candidate, v_star) =
-            scan_candidates(matrix, &set, &scratch.best, objective, jobs, stripe);
+            scan_candidates(matrix, &set, &scratch.best, objective, jobs, stripe, level);
         match best_candidate {
             Some(d) if v_star < v_min => {
-                for (b, &c) in scratch.best.iter_mut().zip(matrix.row(d)) {
-                    *b = b.min(c);
-                }
+                simd::min_in_place(level, &mut scratch.best, matrix.row(d));
                 set.push(d);
                 v_min = v_star;
             }
@@ -351,28 +493,34 @@ pub fn expand_set_striped(
     set
 }
 
-/// Score of adding candidate `d` to the set summarized by `best`.
+/// Score of adding candidate `d` to the set summarized by `best`: the
+/// engine's 8-wide incremental evaluation.
 ///
 /// `min` is exact, so `min(best[i], cost(d, i))` equals the fold over
 /// `set + {d}` in any order — the value matches the textbook trial-set
-/// re-evaluation bit for bit.
-fn candidate_value(matrix: &CostMatrix, best: &[f64], d: usize, objective: Objective) -> f64 {
-    objective.evaluate(
-        best.iter()
-            .zip(matrix.row(d))
-            .zip(matrix.optimal())
-            .map(|((&b, &c), &o)| penalty(b.min(c), o)),
-    )
+/// re-evaluation (through [`CostMatrix::objective`]) bit for bit, on
+/// every rung.
+#[must_use]
+pub fn candidate_value(
+    matrix: &CostMatrix,
+    best: &[f64],
+    d: usize,
+    objective: Objective,
+    level: SimdLevel,
+) -> f64 {
+    objective.over(level, best, Some(matrix.row(d)), matrix.optimal())
 }
 
 /// Scan `range` for the first strict minimum among candidates not in
-/// `set`, seeded with `v_star = +inf`.
+/// `set`, seeded with `v_star = +inf`, consuming 8-wide f64 lanes per
+/// candidate row.
 fn scan_range(
     matrix: &CostMatrix,
     set: &[usize],
     best: &[f64],
     objective: Objective,
     range: std::ops::Range<usize>,
+    level: SimdLevel,
 ) -> (Option<usize>, f64) {
     let mut best_candidate: Option<usize> = None;
     let mut v_star = f64::INFINITY;
@@ -380,7 +528,7 @@ fn scan_range(
         if set.contains(&d) {
             continue;
         }
-        let val = candidate_value(matrix, best, d, objective);
+        let val = candidate_value(matrix, best, d, objective, level);
         if val < v_star {
             v_star = val;
             best_candidate = Some(d);
@@ -389,6 +537,7 @@ fn scan_range(
     (best_candidate, v_star)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn scan_candidates(
     matrix: &CostMatrix,
     set: &[usize],
@@ -396,6 +545,7 @@ fn scan_candidates(
     objective: Objective,
     jobs: usize,
     stripe: usize,
+    level: SimdLevel,
 ) -> (Option<usize>, f64) {
     let nv = matrix.num_variants();
     #[cfg(feature = "parallel")]
@@ -413,7 +563,7 @@ fn scan_candidates(
                 let lo = c * per;
                 let hi = ((c + 1) * per).min(nv);
                 s.spawn(move |_| {
-                    *out = scan_range(matrix, set, best, objective, lo..hi);
+                    *out = scan_range(matrix, set, best, objective, lo..hi, level);
                 });
             }
         });
@@ -430,7 +580,7 @@ fn scan_candidates(
         return (best_candidate, v_star);
     }
     let _ = (jobs, stripe);
-    scan_range(matrix, set, best, objective, 0..nv)
+    scan_range(matrix, set, best, objective, 0..nv, level)
 }
 
 #[cfg(test)]
@@ -505,25 +655,30 @@ mod tests {
     #[test]
     fn incremental_scan_matches_textbook_reevaluation() {
         // The incremental best-cost scan must score candidates exactly as
-        // the textbook "clone the set, re-evaluate" loop does.
+        // the textbook "clone the set, re-evaluate" loop does — on every
+        // rung of the engine ladder.
         let (pool, instances, _) = pool_and_instances();
         let matrix = CostMatrix::flops(&pool, &instances);
         let set = vec![0usize, 3];
         let mut best = vec![f64::INFINITY; matrix.num_instances()];
         for &v in &set {
-            for (b, &c) in best.iter_mut().zip(matrix.row(v)) {
-                *b = b.min(c);
-            }
+            simd::min_in_place(simd::active_level(), &mut best, matrix.row(v));
         }
         for d in 0..matrix.num_variants() {
             if set.contains(&d) {
                 continue;
             }
-            let incremental = candidate_value(&matrix, &best, d, Objective::AvgPenalty);
             let mut trial = set.clone();
             trial.push(d);
             let textbook = matrix.objective(&trial, Objective::AvgPenalty);
-            assert_eq!(incremental.to_bits(), textbook.to_bits(), "candidate {d}");
+            for level in simd::available_levels() {
+                let incremental = candidate_value(&matrix, &best, d, Objective::AvgPenalty, level);
+                assert_eq!(
+                    incremental.to_bits(),
+                    textbook.to_bits(),
+                    "candidate {d} on {level:?}"
+                );
+            }
         }
     }
 
@@ -562,9 +717,9 @@ mod tests {
         let (pool, instances, _) = pool_and_instances();
         let fresh = CostMatrix::flops(&pool, &instances);
         let mut reused = CostMatrix::new();
-        reused.fill_with(&pool, &instances, |v, q| v.flops(q), 1);
+        reused.fill_flops(&pool, &instances, 1);
         let cap_before = reused.costs.capacity();
-        reused.fill_with(&pool, &instances, |v, q| v.flops(q), 1);
+        reused.fill_flops(&pool, &instances, 1);
         assert_eq!(reused.costs.capacity(), cap_before, "no regrowth on refill");
         assert_eq!(fresh.num_variants(), reused.num_variants());
         for v in 0..fresh.num_variants() {
@@ -574,6 +729,25 @@ mod tests {
         }
         for (a, b) in fresh.optimal().iter().zip(reused.optimal()) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn compiled_fill_stays_close_to_poly_eval() {
+        // The compiled multiply-chain order supersedes Poly::eval as the
+        // reference, but each cell must stay within ulp-scale distance of
+        // the direct evaluation — the polynomials are identical.
+        let (pool, instances, _) = pool_and_instances();
+        let matrix = CostMatrix::flops(&pool, &instances);
+        for (v, variant) in pool.iter().enumerate() {
+            for (i, q) in instances.iter().enumerate() {
+                let direct = variant.flops(q);
+                let cell = matrix.cost(v, i);
+                assert!(
+                    (cell - direct).abs() <= 1e-12 * direct.abs().max(1.0),
+                    "variant {v} instance {i}: {cell} vs {direct}"
+                );
+            }
         }
     }
 

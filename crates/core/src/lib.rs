@@ -25,6 +25,15 @@
 //! feature — threads enumeration, the cost-matrix fill, and the
 //! Algorithm-1 candidate scan with bit-identical results.
 //!
+//! Stages 2–3 run on the **vectorized selection engine** ([`simd`]): a
+//! runtime-dispatch ladder (AVX-512 > AVX2 > portable, the same pattern
+//! as `gmc_linalg::gemm`) whose cost-matrix fill streams compiled cost
+//! polynomials over transposed instance lanes and whose penalty
+//! reductions follow one *canonical blocked order* — eight partial
+//! accumulators plus a deterministic tree reduce — on every rung, so
+//! scalar and SIMD selection are bit-identical and results never depend
+//! on the host CPU (see the [`simd`] module docs).
+//!
 //! ```
 //! use gmc_core::CompiledChain;
 //! use gmc_ir::grammar::parse_program;
@@ -57,6 +66,7 @@ pub mod persist;
 pub mod program;
 pub mod reference;
 pub mod session;
+pub mod simd;
 pub mod theory;
 pub mod variant;
 
@@ -65,12 +75,14 @@ pub use builder::{build_variant, build_variant_with, BuildError, BuildOptions};
 pub use dp::{optimal_cost, optimal_variant, DpSolver};
 pub use enumerate::{all_variants, all_variants_capped, EnumerateError, DEFAULT_VARIANT_CAP};
 pub use expand::{
-    expand_set, expand_set_striped, expand_set_with, CostMatrix, ExpandScratch, Objective,
+    expand_set, expand_set_striped, expand_set_striped_level, expand_set_with, CostMatrix,
+    ExpandScratch, Objective,
 };
 pub use library::ChainLibrary;
 pub use paren::ParenTree;
 pub use persist::{PersistError, SessionSnapshot};
 pub use program::{CompileOptions, CompiledChain, CostModel, FlopCost, ProgramError};
 pub use session::{CacheStats, CompileSession, DEFAULT_CHAIN_CACHE_CAPACITY};
+pub use simd::SimdLevel;
 pub use theory::{fanning_out_set, penalty, select_base_set, select_base_set_with, TheoryError};
 pub use variant::{ExecVariantError, Finalize, Step, ValRef, Variant};

@@ -328,11 +328,11 @@ impl CompileSession {
     }
 
     /// Fill the session cost matrix with FLOP costs for `pool` ×
-    /// `instances` (parallel row fill under the thread budget) and return
-    /// it.
+    /// `instances` through the vectorized selection engine (compiled
+    /// cost polynomials streamed over instance lanes; parallel row fill
+    /// under the thread budget) and return it.
     pub fn cost_matrix(&mut self, pool: &[Variant], instances: &[Instance]) -> &CostMatrix {
-        self.matrix
-            .fill_with(pool, instances, |v, q| v.flops(q), self.jobs);
+        self.matrix.fill_flops(pool, instances, self.jobs);
         &self.matrix
     }
 
@@ -454,8 +454,7 @@ impl CompileSession {
                 .collect()
         };
         if enumerable {
-            self.matrix
-                .fill_with(&pool, &training, |v, q| v.flops(q), self.jobs);
+            self.matrix.fill_flops(&pool, &training, self.jobs);
         } else {
             let solver = self.solver_for(id);
             let optimal: Vec<f64> = training

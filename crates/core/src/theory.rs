@@ -8,6 +8,7 @@
 
 use crate::builder::{build_variant, BuildError};
 use crate::paren::ParenTree;
+use crate::simd::{self, CompiledPoly, SizeLanes};
 use crate::variant::Variant;
 use gmc_ir::{Instance, Shape};
 use std::error::Error;
@@ -105,7 +106,17 @@ pub fn select_base_set(
     training: &[Instance],
     optimal: &[f64],
 ) -> Result<BaseSet, TheoryError> {
-    select_base_set_with(shape, training, optimal, |v, q| v.flops(q))
+    // FLOP costs go through the vectorized compiled-polynomial engine:
+    // transpose the training set into symbol lanes once, then stream
+    // each fanning-out variant's cost polynomial across them.
+    let mut lanes = SizeLanes::default();
+    lanes.fill(training);
+    let mut program = CompiledPoly::new();
+    let level = simd::active_level();
+    select_base_set_rows(shape, training, optimal, &mut |v, row| {
+        program.compile(v.cost_poly());
+        program.eval_rows(level, &lanes, row);
+    })
 }
 
 /// [`select_base_set`] with an arbitrary cost function (e.g. a
@@ -125,9 +136,28 @@ pub fn select_base_set_with<F>(
 where
     F: Fn(&Variant, &Instance) -> f64,
 {
+    select_base_set_rows(shape, training, optimal, &mut |v, row| {
+        for (c, q) in row.iter_mut().zip(training) {
+            *c = cost(v, q);
+        }
+    })
+}
+
+/// Shared base-set search over a batched row cost function
+/// (`fill_row(variant, row)` writes the variant's cost on every
+/// training instance). Representative sets are scored with the
+/// engine's canonical blocked reduction, so the choice is identical on
+/// every ladder rung.
+fn select_base_set_rows(
+    shape: &Shape,
+    training: &[Instance],
+    optimal: &[f64],
+    fill_row: &mut dyn FnMut(&Variant, &mut [f64]),
+) -> Result<BaseSet, TheoryError> {
     if training.is_empty() || optimal.len() != training.len() {
         return Err(TheoryError::EmptyTraining);
     }
+    let level = simd::active_level();
     let classes = shape.size_classes();
     let class_members = classes.classes();
     let fanning: Vec<(usize, Variant)> = fanning_out_set(shape)?;
@@ -144,20 +174,20 @@ where
     let n_sym = shape.num_sizes();
     let mut cost_by_h: Vec<Vec<f64>> = Vec::with_capacity(n_sym);
     for h in 0..n_sym {
-        let v = variant_for_h(h);
-        cost_by_h.push(training.iter().map(|q| cost(v, q)).collect());
+        let mut row = vec![0.0; training.len()];
+        fill_row(variant_for_h(h), &mut row);
+        cost_by_h.push(row);
     }
 
-    let avg_penalty = |reps: &[usize]| -> f64 {
-        let mut total = 0.0;
-        for (i, _) in training.iter().enumerate() {
-            let best = reps
-                .iter()
-                .map(|&h| cost_by_h[h][i])
-                .fold(f64::INFINITY, f64::min);
-            total += penalty(best, optimal[i]);
+    // Best-in-set scratch, reused by every candidate representative set.
+    let mut best_scratch = vec![0.0f64; training.len()];
+    let mut avg_penalty = |reps: &[usize]| -> f64 {
+        best_scratch.clear();
+        best_scratch.resize(training.len(), f64::INFINITY);
+        for &h in reps {
+            simd::min_in_place(level, &mut best_scratch, &cost_by_h[h]);
         }
-        total / training.len() as f64
+        simd::penalty_sum(level, &best_scratch, None, optimal) / training.len() as f64
     };
 
     const MAX_COMBOS: usize = 4096;

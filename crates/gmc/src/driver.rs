@@ -508,27 +508,43 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
     })
     .map_err(|e| DriverError::Compile(e.to_string()))?;
 
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    let mut header_sent = false;
-    let mut failures: u64 = 0;
-    let mut emit_line = |mut response: gmc_serve::CompileResponse| -> Result<(), DriverError> {
-        if let Ok(artifacts) = &mut response.result {
-            if !header_sent && artifacts.files.iter().any(|(n, _)| n.ends_with(".cpp")) {
-                artifacts.files.insert(
-                    0,
-                    (
-                        "gmc_runtime.hpp".to_string(),
-                        gmc_serve::emit_runtime_header(),
-                    ),
-                );
-                header_sent = true;
-            }
-        } else {
-            failures += 1;
+    /// Streams response lines, attaching the C++ runtime header to the
+    /// first `.cpp`-carrying response and counting in-band failures.
+    struct LineWriter<W: Write> {
+        out: W,
+        header_sent: bool,
+        failures: u64,
+    }
+
+    impl<W: Write> LineWriter<W> {
+        fn raw(&mut self, line: &str) -> Result<(), DriverError> {
+            writeln!(self.out, "{line}").map_err(|e| DriverError::Io(PathBuf::from("<stdout>"), e))
         }
-        writeln!(out, "{}", jsonl::response_line(&response))
-            .map_err(|e| DriverError::Io(PathBuf::from("<stdout>"), e))
+
+        fn emit(&mut self, mut response: gmc_serve::CompileResponse) -> Result<(), DriverError> {
+            if let Ok(artifacts) = &mut response.result {
+                if !self.header_sent && artifacts.files.iter().any(|(n, _)| n.ends_with(".cpp")) {
+                    artifacts.files.insert(
+                        0,
+                        (
+                            "gmc_runtime.hpp".to_string(),
+                            gmc_serve::emit_runtime_header(),
+                        ),
+                    );
+                    self.header_sent = true;
+                }
+            } else {
+                self.failures += 1;
+            }
+            self.raw(&jsonl::response_line(&response))
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut writer = LineWriter {
+        out: stdout.lock(),
+        header_sent: false,
+        failures: 0,
     };
     let error_response = |id: u64, msg: String| gmc_serve::CompileResponse {
         id,
@@ -552,23 +568,33 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
         match jsonl::parse_request(&line) {
             Ok(raw) => {
                 let id = raw.id.unwrap_or(stream_id);
-                match raw.emit.as_deref().map(Emit::parse) {
-                    None => service.submit(CompileRequest {
-                        id,
-                        name: raw.name,
-                        source: raw.source,
-                        emit: default_emit,
-                    }),
-                    Some(Ok(emit)) => service.submit(CompileRequest {
-                        id,
-                        name: raw.name,
-                        source: raw.source,
-                        emit,
-                    }),
-                    Some(Err(msg)) => emit_line(error_response(id, msg))?,
+                match raw.op.as_deref() {
+                    // In-band service query: answered synchronously
+                    // (the counters observe every compile submitted
+                    // before this line; responses still stream in
+                    // completion order).
+                    Some("stats") => writer.raw(&jsonl::stats_line(id, &service.stats()))?,
+                    Some(other) => {
+                        writer.emit(error_response(id, format!("unknown op `{other}`")))?;
+                    }
+                    None => match raw.emit.as_deref().map(Emit::parse) {
+                        None => service.submit(CompileRequest {
+                            id,
+                            name: raw.name,
+                            source: raw.source,
+                            emit: default_emit,
+                        }),
+                        Some(Ok(emit)) => service.submit(CompileRequest {
+                            id,
+                            name: raw.name,
+                            source: raw.source,
+                            emit,
+                        }),
+                        Some(Err(msg)) => writer.emit(error_response(id, msg))?,
+                    },
                 }
             }
-            Err(msg) => emit_line(error_response(
+            Err(msg) => writer.emit(error_response(
                 stream_id,
                 format!("bad request line: {msg}"),
             ))?,
@@ -576,12 +602,13 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
         // Stream whatever has already finished before blocking on more
         // input.
         while let Some(response) = service.try_recv() {
-            emit_line(response)?;
+            writer.emit(response)?;
         }
     }
     while let Some(response) = service.recv() {
-        emit_line(response)?;
+        writer.emit(response)?;
     }
+    let failures = writer.failures;
     if let Some(path) = &config.persist {
         service
             .save_snapshot(path)
@@ -624,7 +651,9 @@ request source is a JSON object like
 and each response is streamed back as one JSON line. --jobs sets the
 shard count (requests route by shape hash, so repeat shapes hit a warm
 shard); --persist FILE snapshots the compiled-chain caches on shutdown
-and restores them on the next start.
+and restores them on the next start. A line of {\"op\": \"stats\"}
+returns the per-shard cache counters (hits/misses/evictions/hit rate)
+in-band without compiling anything.
 "
 }
 
@@ -942,5 +971,41 @@ mod tests {
         assert_eq!(text.matches("\nshape ").count(), 1);
         let (_, failures_again) = run_serve(&config).unwrap();
         assert_eq!(failures_again, 1, "restart serves the same stream");
+    }
+
+    #[test]
+    fn serve_answers_stats_op_in_band() {
+        let dir = std::env::temp_dir().join("gmcc_serve_stats_op");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests = dir.join("requests.jsonl");
+        let src = SRC.replace('\n', " ");
+        // Two compiles of the same shape, then a stats query, then an
+        // unknown op: 4 request lines, 1 in-band failure.
+        std::fs::write(
+            &requests,
+            format!(
+                "{{\"id\": 1, \"source\": \"{src}\"}}\n\
+                 {{\"id\": 2, \"source\": \"{src}\"}}\n\
+                 {{\"id\": 3, \"op\": \"stats\"}}\n\
+                 {{\"id\": 4, \"op\": \"frobnicate\"}}\n"
+            ),
+        )
+        .unwrap();
+        let config = parse_args(&[
+            "--serve".into(),
+            requests.to_string_lossy().into_owned(),
+            "--jobs".into(),
+            "2".into(),
+            "--train".into(),
+            "40".into(),
+        ])
+        .unwrap();
+        let (requests_seen, failures) = run_serve(&config).unwrap();
+        assert_eq!(
+            (requests_seen, failures),
+            (4, 1),
+            "unknown op fails in-band"
+        );
     }
 }

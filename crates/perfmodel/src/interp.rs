@@ -83,31 +83,38 @@ impl GridInterpolator {
 
     /// Interpolate at `point` (only the first `dims` coordinates are used).
     ///
+    /// Allocation-free: axis location and corner indices live in fixed
+    /// `d <= 3` stack arrays, so cost-model row fills can call this in
+    /// their per-instance hot loop. The arithmetic (and therefore every
+    /// bit of the result) is unchanged from the original formulation.
+    ///
     /// # Panics
     ///
     /// Panics if fewer than `dims` coordinates are supplied.
     #[must_use]
     pub fn interpolate(&self, point: &[f64]) -> f64 {
         assert!(point.len() >= self.dims, "point has too few coordinates");
-        let located: Vec<(usize, f64)> =
-            point[..self.dims].iter().map(|&x| self.locate(x)).collect();
+        let mut located = [(0usize, 0.0f64); 3];
+        for (slot, &x) in located[..self.dims].iter_mut().zip(point) {
+            *slot = self.locate(x);
+        }
         // Sum over the 2^d corners of the surrounding cell.
         let corners = 1usize << self.dims;
         let mut acc = 0.0;
+        let mut idx = [0usize; 3];
         for corner in 0..corners {
             let mut weight = 1.0;
-            let mut idx = Vec::with_capacity(self.dims);
-            for (d, &(i, t)) in located.iter().enumerate() {
+            for (d, &(i, t)) in located[..self.dims].iter().enumerate() {
                 if corner & (1 << d) == 0 {
                     weight *= 1.0 - t;
-                    idx.push(i);
+                    idx[d] = i;
                 } else {
                     weight *= t;
-                    idx.push(i + 1);
+                    idx[d] = i + 1;
                 }
             }
             if weight != 0.0 {
-                acc += weight * self.value_at(&idx);
+                acc += weight * self.value_at(&idx[..self.dims]);
             }
         }
         acc

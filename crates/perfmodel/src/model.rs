@@ -118,13 +118,95 @@ impl PerfModels {
     /// model-estimated times for `pool` × `instances`, reusing the
     /// matrix's buffers (the session-scratch analogue of
     /// `CostMatrix::with(pool, instances, |v, q| models.variant_time(v, q))`).
+    ///
+    /// Goes through the matrix's batched row API so the per-variant
+    /// model resolution of [`PerfModels::variant_times_into`] is hoisted
+    /// out of the per-instance loop; every cell is bit-identical to the
+    /// per-cell `variant_time` closure.
     pub fn fill_cost_matrix(
         &self,
         pool: &[Variant],
         instances: &[Instance],
         matrix: &mut gmc_core::expand::CostMatrix,
     ) {
-        matrix.fill_with(pool, instances, |v, q| self.variant_time(v, q), 1);
+        matrix.fill_rows_with(
+            pool,
+            instances,
+            |v, qs, row| self.variant_times_into(v, qs, row),
+            1,
+        );
+    }
+
+    /// Batched [`PerfModels::variant_time`]: one row of estimated times
+    /// for `variant` over `instances`, written into `out`.
+    ///
+    /// Resolves each step's interpolator (a hash lookup per kernel), its
+    /// grid dimensionality, and each finalizer's model **once per
+    /// variant**, then streams the instances — the axis/model lookup no
+    /// longer sits in the per-instance loop. The per-cell arithmetic and
+    /// summation order match `variant_time` exactly, so the row is
+    /// bit-identical to the one-at-a-time evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != instances.len()`.
+    pub fn variant_times_into(&self, variant: &Variant, instances: &[Instance], out: &mut [f64]) {
+        assert_eq!(out.len(), instances.len(), "one output cell per instance");
+        struct StepPlan<'a> {
+            interp: &'a GridInterpolator,
+            dims: usize,
+            kernel: Kernel,
+            side: Side,
+            cheap: bool,
+            triplet: (usize, usize, usize),
+        }
+        let steps: Vec<StepPlan<'_>> = variant
+            .steps()
+            .iter()
+            .map(|s| StepPlan {
+                interp: &self.assoc[&s.kernel],
+                dims: kernel_dims(s.kernel),
+                kernel: s.kernel,
+                side: s.side,
+                cheap: s.cheap,
+                triplet: s.triplet,
+            })
+            .collect();
+        let finals: Vec<(&GridInterpolator, FinalizeKernel, usize)> = variant
+            .finalizes()
+            .iter()
+            .map(|f| (&self.finalize[&f.kernel], f.kernel, f.size_sym))
+            .collect();
+        for (q, cell) in instances.iter().zip(out) {
+            let sizes = q.sizes();
+            let mut total = 0.0;
+            for s in &steps {
+                let (a, b, c) = s.triplet;
+                let (qa, qb, qc) = (sizes[a], sizes[b], sizes[c]);
+                let flops = cost_flops(s.kernel, s.side, s.cheap, qa, qb, qc);
+                let point = match s.dims {
+                    3 => [qa as f64, qb as f64, qc as f64],
+                    2 => match s.side {
+                        // (coefficient size, companion dimension).
+                        Side::Left => [qa as f64, qc as f64, 0.0],
+                        Side::Right => [qc as f64, qa as f64, 0.0],
+                    },
+                    _ => [qa as f64, 0.0, 0.0],
+                };
+                let perf = s.interp.interpolate(&point).max(1.0);
+                total += flops / perf;
+            }
+            for &(interp, kernel, size_sym) in &finals {
+                let m = sizes[size_sym];
+                let work = if kernel == FinalizeKernel::Transpose {
+                    (m * m) as f64
+                } else {
+                    finalize_cost_flops(kernel, m)
+                };
+                total += work / interp.interpolate(&[m as f64]).max(1.0);
+            }
+            *cell = total;
+        }
     }
 
     /// Estimated execution time (seconds) of a whole variant on `q`.

@@ -17,6 +17,17 @@
 //! {"id":2,"ok":false,"error":"parse error: ..."}
 //! ```
 //!
+//! A request may instead carry an `op` field for in-band service
+//! queries (no `source` needed). The only operation today is
+//! `{"op": "stats"}`, answered with one line of per-shard cache
+//! counters (see [`stats_line`]):
+//!
+//! ```text
+//! {"id":3,"ok":true,"op":"stats","shards":[{"shard":0,"requests":2,
+//!  "hits":1,"misses":1,"evictions":0,"hit_rate":0.5000,"restored":0}],
+//!  "total_requests":2,"total_hits":1}
+//! ```
+//!
 //! The build environment vendors no JSON crate, so this module carries a
 //! deliberately small hand parser: flat objects, string/unsigned-integer
 //! /boolean/null values, full string escapes (including `\uXXXX` with
@@ -35,6 +46,9 @@ pub struct RawRequest {
     pub name: Option<String>,
     /// Emit selector (`cpp`/`rust`/`both`), if given.
     pub emit: Option<String>,
+    /// In-band service operation (`stats`), if given; such requests
+    /// need no `source`.
+    pub op: Option<String>,
     /// The `.gmc` program text.
     pub source: String,
 }
@@ -44,7 +58,8 @@ pub struct RawRequest {
 /// # Errors
 ///
 /// Returns a human-readable description of the malformed JSON or a
-/// missing `source` field.
+/// missing `source` field (compile requests only — `op` requests carry
+/// no program).
 pub fn parse_request(line: &str) -> Result<RawRequest, String> {
     let mut p = Parser {
         bytes: line.as_bytes(),
@@ -68,6 +83,7 @@ pub fn parse_request(line: &str) -> Result<RawRequest, String> {
                 "id" => request.id = Some(p.unsigned()?),
                 "name" => request.name = Some(p.string()?),
                 "emit" => request.emit = Some(p.string()?),
+                "op" => request.op = Some(p.string()?),
                 "source" => {
                     request.source = p.string()?;
                     have_source = true;
@@ -86,7 +102,7 @@ pub fn parse_request(line: &str) -> Result<RawRequest, String> {
     if p.pos != p.bytes.len() {
         return Err("trailing characters after the JSON object".into());
     }
-    if !have_source {
+    if !have_source && request.op.is_none() {
         return Err("request is missing the `source` field".into());
     }
     Ok(request)
@@ -122,6 +138,43 @@ pub fn response_line(response: &CompileResponse) -> String {
             let _ = write!(out, ",\"ok\":false,\"error\":\"{}\"}}", escape(e));
         }
     }
+    out
+}
+
+/// Render the response line of an in-band `{"op":"stats"}` request:
+/// one object per live shard (hits/misses/evictions/hit-rate of its
+/// compiled-chain cache, requests served, chains restored at startup)
+/// plus service-wide totals.
+#[must_use]
+pub fn stats_line(id: u64, shards: &[crate::ShardStatus]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"id\":{id},\"ok\":true,\"op\":\"stats\",\"shards\":["
+    );
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"requests\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"hit_rate\":{:.4},\"restored\":{}}}",
+            s.shard,
+            s.requests,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.evictions,
+            s.cache.hit_rate(),
+            s.restored,
+        );
+    }
+    let total_requests: u64 = shards.iter().map(|s| s.requests).sum();
+    let total_hits: u64 = shards.iter().map(|s| s.cache.hits).sum();
+    let _ = write!(
+        out,
+        "],\"total_requests\":{total_requests},\"total_hits\":{total_hits}}}"
+    );
     out
 }
 
@@ -320,8 +373,57 @@ mod tests {
                 id: None,
                 name: None,
                 emit: None,
+                op: None,
                 source: "X := A;".into(),
             }
+        );
+    }
+
+    #[test]
+    fn op_requests_need_no_source() {
+        let r = parse_request(r#"{"op": "stats"}"#).unwrap();
+        assert_eq!(r.op.as_deref(), Some("stats"));
+        assert_eq!(r.id, None);
+        assert!(r.source.is_empty());
+        let r = parse_request(r#"{"id": 9, "op": "stats"}"#).unwrap();
+        assert_eq!((r.id, r.op.as_deref()), (Some(9), Some("stats")));
+        // A plain compile request still requires `source`.
+        assert!(parse_request(r#"{"id": 9}"#).is_err());
+    }
+
+    #[test]
+    fn stats_lines_render_per_shard_counters() {
+        let shards = vec![
+            crate::ShardStatus {
+                shard: 0,
+                requests: 3,
+                cache: gmc_core::CacheStats {
+                    hits: 1,
+                    misses: 2,
+                    evictions: 0,
+                },
+                restored: 0,
+            },
+            crate::ShardStatus {
+                shard: 1,
+                requests: 1,
+                cache: gmc_core::CacheStats {
+                    hits: 0,
+                    misses: 1,
+                    evictions: 0,
+                },
+                restored: 1,
+            },
+        ];
+        let line = stats_line(7, &shards);
+        assert_eq!(
+            line,
+            "{\"id\":7,\"ok\":true,\"op\":\"stats\",\"shards\":[\
+             {\"shard\":0,\"requests\":3,\"hits\":1,\"misses\":2,\"evictions\":0,\
+             \"hit_rate\":0.3333,\"restored\":0},\
+             {\"shard\":1,\"requests\":1,\"hits\":0,\"misses\":1,\"evictions\":0,\
+             \"hit_rate\":0.0000,\"restored\":1}],\
+             \"total_requests\":4,\"total_hits\":1}"
         );
     }
 

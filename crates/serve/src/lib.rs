@@ -40,7 +40,8 @@ pub mod jsonl;
 pub use gmc_codegen::emit_runtime_header;
 use gmc_codegen::{emit_cpp_into, emit_rust_into};
 use gmc_core::{
-    CompileOptions, CompileSession, PersistError, SessionSnapshot, DEFAULT_CHAIN_CACHE_CAPACITY,
+    CacheStats, CompileOptions, CompileSession, PersistError, SessionSnapshot,
+    DEFAULT_CHAIN_CACHE_CAPACITY,
 };
 use gmc_ir::grammar::parse_program;
 use gmc_ir::Shape;
@@ -242,10 +243,26 @@ pub fn route(shape: &Shape, shards: usize) -> usize {
     (h.finish() % shards.max(1) as u64) as usize
 }
 
+/// Live observability counters of one shard, collected in-band by
+/// [`CompileService::stats`] (unlike [`ShardStats`], which is only
+/// available at shutdown).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests served so far.
+    pub requests: u64,
+    /// The shard session's cumulative compiled-chain cache counters.
+    pub cache: CacheStats,
+    /// Chains restored from the startup snapshot.
+    pub restored: usize,
+}
+
 /// Work items a shard receives.
 enum Job {
     Compile(Box<CompileJob>),
     Snapshot(Sender<SessionSnapshot>),
+    Stats(Sender<ShardStatus>),
 }
 
 struct CompileJob {
@@ -460,6 +477,25 @@ impl CompileService {
         merged.expect("service has at least one shard")
     }
 
+    /// Collect every live shard's observability counters (requests,
+    /// compiled-chain cache hits/misses/evictions, restored chains), in
+    /// shard order. Like [`CompileService::snapshot`], the query rides
+    /// the shard work queues, so it observes every compile submitted
+    /// before it; shards that have crashed are skipped. This is what the
+    /// daemon's in-band `{"op":"stats"}` request serves.
+    #[must_use]
+    pub fn stats(&self) -> Vec<ShardStatus> {
+        let mut out = Vec::with_capacity(self.job_txs.len());
+        for tx in &self.job_txs {
+            let (reply_tx, reply_rx) = channel();
+            let _ = tx.send(Job::Stats(reply_tx));
+            if let Ok(status) = reply_rx.recv() {
+                out.push(status);
+            }
+        }
+        out
+    }
+
     /// [`CompileService::snapshot`] straight to a file.
     ///
     /// # Errors
@@ -543,6 +579,14 @@ fn shard_main(
             }
             Job::Snapshot(reply) => {
                 let _ = reply.send(session.snapshot());
+            }
+            Job::Stats(reply) => {
+                let _ = reply.send(ShardStatus {
+                    shard: index,
+                    requests: stats.requests,
+                    cache: session.cache_stats(),
+                    restored: stats.restored,
+                });
             }
         }
     }
@@ -632,6 +676,30 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.requests(), 6);
         assert_eq!(stats.cache_hits(), 3);
+    }
+
+    #[test]
+    fn in_band_stats_report_per_shard_cache_counters() {
+        let mut service = CompileService::start(config(2)).unwrap();
+        // Two distinct shapes plus one repeat: 3 requests, 1 hit.
+        for (i, src) in [SRC_A, SRC_B, SRC_A].iter().enumerate() {
+            service.submit(request(i as u64, src));
+        }
+        // The stats query rides the work queues, so it observes all
+        // three compiles even before their responses are drained.
+        let stats = service.stats();
+        assert_eq!(stats.len(), 2, "one status per shard");
+        assert_eq!(stats.iter().map(|s| s.requests).sum::<u64>(), 3);
+        assert_eq!(stats.iter().map(|s| s.cache.hits).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.cache.misses).sum::<u64>(), 2);
+        assert_eq!(stats.iter().map(|s| s.cache.evictions).sum::<u64>(), 0);
+        // The repeat landed on the shard that compiled SRC_A first: its
+        // cache reports a nonzero hit rate (1/2 or 1/3 depending on
+        // where SRC_B routed).
+        let warm = stats.iter().find(|s| s.cache.hits == 1).unwrap();
+        assert!(warm.cache.hit_rate() > 0.0);
+        assert_eq!(service.drain().len(), 3, "responses still stream");
+        let _ = service.shutdown();
     }
 
     #[test]

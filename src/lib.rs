@@ -54,6 +54,38 @@
 //!   same way: per-file diagnostics, healthy inputs still emit, dirty
 //!   exit code.
 //!
+//! # The vectorized selection engine (`gmc_core::simd`)
+//!
+//! Selection itself (cost-matrix fill → Theorem-2 base set →
+//! Algorithm-1 expansion) runs on a SIMD engine behind the same
+//! runtime-dispatch ladder the GEMM micro-kernel uses
+//! (AVX-512 > AVX2 > portable, chosen per process by CPU feature
+//! detection, cappable with `GMC_SIMD=portable|avx2`):
+//!
+//! * **Cost-matrix fill**: each variant's symbolic FLOP polynomial is
+//!   compiled once per row into a flat multiply chain
+//!   (`CompiledPoly`, no B-tree walk, no `powi`) and streamed over the
+//!   training instances transposed into symbol-major f64 lanes
+//!   (`SizeLanes`), 8 instances per iteration on AVX-512. Custom cost
+//!   models use the batched row API (`CostMatrix::fill_rows_with`) so
+//!   per-variant model lookups hoist out of the per-instance loop
+//!   (`PerfModels::variant_times_into`).
+//! * **Canonical blocked reduction**: penalty sums reassociate, so the
+//!   engine fixes one order — eight partial accumulators (element `i`
+//!   into `acc[i % 8]`), scalar tail, deterministic tree reduce — and
+//!   *every* rung, scalar included, follows it. Scalar, AVX2, and
+//!   AVX-512 selection are therefore bit-identical (pinned by
+//!   `crates/core/tests/simd_paths.rs` across ragged instance counts
+//!   and every `scan_stripe`), and this blocked order **supersedes**
+//!   the pre-engine straight left-to-right fold as the selection
+//!   reference. The DP solver's final-state fold shares the engine's
+//!   first-strict-minimum helper.
+//! * **Trajectory**: `BENCH_select.json` records scalar-vs-SIMD and
+//!   the cumulative speedup over the PR 3 pipeline (~3x single-thread
+//!   end-to-end on the AVX-512 dev host: ~25x on the matrix fill
+//!   itself, with variant enumeration now the dominant remaining
+//!   stage).
+//!
 //! Three knobs scale the pipeline:
 //!
 //! * the `parallel` cargo feature threads variant enumeration, the
