@@ -395,6 +395,88 @@ pub(crate) fn finalizes_for(desc: &NodeDesc) -> Result<(Vec<Finalize>, NodeDesc)
     Ok((out, d))
 }
 
+/// A memoized lowering of one span-DAG node: the node's own association
+/// step plus everything needed to splice it into any containing variant.
+///
+/// `ValRef`s are **span-local**: the flattened steps of the node's
+/// sub-tree are numbered `Temp(0)..Temp(s - 2)` for `s` leaves (leaf
+/// references stay absolute — a sub-tree of span `(i, j)` always reads
+/// leaves `i..=j`, the same in every containing tree). Relocating a
+/// fragment into a larger tree is therefore a constant offset added to
+/// every `Temp` index.
+///
+/// This is valid because the builder's leftmost-available-first total
+/// order decomposes recursively: for a node with children `L` and `R`,
+/// every association in `L` has leftmost leaf `<=` every association in
+/// `R`'s, and within an unfinished `L` some association is always ready
+/// — so the order is exactly `order(L) ++ order(R) ++ [root]`, and a
+/// sub-tree's steps always form one contiguous block.
+#[derive(Debug, Clone)]
+pub(crate) struct Fragment {
+    /// The association step closing this node (`None` for leaves), with
+    /// span-local operand references; its own local index is
+    /// `num_leaves - 2`.
+    pub step: Option<Step>,
+    /// Exact cumulative FLOP cost of the node's whole sub-tree. [`Poly`]
+    /// coefficients are exact rationals, so summing per-fragment instead
+    /// of per-step-in-issue-order yields the identical polynomial.
+    pub cost: Poly,
+    /// Descriptor of the node's result; `source` is span-local
+    /// (`Leaf(i)` or `Temp(num_leaves - 2)`).
+    pub result: NodeDesc,
+}
+
+impl Fragment {
+    /// The fragment of a leaf: no step, zero cost, the leaf descriptor.
+    pub fn leaf(desc: NodeDesc) -> Fragment {
+        Fragment {
+            step: None,
+            cost: Poly::zero(),
+            result: desc,
+        }
+    }
+}
+
+/// Lower the association of two already-lowered fragments (Sec. IV
+/// steps 1–4, the body of [`build_variant`]'s loop) into the parent's
+/// fragment, renumbering the right child's result into the parent's
+/// span-local frame: with `ln`/`rn` leaves under the children, the left
+/// child's steps keep indices `0..ln - 1`, the right child's shift up by
+/// `ln - 1`, and the new step lands at `ln + rn - 2`.
+pub(crate) fn lower_node(
+    left: &Fragment,
+    left_leaves: usize,
+    right: &Fragment,
+    right_leaves: usize,
+    classes: &EquivClasses,
+    options: BuildOptions,
+) -> Result<Fragment, BuildError> {
+    let nl = left_leaves - 1;
+    let nr = right_leaves - 1;
+    let l = left.result;
+    let mut r = right.result;
+    if let ValRef::Temp(t) = r.source {
+        r.source = ValRef::Temp(t + nl);
+    }
+    let (step, mut result) = associate_with(l, r, classes, options)?;
+    result.source = ValRef::Temp(nl + nr);
+    let mut cost = left.cost.clone();
+    cost += &right.cost;
+    cost += &cost_poly(
+        step.kernel,
+        step.side,
+        step.cheap,
+        step.triplet.0,
+        step.triplet.1,
+        step.triplet.2,
+    );
+    Ok(Fragment {
+        step: Some(step),
+        cost,
+        result,
+    })
+}
+
 /// The total ordering of associations: repeatedly issue the ready
 /// association (both children available) whose leftmost leaf is smallest.
 fn association_order(tree: &ParenTree) -> Vec<(ParenTree, ParenTree)> {
@@ -434,6 +516,14 @@ fn association_order(tree: &ParenTree) -> Vec<(ParenTree, ParenTree)> {
 }
 
 /// Construct the deterministic code variant for `paren` (Sec. IV).
+///
+/// This per-tree lowering is the **reference implementation** (like
+/// `optimal_cost_reference` for the DP solver): the memoized enumeration
+/// engine ([`crate::pool::PoolBuilder`]) must produce bit-identical
+/// variants, which `crates/core/tests/pool_memo.rs` pins. Pool-sized
+/// work should go through [`crate::enumerate::build_pool_with_mode`] or
+/// a session, which lower each distinct sub-span once instead of once
+/// per containing tree.
 ///
 /// # Errors
 ///

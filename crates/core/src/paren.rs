@@ -1,5 +1,8 @@
-//! Parenthesizations of a chain, represented as binary expression trees.
+//! Parenthesizations of a chain, represented as binary expression trees —
+//! and, for the memoized enumeration engine, as a **span DAG** that shares
+//! each distinct sub-tree across every full tree containing it.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// A parenthesization of (a contiguous span of) a matrix chain.
@@ -148,6 +151,189 @@ impl fmt::Display for ParenTree {
     }
 }
 
+/// Index of a node in a [`SpanDag`] arena.
+pub type NodeId = usize;
+
+/// Arena entry of one interned sub-tree.
+#[derive(Debug, Clone, Copy)]
+struct SpanNode {
+    /// First leaf of the node's span.
+    lo: usize,
+    /// Last leaf of the node's span (inclusive).
+    hi: usize,
+    /// Children for association nodes, `None` for leaves.
+    children: Option<(NodeId, NodeId)>,
+}
+
+/// The parenthesizations of a chain as a directed acyclic graph of
+/// **interned sub-trees**: every distinct parenthesization of a sub-span
+/// `(i, j)` exists exactly once, shared by every full tree that contains
+/// it.
+///
+/// The sum of distinct sub-trees over all spans grows far slower than
+/// `Catalan(n - 1) × n` — 301 nodes versus 792 per-tree associations for
+/// `n = 7` — which is what lets the memoized enumeration engine
+/// ([`crate::pool::PoolBuilder`]) lower each sub-span once instead of
+/// once per containing tree.
+///
+/// Node ids are assigned in creation order, so **children always precede
+/// their parents**: ascending id order is a topological order of the DAG.
+/// Leaves occupy ids `0..n`.
+#[derive(Debug)]
+pub struct SpanDag {
+    n: usize,
+    nodes: Vec<SpanNode>,
+    /// Eagerly materialized [`ParenTree`] per node, built once from the
+    /// children's (already materialized) trees.
+    trees: Vec<ParenTree>,
+    /// Association nodes interned by their children (the children ids
+    /// uniquely determine the sub-tree).
+    interned: HashMap<(NodeId, NodeId), NodeId>,
+    /// Per-span enumeration lists in the canonical
+    /// [`ParenTree::enumerate`] order, filled by
+    /// [`SpanDag::enumerate_roots`].
+    span_lists: HashMap<(usize, usize), Vec<NodeId>>,
+}
+
+impl SpanDag {
+    /// An empty DAG over a chain of `n` matrices; leaves `0..n` are
+    /// pre-created with `NodeId == leaf index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "empty chain");
+        let nodes = (0..n)
+            .map(|i| SpanNode {
+                lo: i,
+                hi: i,
+                children: None,
+            })
+            .collect();
+        let trees = (0..n).map(ParenTree::Leaf).collect();
+        SpanDag {
+            n,
+            nodes,
+            trees,
+            interned: HashMap::new(),
+            span_lists: HashMap::new(),
+        }
+    }
+
+    /// Chain length this DAG spans.
+    #[must_use]
+    pub fn chain_len(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of interned nodes (leaves included).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The inclusive leaf span of a node.
+    #[must_use]
+    pub fn span(&self, id: NodeId) -> (usize, usize) {
+        let node = &self.nodes[id];
+        (node.lo, node.hi)
+    }
+
+    /// Number of leaves under a node.
+    #[must_use]
+    pub fn num_leaves(&self, id: NodeId) -> usize {
+        let node = &self.nodes[id];
+        node.hi - node.lo + 1
+    }
+
+    /// The children of an association node, `None` for leaves.
+    #[must_use]
+    pub fn children(&self, id: NodeId) -> Option<(NodeId, NodeId)> {
+        self.nodes[id].children
+    }
+
+    /// The materialized [`ParenTree`] of a node.
+    #[must_use]
+    pub fn tree(&self, id: NodeId) -> &ParenTree {
+        &self.trees[id]
+    }
+
+    /// Intern the association of two already-interned nodes. The spans
+    /// must be adjacent (`left.hi + 1 == right.lo`).
+    pub fn node(&mut self, left: NodeId, right: NodeId) -> NodeId {
+        debug_assert_eq!(
+            self.nodes[left].hi + 1,
+            self.nodes[right].lo,
+            "associated spans must be adjacent"
+        );
+        if let Some(&id) = self.interned.get(&(left, right)) {
+            return id;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(SpanNode {
+            lo: self.nodes[left].lo,
+            hi: self.nodes[right].hi,
+            children: Some((left, right)),
+        });
+        self.trees.push(ParenTree::node(
+            self.trees[left].clone(),
+            self.trees[right].clone(),
+        ));
+        self.interned.insert((left, right), id);
+        id
+    }
+
+    /// Intern an explicit [`ParenTree`], sharing every sub-tree already
+    /// in the DAG. Returns `None` if the tree is not a well-formed
+    /// parenthesization over this chain (leaf out of range, or sibling
+    /// spans not adjacent).
+    pub fn intern_tree(&mut self, tree: &ParenTree) -> Option<NodeId> {
+        match tree {
+            ParenTree::Leaf(i) => (*i < self.n).then_some(*i),
+            ParenTree::Node(l, r) => {
+                let left = self.intern_tree(l)?;
+                let right = self.intern_tree(r)?;
+                (self.nodes[left].hi + 1 == self.nodes[right].lo).then(|| self.node(left, right))
+            }
+        }
+    }
+
+    /// All parenthesizations of the full chain, as root node ids in
+    /// exactly the [`ParenTree::enumerate`] order (split position
+    /// ascending, then left sub-trees outer, right sub-trees inner,
+    /// recursively). Spans are enumerated bottom-up and memoized, so a
+    /// second call is a lookup.
+    pub fn enumerate_roots(&mut self) -> Vec<NodeId> {
+        for lo in 0..self.n {
+            self.span_lists.entry((lo, lo)).or_insert_with(|| vec![lo]);
+        }
+        for len in 2..=self.n {
+            for lo in 0..=self.n - len {
+                let hi = lo + len - 1;
+                if self.span_lists.contains_key(&(lo, hi)) {
+                    continue;
+                }
+                let mut list = Vec::new();
+                for split in lo..hi {
+                    // Clone the (small) child lists so `self.node` can
+                    // borrow the arena mutably inside the loop.
+                    let lefts = self.span_lists[&(lo, split)].clone();
+                    let rights = self.span_lists[&(split + 1, hi)].clone();
+                    for &l in &lefts {
+                        for &r in &rights {
+                            list.push(self.node(l, r));
+                        }
+                    }
+                }
+                self.span_lists.insert((lo, hi), list);
+            }
+        }
+        self.span_lists[&(0, self.n - 1)].clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +411,75 @@ mod tests {
         for h in 0..=6 {
             assert!(all.contains(&ParenTree::fanning_out(6, h)));
         }
+    }
+
+    #[test]
+    fn dag_roots_match_enumeration_order_exactly() {
+        for n in 1..=7 {
+            let mut dag = SpanDag::new(n);
+            let roots = dag.enumerate_roots();
+            let trees = ParenTree::enumerate(0, n - 1);
+            assert_eq!(roots.len(), trees.len(), "n = {n}");
+            for (id, tree) in roots.iter().zip(&trees) {
+                assert_eq!(dag.tree(*id), tree, "n = {n}");
+            }
+            // Idempotent: a second enumeration interns nothing new.
+            let nodes = dag.num_nodes();
+            assert_eq!(dag.enumerate_roots(), roots);
+            assert_eq!(dag.num_nodes(), nodes);
+        }
+    }
+
+    #[test]
+    fn dag_shares_subtrees_across_full_trees() {
+        // Distinct sub-trees over all spans of n = 7: sum over span
+        // lengths L of (n - L + 1) * Catalan(L - 1) = 301, versus
+        // 132 trees x 6 associations = 792 without sharing.
+        let mut dag = SpanDag::new(7);
+        let roots = dag.enumerate_roots();
+        assert_eq!(roots.len(), 132);
+        assert_eq!(dag.num_nodes(), 301);
+        // Children always precede parents (ids are topologically sorted).
+        for id in 0..dag.num_nodes() {
+            if let Some((l, r)) = dag.children(id) {
+                assert!(l < id && r < id);
+                let (llo, lhi) = dag.span(l);
+                let (rlo, rhi) = dag.span(r);
+                assert_eq!(lhi + 1, rlo);
+                assert_eq!(dag.span(id), (llo, rhi));
+            }
+        }
+    }
+
+    #[test]
+    fn dag_interning_dedupes_explicit_trees() {
+        let mut dag = SpanDag::new(5);
+        let roots = dag.enumerate_roots();
+        let nodes = dag.num_nodes();
+        // Every enumerated tree interns back to its existing node.
+        for (id, tree) in roots.iter().zip(ParenTree::enumerate(0, 4)) {
+            assert_eq!(dag.intern_tree(&tree), Some(*id));
+        }
+        assert_eq!(dag.num_nodes(), nodes, "no duplicates created");
+        // Interning into a fresh DAG builds only the needed sub-trees.
+        let mut sparse = SpanDag::new(5);
+        let t = ParenTree::left_to_right(0, 4);
+        let id = sparse.intern_tree(&t).unwrap();
+        assert_eq!(sparse.tree(id), &t);
+        assert_eq!(sparse.num_nodes(), 5 + 4, "leaves + one spine");
+    }
+
+    #[test]
+    fn dag_rejects_malformed_trees() {
+        let mut dag = SpanDag::new(3);
+        // Leaf out of range.
+        assert_eq!(dag.intern_tree(&ParenTree::Leaf(3)), None);
+        // Sibling spans not adjacent (leaf repeated / gap).
+        let twin = ParenTree::node(ParenTree::Leaf(0), ParenTree::Leaf(0));
+        assert_eq!(dag.intern_tree(&twin), None);
+        let gap = ParenTree::node(ParenTree::Leaf(0), ParenTree::Leaf(2));
+        assert_eq!(dag.intern_tree(&gap), None);
+        // A valid tree still interns after the rejections.
+        assert!(dag.intern_tree(&ParenTree::left_to_right(0, 2)).is_some());
     }
 }

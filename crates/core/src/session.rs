@@ -75,10 +75,13 @@
 
 use crate::builder::BuildError;
 use crate::dp::DpSolver;
-use crate::enumerate::{build_pool, EnumerateError, DEFAULT_VARIANT_CAP};
+use crate::enumerate::{
+    active_enum_mode, build_pool_naive, EnumMode, EnumerateError, DEFAULT_VARIANT_CAP,
+};
 use crate::expand::{expand_set_striped, CostMatrix, ExpandScratch};
 use crate::paren::ParenTree;
 use crate::persist::{options_key, PersistError, SessionSnapshot};
+use crate::pool::PoolBuilder;
 use crate::program::{CompileOptions, CompiledChain, CostModel, ProgramError};
 use crate::theory::{fanning_out_set, select_base_set};
 use crate::variant::Variant;
@@ -146,6 +149,7 @@ pub struct CompileSession {
     cache_capacity: usize,
     cache_tick: u64,
     cache_stats: CacheStats,
+    pool: PoolBuilder,
     matrix: CostMatrix,
     expand: ExpandScratch,
     gemm_ws: GemmWorkspace,
@@ -177,6 +181,7 @@ impl CompileSession {
             cache_capacity: DEFAULT_CHAIN_CACHE_CAPACITY,
             cache_tick: 0,
             cache_stats: CacheStats::default(),
+            pool: PoolBuilder::new(),
             matrix: CostMatrix::new(),
             expand: ExpandScratch::default(),
             gemm_ws: GemmWorkspace::new(),
@@ -272,8 +277,44 @@ impl CompileSession {
                 cap: self.variant_cap,
             });
         }
-        let trees = ParenTree::enumerate(0, shape.len() - 1);
-        build_pool(shape, &trees, self.jobs).map_err(EnumerateError::Build)
+        let id = self.shapes.intern(shape);
+        self.full_pool(id).map_err(EnumerateError::Build)
+    }
+
+    /// The full variant pool for an interned shape, through the engine
+    /// [`active_enum_mode`] selects. The memoized engine reuses the
+    /// session's [`PoolBuilder`] scratch, invalidated whenever the
+    /// interned shape (the memo key) changes.
+    fn full_pool(&mut self, id: ShapeId) -> Result<Vec<Variant>, BuildError> {
+        let CompileSession {
+            shapes, pool, jobs, ..
+        } = self;
+        let shape = shapes.get(id);
+        match active_enum_mode() {
+            EnumMode::Memoized => pool.build_full(Some(id), shape, *jobs),
+            EnumMode::Naive => {
+                let trees = ParenTree::enumerate(0, shape.len() - 1);
+                build_pool_naive(shape, &trees, *jobs)
+            }
+        }
+    }
+
+    /// Lower an explicit list of parenthesizations for an interned shape
+    /// (the restore path), sharing sub-span fragments across trees in
+    /// the memoized mode.
+    fn pool_for_trees(
+        &mut self,
+        id: ShapeId,
+        trees: &[ParenTree],
+    ) -> Result<Vec<Variant>, BuildError> {
+        let CompileSession {
+            shapes, pool, jobs, ..
+        } = self;
+        let shape = shapes.get(id);
+        match active_enum_mode() {
+            EnumMode::Memoized => pool.build_for_trees(Some(id), shape, trees, *jobs),
+            EnumMode::Naive => build_pool_naive(shape, trees, *jobs),
+        }
     }
 
     /// The per-instance optimal cost for `shape`, through the session's
@@ -445,8 +486,7 @@ impl CompileSession {
         let enumerable =
             ParenTree::count(shape.len()) <= ENUMERATION_CAP.min(u128::from(self.variant_cap));
         let pool: Vec<Variant> = if enumerable {
-            let trees = ParenTree::enumerate(0, shape.len() - 1);
-            build_pool(&shape, &trees, self.jobs)?
+            self.full_pool(id)?
         } else {
             fanning_out_set(&shape)?
                 .into_iter()
@@ -637,7 +677,8 @@ impl CompileSession {
             if self.compiled.contains_key(&id) || pending.iter().any(|(pid, ..)| *pid == id) {
                 continue;
             }
-            let variants = build_pool(shape, parens, self.jobs)
+            let variants = self
+                .pool_for_trees(id, parens)
                 .map_err(|e| PersistError::Rebuild(e.to_string()))?;
             pending.push((id, shape.clone(), variants));
         }

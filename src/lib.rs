@@ -81,10 +81,42 @@
 //!   reference. The DP solver's final-state fold shares the engine's
 //!   first-strict-minimum helper.
 //! * **Trajectory**: `BENCH_select.json` records scalar-vs-SIMD and
-//!   the cumulative speedup over the PR 3 pipeline (~3x single-thread
-//!   end-to-end on the AVX-512 dev host: ~25x on the matrix fill
-//!   itself, with variant enumeration now the dominant remaining
-//!   stage).
+//!   the cumulative speedup over the PR 3 pipeline (~25x on the matrix
+//!   fill itself).
+//!
+//! # The memoized enumeration engine (`gmc_core::pool`)
+//!
+//! With the fill vectorized, variant enumeration (`build_pool`) was the
+//! dominant selection stage: every one of the `Catalan(n - 1)` trees
+//! re-lowered its sub-spans from scratch, even though a sub-span's
+//! association steps depend only on that span's leaf descriptors. The
+//! engine now:
+//!
+//! * enumerates parenthesizations as a **span DAG**
+//!   (`gmc_core::paren::SpanDag`): each distinct sub-tree interned once
+//!   per `(i, j)` span — 301 nodes instead of 792 per-tree associations
+//!   for `n = 7`;
+//! * lowers each DAG node **exactly once** into a step *fragment*
+//!   (rewrites, kernel assignment, feature inference) with span-local
+//!   `ValRef`s and an exact cumulative cost polynomial;
+//! * assembles each variant by splicing its fragments in the builder's
+//!   leftmost-available-first order with a constant `Temp`-offset
+//!   renumber — valid because that total order decomposes recursively
+//!   as `order(left) ++ order(right) ++ [root]`, so a sub-tree's steps
+//!   always form one contiguous, relocatable block.
+//!
+//! The assembled pool is **bit-identical** to per-tree `build_variant`
+//! lowering (which stays as the cross-checked reference), pinned by a
+//! property test over random structured/inverted/transposed shapes ×
+//! thread counts (`crates/core/tests/pool_memo.rs`). `GMC_ENUM=naive`
+//! pins the reference engine at runtime — the same pattern as
+//! `GMC_SIMD` — and CI runs the core tests plus the selection smoke on
+//! that rung. On the dev host the memoized engine builds the `n = 7`
+//! pool ~4.1x faster than naive lowering, taking cold single-thread
+//! end-to-end selection from ~2.9 ms to ~1.05 ms — ~0.70 ms on the
+//! memo-warm repeat a serving session sees (`BENCH_select.json`:
+//! `enumerate_*` / `warm_session_ms` fields; ~7x cumulative vs the
+//! PR 3 pipeline).
 //!
 //! Three knobs scale the pipeline:
 //!
