@@ -19,9 +19,10 @@
 //! `--smoke` shrinks the workload for CI.
 
 use gmc_core::CompileOptions;
-use gmc_serve::{CompileRequest, CompileResponse, CompileService, Emit, ServeConfig};
+use gmc_serve::fault::FaultPlan;
+use gmc_serve::{CompileRequest, CompileResponse, CompileService, Emit, FailureKind, ServeConfig};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A workload of distinct chain programs: lengths 3..=3+k with feature
 /// mixes cycling through general, triangular-solve, and SPD operands.
@@ -58,6 +59,7 @@ fn submit_all(service: &mut CompileService, sources: &[String]) -> Vec<CompileRe
             name: Some(format!("x{i}")),
             source: source.clone(),
             emit: Emit::Both,
+            deadline: None,
         });
     }
     let mut responses = service.drain();
@@ -70,6 +72,82 @@ fn files_of(responses: &[CompileResponse]) -> Vec<Vec<(String, String)>> {
         .iter()
         .map(|r| r.result.as_ref().expect("workload compiles").files.clone())
         .collect()
+}
+
+/// Outcome rates and completion-latency tail of an overload burst.
+struct Overload {
+    burst: usize,
+    queue_cap: usize,
+    delay_ms: u64,
+    deadline_ms: u64,
+    served: usize,
+    shed: usize,
+    expired: usize,
+    shed_rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn run_overload_burst(options: &CompileOptions, burst: usize) -> Overload {
+    const QUEUE_CAP: usize = 16;
+    const DELAY_MS: u64 = 25;
+    const DEADLINE_MS: u64 = 100;
+    let source = "Matrix A <General, Singular>; Matrix B <General, Singular>; X := A * B;";
+    let config = ServeConfig {
+        shards: 1,
+        options: options.clone(),
+        queue_cap: QUEUE_CAP,
+        faults: FaultPlan::parse(&format!("delay:{DELAY_MS}")).expect("delay spec"),
+        ..ServeConfig::default()
+    };
+    let mut service = CompileService::start(config).expect("overload start");
+
+    let t0 = Instant::now();
+    for i in 0..burst {
+        service.submit(CompileRequest {
+            id: i as u64,
+            name: None,
+            source: source.to_owned(),
+            emit: Emit::Cpp,
+            deadline: Some(Duration::from_millis(DEADLINE_MS)),
+        });
+    }
+    let mut latencies_ms = Vec::with_capacity(burst);
+    let (mut served, mut shed, mut expired) = (0usize, 0usize, 0usize);
+    while let Some(response) = service.recv() {
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        match &response.result {
+            Ok(_) => served += 1,
+            Err(f) if f.kind == FailureKind::Overloaded => shed += 1,
+            Err(f) if f.kind == FailureKind::DeadlineExceeded => expired += 1,
+            Err(f) => panic!("unexpected failure under overload: {f}"),
+        }
+    }
+    let _ = service.shutdown();
+
+    assert_eq!(
+        served + shed + expired,
+        burst,
+        "every burst request gets exactly one response"
+    );
+    assert!(
+        shed > 0,
+        "a {burst}-deep burst over a {QUEUE_CAP}-slot queue must shed"
+    );
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: usize| latencies_ms[(latencies_ms.len() - 1) * p / 100];
+    Overload {
+        burst,
+        queue_cap: QUEUE_CAP,
+        delay_ms: DELAY_MS,
+        deadline_ms: DEADLINE_MS,
+        served,
+        shed,
+        expired,
+        shed_rate: shed as f64 / burst as f64,
+        p50_ms: pct(50),
+        p99_ms: pct(99),
+    }
 }
 
 fn main() {
@@ -149,8 +227,20 @@ fn main() {
             "restored artifacts must be byte-identical to cold"
         );
         let stats = service.shutdown();
-        assert_eq!(stats.restored(), distinct);
+        assert_eq!(stats.restored(), distinct as u64);
     }
+
+    // Overload burst: a single deliberately slowed shard (25 ms injected
+    // delay per compile) with a small admission queue and a 100 ms
+    // deadline takes a burst of requests all at once. This measures the
+    // *robustness* envelope, not throughput: how much of the burst is
+    // shed at admission, how much expires in the queue, and the
+    // completion-latency tail of what does get served. Asserts are
+    // structural only (exactly one response per request, the three
+    // outcome classes partition the burst) — the rates themselves are
+    // the recorded result.
+    let burst = if smoke { 40 } else { 120 };
+    let overload = run_overload_burst(&options, burst);
 
     let per_req = |s: f64| s * 1e3 / distinct as f64;
     let (cold_ms, warm_ms, restored_ms) = (per_req(cold_s), per_req(warm_s), per_req(restored_s));
@@ -160,6 +250,21 @@ fn main() {
         "serve {distinct} shapes x {shards} shards: cold {cold_ms:8.3} ms/req   \
          warm {warm_ms:8.3} ms/req ({warm_speedup:.1}x)   \
          restored {restored_ms:8.3} ms/req ({restored_speedup:.1}x, snapshot {snapshot_bytes} B)"
+    );
+    println!(
+        "overload burst {burst} -> 1 shard (queue {cap}, +{delay} ms/compile, {dl} ms deadline): \
+         served {served}   expired {expired}   shed {shed} ({rate:.0}%)   \
+         completion p50 {p50:.1} ms   p99 {p99:.1} ms",
+        burst = overload.burst,
+        cap = overload.queue_cap,
+        delay = overload.delay_ms,
+        dl = overload.deadline_ms,
+        served = overload.served,
+        expired = overload.expired,
+        shed = overload.shed,
+        rate = overload.shed_rate * 100.0,
+        p50 = overload.p50_ms,
+        p99 = overload.p99_ms,
     );
 
     let mut json = String::from("{\n  \"bench\": \"serve_cold_warm_restored\",\n");
@@ -178,6 +283,28 @@ fn main() {
         "  \"restored_speedup_vs_cold\": {restored_speedup:.2},"
     );
     let _ = writeln!(json, "  \"snapshot_bytes\": {snapshot_bytes},");
+    let _ = writeln!(json, "  \"overload_burst\": {},", overload.burst);
+    let _ = writeln!(json, "  \"overload_queue_cap\": {},", overload.queue_cap);
+    let _ = writeln!(json, "  \"overload_delay_ms\": {},", overload.delay_ms);
+    let _ = writeln!(
+        json,
+        "  \"overload_deadline_ms\": {},",
+        overload.deadline_ms
+    );
+    let _ = writeln!(json, "  \"overload_served\": {},", overload.served);
+    let _ = writeln!(json, "  \"overload_expired\": {},", overload.expired);
+    let _ = writeln!(json, "  \"overload_shed\": {},", overload.shed);
+    let _ = writeln!(json, "  \"overload_shed_rate\": {:.4},", overload.shed_rate);
+    let _ = writeln!(
+        json,
+        "  \"overload_completion_p50_ms\": {:.3},",
+        overload.p50_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"overload_completion_p99_ms\": {:.3},",
+        overload.p99_ms
+    );
     let _ = writeln!(
         json,
         "  \"note\": \"restored replay verified cache-hit and byte-identical to cold; \

@@ -299,13 +299,27 @@ impl SessionSnapshot {
         })
     }
 
-    /// Write the encoded snapshot to `path`.
+    /// Write the encoded snapshot to `path` **atomically**: the bytes go
+    /// to a `<path>.tmp` sibling in the same directory first and are
+    /// renamed into place, so a crash mid-write can never leave a
+    /// truncated snapshot at `path` — readers see either the old file or
+    /// the new one, whole.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates I/O failures (the temp file is cleaned up on a failed
+    /// rename).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        Ok(std::fs::write(path, self.encode())?)
+        let path = path.as_ref();
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        std::fs::write(&tmp, self.encode())?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
     }
 
     /// Read and decode a snapshot from `path`.

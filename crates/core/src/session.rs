@@ -114,6 +114,11 @@ pub struct CacheStats {
     /// Chains evicted by the LRU policy (capacity pressure only — not
     /// invalidations from option changes).
     pub evictions: u64,
+    /// Chains inserted by snapshot restore ([`CompileSession::restore`] /
+    /// [`CompileSession::restore_filtered`]) rather than compiled.
+    /// Restores count as neither hits nor misses; a restored chain's
+    /// first *compile* is a hit.
+    pub restored: u64,
 }
 
 impl CacheStats {
@@ -127,6 +132,16 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Fold `other`'s counters into this one. Supervised services use
+    /// this to carry a shard's cumulative counters across session
+    /// restarts (a replaced session starts back at zero).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.restored += other.restored;
     }
 }
 
@@ -687,6 +702,7 @@ impl CompileSession {
             self.cache_tick += 1;
             self.insert_cached(id, CompiledChain::from_variants(shape, variants));
         }
+        self.cache_stats.restored += restored as u64;
         Ok(restored)
     }
 }

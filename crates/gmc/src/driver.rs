@@ -76,7 +76,22 @@ pub struct DriverConfig {
     /// Warm-restart snapshot file (serve mode): loaded on start if it
     /// exists, written on shutdown.
     pub persist: Option<PathBuf>,
+    /// Default per-request deadline in milliseconds (serve mode);
+    /// requests may override it with their own `deadline_ms` field.
+    pub deadline_ms: Option<u64>,
+    /// Admission control (serve mode): max queued + in-flight requests
+    /// per shard before submissions are shed with `overloaded`.
+    pub queue_cap: usize,
+    /// Longest accepted JSONL request line in bytes (serve mode);
+    /// oversized lines are answered with an in-band `bad_request` error.
+    pub max_line_bytes: usize,
+    /// Honor in-band `{"op":"fault"}` requests (serve mode). The
+    /// `GMC_FAULT` environment variable is read regardless.
+    pub enable_faults: bool,
 }
+
+/// Default bound on a JSONL request line in serve mode (1 MiB).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Errors from the driver.
 #[derive(Debug)]
@@ -119,6 +134,10 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
         serve: None,
         cache_cap: gmc_core::DEFAULT_CHAIN_CACHE_CAPACITY,
         persist: None,
+        deadline_ms: None,
+        queue_cap: gmc_serve::DEFAULT_QUEUE_CAP,
+        max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        enable_faults: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -145,6 +164,35 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
                         .into(),
                 );
             }
+            "--deadline-ms" => {
+                config.deadline_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms: &u64| ms >= 1)
+                        .ok_or_else(|| {
+                            DriverError::Usage("--deadline-ms needs a positive integer".into())
+                        })?,
+                );
+            }
+            "--queue-cap" => {
+                config.queue_cap = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&c: &usize| c >= 1)
+                    .ok_or_else(|| {
+                        DriverError::Usage("--queue-cap needs a positive integer".into())
+                    })?;
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 2)
+                    .ok_or_else(|| {
+                        DriverError::Usage("--max-line-bytes needs an integer >= 2".into())
+                    })?;
+            }
+            "--enable-faults" => config.enable_faults = true,
             "--out" => {
                 config.out_dir = it
                     .next()
@@ -462,33 +510,143 @@ pub fn run(config: &DriverConfig) -> Result<RunOutcome, DriverError> {
     Ok(outcome)
 }
 
+/// Interrupt flag shared with the signal handlers: SIGTERM/SIGINT set
+/// it, the serve loop polls it and switches to the graceful drain
+/// sequence (stop accepting → drain → final snapshot → exit).
+static SHUTDOWN_SIGNAL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // Only an atomic store: the handler must stay async-signal-safe.
+    SHUTDOWN_SIGNAL.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Route SIGTERM and SIGINT to [`SHUTDOWN_SIGNAL`]. Declared directly
+/// against libc (which std already links) so the build stays
+/// dependency-free; on non-unix targets this is a no-op and only stdin
+/// EOF triggers the drain.
+fn install_shutdown_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_shutdown_signal as *const () as usize);
+            signal(SIGTERM, on_shutdown_signal as *const () as usize);
+        }
+    }
+}
+
+/// One request line read under the serve loop's line-length bound.
+enum BoundedLine {
+    /// A complete line within the bound (trailing `\r` stripped).
+    Line(String),
+    /// The line exceeded the bound; it was consumed but not buffered.
+    Oversized,
+    /// The line fit but was not valid UTF-8.
+    BadUtf8,
+    /// End of input.
+    Eof,
+}
+
+/// Read one `\n`-terminated line without ever buffering more than `max`
+/// bytes of it: an oversized line is *consumed* (so the stream stays
+/// in sync) but reported instead of returned, which is what keeps a
+/// hostile or buggy client from growing the daemon's memory without
+/// bound.
+fn read_bounded_line(
+    reader: &mut dyn std::io::BufRead,
+    max: usize,
+) -> std::io::Result<BoundedLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() && !oversized {
+                return Ok(BoundedLine::Eof);
+            }
+            break; // final line without trailing newline
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !oversized && buf.len() + pos <= max {
+                    buf.extend_from_slice(&chunk[..pos]);
+                } else {
+                    oversized = true;
+                }
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                if !oversized && buf.len() + len <= max {
+                    buf.extend_from_slice(chunk);
+                } else {
+                    oversized = true;
+                    buf.clear();
+                }
+                reader.consume(len);
+            }
+        }
+    }
+    if oversized {
+        return Ok(BoundedLine::Oversized);
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(BoundedLine::Line(s)),
+        Err(_) => Ok(BoundedLine::BadUtf8),
+    }
+}
+
+/// What the reader thread feeds the serve loop.
+enum InMsg {
+    Item(BoundedLine),
+    Io(std::io::Error),
+}
+
 /// Serve mode (`gmcc --serve <path|->`): front a
 /// [`gmc_serve::CompileService`] with JSONL requests from a file or
 /// stdin, streaming one JSONL response line per request to stdout (see
 /// [`gmc_serve::jsonl`] for the wire format). `--jobs` sets the shard
 /// count, `--cache-cap` bounds each shard's compiled-chain cache, and
 /// `--persist FILE` makes restarts warm: the snapshot is loaded on start
-/// (if present) and rewritten on shutdown. The C++ runtime header is
-/// attached to the first response that carries a `.cpp` artifact.
+/// (if present; a corrupt file is quarantined to `<path>.bad`) and
+/// rewritten atomically on shutdown. `--deadline-ms` and `--queue-cap`
+/// set the admission-control defaults; `--max-line-bytes` bounds input
+/// lines; `--enable-faults` honors in-band `{"op":"fault"}` requests
+/// (the `GMC_FAULT` environment variable is read regardless, and a
+/// malformed spec refuses to start). The C++ runtime header is attached
+/// to the first response that carries a `.cpp` artifact.
+///
+/// Input ends on EOF or on SIGTERM/SIGINT; both run the same graceful
+/// drain: stop accepting, answer everything in flight, write the final
+/// snapshot, exit.
 ///
 /// Returns `(requests, failed requests)`; request failures are reported
-/// in-band as `"ok":false` response lines, so the daemon itself exits
-/// zero unless the transport or snapshot is broken.
+/// in-band as `"ok":false` response lines with a typed `kind`, so the
+/// daemon itself exits zero unless the transport or snapshot is broken.
 ///
 /// # Errors
 ///
 /// Returns [`DriverError`] for transport-level problems: unreadable
-/// request source, a corrupt or incompatible snapshot, or a broken
-/// stdout pipe.
+/// request source, an incompatible snapshot, a malformed `GMC_FAULT`
+/// spec, or a broken stdout pipe.
 pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
-    use gmc_serve::{jsonl, CompileRequest, CompileService, Emit, ServeConfig};
+    use gmc_serve::fault::FaultPlan;
+    use gmc_serve::{jsonl, CompileRequest, CompileService, Emit, FailureKind, ServeConfig};
     use std::io::{BufRead, Write};
 
     let source = config
         .serve
         .as_deref()
         .expect("serve mode requires --serve");
-    let reader: Box<dyn BufRead> = if source == "-" {
+    let mut reader: Box<dyn BufRead + Send> = if source == "-" {
         Box::new(std::io::BufReader::new(std::io::stdin()))
     } else {
         let path = PathBuf::from(source);
@@ -500,13 +658,48 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
         EmitKind::Rust => Emit::Rust,
         EmitKind::Both => Emit::Both,
     };
+    let faults = FaultPlan::from_env().map_err(DriverError::Usage)?;
+    if faults.is_armed() {
+        eprintln!(
+            "gmcc --serve: fault injection armed from {}",
+            gmc_serve::fault::FAULT_ENV
+        );
+    }
+    install_shutdown_handlers();
     let mut service = CompileService::start(ServeConfig {
         shards: config.jobs,
         options: compile_options(config),
         cache_capacity: config.cache_cap,
         snapshot_path: config.persist.clone(),
+        queue_cap: config.queue_cap,
+        default_deadline: config.deadline_ms.map(std::time::Duration::from_millis),
+        restart: gmc_serve::RestartPolicy::default(),
+        faults: faults.clone(),
     })
     .map_err(|e| DriverError::Compile(e.to_string()))?;
+
+    // Input is read on its own thread so the serve loop can keep
+    // streaming responses and polling the shutdown flag while the
+    // reader blocks on a quiet stdin.
+    let (line_tx, line_rx) = std::sync::mpsc::channel::<InMsg>();
+    let max_line = config.max_line_bytes;
+    std::thread::spawn(move || loop {
+        match read_bounded_line(reader.as_mut(), max_line) {
+            Ok(BoundedLine::Eof) => {
+                let _ = line_tx.send(InMsg::Item(BoundedLine::Eof));
+                break;
+            }
+            Ok(item) => {
+                if line_tx.send(InMsg::Item(item)).is_err() {
+                    break; // serve loop is gone (drain path)
+                }
+            }
+            Err(e) => {
+                let _ = line_tx.send(InMsg::Io(e));
+                break;
+            }
+        }
+    });
 
     /// Streams response lines, attaching the C++ runtime header to the
     /// first `.cpp`-carrying response and counting in-band failures.
@@ -546,18 +739,50 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
         header_sent: false,
         failures: 0,
     };
-    let error_response = |id: u64, msg: String| gmc_serve::CompileResponse {
-        id,
-        shard: None,
-        cache_hit: false,
-        result: Err(msg),
+    let bad_request = |id: u64, msg: String| {
+        gmc_serve::CompileResponse::failure(id, FailureKind::BadRequest, msg)
     };
 
     let mut requests: u64 = 0;
-    for line in reader.lines() {
-        let line = line.map_err(|e| DriverError::Io(PathBuf::from(source), e))?;
+    'accept: loop {
+        if SHUTDOWN_SIGNAL.load(std::sync::atomic::Ordering::SeqCst) {
+            eprintln!("gmcc --serve: shutdown signal received; draining");
+            break 'accept;
+        }
+        let msg = match line_rx.recv_timeout(std::time::Duration::from_millis(50)) {
+            Ok(msg) => msg,
+            // Idle beat: stream finished work, then poll the flag again.
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                while let Some(response) = service.try_recv() {
+                    writer.emit(response)?;
+                }
+                continue 'accept;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break 'accept,
+        };
+        let line = match msg {
+            InMsg::Io(e) => return Err(DriverError::Io(PathBuf::from(source), e)),
+            InMsg::Item(BoundedLine::Eof) => break 'accept,
+            InMsg::Item(BoundedLine::Oversized) => {
+                requests += 1;
+                writer.emit(bad_request(
+                    requests,
+                    format!("request line exceeds {max_line} bytes"),
+                ))?;
+                continue 'accept;
+            }
+            InMsg::Item(BoundedLine::BadUtf8) => {
+                requests += 1;
+                writer.emit(bad_request(
+                    requests,
+                    "request line is not valid UTF-8".into(),
+                ))?;
+                continue 'accept;
+            }
+            InMsg::Item(BoundedLine::Line(line)) => line,
+        };
         if line.trim().is_empty() {
-            continue;
+            continue 'accept;
         }
         requests += 1;
         // Requests without an explicit id (and malformed lines) are
@@ -569,35 +794,55 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
             Ok(raw) => {
                 let id = raw.id.unwrap_or(stream_id);
                 match raw.op.as_deref() {
-                    // In-band service query: answered synchronously
-                    // (the counters observe every compile submitted
-                    // before this line; responses still stream in
-                    // completion order).
+                    // In-band service queries: answered synchronously
+                    // (stats rides the work queues and observes every
+                    // compile submitted before this line; health reads
+                    // atomics and answers even when shards are wedged).
                     Some("stats") => writer.raw(&jsonl::stats_line(id, &service.stats()))?,
-                    Some(other) => {
-                        writer.emit(error_response(id, format!("unknown op `{other}`")))?;
+                    Some("health") => writer.raw(&jsonl::health_line(id, &service.health()))?,
+                    Some("fault") if !config.enable_faults => {
+                        writer.emit(bad_request(
+                            id,
+                            "fault injection is disabled (run with --enable-faults)".into(),
+                        ))?;
                     }
-                    None => match raw.emit.as_deref().map(Emit::parse) {
-                        None => service.submit(CompileRequest {
-                            id,
-                            name: raw.name,
-                            source: raw.source,
-                            emit: default_emit,
-                        }),
-                        Some(Ok(emit)) => service.submit(CompileRequest {
-                            id,
-                            name: raw.name,
-                            source: raw.source,
-                            emit,
-                        }),
-                        Some(Err(msg)) => writer.emit(error_response(id, msg))?,
+                    Some("fault") => match raw.spec.as_deref() {
+                        Some(spec) => match faults.arm(spec) {
+                            Ok(()) => writer.raw(&jsonl::ack_line(id, "fault"))?,
+                            Err(e) => {
+                                writer.emit(bad_request(id, format!("bad fault spec: {e}")))?;
+                            }
+                        },
+                        None => {
+                            writer.emit(bad_request(id, "fault op needs a `spec` field".into()))?;
+                        }
                     },
+                    Some(other) => {
+                        writer.emit(bad_request(id, format!("unknown op `{other}`")))?;
+                    }
+                    None => {
+                        let deadline = raw.deadline_ms.map(std::time::Duration::from_millis);
+                        match raw.emit.as_deref().map(Emit::parse) {
+                            None => service.submit(CompileRequest {
+                                id,
+                                name: raw.name,
+                                source: raw.source,
+                                emit: default_emit,
+                                deadline,
+                            }),
+                            Some(Ok(emit)) => service.submit(CompileRequest {
+                                id,
+                                name: raw.name,
+                                source: raw.source,
+                                emit,
+                                deadline,
+                            }),
+                            Some(Err(msg)) => writer.emit(bad_request(id, msg))?,
+                        }
+                    }
                 }
             }
-            Err(msg) => writer.emit(error_response(
-                stream_id,
-                format!("bad request line: {msg}"),
-            ))?,
+            Err(msg) => writer.emit(bad_request(stream_id, format!("bad request line: {msg}")))?,
         }
         // Stream whatever has already finished before blocking on more
         // input.
@@ -605,6 +850,9 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
             writer.emit(response)?;
         }
     }
+    // Graceful drain: accepting has stopped (EOF or signal); answer
+    // everything in flight, then persist the final snapshot atomically
+    // so the next start is warm.
     while let Some(response) = service.recv() {
         writer.emit(response)?;
     }
@@ -617,10 +865,12 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
     let stats = service.shutdown();
     eprintln!(
         "gmcc --serve: {requests} request(s), {failures} failed, {} shard(s), \
-         {} cache hit(s), {} restored from snapshot",
+         {} cache hit(s), {} restored from snapshot, {} panic(s) caught, {} restart(s)",
         stats.shards.len(),
         stats.cache_hits(),
         stats.restored(),
+        stats.panics(),
+        stats.restarts(),
     );
     Ok((requests, failures))
 }
@@ -634,7 +884,9 @@ USAGE:
     gmcc <input.gmc>... [--out DIR] [--name IDENT] [--emit cpp|rust|both]
          [--expand K] [--train N] [--jobs N] [--report]
     gmcc --serve <requests.jsonl|-> [--jobs SHARDS] [--cache-cap N]
-         [--persist FILE] [--emit cpp|rust|both] [--expand K] [--train N]
+         [--persist FILE] [--deadline-ms MS] [--queue-cap N]
+         [--max-line-bytes N] [--enable-faults]
+         [--emit cpp|rust|both] [--expand K] [--train N]
 
 Multiple inputs compile as one batch ( --jobs N splits it across N
 worker threads; artifacts are identical for every N). A failing input
@@ -651,9 +903,20 @@ request source is a JSON object like
 and each response is streamed back as one JSON line. --jobs sets the
 shard count (requests route by shape hash, so repeat shapes hit a warm
 shard); --persist FILE snapshots the compiled-chain caches on shutdown
-and restores them on the next start. A line of {\"op\": \"stats\"}
-returns the per-shard cache counters (hits/misses/evictions/hit rate)
-in-band without compiling anything.
+and restores them on the next start (a corrupt snapshot is quarantined
+to FILE.bad and the daemon starts cold). Shards are supervised: a
+panicking shard restarts warm from the latest snapshot, with a circuit
+breaker after repeated failures. --queue-cap bounds each shard's queue
+(overflow is shed with an in-band `overloaded` error), --deadline-ms
+sets the default per-request deadline (requests may override it with a
+`deadline_ms` field), and --max-line-bytes bounds request lines.
+SIGTERM/SIGINT or EOF drain gracefully: in-flight requests are
+answered and the final snapshot is written before exit. A line of
+{\"op\": \"stats\"} returns per-shard cache counters, {\"op\":
+\"health\"} per-shard liveness and robustness counters; {\"op\":
+\"fault\", \"spec\": \"panic:0:3\"} arms fault injection when the
+daemon runs with --enable-faults (the GMC_FAULT environment variable
+arms the same faults at startup).
 "
 }
 
@@ -921,13 +1184,43 @@ mod tests {
             "17".into(),
             "--persist".into(),
             "snap.txt".into(),
+            "--deadline-ms".into(),
+            "250".into(),
+            "--queue-cap".into(),
+            "8".into(),
+            "--max-line-bytes".into(),
+            "4096".into(),
+            "--enable-faults".into(),
         ])
         .unwrap();
         assert_eq!(c.serve.as_deref(), Some("-"));
         assert_eq!(c.jobs, 3);
         assert_eq!(c.cache_cap, 17);
         assert_eq!(c.persist, Some(PathBuf::from("snap.txt")));
+        assert_eq!(c.deadline_ms, Some(250));
+        assert_eq!(c.queue_cap, 8);
+        assert_eq!(c.max_line_bytes, 4096);
+        assert!(c.enable_faults);
         assert!(c.inputs.is_empty(), "serve mode needs no inputs");
+        // Zero deadlines/queues make no sense and are rejected.
+        assert!(matches!(
+            parse_args(&[
+                "--serve".into(),
+                "-".into(),
+                "--queue-cap".into(),
+                "0".into()
+            ]),
+            Err(DriverError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&[
+                "--serve".into(),
+                "-".into(),
+                "--deadline-ms".into(),
+                "0".into()
+            ]),
+            Err(DriverError::Usage(_))
+        ));
         // Without --serve, missing inputs stay an error.
         assert!(matches!(
             parse_args(&["--cache-cap".into(), "9".into()]),
@@ -1007,5 +1300,63 @@ mod tests {
             (4, 1),
             "unknown op fails in-band"
         );
+    }
+
+    #[test]
+    fn serve_bounds_line_length_and_answers_health_in_band() {
+        let dir = std::env::temp_dir().join("gmcc_serve_bounded_lines");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests = dir.join("requests.jsonl");
+        let src = SRC.replace('\n', " ");
+        // An oversized line, a non-UTF-8 line, a health query, and a
+        // healthy compile: 4 requests, 2 in-band failures, and the
+        // stream stays in sync past both bad lines.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(
+            format!("{{\"id\": 1, \"source\": \"{:65000}\"}}\n", "x").as_bytes(),
+        );
+        bytes.extend_from_slice(b"{\"id\": 2, \"source\": \"\xff\xfe bad\"}\n");
+        bytes.extend_from_slice(b"{\"id\": 3, \"op\": \"health\"}\n");
+        bytes.extend_from_slice(format!("{{\"id\": 4, \"source\": \"{src}\"}}\n").as_bytes());
+        std::fs::write(&requests, bytes).unwrap();
+        let config = parse_args(&[
+            "--serve".into(),
+            requests.to_string_lossy().into_owned(),
+            "--train".into(),
+            "40".into(),
+            "--max-line-bytes".into(),
+            "4096".into(),
+        ])
+        .unwrap();
+        let (requests_seen, failures) = run_serve(&config).unwrap();
+        assert_eq!((requests_seen, failures), (4, 2));
+    }
+
+    #[test]
+    fn serve_fault_op_is_gated_behind_enable_faults() {
+        let dir = std::env::temp_dir().join("gmcc_serve_fault_gate");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests = dir.join("requests.jsonl");
+        std::fs::write(
+            &requests,
+            "{\"id\": 1, \"op\": \"fault\", \"spec\": \"delay:1\"}\n",
+        )
+        .unwrap();
+        let base = vec![
+            "--serve".to_string(),
+            requests.to_string_lossy().into_owned(),
+            "--train".to_string(),
+            "40".to_string(),
+        ];
+        // Gated off: the op is refused in-band.
+        let config = parse_args(&base).unwrap();
+        assert_eq!(run_serve(&config).unwrap(), (1, 1));
+        // Gated on: acknowledged, no failures.
+        let mut enabled = base;
+        enabled.push("--enable-faults".into());
+        let config = parse_args(&enabled).unwrap();
+        assert_eq!(run_serve(&config).unwrap(), (1, 0));
     }
 }

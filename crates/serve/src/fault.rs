@@ -1,0 +1,263 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! The supervision machinery in [`supervisor`](crate::supervisor) only
+//! earns its keep if shard deaths, latency spikes, and torn snapshot
+//! writes can be *reproduced on demand* — otherwise every robustness
+//! claim is asserted, not tested. This module is that switchboard. It is
+//! compiled unconditionally (the un-armed hot path is one relaxed atomic
+//! load) and armed two ways:
+//!
+//! * the `GMC_FAULT` environment variable, read by the `gmcc --serve`
+//!   daemon at startup ([`FaultPlan::from_env`]);
+//! * an in-band `{"op":"fault","spec":"..."}` request, accepted only
+//!   when the daemon runs with `--enable-faults`.
+//!
+//! # Fault matrix
+//!
+//! A spec is a comma-separated list of faults:
+//!
+//! | spec | effect | exercises |
+//! |------|--------|-----------|
+//! | `panic:<shard>:<nth>` | shard `<shard>` panics on its `<nth>` compile attempt (1-based, cumulative across restarts) | panic catch, warm restart, backoff, circuit breaker, exactly-one-response |
+//! | `delay:<ms>` | every compile on every shard sleeps `<ms>` ms first | queue growth, admission control (shedding), deadline expiry at dequeue and in the submitter |
+//! | `snapshot_torn` | snapshot saves write a truncated file directly to the target path, bypassing the atomic rename | corrupt-snapshot quarantine and cold start on the next boot |
+//!
+//! Panics fire *before* the session is touched, so a killed shard's
+//! session never observes a half-applied compile — which also keeps the
+//! cache counters exact for the chaos tests' bookkeeping invariants.
+//! All triggers are deterministic functions of the request stream; no
+//! clocks or randomness decide *whether* a fault fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Environment variable the `gmcc --serve` daemon reads fault specs
+/// from (e.g. `GMC_FAULT=panic:0:3,delay:5`).
+pub const FAULT_ENV: &str = "GMC_FAULT";
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Spec {
+    /// `(shard, nth compile attempt)` pairs that panic, 1-based.
+    panics: Vec<(usize, u64)>,
+    /// Injected latency before every compile.
+    delay: Option<Duration>,
+    /// Tear the next snapshot saves (truncated write, no rename).
+    snapshot_torn: bool,
+}
+
+/// A shared, thread-safe fault plan (see the [module docs](self) for
+/// the spec grammar). Clones share state, so the plan handed to
+/// [`ServeConfig`](crate::ServeConfig) can be re-armed while the
+/// service runs — that is how the daemon's `{"op":"fault"}` request
+/// works.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Fast-path guard so un-faulted services never take the lock.
+    armed: AtomicBool,
+    spec: Mutex<Spec>,
+}
+
+impl FaultPlan {
+    /// An empty (inert) plan.
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Parse a fault spec like `panic:0:3,delay:5,snapshot_torn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformed clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let plan = FaultPlan::new();
+        plan.arm(spec)?;
+        Ok(plan)
+    }
+
+    /// Build a plan from the [`FAULT_ENV`] environment variable; an
+    /// unset or empty variable yields an inert plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error of a malformed spec (a daemon should
+    /// refuse to start rather than silently run without the faults an
+    /// operator asked for).
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var(FAULT_ENV) {
+            Ok(v) if !v.trim().is_empty() => {
+                FaultPlan::parse(v.trim()).map_err(|e| format!("bad {FAULT_ENV} spec: {e}"))
+            }
+            _ => Ok(FaultPlan::new()),
+        }
+    }
+
+    /// Merge `spec`'s clauses into the live plan (panic triggers
+    /// accumulate; `delay`/`snapshot_torn` overwrite).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed clause; on error nothing
+    /// is armed.
+    pub fn arm(&self, spec: &str) -> Result<(), String> {
+        let mut add = Spec::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let mut parts = clause.split(':');
+            match parts.next().unwrap_or("") {
+                "panic" => {
+                    let shard = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("`{clause}`: expected panic:<shard>:<nth>"))?;
+                    let nth: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!("`{clause}`: expected panic:<shard>:<nth> with nth >= 1")
+                        })?;
+                    add.panics.push((shard, nth));
+                }
+                "delay" => {
+                    let ms: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("`{clause}`: expected delay:<ms>"))?;
+                    add.delay = Some(Duration::from_millis(ms));
+                }
+                "snapshot_torn" => add.snapshot_torn = true,
+                other => return Err(format!("unknown fault `{other}` in `{clause}`")),
+            }
+            if parts.next().is_some() {
+                return Err(format!("`{clause}`: trailing components"));
+            }
+        }
+        let mut spec = self.inner.spec.lock().expect("fault spec lock");
+        spec.panics.extend(add.panics);
+        if add.delay.is_some() {
+            spec.delay = add.delay;
+        }
+        spec.snapshot_torn |= add.snapshot_torn;
+        let armed = !spec.panics.is_empty() || spec.delay.is_some() || spec.snapshot_torn;
+        self.inner.armed.store(armed, Ordering::Release);
+        Ok(())
+    }
+
+    /// Disarm every fault.
+    pub fn clear(&self) {
+        *self.inner.spec.lock().expect("fault spec lock") = Spec::default();
+        self.inner.armed.store(false, Ordering::Release);
+    }
+
+    /// `true` if any fault is armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.inner.armed.load(Ordering::Acquire)
+    }
+
+    /// Shard-side hook, called by the worker at the top of every compile
+    /// attempt (`nth` is 1-based and cumulative across restarts):
+    /// injects the armed delay, then panics if a `panic:<shard>:<nth>`
+    /// trigger matches. The panic message is stable and grep-able.
+    pub(crate) fn before_compile(&self, shard: usize, nth: u64) {
+        if !self.is_armed() {
+            return;
+        }
+        let (delay, hit) = {
+            let spec = self.inner.spec.lock().expect("fault spec lock");
+            (spec.delay, spec.panics.contains(&(shard, nth)))
+        };
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        if hit {
+            panic!("injected fault: panic at shard {shard} compile {nth}");
+        }
+    }
+
+    /// `true` if snapshot saves should be torn (truncated, non-atomic).
+    pub(crate) fn tear_snapshot(&self) -> bool {
+        self.is_armed()
+            && self
+                .inner
+                .spec
+                .lock()
+                .expect("fault spec lock")
+                .snapshot_torn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_matrix() {
+        let plan = FaultPlan::parse("panic:0:3, delay:7 ,snapshot_torn,panic:1:2").unwrap();
+        assert!(plan.is_armed());
+        assert!(plan.tear_snapshot());
+        let spec = plan.inner.spec.lock().unwrap();
+        assert_eq!(spec.panics, vec![(0, 3), (1, 2)]);
+        assert_eq!(spec.delay, Some(Duration::from_millis(7)));
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(!plan.is_armed());
+        assert!(!plan.tear_snapshot());
+        plan.before_compile(0, 1); // must not panic or sleep
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "panic",
+            "panic:0",
+            "panic:x:1",
+            "panic:0:0",
+            "panic:0:1:2",
+            "delay",
+            "delay:x",
+            "frobnicate",
+            "snapshot_torn:5",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn panic_trigger_is_exact_and_one_shot_by_count() {
+        let plan = FaultPlan::parse("panic:1:2").unwrap();
+        plan.before_compile(1, 1);
+        plan.before_compile(0, 2); // other shard
+        let caught = std::panic::catch_unwind(|| plan.before_compile(1, 2));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert_eq!(msg, "injected fault: panic at shard 1 compile 2");
+        plan.before_compile(1, 3); // counter moved past the trigger
+    }
+
+    #[test]
+    fn arm_merges_and_clear_disarms() {
+        let plan = FaultPlan::new();
+        plan.arm("panic:0:1").unwrap();
+        plan.arm("delay:3").unwrap();
+        assert!(plan.is_armed());
+        {
+            let spec = plan.inner.spec.lock().unwrap();
+            assert_eq!(spec.panics, vec![(0, 1)]);
+            assert_eq!(spec.delay, Some(Duration::from_millis(3)));
+        }
+        assert!(plan.arm("bogus").is_err(), "bad arm leaves plan unchanged");
+        assert!(plan.is_armed());
+        plan.clear();
+        assert!(!plan.is_armed());
+        plan.before_compile(0, 1);
+    }
+}

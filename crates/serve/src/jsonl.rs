@@ -3,30 +3,51 @@
 //! One JSON object per line. Requests are flat objects:
 //!
 //! ```text
-//! {"id": 1, "name": "x", "emit": "both", "source": "Matrix A <General, Singular>; ..."}
+//! {"id": 1, "name": "x", "emit": "both", "deadline_ms": 500,
+//!  "source": "Matrix A <General, Singular>; ..."}
 //! ```
 //!
 //! `source` is required; `id` (default: position in the stream), `name`
-//! (default: the program's left-hand side), and `emit`
-//! (`cpp`/`rust`/`both`, default: the daemon's `--emit`) are optional.
-//! Responses are one line per request, in completion order:
+//! (default: the program's left-hand side), `emit`
+//! (`cpp`/`rust`/`both`, default: the daemon's `--emit`), and
+//! `deadline_ms` (default: the daemon's `--deadline-ms`) are optional.
+//! Responses are one line per request, in completion order. Failures
+//! carry a stable `kind` ([`crate::FailureKind::as_str`]) so callers
+//! can tell load-shedding (`overloaded`, `deadline_exceeded`,
+//! `shard_panic`, `shard_down` — retryable) from bad requests (`parse`,
+//! `compile`, `bad_request` — not):
 //!
 //! ```text
 //! {"id":1,"ok":true,"shard":0,"cache_hit":false,
 //!  "files":[{"name":"x.cpp","content":"..."}],"report":"..."}
-//! {"id":2,"ok":false,"error":"parse error: ..."}
+//! {"id":2,"ok":false,"kind":"parse","error":"parse error: ..."}
+//! {"id":3,"ok":false,"shard":1,"kind":"overloaded","error":"..."}
 //! ```
 //!
 //! A request may instead carry an `op` field for in-band service
-//! queries (no `source` needed). The only operation today is
-//! `{"op": "stats"}`, answered with one line of per-shard cache
-//! counters (see [`stats_line`]):
+//! queries (no `source` needed):
 //!
-//! ```text
-//! {"id":3,"ok":true,"op":"stats","shards":[{"shard":0,"requests":2,
-//!  "hits":1,"misses":1,"evictions":0,"hit_rate":0.5000,"restored":0}],
-//!  "total_requests":2,"total_hits":1}
-//! ```
+//! * `{"op": "stats"}` — per-shard cache counters (see [`stats_line`]):
+//!
+//!   ```text
+//!   {"id":3,"ok":true,"op":"stats","shards":[{"shard":0,"requests":2,
+//!    "hits":1,"misses":1,"evictions":0,"hit_rate":0.5000,"restored":0}],
+//!    "total_requests":2,"total_hits":1}
+//!   ```
+//!
+//! * `{"op": "health"}` — per-shard liveness and robustness counters,
+//!   answered even when shards are wedged or down (see [`health_line`]):
+//!
+//!   ```text
+//!   {"id":4,"ok":true,"op":"health","shards":[{"shard":0,"state":"up",
+//!    "restarts":1,"panics":1,"queue_depth":0,"deadline_exceeded":0,
+//!    "shed":2}],"live":1}
+//!   ```
+//!
+//! * `{"op": "fault", "spec": "panic:0:3,delay:5"}` — arm the
+//!   fault-injection plan ([`crate::fault`]); only honored when the
+//!   daemon runs with `--enable-faults`, acknowledged with
+//!   [`ack_line`].
 //!
 //! The build environment vendors no JSON crate, so this module carries a
 //! deliberately small hand parser: flat objects, string/unsigned-integer
@@ -46,9 +67,13 @@ pub struct RawRequest {
     pub name: Option<String>,
     /// Emit selector (`cpp`/`rust`/`both`), if given.
     pub emit: Option<String>,
-    /// In-band service operation (`stats`), if given; such requests
-    /// need no `source`.
+    /// In-band service operation (`stats`/`health`/`fault`), if given;
+    /// such requests need no `source`.
     pub op: Option<String>,
+    /// Fault spec for `{"op":"fault"}` requests.
+    pub spec: Option<String>,
+    /// Per-request deadline in milliseconds, if given.
+    pub deadline_ms: Option<u64>,
     /// The `.gmc` program text.
     pub source: String,
 }
@@ -84,6 +109,8 @@ pub fn parse_request(line: &str) -> Result<RawRequest, String> {
                 "name" => request.name = Some(p.string()?),
                 "emit" => request.emit = Some(p.string()?),
                 "op" => request.op = Some(p.string()?),
+                "spec" => request.spec = Some(p.string()?),
+                "deadline_ms" => request.deadline_ms = Some(p.unsigned()?),
                 "source" => {
                     request.source = p.string()?;
                     have_source = true;
@@ -135,7 +162,16 @@ pub fn response_line(response: &CompileResponse) -> String {
             let _ = write!(out, "],\"report\":\"{}\"}}", escape(&artifacts.report));
         }
         Err(e) => {
-            let _ = write!(out, ",\"ok\":false,\"error\":\"{}\"}}", escape(e));
+            out.push_str(",\"ok\":false");
+            if let Some(shard) = response.shard {
+                let _ = write!(out, ",\"shard\":{shard}");
+            }
+            let _ = write!(
+                out,
+                ",\"kind\":\"{}\",\"error\":\"{}\"}}",
+                e.kind.as_str(),
+                escape(&e.message)
+            );
         }
     }
     out
@@ -166,7 +202,7 @@ pub fn stats_line(id: u64, shards: &[crate::ShardStatus]) -> String {
             s.cache.misses,
             s.cache.evictions,
             s.cache.hit_rate(),
-            s.restored,
+            s.cache.restored,
         );
     }
     let total_requests: u64 = shards.iter().map(|s| s.requests).sum();
@@ -176,6 +212,51 @@ pub fn stats_line(id: u64, shards: &[crate::ShardStatus]) -> String {
         "],\"total_requests\":{total_requests},\"total_hits\":{total_hits}}}"
     );
     out
+}
+
+/// Render the response line of an in-band `{"op":"health"}` request:
+/// liveness (`up`/`restarting`/`down`), restart/panic counts, current
+/// queue depth, and the deadline-exceeded/shed robustness counters of
+/// every shard, plus the number of live (non-down) shards. Collected
+/// without touching the work queues, so it answers even when shards are
+/// wedged.
+#[must_use]
+pub fn health_line(id: u64, shards: &[crate::ShardHealth]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"id\":{id},\"ok\":true,\"op\":\"health\",\"shards\":["
+    );
+    for (i, h) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"state\":\"{}\",\"restarts\":{},\"panics\":{},\
+             \"queue_depth\":{},\"deadline_exceeded\":{},\"shed\":{}}}",
+            h.shard,
+            h.state.as_str(),
+            h.restarts,
+            h.panics,
+            h.queue_depth,
+            h.deadline_exceeded,
+            h.shed,
+        );
+    }
+    let live = shards
+        .iter()
+        .filter(|h| h.state != crate::ShardState::Down)
+        .count();
+    let _ = write!(out, "],\"live\":{live}}}");
+    out
+}
+
+/// Render a bare acknowledgement line for an in-band operation with no
+/// payload (today: `{"op":"fault"}`).
+#[must_use]
+pub fn ack_line(id: u64, op: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"op\":\"{}\"}}", escape(op))
 }
 
 /// JSON-escape a string (quotes, backslashes, and control characters).
@@ -374,9 +455,20 @@ mod tests {
                 name: None,
                 emit: None,
                 op: None,
+                spec: None,
+                deadline_ms: None,
                 source: "X := A;".into(),
             }
         );
+    }
+
+    #[test]
+    fn deadlines_and_fault_specs_parse() {
+        let r = parse_request(r#"{"id": 2, "deadline_ms": 250, "source": "X := A;"}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(250));
+        let r = parse_request(r#"{"op": "fault", "spec": "panic:0:3,delay:5"}"#).unwrap();
+        assert_eq!(r.op.as_deref(), Some("fault"));
+        assert_eq!(r.spec.as_deref(), Some("panic:0:3,delay:5"));
     }
 
     #[test]
@@ -401,8 +493,8 @@ mod tests {
                     hits: 1,
                     misses: 2,
                     evictions: 0,
+                    restored: 0,
                 },
-                restored: 0,
             },
             crate::ShardStatus {
                 shard: 1,
@@ -411,8 +503,8 @@ mod tests {
                     hits: 0,
                     misses: 1,
                     evictions: 0,
+                    restored: 1,
                 },
-                restored: 1,
             },
         ];
         let line = stats_line(7, &shards);
@@ -472,15 +564,60 @@ mod tests {
             "{\"id\":3,\"ok\":true,\"shard\":1,\"cache_hit\":true,\"files\":[{\"name\":\"x.cpp\",\
              \"content\":\"void x();\\n// \\\"quoted\\\"\"}],\"report\":\"chain G\\n\"}"
         );
-        let err = CompileResponse {
-            id: 4,
-            shard: None,
-            cache_hit: false,
-            result: Err("parse error: line 1".into()),
-        };
+        let err = CompileResponse::failure(4, crate::FailureKind::Parse, "parse error: line 1");
         assert_eq!(
             response_line(&err),
-            "{\"id\":4,\"ok\":false,\"error\":\"parse error: line 1\"}"
+            "{\"id\":4,\"ok\":false,\"kind\":\"parse\",\"error\":\"parse error: line 1\"}"
+        );
+        let shed = CompileResponse {
+            id: 5,
+            shard: Some(1),
+            cache_hit: false,
+            result: Err(crate::Failure::new(
+                crate::FailureKind::Overloaded,
+                "shard 1 queue is full",
+            )),
+        };
+        assert_eq!(
+            response_line(&shed),
+            "{\"id\":5,\"ok\":false,\"shard\":1,\"kind\":\"overloaded\",\
+             \"error\":\"shard 1 queue is full\"}"
+        );
+    }
+
+    #[test]
+    fn health_lines_render_liveness_and_counters() {
+        let shards = vec![
+            crate::ShardHealth {
+                shard: 0,
+                state: crate::ShardState::Up,
+                restarts: 1,
+                panics: 1,
+                queue_depth: 2,
+                deadline_exceeded: 0,
+                shed: 3,
+            },
+            crate::ShardHealth {
+                shard: 1,
+                state: crate::ShardState::Down,
+                restarts: 0,
+                panics: 5,
+                queue_depth: 0,
+                deadline_exceeded: 4,
+                shed: 0,
+            },
+        ];
+        assert_eq!(
+            health_line(9, &shards),
+            "{\"id\":9,\"ok\":true,\"op\":\"health\",\"shards\":[\
+             {\"shard\":0,\"state\":\"up\",\"restarts\":1,\"panics\":1,\
+             \"queue_depth\":2,\"deadline_exceeded\":0,\"shed\":3},\
+             {\"shard\":1,\"state\":\"down\",\"restarts\":0,\"panics\":5,\
+             \"queue_depth\":0,\"deadline_exceeded\":4,\"shed\":0}],\"live\":1}"
+        );
+        assert_eq!(
+            ack_line(3, "fault"),
+            "{\"id\":3,\"ok\":true,\"op\":\"fault\"}"
         );
     }
 }

@@ -1,605 +1,90 @@
-//! `gmc-serve`: a sharded compile service on top of
+//! `gmc-serve`: a supervised, sharded compile service on top of
 //! [`gmc_core::CompileSession`].
 //!
 //! The one-shot `gmcc` pipeline dies cold after every invocation; this
-//! crate is the serving layer that keeps it warm. It is the PlanB shape
-//! — a compact persisted structure plus a bounded in-memory cache turns
-//! a per-request computation into a lookup:
+//! crate is the serving layer that keeps it warm — and keeps it *up*.
+//! It is the PlanB shape — a compact persisted structure plus a bounded
+//! in-memory cache turns a per-request computation into a lookup — with
+//! the failure/tail behavior of the data plane treated as a first-class
+//! design axis:
 //!
 //! * **Shard pool.** [`CompileService::start`] spawns `shards` worker
 //!   threads, each owning one `CompileSession` (sessions are
 //!   single-threaded by design — one per worker, never shared).
-//! * **Shape-hash routing.** [`CompileService::submit`] parses the
-//!   request in the submitting thread and routes it by [`route`] — a
-//!   stable hash of the chain *shape* modulo the shard count — so
-//!   repeated shapes always land on the shard whose bounded LRU cache
-//!   (and warm DP solver) already holds them. Routing is a performance
-//!   hint only: every shard can compile every shape, and compilation is
-//!   deterministic, so artifacts are identical wherever a request lands.
+//! * **Shape-hash routing with fallover.** [`CompileService::submit`]
+//!   parses the request in the submitting thread and routes it by
+//!   [`route`] — a stable hash of the chain *shape* modulo the shard
+//!   count — so repeated shapes always land on the shard whose bounded
+//!   LRU cache (and warm DP solver) already holds them. Routing is a
+//!   performance hint only: every shard can compile every shape, and
+//!   compilation is deterministic, so artifacts are identical wherever
+//!   a request lands — which is what makes falling over past a down
+//!   shard safe.
+//! * **Supervision.** Each worker wraps every compile in
+//!   `catch_unwind`: a panic costs its request (answered with a typed
+//!   `shard_panic` failure) but not the shard — the supervisor discards
+//!   the poisoned session, sleeps a capped exponential backoff, and
+//!   rebuilds a fresh session rewarmed from the latest snapshot, so the
+//!   first repeat request after a restart is a cache hit. A circuit
+//!   breaker (K failures in a window) takes a repeatedly-dying shard
+//!   out of rotation instead of restart-looping; routing then falls
+//!   over to its neighbors. See [`supervisor`] for the state machine.
+//! * **Admission control and deadlines.** Per-shard queues are bounded
+//!   ([`ServeConfig::queue_cap`]); submissions past the bound are shed
+//!   with an in-band `overloaded` failure. Requests carry deadlines
+//!   ([`CompileRequest::deadline`], defaulted by
+//!   [`ServeConfig::default_deadline`]) enforced twice: at shard
+//!   dequeue (stale work is answered without compiling) and in the
+//!   submitter's receive path (a wedged shard cannot stall the stream).
+//!   Every submitted request receives **exactly one** response: an
+//!   internal sequence number deduplicates late shard responses against
+//!   submitter-side write-offs.
 //! * **Warm-restart persistence.** [`CompileService::snapshot`] merges
-//!   the per-shard caches into one
-//!   [`gmc_core::SessionSnapshot`] — shape descriptors plus selected
-//!   parenthesizations, *not* emitted code (see `gmc_core::persist` for
-//!   the `gmc-session-snapshot v1` format). On start, each shard
-//!   restores exactly the shapes that route to it under the *current*
-//!   shard count, so snapshots survive resharding. Restored chains are
-//!   bit-identical to freshly compiled ones (pinned by tests below):
-//!   the first request for a persisted shape is a cache hit, no
-//!   enumeration/DP/expansion runs.
+//!   the per-shard caches into one [`gmc_core::SessionSnapshot`] —
+//!   shape descriptors plus selected parenthesizations, *not* emitted
+//!   code (see `gmc_core::persist` for the `gmc-session-snapshot v1`
+//!   format). Saves are atomic (temp file + rename); a corrupt snapshot
+//!   found at startup is quarantined to `<path>.bad` and the service
+//!   starts cold instead of failing. On start, each shard restores
+//!   exactly the shapes that route to it under the *current* shard
+//!   count, so snapshots survive resharding. Restored chains are
+//!   bit-identical to freshly compiled ones (pinned by tests below).
+//! * **Graceful drain.** The intended shutdown sequence — what the
+//!   `gmcc --serve` daemon runs on SIGTERM/SIGINT or stdin EOF — is:
+//!   stop accepting, [`CompileService::drain`] the queues (answering
+//!   everything in flight), [`CompileService::save_snapshot`] the final
+//!   atomic snapshot, then [`CompileService::shutdown`]. Warm restarts
+//!   are the normal path, not a lucky one.
+//! * **Deterministic fault injection.** The [`fault`] module arms
+//!   shard panics, compile delays, and torn snapshot writes from a spec
+//!   string (`GMC_FAULT=panic:0:3,delay:5,snapshot_torn`), so every
+//!   robustness claim above is exercised by tests rather than asserted.
 //!
 //! Responses stream back over a channel as shards finish, tagged with
 //! the caller's request id (completion order is not submission order).
 //! The `gmcc --serve` daemon fronts this API with JSONL over
 //! stdin/stdout ([`jsonl`]); `bench_serve` records the cold vs. warm
-//! vs. restored-from-disk throughput trajectory in `BENCH_serve.json`.
+//! vs. restored-from-disk throughput trajectory plus shed/deadline
+//! behavior under an overload burst in `BENCH_serve.json`.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod jsonl;
+mod service;
+pub mod supervisor;
 
 pub use gmc_codegen::emit_runtime_header;
-use gmc_codegen::{emit_cpp_into, emit_rust_into};
-use gmc_core::{
-    CacheStats, CompileOptions, CompileSession, PersistError, SessionSnapshot,
-    DEFAULT_CHAIN_CACHE_CAPACITY,
+pub use service::{
+    route, Artifacts, CompileRequest, CompileResponse, CompileService, Emit, Failure, FailureKind,
+    ServeConfig, ServeError, ServiceStats, ShardStatus, DEFAULT_QUEUE_CAP,
 };
-use gmc_ir::grammar::parse_program;
-use gmc_ir::Shape;
-use std::error::Error;
-use std::fmt;
-use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-
-/// Which back-end(s) a request wants emitted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Emit {
-    /// C++ translation unit (runtime header served separately).
-    #[default]
-    Cpp,
-    /// Rust module.
-    Rust,
-    /// Both back-ends.
-    Both,
-}
-
-impl Emit {
-    /// Parse an emit selector (`cpp`, `rust`, or `both`).
-    ///
-    /// # Errors
-    ///
-    /// Returns the unknown value.
-    pub fn parse(s: &str) -> Result<Emit, String> {
-        match s {
-            "cpp" => Ok(Emit::Cpp),
-            "rust" => Ok(Emit::Rust),
-            "both" => Ok(Emit::Both),
-            other => Err(format!("unknown emit value `{other}`")),
-        }
-    }
-}
-
-/// One compile request.
-#[derive(Debug, Clone)]
-pub struct CompileRequest {
-    /// Caller-chosen id, echoed in the response.
-    pub id: u64,
-    /// Base name for emitted functions/files; defaults to the program's
-    /// left-hand-side identifier, lowercased.
-    pub name: Option<String>,
-    /// The `.gmc` program text.
-    pub source: String,
-    /// Back-end selection.
-    pub emit: Emit,
-}
-
-/// The artifacts of one successful compile.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Artifacts {
-    /// Emitted `(file name, contents)` pairs.
-    pub files: Vec<(String, String)>,
-    /// Human-readable variant report
-    /// ([`gmc_core::CompiledChain::describe`]).
-    pub report: String,
-}
-
-/// One compile response (streamed; completion order ≠ submission order).
-#[derive(Debug)]
-pub struct CompileResponse {
-    /// The request id.
-    pub id: u64,
-    /// Which shard served it (`None` if the request failed before
-    /// routing, i.e. at parse).
-    pub shard: Option<usize>,
-    /// `true` if the shard's compiled-chain cache already held the shape
-    /// (including chains restored from a snapshot).
-    pub cache_hit: bool,
-    /// The artifacts, or a rendered error.
-    pub result: Result<Artifacts, String>,
-}
-
-/// Service configuration.
-#[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// Worker count; each worker owns one session. `0` is treated as 1.
-    pub shards: usize,
-    /// Compile options for every shard (must match a restored snapshot's
-    /// fingerprint).
-    pub options: CompileOptions,
-    /// Per-shard compiled-chain cache capacity.
-    pub cache_capacity: usize,
-    /// Snapshot file for warm restarts: loaded on start when it exists
-    /// (missing file = cold start, not an error); written by
-    /// [`CompileService::save_snapshot`].
-    pub snapshot_path: Option<PathBuf>,
-}
-
-impl Default for ServeConfig {
-    fn default() -> Self {
-        ServeConfig {
-            shards: 1,
-            options: CompileOptions::default(),
-            cache_capacity: DEFAULT_CHAIN_CACHE_CAPACITY,
-            snapshot_path: None,
-        }
-    }
-}
-
-/// Per-shard observability counters, collected at shutdown.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ShardStats {
-    /// Requests this shard served.
-    pub requests: u64,
-    /// Compiled-chain cache hits.
-    pub cache_hits: u64,
-    /// Cache misses (full selection pipeline ran).
-    pub cache_misses: u64,
-    /// LRU evictions.
-    pub evictions: u64,
-    /// Chains restored from the snapshot at startup.
-    pub restored: usize,
-}
-
-/// Whole-service counters returned by [`CompileService::shutdown`].
-#[derive(Debug, Clone, Default)]
-pub struct ServiceStats {
-    /// One entry per shard, in shard order.
-    pub shards: Vec<ShardStats>,
-}
-
-impl ServiceStats {
-    /// Total requests across shards.
-    #[must_use]
-    pub fn requests(&self) -> u64 {
-        self.shards.iter().map(|s| s.requests).sum()
-    }
-
-    /// Total cache hits across shards.
-    #[must_use]
-    pub fn cache_hits(&self) -> u64 {
-        self.shards.iter().map(|s| s.cache_hits).sum()
-    }
-
-    /// Total chains restored from the startup snapshot.
-    #[must_use]
-    pub fn restored(&self) -> usize {
-        self.shards.iter().map(|s| s.restored).sum()
-    }
-}
-
-/// Errors from starting or persisting the service.
-#[derive(Debug)]
-pub enum ServeError {
-    /// Loading or saving the snapshot failed.
-    Persist(PersistError),
-    /// The snapshot was taken under different compile options.
-    SnapshotMismatch {
-        /// The snapshot's options fingerprint.
-        found: String,
-    },
-}
-
-impl fmt::Display for ServeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ServeError::Persist(e) => write!(f, "snapshot error: {e}"),
-            ServeError::SnapshotMismatch { found } => write!(
-                f,
-                "snapshot options fingerprint `{found}` does not match the service options \
-                 (recompile cold or delete the snapshot)"
-            ),
-        }
-    }
-}
-
-impl Error for ServeError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            ServeError::Persist(e) => Some(e),
-            ServeError::SnapshotMismatch { .. } => None,
-        }
-    }
-}
-
-impl From<PersistError> for ServeError {
-    fn from(e: PersistError) -> Self {
-        ServeError::Persist(e)
-    }
-}
-
-/// Stable shard routing: hash of the chain shape modulo the shard count.
-///
-/// Uses `DefaultHasher::new()` (fixed keys, process-independent), so a
-/// restarted service with the same shard count routes every shape to the
-/// shard that restored it. Correctness never depends on this stability:
-/// the startup restore filters with the *same* function in the same
-/// process, and any shard compiles any shape identically.
-#[must_use]
-pub fn route(shape: &Shape, shards: usize) -> usize {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    shape.hash(&mut h);
-    (h.finish() % shards.max(1) as u64) as usize
-}
-
-/// Live observability counters of one shard, collected in-band by
-/// [`CompileService::stats`] (unlike [`ShardStats`], which is only
-/// available at shutdown).
-#[derive(Debug, Clone, Copy)]
-pub struct ShardStatus {
-    /// Shard index.
-    pub shard: usize,
-    /// Requests served so far.
-    pub requests: u64,
-    /// The shard session's cumulative compiled-chain cache counters.
-    pub cache: CacheStats,
-    /// Chains restored from the startup snapshot.
-    pub restored: usize,
-}
-
-/// Work items a shard receives.
-enum Job {
-    Compile(Box<CompileJob>),
-    Snapshot(Sender<SessionSnapshot>),
-    Stats(Sender<ShardStatus>),
-}
-
-struct CompileJob {
-    id: u64,
-    name: String,
-    shape: Shape,
-    emit: Emit,
-}
-
-/// A running sharded compile service (see the [module docs](self)).
-pub struct CompileService {
-    job_txs: Vec<Sender<Job>>,
-    handles: Vec<JoinHandle<ShardStats>>,
-    results_tx: Sender<CompileResponse>,
-    results_rx: Receiver<CompileResponse>,
-    pending: usize,
-    /// Outstanding responses per shard, so a crashed worker (a shard
-    /// thread only exits early by panicking) can be written off instead
-    /// of blocking [`CompileService::recv`] forever.
-    pending_by_shard: Vec<usize>,
-}
-
-impl CompileService {
-    /// Spawn the shard pool, restoring the snapshot in
-    /// `config.snapshot_path` (when present) into the shards its shapes
-    /// route to.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError`] if the snapshot exists but is unreadable,
-    /// malformed, or was taken under different compile options.
-    pub fn start(config: ServeConfig) -> Result<CompileService, ServeError> {
-        let shards = config.shards.max(1);
-        let snapshot = match &config.snapshot_path {
-            Some(path) if path.exists() => {
-                let snap = SessionSnapshot::load(path)?;
-                if !snap.compatible_with(&config.options) {
-                    return Err(ServeError::SnapshotMismatch {
-                        found: snap.options_fingerprint().to_string(),
-                    });
-                }
-                Some(Arc::new(snap))
-            }
-            _ => None,
-        };
-        let (results_tx, results_rx) = channel();
-        let mut job_txs = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for index in 0..shards {
-            let (tx, rx) = channel();
-            let results = results_tx.clone();
-            let options = config.options.clone();
-            let capacity = config.cache_capacity;
-            let snap = snapshot.clone();
-            handles.push(std::thread::spawn(move || {
-                shard_main(index, shards, rx, &results, options, capacity, snap)
-            }));
-            job_txs.push(tx);
-        }
-        Ok(CompileService {
-            job_txs,
-            handles,
-            results_tx,
-            results_rx,
-            pending: 0,
-            pending_by_shard: vec![0; shards],
-        })
-    }
-
-    /// Number of shards.
-    #[must_use]
-    pub fn shards(&self) -> usize {
-        self.job_txs.len()
-    }
-
-    /// Outstanding responses (submitted minus received).
-    #[must_use]
-    pub fn pending(&self) -> usize {
-        self.pending
-    }
-
-    /// Parse, route, and enqueue a request. Parse failures produce an
-    /// error *response* (with `shard: None`) rather than an error here,
-    /// so one bad request never stalls a stream.
-    pub fn submit(&mut self, request: CompileRequest) {
-        self.pending += 1;
-        let program = match parse_program(&request.source) {
-            Ok(p) => p,
-            Err(e) => {
-                let _ = self.results_tx.send(CompileResponse {
-                    id: request.id,
-                    shard: None,
-                    cache_hit: false,
-                    result: Err(format!("parse error: {e}")),
-                });
-                return;
-            }
-        };
-        let name = request.name.unwrap_or_else(|| program.lhs().to_lowercase());
-        let shape = program.shape().clone();
-        let shard = route(&shape, self.shards());
-        let id = request.id;
-        let job = Job::Compile(Box::new(CompileJob {
-            id,
-            name,
-            shape,
-            emit: request.emit,
-        }));
-        // A send only fails if the worker panicked; answer in-band so
-        // the caller's pending count still balances.
-        if self.job_txs[shard].send(job).is_ok() {
-            self.pending_by_shard[shard] += 1;
-        } else {
-            let _ = self.results_tx.send(CompileResponse {
-                id,
-                shard: None,
-                cache_hit: false,
-                result: Err(format!("shard {shard} worker terminated unexpectedly")),
-            });
-        }
-    }
-
-    fn note_received(&mut self, response: &CompileResponse) {
-        self.pending -= 1;
-        if let Some(shard) = response.shard {
-            self.pending_by_shard[shard] = self.pending_by_shard[shard].saturating_sub(1);
-        }
-    }
-
-    /// Write off the outstanding requests of any shard whose thread has
-    /// exited while the service still holds its job sender — which only
-    /// happens if the worker panicked. Their responses will never
-    /// arrive; waiting for them would hang [`CompileService::recv`].
-    fn reap_dead_shards(&mut self) {
-        for (shard, handle) in self.handles.iter().enumerate() {
-            if self.pending_by_shard[shard] > 0 && handle.is_finished() {
-                self.pending -= self.pending_by_shard[shard];
-                self.pending_by_shard[shard] = 0;
-            }
-        }
-    }
-
-    /// Block for the next response; `None` once nothing is outstanding
-    /// (including requests written off because their shard crashed).
-    pub fn recv(&mut self) -> Option<CompileResponse> {
-        loop {
-            if self.pending == 0 {
-                return None;
-            }
-            match self
-                .results_rx
-                .recv_timeout(std::time::Duration::from_millis(50))
-            {
-                Ok(r) => {
-                    self.note_received(&r);
-                    return Some(r);
-                }
-                // The channel was idle for a beat: check for crashed
-                // shards before waiting again (buffered responses are
-                // always drained first, so a dead shard's surviving
-                // output is never thrown away).
-                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => self.reap_dead_shards(),
-                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return None,
-            }
-        }
-    }
-
-    /// The next response only if one is already available.
-    pub fn try_recv(&mut self) -> Option<CompileResponse> {
-        if self.pending == 0 {
-            return None;
-        }
-        match self.results_rx.try_recv() {
-            Ok(r) => {
-                self.note_received(&r);
-                Some(r)
-            }
-            Err(_) => None,
-        }
-    }
-
-    /// Receive every outstanding response (blocking).
-    pub fn drain(&mut self) -> Vec<CompileResponse> {
-        let mut out = Vec::with_capacity(self.pending);
-        while let Some(r) = self.recv() {
-            out.push(r);
-        }
-        out
-    }
-
-    /// Merge every shard's compiled-chain cache into one snapshot.
-    /// Waits for shards to reach the snapshot job, so submit-then-
-    /// snapshot sees all prior compiles of each shard's queue.
-    #[must_use]
-    pub fn snapshot(&self) -> SessionSnapshot {
-        let mut merged: Option<SessionSnapshot> = None;
-        for tx in &self.job_txs {
-            let (reply_tx, reply_rx) = channel();
-            let _ = tx.send(Job::Snapshot(reply_tx));
-            if let Ok(snap) = reply_rx.recv() {
-                merged = Some(match merged.take() {
-                    None => snap,
-                    Some(mut m) => {
-                        // Shards share one options fingerprint by
-                        // construction, so merge cannot fail.
-                        let _ = m.merge(snap);
-                        m
-                    }
-                });
-            }
-        }
-        merged.expect("service has at least one shard")
-    }
-
-    /// Collect every live shard's observability counters (requests,
-    /// compiled-chain cache hits/misses/evictions, restored chains), in
-    /// shard order. Like [`CompileService::snapshot`], the query rides
-    /// the shard work queues, so it observes every compile submitted
-    /// before it; shards that have crashed are skipped. This is what the
-    /// daemon's in-band `{"op":"stats"}` request serves.
-    #[must_use]
-    pub fn stats(&self) -> Vec<ShardStatus> {
-        let mut out = Vec::with_capacity(self.job_txs.len());
-        for tx in &self.job_txs {
-            let (reply_tx, reply_rx) = channel();
-            let _ = tx.send(Job::Stats(reply_tx));
-            if let Ok(status) = reply_rx.recv() {
-                out.push(status);
-            }
-        }
-        out
-    }
-
-    /// [`CompileService::snapshot`] straight to a file.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O failures.
-    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
-        Ok(self.snapshot().save(path)?)
-    }
-
-    /// Stop accepting work, join every shard, and return the collected
-    /// per-shard counters.
-    #[must_use]
-    pub fn shutdown(self) -> ServiceStats {
-        let CompileService {
-            job_txs, handles, ..
-        } = self;
-        drop(job_txs);
-        let shards = handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_default())
-            .collect();
-        ServiceStats { shards }
-    }
-}
-
-fn shard_main(
-    index: usize,
-    shards: usize,
-    jobs: Receiver<Job>,
-    results: &Sender<CompileResponse>,
-    options: CompileOptions,
-    cache_capacity: usize,
-    snapshot: Option<Arc<SessionSnapshot>>,
-) -> ShardStats {
-    let mut session = CompileSession::with_options(options);
-    session.set_chain_cache_capacity(cache_capacity);
-    let mut stats = ShardStats::default();
-    if let Some(snap) = snapshot {
-        // Compatibility was validated in `start`. A rebuild failure
-        // (corrupted decisions) degrades to a genuinely cold shard —
-        // restore inserts nothing on error — and is worth a diagnostic,
-        // since the operator should delete the snapshot.
-        match session.restore_filtered(&snap, |shape| route(shape, shards) == index) {
-            Ok(n) => stats.restored = n,
-            Err(e) => eprintln!("gmc-serve: shard {index}: snapshot restore failed: {e}"),
-        }
-    }
-    let mut buf = String::new();
-    while let Ok(job) = jobs.recv() {
-        match job {
-            Job::Compile(job) => {
-                stats.requests += 1;
-                let hits_before = session.cache_stats().hits;
-                let result = match session.compile(&job.shape) {
-                    Ok(chain) => {
-                        let mut files = Vec::new();
-                        if matches!(job.emit, Emit::Cpp | Emit::Both) {
-                            buf.clear();
-                            emit_cpp_into(&mut buf, &chain, &job.name);
-                            files.push((format!("{}.cpp", job.name), buf.clone()));
-                        }
-                        if matches!(job.emit, Emit::Rust | Emit::Both) {
-                            buf.clear();
-                            emit_rust_into(&mut buf, &chain, &job.name);
-                            files.push((format!("{}.rs", job.name), buf.clone()));
-                        }
-                        Ok(Artifacts {
-                            files,
-                            report: chain.describe(),
-                        })
-                    }
-                    Err(e) => Err(format!("compile error: {e}")),
-                };
-                let response = CompileResponse {
-                    id: job.id,
-                    shard: Some(index),
-                    cache_hit: session.cache_stats().hits > hits_before,
-                    result,
-                };
-                let _ = results.send(response);
-            }
-            Job::Snapshot(reply) => {
-                let _ = reply.send(session.snapshot());
-            }
-            Job::Stats(reply) => {
-                let _ = reply.send(ShardStatus {
-                    shard: index,
-                    requests: stats.requests,
-                    cache: session.cache_stats(),
-                    restored: stats.restored,
-                });
-            }
-        }
-    }
-    let cache = session.cache_stats();
-    stats.cache_hits = cache.hits;
-    stats.cache_misses = cache.misses;
-    stats.evictions = cache.evictions;
-    stats
-}
+pub use supervisor::{RestartPolicy, ShardHealth, ShardState, ShardStats};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gmc_core::{CompileOptions, DEFAULT_CHAIN_CACHE_CAPACITY};
 
     const SRC_A: &str = "
         Matrix A <General, Singular>;
@@ -641,6 +126,7 @@ mod tests {
             name: None,
             source: source.to_string(),
             emit: Emit::Both,
+            deadline: None,
         }
     }
 
@@ -676,6 +162,8 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.requests(), 6);
         assert_eq!(stats.cache_hits(), 3);
+        assert_eq!(stats.panics(), 0);
+        assert_eq!(stats.late_drops, 0);
     }
 
     #[test]
@@ -703,17 +191,33 @@ mod tests {
     }
 
     #[test]
+    fn health_reports_every_shard_up_without_touching_queues() {
+        let mut service = CompileService::start(config(3)).unwrap();
+        service.submit(request(0, SRC_A));
+        let health = service.health();
+        assert_eq!(health.len(), 3);
+        for h in &health {
+            assert_eq!(h.state, ShardState::Up);
+            assert_eq!(h.restarts, 0);
+            assert_eq!(h.shed, 0);
+            assert_eq!(h.deadline_exceeded, 0);
+        }
+        assert_eq!(health.iter().map(|h| h.queue_depth).sum::<usize>(), 1);
+        assert_eq!(service.drain().len(), 1);
+        let _ = service.shutdown();
+    }
+
+    #[test]
     fn parse_errors_come_back_as_responses() {
         let mut service = CompileService::start(config(1)).unwrap();
         service.submit(request(7, "Matrix A <General, Singular>; X := B;"));
         service.submit(request(8, SRC_B));
         let responses = by_id(service.drain());
         assert_eq!(responses.len(), 2);
-        assert!(responses[0]
-            .result
-            .as_ref()
-            .unwrap_err()
-            .contains("undefined"));
+        let failure = responses[0].result.as_ref().unwrap_err();
+        assert!(failure.message.contains("undefined"));
+        assert_eq!(failure.kind, FailureKind::Parse);
+        assert!(!failure.kind.retryable());
         assert_eq!(responses[0].shard, None);
         assert!(responses[1].result.is_ok(), "stream continues past errors");
     }
@@ -793,6 +297,7 @@ mod tests {
             },
             cache_capacity: DEFAULT_CHAIN_CACHE_CAPACITY,
             snapshot_path: Some(path),
+            ..ServeConfig::default()
         };
         assert!(matches!(
             CompileService::start(mismatched),
@@ -801,8 +306,34 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_snapshot_is_quarantined_and_service_starts_cold() {
+        let dir = std::env::temp_dir().join("gmc_serve_quarantine_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.txt");
+        std::fs::write(
+            &path,
+            "gmc-session-snapshot v1\ngarbage that is not a snapshot",
+        )
+        .unwrap();
+
+        let mut cfg = config(1);
+        cfg.snapshot_path = Some(path.clone());
+        let mut service = CompileService::start(cfg).unwrap();
+        service.submit(request(0, SRC_B));
+        let responses = service.drain();
+        assert!(responses[0].result.is_ok());
+        assert!(!responses[0].cache_hit, "cold start after quarantine");
+        let stats = service.shutdown();
+        assert_eq!(stats.restored(), 0);
+        assert!(!path.exists(), "corrupt snapshot moved aside");
+        let bad = dir.join("snapshot.txt.bad");
+        assert!(bad.exists(), "quarantined copy kept for inspection");
+    }
+
+    #[test]
     fn routing_is_stable_and_in_range() {
-        let program = parse_program(SRC_A).unwrap();
+        let program = gmc_ir::grammar::parse_program(SRC_A).unwrap();
         for shards in 1..=5 {
             let r = route(program.shape(), shards);
             assert!(r < shards);

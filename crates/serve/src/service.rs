@@ -1,0 +1,892 @@
+//! The sharded [`CompileService`]: request/response types, admission
+//! control, deadlines, fallover routing, and exactly-once response
+//! bookkeeping. The per-shard worker loop lives in
+//! [`supervisor`](crate::supervisor); deterministic fault triggers in
+//! [`fault`](crate::fault).
+
+use crate::fault::FaultPlan;
+use crate::supervisor::{
+    shard_main, RestartPolicy, ShardCtx, ShardHealth, ShardShared, ShardState, ShardStats,
+};
+use gmc_core::{
+    CacheStats, CompileOptions, CompileSession, PersistError, SessionSnapshot,
+    DEFAULT_CHAIN_CACHE_CAPACITY,
+};
+use gmc_ir::grammar::parse_program;
+use gmc_ir::Shape;
+use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default bound on each shard's queue (queued + in-flight requests);
+/// submissions beyond it are shed with an in-band `overloaded` error.
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// Which back-end(s) a request wants emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Emit {
+    /// C++ translation unit (runtime header served separately).
+    #[default]
+    Cpp,
+    /// Rust module.
+    Rust,
+    /// Both back-ends.
+    Both,
+}
+
+impl Emit {
+    /// Parse an emit selector (`cpp`, `rust`, or `both`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown value.
+    pub fn parse(s: &str) -> Result<Emit, String> {
+        match s {
+            "cpp" => Ok(Emit::Cpp),
+            "rust" => Ok(Emit::Rust),
+            "both" => Ok(Emit::Both),
+            other => Err(format!("unknown emit value `{other}`")),
+        }
+    }
+}
+
+/// One compile request.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Base name for emitted functions/files; defaults to the program's
+    /// left-hand-side identifier, lowercased.
+    pub name: Option<String>,
+    /// The `.gmc` program text.
+    pub source: String,
+    /// Back-end selection.
+    pub emit: Emit,
+    /// Time budget measured from submission; `None` uses the service's
+    /// [`ServeConfig::default_deadline`]. Enforced twice: at shard
+    /// dequeue (stale requests are answered without compiling) and in
+    /// the submitter's receive path (a wedged shard cannot stall the
+    /// response stream).
+    pub deadline: Option<Duration>,
+}
+
+/// The artifacts of one successful compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifacts {
+    /// Emitted `(file name, contents)` pairs.
+    pub files: Vec<(String, String)>,
+    /// Human-readable variant report
+    /// ([`gmc_core::CompiledChain::describe`]).
+    pub report: String,
+}
+
+/// Why a request failed — every failure is typed so callers (and the
+/// JSONL wire format's `kind` field) can tell load-shedding from bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The `.gmc` source did not parse.
+    Parse,
+    /// The program parsed but could not be compiled.
+    Compile,
+    /// Shed by admission control: the target shard's queue was full.
+    /// Retryable — the request was never enqueued.
+    Overloaded,
+    /// The deadline expired before a shard produced the artifacts.
+    DeadlineExceeded,
+    /// The serving shard panicked on this request (the supervisor
+    /// restarts it; an immediate retry usually lands on a warm shard).
+    ShardPanic,
+    /// Every candidate shard is down (circuit breaker open) or the
+    /// worker thread is gone.
+    ShardDown,
+    /// The request itself was malformed (bad JSONL, oversized line,
+    /// unknown op, ...). Produced by the daemon, not this crate.
+    BadRequest,
+}
+
+impl FailureKind {
+    /// Wire name, stable for scripts (`parse`, `compile`, `overloaded`,
+    /// `deadline_exceeded`, `shard_panic`, `shard_down`, `bad_request`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Parse => "parse",
+            FailureKind::Compile => "compile",
+            FailureKind::Overloaded => "overloaded",
+            FailureKind::DeadlineExceeded => "deadline_exceeded",
+            FailureKind::ShardPanic => "shard_panic",
+            FailureKind::ShardDown => "shard_down",
+            FailureKind::BadRequest => "bad_request",
+        }
+    }
+
+    /// `true` for failures where an immediate retry can succeed
+    /// (shedding, deadline, panic, down shard) — as opposed to failures
+    /// deterministic in the request itself.
+    #[must_use]
+    pub fn retryable(self) -> bool {
+        !matches!(
+            self,
+            FailureKind::Parse | FailureKind::Compile | FailureKind::BadRequest
+        )
+    }
+}
+
+/// A typed request failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// The failure class.
+    pub kind: FailureKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl Failure {
+    /// Build a failure.
+    pub fn new(kind: FailureKind, message: impl Into<String>) -> Failure {
+        Failure {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// One compile response (streamed; completion order ≠ submission order).
+#[derive(Debug)]
+pub struct CompileResponse {
+    /// The request id.
+    pub id: u64,
+    /// Which shard served (or shed/expired) it; `None` if the request
+    /// failed before routing, i.e. at parse.
+    pub shard: Option<usize>,
+    /// `true` if the shard's compiled-chain cache already held the shape
+    /// (including chains restored from a snapshot).
+    pub cache_hit: bool,
+    /// The artifacts, or a typed failure.
+    pub result: Result<Artifacts, Failure>,
+}
+
+impl CompileResponse {
+    /// An unrouted failure response (used by front-ends, e.g. the JSONL
+    /// daemon, for requests that never reach the service).
+    #[must_use]
+    pub fn failure(id: u64, kind: FailureKind, message: impl Into<String>) -> CompileResponse {
+        CompileResponse::failure_on(id, None, kind, message)
+    }
+
+    pub(crate) fn failure_on(
+        id: u64,
+        shard: Option<usize>,
+        kind: FailureKind,
+        message: impl Into<String>,
+    ) -> CompileResponse {
+        CompileResponse {
+            id,
+            shard,
+            cache_hit: false,
+            result: Err(Failure::new(kind, message)),
+        }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker count; each worker owns one session. `0` is treated as 1.
+    pub shards: usize,
+    /// Compile options for every shard (must match a restored snapshot's
+    /// fingerprint).
+    pub options: CompileOptions,
+    /// Per-shard compiled-chain cache capacity.
+    pub cache_capacity: usize,
+    /// Snapshot file for warm restarts: loaded on start when it exists
+    /// (missing file = cold start; a corrupt file is quarantined to
+    /// `<path>.bad` and the service starts cold); written by
+    /// [`CompileService::save_snapshot`].
+    pub snapshot_path: Option<PathBuf>,
+    /// Admission control: max queued + in-flight requests per shard
+    /// before submissions are shed with `overloaded`.
+    pub queue_cap: usize,
+    /// Deadline applied to requests that do not carry their own.
+    /// `None` = no deadline.
+    pub default_deadline: Option<Duration>,
+    /// Supervision policy: restart backoff and circuit breaker.
+    pub restart: RestartPolicy,
+    /// Fault-injection plan (inert by default). Clones share state, so
+    /// keeping a clone lets a front-end re-arm faults while the service
+    /// runs.
+    pub faults: FaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            options: CompileOptions::default(),
+            cache_capacity: DEFAULT_CHAIN_CACHE_CAPACITY,
+            snapshot_path: None,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            default_deadline: None,
+            restart: RestartPolicy::default(),
+            faults: FaultPlan::new(),
+        }
+    }
+}
+
+/// Whole-service counters returned by [`CompileService::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Responses that arrived after their request had been written off
+    /// (deadline expiry or shard reap) and were dropped to preserve
+    /// exactly-one-response semantics.
+    pub late_drops: u64,
+}
+
+impl ServiceStats {
+    /// Total requests across shards.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total cache hits across shards.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.hits).sum()
+    }
+
+    /// Total chains restored from snapshots (startup and supervisor
+    /// restarts).
+    #[must_use]
+    pub fn restored(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.restored).sum()
+    }
+
+    /// Total panics caught by shard supervisors.
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.shards.iter().map(|s| s.panics).sum()
+    }
+
+    /// Total supervisor restarts completed.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+}
+
+/// Errors from starting or persisting the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Loading or saving the snapshot failed.
+    Persist(PersistError),
+    /// The snapshot was taken under different compile options.
+    SnapshotMismatch {
+        /// The snapshot's options fingerprint.
+        found: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Persist(e) => write!(f, "snapshot error: {e}"),
+            ServeError::SnapshotMismatch { found } => write!(
+                f,
+                "snapshot options fingerprint `{found}` does not match the service options \
+                 (recompile cold or delete the snapshot)"
+            ),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Persist(e) => Some(e),
+            ServeError::SnapshotMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        ServeError::Persist(e)
+    }
+}
+
+/// Stable shard routing: hash of the chain shape modulo the shard count.
+///
+/// Uses `DefaultHasher::new()` (fixed keys, process-independent), so a
+/// restarted service with the same shard count routes every shape to the
+/// shard that restored it. Correctness never depends on this stability:
+/// the startup restore filters with the *same* function in the same
+/// process, and any shard compiles any shape identically. When the
+/// routed shard is down (circuit breaker open), submission falls over to
+/// the next live shard — see [`CompileService::submit`].
+#[must_use]
+pub fn route(shape: &Shape, shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    shape.hash(&mut h);
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// Live observability counters of one shard, collected in-band by
+/// [`CompileService::stats`] (unlike
+/// [`ShardStats`](crate::supervisor::ShardStats), which is only
+/// available at shutdown).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests served so far (including panicked and expired ones).
+    pub requests: u64,
+    /// Cumulative compiled-chain cache counters (`restored` counts the
+    /// chains rewarmed from snapshots), carried across supervisor
+    /// restarts.
+    pub cache: CacheStats,
+}
+
+/// Work items a shard receives.
+pub(crate) enum Job {
+    Compile(Box<CompileJob>),
+    Snapshot(Sender<SessionSnapshot>),
+    Stats(Sender<ShardStatus>),
+}
+
+pub(crate) struct CompileJob {
+    pub(crate) id: u64,
+    pub(crate) name: String,
+    pub(crate) shape: Shape,
+    pub(crate) emit: Emit,
+    /// Absolute deadline, checked again at dequeue.
+    pub(crate) deadline: Option<Instant>,
+    /// Internal sequence number for exactly-once accounting.
+    pub(crate) seq: u64,
+}
+
+/// What shards put on the results channel: the response plus the
+/// submission sequence number the service uses to deduplicate against
+/// write-offs.
+pub(crate) struct Response {
+    pub(crate) seq: Option<u64>,
+    pub(crate) response: CompileResponse,
+}
+
+/// Submitter-side record of an enqueued request.
+struct Outstanding {
+    id: u64,
+    shard: usize,
+    deadline: Option<Instant>,
+}
+
+/// A running sharded compile service (see the
+/// [crate docs](crate) for the architecture).
+pub struct CompileService {
+    job_txs: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<ShardStats>>,
+    results_rx: Receiver<Response>,
+    /// Lock-free per-shard liveness + counters, shared with the workers.
+    shared: Vec<Arc<ShardShared>>,
+    /// Latest merged snapshot; supervisor restarts rewarm from it.
+    latest: Arc<Mutex<Option<Arc<SessionSnapshot>>>>,
+    options: CompileOptions,
+    faults: FaultPlan,
+    queue_cap: usize,
+    default_deadline: Option<Duration>,
+    /// Enqueued-but-unanswered requests keyed by sequence number; the
+    /// single source of truth for exactly-once delivery.
+    outstanding: HashMap<u64, Outstanding>,
+    /// Responses synthesized by the submitter (parse errors, shed,
+    /// expired, written-off), delivered ahead of the channel.
+    ready: VecDeque<CompileResponse>,
+    /// Queued + in-flight per shard (admission control reads this).
+    pending_by_shard: Vec<usize>,
+    next_seq: u64,
+    late_drops: u64,
+}
+
+impl CompileService {
+    /// Spawn the shard pool, restoring the snapshot in
+    /// `config.snapshot_path` (when present) into the shards its shapes
+    /// route to. A corrupt or truncated snapshot is quarantined to
+    /// `<path>.bad` with a logged warning and the service starts cold —
+    /// a bad persist file must never take serving down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the snapshot file exists but cannot be
+    /// read (I/O, not corruption) or was taken under different compile
+    /// options.
+    pub fn start(config: ServeConfig) -> Result<CompileService, ServeError> {
+        let shards = config.shards.max(1);
+        let snapshot = match &config.snapshot_path {
+            Some(path) if path.exists() => match SessionSnapshot::load(path) {
+                Ok(snap) => {
+                    if !snap.compatible_with(&config.options) {
+                        return Err(ServeError::SnapshotMismatch {
+                            found: snap.options_fingerprint().to_string(),
+                        });
+                    }
+                    Some(Arc::new(snap))
+                }
+                Err(e @ PersistError::Io(_)) => return Err(e.into()),
+                Err(e) => {
+                    // Corrupt/truncated (e.g. a torn write from a crash
+                    // mid-save): move it aside and start cold.
+                    let mut bad = path.clone().into_os_string();
+                    bad.push(".bad");
+                    let bad = PathBuf::from(bad);
+                    match std::fs::rename(path, &bad) {
+                        Ok(()) => eprintln!(
+                            "gmc-serve: snapshot {} is corrupt ({e}); \
+                             quarantined to {} and starting cold",
+                            path.display(),
+                            bad.display()
+                        ),
+                        Err(mv) => eprintln!(
+                            "gmc-serve: snapshot {} is corrupt ({e}); \
+                             quarantine rename failed ({mv}), starting cold",
+                            path.display()
+                        ),
+                    }
+                    None
+                }
+            },
+            _ => None,
+        };
+        let latest = Arc::new(Mutex::new(snapshot));
+        let (results_tx, results_rx) = channel::<Response>();
+        let mut job_txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let mut shared = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = channel();
+            let shard_shared = Arc::new(ShardShared::default());
+            let ctx = ShardCtx {
+                index,
+                shards,
+                jobs: rx,
+                results: results_tx.clone(),
+                options: config.options.clone(),
+                cache_capacity: config.cache_capacity,
+                shared: Arc::clone(&shard_shared),
+                latest: Arc::clone(&latest),
+                policy: config.restart.clone(),
+                faults: config.faults.clone(),
+            };
+            handles.push(std::thread::spawn(move || shard_main(ctx)));
+            job_txs.push(tx);
+            shared.push(shard_shared);
+        }
+        Ok(CompileService {
+            job_txs,
+            handles,
+            results_rx,
+            shared,
+            latest,
+            options: config.options,
+            faults: config.faults,
+            queue_cap: config.queue_cap.max(1),
+            default_deadline: config.default_deadline,
+            outstanding: HashMap::new(),
+            ready: VecDeque::new(),
+            pending_by_shard: vec![0; shards],
+            next_seq: 0,
+            late_drops: 0,
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Outstanding responses (submitted minus received).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.ready.len() + self.outstanding.len()
+    }
+
+    /// First non-down shard probing from `preferred` — the fallover walk.
+    fn pick_shard(&self, preferred: usize) -> Option<usize> {
+        let n = self.shards();
+        (0..n)
+            .map(|k| (preferred + k) % n)
+            .find(|&s| self.shared[s].state() != ShardState::Down)
+    }
+
+    /// Parse, admit, route, and enqueue a request. Every submission is
+    /// answered exactly once through [`CompileService::recv`]; failures
+    /// (parse, shed, all-shards-down) produce typed error *responses*,
+    /// never errors here, so one bad request cannot stall a stream.
+    ///
+    /// Admission control: if the target shard already holds
+    /// [`ServeConfig::queue_cap`] requests, the request is shed with an
+    /// `overloaded` failure instead of growing the queue — on overload
+    /// the service degrades by refusing work it could only serve late.
+    /// Routing falls over past shards whose circuit breaker is open.
+    pub fn submit(&mut self, request: CompileRequest) {
+        let id = request.id;
+        let program = match parse_program(&request.source) {
+            Ok(p) => p,
+            Err(e) => {
+                self.ready.push_back(CompileResponse::failure(
+                    id,
+                    FailureKind::Parse,
+                    format!("parse error: {e}"),
+                ));
+                return;
+            }
+        };
+        let name = request.name.unwrap_or_else(|| program.lhs().to_lowercase());
+        let shape = program.shape().clone();
+        let preferred = route(&shape, self.shards());
+        let Some(shard) = self.pick_shard(preferred) else {
+            self.ready.push_back(CompileResponse::failure(
+                id,
+                FailureKind::ShardDown,
+                "every shard is down (circuit breakers open)",
+            ));
+            return;
+        };
+        if self.pending_by_shard[shard] >= self.queue_cap {
+            self.shared[shard]
+                .shed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.ready.push_back(CompileResponse::failure_on(
+                id,
+                Some(shard),
+                FailureKind::Overloaded,
+                format!(
+                    "shard {shard} queue is full ({} outstanding); request shed",
+                    self.queue_cap
+                ),
+            ));
+            return;
+        }
+        let deadline = request
+            .deadline
+            .or(self.default_deadline)
+            .map(|d| Instant::now() + d);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let job = Job::Compile(Box::new(CompileJob {
+            id,
+            name,
+            shape,
+            emit: request.emit,
+            deadline,
+            seq,
+        }));
+        // A send only fails if the worker thread is gone (it exited
+        // outside supervision); answer in-band so accounting balances.
+        if self.job_txs[shard].send(job).is_ok() {
+            self.outstanding.insert(
+                seq,
+                Outstanding {
+                    id,
+                    shard,
+                    deadline,
+                },
+            );
+            self.pending_by_shard[shard] += 1;
+        } else {
+            self.ready.push_back(CompileResponse::failure_on(
+                id,
+                Some(shard),
+                FailureKind::ShardDown,
+                format!("shard {shard} worker terminated unexpectedly"),
+            ));
+        }
+    }
+
+    /// Match a channel response against the outstanding table; `None`
+    /// for late responses to written-off requests (dropped to keep
+    /// exactly-one-response).
+    fn accept(&mut self, r: Response) -> Option<CompileResponse> {
+        match r.seq {
+            Some(seq) => {
+                if let Some(out) = self.outstanding.remove(&seq) {
+                    self.pending_by_shard[out.shard] =
+                        self.pending_by_shard[out.shard].saturating_sub(1);
+                    Some(r.response)
+                } else {
+                    self.late_drops += 1;
+                    None
+                }
+            }
+            None => Some(r.response),
+        }
+    }
+
+    /// Write off every outstanding request whose deadline has passed —
+    /// the submitter-side half of deadline enforcement, so a shard
+    /// sleeping inside a compile (or a fault-injected delay) cannot
+    /// stall the response stream past the caller's budget.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.deadline.is_some_and(|d| now > d))
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in expired {
+            let out = self.outstanding.remove(&seq).expect("seq was just listed");
+            self.pending_by_shard[out.shard] = self.pending_by_shard[out.shard].saturating_sub(1);
+            self.shared[out.shard]
+                .deadline_exceeded
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.ready.push_back(CompileResponse::failure_on(
+                out.id,
+                Some(out.shard),
+                FailureKind::DeadlineExceeded,
+                format!("deadline expired awaiting shard {}", out.shard),
+            ));
+        }
+    }
+
+    /// Write off the outstanding requests of any shard whose thread has
+    /// exited while the service still holds its job sender. Supervised
+    /// shards do not die — panics are caught in the worker loop — so
+    /// this is a backstop against bugs in the supervisor itself.
+    fn reap_dead_shards(&mut self) {
+        let dead: Vec<usize> = self
+            .handles
+            .iter()
+            .enumerate()
+            .filter(|(shard, handle)| self.pending_by_shard[*shard] > 0 && handle.is_finished())
+            .map(|(shard, _)| shard)
+            .collect();
+        for shard in dead {
+            self.shared[shard].set_state(ShardState::Down);
+            self.write_off_shard(shard);
+        }
+    }
+
+    fn write_off_shard(&mut self, shard: usize) {
+        let seqs: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.shard == shard)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in seqs {
+            let out = self.outstanding.remove(&seq).expect("seq was just listed");
+            self.ready.push_back(CompileResponse::failure_on(
+                out.id,
+                Some(shard),
+                FailureKind::ShardDown,
+                format!("shard {shard} worker terminated with this request in flight"),
+            ));
+        }
+        self.pending_by_shard[shard] = 0;
+    }
+
+    /// Block for the next response; `None` once nothing is outstanding.
+    /// Ticks every 25 ms to expire deadlines and reap dead workers, so
+    /// it cannot hang on a wedged or crashed shard.
+    pub fn recv(&mut self) -> Option<CompileResponse> {
+        loop {
+            if let Some(r) = self.ready.pop_front() {
+                return Some(r);
+            }
+            if self.outstanding.is_empty() {
+                return None;
+            }
+            match self.results_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(r) => {
+                    if let Some(resp) = self.accept(r) {
+                        return Some(resp);
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    self.expire_deadlines();
+                    self.reap_dead_shards();
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    // Every worker is gone; nothing further can arrive.
+                    for shard in 0..self.shards() {
+                        if self.pending_by_shard[shard] > 0 {
+                            self.shared[shard].set_state(ShardState::Down);
+                            self.write_off_shard(shard);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The next response only if one is already available.
+    pub fn try_recv(&mut self) -> Option<CompileResponse> {
+        loop {
+            if let Some(r) = self.ready.pop_front() {
+                return Some(r);
+            }
+            if self.outstanding.is_empty() {
+                return None;
+            }
+            match self.results_rx.try_recv() {
+                Ok(r) => {
+                    if let Some(resp) = self.accept(r) {
+                        return Some(resp);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Receive every outstanding response (blocking, but deadline- and
+    /// crash-safe like [`CompileService::recv`]).
+    pub fn drain(&mut self) -> Vec<CompileResponse> {
+        let mut out = Vec::with_capacity(self.pending());
+        while let Some(r) = self.recv() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Merge every live shard's compiled-chain cache into one snapshot
+    /// and publish it as the rewarm source for supervisor restarts.
+    /// Waits for shards to reach the snapshot job, so submit-then-
+    /// snapshot sees all prior compiles of each shard's queue; down
+    /// shards contribute nothing (their last published state lives on in
+    /// the previous snapshot they merged into).
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut merged: Option<SessionSnapshot> = None;
+        for tx in &self.job_txs {
+            let (reply_tx, reply_rx) = channel();
+            let _ = tx.send(Job::Snapshot(reply_tx));
+            // A down shard drops the reply sender without answering.
+            if let Ok(snap) = reply_rx.recv() {
+                merged = Some(match merged.take() {
+                    None => snap,
+                    Some(mut m) => {
+                        // Shards share one options fingerprint by
+                        // construction, so merge cannot fail.
+                        let _ = m.merge(snap);
+                        m
+                    }
+                });
+            }
+        }
+        let snap = merged.unwrap_or_else(|| {
+            // Every shard down: publish an empty-but-valid snapshot so
+            // persistence still works.
+            CompileSession::with_options(self.options.clone()).snapshot()
+        });
+        *self.latest.lock().expect("latest snapshot lock") = Some(Arc::new(snap.clone()));
+        snap
+    }
+
+    /// Collect every live shard's observability counters in shard order.
+    /// The query rides the shard work queues, so it observes every
+    /// compile submitted before it; a shard that does not answer within
+    /// 2 s (down, or wedged mid-compile) is skipped rather than hanging
+    /// the caller. This is what the daemon's in-band `{"op":"stats"}`
+    /// request serves.
+    #[must_use]
+    pub fn stats(&self) -> Vec<ShardStatus> {
+        let mut out = Vec::with_capacity(self.job_txs.len());
+        for tx in &self.job_txs {
+            let (reply_tx, reply_rx) = channel();
+            let _ = tx.send(Job::Stats(reply_tx));
+            if let Ok(status) = reply_rx.recv_timeout(Duration::from_secs(2)) {
+                out.push(status);
+            }
+        }
+        out
+    }
+
+    /// Per-shard liveness and robustness counters, collected **without**
+    /// touching the work queues — pure atomic reads, so a wedged or down
+    /// shard still reports. This is what the daemon's in-band
+    /// `{"op":"health"}` request serves.
+    #[must_use]
+    pub fn health(&self) -> Vec<ShardHealth> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.shared
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardHealth {
+                shard,
+                state: s.state(),
+                restarts: s.restarts.load(Relaxed),
+                panics: s.panics.load(Relaxed),
+                queue_depth: self.pending_by_shard[shard],
+                deadline_exceeded: s.deadline_exceeded.load(Relaxed),
+                shed: s.shed.load(Relaxed),
+            })
+            .collect()
+    }
+
+    /// [`CompileService::snapshot`] straight to a file, atomically
+    /// (temp file + rename, see [`SessionSnapshot::save`]) — unless the
+    /// `snapshot_torn` fault is armed, in which case a truncated file is
+    /// written directly to the target path to simulate a crash
+    /// mid-write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        let snap = self.snapshot();
+        if self.faults.tear_snapshot() {
+            // Cut mid-way through the final line: the tail of the write
+            // never made it to disk. (Cutting at an arbitrary byte could
+            // land inside the options header and masquerade as an
+            // options mismatch instead of a corrupt file.)
+            let encoded = snap.encode();
+            let body = encoded.trim_end_matches('\n');
+            let last_line_start = body.rfind('\n').map_or(0, |i| i + 1);
+            let cut = last_line_start + (body.len() - last_line_start) / 2;
+            let torn = &encoded.as_bytes()[..cut];
+            std::fs::write(path.as_ref(), torn).map_err(PersistError::from)?;
+            eprintln!(
+                "gmc-serve: injected fault: snapshot_torn ({} of {} bytes written, no rename)",
+                torn.len(),
+                encoded.len()
+            );
+            return Ok(());
+        }
+        Ok(snap.save(path)?)
+    }
+
+    /// Stop accepting work, join every shard, and return the collected
+    /// per-shard counters. Pending responses still in the channel are
+    /// discarded — call [`CompileService::drain`] first for a graceful
+    /// drain.
+    #[must_use]
+    pub fn shutdown(self) -> ServiceStats {
+        let CompileService {
+            job_txs,
+            handles,
+            late_drops,
+            ..
+        } = self;
+        drop(job_txs);
+        let shards = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect();
+        ServiceStats { shards, late_drops }
+    }
+}

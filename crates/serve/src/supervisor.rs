@@ -1,0 +1,402 @@
+//! Shard supervision: the worker loop that keeps a shard alive through
+//! panics.
+//!
+//! Each shard runs [`shard_main`] on its own thread. The loop owns one
+//! [`CompileSession`] and wraps every compile attempt in
+//! [`std::panic::catch_unwind`], so a panic — injected by
+//! [`fault`](crate::fault) or real — is a *request-level* failure, not a
+//! shard death:
+//!
+//! ```text
+//!            ┌────────────────────────────── panic ───────────────┐
+//!            ▼                                                    │
+//!  Up ── compile jobs ──► panic caught ── failures < K ──► Restarting
+//!                              │                                │ backoff
+//!                              │ failures ≥ K in window         │ (capped
+//!                              ▼                                │  2^n)
+//!                            Down ◄─────────────────────────────┘
+//!                       (circuit open: queued jobs answered
+//!                        `shard_down`, submitter routes new
+//!                        traffic to the next live shard)
+//! ```
+//!
+//! On each restart the poisoned session is discarded (its cumulative
+//! cache counters are read off first and carried forward — plain `u64`
+//! fields are safe to read after a panic) and a **fresh** session is
+//! rebuilt, rewarmed from the service's latest snapshot via
+//! [`CompileSession::restore_filtered`] filtered to the shapes that
+//! route here. With a current snapshot, a restart costs one backoff
+//! sleep plus a re-lowering pass — the first repeat request afterwards
+//! is a cache hit, not a cold compile.
+//!
+//! Failures are counted in a sliding window; once `max_failures` accrue
+//! the circuit breaker opens and the shard goes [`ShardState::Down`]
+//! permanently (for this process): already-queued jobs are answered
+//! with in-band `shard_down` errors and the submitter's routing falls
+//! over to the next live shard, so traffic is degraded, never dropped
+//! without an answer.
+
+use crate::fault::FaultPlan;
+use crate::service::{Job, Response, ShardStatus};
+use crate::{route, Artifacts, Emit, Failure, FailureKind};
+use gmc_codegen::{emit_cpp_into, emit_rust_into};
+use gmc_core::{CacheStats, CompileOptions, CompileSession, SessionSnapshot};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// When a supervised shard restarts after a panic.
+#[derive(Debug, Clone)]
+pub struct RestartPolicy {
+    /// Backoff before the first restart; doubles per consecutive
+    /// failure in the window.
+    pub backoff: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// Circuit breaker: after this many failures inside `window`, the
+    /// shard stays down and routing falls over to its neighbors.
+    pub max_failures: u32,
+    /// Sliding window for counting failures toward the breaker.
+    pub window: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            max_failures: 5,
+            window: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Liveness of one supervised shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving normally.
+    Up,
+    /// Between a caught panic and the rebuilt session (backoff +
+    /// rewarm); still routable — queued work runs after the restart.
+    Restarting,
+    /// Circuit breaker open (or worker thread dead): not routable.
+    Down,
+}
+
+impl ShardState {
+    /// Wire name (`up` / `restarting` / `down`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardState::Up => "up",
+            ShardState::Restarting => "restarting",
+            ShardState::Down => "down",
+        }
+    }
+
+    fn from_u8(v: u8) -> ShardState {
+        match v {
+            0 => ShardState::Up,
+            1 => ShardState::Restarting,
+            _ => ShardState::Down,
+        }
+    }
+}
+
+/// Health of one shard, collected **without** riding the work queue
+/// (see [`CompileService::health`](crate::CompileService::health)) so a
+/// wedged or down shard still reports.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Liveness.
+    pub state: ShardState,
+    /// Completed supervisor restarts (panics recovered from).
+    pub restarts: u64,
+    /// Panics caught (each costs its in-flight request).
+    pub panics: u64,
+    /// Requests currently queued or in flight on this shard.
+    pub queue_depth: usize,
+    /// Requests answered `deadline_exceeded` (at dequeue or written off
+    /// by the submitter).
+    pub deadline_exceeded: u64,
+    /// Requests shed with `overloaded` because this shard's queue was
+    /// at capacity.
+    pub shed: u64,
+}
+
+/// Counters a shard and the submitter share lock-free.
+#[derive(Debug, Default)]
+pub(crate) struct ShardShared {
+    state: AtomicU8,
+    pub(crate) restarts: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) deadline_exceeded: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    /// Compile attempts, for the fault plan's deterministic `nth`.
+    compile_attempts: AtomicU64,
+}
+
+impl ShardShared {
+    pub(crate) fn state(&self) -> ShardState {
+        ShardState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_state(&self, s: ShardState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+}
+
+/// Everything one shard worker owns; [`shard_main`] consumes it.
+pub(crate) struct ShardCtx {
+    pub(crate) index: usize,
+    pub(crate) shards: usize,
+    pub(crate) jobs: Receiver<Job>,
+    pub(crate) results: Sender<Response>,
+    pub(crate) options: CompileOptions,
+    pub(crate) cache_capacity: usize,
+    pub(crate) shared: Arc<ShardShared>,
+    /// Latest merged snapshot, refreshed by
+    /// [`CompileService::snapshot`](crate::CompileService::snapshot);
+    /// restarts rewarm from it.
+    pub(crate) latest: Arc<Mutex<Option<Arc<SessionSnapshot>>>>,
+    pub(crate) policy: RestartPolicy,
+    pub(crate) faults: FaultPlan,
+}
+
+/// Per-shard counters returned by
+/// [`CompileService::shutdown`](crate::CompileService::shutdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Compile requests this shard answered (including panicked and
+    /// deadline-expired ones).
+    pub requests: u64,
+    /// Cumulative compiled-chain cache counters, carried across
+    /// supervisor restarts.
+    pub cache: CacheStats,
+    /// Panics caught.
+    pub panics: u64,
+    /// Restarts completed.
+    pub restarts: u64,
+}
+
+impl ShardCtx {
+    /// Build a fresh session, rewarmed from the latest snapshot when one
+    /// exists. Returns the session and how many chains were restored.
+    fn build_session(&self) -> (CompileSession, u64) {
+        let mut session = CompileSession::with_options(self.options.clone());
+        session.set_chain_cache_capacity(self.cache_capacity);
+        let snap = self.latest.lock().expect("latest snapshot lock").clone();
+        if let Some(snap) = snap {
+            // A rebuild failure (corrupted decisions) degrades to a
+            // genuinely cold shard — restore inserts nothing on error —
+            // and is worth a diagnostic, since the operator should
+            // delete the snapshot.
+            let index = self.index;
+            match session.restore_filtered(&snap, |shape| route(shape, self.shards) == index) {
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("gmc-serve: shard {index}: snapshot restore failed: {e}");
+                }
+            }
+        }
+        let restored = session.cache_stats().restored;
+        (session, restored)
+    }
+}
+
+/// The supervised worker loop (see the [module docs](self)).
+pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
+    let index = ctx.index;
+    let (initial, _) = ctx.build_session();
+    ctx.shared.set_state(ShardState::Up);
+    // `None` while the circuit breaker is open; the loop keeps draining
+    // the queue and answering `shard_down` so nothing hangs.
+    let mut session: Option<CompileSession> = Some(initial);
+    let mut stats = ShardStats::default();
+    // Counters of sessions discarded after a panic; reads of plain u64
+    // fields are safe on a poisoned session.
+    let mut carried = CacheStats::default();
+    let mut failures: Vec<Instant> = Vec::new();
+    let mut buf = String::new();
+
+    while let Ok(job) = ctx.jobs.recv() {
+        match job {
+            Job::Compile(job) => {
+                stats.requests += 1;
+                // Deadline at dequeue: a request that went stale in the
+                // queue is answered without compiling — the work would
+                // be wasted and would stall everything behind it.
+                if job.deadline.is_some_and(|d| Instant::now() > d) {
+                    ctx.shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                    let _ = ctx.results.send(Response {
+                        seq: Some(job.seq),
+                        response: crate::CompileResponse::failure_on(
+                            job.id,
+                            Some(index),
+                            FailureKind::DeadlineExceeded,
+                            "deadline expired before the shard reached the request",
+                        ),
+                    });
+                    continue;
+                }
+                let Some(live) = session.as_mut() else {
+                    // Breaker open: fail fast, exactly one response.
+                    let _ = ctx.results.send(Response {
+                        seq: Some(job.seq),
+                        response: crate::CompileResponse::failure_on(
+                            job.id,
+                            Some(index),
+                            FailureKind::ShardDown,
+                            format!("shard {index} is down (circuit breaker open)"),
+                        ),
+                    });
+                    continue;
+                };
+                let nth = ctx.shared.compile_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+                let faults = &ctx.faults;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    faults.before_compile(index, nth);
+                    serve_compile(live, &mut buf, &job)
+                }));
+                match outcome {
+                    Ok((cache_hit, result)) => {
+                        let _ = ctx.results.send(Response {
+                            seq: Some(job.seq),
+                            response: crate::CompileResponse {
+                                id: job.id,
+                                shard: Some(index),
+                                cache_hit,
+                                result,
+                            },
+                        });
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        stats.panics += 1;
+                        ctx.shared.panics.fetch_add(1, Ordering::Relaxed);
+                        // Salvage the counters, drop the session: its
+                        // internal invariants can no longer be trusted.
+                        carried.absorb(&session.take().expect("session was live").cache_stats());
+                        let now = Instant::now();
+                        failures.retain(|t| now.duration_since(*t) <= ctx.policy.window);
+                        failures.push(now);
+                        let tripped = failures.len() as u32 >= ctx.policy.max_failures;
+                        if tripped {
+                            ctx.shared.set_state(ShardState::Down);
+                        } else {
+                            ctx.shared.set_state(ShardState::Restarting);
+                        }
+                        let _ = ctx.results.send(Response {
+                            seq: Some(job.seq),
+                            response: crate::CompileResponse::failure_on(
+                                job.id,
+                                Some(index),
+                                FailureKind::ShardPanic,
+                                format!("shard {index} panicked serving this request: {msg}"),
+                            ),
+                        });
+                        if tripped {
+                            eprintln!(
+                                "gmc-serve: shard {index}: circuit breaker open after {} \
+                                 failure(s) in {:?}; shard down, routing falls over",
+                                failures.len(),
+                                ctx.policy.window
+                            );
+                        } else {
+                            let exp = (failures.len() - 1).min(16) as u32;
+                            let backoff = ctx
+                                .policy
+                                .backoff
+                                .saturating_mul(1 << exp)
+                                .min(ctx.policy.backoff_cap);
+                            eprintln!(
+                                "gmc-serve: shard {index}: caught panic ({msg}); \
+                                 restarting in {backoff:?}"
+                            );
+                            std::thread::sleep(backoff);
+                            let (fresh, restored) = ctx.build_session();
+                            session = Some(fresh);
+                            stats.restarts += 1;
+                            ctx.shared.restarts.fetch_add(1, Ordering::Relaxed);
+                            ctx.shared.set_state(ShardState::Up);
+                            eprintln!(
+                                "gmc-serve: shard {index}: restarted \
+                                 ({restored} chain(s) rewarmed from snapshot)"
+                            );
+                        }
+                    }
+                }
+            }
+            Job::Snapshot(reply) => {
+                // A down shard has nothing to contribute; dropping the
+                // reply sender tells the collector to skip it.
+                if let Some(live) = session.as_ref() {
+                    let _ = reply.send(live.snapshot());
+                }
+            }
+            Job::Stats(reply) => {
+                let mut cache = carried;
+                if let Some(live) = session.as_ref() {
+                    cache.absorb(&live.cache_stats());
+                }
+                let _ = reply.send(ShardStatus {
+                    shard: index,
+                    requests: stats.requests,
+                    cache,
+                });
+            }
+        }
+    }
+    stats.cache = carried;
+    if let Some(live) = session.as_ref() {
+        stats.cache.absorb(&live.cache_stats());
+    }
+    stats
+}
+
+/// Compile one job on the live session and emit its artifacts. Runs
+/// inside the `catch_unwind` envelope.
+fn serve_compile(
+    session: &mut CompileSession,
+    buf: &mut String,
+    job: &crate::service::CompileJob,
+) -> (bool, Result<Artifacts, Failure>) {
+    let hits_before = session.cache_stats().hits;
+    let result = match session.compile(&job.shape) {
+        Ok(chain) => {
+            let mut files = Vec::new();
+            if matches!(job.emit, Emit::Cpp | Emit::Both) {
+                buf.clear();
+                emit_cpp_into(buf, &chain, &job.name);
+                files.push((format!("{}.cpp", job.name), buf.clone()));
+            }
+            if matches!(job.emit, Emit::Rust | Emit::Both) {
+                buf.clear();
+                emit_rust_into(buf, &chain, &job.name);
+                files.push((format!("{}.rs", job.name), buf.clone()));
+            }
+            Ok(Artifacts {
+                files,
+                report: chain.describe(),
+            })
+        }
+        Err(e) => Err(Failure {
+            kind: FailureKind::Compile,
+            message: format!("compile error: {e}"),
+        }),
+    };
+    (session.cache_stats().hits > hits_before, result)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,375 @@
+//! The serving layer's robustness contract, exercised through the
+//! deterministic fault-injection harness (`gmc_serve::fault`):
+//!
+//! * a panicking shard restarts **warm** (rewarmed from the latest
+//!   snapshot, so the post-restart repeat request is a cache hit);
+//! * the circuit breaker takes a repeatedly-dying shard out of rotation
+//!   and routing falls over to its neighbor;
+//! * deadlines are enforced at dequeue and in the submitter, so a
+//!   wedged shard cannot stall the stream;
+//! * admission control sheds overload with typed `overloaded` errors;
+//! * torn snapshot writes are quarantined on the next start;
+//! * and — the invariant everything above must preserve — **every
+//!   submitted request receives exactly one response**, with
+//!   post-chaos counters that add up (chaos proptest at the bottom).
+
+use gmc_core::CompileOptions;
+use gmc_serve::fault::FaultPlan;
+use gmc_serve::{
+    route, CompileRequest, CompileResponse, CompileService, Emit, FailureKind, RestartPolicy,
+    ServeConfig, ShardState,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const SRC_A: &str = "
+    Matrix A <General, Singular>;
+    Matrix L <LowerTri, NonSingular>;
+    Matrix B <General, Singular>;
+    X := A * L^-1 * B;
+";
+const SRC_B: &str = "
+    Matrix H <General, Singular>;
+    Matrix P <Symmetric, SPD>;
+    Y := H * P^-1;
+";
+const SRC_C: &str = "
+    Matrix A <General, Singular>;
+    Matrix B <General, Singular>;
+    Matrix C <General, Singular>;
+    Matrix D <General, Singular>;
+    Z := A * B * C * D;
+";
+const SRC_BAD: &str = "Matrix A <General, Singular>; X := B;";
+
+fn fast_options() -> CompileOptions {
+    CompileOptions {
+        training_instances: 60,
+        ..CompileOptions::default()
+    }
+}
+
+/// Fast supervision for tests: negligible backoff, tight breaker.
+fn fast_restart(max_failures: u32) -> RestartPolicy {
+    RestartPolicy {
+        backoff: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(8),
+        max_failures,
+        window: Duration::from_secs(30),
+    }
+}
+
+fn config(shards: usize, faults: FaultPlan) -> ServeConfig {
+    ServeConfig {
+        shards,
+        options: fast_options(),
+        faults,
+        restart: fast_restart(5),
+        ..ServeConfig::default()
+    }
+}
+
+fn request(id: u64, source: &str) -> CompileRequest {
+    CompileRequest {
+        id,
+        name: None,
+        source: source.to_string(),
+        emit: Emit::Both,
+        deadline: None,
+    }
+}
+
+fn shard_of(source: &str, shards: usize) -> usize {
+    let program = gmc_ir::grammar::parse_program(source).unwrap();
+    route(program.shape(), shards)
+}
+
+fn kind_of(response: &CompileResponse) -> Option<FailureKind> {
+    response.result.as_ref().err().map(|f| f.kind)
+}
+
+#[test]
+fn panicked_shard_restarts_warm_and_serves_the_repeat_from_cache() {
+    let faults = FaultPlan::parse("panic:0:2").unwrap();
+    let mut service = CompileService::start(config(1, faults)).unwrap();
+
+    // Attempt 1: cold compile, then publish the snapshot restarts
+    // rewarm from.
+    service.submit(request(1, SRC_A));
+    let first = service.drain().remove(0);
+    let first_artifacts = first.result.expect("cold compile succeeds");
+    let _ = service.snapshot();
+
+    // Attempt 2: the injected panic kills the request but not the shard.
+    service.submit(request(2, SRC_A));
+    let killed = service.drain().remove(0);
+    assert_eq!(kind_of(&killed), Some(FailureKind::ShardPanic));
+    assert!(
+        killed
+            .result
+            .unwrap_err()
+            .message
+            .contains("injected fault"),
+        "panic message surfaces in the typed failure"
+    );
+
+    // Attempt 3: the restarted shard serves the repeat warm — the
+    // snapshot rewarm made the restart invisible apart from the one
+    // failed request.
+    service.submit(request(3, SRC_A));
+    let retried = service.drain().remove(0);
+    assert!(retried.cache_hit, "post-restart repeat is a cache hit");
+    assert_eq!(
+        retried.result.expect("retry succeeds"),
+        first_artifacts,
+        "byte-identical artifacts across the restart"
+    );
+
+    let health = &service.health()[0];
+    assert_eq!(health.state, ShardState::Up);
+    assert_eq!((health.panics, health.restarts), (1, 1));
+
+    let stats = service.shutdown();
+    assert_eq!((stats.panics(), stats.restarts()), (1, 1));
+    assert!(stats.restored() >= 1, "restart rewarmed from the snapshot");
+}
+
+#[test]
+fn circuit_breaker_opens_and_routing_falls_over_to_the_neighbor() {
+    let shards = 2;
+    let victim = shard_of(SRC_A, shards);
+    let spec = format!("panic:{victim}:1,panic:{victim}:2");
+    let faults = FaultPlan::parse(&spec).unwrap();
+    let mut cfg = config(shards, faults);
+    cfg.restart = fast_restart(2); // breaker opens on the second failure
+    let mut service = CompileService::start(cfg).unwrap();
+
+    for id in 1..=2u64 {
+        service.submit(request(id, SRC_A));
+        let r = service.drain().remove(0);
+        assert_eq!(kind_of(&r), Some(FailureKind::ShardPanic), "id {id}");
+        assert_eq!(r.shard, Some(victim));
+    }
+    assert_eq!(service.health()[victim].state, ShardState::Down);
+
+    // Traffic for the dead shard's shapes falls over and still compiles.
+    service.submit(request(3, SRC_A));
+    let r = service.drain().remove(0);
+    assert_eq!(r.shard, Some(1 - victim), "fell over to the neighbor");
+    assert!(r.result.is_ok(), "degraded, not dropped");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.panics(), 2);
+    assert_eq!(stats.restarts(), 1, "first panic restarted, second tripped");
+}
+
+#[test]
+fn deadlines_expire_in_submitter_and_at_dequeue() {
+    // Every compile sleeps 60 ms; both requests carry 15 ms deadlines.
+    // The first expires in the submitter's receive path (the shard is
+    // wedged inside the delay), the second at dequeue or in the
+    // submitter, depending on timing — both must come back exactly once
+    // as deadline_exceeded.
+    let faults = FaultPlan::parse("delay:60").unwrap();
+    let mut service = CompileService::start(config(1, faults)).unwrap();
+    for id in 1..=2u64 {
+        let mut req = request(id, SRC_A);
+        req.deadline = Some(Duration::from_millis(15));
+        service.submit(req);
+    }
+    let mut responses = service.drain();
+    responses.sort_by_key(|r| r.id);
+    assert_eq!(responses.len(), 2, "exactly one response per request");
+    for r in &responses {
+        assert_eq!(
+            kind_of(r),
+            Some(FailureKind::DeadlineExceeded),
+            "id {}",
+            r.id
+        );
+        assert!(kind_of(r).unwrap().retryable());
+    }
+    assert!(
+        service.health()[0].deadline_exceeded >= 2,
+        "both expiries counted"
+    );
+    let _ = service.shutdown();
+}
+
+#[test]
+fn overload_sheds_beyond_the_queue_cap_with_typed_errors() {
+    // One slow shard (30 ms per compile), queue depth 2: of five
+    // back-to-back submissions, two are admitted and three shed.
+    let faults = FaultPlan::parse("delay:30").unwrap();
+    let mut cfg = config(1, faults);
+    cfg.queue_cap = 2;
+    let mut service = CompileService::start(cfg).unwrap();
+    for id in 1..=5u64 {
+        service.submit(request(id, SRC_A));
+    }
+    let responses = service.drain();
+    assert_eq!(responses.len(), 5);
+    let shed: Vec<u64> = responses
+        .iter()
+        .filter(|r| kind_of(r) == Some(FailureKind::Overloaded))
+        .map(|r| r.id)
+        .collect();
+    let served = responses.iter().filter(|r| r.result.is_ok()).count();
+    assert_eq!(shed, vec![3, 4, 5], "admission is first-come");
+    assert_eq!(served, 2);
+    assert_eq!(service.health()[0].shed, 3);
+    let _ = service.shutdown();
+}
+
+#[test]
+fn torn_snapshot_writes_are_quarantined_on_the_next_start() {
+    let dir = std::env::temp_dir().join("gmc_serve_torn_snapshot_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snapshot.txt");
+
+    // A service with the torn-write fault armed persists a truncated,
+    // non-renamed file — the simulated crash mid-save.
+    let faults = FaultPlan::parse("snapshot_torn").unwrap();
+    let mut cfg = config(1, faults);
+    cfg.snapshot_path = Some(path.clone());
+    let mut service = CompileService::start(cfg.clone()).unwrap();
+    service.submit(request(1, SRC_A));
+    assert!(service.drain().remove(0).result.is_ok());
+    service.save_snapshot(&path).unwrap();
+    let _ = service.shutdown();
+    assert!(path.exists(), "torn file landed on the final path");
+
+    // The next start must quarantine it and serve cold, not die.
+    cfg.faults = FaultPlan::new();
+    let mut reborn = CompileService::start(cfg).unwrap();
+    service_compiles_cold(&mut reborn);
+    let stats = reborn.shutdown();
+    assert_eq!(stats.restored(), 0);
+    assert!(!path.exists(), "torn snapshot moved aside");
+    assert!(dir.join("snapshot.txt.bad").exists(), "kept for inspection");
+}
+
+fn service_compiles_cold(service: &mut CompileService) {
+    service.submit(request(9, SRC_A));
+    let r = service.drain().remove(0);
+    assert!(r.result.is_ok());
+    assert!(!r.cache_hit, "cold start after quarantine");
+}
+
+/// The acceptance path end-to-end: a shard is killed mid-stream, the
+/// stream still answers every request exactly once, the drained
+/// shutdown persists a snapshot, and a new service restores it
+/// bit-identically — every repeat is a cache hit with byte-identical
+/// C++ and Rust artifacts.
+#[test]
+fn killed_shard_mid_stream_then_drained_snapshot_restores_bit_identical() {
+    let dir = std::env::temp_dir().join("gmc_serve_chaos_acceptance_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snapshot.txt");
+
+    let shards = 2;
+    let victim = shard_of(SRC_A, shards);
+    let faults = FaultPlan::parse(&format!("panic:{victim}:2")).unwrap();
+    let mut cfg = config(shards, faults);
+    cfg.snapshot_path = Some(path.clone());
+
+    let mut cold = CompileService::start(cfg.clone()).unwrap();
+    cold.submit(request(1, SRC_A));
+    let baseline = cold.drain().remove(0).result.expect("cold compile");
+    let _ = cold.snapshot(); // publish the rewarm source
+    cold.submit(request(2, SRC_A)); // killed mid-stream
+    cold.submit(request(3, SRC_A)); // served warm after the restart
+    cold.submit(request(4, SRC_B));
+    cold.submit(request(5, SRC_C));
+    let mut responses = cold.drain();
+    responses.sort_by_key(|r| r.id);
+    assert_eq!(responses.len(), 4, "exactly one response per request");
+    assert_eq!(kind_of(&responses[0]), Some(FailureKind::ShardPanic));
+    assert!(responses[1].cache_hit, "restart rewarmed the victim shard");
+    assert!(responses[2].result.is_ok() && responses[3].result.is_ok());
+    cold.save_snapshot(&path).unwrap();
+    let stats = cold.shutdown();
+    assert_eq!((stats.panics(), stats.restarts()), (1, 1));
+
+    // A fresh service (faults disarmed) restores everything warm and
+    // byte-identical.
+    cfg.faults = FaultPlan::new();
+    let mut warm = CompileService::start(cfg).unwrap();
+    for (id, src) in [(1, SRC_A), (2, SRC_B), (3, SRC_C)] {
+        warm.submit(request(id, src));
+    }
+    let mut warmed = warm.drain();
+    warmed.sort_by_key(|r| r.id);
+    for r in &warmed {
+        assert!(r.cache_hit, "restored chain serves id {} warm", r.id);
+    }
+    assert_eq!(
+        warmed[0].result.as_ref().unwrap(),
+        &baseline,
+        "byte-identical emitted C++/Rust after kill + drain + restore"
+    );
+    let _ = warm.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Chaos: random request streams (healthy and malformed sources)
+    /// against a 2-shard service with injected panics, delays, and a
+    /// tight queue. Invariants: every request gets exactly one
+    /// response, nothing hangs, and the post-chaos counters are
+    /// consistent — `hits + misses + shed + failed == submitted`
+    /// (panics fire before the session is touched, so a killed request
+    /// counts as neither hit nor miss).
+    #[test]
+    fn every_request_gets_exactly_one_response_and_counters_balance(
+        picks in proptest::collection::vec(0usize..4, 5..25),
+        panic_nth in 1u64..6,
+        delay_ms in 0u64..3,
+    ) {
+        let sources = [SRC_A, SRC_B, SRC_C, SRC_BAD];
+        let spec = format!("panic:0:{panic_nth},panic:1:{panic_nth},delay:{delay_ms}");
+        let faults = FaultPlan::parse(&spec).unwrap();
+        let mut cfg = config(2, faults);
+        cfg.queue_cap = 3;
+        let mut service = CompileService::start(cfg).unwrap();
+
+        for (id, &pick) in picks.iter().enumerate() {
+            service.submit(request(id as u64, sources[pick]));
+        }
+        let mut responses = service.drain();
+        prop_assert_eq!(responses.len(), picks.len(), "exactly one response each");
+        responses.sort_by_key(|r| r.id);
+        for (id, r) in responses.iter().enumerate() {
+            prop_assert_eq!(r.id, id as u64, "no duplicates, no drops");
+        }
+
+        let ok = responses.iter().filter(|r| r.result.is_ok()).count() as u64;
+        let shed = responses
+            .iter()
+            .filter(|r| kind_of(r) == Some(FailureKind::Overloaded))
+            .count() as u64;
+        let failed = responses.len() as u64 - ok - shed;
+        let panicked = responses
+            .iter()
+            .filter(|r| kind_of(r) == Some(FailureKind::ShardPanic))
+            .count() as u64;
+
+        let health = service.health();
+        let health_shed: u64 = health.iter().map(|h| h.shed).sum();
+        prop_assert_eq!(health_shed, shed, "shed counter matches responses");
+
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.panics(), panicked, "panic counter matches responses");
+        prop_assert_eq!(stats.late_drops, 0, "no write-offs without deadlines");
+        let compiled = stats.shards.iter().map(|s| s.cache.hits + s.cache.misses).sum::<u64>();
+        prop_assert_eq!(compiled, ok, "every ok response is a hit or a miss");
+        prop_assert_eq!(
+            compiled + shed + failed,
+            picks.len() as u64,
+            "hits + misses + shed + failed == submitted"
+        );
+    }
+}

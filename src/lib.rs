@@ -53,6 +53,35 @@
 //!   `--persist FILE` makes restarts warm). Batch mode is hardened the
 //!   same way: per-file diagnostics, healthy inputs still emit, dirty
 //!   exit code.
+//! * **Supervision** (`gmc_serve::supervisor`): each compile runs under
+//!   a per-shard panic boundary; a panicking shard answers the doomed
+//!   request with a typed `shard_panic` error, then restarts with a
+//!   fresh session rewarmed from the latest snapshot (capped
+//!   exponential backoff). A circuit breaker takes a shard that fails
+//!   K times inside a sliding window out of rotation, and routing
+//!   falls over to the next live shard — degraded, never dropped.
+//! * **Admission control and deadlines**: per-shard queues are bounded
+//!   (`--queue-cap`); overflow is shed *in band* with a retryable
+//!   `overloaded` error instead of queueing without bound. Requests
+//!   carry optional deadlines (`deadline_ms` field, `--deadline-ms`
+//!   default) enforced both at dequeue and in the submitter, so a
+//!   wedged shard cannot stall the response stream. The invariant the
+//!   whole layer preserves: **every submitted request gets exactly one
+//!   response** (pinned by a chaos property test in
+//!   `crates/serve/tests/chaos.rs`).
+//! * **Graceful drain**: on SIGTERM/SIGINT or stdin EOF the daemon
+//!   stops accepting, drains in-flight work, persists a final snapshot
+//!   (written atomically — temp file + rename; a corrupt snapshot is
+//!   quarantined to `<path>.bad` on the next start, never fatal), and
+//!   exits. `{"id":N,"op":"health"}` reports per-shard
+//!   liveness/restart/shed counters without touching the work queues.
+//! * **Deterministic fault injection** (`gmc_serve::fault`): the
+//!   `GMC_FAULT` environment variable (or an in-band `{"op":"fault"}`
+//!   request behind `--enable-faults`) arms shard panics
+//!   (`panic:<shard>:<nth>`), compile delays (`delay:<ms>`), and torn
+//!   snapshot writes (`snapshot_torn`) — the same hooks the chaos
+//!   tests, the CI fault smoke, and the `bench_serve` overload row
+//!   drive.
 //!
 //! # The vectorized selection engine (`gmc_core::simd`)
 //!
