@@ -20,9 +20,10 @@
 
 use gmc_core::simd::{self, SimdLevel};
 use gmc_core::{
-    build_pool_with_mode, force_enum_mode, CompileSession, EnumMode, Objective, ParenTree,
+    build_pool_with_mode, force_enum_mode, force_frag_mode, CompileSession, EnumMode, FragMode,
+    Objective, ParenTree, Variant,
 };
-use gmc_ir::{Features, InstanceSampler, Operand, Shape};
+use gmc_ir::{Features, InstanceSampler, Operand, Property, Shape, Structure};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -51,6 +52,37 @@ fn select_once(session: &mut CompileSession, shape: &Shape) -> Vec<usize> {
         })
         .collect();
     session.expand_set(&initial, initial.len() + 4, Objective::AvgPenalty)
+}
+
+/// The fragment-store workload: eight related 7-chains sharing a
+/// structured five-operand prefix (every sub-span of the prefix — the
+/// bulk of each chain's span DAG — recurs in all eight shapes), with
+/// inverted/structured operands so per-node lowering (inversion
+/// propagation, kernel assignment, inference) dominates splicing.
+fn frag_workload() -> Vec<Shape> {
+    let g = Operand::plain(Features::general());
+    let sy = Operand::plain(Features::new(Structure::Symmetric, Property::Spd));
+    let lo = Operand::plain(Features::new(Structure::LowerTri, Property::NonSingular));
+    let up = Operand::plain(Features::new(Structure::UpperTri, Property::NonSingular));
+    let prefix = [g, lo.inverted(), sy.inverted(), up.inverted(), sy];
+    let tails: [[Operand; 2]; 8] = [
+        [g, g],
+        [g, sy],
+        [lo, g],
+        [sy.inverted(), g],
+        [up.inverted(), sy],
+        [g, lo.inverted()],
+        [sy, up],
+        [lo.inverted(), up.inverted()],
+    ];
+    tails
+        .iter()
+        .map(|tail| {
+            let mut ops = prefix.to_vec();
+            ops.extend_from_slice(tail);
+            Shape::new(ops).expect("workload shapes are valid")
+        })
+        .collect()
 }
 
 fn best_of<T, F: FnMut() -> T>(reps: usize, mut f: F) -> (f64, T) {
@@ -140,6 +172,51 @@ fn main() {
     let (naive_sel_s, naive_sel_set) = best_of(reps, || cold_select(1));
     force_enum_mode(None);
 
+    // Cross-shape fragment store: enumerate the 8-shape related
+    // workload (shared structured prefix) in three regimes. `off` is
+    // the GMC_FRAG=off control (store never consulted); `cold` is a
+    // fresh store discovering the workload (later shapes already splice
+    // the earlier shapes' spans); `warm` is the serving/restart regime —
+    // a store that has seen the workload re-enumerating it, every
+    // association node a same-frame hit. One session per pass either
+    // way, shapes cycled so the per-shape memo is re-targeted (and
+    // dropped) on every shape: the store is the only state carried.
+    let workload = frag_workload();
+    let enumerate_workload = |session: &mut CompileSession| -> Vec<Vec<Variant>> {
+        workload
+            .iter()
+            .map(|s| session.all_variants(s).expect("workload under cap"))
+            .collect()
+    };
+    force_frag_mode(Some(FragMode::Off));
+    let (frag_off_s, off_pools) = best_of(reps, || {
+        let mut session = CompileSession::new();
+        session.set_jobs(1);
+        enumerate_workload(&mut session)
+    });
+    force_frag_mode(Some(FragMode::On));
+    let (frag_cold_s, cold_pools) = best_of(reps, || {
+        let mut session = CompileSession::new();
+        session.set_jobs(1);
+        enumerate_workload(&mut session)
+    });
+    let mut warm_store = CompileSession::new();
+    warm_store.set_jobs(1);
+    let _ = enumerate_workload(&mut warm_store);
+    let (frag_warm_s, warm_pools) = best_of(reps, || enumerate_workload(&mut warm_store));
+    force_frag_mode(None);
+    let warm_stats = warm_store.fragment_cache_stats();
+
+    assert_eq!(
+        off_pools, cold_pools,
+        "cold-store pools must be bit-identical to the GMC_FRAG=off control"
+    );
+    assert_eq!(
+        off_pools, warm_pools,
+        "warm-store pools must be bit-identical to the GMC_FRAG=off control"
+    );
+    let frag_speedup = frag_cold_s / frag_warm_s;
+
     assert_eq!(
         scalar_set, simd_set,
         "scalar and SIMD selection must pick the identical variant set"
@@ -189,6 +266,15 @@ fn main() {
         enum_speedup,
         naive_sel_s * 1e3,
     );
+    println!(
+        "fragment store, 8 related 7-chains: off {:7.3} ms   cold {:7.3} ms   \
+         warm {:7.3} ms ({:.2}x vs cold)   warm hit rate {:.3}",
+        frag_off_s * 1e3,
+        frag_cold_s * 1e3,
+        frag_warm_s * 1e3,
+        frag_speedup,
+        warm_stats.hit_rate(),
+    );
 
     let mut json = String::from("{\n  \"bench\": \"selection_end_to_end\",\n  \"unit\": \"ms\",\n");
     let _ = writeln!(json, "  \"chain\": \"general-7\",");
@@ -225,6 +311,23 @@ fn main() {
         "  \"naive_enum_selection_ms\": {:.3},",
         naive_sel_s * 1e3
     );
+    let _ = writeln!(
+        json,
+        "  \"frag_workload_note\": \"frag_* rows enumerate 8 related structured 7-chains \
+         sharing a 5-operand prefix: off = GMC_FRAG=off control, cold = fresh store, \
+         warm = store that has seen the workload (serving/restart regime); pools \
+         bit-identical across all three\","
+    );
+    let _ = writeln!(json, "  \"frag_off_ms\": {:.3},", frag_off_s * 1e3);
+    let _ = writeln!(json, "  \"frag_cold_ms\": {:.3},", frag_cold_s * 1e3);
+    let _ = writeln!(json, "  \"frag_warm_ms\": {:.3},", frag_warm_s * 1e3);
+    let _ = writeln!(json, "  \"frag_speedup\": {frag_speedup:.4},");
+    let _ = writeln!(
+        json,
+        "  \"frag_warm_hit_rate\": {:.4},",
+        warm_stats.hit_rate()
+    );
+    let _ = writeln!(json, "  \"frag_pools_bit_identical\": true,");
     let _ = writeln!(json, "  \"enum_pools_bit_identical\": true,");
     let _ = writeln!(json, "  \"selected_variants\": {},", simd_set.len());
     let _ = writeln!(json, "  \"scalar_simd_sets_bit_identical\": true,");

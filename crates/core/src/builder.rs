@@ -130,7 +130,11 @@ impl NodeDesc {
 /// Optimization switches for variant construction, used by the ablation
 /// experiments (`gmc-bench --bin ablation`) to quantify the Sec. IV design
 /// choices. Defaults enable everything, matching the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` because the options are part of every
+/// [`fragcache`](crate::fragcache) key: fragments lowered under different
+/// switches are distinct cache entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BuildOptions {
     /// Apply the single-operand inversion-propagation heuristic
     /// (`L G^{-1} = (G L^{-1})^{-1}`, Sec. IV step 1). The mandatory
@@ -411,7 +415,7 @@ pub(crate) fn finalizes_for(desc: &NodeDesc) -> Result<(Vec<Finalize>, NodeDesc)
 /// `R`'s, and within an unfinished `L` some association is always ready
 /// — so the order is exactly `order(L) ++ order(R) ++ [root]`, and a
 /// sub-tree's steps always form one contiguous block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Fragment {
     /// The association step closing this node (`None` for leaves), with
     /// span-local operand references; its own local index is

@@ -46,6 +46,17 @@
 //! pins the reference engine at runtime (mirroring `GMC_SIMD`); see the
 //! [`enumerate`] module docs.
 //!
+//! Above the per-shape memo sits the **cross-shape fragment store**
+//! ([`fragcache`]): fragments are keyed by the hash of their span's
+//! leaf-descriptor run (renumbered to a span-local frame) plus the
+//! [`BuildOptions`] fingerprint, so shapes that differ outside a span
+//! assemble that span by splice instead of re-lowering it. The store is
+//! LRU-bounded, owned by the session (capacity/stats knobs next to the
+//! chain cache's), serialized as a versioned section of the
+//! `gmc-session-snapshot` format so restarted daemons warm-start from
+//! persisted fragments, and disabled via `GMC_FRAG=off` (mirroring
+//! `GMC_SIMD`/`GMC_ENUM`); see the [`fragcache`] module docs.
+//!
 //! ```
 //! use gmc_core::CompiledChain;
 //! use gmc_ir::grammar::parse_program;
@@ -72,6 +83,7 @@ pub mod builder;
 pub mod dp;
 pub mod enumerate;
 pub mod expand;
+pub mod fragcache;
 pub mod library;
 pub mod paren;
 pub mod persist;
@@ -94,12 +106,18 @@ pub use expand::{
     expand_set, expand_set_striped, expand_set_striped_level, expand_set_with, CostMatrix,
     ExpandScratch, Objective,
 };
+pub use fragcache::{active_frag_mode, force_frag_mode, FragCacheStats, FragMode, FragmentCache};
 pub use library::ChainLibrary;
 pub use paren::{NodeId, ParenTree, SpanDag};
 pub use persist::{PersistError, SessionSnapshot};
 pub use pool::{PoolBuilder, PoolStats};
 pub use program::{CompileOptions, CompiledChain, CostModel, FlopCost, ProgramError};
-pub use session::{CacheStats, CompileSession, DEFAULT_CHAIN_CACHE_CAPACITY};
+pub use session::{
+    CacheStats, CompileSession, DEFAULT_CHAIN_CACHE_CAPACITY, DEFAULT_FRAG_CACHE_CAPACITY,
+};
 pub use simd::SimdLevel;
-pub use theory::{fanning_out_set, penalty, select_base_set, select_base_set_with, TheoryError};
+pub use theory::{
+    fanning_out_set, penalty, select_base_set, select_base_set_with, select_base_set_with_rows,
+    TheoryError,
+};
 pub use variant::{ExecVariantError, Finalize, Step, ValRef, Variant};

@@ -183,16 +183,19 @@ struct SpanNode {
 pub struct SpanDag {
     n: usize,
     nodes: Vec<SpanNode>,
-    /// Eagerly materialized [`ParenTree`] per node, built once from the
-    /// children's (already materialized) trees.
-    trees: Vec<ParenTree>,
+    /// Sentinel-less preorder bit string per node (`1` per association,
+    /// `0` per leaf; a node of `w` leaves occupies `2w - 1` bits),
+    /// composed incrementally from the children's codes so no tree walk
+    /// is ever needed. Nodes wider than 64 leaves store `0` (their code
+    /// is never requested — the cross-shape fragment store skips them).
+    codes: Vec<u128>,
     /// Association nodes interned by their children (the children ids
     /// uniquely determine the sub-tree).
-    interned: HashMap<(NodeId, NodeId), NodeId>,
+    interned: HashMap<(NodeId, NodeId), NodeId, crate::fragcache::FxBuildHasher>,
     /// Per-span enumeration lists in the canonical
-    /// [`ParenTree::enumerate`] order, filled by
-    /// [`SpanDag::enumerate_roots`].
-    span_lists: HashMap<(usize, usize), Vec<NodeId>>,
+    /// [`ParenTree::enumerate`] order, indexed `lo * n + hi` and filled
+    /// by [`SpanDag::enumerate_roots`].
+    span_lists: Vec<Option<Vec<NodeId>>>,
 }
 
 impl SpanDag {
@@ -212,14 +215,18 @@ impl SpanDag {
                 children: None,
             })
             .collect();
-        let trees = (0..n).map(ParenTree::Leaf).collect();
         SpanDag {
             n,
             nodes,
-            trees,
-            interned: HashMap::new(),
-            span_lists: HashMap::new(),
+            codes: vec![0; n],
+            interned: HashMap::default(),
+            span_lists: vec![None; n * n],
         }
+    }
+
+    /// Slot of span `(lo, hi)` in [`SpanDag::span_lists`].
+    fn slot(&self, lo: usize, hi: usize) -> usize {
+        lo * self.n + hi
     }
 
     /// Chain length this DAG spans.
@@ -254,10 +261,30 @@ impl SpanDag {
         self.nodes[id].children
     }
 
-    /// The materialized [`ParenTree`] of a node.
+    /// Materialize the [`ParenTree`] of a node from the arena. Built on
+    /// demand — the DAG itself keeps only spans, children, and bit
+    /// codes, so enumeration never pays for deep tree clones.
     #[must_use]
-    pub fn tree(&self, id: NodeId) -> &ParenTree {
-        &self.trees[id]
+    pub fn tree(&self, id: NodeId) -> ParenTree {
+        match self.nodes[id].children {
+            None => ParenTree::Leaf(self.nodes[id].lo),
+            Some((l, r)) => ParenTree::node(self.tree(l), self.tree(r)),
+        }
+    }
+
+    /// Preorder bit code of a node: `1` per association node, `0` per
+    /// leaf, behind a sentinel `1` so the code is length-unambiguous.
+    /// Composed incrementally at interning time; fits spans of up to 64
+    /// leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the node spans more than 64 leaves.
+    #[must_use]
+    pub fn code(&self, id: NodeId) -> u128 {
+        let w = self.num_leaves(id);
+        debug_assert!(w <= 64, "code requested for a span wider than 64 leaves");
+        (1 << (2 * w - 1)) | self.codes[id]
     }
 
     /// Intern the association of two already-interned nodes. The spans
@@ -272,15 +299,22 @@ impl SpanDag {
             return id;
         }
         let id = self.nodes.len();
+        let (wl, wr) = (self.num_leaves(left), self.num_leaves(right));
+        // bits(node) = '1' ++ bits(left) ++ bits(right); a child of w
+        // leaves contributes 2w - 1 bits. Spans wider than 64 leaves
+        // overflow the u128 and store 0 (their code is never read).
+        let code = if wl + wr <= 64 {
+            let (nl, nr) = (2 * wl as u32 - 1, 2 * wr as u32 - 1);
+            (1 << (nl + nr)) | (self.codes[left] << nr) | self.codes[right]
+        } else {
+            0
+        };
         self.nodes.push(SpanNode {
             lo: self.nodes[left].lo,
             hi: self.nodes[right].hi,
             children: Some((left, right)),
         });
-        self.trees.push(ParenTree::node(
-            self.trees[left].clone(),
-            self.trees[right].clone(),
-        ));
+        self.codes.push(code);
         self.interned.insert((left, right), id);
         id
     }
@@ -307,30 +341,43 @@ impl SpanDag {
     /// second call is a lookup.
     pub fn enumerate_roots(&mut self) -> Vec<NodeId> {
         for lo in 0..self.n {
-            self.span_lists.entry((lo, lo)).or_insert_with(|| vec![lo]);
+            let slot = self.slot(lo, lo);
+            if self.span_lists[slot].is_none() {
+                self.span_lists[slot] = Some(vec![lo]);
+            }
         }
+        // Scratch for the (left, right) pairs of one span, collected
+        // first so `self.node` can borrow the arena mutably afterwards
+        // without cloning the child lists.
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
         for len in 2..=self.n {
             for lo in 0..=self.n - len {
                 let hi = lo + len - 1;
-                if self.span_lists.contains_key(&(lo, hi)) {
+                if self.span_lists[self.slot(lo, hi)].is_some() {
                     continue;
                 }
-                let mut list = Vec::new();
+                pairs.clear();
                 for split in lo..hi {
-                    // Clone the (small) child lists so `self.node` can
-                    // borrow the arena mutably inside the loop.
-                    let lefts = self.span_lists[&(lo, split)].clone();
-                    let rights = self.span_lists[&(split + 1, hi)].clone();
-                    for &l in &lefts {
-                        for &r in &rights {
-                            list.push(self.node(l, r));
+                    let lefts = self.span_lists[self.slot(lo, split)]
+                        .as_ref()
+                        .expect("shorter spans precede longer ones");
+                    let rights = self.span_lists[self.slot(split + 1, hi)]
+                        .as_ref()
+                        .expect("shorter spans precede longer ones");
+                    for &l in lefts {
+                        for &r in rights {
+                            pairs.push((l, r));
                         }
                     }
                 }
-                self.span_lists.insert((lo, hi), list);
+                let list: Vec<NodeId> = pairs.iter().map(|&(l, r)| self.node(l, r)).collect();
+                let slot = self.slot(lo, hi);
+                self.span_lists[slot] = Some(list);
             }
         }
-        self.span_lists[&(0, self.n - 1)].clone()
+        self.span_lists[self.slot(0, self.n - 1)]
+            .clone()
+            .expect("filled above")
     }
 }
 
@@ -421,7 +468,7 @@ mod tests {
             let trees = ParenTree::enumerate(0, n - 1);
             assert_eq!(roots.len(), trees.len(), "n = {n}");
             for (id, tree) in roots.iter().zip(&trees) {
-                assert_eq!(dag.tree(*id), tree, "n = {n}");
+                assert_eq!(&dag.tree(*id), tree, "n = {n}");
             }
             // Idempotent: a second enumeration interns nothing new.
             let nodes = dag.num_nodes();
@@ -465,8 +512,37 @@ mod tests {
         let mut sparse = SpanDag::new(5);
         let t = ParenTree::left_to_right(0, 4);
         let id = sparse.intern_tree(&t).unwrap();
-        assert_eq!(sparse.tree(id), &t);
+        assert_eq!(sparse.tree(id), t);
         assert_eq!(sparse.num_nodes(), 5 + 4, "leaves + one spine");
+    }
+
+    #[test]
+    fn dag_codes_match_preorder_reference_encoding() {
+        // Reference: walk the materialized tree in preorder, shifting in
+        // a `1` per node and a `0` per leaf behind a sentinel `1`.
+        fn reference(t: &ParenTree, acc: &mut u128) {
+            match t {
+                ParenTree::Leaf(_) => *acc <<= 1,
+                ParenTree::Node(l, r) => {
+                    *acc = (*acc << 1) | 1;
+                    reference(l, acc);
+                    reference(r, acc);
+                }
+            }
+        }
+        for n in 1..=7 {
+            let mut dag = SpanDag::new(n);
+            dag.enumerate_roots();
+            for id in 0..dag.num_nodes() {
+                let mut acc = 1;
+                reference(&dag.tree(id), &mut acc);
+                assert_eq!(dag.code(id), acc, "node {id}, n = {n}");
+            }
+        }
+        // The smallest association: ((M1 M2)) encodes as 0b1100.
+        let mut dag = SpanDag::new(2);
+        let root = dag.enumerate_roots()[0];
+        assert_eq!(dag.code(root), 0xc);
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //!   persisted and restored bit-identically for warm service restarts
 //!   ([`CompileSession::snapshot`] / [`CompileSession::restore`]; see
 //!   [`crate::persist`]).
+//! * **Cross-shape fragment store** ([`crate::fragcache::FragmentCache`]):
+//!   the memoized enumeration engine consults a descriptor-run–keyed LRU
+//!   store before lowering each span-DAG node, so related shapes (and
+//!   snapshot-restored sessions) splice shared sub-spans instead of
+//!   re-lowering them. Bounded at
+//!   [`DEFAULT_FRAG_CACHE_CAPACITY`], tunable via
+//!   [`CompileSession::set_fragment_cache_capacity`], instrumented via
+//!   [`CompileSession::fragment_cache_stats`], and disabled with
+//!   `GMC_FRAG=off`.
 //! * **DP solver reuse** ([`crate::dp::DpSolver`]): one solver per shape
 //!   keeps its descriptor interner, association memo, and state arena
 //!   warm, so per-instance optimal costs in dispatch loops are
@@ -79,6 +88,7 @@ use crate::enumerate::{
     active_enum_mode, build_pool_naive, EnumMode, EnumerateError, DEFAULT_VARIANT_CAP,
 };
 use crate::expand::{expand_set_striped, CostMatrix, ExpandScratch};
+use crate::fragcache::{active_frag_mode, FragCacheStats, FragMode, FragmentCache};
 use crate::paren::ParenTree;
 use crate::persist::{options_key, PersistError, SessionSnapshot};
 use crate::pool::PoolBuilder;
@@ -102,6 +112,13 @@ pub(crate) const ENUMERATION_CAP: u128 = 4096;
 /// hundred distinct shapes is cheap; services tune this per shard via
 /// [`CompileSession::set_chain_cache_capacity`].
 pub const DEFAULT_CHAIN_CACHE_CAPACITY: usize = 256;
+
+/// Default capacity of the cross-shape fragment store
+/// ([`crate::fragcache::FragmentCache`]). Fragments are a single step
+/// plus a cost polynomial, far smaller than compiled chains, so the
+/// store affords a much larger bound than the chain cache; services tune
+/// it per shard via [`CompileSession::set_fragment_cache_capacity`].
+pub const DEFAULT_FRAG_CACHE_CAPACITY: usize = 4096;
 
 /// Observability counters for the compiled-chain cache (cumulative for
 /// the session's lifetime; survive cache invalidations).
@@ -165,6 +182,7 @@ pub struct CompileSession {
     cache_tick: u64,
     cache_stats: CacheStats,
     pool: PoolBuilder,
+    frags: FragmentCache,
     matrix: CostMatrix,
     expand: ExpandScratch,
     gemm_ws: GemmWorkspace,
@@ -197,6 +215,7 @@ impl CompileSession {
             cache_tick: 0,
             cache_stats: CacheStats::default(),
             pool: PoolBuilder::new(),
+            frags: FragmentCache::new(DEFAULT_FRAG_CACHE_CAPACITY),
             matrix: CostMatrix::new(),
             expand: ExpandScratch::default(),
             gemm_ws: GemmWorkspace::new(),
@@ -302,11 +321,18 @@ impl CompileSession {
     /// interned shape (the memo key) changes.
     fn full_pool(&mut self, id: ShapeId) -> Result<Vec<Variant>, BuildError> {
         let CompileSession {
-            shapes, pool, jobs, ..
+            shapes,
+            pool,
+            frags,
+            jobs,
+            ..
         } = self;
         let shape = shapes.get(id);
         match active_enum_mode() {
-            EnumMode::Memoized => pool.build_full(Some(id), shape, *jobs),
+            EnumMode::Memoized => {
+                let cache = (active_frag_mode() == FragMode::On).then_some(&mut *frags);
+                pool.build_full_cached(Some(id), shape, *jobs, cache)
+            }
             EnumMode::Naive => {
                 let trees = ParenTree::enumerate(0, shape.len() - 1);
                 build_pool_naive(shape, &trees, *jobs)
@@ -323,11 +349,18 @@ impl CompileSession {
         trees: &[ParenTree],
     ) -> Result<Vec<Variant>, BuildError> {
         let CompileSession {
-            shapes, pool, jobs, ..
+            shapes,
+            pool,
+            frags,
+            jobs,
+            ..
         } = self;
         let shape = shapes.get(id);
         match active_enum_mode() {
-            EnumMode::Memoized => pool.build_for_trees(Some(id), shape, trees, *jobs),
+            EnumMode::Memoized => {
+                let cache = (active_frag_mode() == FragMode::On).then_some(&mut *frags);
+                pool.build_for_trees_cached(Some(id), shape, trees, *jobs, cache)
+            }
             EnumMode::Naive => build_pool_naive(shape, trees, *jobs),
         }
     }
@@ -619,6 +652,35 @@ impl CompileSession {
         self.cache_stats
     }
 
+    /// The cross-shape fragment store's capacity
+    /// (default [`DEFAULT_FRAG_CACHE_CAPACITY`]).
+    #[must_use]
+    pub fn fragment_cache_capacity(&self) -> usize {
+        self.frags.capacity()
+    }
+
+    /// Bound the cross-shape fragment store: at most `capacity` lowered
+    /// fragments stay resident, evicted least-recently-used. `0` disables
+    /// the store (equivalent to `GMC_FRAG=off` for this session). Like
+    /// the chain cache, eviction never changes results — an evicted
+    /// fragment is re-lowered bit-identically on its next encounter.
+    pub fn set_fragment_cache_capacity(&mut self, capacity: usize) {
+        self.frags.set_capacity(capacity);
+    }
+
+    /// Cumulative hit/miss/insert/eviction/restore counters for the
+    /// cross-shape fragment store.
+    #[must_use]
+    pub fn fragment_cache_stats(&self) -> FragCacheStats {
+        self.frags.stats()
+    }
+
+    /// Number of fragments currently resident in the cross-shape store.
+    #[must_use]
+    pub fn num_cached_fragments(&self) -> usize {
+        self.frags.len()
+    }
+
     /// Snapshot the compiled-chain cache for warm-restart persistence:
     /// shape descriptors plus selected parenthesizations, in dense
     /// [`ShapeId`] order (see [`crate::persist`] for the format). The
@@ -638,7 +700,11 @@ impl CompileSession {
                 entries.push((shape.clone(), parens));
             }
         }
-        SessionSnapshot::from_parts(options_key(&self.options, self.variant_cap), entries)
+        SessionSnapshot::from_parts(
+            options_key(&self.options, self.variant_cap),
+            entries,
+            self.frags.export(),
+        )
     }
 
     /// Restore every chain recorded in `snapshot` into the cache,
@@ -680,6 +746,15 @@ impl CompileSession {
                 expected,
                 found: snapshot.options_fingerprint().to_string(),
             });
+        }
+        // Warm the fragment store *before* re-lowering the recorded
+        // chains, so the very first rebuild of each shape splices
+        // snapshot-carried fragments instead of lowering from scratch
+        // (fragment warmth is correctness-neutral: hits are exact).
+        if active_frag_mode() == FragMode::On {
+            for (key, frag) in snapshot.frag_entries() {
+                self.frags.insert_restored(key.clone(), frag.clone());
+            }
         }
         // Rebuild everything first, insert only if the whole snapshot
         // lowers: a corrupt entry must not leave the cache half-warm.

@@ -136,10 +136,38 @@ pub fn select_base_set_with<F>(
 where
     F: Fn(&Variant, &Instance) -> f64,
 {
-    select_base_set_rows(shape, training, optimal, &mut |v, row| {
-        for (c, q) in row.iter_mut().zip(training) {
+    select_base_set_with_rows(shape, training, optimal, |v, qs, row| {
+        for (c, q) in row.iter_mut().zip(qs) {
             *c = cost(v, q);
         }
+    })
+}
+
+/// [`select_base_set_with`] with a **batched row** cost function:
+/// `fill_row(variant, instances, row)` writes the variant's cost on every
+/// training instance at once, letting the cost model hoist per-variant
+/// work (kernel-model lookups, axis resolution, polynomial compilation)
+/// out of the per-instance loop — the same treatment
+/// [`CostMatrix::fill_rows_with`](crate::CostMatrix::fill_rows_with)
+/// gives the expansion stage. The per-instance [`select_base_set_with`]
+/// wraps its closure into a row fill and routes through here, so both
+/// entry points score candidates with the engine's canonical blocked
+/// reduction and pick identical representatives.
+///
+/// # Errors
+///
+/// Same as [`select_base_set`].
+pub fn select_base_set_with_rows<F>(
+    shape: &Shape,
+    training: &[Instance],
+    optimal: &[f64],
+    fill_row: F,
+) -> Result<BaseSet, TheoryError>
+where
+    F: Fn(&Variant, &[Instance], &mut [f64]),
+{
+    select_base_set_rows(shape, training, optimal, &mut |v, row| {
+        fill_row(v, training, row)
     })
 }
 
@@ -373,6 +401,33 @@ mod tests {
         let scaled =
             select_base_set_with(&shape, &training, &optimal, |v, q| 2.0 * v.flops(q)).unwrap();
         assert_eq!(flop_based.representatives, scaled.representatives);
+    }
+
+    #[test]
+    fn batched_row_selection_is_bit_identical_to_per_instance() {
+        // The batched entry point must pick the same representatives
+        // AND the same variants as the per-instance closure for any
+        // cost model — here a non-linear one so ties break differently
+        // from FLOPs and the equality is not vacuous.
+        let shape = Shape::new(vec![g(), spd_inv(), g(), g()]).unwrap();
+        let mut rng = StdRng::seed_from_u64(47);
+        let sampler = InstanceSampler::new(&shape, 2, 300);
+        let training = sampler.sample_many(&mut rng, 100);
+        let all = all_variants(&shape).unwrap();
+        let optimal: Vec<f64> = training
+            .iter()
+            .map(|q| all.iter().map(|v| v.flops(q)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let model = |v: &Variant, q: &Instance| (1.0 + v.flops(q)).ln() * v.steps().len() as f64;
+        let cell = select_base_set_with(&shape, &training, &optimal, model).unwrap();
+        let rows = select_base_set_with_rows(&shape, &training, &optimal, |v, qs, row| {
+            for (c, q) in row.iter_mut().zip(qs) {
+                *c = model(v, q);
+            }
+        })
+        .unwrap();
+        assert_eq!(cell.representatives, rows.representatives);
+        assert_eq!(cell.variants, rows.variants);
     }
 
     #[test]

@@ -670,6 +670,7 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
         shards: config.jobs,
         options: compile_options(config),
         cache_capacity: config.cache_cap,
+        frag_cache_capacity: gmc_core::DEFAULT_FRAG_CACHE_CAPACITY,
         snapshot_path: config.persist.clone(),
         queue_cap: config.queue_cap,
         default_deadline: config.deadline_ms.map(std::time::Duration::from_millis),

@@ -21,6 +21,7 @@
 //! | `panic:<shard>:<nth>` | shard `<shard>` panics on its `<nth>` compile attempt (1-based, cumulative across restarts) | panic catch, warm restart, backoff, circuit breaker, exactly-one-response |
 //! | `delay:<ms>` | every compile on every shard sleeps `<ms>` ms first | queue growth, admission control (shedding), deadline expiry at dequeue and in the submitter |
 //! | `snapshot_torn` | snapshot saves write a truncated file directly to the target path, bypassing the atomic rename | corrupt-snapshot quarantine and cold start on the next boot |
+//! | `frag_torn` | snapshot saves cut the file mid-way through its trailing fragment section (truncated write, no rename) | the fragment section's count check: a torn fragment tail must corrupt the whole snapshot, never restore a partial store |
 //!
 //! Panics fire *before* the session is touched, so a killed shard's
 //! session never observes a half-applied compile — which also keeps the
@@ -44,6 +45,8 @@ struct Spec {
     delay: Option<Duration>,
     /// Tear the next snapshot saves (truncated write, no rename).
     snapshot_torn: bool,
+    /// Tear snapshot saves mid-way through the fragment section.
+    frag_torn: bool,
 }
 
 /// A shared, thread-safe fault plan (see the [module docs](self) for
@@ -132,6 +135,7 @@ impl FaultPlan {
                     add.delay = Some(Duration::from_millis(ms));
                 }
                 "snapshot_torn" => add.snapshot_torn = true,
+                "frag_torn" => add.frag_torn = true,
                 other => return Err(format!("unknown fault `{other}` in `{clause}`")),
             }
             if parts.next().is_some() {
@@ -144,7 +148,9 @@ impl FaultPlan {
             spec.delay = add.delay;
         }
         spec.snapshot_torn |= add.snapshot_torn;
-        let armed = !spec.panics.is_empty() || spec.delay.is_some() || spec.snapshot_torn;
+        spec.frag_torn |= add.frag_torn;
+        let armed =
+            !spec.panics.is_empty() || spec.delay.is_some() || spec.snapshot_torn || spec.frag_torn;
         self.inner.armed.store(armed, Ordering::Release);
         Ok(())
     }
@@ -191,6 +197,12 @@ impl FaultPlan {
                 .expect("fault spec lock")
                 .snapshot_torn
     }
+
+    /// `true` if snapshot saves should be cut mid-way through the
+    /// trailing fragment section (truncated, non-atomic).
+    pub(crate) fn tear_frag_section(&self) -> bool {
+        self.is_armed() && self.inner.spec.lock().expect("fault spec lock").frag_torn
+    }
 }
 
 #[cfg(test)]
@@ -199,9 +211,11 @@ mod tests {
 
     #[test]
     fn parses_the_full_matrix() {
-        let plan = FaultPlan::parse("panic:0:3, delay:7 ,snapshot_torn,panic:1:2").unwrap();
+        let plan =
+            FaultPlan::parse("panic:0:3, delay:7 ,snapshot_torn,panic:1:2,frag_torn").unwrap();
         assert!(plan.is_armed());
         assert!(plan.tear_snapshot());
+        assert!(plan.tear_frag_section());
         let spec = plan.inner.spec.lock().unwrap();
         assert_eq!(spec.panics, vec![(0, 3), (1, 2)]);
         assert_eq!(spec.delay, Some(Duration::from_millis(7)));
@@ -212,6 +226,7 @@ mod tests {
         let plan = FaultPlan::parse("").unwrap();
         assert!(!plan.is_armed());
         assert!(!plan.tear_snapshot());
+        assert!(!plan.tear_frag_section());
         plan.before_compile(0, 1); // must not panic or sleep
     }
 
@@ -227,6 +242,7 @@ mod tests {
             "delay:x",
             "frobnicate",
             "snapshot_torn:5",
+            "frag_torn:1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -27,21 +27,27 @@
 //! A request may instead carry an `op` field for in-band service
 //! queries (no `source` needed):
 //!
-//! * `{"op": "stats"}` — per-shard cache counters (see [`stats_line`]):
+//! * `{"op": "stats"}` — per-shard cache counters (see [`stats_line`]).
+//!   The `frag_*` fields count the shard's cross-shape fragment store
+//!   (sub-span lookups during pool builds, not requests):
 //!
 //!   ```text
 //!   {"id":3,"ok":true,"op":"stats","shards":[{"shard":0,"requests":2,
-//!    "hits":1,"misses":1,"evictions":0,"hit_rate":0.5000,"restored":0}],
-//!    "total_requests":2,"total_hits":1}
+//!    "hits":1,"misses":1,"evictions":0,"hit_rate":0.5000,"restored":0,
+//!    "frag_hits":9,"frag_misses":3,"frag_evictions":0,
+//!    "frag_hit_rate":0.7500,"frag_restored":0}],
+//!    "total_requests":2,"total_hits":1,"total_frag_hits":9}
 //!   ```
 //!
 //! * `{"op": "health"}` — per-shard liveness and robustness counters,
-//!   answered even when shards are wedged or down (see [`health_line`]):
+//!   answered even when shards are wedged or down (see [`health_line`]);
+//!   `chain_hit_rate`/`frag_hit_rate` summarize the two cache layers
+//!   from lock-free counters:
 //!
 //!   ```text
 //!   {"id":4,"ok":true,"op":"health","shards":[{"shard":0,"state":"up",
 //!    "restarts":1,"panics":1,"queue_depth":0,"deadline_exceeded":0,
-//!    "shed":2}],"live":1}
+//!    "shed":2,"chain_hit_rate":0.5000,"frag_hit_rate":0.7500}],"live":1}
 //!   ```
 //!
 //! * `{"op": "fault", "spec": "panic:0:3,delay:5"}` — arm the
@@ -179,8 +185,9 @@ pub fn response_line(response: &CompileResponse) -> String {
 
 /// Render the response line of an in-band `{"op":"stats"}` request:
 /// one object per live shard (hits/misses/evictions/hit-rate of its
-/// compiled-chain cache, requests served, chains restored at startup)
-/// plus service-wide totals.
+/// compiled-chain cache, the `frag_*` counters of its cross-shape
+/// fragment store, requests served, chains/fragments restored at
+/// startup) plus service-wide totals.
 #[must_use]
 pub fn stats_line(id: u64, shards: &[crate::ShardStatus]) -> String {
     let mut out = String::new();
@@ -195,7 +202,9 @@ pub fn stats_line(id: u64, shards: &[crate::ShardStatus]) -> String {
         let _ = write!(
             out,
             "{{\"shard\":{},\"requests\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
-             \"hit_rate\":{:.4},\"restored\":{}}}",
+             \"hit_rate\":{:.4},\"restored\":{},\
+             \"frag_hits\":{},\"frag_misses\":{},\"frag_evictions\":{},\
+             \"frag_hit_rate\":{:.4},\"frag_restored\":{}}}",
             s.shard,
             s.requests,
             s.cache.hits,
@@ -203,23 +212,30 @@ pub fn stats_line(id: u64, shards: &[crate::ShardStatus]) -> String {
             s.cache.evictions,
             s.cache.hit_rate(),
             s.cache.restored,
+            s.frags.hits,
+            s.frags.misses,
+            s.frags.evictions,
+            s.frags.hit_rate(),
+            s.frags.restored,
         );
     }
     let total_requests: u64 = shards.iter().map(|s| s.requests).sum();
     let total_hits: u64 = shards.iter().map(|s| s.cache.hits).sum();
+    let total_frag_hits: u64 = shards.iter().map(|s| s.frags.hits).sum();
     let _ = write!(
         out,
-        "],\"total_requests\":{total_requests},\"total_hits\":{total_hits}}}"
+        "],\"total_requests\":{total_requests},\"total_hits\":{total_hits},\
+         \"total_frag_hits\":{total_frag_hits}}}"
     );
     out
 }
 
 /// Render the response line of an in-band `{"op":"health"}` request:
 /// liveness (`up`/`restarting`/`down`), restart/panic counts, current
-/// queue depth, and the deadline-exceeded/shed robustness counters of
-/// every shard, plus the number of live (non-down) shards. Collected
-/// without touching the work queues, so it answers even when shards are
-/// wedged.
+/// queue depth, the deadline-exceeded/shed robustness counters, and the
+/// chain-cache/fragment-store hit rates of every shard, plus the number
+/// of live (non-down) shards. Collected without touching the work
+/// queues, so it answers even when shards are wedged.
 #[must_use]
 pub fn health_line(id: u64, shards: &[crate::ShardHealth]) -> String {
     let mut out = String::new();
@@ -234,7 +250,8 @@ pub fn health_line(id: u64, shards: &[crate::ShardHealth]) -> String {
         let _ = write!(
             out,
             "{{\"shard\":{},\"state\":\"{}\",\"restarts\":{},\"panics\":{},\
-             \"queue_depth\":{},\"deadline_exceeded\":{},\"shed\":{}}}",
+             \"queue_depth\":{},\"deadline_exceeded\":{},\"shed\":{},\
+             \"chain_hit_rate\":{:.4},\"frag_hit_rate\":{:.4}}}",
             h.shard,
             h.state.as_str(),
             h.restarts,
@@ -242,6 +259,8 @@ pub fn health_line(id: u64, shards: &[crate::ShardHealth]) -> String {
             h.queue_depth,
             h.deadline_exceeded,
             h.shed,
+            h.chain_hit_rate,
+            h.frag_hit_rate,
         );
     }
     let live = shards
@@ -495,6 +514,13 @@ mod tests {
                     evictions: 0,
                     restored: 0,
                 },
+                frags: gmc_core::FragCacheStats {
+                    hits: 9,
+                    misses: 3,
+                    inserts: 3,
+                    evictions: 0,
+                    restored: 0,
+                },
             },
             crate::ShardStatus {
                 shard: 1,
@@ -505,6 +531,13 @@ mod tests {
                     evictions: 0,
                     restored: 1,
                 },
+                frags: gmc_core::FragCacheStats {
+                    hits: 4,
+                    misses: 4,
+                    inserts: 2,
+                    evictions: 1,
+                    restored: 2,
+                },
             },
         ];
         let line = stats_line(7, &shards);
@@ -512,10 +545,14 @@ mod tests {
             line,
             "{\"id\":7,\"ok\":true,\"op\":\"stats\",\"shards\":[\
              {\"shard\":0,\"requests\":3,\"hits\":1,\"misses\":2,\"evictions\":0,\
-             \"hit_rate\":0.3333,\"restored\":0},\
+             \"hit_rate\":0.3333,\"restored\":0,\
+             \"frag_hits\":9,\"frag_misses\":3,\"frag_evictions\":0,\
+             \"frag_hit_rate\":0.7500,\"frag_restored\":0},\
              {\"shard\":1,\"requests\":1,\"hits\":0,\"misses\":1,\"evictions\":0,\
-             \"hit_rate\":0.0000,\"restored\":1}],\
-             \"total_requests\":4,\"total_hits\":1}"
+             \"hit_rate\":0.0000,\"restored\":1,\
+             \"frag_hits\":4,\"frag_misses\":4,\"frag_evictions\":1,\
+             \"frag_hit_rate\":0.5000,\"frag_restored\":2}],\
+             \"total_requests\":4,\"total_hits\":1,\"total_frag_hits\":13}"
         );
     }
 
@@ -596,6 +633,8 @@ mod tests {
                 queue_depth: 2,
                 deadline_exceeded: 0,
                 shed: 3,
+                chain_hit_rate: 0.5,
+                frag_hit_rate: 0.75,
             },
             crate::ShardHealth {
                 shard: 1,
@@ -605,15 +644,19 @@ mod tests {
                 queue_depth: 0,
                 deadline_exceeded: 4,
                 shed: 0,
+                chain_hit_rate: 0.0,
+                frag_hit_rate: 0.0,
             },
         ];
         assert_eq!(
             health_line(9, &shards),
             "{\"id\":9,\"ok\":true,\"op\":\"health\",\"shards\":[\
              {\"shard\":0,\"state\":\"up\",\"restarts\":1,\"panics\":1,\
-             \"queue_depth\":2,\"deadline_exceeded\":0,\"shed\":3},\
+             \"queue_depth\":2,\"deadline_exceeded\":0,\"shed\":3,\
+             \"chain_hit_rate\":0.5000,\"frag_hit_rate\":0.7500},\
              {\"shard\":1,\"state\":\"down\",\"restarts\":0,\"panics\":5,\
-             \"queue_depth\":0,\"deadline_exceeded\":4,\"shed\":0}],\"live\":1}"
+             \"queue_depth\":0,\"deadline_exceeded\":4,\"shed\":0,\
+             \"chain_hit_rate\":0.0000,\"frag_hit_rate\":0.0000}],\"live\":1}"
         );
         assert_eq!(
             ack_line(3, "fault"),

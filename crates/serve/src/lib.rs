@@ -49,6 +49,21 @@
 //!   exactly the shapes that route to it under the *current* shard
 //!   count, so snapshots survive resharding. Restored chains are
 //!   bit-identical to freshly compiled ones (pinned by tests below).
+//! * **Cross-shape fragment store.** Each shard's session owns a
+//!   [`gmc_core::FragmentCache`] (sized by
+//!   [`ServeConfig::frag_cache_capacity`]) that shares lowered
+//!   enumeration fragments *across shapes* within that shard. Stores
+//!   are deliberately per-shard, not global — sessions stay
+//!   single-threaded and lock-free on the compile path — and the
+//!   snapshot is where sharing happens: [`CompileService::snapshot`]
+//!   merges every shard's hot fragments into one deduplicated section,
+//!   and each restarted/restored shard warms from that *union*, so a
+//!   fragment lowered on shard 0 serves shard 1's first request after
+//!   any restart. Fragment counters (hits/misses/evictions/restored)
+//!   ride the same `{"op":"stats"}` response as the chain-cache
+//!   counters, and `{"op":"health"}` reports both layers' hit rates
+//!   from lock-free atomics. `GMC_FRAG=off` disables the store
+//!   end-to-end (pools are asserted bit-identical either way).
 //! * **Graceful drain.** The intended shutdown sequence — what the
 //!   `gmcc --serve` daemon runs on SIGTERM/SIGINT or stdin EOF — is:
 //!   stop accepting, [`CompileService::drain`] the queues (answering
@@ -186,6 +201,15 @@ mod tests {
         // where SRC_B routed).
         let warm = stats.iter().find(|s| s.cache.hits == 1).unwrap();
         assert!(warm.cache.hit_rate() > 0.0);
+        // Fragment-store counters ride the same status report. The two
+        // distinct compiles populated the store; whether lookups *hit*
+        // depends on shape overlap, but lookups definitely happened.
+        if gmc_core::active_frag_mode() == gmc_core::FragMode::On {
+            assert!(stats.iter().map(|s| s.frags.inserts).sum::<u64>() > 0);
+            assert!(stats.iter().map(|s| s.frags.misses).sum::<u64>() > 0);
+        } else {
+            assert_eq!(stats.iter().map(|s| s.frags.inserts).sum::<u64>(), 0);
+        }
         assert_eq!(service.drain().len(), 3, "responses still stream");
         let _ = service.shutdown();
     }
@@ -259,6 +283,14 @@ mod tests {
         let warm_stats = warm.shutdown();
         assert_eq!(warm_stats.restored(), 3);
         assert_eq!(warm_stats.cache_hits(), 3);
+        // The snapshot also carried the fragment store: the restored
+        // daemon rebuilt its chains *through* restored fragments, so its
+        // very first service of a previously seen shape was warm at the
+        // fragment layer too.
+        if gmc_core::active_frag_mode() == gmc_core::FragMode::On {
+            assert!(warm_stats.frag_restored() >= 1, "fragments restored");
+            assert!(warm_stats.frag_hits() >= 1, "restore-rebuild hit the store");
+        }
 
         // Resharding still works: shapes re-route, nothing is lost.
         let mut resharded_cfg = config(3);

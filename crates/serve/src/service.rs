@@ -9,8 +9,8 @@ use crate::supervisor::{
     shard_main, RestartPolicy, ShardCtx, ShardHealth, ShardShared, ShardState, ShardStats,
 };
 use gmc_core::{
-    CacheStats, CompileOptions, CompileSession, PersistError, SessionSnapshot,
-    DEFAULT_CHAIN_CACHE_CAPACITY,
+    CacheStats, CompileOptions, CompileSession, FragCacheStats, PersistError, SessionSnapshot,
+    DEFAULT_CHAIN_CACHE_CAPACITY, DEFAULT_FRAG_CACHE_CAPACITY,
 };
 use gmc_ir::grammar::parse_program;
 use gmc_ir::Shape;
@@ -210,6 +210,13 @@ pub struct ServeConfig {
     pub options: CompileOptions,
     /// Per-shard compiled-chain cache capacity.
     pub cache_capacity: usize,
+    /// Per-shard cross-shape fragment-store capacity
+    /// ([`CompileSession::set_fragment_cache_capacity`]); `0` disables
+    /// the store. Each shard owns its store (sessions are
+    /// single-threaded), but snapshot merges carry every shard's hot
+    /// fragments, so restarts and restores warm all shards from the
+    /// union.
+    pub frag_cache_capacity: usize,
     /// Snapshot file for warm restarts: loaded on start when it exists
     /// (missing file = cold start; a corrupt file is quarantined to
     /// `<path>.bad` and the service starts cold); written by
@@ -235,6 +242,7 @@ impl Default for ServeConfig {
             shards: 1,
             options: CompileOptions::default(),
             cache_capacity: DEFAULT_CHAIN_CACHE_CAPACITY,
+            frag_cache_capacity: DEFAULT_FRAG_CACHE_CAPACITY,
             snapshot_path: None,
             queue_cap: DEFAULT_QUEUE_CAP,
             default_deadline: None,
@@ -273,6 +281,18 @@ impl ServiceStats {
     #[must_use]
     pub fn restored(&self) -> u64 {
         self.shards.iter().map(|s| s.cache.restored).sum()
+    }
+
+    /// Total fragment-store hits across shards.
+    #[must_use]
+    pub fn frag_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.frags.hits).sum()
+    }
+
+    /// Total fragments restored from snapshots across shards.
+    #[must_use]
+    pub fn frag_restored(&self) -> u64 {
+        self.shards.iter().map(|s| s.frags.restored).sum()
     }
 
     /// Total panics caught by shard supervisors.
@@ -359,6 +379,11 @@ pub struct ShardStatus {
     /// chains rewarmed from snapshots), carried across supervisor
     /// restarts.
     pub cache: CacheStats,
+    /// Cumulative cross-shape fragment-store counters, carried across
+    /// supervisor restarts. Kept separate from `cache`: a chain compile
+    /// consults the fragment store once per DAG node, so these count
+    /// sub-span lookups, not requests.
+    pub frags: FragCacheStats,
 }
 
 /// Work items a shard receives.
@@ -484,6 +509,7 @@ impl CompileService {
                 results: results_tx.clone(),
                 options: config.options.clone(),
                 cache_capacity: config.cache_capacity,
+                frag_cache_capacity: config.frag_cache_capacity,
                 shared: Arc::clone(&shard_shared),
                 latest: Arc::clone(&latest),
                 policy: config.restart.clone(),
@@ -823,6 +849,14 @@ impl CompileService {
     #[must_use]
     pub fn health(&self) -> Vec<ShardHealth> {
         use std::sync::atomic::Ordering::Relaxed;
+        fn rate(hits: u64, misses: u64) -> f64 {
+            let total = hits + misses;
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            }
+        }
         self.shared
             .iter()
             .enumerate()
@@ -834,21 +868,45 @@ impl CompileService {
                 queue_depth: self.pending_by_shard[shard],
                 deadline_exceeded: s.deadline_exceeded.load(Relaxed),
                 shed: s.shed.load(Relaxed),
+                chain_hit_rate: rate(s.chain_hits.load(Relaxed), s.chain_misses.load(Relaxed)),
+                frag_hit_rate: rate(s.frag_hits.load(Relaxed), s.frag_misses.load(Relaxed)),
             })
             .collect()
     }
 
     /// [`CompileService::snapshot`] straight to a file, atomically
     /// (temp file + rename, see [`SessionSnapshot::save`]) — unless the
-    /// `snapshot_torn` fault is armed, in which case a truncated file is
-    /// written directly to the target path to simulate a crash
-    /// mid-write.
+    /// `snapshot_torn` or `frag_torn` fault is armed, in which case a
+    /// truncated file is written directly to the target path to
+    /// simulate a crash mid-write (`frag_torn` cuts inside the trailing
+    /// fragment section specifically).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
         let snap = self.snapshot();
+        if self.faults.tear_frag_section() {
+            // Cut mid-way through the final line. The fragment section
+            // is the snapshot's tail, so when the snapshot carries
+            // fragments this lands inside a `frag` line and the
+            // declared entry count no longer matches — the case the
+            // count check exists for. (With an empty store the cut
+            // degrades to an ordinary torn write.)
+            let encoded = snap.encode();
+            let body = encoded.trim_end_matches('\n');
+            let last_line_start = body.rfind('\n').map_or(0, |i| i + 1);
+            let cut = last_line_start + (body.len() - last_line_start) / 2;
+            std::fs::write(path.as_ref(), &encoded.as_bytes()[..cut])
+                .map_err(PersistError::from)?;
+            eprintln!(
+                "gmc-serve: injected fault: frag_torn ({cut} of {} bytes written, \
+                 {} fragment(s) in the section, no rename)",
+                encoded.len(),
+                snap.num_fragments()
+            );
+            return Ok(());
+        }
         if self.faults.tear_snapshot() {
             // Cut mid-way through the final line: the tail of the write
             // never made it to disk. (Cutting at an arbitrary byte could

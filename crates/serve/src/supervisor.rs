@@ -40,7 +40,7 @@ use crate::fault::FaultPlan;
 use crate::service::{Job, Response, ShardStatus};
 use crate::{route, Artifacts, Emit, Failure, FailureKind};
 use gmc_codegen::{emit_cpp_into, emit_rust_into};
-use gmc_core::{CacheStats, CompileOptions, CompileSession, SessionSnapshot};
+use gmc_core::{CacheStats, CompileOptions, CompileSession, FragCacheStats, SessionSnapshot};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -125,6 +125,12 @@ pub struct ShardHealth {
     /// Requests shed with `overloaded` because this shard's queue was
     /// at capacity.
     pub shed: u64,
+    /// Fraction of compiles served from the compiled-chain cache
+    /// (cumulative across restarts; `0.0` before any compile).
+    pub chain_hit_rate: f64,
+    /// Fraction of fragment-store lookups served from the store
+    /// (cumulative across restarts; `0.0` before any lookup).
+    pub frag_hit_rate: f64,
 }
 
 /// Counters a shard and the submitter share lock-free.
@@ -135,6 +141,13 @@ pub(crate) struct ShardShared {
     pub(crate) panics: AtomicU64,
     pub(crate) deadline_exceeded: AtomicU64,
     pub(crate) shed: AtomicU64,
+    /// Cumulative chain-cache and fragment-store counters, published by
+    /// the worker after every compile so [`ShardHealth`] hit rates stay
+    /// pure atomic reads (a wedged shard still reports its last state).
+    pub(crate) chain_hits: AtomicU64,
+    pub(crate) chain_misses: AtomicU64,
+    pub(crate) frag_hits: AtomicU64,
+    pub(crate) frag_misses: AtomicU64,
     /// Compile attempts, for the fault plan's deterministic `nth`.
     compile_attempts: AtomicU64,
 }
@@ -147,6 +160,14 @@ impl ShardShared {
     pub(crate) fn set_state(&self, s: ShardState) {
         self.state.store(s as u8, Ordering::Release);
     }
+
+    /// Publish the cumulative cache counters (worker thread only).
+    fn publish_counters(&self, cache: &CacheStats, frags: &FragCacheStats) {
+        self.chain_hits.store(cache.hits, Ordering::Relaxed);
+        self.chain_misses.store(cache.misses, Ordering::Relaxed);
+        self.frag_hits.store(frags.hits, Ordering::Relaxed);
+        self.frag_misses.store(frags.misses, Ordering::Relaxed);
+    }
 }
 
 /// Everything one shard worker owns; [`shard_main`] consumes it.
@@ -157,6 +178,7 @@ pub(crate) struct ShardCtx {
     pub(crate) results: Sender<Response>,
     pub(crate) options: CompileOptions,
     pub(crate) cache_capacity: usize,
+    pub(crate) frag_cache_capacity: usize,
     pub(crate) shared: Arc<ShardShared>,
     /// Latest merged snapshot, refreshed by
     /// [`CompileService::snapshot`](crate::CompileService::snapshot);
@@ -176,6 +198,9 @@ pub struct ShardStats {
     /// Cumulative compiled-chain cache counters, carried across
     /// supervisor restarts.
     pub cache: CacheStats,
+    /// Cumulative cross-shape fragment-store counters, carried across
+    /// supervisor restarts.
+    pub frags: FragCacheStats,
     /// Panics caught.
     pub panics: u64,
     /// Restarts completed.
@@ -188,6 +213,7 @@ impl ShardCtx {
     fn build_session(&self) -> (CompileSession, u64) {
         let mut session = CompileSession::with_options(self.options.clone());
         session.set_chain_cache_capacity(self.cache_capacity);
+        session.set_fragment_cache_capacity(self.frag_cache_capacity);
         let snap = self.latest.lock().expect("latest snapshot lock").clone();
         if let Some(snap) = snap {
             // A rebuild failure (corrupted decisions) degrades to a
@@ -211,6 +237,8 @@ impl ShardCtx {
 pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
     let index = ctx.index;
     let (initial, _) = ctx.build_session();
+    ctx.shared
+        .publish_counters(&initial.cache_stats(), &initial.fragment_cache_stats());
     ctx.shared.set_state(ShardState::Up);
     // `None` while the circuit breaker is open; the loop keeps draining
     // the queue and answering `shard_down` so nothing hangs.
@@ -219,6 +247,7 @@ pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
     // Counters of sessions discarded after a panic; reads of plain u64
     // fields are safe on a poisoned session.
     let mut carried = CacheStats::default();
+    let mut carried_frags = FragCacheStats::default();
     let mut failures: Vec<Instant> = Vec::new();
     let mut buf = String::new();
 
@@ -263,6 +292,12 @@ pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
                 }));
                 match outcome {
                     Ok((cache_hit, result)) => {
+                        let alive = session.as_ref().expect("session was live");
+                        let mut cache = carried;
+                        cache.absorb(&alive.cache_stats());
+                        let mut frags = carried_frags;
+                        frags.absorb(&alive.fragment_cache_stats());
+                        ctx.shared.publish_counters(&cache, &frags);
                         let _ = ctx.results.send(Response {
                             seq: Some(job.seq),
                             response: crate::CompileResponse {
@@ -279,7 +314,10 @@ pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
                         ctx.shared.panics.fetch_add(1, Ordering::Relaxed);
                         // Salvage the counters, drop the session: its
                         // internal invariants can no longer be trusted.
-                        carried.absorb(&session.take().expect("session was live").cache_stats());
+                        let poisoned = session.take().expect("session was live");
+                        carried.absorb(&poisoned.cache_stats());
+                        carried_frags.absorb(&poisoned.fragment_cache_stats());
+                        ctx.shared.publish_counters(&carried, &carried_frags);
                         let now = Instant::now();
                         failures.retain(|t| now.duration_since(*t) <= ctx.policy.window);
                         failures.push(now);
@@ -318,6 +356,11 @@ pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
                             );
                             std::thread::sleep(backoff);
                             let (fresh, restored) = ctx.build_session();
+                            let mut cache = carried;
+                            cache.absorb(&fresh.cache_stats());
+                            let mut frags = carried_frags;
+                            frags.absorb(&fresh.fragment_cache_stats());
+                            ctx.shared.publish_counters(&cache, &frags);
                             session = Some(fresh);
                             stats.restarts += 1;
                             ctx.shared.restarts.fetch_add(1, Ordering::Relaxed);
@@ -339,20 +382,25 @@ pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
             }
             Job::Stats(reply) => {
                 let mut cache = carried;
+                let mut frags = carried_frags;
                 if let Some(live) = session.as_ref() {
                     cache.absorb(&live.cache_stats());
+                    frags.absorb(&live.fragment_cache_stats());
                 }
                 let _ = reply.send(ShardStatus {
                     shard: index,
                     requests: stats.requests,
                     cache,
+                    frags,
                 });
             }
         }
     }
     stats.cache = carried;
+    stats.frags = carried_frags;
     if let Some(live) = session.as_ref() {
         stats.cache.absorb(&live.cache_stats());
+        stats.frags.absorb(&live.fragment_cache_stats());
     }
     stats
 }

@@ -79,9 +79,10 @@
 //!   `GMC_FAULT` environment variable (or an in-band `{"op":"fault"}`
 //!   request behind `--enable-faults`) arms shard panics
 //!   (`panic:<shard>:<nth>`), compile delays (`delay:<ms>`), and torn
-//!   snapshot writes (`snapshot_torn`) — the same hooks the chaos
-//!   tests, the CI fault smoke, and the `bench_serve` overload row
-//!   drive.
+//!   snapshot writes (`snapshot_torn`, plus `frag_torn` for a write
+//!   that dies mid-way through the trailing fragment section) — the
+//!   same hooks the chaos tests, the CI fault smoke, and the
+//!   `bench_serve` overload row drive.
 //!
 //! # The vectorized selection engine (`gmc_core::simd`)
 //!
@@ -146,6 +147,34 @@
 //! memo-warm repeat a serving session sees (`BENCH_select.json`:
 //! `enumerate_*` / `warm_session_ms` fields; ~7x cumulative vs the
 //! PR 3 pipeline).
+//!
+//! # The cross-shape fragment store (`gmc_core::fragcache`)
+//!
+//! The memo engine's fragments used to die with each pool build; the
+//! fragment store promotes them to a session-lifetime, **cross-shape**
+//! cache. A fragment is keyed by what its lowering actually reads — the
+//! span's sub-tree structure (a preorder bit code maintained
+//! incrementally by the span DAG) plus the *descriptor run* of its
+//! leaves (properties/inversion/transposition, position-independent)
+//! plus a `BuildOptions` fingerprint — so span `(2, 5)` of one chain
+//! and span `(0, 3)` of a different chain with the same leaf run share
+//! one entry. Entries are frame-stamped: a hit in the same symbolic
+//! frame is a zero-copy `Arc` clone, a cross-frame hit relocates the
+//! fragment's `ValRef`s/polynomials into the new frame — exact rational
+//! arithmetic, so store-assembled pools stay **bit-identical** to
+//! store-off builds (pinned by `crates/core/tests/frag_cache.rs`; CI
+//! re-runs core + serve under `GMC_FRAG=off`). The store is LRU-bounded
+//! with hit/miss/insert/eviction/restored counters
+//! (`CompileSession::fragment_cache_stats`), failed lowerings are
+//! negatively cached (the exactly-once contract covers failures), hot
+//! fragments persist in a versioned snapshot section
+//! (`gmc_core::persist`, old snapshots still decode), and the serving
+//! layer keeps per-shard stores whose snapshots merge into one
+//! deduplicated union — so a restarted shard warms from fragments *any*
+//! shard lowered. On the dev host a warm store builds the
+//! diverse-shape workload's pools ~2.4x faster than a cold one
+//! (`BENCH_select.json`: `frag_cold_ms` / `frag_warm_ms` /
+//! `frag_speedup`).
 //!
 //! Three knobs scale the pipeline:
 //!
