@@ -20,8 +20,8 @@
 
 use gmc_core::simd::{self, SimdLevel};
 use gmc_core::{
-    build_pool_with_mode, force_enum_mode, force_frag_mode, CompileSession, EnumMode, FragMode,
-    Objective, ParenTree, Variant,
+    build_pool_with_mode, force_enum_mode, force_frag_mode, force_trace_mode, CompileSession,
+    EnumMode, FragMode, Objective, ParenTree, TraceMode, Variant,
 };
 use gmc_ir::{Features, InstanceSampler, Operand, Property, Shape, Structure};
 use rand::rngs::StdRng;
@@ -216,6 +216,26 @@ fn main() {
         "warm-store pools must be bit-identical to the GMC_FRAG=off control"
     );
     let frag_speedup = frag_cold_s / frag_warm_s;
+
+    // Smoke sanity for the observability layer: the stage profile a
+    // traced session records over one selection pass must account for
+    // that pass's wall-clock within 2x in either direction — the spans
+    // cover the dominant work without gross double-counting.
+    if smoke {
+        force_trace_mode(Some(TraceMode::On));
+        let mut session = CompileSession::new();
+        session.set_jobs(1);
+        let t = Instant::now();
+        let _ = std::hint::black_box(select_once(&mut session, &shape));
+        let wall_us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let total_us = session.stage_profile().total_us();
+        force_trace_mode(None);
+        assert!(
+            total_us <= wall_us.saturating_mul(2) && wall_us <= total_us.saturating_mul(2),
+            "stage-profile total {total_us} us vs wall-clock {wall_us} us: beyond 2x"
+        );
+        println!("smoke: stage profile {total_us} us vs wall-clock {wall_us} us (within 2x)");
+    }
 
     assert_eq!(
         scalar_set, simd_set,

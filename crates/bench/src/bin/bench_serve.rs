@@ -13,12 +13,18 @@
 //!   warm speed (every request a cache hit) with byte-identical
 //!   artifacts, proving a restart never pays the cold path again.
 //!
+//! The warm phase runs twice — stage tracing on (the default) and
+//! forced off — and records the difference as `trace_overhead_pct`
+//! (required ≤ 3%). Overload-burst completion percentiles come from
+//! the shared [`gmc_obs::Histogram`] the service itself publishes.
+//!
 //! Each phase is best-of-`reps` (fresh service per cold/restored rep) to
 //! tame timer wobble on the 1-core dev host. Run with
 //! `cargo run --release --bin bench_serve [--smoke] [output.json]`;
 //! `--smoke` shrinks the workload for CI.
 
 use gmc_core::CompileOptions;
+use gmc_obs::{force_trace_mode, Histogram, TraceMode};
 use gmc_serve::fault::FaultPlan;
 use gmc_serve::{CompileRequest, CompileResponse, CompileService, Emit, FailureKind, ServeConfig};
 use std::fmt::Write as _;
@@ -112,10 +118,13 @@ fn run_overload_burst(options: &CompileOptions, burst: usize) -> Overload {
             deadline: Some(Duration::from_millis(DEADLINE_MS)),
         });
     }
-    let mut latencies_ms = Vec::with_capacity(burst);
+    // Completion latencies land in the same log-linear histogram the
+    // service itself publishes, so the recorded percentiles use one
+    // quantile definition across the bench and the metrics endpoint.
+    let completions = Histogram::new();
     let (mut served, mut shed, mut expired) = (0usize, 0usize, 0usize);
     while let Some(response) = service.recv() {
-        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        completions.record(t0.elapsed());
         match &response.result {
             Ok(_) => served += 1,
             Err(f) if f.kind == FailureKind::Overloaded => shed += 1,
@@ -134,8 +143,8 @@ fn run_overload_burst(options: &CompileOptions, burst: usize) -> Overload {
         shed > 0,
         "a {burst}-deep burst over a {QUEUE_CAP}-slot queue must shed"
     );
-    latencies_ms.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: usize| latencies_ms[(latencies_ms.len() - 1) * p / 100];
+    let completions = completions.snapshot();
+    assert_eq!(completions.count as usize, burst, "one sample per response");
     Overload {
         burst,
         queue_cap: QUEUE_CAP,
@@ -145,8 +154,8 @@ fn run_overload_burst(options: &CompileOptions, burst: usize) -> Overload {
         shed,
         expired,
         shed_rate: shed as f64 / burst as f64,
-        p50_ms: pct(50),
-        p99_ms: pct(99),
+        p50_ms: completions.quantile_ms(0.5),
+        p99_ms: completions.quantile_ms(0.99),
     }
 }
 
@@ -189,22 +198,34 @@ fn main() {
     }
 
     // Warm: one service, replay the workload after a priming pass.
-    let mut service = CompileService::start(config(true)).expect("warm start");
-    let primed = submit_all(&mut service, &sources);
-    assert_eq!(files_of(&primed), reference, "priming matches cold");
-    let mut warm_s = f64::INFINITY;
-    for _ in 0..reps {
-        let t = Instant::now();
-        for _ in 0..warm_rounds {
-            let responses = submit_all(&mut service, &sources);
-            debug_assert!(responses.iter().all(|r| r.cache_hit));
+    // Measured twice — stage tracing on (the default) and forced off —
+    // to price the recording itself (`trace_overhead_pct`). The traced
+    // run also writes the snapshot used by the restored phase.
+    let measure_warm = |mode: TraceMode, snap: bool| -> f64 {
+        force_trace_mode(Some(mode));
+        let mut service = CompileService::start(config(snap)).expect("warm start");
+        let primed = submit_all(&mut service, &sources);
+        assert_eq!(files_of(&primed), reference, "priming matches cold");
+        let mut warm_s = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            for _ in 0..warm_rounds {
+                let responses = submit_all(&mut service, &sources);
+                debug_assert!(responses.iter().all(|r| r.cache_hit));
+            }
+            warm_s = warm_s.min(t.elapsed().as_secs_f64() / warm_rounds as f64);
         }
-        warm_s = warm_s.min(t.elapsed().as_secs_f64() / warm_rounds as f64);
-    }
-    service
-        .save_snapshot(&snapshot_path)
-        .expect("write snapshot");
-    let _ = service.shutdown();
+        if snap {
+            service
+                .save_snapshot(&snapshot_path)
+                .expect("write snapshot");
+        }
+        let _ = service.shutdown();
+        warm_s
+    };
+    let warm_s = measure_warm(TraceMode::On, true);
+    let warm_off_s = measure_warm(TraceMode::Off, false);
+    force_trace_mode(None);
     let snapshot_bytes = std::fs::metadata(&snapshot_path)
         .map(|m| m.len())
         .unwrap_or(0);
@@ -244,12 +265,18 @@ fn main() {
 
     let per_req = |s: f64| s * 1e3 / distinct as f64;
     let (cold_ms, warm_ms, restored_ms) = (per_req(cold_s), per_req(warm_s), per_req(restored_s));
+    let warm_notrace_ms = per_req(warm_off_s);
+    let trace_overhead_pct = (warm_ms / warm_notrace_ms - 1.0) * 100.0;
     let restored_speedup = cold_ms / restored_ms;
     let warm_speedup = cold_ms / warm_ms;
     println!(
         "serve {distinct} shapes x {shards} shards: cold {cold_ms:8.3} ms/req   \
          warm {warm_ms:8.3} ms/req ({warm_speedup:.1}x)   \
          restored {restored_ms:8.3} ms/req ({restored_speedup:.1}x, snapshot {snapshot_bytes} B)"
+    );
+    println!(
+        "warm replay tracing off: {warm_notrace_ms:8.3} ms/req   \
+         recording overhead {trace_overhead_pct:+.2}% (target <= 3%)"
     );
     println!(
         "overload burst {burst} -> 1 shard (queue {cap}, +{delay} ms/compile, {dl} ms deadline): \
@@ -276,6 +303,8 @@ fn main() {
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"cold_ms_per_req\": {cold_ms:.4},");
     let _ = writeln!(json, "  \"warm_ms_per_req\": {warm_ms:.4},");
+    let _ = writeln!(json, "  \"warm_notrace_ms_per_req\": {warm_notrace_ms:.4},");
+    let _ = writeln!(json, "  \"trace_overhead_pct\": {trace_overhead_pct:.2},");
     let _ = writeln!(json, "  \"restored_ms_per_req\": {restored_ms:.4},");
     let _ = writeln!(json, "  \"warm_speedup_vs_cold\": {warm_speedup:.2},");
     let _ = writeln!(

@@ -57,6 +57,18 @@
 //! persisted fragments, and disabled via `GMC_FRAG=off` (mirroring
 //! `GMC_SIMD`/`GMC_ENUM`); see the [`fragcache`] module docs.
 //!
+//! The whole pipeline is **traced** through the `gmc-obs` substrate:
+//! every session owns a [`gmc_obs::Recorder`] that accounts each stage
+//! (parse → enumerate → DP → select → expand → emit → execute) and
+//! each executed kernel into a [`gmc_obs::StageProfile`]
+//! ([`session::CompileSession::stage_profile`],
+//! [`program::CompiledChain::timing_report`]). Tracing is
+//! observability only — it never changes selection decisions or
+//! emitted artifacts — and is toggled per session
+//! ([`session::CompileSession::set_tracing`]) or process-wide with
+//! `GMC_TRACE=off` (mirroring `GMC_SIMD`/`GMC_ENUM`/`GMC_FRAG`); when
+//! off, each instrumented site pays a single branch.
+//!
 //! ```
 //! use gmc_core::CompiledChain;
 //! use gmc_ir::grammar::parse_program;
@@ -107,6 +119,7 @@ pub use expand::{
     ExpandScratch, Objective,
 };
 pub use fragcache::{active_frag_mode, force_frag_mode, FragCacheStats, FragMode, FragmentCache};
+pub use gmc_obs::{active_trace_mode, force_trace_mode, Recorder, Stage, StageProfile, TraceMode};
 pub use library::ChainLibrary;
 pub use paren::{NodeId, ParenTree, SpanDag};
 pub use persist::{PersistError, SessionSnapshot};

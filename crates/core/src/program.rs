@@ -245,6 +245,17 @@ impl CompiledChain {
         report
     }
 
+    /// Render a per-stage timing report for this chain: one header line
+    /// identifying the chain, then `profile`'s stage and per-kernel
+    /// breakdown (the payload behind `gmcc --timings` and the serving
+    /// layer's slow-request log). The profile is typically the
+    /// [`crate::session::CompileSession::stage_profile`] delta observed
+    /// while compiling/evaluating this chain.
+    #[must_use]
+    pub fn timing_report(&self, profile: &gmc_obs::StageProfile) -> String {
+        profile.render(&format!("chain {} (n = {})", self.shape, self.shape.len()))
+    }
+
     /// A human-readable account of one dispatch decision: every variant's
     /// cost on `q`, with the winner marked. Useful for debugging why a
     /// particular kernel sequence ran.

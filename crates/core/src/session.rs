@@ -98,6 +98,7 @@ use crate::variant::Variant;
 use gmc_ir::grammar::{parse_program, ParseError, Program};
 use gmc_ir::{Instance, InstanceSampler, Shape, ShapeId, ShapeInterner};
 use gmc_linalg::{GemmWorkspace, Matrix};
+use gmc_obs::{Recorder, Stage, StageProfile};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -186,6 +187,7 @@ pub struct CompileSession {
     matrix: CostMatrix,
     expand: ExpandScratch,
     gemm_ws: GemmWorkspace,
+    recorder: Recorder,
 }
 
 impl Default for CompileSession {
@@ -219,6 +221,7 @@ impl CompileSession {
             matrix: CostMatrix::new(),
             expand: ExpandScratch::default(),
             gemm_ws: GemmWorkspace::new(),
+            recorder: Recorder::new(),
         }
     }
 
@@ -275,7 +278,10 @@ impl CompileSession {
     ///
     /// Propagates [`ParseError`].
     pub fn parse(&mut self, source: &str) -> Result<(Program, ShapeId), ParseError> {
-        let program = parse_program(source)?;
+        let span = self.recorder.start();
+        let program = parse_program(source);
+        self.recorder.stop(Stage::Parse, span);
+        let program = program?;
         let id = self.shapes.intern(program.shape());
         Ok((program, id))
     }
@@ -312,7 +318,10 @@ impl CompileSession {
             });
         }
         let id = self.shapes.intern(shape);
-        self.full_pool(id).map_err(EnumerateError::Build)
+        let span = self.recorder.start();
+        let pool = self.full_pool(id).map_err(EnumerateError::Build);
+        self.recorder.stop(Stage::Enumerate, span);
+        pool
     }
 
     /// The full variant pool for an interned shape, through the engine
@@ -378,7 +387,10 @@ impl CompileSession {
     /// Panics if `instance` has the wrong number of sizes for `shape`.
     pub fn optimal_cost(&mut self, shape: &Shape, instance: &Instance) -> Result<f64, BuildError> {
         let id = self.shapes.intern(shape);
-        self.solver_for(id).optimal_cost(instance)
+        let span = self.recorder.start();
+        let cost = self.solver_for(id).optimal_cost(instance);
+        self.recorder.stop(Stage::Dp, span);
+        cost
     }
 
     /// The optimal variant and cost for `shape` on `instance`, through
@@ -397,7 +409,10 @@ impl CompileSession {
         instance: &Instance,
     ) -> Result<(Variant, f64), BuildError> {
         let id = self.shapes.intern(shape);
-        self.solver_for(id).optimal_variant(instance)
+        let span = self.recorder.start();
+        let variant = self.solver_for(id).optimal_variant(instance);
+        self.recorder.stop(Stage::Dp, span);
+        variant
     }
 
     /// The session's solver for `shape`, creating (and caching) it on
@@ -421,7 +436,9 @@ impl CompileSession {
     /// cost polynomials streamed over instance lanes; parallel row fill
     /// under the thread budget) and return it.
     pub fn cost_matrix(&mut self, pool: &[Variant], instances: &[Instance]) -> &CostMatrix {
+        let span = self.recorder.start();
         self.matrix.fill_flops(pool, instances, self.jobs);
+        self.recorder.stop(Stage::Select, span);
         &self.matrix
     }
 
@@ -433,7 +450,9 @@ impl CompileSession {
         instances: &[Instance],
         cost: F,
     ) -> &CostMatrix {
+        let span = self.recorder.start();
         self.matrix.fill_with(pool, instances, cost, self.jobs);
+        self.recorder.stop(Stage::Select, span);
         &self.matrix
     }
 
@@ -447,7 +466,8 @@ impl CompileSession {
         k: usize,
         objective: crate::expand::Objective,
     ) -> Vec<usize> {
-        expand_set_striped(
+        let span = self.recorder.start();
+        let set = expand_set_striped(
             &self.matrix,
             initial,
             k,
@@ -455,7 +475,9 @@ impl CompileSession {
             &mut self.expand,
             self.jobs,
             self.options.scan_stripe,
-        )
+        );
+        self.recorder.stop(Stage::Expand, span);
+        set
     }
 
     /// Compile `shape` into a multi-versioned chain with the session's
@@ -533,6 +555,7 @@ impl CompileSession {
 
         let enumerable =
             ParenTree::count(shape.len()) <= ENUMERATION_CAP.min(u128::from(self.variant_cap));
+        let span = self.recorder.start();
         let pool: Vec<Variant> = if enumerable {
             self.full_pool(id)?
         } else {
@@ -541,18 +564,26 @@ impl CompileSession {
                 .map(|(_, v)| v)
                 .collect()
         };
+        self.recorder.stop(Stage::Enumerate, span);
         if enumerable {
+            let span = self.recorder.start();
             self.matrix.fill_flops(&pool, &training, self.jobs);
+            self.recorder.stop(Stage::Select, span);
         } else {
+            let span = self.recorder.start();
             let solver = self.solver_for(id);
             let optimal: Vec<f64> = training
                 .iter()
                 .map(|q| solver.optimal_cost(q))
                 .collect::<Result<_, _>>()?;
+            self.recorder.stop(Stage::Dp, span);
+            let span = self.recorder.start();
             self.matrix
                 .fill_flops_with_optimal(&pool, &training, optimal, self.jobs);
+            self.recorder.stop(Stage::Select, span);
         }
 
+        let span = self.recorder.start();
         let base = select_base_set(&shape, &training, self.matrix.optimal())?;
         let mut indices: Vec<usize> = base
             .variants
@@ -563,7 +594,9 @@ impl CompileSession {
                     .expect("base variants come from the pool")
             })
             .collect();
+        self.recorder.stop(Stage::Select, span);
         if options.expand_by > 0 {
+            let span = self.recorder.start();
             indices = expand_set_striped(
                 &self.matrix,
                 &indices,
@@ -573,6 +606,7 @@ impl CompileSession {
                 self.jobs,
                 options.scan_stripe,
             );
+            self.recorder.stop(Stage::Expand, span);
         }
         let variants = indices.into_iter().map(|i| pool[i].clone()).collect();
         Ok(CompiledChain::from_variants(shape, variants))
@@ -606,13 +640,72 @@ impl CompileSession {
     ) -> Result<Matrix, ProgramError> {
         let q = chain.instance_of(leaves)?;
         let (idx, _) = chain.dispatch_with(&q, model);
-        Ok(chain.variants()[idx].execute_with(&mut self.gemm_ws, leaves)?)
+        let span = self.recorder.start();
+        let CompileSession {
+            gemm_ws, recorder, ..
+        } = self;
+        let result = if recorder.enabled() {
+            chain.variants()[idx].execute_observed(gemm_ws, leaves, |kernel, d| {
+                recorder.record_kernel(kernel.name(), d);
+            })
+        } else {
+            chain.variants()[idx].execute_with(gemm_ws, leaves)
+        };
+        self.recorder.stop(Stage::Execute, span);
+        Ok(result?)
     }
 
     /// The session's GEMM packing workspace (e.g. to pre-reserve or
     /// inspect capacity).
     pub fn workspace(&mut self) -> &mut GemmWorkspace {
         &mut self.gemm_ws
+    }
+
+    /// Whether this session records pipeline stage spans (resolved from
+    /// [`gmc_obs::active_trace_mode`] at construction; see
+    /// [`CompileSession::set_tracing`]).
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Override the session-level tracing toggle. Tracing never changes
+    /// selection decisions or emitted artifacts (it is excluded from
+    /// the persistence options fingerprint, like
+    /// [`CompileOptions::scan_stripe`]); disabled tracing costs one
+    /// branch per instrumented site.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.recorder.set_enabled(enabled);
+    }
+
+    /// The accumulated per-stage/per-kernel profile (see
+    /// [`gmc_obs::StageProfile`]). Cumulative for the session's
+    /// lifetime; diff two clones (or use
+    /// [`CompileSession::take_stage_profile`]) for per-request
+    /// breakdowns.
+    #[must_use]
+    pub fn stage_profile(&self) -> &StageProfile {
+        self.recorder.profile()
+    }
+
+    /// Take the accumulated stage profile, leaving an empty one.
+    pub fn take_stage_profile(&mut self) -> StageProfile {
+        self.recorder.take()
+    }
+
+    /// The session's span recorder, for instrumenting pipeline stages
+    /// that run outside the session (the emit renderers live in
+    /// `gmc-codegen`; drivers wrap them in
+    /// [`gmc_obs::Stage::Emit`] spans).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the span recorder (closing externally timed
+    /// spans).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
     }
 
     /// Number of distinct shapes this session has seen.
@@ -973,6 +1066,57 @@ mod tests {
             1
         );
         assert_eq!(half.num_cached_chains(), 1);
+    }
+
+    #[test]
+    fn stage_profile_accounts_pipeline_spans() {
+        let mut session = CompileSession::new();
+        session.set_tracing(true);
+        let shape = Shape::new(vec![g(), g(), g()]).unwrap();
+        let chain = session.compile(&shape).unwrap();
+        let p = session.stage_profile();
+        assert!(p.stage_calls(Stage::Enumerate) >= 1, "enumerate span");
+        assert!(p.stage_calls(Stage::Select) >= 1, "select span");
+        let a = Matrix::from_fn(4, 6, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(6, 3, |i, j| (i * j) as f64);
+        let c = Matrix::from_fn(3, 5, |i, j| (i + 2 * j) as f64);
+        session.evaluate(&chain, &[a, b, c]).unwrap();
+        let p = session.stage_profile();
+        assert_eq!(p.stage_calls(Stage::Execute), 1, "execute span");
+        assert!(!p.kernels().is_empty(), "per-kernel timings recorded");
+        // The chain-level report renders the recorded stages.
+        let report = chain.timing_report(session.stage_profile());
+        assert!(report.contains("enumerate"));
+        assert!(report.contains("execute"));
+        // Cache hits record no new enumerate span.
+        let before = session.stage_profile().clone();
+        let _ = session.compile(&shape).unwrap();
+        let delta = session.stage_profile().since(&before);
+        assert_eq!(delta.stage_calls(Stage::Enumerate), 0);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing_and_changes_nothing() {
+        let shape = Shape::new(vec![g(); 5]).unwrap();
+        let mut traced = CompileSession::new();
+        traced.set_tracing(true);
+        let with = traced.compile(&shape).unwrap();
+        let mut silent = CompileSession::new();
+        silent.set_tracing(false);
+        let without = silent.compile(&shape).unwrap();
+        assert!(silent.stage_profile().is_empty(), "no spans when off");
+        assert!(!traced.stage_profile().is_empty(), "spans when on");
+        // Tracing is observability only: selected variants are identical.
+        assert_eq!(with.variants().len(), without.variants().len());
+        for (a, b) in with.variants().iter().zip(without.variants()) {
+            assert_eq!(a.paren(), b.paren());
+            assert_eq!(a.cost_poly(), b.cost_poly());
+        }
+        assert_eq!(
+            silent.take_stage_profile(),
+            StageProfile::new(),
+            "taking an empty profile yields the empty profile"
+        );
     }
 
     #[test]

@@ -215,6 +215,31 @@ impl Variant {
         self.execute_steps(leaves, |call, l, r| execute_assoc_with(ws, call, l, r))
     }
 
+    /// [`Variant::execute_with`], additionally reporting each
+    /// association step's kernel and measured wall-clock duration to
+    /// `on_kernel` — the pipeline tracer's per-kernel hook (finalizer
+    /// steps are not timed; they are rare and cheap).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Variant::execute`].
+    pub fn execute_observed<F>(
+        &self,
+        ws: &mut GemmWorkspace,
+        leaves: &[Matrix],
+        mut on_kernel: F,
+    ) -> Result<Matrix, ExecVariantError>
+    where
+        F: FnMut(Kernel, std::time::Duration),
+    {
+        self.execute_steps(leaves, |call, l, r| {
+            let t = std::time::Instant::now();
+            let out = execute_assoc_with(ws, call, l, r);
+            on_kernel(call.kernel, t.elapsed());
+            out
+        })
+    }
+
     fn execute_steps<F>(&self, leaves: &[Matrix], mut exec: F) -> Result<Matrix, ExecVariantError>
     where
         F: FnMut(&AssocExec, &Matrix, &Matrix) -> Result<Matrix, ExecError>,

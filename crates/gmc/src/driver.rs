@@ -10,7 +10,7 @@
 //! emitted artifacts are identical for every jobs value.
 
 use gmc_codegen::{emit_cpp_into, emit_runtime_header, emit_rust_into};
-use gmc_core::{CompileOptions, CompileSession, Objective};
+use gmc_core::{CompileOptions, CompileSession, Objective, Stage};
 use gmc_ir::grammar::parse_program;
 use gmc_ir::Shape;
 use std::error::Error;
@@ -88,6 +88,18 @@ pub struct DriverConfig {
     /// Honor in-band `{"op":"fault"}` requests (serve mode). The
     /// `GMC_FAULT` environment variable is read regardless.
     pub enable_faults: bool,
+    /// Print a per-stage timing breakdown for each input (batch mode):
+    /// enables session tracing and appends the stage profile to each
+    /// program's report.
+    pub timings: bool,
+    /// Dump service metrics as Prometheus text exposition to this file
+    /// (serve mode): written on drain and refreshed on every in-band
+    /// `{"op":"metrics"}` request.
+    pub metrics_file: Option<PathBuf>,
+    /// Log any request slower than this many milliseconds end-to-end to
+    /// stderr, with a per-stage breakdown when tracing is on (serve
+    /// mode).
+    pub slow_ms: Option<u64>,
 }
 
 /// Default bound on a JSONL request line in serve mode (1 MiB).
@@ -138,6 +150,9 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
         queue_cap: gmc_serve::DEFAULT_QUEUE_CAP,
         max_line_bytes: DEFAULT_MAX_LINE_BYTES,
         enable_faults: false,
+        timings: false,
+        metrics_file: None,
+        slow_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -193,6 +208,26 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
                     })?;
             }
             "--enable-faults" => config.enable_faults = true,
+            "--timings" => config.timings = true,
+            "--metrics-file" => {
+                config.metrics_file = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            DriverError::Usage("--metrics-file needs a file path".into())
+                        })?
+                        .into(),
+                );
+            }
+            "--slow-ms" => {
+                config.slow_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms: &u64| ms >= 1)
+                        .ok_or_else(|| {
+                            DriverError::Usage("--slow-ms needs a positive integer".into())
+                        })?,
+                );
+            }
             "--out" => {
                 config.out_dir = it
                     .next()
@@ -258,7 +293,9 @@ fn compile_options(config: &DriverConfig) -> CompileOptions {
 }
 
 /// Compile one named shape through `session` and emit its artifacts,
-/// building into `buf` (reused across calls by batch workers).
+/// building into `buf` (reused across calls by batch workers). With
+/// `--timings`, the session's stage-profile delta for this program
+/// (compile + emit) is rendered and appended to the report.
 fn compile_one(
     session: &mut CompileSession,
     buf: &mut String,
@@ -266,11 +303,13 @@ fn compile_one(
     name: &str,
     config: &DriverConfig,
 ) -> Result<CompiledArtifacts, DriverError> {
+    let before = config.timings.then(|| session.stage_profile().clone());
     let chain = session
         .compile(shape)
         .map_err(|e| DriverError::Compile(format!("{name}: {e}")))?;
 
     let mut files = Vec::new();
+    let span = session.recorder().start();
     if matches!(config.emit, EmitKind::Cpp | EmitKind::Both) {
         buf.clear();
         emit_cpp_into(buf, &chain, name);
@@ -282,8 +321,13 @@ fn compile_one(
         emit_rust_into(buf, &chain, name);
         files.push((format!("{name}.rs"), buf.clone()));
     }
+    session.recorder_mut().stop(Stage::Emit, span);
 
-    Ok((files, chain.describe()))
+    let mut report = chain.describe();
+    if let Some(before) = &before {
+        report.push_str(&chain.timing_report(&session.stage_profile().since(before)));
+    }
+    Ok((files, report))
 }
 
 /// Compile a batch of `.gmc` sources, in input order, through shared
@@ -387,6 +431,7 @@ fn compile_batch_inner(
             for (wchunk, rchunk) in work.chunks(chunk).zip(compiled.chunks_mut(chunk)) {
                 s.spawn(move || {
                     let mut session = CompileSession::with_options(options.clone());
+                    session.set_tracing(session.tracing_enabled() || config_ref.timings);
                     let mut buf = String::new();
                     for ((_, shape, name), slot) in wchunk.iter().zip(rchunk.iter_mut()) {
                         *slot = Some(compile_one(&mut session, &mut buf, shape, name, config_ref));
@@ -396,6 +441,7 @@ fn compile_batch_inner(
         });
     } else {
         let mut session = CompileSession::with_options(options);
+        session.set_tracing(session.tracing_enabled() || config.timings);
         let mut buf = String::new();
         for ((_, shape, name), slot) in work.iter().zip(compiled.iter_mut()) {
             *slot = Some(compile_one(&mut session, &mut buf, shape, name, config));
@@ -495,7 +541,7 @@ pub fn run(config: &DriverConfig) -> Result<RunOutcome, DriverError> {
                         .map_err(|e| DriverError::Io(path.clone(), e))?;
                     outcome.written.push(path);
                 }
-                if config.report {
+                if config.report || config.timings {
                     print!("{report}");
                 }
             }
@@ -624,6 +670,13 @@ enum InMsg {
 /// malformed spec refuses to start). The C++ runtime header is attached
 /// to the first response that carries a `.cpp` artifact.
 ///
+/// Observability: `{"op":"metrics"}` returns per-shard latency
+/// histograms and counters in-band; `--metrics-file FILE` dumps the
+/// same snapshot as Prometheus text exposition on drain and on every
+/// metrics request; `--slow-ms MS` logs requests slower than `MS`
+/// milliseconds end-to-end to stderr with a per-stage breakdown (when
+/// tracing is on).
+///
 /// Input ends on EOF or on SIGTERM/SIGINT; both run the same graceful
 /// drain: stop accepting, answer everything in flight, write the final
 /// snapshot, exit.
@@ -676,6 +729,7 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
         default_deadline: config.deadline_ms.map(std::time::Duration::from_millis),
         restart: gmc_serve::RestartPolicy::default(),
         faults: faults.clone(),
+        slow_request: config.slow_ms.map(std::time::Duration::from_millis),
     })
     .map_err(|e| DriverError::Compile(e.to_string()))?;
 
@@ -801,6 +855,17 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
                     // atomics and answers even when shards are wedged).
                     Some("stats") => writer.raw(&jsonl::stats_line(id, &service.stats()))?,
                     Some("health") => writer.raw(&jsonl::health_line(id, &service.health()))?,
+                    Some("metrics") => {
+                        let metrics = service.metrics();
+                        // A metrics query also refreshes the Prometheus
+                        // dump, so scrapers watching the file see the
+                        // same snapshot the client got in-band.
+                        if let Some(path) = &config.metrics_file {
+                            std::fs::write(path, metrics.to_prometheus())
+                                .map_err(|e| DriverError::Io(path.clone(), e))?;
+                        }
+                        writer.raw(&jsonl::metrics_line(id, &metrics))?;
+                    }
                     Some("fault") if !config.enable_faults => {
                         writer.emit(bad_request(
                             id,
@@ -863,6 +928,12 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
             .save_snapshot(path)
             .map_err(|e| DriverError::Compile(e.to_string()))?;
     }
+    // Final Prometheus dump: everything the service recorded, including
+    // the drained tail, lands in the metrics file before exit.
+    if let Some(path) = &config.metrics_file {
+        std::fs::write(path, service.metrics().to_prometheus())
+            .map_err(|e| DriverError::Io(path.clone(), e))?;
+    }
     let stats = service.shutdown();
     eprintln!(
         "gmcc --serve: {requests} request(s), {failures} failed, {} shard(s), \
@@ -883,11 +954,11 @@ pub fn usage() -> &'static str {
 
 USAGE:
     gmcc <input.gmc>... [--out DIR] [--name IDENT] [--emit cpp|rust|both]
-         [--expand K] [--train N] [--jobs N] [--report]
+         [--expand K] [--train N] [--jobs N] [--report] [--timings]
     gmcc --serve <requests.jsonl|-> [--jobs SHARDS] [--cache-cap N]
          [--persist FILE] [--deadline-ms MS] [--queue-cap N]
-         [--max-line-bytes N] [--enable-faults]
-         [--emit cpp|rust|both] [--expand K] [--train N]
+         [--max-line-bytes N] [--enable-faults] [--metrics-file FILE]
+         [--slow-ms MS] [--emit cpp|rust|both] [--expand K] [--train N]
 
 Multiple inputs compile as one batch ( --jobs N splits it across N
 worker threads; artifacts are identical for every N). A failing input
@@ -914,10 +985,20 @@ sets the default per-request deadline (requests may override it with a
 SIGTERM/SIGINT or EOF drain gracefully: in-flight requests are
 answered and the final snapshot is written before exit. A line of
 {\"op\": \"stats\"} returns per-shard cache counters, {\"op\":
-\"health\"} per-shard liveness and robustness counters; {\"op\":
-\"fault\", \"spec\": \"panic:0:3\"} arms fault injection when the
-daemon runs with --enable-faults (the GMC_FAULT environment variable
-arms the same faults at startup).
+\"health\"} per-shard liveness, latency p99s, and robustness
+counters, {\"op\": \"metrics\"} full per-shard latency histograms and
+counters; {\"op\": \"fault\", \"spec\": \"panic:0:3\"} arms fault
+injection when the daemon runs with --enable-faults (the GMC_FAULT
+environment variable arms the same faults at startup).
+
+Observability: --timings prints a per-stage timing breakdown (parse,
+enumerate, dp, select, expand, emit) for each input after its variant
+report. In serve mode, --metrics-file FILE dumps service metrics as
+Prometheus text exposition on drain and on every {\"op\":
+\"metrics\"} request, and --slow-ms MS logs requests slower than MS
+milliseconds end-to-end to stderr with their stage breakdown. Session
+tracing defaults on; GMC_TRACE=off disables the stage spans (request
+histograms stay live).
 "
 }
 
@@ -947,13 +1028,23 @@ mod tests {
     #[test]
     fn arg_parsing() {
         let c = cfg(&[
-            "--emit", "both", "--expand", "2", "--name", "foo", "--report", "--jobs", "3",
+            "--emit",
+            "both",
+            "--expand",
+            "2",
+            "--name",
+            "foo",
+            "--report",
+            "--jobs",
+            "3",
+            "--timings",
         ]);
         assert_eq!(c.emit, EmitKind::Both);
         assert_eq!(c.expand, 2);
         assert_eq!(c.name.as_deref(), Some("foo"));
         assert_eq!(c.jobs, 3);
         assert!(c.report);
+        assert!(c.timings);
         assert_eq!(c.inputs, vec![PathBuf::from("in.gmc")]);
     }
 
@@ -996,6 +1087,24 @@ mod tests {
         assert!(report.contains("variant 0"));
         assert!(files[0].1.contains("void x("));
         assert!(files[2].1.contains("pub fn x("));
+    }
+
+    #[test]
+    fn timings_append_stage_breakdown_to_report() {
+        let c = cfg(&["--emit", "both", "--train", "60", "--timings"]);
+        let (_, report) = compile_source(SRC, &c).unwrap();
+        assert!(report.contains("variant 0"), "variant report still leads");
+        assert!(
+            report.contains("timings chain"),
+            "stage breakdown appended: {report}"
+        );
+        for stage in ["enumerate", "select", "emit"] {
+            assert!(report.contains(stage), "stage `{stage}` missing: {report}");
+        }
+        // Without the flag, no breakdown rides along.
+        let c = cfg(&["--emit", "both", "--train", "60"]);
+        let (_, report) = compile_source(SRC, &c).unwrap();
+        assert!(!report.contains("timings chain"));
     }
 
     #[test]
@@ -1192,6 +1301,10 @@ mod tests {
             "--max-line-bytes".into(),
             "4096".into(),
             "--enable-faults".into(),
+            "--metrics-file".into(),
+            "metrics.prom".into(),
+            "--slow-ms".into(),
+            "75".into(),
         ])
         .unwrap();
         assert_eq!(c.serve.as_deref(), Some("-"));
@@ -1202,7 +1315,14 @@ mod tests {
         assert_eq!(c.queue_cap, 8);
         assert_eq!(c.max_line_bytes, 4096);
         assert!(c.enable_faults);
+        assert_eq!(c.metrics_file, Some(PathBuf::from("metrics.prom")));
+        assert_eq!(c.slow_ms, Some(75));
         assert!(c.inputs.is_empty(), "serve mode needs no inputs");
+        // A zero slow threshold would log every request; rejected.
+        assert!(matches!(
+            parse_args(&["--serve".into(), "-".into(), "--slow-ms".into(), "0".into()]),
+            Err(DriverError::Usage(_))
+        ));
         // Zero deadlines/queues make no sense and are rejected.
         assert!(matches!(
             parse_args(&[
@@ -1332,6 +1452,57 @@ mod tests {
         .unwrap();
         let (requests_seen, failures) = run_serve(&config).unwrap();
         assert_eq!((requests_seen, failures), (4, 2));
+    }
+
+    #[test]
+    fn serve_metrics_op_answers_in_band_and_dumps_prometheus() {
+        let dir = std::env::temp_dir().join("gmcc_serve_metrics_op");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let requests = dir.join("requests.jsonl");
+        let prom = dir.join("metrics.prom");
+        let src = SRC.replace('\n', " ");
+        std::fs::write(
+            &requests,
+            format!(
+                "{{\"id\": 1, \"source\": \"{src}\"}}\n\
+                 {{\"id\": 2, \"source\": \"{src}\"}}\n\
+                 {{\"id\": 3, \"op\": \"metrics\"}}\n"
+            ),
+        )
+        .unwrap();
+        let config = parse_args(&[
+            "--serve".into(),
+            requests.to_string_lossy().into_owned(),
+            "--jobs".into(),
+            "2".into(),
+            "--train".into(),
+            "40".into(),
+            "--metrics-file".into(),
+            prom.to_string_lossy().into_owned(),
+            "--slow-ms".into(),
+            "60000".into(), // threshold no test compile reaches
+        ])
+        .unwrap();
+        let (requests_seen, failures) = run_serve(&config).unwrap();
+        assert_eq!((requests_seen, failures), (3, 0), "metrics op succeeds");
+        // The drain rewrote the dump with every recorded request.
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE gmc_requests_total counter"), "{text}");
+        let total: u64 = (0..2)
+            .map(|s| {
+                text.lines()
+                    .find_map(|l| l.strip_prefix(&format!("gmc_requests_total{{shard=\"{s}\"}} ")))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total, 2, "both compiles recorded across shards: {text}");
+        assert!(
+            text.contains("# TYPE gmc_request_seconds histogram"),
+            "{text}"
+        );
+        assert!(text.contains("gmc_request_seconds_bucket{"), "{text}");
     }
 
     #[test]

@@ -42,12 +42,30 @@
 //! * `{"op": "health"}` — per-shard liveness and robustness counters,
 //!   answered even when shards are wedged or down (see [`health_line`]);
 //!   `chain_hit_rate`/`frag_hit_rate` summarize the two cache layers
-//!   from lock-free counters:
+//!   from lock-free counters, and `p99_ms`/`queue_wait_p99_ms` are read
+//!   straight off the shard's live latency histograms:
 //!
 //!   ```text
 //!   {"id":4,"ok":true,"op":"health","shards":[{"shard":0,"state":"up",
 //!    "restarts":1,"panics":1,"queue_depth":0,"deadline_exceeded":0,
-//!    "shed":2,"chain_hit_rate":0.5000,"frag_hit_rate":0.7500}],"live":1}
+//!    "shed":2,"chain_hit_rate":0.5000,"frag_hit_rate":0.7500,
+//!    "p99_ms":12.287,"queue_wait_p99_ms":0.479}],"live":1}
+//!   ```
+//!
+//! * `{"op": "metrics"}` — the full latency/counter snapshot (see
+//!   [`metrics_line`]): per shard, the end-to-end / queue-wait /
+//!   compile-time histograms as `count` + `p50`/`p90`/`p99`/`max`/
+//!   `mean` milliseconds, plus every supervisor and cache counter, and
+//!   service-wide merged percentiles:
+//!
+//!   ```text
+//!   {"id":5,"ok":true,"op":"metrics","shards":[{"shard":0,"state":"up",
+//!    "e2e_ms":{"count":4,"p50":1.151,"p90":11.263,"p99":11.263,
+//!    "max":11.021,"mean":3.702},"queue_wait_ms":{...},
+//!    "compile_ms":{...},"restarts":0,"panics":0,"deadline_exceeded":0,
+//!    "shed":0,"chain_hits":2,"chain_misses":2,"frag_hits":0,
+//!    "frag_misses":4}],"total_requests":4,"e2e_p50_ms":1.151,
+//!    "e2e_p99_ms":11.263,"queue_wait_p99_ms":0.031,"late_drops":0}
 //!   ```
 //!
 //! * `{"op": "fault", "spec": "panic:0:3,delay:5"}` — arm the
@@ -73,8 +91,8 @@ pub struct RawRequest {
     pub name: Option<String>,
     /// Emit selector (`cpp`/`rust`/`both`), if given.
     pub emit: Option<String>,
-    /// In-band service operation (`stats`/`health`/`fault`), if given;
-    /// such requests need no `source`.
+    /// In-band service operation (`stats`/`health`/`metrics`/`fault`),
+    /// if given; such requests need no `source`.
     pub op: Option<String>,
     /// Fault spec for `{"op":"fault"}` requests.
     pub spec: Option<String>,
@@ -232,10 +250,11 @@ pub fn stats_line(id: u64, shards: &[crate::ShardStatus]) -> String {
 
 /// Render the response line of an in-band `{"op":"health"}` request:
 /// liveness (`up`/`restarting`/`down`), restart/panic counts, current
-/// queue depth, the deadline-exceeded/shed robustness counters, and the
-/// chain-cache/fragment-store hit rates of every shard, plus the number
-/// of live (non-down) shards. Collected without touching the work
-/// queues, so it answers even when shards are wedged.
+/// queue depth, the deadline-exceeded/shed robustness counters, the
+/// chain-cache/fragment-store hit rates, and the end-to-end/queue-wait
+/// p99 latencies (milliseconds, upper-edge) of every shard, plus the
+/// number of live (non-down) shards. Collected without touching the
+/// work queues, so it answers even when shards are wedged.
 #[must_use]
 pub fn health_line(id: u64, shards: &[crate::ShardHealth]) -> String {
     let mut out = String::new();
@@ -251,7 +270,8 @@ pub fn health_line(id: u64, shards: &[crate::ShardHealth]) -> String {
             out,
             "{{\"shard\":{},\"state\":\"{}\",\"restarts\":{},\"panics\":{},\
              \"queue_depth\":{},\"deadline_exceeded\":{},\"shed\":{},\
-             \"chain_hit_rate\":{:.4},\"frag_hit_rate\":{:.4}}}",
+             \"chain_hit_rate\":{:.4},\"frag_hit_rate\":{:.4},\
+             \"p99_ms\":{:.3},\"queue_wait_p99_ms\":{:.3}}}",
             h.shard,
             h.state.as_str(),
             h.restarts,
@@ -261,6 +281,8 @@ pub fn health_line(id: u64, shards: &[crate::ShardHealth]) -> String {
             h.shed,
             h.chain_hit_rate,
             h.frag_hit_rate,
+            h.p99_ms,
+            h.queue_wait_p99_ms,
         );
     }
     let live = shards
@@ -268,6 +290,77 @@ pub fn health_line(id: u64, shards: &[crate::ShardHealth]) -> String {
         .filter(|h| h.state != crate::ShardState::Down)
         .count();
     let _ = write!(out, "],\"live\":{live}}}");
+    out
+}
+
+fn write_histogram_ms(out: &mut String, key: &str, s: &gmc_obs::Snapshot) {
+    let _ = write!(
+        out,
+        "\"{key}\":{{\"count\":{},\"p50\":{:.3},\"p90\":{:.3},\"p99\":{:.3},\
+         \"max\":{:.3},\"mean\":{:.3}}}",
+        s.count,
+        s.quantile_ms(0.50),
+        s.quantile_ms(0.90),
+        s.quantile_ms(0.99),
+        s.max_ms(),
+        s.mean_ms(),
+    );
+}
+
+/// Render the response line of an in-band `{"op":"metrics"}` request:
+/// per shard, the end-to-end (`e2e_ms`), queue-wait (`queue_wait_ms`),
+/// and compile-time (`compile_ms`) histograms as count +
+/// p50/p90/p99/max/mean milliseconds (upper-edge quantiles) plus the
+/// supervisor and cache counters; then service-wide totals merged from
+/// every shard's buckets and the submitter's `late_drops`.
+#[must_use]
+pub fn metrics_line(id: u64, metrics: &crate::ServiceMetrics) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"id\":{id},\"ok\":true,\"op\":\"metrics\",\"shards\":["
+    );
+    for (i, s) in metrics.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"state\":\"{}\",",
+            s.shard,
+            s.state.as_str()
+        );
+        write_histogram_ms(&mut out, "e2e_ms", &s.e2e);
+        out.push(',');
+        write_histogram_ms(&mut out, "queue_wait_ms", &s.queue_wait);
+        out.push(',');
+        write_histogram_ms(&mut out, "compile_ms", &s.compile_time);
+        let _ = write!(
+            out,
+            ",\"restarts\":{},\"panics\":{},\"deadline_exceeded\":{},\"shed\":{},\
+             \"chain_hits\":{},\"chain_misses\":{},\"frag_hits\":{},\"frag_misses\":{}}}",
+            s.restarts,
+            s.panics,
+            s.deadline_exceeded,
+            s.shed,
+            s.chain_hits,
+            s.chain_misses,
+            s.frag_hits,
+            s.frag_misses,
+        );
+    }
+    let e2e = metrics.merged_e2e();
+    let queue_wait = metrics.merged_queue_wait();
+    let _ = write!(
+        out,
+        "],\"total_requests\":{},\"e2e_p50_ms\":{:.3},\"e2e_p99_ms\":{:.3},\
+         \"queue_wait_p99_ms\":{:.3},\"late_drops\":{}}}",
+        metrics.requests(),
+        e2e.quantile_ms(0.50),
+        e2e.quantile_ms(0.99),
+        queue_wait.quantile_ms(0.99),
+        metrics.late_drops,
+    );
     out
 }
 
@@ -635,6 +728,8 @@ mod tests {
                 shed: 3,
                 chain_hit_rate: 0.5,
                 frag_hit_rate: 0.75,
+                p99_ms: 12.287,
+                queue_wait_p99_ms: 0.479,
             },
             crate::ShardHealth {
                 shard: 1,
@@ -646,6 +741,8 @@ mod tests {
                 shed: 0,
                 chain_hit_rate: 0.0,
                 frag_hit_rate: 0.0,
+                p99_ms: 0.0,
+                queue_wait_p99_ms: 0.0,
             },
         ];
         assert_eq!(
@@ -653,14 +750,94 @@ mod tests {
             "{\"id\":9,\"ok\":true,\"op\":\"health\",\"shards\":[\
              {\"shard\":0,\"state\":\"up\",\"restarts\":1,\"panics\":1,\
              \"queue_depth\":2,\"deadline_exceeded\":0,\"shed\":3,\
-             \"chain_hit_rate\":0.5000,\"frag_hit_rate\":0.7500},\
+             \"chain_hit_rate\":0.5000,\"frag_hit_rate\":0.7500,\
+             \"p99_ms\":12.287,\"queue_wait_p99_ms\":0.479},\
              {\"shard\":1,\"state\":\"down\",\"restarts\":0,\"panics\":5,\
              \"queue_depth\":0,\"deadline_exceeded\":4,\"shed\":0,\
-             \"chain_hit_rate\":0.0000,\"frag_hit_rate\":0.0000}],\"live\":1}"
+             \"chain_hit_rate\":0.0000,\"frag_hit_rate\":0.0000,\
+             \"p99_ms\":0.000,\"queue_wait_p99_ms\":0.000}],\"live\":1}"
         );
         assert_eq!(
             ack_line(3, "fault"),
             "{\"id\":3,\"ok\":true,\"op\":\"fault\"}"
         );
+    }
+
+    #[test]
+    fn metrics_lines_render_histograms_and_counters() {
+        let mut e2e = gmc_obs::Snapshot::empty();
+        // Exact values in the linear bucket region (< 8 us) so the
+        // pinned quantiles are reproducible: 2, 4, 6 us.
+        e2e.record_us(2);
+        e2e.record_us(4);
+        e2e.record_us(6);
+        let metrics = crate::ServiceMetrics {
+            shards: vec![crate::ShardMetrics {
+                shard: 0,
+                state: crate::ShardState::Up,
+                e2e,
+                queue_wait: gmc_obs::Snapshot::empty(),
+                compile_time: gmc_obs::Snapshot::empty(),
+                restarts: 1,
+                panics: 2,
+                deadline_exceeded: 3,
+                shed: 4,
+                chain_hits: 5,
+                chain_misses: 6,
+                frag_hits: 7,
+                frag_misses: 8,
+            }],
+            late_drops: 9,
+        };
+        assert_eq!(
+            metrics_line(11, &metrics),
+            "{\"id\":11,\"ok\":true,\"op\":\"metrics\",\"shards\":[\
+             {\"shard\":0,\"state\":\"up\",\
+             \"e2e_ms\":{\"count\":3,\"p50\":0.004,\"p90\":0.006,\"p99\":0.006,\
+             \"max\":0.006,\"mean\":0.004},\
+             \"queue_wait_ms\":{\"count\":0,\"p50\":0.000,\"p90\":0.000,\"p99\":0.000,\
+             \"max\":0.000,\"mean\":0.000},\
+             \"compile_ms\":{\"count\":0,\"p50\":0.000,\"p90\":0.000,\"p99\":0.000,\
+             \"max\":0.000,\"mean\":0.000},\
+             \"restarts\":1,\"panics\":2,\"deadline_exceeded\":3,\"shed\":4,\
+             \"chain_hits\":5,\"chain_misses\":6,\"frag_hits\":7,\"frag_misses\":8}],\
+             \"total_requests\":3,\"e2e_p50_ms\":0.004,\"e2e_p99_ms\":0.006,\
+             \"queue_wait_p99_ms\":0.000,\"late_drops\":9}"
+        );
+    }
+
+    #[test]
+    fn prometheus_dump_renders_counters_and_buckets() {
+        let mut e2e = gmc_obs::Snapshot::empty();
+        e2e.record_us(1_000);
+        e2e.record_us(50_000);
+        let metrics = crate::ServiceMetrics {
+            shards: vec![crate::ShardMetrics {
+                shard: 0,
+                state: crate::ShardState::Up,
+                e2e,
+                queue_wait: gmc_obs::Snapshot::empty(),
+                compile_time: gmc_obs::Snapshot::empty(),
+                restarts: 0,
+                panics: 1,
+                deadline_exceeded: 0,
+                shed: 0,
+                chain_hits: 1,
+                chain_misses: 1,
+                frag_hits: 0,
+                frag_misses: 0,
+            }],
+            late_drops: 0,
+        };
+        let text = metrics.to_prometheus();
+        assert!(text.contains("# TYPE gmc_requests_total counter"));
+        assert!(text.contains("gmc_requests_total{shard=\"0\"} 2"));
+        assert!(text.contains("gmc_panics_total{shard=\"0\"} 1"));
+        assert!(text.contains("gmc_late_drops_total 0"));
+        assert!(text.contains("# TYPE gmc_request_seconds histogram"));
+        assert!(text.contains("gmc_request_seconds_bucket{shard=\"0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("gmc_request_seconds_count{shard=\"0\"} 2"));
+        // One TYPE header per metric, no matter how many label sets.
+        assert_eq!(text.matches("# TYPE gmc_request_seconds").count(), 1);
     }
 }

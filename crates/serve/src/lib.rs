@@ -70,6 +70,19 @@
 //!   everything in flight), [`CompileService::save_snapshot`] the final
 //!   atomic snapshot, then [`CompileService::shutdown`]. Warm restarts
 //!   are the normal path, not a lucky one.
+//! * **Latency histograms and a metrics endpoint.** Every shard keeps
+//!   three lock-free log-linear histograms ([`gmc_obs::Histogram`]) in
+//!   its shared block: end-to-end response latency (recorded by the
+//!   submitter, exactly once per shard-attributed response), queue
+//!   wait (submission → dequeue), and compile time. `{"op":"health"}`
+//!   reads per-shard `p99_ms`/`queue_wait_p99_ms` straight off the
+//!   live buckets; `{"op":"metrics"}` returns the full
+//!   [`CompileService::metrics`] snapshot (p50/p90/p99/max per
+//!   histogram plus every cache/supervisor counter) in-band, and
+//!   [`ServiceMetrics::to_prometheus`] renders the same snapshot as
+//!   Prometheus text exposition for `gmcc --metrics-file`. Requests
+//!   slower than `gmcc --slow-ms` log their per-stage breakdown
+//!   (parse → enumerate → DP → select → expand → emit) to stderr.
 //! * **Deterministic fault injection.** The [`fault`] module arms
 //!   shard panics, compile delays, and torn snapshot writes from a spec
 //!   string (`GMC_FAULT=panic:0:3,delay:5,snapshot_torn`), so every
@@ -92,7 +105,8 @@ pub mod supervisor;
 pub use gmc_codegen::emit_runtime_header;
 pub use service::{
     route, Artifacts, CompileRequest, CompileResponse, CompileService, Emit, Failure, FailureKind,
-    ServeConfig, ServeError, ServiceStats, ShardStatus, DEFAULT_QUEUE_CAP,
+    ServeConfig, ServeError, ServiceMetrics, ServiceStats, ShardMetrics, ShardStatus,
+    DEFAULT_QUEUE_CAP,
 };
 pub use supervisor::{RestartPolicy, ShardHealth, ShardState, ShardStats};
 

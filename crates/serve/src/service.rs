@@ -14,6 +14,7 @@ use gmc_core::{
 };
 use gmc_ir::grammar::parse_program;
 use gmc_ir::Shape;
+use gmc_obs::{write_prom_counter, Snapshot};
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -234,6 +235,10 @@ pub struct ServeConfig {
     /// keeping a clone lets a front-end re-arm faults while the service
     /// runs.
     pub faults: FaultPlan,
+    /// Slow-request log: any request whose end-to-end latency reaches
+    /// this threshold gets its per-stage breakdown printed to stderr by
+    /// the serving shard (`gmcc --slow-ms`). `None` disables the log.
+    pub slow_request: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -248,6 +253,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             restart: RestartPolicy::default(),
             faults: FaultPlan::new(),
+            slow_request: None,
         }
     }
 }
@@ -386,6 +392,137 @@ pub struct ShardStatus {
     pub frags: FragCacheStats,
 }
 
+/// One shard's latency histograms and robustness counters, snapshotted
+/// lock-free by [`CompileService::metrics`].
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Liveness at snapshot time.
+    pub state: ShardState,
+    /// End-to-end latency of every response attributed to this shard
+    /// (one sample per delivered response — served, panicked, expired,
+    /// shed, or written off).
+    pub e2e: Snapshot,
+    /// Submission-to-dequeue wait of every request this shard dequeued.
+    pub queue_wait: Snapshot,
+    /// Wall-clock of each compile + emit attempt (cache hits included).
+    pub compile_time: Snapshot,
+    /// Supervisor restarts completed.
+    pub restarts: u64,
+    /// Panics caught.
+    pub panics: u64,
+    /// Requests answered `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Compiled-chain cache hits (cumulative across restarts).
+    pub chain_hits: u64,
+    /// Compiled-chain cache misses.
+    pub chain_misses: u64,
+    /// Fragment-store hits (sub-span lookups, not requests).
+    pub frag_hits: u64,
+    /// Fragment-store misses.
+    pub frag_misses: u64,
+}
+
+/// Service-wide metrics snapshot: per-shard histograms and counters
+/// plus submitter-side bookkeeping, mergeable on demand.
+#[derive(Debug, Clone)]
+pub struct ServiceMetrics {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardMetrics>,
+    /// Late responses dropped to preserve exactly-one-response.
+    pub late_drops: u64,
+}
+
+impl ServiceMetrics {
+    /// Total responses recorded across shards (the end-to-end histogram
+    /// counts, i.e. one per shard-attributed response).
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.e2e.count).sum()
+    }
+
+    /// All shards' end-to-end histograms merged into one.
+    #[must_use]
+    pub fn merged_e2e(&self) -> Snapshot {
+        let mut out = Snapshot::empty();
+        for s in &self.shards {
+            out.merge(&s.e2e);
+        }
+        out
+    }
+
+    /// All shards' queue-wait histograms merged into one.
+    #[must_use]
+    pub fn merged_queue_wait(&self) -> Snapshot {
+        let mut out = Snapshot::empty();
+        for s in &self.shards {
+            out.merge(&s.queue_wait);
+        }
+        out
+    }
+
+    /// All shards' compile-time histograms merged into one.
+    #[must_use]
+    pub fn merged_compile_time(&self) -> Snapshot {
+        let mut out = Snapshot::empty();
+        for s in &self.shards {
+            out.merge(&s.compile_time);
+        }
+        out
+    }
+
+    /// Render the snapshot in Prometheus text exposition format:
+    /// per-shard counters (`gmc_requests_total`, `gmc_restarts_total`,
+    /// `gmc_panics_total`, ...) labeled `shard="N"`, the three latency
+    /// histograms as cumulative `_bucket{le="..."}` lines in seconds,
+    /// and the service-wide `gmc_late_drops_total`. This is what
+    /// `gmcc --serve --metrics-file PATH` writes on drain and on every
+    /// in-band `{"op":"metrics"}` request.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        type CounterGet = fn(&ShardMetrics) -> u64;
+        type SnapshotGet = fn(&ShardMetrics) -> &Snapshot;
+        let mut out = String::new();
+        let counters: [(&str, CounterGet); 9] = [
+            ("gmc_requests_total", |s| s.e2e.count),
+            ("gmc_restarts_total", |s| s.restarts),
+            ("gmc_panics_total", |s| s.panics),
+            ("gmc_deadline_exceeded_total", |s| s.deadline_exceeded),
+            ("gmc_shed_total", |s| s.shed),
+            ("gmc_chain_cache_hits_total", |s| s.chain_hits),
+            ("gmc_chain_cache_misses_total", |s| s.chain_misses),
+            ("gmc_frag_cache_hits_total", |s| s.frag_hits),
+            ("gmc_frag_cache_misses_total", |s| s.frag_misses),
+        ];
+        for (name, get) in counters {
+            for (i, s) in self.shards.iter().enumerate() {
+                write_prom_counter(
+                    &mut out,
+                    name,
+                    &format!("shard=\"{}\"", s.shard),
+                    get(s),
+                    i == 0,
+                );
+            }
+        }
+        write_prom_counter(&mut out, "gmc_late_drops_total", "", self.late_drops, true);
+        let histograms: [(&str, SnapshotGet); 3] = [
+            ("gmc_request_seconds", |s| &s.e2e),
+            ("gmc_queue_wait_seconds", |s| &s.queue_wait),
+            ("gmc_compile_seconds", |s| &s.compile_time),
+        ];
+        for (name, get) in histograms {
+            for (i, s) in self.shards.iter().enumerate() {
+                get(s).write_prometheus(&mut out, name, &format!("shard=\"{}\"", s.shard), i == 0);
+            }
+        }
+        out
+    }
+}
+
 /// Work items a shard receives.
 pub(crate) enum Job {
     Compile(Box<CompileJob>),
@@ -402,6 +539,9 @@ pub(crate) struct CompileJob {
     pub(crate) deadline: Option<Instant>,
     /// Internal sequence number for exactly-once accounting.
     pub(crate) seq: u64,
+    /// When the submitter accepted the request; the zero point of the
+    /// end-to-end and queue-wait latency histograms.
+    pub(crate) submitted: Instant,
 }
 
 /// What shards put on the results channel: the response plus the
@@ -417,6 +557,7 @@ struct Outstanding {
     id: u64,
     shard: usize,
     deadline: Option<Instant>,
+    submitted: Instant,
 }
 
 /// A running sharded compile service (see the
@@ -514,6 +655,7 @@ impl CompileService {
                 latest: Arc::clone(&latest),
                 policy: config.restart.clone(),
                 faults: config.faults.clone(),
+                slow: config.slow_request,
             };
             handles.push(std::thread::spawn(move || shard_main(ctx)));
             job_txs.push(tx);
@@ -568,6 +710,7 @@ impl CompileService {
     /// the service degrades by refusing work it could only serve late.
     /// Routing falls over past shards whose circuit breaker is open.
     pub fn submit(&mut self, request: CompileRequest) {
+        let submitted = Instant::now();
         let id = request.id;
         let program = match parse_program(&request.source) {
             Ok(p) => p,
@@ -595,6 +738,9 @@ impl CompileService {
             self.shared[shard]
                 .shed
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // Shed requests count in the end-to-end histogram too: every
+            // response attributed to a shard is one recorded latency.
+            self.shared[shard].e2e.record(submitted.elapsed());
             self.ready.push_back(CompileResponse::failure_on(
                 id,
                 Some(shard),
@@ -619,6 +765,7 @@ impl CompileService {
             emit: request.emit,
             deadline,
             seq,
+            submitted,
         }));
         // A send only fails if the worker thread is gone (it exited
         // outside supervision); answer in-band so accounting balances.
@@ -629,10 +776,12 @@ impl CompileService {
                     id,
                     shard,
                     deadline,
+                    submitted,
                 },
             );
             self.pending_by_shard[shard] += 1;
         } else {
+            self.shared[shard].e2e.record(submitted.elapsed());
             self.ready.push_back(CompileResponse::failure_on(
                 id,
                 Some(shard),
@@ -651,6 +800,7 @@ impl CompileService {
                 if let Some(out) = self.outstanding.remove(&seq) {
                     self.pending_by_shard[out.shard] =
                         self.pending_by_shard[out.shard].saturating_sub(1);
+                    self.shared[out.shard].e2e.record(out.submitted.elapsed());
                     Some(r.response)
                 } else {
                     self.late_drops += 1;
@@ -679,6 +829,7 @@ impl CompileService {
             self.shared[out.shard]
                 .deadline_exceeded
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.shared[out.shard].e2e.record(out.submitted.elapsed());
             self.ready.push_back(CompileResponse::failure_on(
                 out.id,
                 Some(out.shard),
@@ -715,6 +866,7 @@ impl CompileService {
             .collect();
         for seq in seqs {
             let out = self.outstanding.remove(&seq).expect("seq was just listed");
+            self.shared[shard].e2e.record(out.submitted.elapsed());
             self.ready.push_back(CompileResponse::failure_on(
                 out.id,
                 Some(shard),
@@ -870,8 +1022,45 @@ impl CompileService {
                 shed: s.shed.load(Relaxed),
                 chain_hit_rate: rate(s.chain_hits.load(Relaxed), s.chain_misses.load(Relaxed)),
                 frag_hit_rate: rate(s.frag_hits.load(Relaxed), s.frag_misses.load(Relaxed)),
+                p99_ms: s.e2e.quantile_ms(0.99),
+                queue_wait_p99_ms: s.queue_wait.quantile_ms(0.99),
             })
             .collect()
+    }
+
+    /// Full latency/counter snapshot of every shard, collected like
+    /// [`CompileService::health`] **without** touching the work queues —
+    /// pure atomic reads of the lock-free histograms and counters, so a
+    /// wedged or down shard still reports its last state. This is what
+    /// the daemon's in-band `{"op":"metrics"}` request and the
+    /// `--metrics-file` Prometheus dump serve.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        use std::sync::atomic::Ordering::Relaxed;
+        let shards = self
+            .shared
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardMetrics {
+                shard,
+                state: s.state(),
+                e2e: s.e2e.snapshot(),
+                queue_wait: s.queue_wait.snapshot(),
+                compile_time: s.compile_time.snapshot(),
+                restarts: s.restarts.load(Relaxed),
+                panics: s.panics.load(Relaxed),
+                deadline_exceeded: s.deadline_exceeded.load(Relaxed),
+                shed: s.shed.load(Relaxed),
+                chain_hits: s.chain_hits.load(Relaxed),
+                chain_misses: s.chain_misses.load(Relaxed),
+                frag_hits: s.frag_hits.load(Relaxed),
+                frag_misses: s.frag_misses.load(Relaxed),
+            })
+            .collect();
+        ServiceMetrics {
+            shards,
+            late_drops: self.late_drops,
+        }
     }
 
     /// [`CompileService::snapshot`] straight to a file, atomically

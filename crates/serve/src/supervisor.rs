@@ -40,7 +40,10 @@ use crate::fault::FaultPlan;
 use crate::service::{Job, Response, ShardStatus};
 use crate::{route, Artifacts, Emit, Failure, FailureKind};
 use gmc_codegen::{emit_cpp_into, emit_rust_into};
-use gmc_core::{CacheStats, CompileOptions, CompileSession, FragCacheStats, SessionSnapshot};
+use gmc_core::{
+    CacheStats, CompileOptions, CompileSession, FragCacheStats, SessionSnapshot, Stage,
+};
+use gmc_obs::Histogram;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -131,6 +134,14 @@ pub struct ShardHealth {
     /// Fraction of fragment-store lookups served from the store
     /// (cumulative across restarts; `0.0` before any lookup).
     pub frag_hit_rate: f64,
+    /// Upper-edge p99 of end-to-end request latency on this shard,
+    /// milliseconds (`0.0` before any request). Read from the shard's
+    /// lock-free latency histogram, so it reports even when the shard
+    /// is wedged.
+    pub p99_ms: f64,
+    /// Upper-edge p99 of the time requests spent queued before this
+    /// shard dequeued them, milliseconds.
+    pub queue_wait_p99_ms: f64,
 }
 
 /// Counters a shard and the submitter share lock-free.
@@ -150,6 +161,22 @@ pub(crate) struct ShardShared {
     pub(crate) frag_misses: AtomicU64,
     /// Compile attempts, for the fault plan's deterministic `nth`.
     compile_attempts: AtomicU64,
+    /// End-to-end latency of every *response* attributed to this shard
+    /// (served, panicked, expired, shed, written off), recorded by the
+    /// submitter exactly once per response so the count balances against
+    /// delivered responses even when a written-off request is also
+    /// answered late by the shard. Deliberately *not* gated by
+    /// `GMC_TRACE`: recording is a handful of relaxed atomics per
+    /// request, and the health/metrics endpoints depend on these
+    /// histograms staying live.
+    pub(crate) e2e: Histogram,
+    /// Submission-to-dequeue wait, recorded by the worker. Counts
+    /// *dequeues* — a request written off by the submitter but still
+    /// dequeued late records here, so this count can exceed `e2e`'s.
+    pub(crate) queue_wait: Histogram,
+    /// Wall-clock of the compile + emit attempt (the `catch_unwind`
+    /// envelope), cache hits included.
+    pub(crate) compile_time: Histogram,
 }
 
 impl ShardShared {
@@ -186,6 +213,9 @@ pub(crate) struct ShardCtx {
     pub(crate) latest: Arc<Mutex<Option<Arc<SessionSnapshot>>>>,
     pub(crate) policy: RestartPolicy,
     pub(crate) faults: FaultPlan,
+    /// Log the per-stage breakdown of any request slower than this to
+    /// stderr (`gmcc --slow-ms`); `None` disables the slow-request log.
+    pub(crate) slow: Option<Duration>,
 }
 
 /// Per-shard counters returned by
@@ -255,6 +285,7 @@ pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
         match job {
             Job::Compile(job) => {
                 stats.requests += 1;
+                ctx.shared.queue_wait.record(job.submitted.elapsed());
                 // Deadline at dequeue: a request that went stale in the
                 // queue is answered without compiling — the work would
                 // be wasted and would stall everything behind it.
@@ -286,10 +317,44 @@ pub(crate) fn shard_main(ctx: ShardCtx) -> ShardStats {
                 };
                 let nth = ctx.shared.compile_attempts.fetch_add(1, Ordering::Relaxed) + 1;
                 let faults = &ctx.faults;
+                // The slow-request log reports the per-stage delta, so
+                // the pre-compile profile is cloned off only when the
+                // log is armed and the session traces.
+                let profile_before = match ctx.slow {
+                    Some(_) if live.tracing_enabled() => Some(live.stage_profile().clone()),
+                    _ => None,
+                };
+                let compile_started = Instant::now();
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     faults.before_compile(index, nth);
                     serve_compile(live, &mut buf, &job)
                 }));
+                ctx.shared.compile_time.record(compile_started.elapsed());
+                let elapsed = job.submitted.elapsed();
+                if let Some(threshold) = ctx.slow {
+                    if elapsed >= threshold && outcome.is_ok() {
+                        let breakdown = profile_before
+                            .as_ref()
+                            .map(|before| {
+                                let alive = session.as_ref().expect("session was live");
+                                alive.stage_profile().since(before).render(&format!(
+                                    "request {} (shape n = {})",
+                                    job.id,
+                                    job.shape.len()
+                                ))
+                            })
+                            .unwrap_or_else(|| {
+                                "(no stage breakdown: tracing is off)\n".to_string()
+                            });
+                        eprintln!(
+                            "gmc-serve: shard {index}: slow request id {}: {:.3} ms \
+                             end-to-end\n{}",
+                            job.id,
+                            elapsed.as_secs_f64() * 1e3,
+                            breakdown.trim_end()
+                        );
+                    }
+                }
                 match outcome {
                     Ok((cache_hit, result)) => {
                         let alive = session.as_ref().expect("session was live");
@@ -416,6 +481,7 @@ fn serve_compile(
     let result = match session.compile(&job.shape) {
         Ok(chain) => {
             let mut files = Vec::new();
+            let span = session.recorder().start();
             if matches!(job.emit, Emit::Cpp | Emit::Both) {
                 buf.clear();
                 emit_cpp_into(buf, &chain, &job.name);
@@ -426,6 +492,7 @@ fn serve_compile(
                 emit_rust_into(buf, &chain, &job.name);
                 files.push((format!("{}.rs", job.name), buf.clone()));
             }
+            session.recorder_mut().stop(Stage::Emit, span);
             Ok(Artifacts {
                 files,
                 report: chain.describe(),

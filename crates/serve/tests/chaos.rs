@@ -352,7 +352,9 @@ proptest! {
     /// response, nothing hangs, and the post-chaos counters are
     /// consistent — `hits + misses + shed + failed == submitted`
     /// (panics fire before the session is touched, so a killed request
-    /// counts as neither hit nor miss).
+    /// counts as neither hit nor miss), and the e2e latency histograms
+    /// record exactly one sample per shard-attributed response (parse
+    /// failures never reach a shard and record nothing).
     #[test]
     fn every_request_gets_exactly_one_response_and_counters_balance(
         picks in proptest::collection::vec(0usize..4, 5..25),
@@ -390,6 +392,27 @@ proptest! {
         let health = service.health();
         let health_shed: u64 = health.iter().map(|h| h.shed).sum();
         prop_assert_eq!(health_shed, shed, "shed counter matches responses");
+
+        // Observability: the per-shard e2e histograms record exactly one
+        // sample per shard-attributed response; together with the parse
+        // failures (which never reach a shard) that accounts for the
+        // whole stream.
+        let attributed = responses.iter().filter(|r| r.shard.is_some()).count() as u64;
+        let parse_failed = responses
+            .iter()
+            .filter(|r| kind_of(r) == Some(FailureKind::Parse))
+            .count() as u64;
+        let metrics = service.metrics();
+        prop_assert_eq!(
+            metrics.requests(),
+            attributed,
+            "one e2e sample per shard-attributed response"
+        );
+        prop_assert_eq!(
+            attributed + parse_failed,
+            picks.len() as u64,
+            "recorded + parse-failed == submitted"
+        );
 
         let stats = service.shutdown();
         prop_assert_eq!(stats.panics(), panicked, "panic counter matches responses");

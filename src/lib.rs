@@ -176,6 +176,38 @@
 //! (`BENCH_select.json`: `frag_cold_ms` / `frag_warm_ms` /
 //! `frag_speedup`).
 //!
+//! # Observability (`gmc-obs`)
+//!
+//! A dependency-free tracing and metrics layer spans the whole stack:
+//!
+//! * **Latency histograms** (`gmc_obs::Histogram`): fixed-size
+//!   log-linear (HDR-style) buckets over the microsecond domain, u64
+//!   atomic counters, so shard workers record lock-free while readers
+//!   snapshot, merge across shards, and take p50/p90/p99/max — the one
+//!   quantile definition shared by the serving layer, the JSONL
+//!   endpoints, the Prometheus dump, and `bench_serve` (upper-edge
+//!   nearest-rank: reported quantiles never understate, ≤ 12.5% bucket
+//!   error; pinned by unit + property tests in `crates/obs`).
+//! * **Pipeline tracing** (`gmc_obs::{Recorder, StageProfile}`): each
+//!   session records per-stage spans (parse → enumerate → dp → select
+//!   → expand → emit → execute) and per-kernel timings. `GMC_TRACE=off`
+//!   (or `CompileSession::set_tracing(false)`) reduces every
+//!   instrumented site to a single branch — measured warm-path cost of
+//!   tracing on vs off is recorded in `BENCH_serve.json` as
+//!   `trace_overhead_pct` (required ≤ 3%). `gmcc --timings` prints the
+//!   per-file breakdown; `CompiledChain::timing_report` renders it
+//!   programmatically.
+//! * **Serving metrics**: every shard publishes end-to-end, queue-wait,
+//!   and compile-time histograms through the same lock-free shared
+//!   blocks as the supervision counters. `{"op":"health"}` adds
+//!   `p99_ms`/`queue_wait_p99_ms` per shard; `{"op":"metrics"}` returns
+//!   the full snapshot in-band; `gmcc --serve --metrics-file FILE`
+//!   dumps Prometheus text exposition on drain and on every metrics
+//!   request (CI greps both); `--slow-ms MS` logs slow requests to
+//!   stderr with their stage breakdown. The e2e histograms record
+//!   exactly one sample per shard-attributed response — an invariant
+//!   the chaos proptest pins alongside exactly-one-response.
+//!
 //! Three knobs scale the pipeline:
 //!
 //! * the `parallel` cargo feature threads variant enumeration, the
