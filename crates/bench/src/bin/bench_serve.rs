@@ -20,14 +20,31 @@
 //!
 //! Each phase is best-of-`reps` (fresh service per cold/restored rep) to
 //! tame timer wobble on the 1-core dev host. Run with
-//! `cargo run --release --bin bench_serve [--smoke] [output.json]`;
+//! `cargo run --release --bin bench_serve [--smoke] [--load] [output.json]`;
 //! `--smoke` shrinks the workload for CI.
+//!
+//! `--load` adds a **socket-load sweep**: a closed-loop JSONL load
+//! generator (optionally paced to a target QPS) against a live
+//! Unix-socket daemon, sweeping connections × shards with a fixed 2 ms
+//! injected per-compile service time so the rows measure transport
+//! concurrency and routing policy rather than host codegen speed. The
+//! sweep records client- and server-side (`{"op":"metrics"}`) p50/p99
+//! per row, the multi-connection speedup over a serial single-client
+//! baseline, and a maximally skewed hot-shape row where
+//! power-of-two-choices routing is A/B'd against plain `hash % shards`
+//! on server-side p99.
 
 use gmc_core::CompileOptions;
 use gmc_obs::{force_trace_mode, Histogram, TraceMode};
 use gmc_serve::fault::FaultPlan;
-use gmc_serve::{CompileRequest, CompileResponse, CompileService, Emit, FailureKind, ServeConfig};
+use gmc_serve::transport::{self, ListenAddr, SocketListener, SocketStream, TransportOptions};
+use gmc_serve::{
+    CompileRequest, CompileResponse, CompileService, Emit, FailureKind, RoutingMode, ServeConfig,
+};
 use std::fmt::Write as _;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A workload of distinct chain programs: lengths 3..=3+k with feature
@@ -159,9 +176,270 @@ fn run_overload_burst(options: &CompileOptions, burst: usize) -> Overload {
     }
 }
 
+/// One row of the socket-load sweep: a fleet of closed-loop JSONL
+/// clients against a live socket daemon.
+struct LoadRow {
+    label: &'static str,
+    connections: usize,
+    shards: usize,
+    routing: RoutingMode,
+    /// Offered load in requests/s (`0` = unpaced, run at capacity).
+    target_qps: f64,
+    requests: usize,
+    qps: f64,
+    client_p50_ms: f64,
+    client_p99_ms: f64,
+    server_p50_ms: f64,
+    server_p99_ms: f64,
+}
+
+fn escape_source(src: &str) -> String {
+    src.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One load-generator connection: send requests in windows of
+/// `window` (1 = strict closed loop), read the window's responses,
+/// repeat. With `pace`, sends are held to the schedule `k * pace` from
+/// the connection's start, which turns the closed loop into a
+/// target-QPS generator. Latencies are matched send-order to
+/// response-order — exact for `window == 1`, approximate for deeper
+/// pipelines (the server-side histogram is authoritative there).
+fn load_client(
+    addr: &ListenAddr,
+    sources: &[String],
+    offset: usize,
+    requests: usize,
+    window: usize,
+    pace: Option<Duration>,
+) -> Vec<Duration> {
+    let stream = SocketStream::connect(addr).expect("load client connect");
+    let mut write = stream.try_clone().expect("clone write half");
+    let mut reader = BufReader::new(stream);
+    let lines: Vec<String> = sources.iter().map(|s| escape_source(s)).collect();
+    let mut latencies = Vec::with_capacity(requests);
+    let mut line = String::new();
+    let start = Instant::now();
+    let mut sent = 0usize;
+    while sent < requests {
+        let batch = window.min(requests - sent);
+        let mut send_times = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            if let Some(interval) = pace {
+                let due = start + interval * sent as u32;
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+            }
+            let body = format!(
+                "{{\"id\":{sent},\"emit\":\"cpp\",\"source\":\"{}\"}}\n",
+                lines[(offset + sent) % lines.len()]
+            );
+            send_times.push(Instant::now());
+            write.write_all(body.as_bytes()).expect("send request");
+            sent += 1;
+        }
+        write.flush().expect("flush requests");
+        for sent_at in send_times {
+            line.clear();
+            let n = reader.read_line(&mut line).expect("read response");
+            assert!(n > 0, "daemon closed mid-load");
+            assert!(line.contains("\"ok\":true"), "load request failed: {line}");
+            latencies.push(sent_at.elapsed());
+        }
+    }
+    latencies
+}
+
+/// Ask a live daemon for its merged e2e p50/p99 over the socket
+/// (`{"op":"metrics"}` — the same numbers a scraper reads).
+fn probe_server_percentiles(addr: &ListenAddr) -> (f64, f64) {
+    let mut stream = SocketStream::connect(addr).expect("metrics probe connect");
+    stream
+        .write_all(b"{\"op\":\"metrics\",\"id\":1}\n")
+        .expect("send metrics op");
+    stream.flush().expect("flush metrics op");
+    stream.shutdown_write().expect("half-close probe");
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .expect("read metrics line");
+    let field = |key: &str| -> f64 {
+        let at = line.find(key).unwrap_or_else(|| panic!("{key} in metrics"));
+        let rest = &line[at + key.len()..];
+        rest[..rest.find([',', '}']).expect("value end")]
+            .parse()
+            .expect("numeric percentile")
+    };
+    (field("\"e2e_p50_ms\":"), field("\"e2e_p99_ms\":"))
+}
+
+fn percentile_ms(latencies: &mut [Duration], q: f64) -> f64 {
+    assert!(!latencies.is_empty());
+    latencies.sort_unstable();
+    let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+    latencies[idx].as_secs_f64() * 1e3
+}
+
+/// Run one sweep point: a fresh service (every compile slowed by
+/// `service_ms` — a deterministic stand-in for compile cost, so
+/// connection/shard parallelism is measurable even on a 1-core host)
+/// behind a Unix-socket daemon, primed over the socket, then hit by
+/// `connections` concurrent load clients.
+#[allow(clippy::too_many_arguments)]
+fn run_load_row(
+    label: &'static str,
+    sources: &[String],
+    connections: usize,
+    shards: usize,
+    routing: RoutingMode,
+    target_qps: f64,
+    per_conn: usize,
+    window: usize,
+    service_ms: u64,
+    options: &CompileOptions,
+) -> LoadRow {
+    let dir = std::env::temp_dir().join("bench_serve_load");
+    let _ = std::fs::create_dir_all(&dir);
+    let addr = ListenAddr::Unix(dir.join(format!("{label}.sock")));
+    let config = ServeConfig {
+        shards,
+        options: options.clone(),
+        routing,
+        faults: FaultPlan::parse(&format!("delay:{service_ms}")).expect("delay spec"),
+        ..ServeConfig::default()
+    };
+    let mut service = CompileService::start(config).expect("load service start");
+    // Prime every shape warm before measuring, through the service
+    // directly: the measured phase then isolates transport + routing +
+    // the injected service time, not cold selection.
+    for (i, source) in sources.iter().enumerate() {
+        service.submit(CompileRequest {
+            id: i as u64,
+            name: None,
+            source: source.clone(),
+            emit: Emit::Cpp,
+            deadline: None,
+        });
+    }
+    let primed = service.drain();
+    assert!(primed.iter().all(|r| r.result.is_ok()), "priming compiles");
+
+    let listener = SocketListener::bind(&addr).expect("bind load socket");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let serve_shutdown = Arc::clone(&shutdown);
+    let daemon = std::thread::spawn(move || {
+        transport::serve(
+            listener,
+            service,
+            TransportOptions::default(),
+            serve_shutdown,
+        )
+    });
+
+    let pace = (target_qps > 0.0).then(|| Duration::from_secs_f64(connections as f64 / target_qps));
+    let t0 = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let handles: Vec<_> = (0..connections)
+            // Stagger each connection's starting shape so the fleet
+            // doesn't hammer one home shard in lockstep.
+            .map(|c| scope.spawn(move || load_client(addr, sources, c, per_conn, window, pace)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load client"))
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let (server_p50_ms, server_p99_ms) = probe_server_percentiles(&addr);
+
+    shutdown.store(true, Ordering::SeqCst);
+    let (service, report) = daemon.join().expect("daemon thread").expect("daemon io");
+    let _ = service.shutdown();
+    let requests = connections * per_conn;
+    assert_eq!(report.failures, 0, "load runs clean");
+
+    LoadRow {
+        label,
+        connections,
+        shards,
+        routing,
+        target_qps,
+        requests,
+        qps: requests as f64 / elapsed,
+        client_p50_ms: percentile_ms(&mut latencies, 0.50),
+        client_p99_ms: percentile_ms(&mut latencies, 0.99),
+        server_p50_ms,
+        server_p99_ms,
+    }
+}
+
+/// The single-client serial baseline: one request in flight at a time
+/// through the service directly — the stdin daemon's client model —
+/// with the same injected service time as the socket rows.
+fn run_serial_baseline(
+    sources: &[String],
+    shards: usize,
+    requests: usize,
+    service_ms: u64,
+    options: &CompileOptions,
+) -> LoadRow {
+    let config = ServeConfig {
+        shards,
+        options: options.clone(),
+        faults: FaultPlan::parse(&format!("delay:{service_ms}")).expect("delay spec"),
+        ..ServeConfig::default()
+    };
+    let mut service = CompileService::start(config).expect("baseline start");
+    for (i, source) in sources.iter().enumerate() {
+        service.submit(CompileRequest {
+            id: i as u64,
+            name: None,
+            source: source.clone(),
+            emit: Emit::Cpp,
+            deadline: None,
+        });
+    }
+    let _ = service.drain();
+    let mut latencies = Vec::with_capacity(requests);
+    let t0 = Instant::now();
+    for i in 0..requests {
+        let t = Instant::now();
+        service.submit(CompileRequest {
+            id: i as u64,
+            name: None,
+            source: sources[i % sources.len()].clone(),
+            emit: Emit::Cpp,
+            deadline: None,
+        });
+        let response = service.recv().expect("baseline response");
+        assert!(response.result.is_ok());
+        latencies.push(t.elapsed());
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let _ = service.shutdown();
+    LoadRow {
+        label: "serial_baseline",
+        connections: 1,
+        shards,
+        routing: RoutingMode::default(),
+        target_qps: 0.0,
+        requests,
+        qps: requests as f64 / elapsed,
+        client_p50_ms: percentile_ms(&mut latencies, 0.50),
+        client_p99_ms: percentile_ms(&mut latencies, 0.99),
+        server_p50_ms: 0.0,
+        server_p99_ms: 0.0,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let load = args.iter().any(|a| a == "--load");
     let out_path = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -263,6 +541,167 @@ fn main() {
     let burst = if smoke { 40 } else { 120 };
     let overload = run_overload_burst(&options, burst);
 
+    // Socket-load sweep (--load): a closed-loop generator against the
+    // multiplexed socket transport, sweeping connections x shards with a
+    // fixed injected per-compile service time (2 ms sleep) so the rows
+    // measure transport concurrency and routing policy, deterministic
+    // across host core counts. The last two rows hammer ONE hot shape
+    // (maximal skew, deep per-connection pipelines): under plain
+    // hash%N every request queues on the shape's home shard, while
+    // power-of-two-choices spills to the alternate once the home queue
+    // is markedly deeper — the measured server-side p99 gap is the
+    // routing win.
+    let load_rows: Vec<LoadRow> = if load {
+        const SERVICE_MS: u64 = 2;
+        let load_options = CompileOptions {
+            training_instances: 60,
+            ..CompileOptions::default()
+        };
+        let per_conn = if smoke { 40 } else { 150 };
+        let skew_rounds = if smoke { 4 } else { 10 };
+        let skew_window = 16;
+        let hot: Vec<String> = vec![sources[0].clone()];
+        let two = RoutingMode::default();
+        let mut rows = vec![
+            run_serial_baseline(&sources, 4, per_conn, SERVICE_MS, &load_options),
+            run_load_row(
+                "socket_c1_s4",
+                &sources,
+                1,
+                4,
+                two,
+                0.0,
+                per_conn,
+                1,
+                SERVICE_MS,
+                &load_options,
+            ),
+            run_load_row(
+                "socket_c2_s4",
+                &sources,
+                2,
+                4,
+                two,
+                0.0,
+                per_conn,
+                1,
+                SERVICE_MS,
+                &load_options,
+            ),
+            run_load_row(
+                "socket_c4_s4",
+                &sources,
+                4,
+                4,
+                two,
+                0.0,
+                per_conn,
+                1,
+                SERVICE_MS,
+                &load_options,
+            ),
+            run_load_row(
+                "socket_c4_s4_pipe8",
+                &sources,
+                4,
+                4,
+                two,
+                0.0,
+                per_conn,
+                8,
+                SERVICE_MS,
+                &load_options,
+            ),
+            run_load_row(
+                "socket_c4_s2",
+                &sources,
+                4,
+                2,
+                two,
+                0.0,
+                per_conn,
+                1,
+                SERVICE_MS,
+                &load_options,
+            ),
+            run_load_row(
+                "socket_c4_s4_paced",
+                &sources,
+                4,
+                4,
+                two,
+                400.0,
+                per_conn,
+                1,
+                SERVICE_MS,
+                &load_options,
+            ),
+        ];
+        rows.push(run_load_row(
+            "skew_two_choices",
+            &hot,
+            4,
+            2,
+            RoutingMode::TwoChoices,
+            0.0,
+            skew_window * skew_rounds,
+            skew_window,
+            SERVICE_MS,
+            &load_options,
+        ));
+        rows.push(run_load_row(
+            "skew_hash_mod",
+            &hot,
+            4,
+            2,
+            RoutingMode::HashMod,
+            0.0,
+            skew_window * skew_rounds,
+            skew_window,
+            SERVICE_MS,
+            &load_options,
+        ));
+        for r in &rows {
+            println!(
+                "load {:>20}: {} conn x {} shard(s) [{:?}]{}  {:7.0} QPS   \
+                 client p50 {:7.2} ms  p99 {:7.2} ms   server p50 {:7.2} ms  p99 {:7.2} ms",
+                r.label,
+                r.connections,
+                r.shards,
+                r.routing,
+                if r.target_qps > 0.0 {
+                    format!(" @{:.0} QPS offered", r.target_qps)
+                } else {
+                    String::new()
+                },
+                r.qps,
+                r.client_p50_ms,
+                r.client_p99_ms,
+                r.server_p50_ms,
+                r.server_p99_ms,
+            );
+        }
+        let baseline_qps = rows[0].qps;
+        let multi_qps = rows
+            .iter()
+            .find(|r| r.label == "socket_c4_s4_pipe8")
+            .unwrap()
+            .qps;
+        let tc = rows.iter().find(|r| r.label == "skew_two_choices").unwrap();
+        let hm = rows.iter().find(|r| r.label == "skew_hash_mod").unwrap();
+        println!(
+            "load summary: multi-conn speedup vs serial {:.2}x (>= 2x target)   \
+             skew p99 two-choices {:.1} ms vs hash-mod {:.1} ms ({:.2}x better)",
+            multi_qps / baseline_qps,
+            tc.server_p99_ms,
+            hm.server_p99_ms,
+            hm.server_p99_ms / tc.server_p99_ms,
+        );
+        rows
+    } else {
+        Vec::new()
+    };
+
     let per_req = |s: f64| s * 1e3 / distinct as f64;
     let (cold_ms, warm_ms, restored_ms) = (per_req(cold_s), per_req(warm_s), per_req(restored_s));
     let warm_notrace_ms = per_req(warm_off_s);
@@ -334,6 +773,73 @@ fn main() {
         "  \"overload_completion_p99_ms\": {:.3},",
         overload.p99_ms
     );
+    if !load_rows.is_empty() {
+        let baseline_qps = load_rows[0].qps;
+        let multi_qps = load_rows
+            .iter()
+            .find(|r| r.label == "socket_c4_s4_pipe8")
+            .unwrap()
+            .qps;
+        let tc = load_rows
+            .iter()
+            .find(|r| r.label == "skew_two_choices")
+            .unwrap();
+        let hm = load_rows
+            .iter()
+            .find(|r| r.label == "skew_hash_mod")
+            .unwrap();
+        let _ = writeln!(json, "  \"load\": {{");
+        let _ = writeln!(json, "    \"transport\": \"unix_socket_jsonl\",");
+        let _ = writeln!(json, "    \"service_ms_injected\": 2,");
+        let _ = writeln!(
+            json,
+            "    \"multi_conn_speedup_vs_serial\": {:.2},",
+            multi_qps / baseline_qps
+        );
+        let _ = writeln!(
+            json,
+            "    \"skew_two_choices_p99_ms\": {:.3},",
+            tc.server_p99_ms
+        );
+        let _ = writeln!(
+            json,
+            "    \"skew_hash_mod_p99_ms\": {:.3},",
+            hm.server_p99_ms
+        );
+        let _ = writeln!(
+            json,
+            "    \"skew_p99_improvement\": {:.2},",
+            hm.server_p99_ms / tc.server_p99_ms
+        );
+        let _ = writeln!(json, "    \"rows\": [");
+        for (i, r) in load_rows.iter().enumerate() {
+            let routing = match r.routing {
+                RoutingMode::TwoChoices => "two-choices",
+                RoutingMode::HashMod => "hash-mod",
+            };
+            let _ = writeln!(
+                json,
+                "      {{\"label\": \"{}\", \"connections\": {}, \"shards\": {}, \
+                 \"routing\": \"{}\", \"target_qps\": {:.0}, \"requests\": {}, \
+                 \"qps\": {:.1}, \"client_p50_ms\": {:.3}, \"client_p99_ms\": {:.3}, \
+                 \"server_p50_ms\": {:.3}, \"server_p99_ms\": {:.3}}}{}",
+                r.label,
+                r.connections,
+                r.shards,
+                routing,
+                r.target_qps,
+                r.requests,
+                r.qps,
+                r.client_p50_ms,
+                r.client_p99_ms,
+                r.server_p50_ms,
+                r.server_p99_ms,
+                if i + 1 < load_rows.len() { "," } else { "" },
+            );
+        }
+        let _ = writeln!(json, "    ]");
+        let _ = writeln!(json, "  }},");
+    }
     let _ = writeln!(
         json,
         "  \"note\": \"restored replay verified cache-hit and byte-identical to cold; \

@@ -416,6 +416,63 @@ impl SessionSnapshot {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
         SessionSnapshot::decode(&std::fs::read_to_string(path)?)
     }
+
+    /// Path of rotation `generation` of `path`: generation 0 is `path`
+    /// itself (the newest), older generations are `<path>.1`,
+    /// `<path>.2`, ... as produced by [`SessionSnapshot::save_rotated`].
+    #[must_use]
+    pub fn rotation_path(path: impl AsRef<Path>, generation: usize) -> std::path::PathBuf {
+        let path = path.as_ref();
+        if generation == 0 {
+            return path.to_path_buf();
+        }
+        let mut name = path.as_os_str().to_owned();
+        name.push(format!(".{generation}"));
+        std::path::PathBuf::from(name)
+    }
+
+    /// [`SessionSnapshot::save`] with rotation for long-lived daemons:
+    /// keep the last `keep` snapshot generations on disk. Existing
+    /// generations are shifted by an atomic rename chain oldest-first
+    /// (`<path>.{K-2}` → `<path>.{K-1}`, ..., `<path>` → `<path>.1` —
+    /// each rename either lands whole or leaves the old file) before the
+    /// new snapshot is written atomically to `path`. `keep <= 1`
+    /// degrades to a plain [`SessionSnapshot::save`].
+    ///
+    /// A crash between the shift and the final write leaves `path`
+    /// missing but `<path>.1` intact — readers that scan generations
+    /// newest-first (the serving layer's startup) still warm from the
+    /// previous state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the renames or the final save.
+    pub fn save_rotated(&self, path: impl AsRef<Path>, keep: usize) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        SessionSnapshot::rotate_generations(path, keep)?;
+        self.save(path)
+    }
+
+    /// The rename-chain half of [`SessionSnapshot::save_rotated`]: shift
+    /// the existing generations of `path` one slot older, leaving `path`
+    /// itself free for a new write. Exposed so crash-simulation paths
+    /// (the serving layer's torn-write faults) can rotate exactly like a
+    /// real save before dying mid-write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the renames.
+    pub fn rotate_generations(path: impl AsRef<Path>, keep: usize) -> Result<(), PersistError> {
+        let path = path.as_ref();
+        let keep = keep.max(1);
+        for generation in (0..keep - 1).rev() {
+            let from = SessionSnapshot::rotation_path(path, generation);
+            if from.exists() {
+                std::fs::rename(&from, SessionSnapshot::rotation_path(path, generation + 1))?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Serialize a parenthesization: leaves are operand indices, nodes

@@ -6,7 +6,7 @@
 //! gmcc --serve - --jobs 4 --persist cache.snap       # JSONL daemon
 //! ```
 
-use gmc::driver::{parse_args, run, run_serve, usage};
+use gmc::driver::{parse_args, run, run_connect, run_serve, usage};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,7 +22,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if config.serve.is_some() {
+    if config.connect.is_some() {
+        // Client mode: pipeline request lines to a listening daemon and
+        // print its response lines; in-band failures don't change the
+        // exit code (they're the daemon's answers, faithfully relayed).
+        match run_connect(&config) {
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("gmcc: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if config.serve.is_some() || config.listen.is_some() {
         // Request-level failures are reported in-band as `"ok":false`
         // lines; only transport/snapshot problems are fatal.
         match run_serve(&config) {

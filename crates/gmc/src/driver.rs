@@ -71,6 +71,21 @@ pub struct DriverConfig {
     /// stdin) and stream JSONL responses to stdout instead of compiling
     /// `inputs`.
     pub serve: Option<String>,
+    /// Socket serve mode: accept JSONL connections on this address
+    /// (`unix:<path>`, `tcp:<host:port>`, or a bare path/socket
+    /// address) instead of reading stdin. Implies serve mode.
+    pub listen: Option<String>,
+    /// Client mode: connect to a listening daemon at this address,
+    /// pipeline the request lines from the input file (or stdin), and
+    /// print one response line each to stdout.
+    pub connect: Option<String>,
+    /// Shard-selection policy (serve mode): power-of-two-choices over
+    /// live queue depths (default) or plain `hash % shards`.
+    pub routing: gmc_serve::RoutingMode,
+    /// Snapshot generations kept by `--persist` rotation (serve mode):
+    /// each save shifts `path` → `path.1` → … before writing, and
+    /// startup warms from the newest decodable generation.
+    pub persist_keep: usize,
     /// Per-shard compiled-chain cache capacity (serve mode).
     pub cache_cap: usize,
     /// Warm-restart snapshot file (serve mode): loaded on start if it
@@ -144,6 +159,10 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
         jobs: 1,
         report: false,
         serve: None,
+        listen: None,
+        connect: None,
+        routing: gmc_serve::RoutingMode::default(),
+        persist_keep: 1,
         cache_cap: gmc_core::DEFAULT_CHAIN_CACHE_CAPACITY,
         persist: None,
         deadline_ms: None,
@@ -165,6 +184,44 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
                         })?
                         .clone(),
                 );
+            }
+            "--listen" => {
+                config.listen = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            DriverError::Usage(
+                                "--listen needs an address (unix:<path> or tcp:<host:port>)".into(),
+                            )
+                        })?
+                        .clone(),
+                );
+            }
+            "--connect" => {
+                config.connect = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            DriverError::Usage(
+                                "--connect needs an address (unix:<path> or tcp:<host:port>)"
+                                    .into(),
+                            )
+                        })?
+                        .clone(),
+                );
+            }
+            "--routing" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| DriverError::Usage("--routing needs a value".into()))?;
+                config.routing = gmc_serve::RoutingMode::parse(v).map_err(DriverError::Usage)?;
+            }
+            "--persist-keep" => {
+                config.persist_keep = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k: &usize| k >= 1)
+                    .ok_or_else(|| {
+                        DriverError::Usage("--persist-keep needs a positive integer".into())
+                    })?;
             }
             "--cache-cap" => {
                 config.cache_cap = it
@@ -273,7 +330,21 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
             path => config.inputs.push(PathBuf::from(path)),
         }
     }
-    if config.inputs.is_empty() && config.serve.is_none() {
+    if config.serve.is_some() && config.listen.is_some() {
+        return Err(DriverError::Usage(
+            "--serve and --listen are mutually exclusive (one daemon, one transport)".into(),
+        ));
+    }
+    if config.connect.is_some() && (config.serve.is_some() || config.listen.is_some()) {
+        return Err(DriverError::Usage(
+            "--connect is a client mode; it cannot be combined with --serve/--listen".into(),
+        ));
+    }
+    if config.inputs.is_empty()
+        && config.serve.is_none()
+        && config.listen.is_none()
+        && config.connect.is_none()
+    {
         return Err(DriverError::Usage("missing input .gmc file".into()));
     }
     Ok(config)
@@ -695,17 +766,6 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
     use gmc_serve::{jsonl, CompileRequest, CompileService, Emit, FailureKind, ServeConfig};
     use std::io::{BufRead, Write};
 
-    let source = config
-        .serve
-        .as_deref()
-        .expect("serve mode requires --serve");
-    let mut reader: Box<dyn BufRead + Send> = if source == "-" {
-        Box::new(std::io::BufReader::new(std::io::stdin()))
-    } else {
-        let path = PathBuf::from(source);
-        let file = std::fs::File::open(&path).map_err(|e| DriverError::Io(path, e))?;
-        Box::new(std::io::BufReader::new(file))
-    };
     let default_emit = match config.emit {
         EmitKind::Cpp => Emit::Cpp,
         EmitKind::Rust => Emit::Rust,
@@ -725,13 +785,30 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
         cache_capacity: config.cache_cap,
         frag_cache_capacity: gmc_core::DEFAULT_FRAG_CACHE_CAPACITY,
         snapshot_path: config.persist.clone(),
+        snapshot_keep: config.persist_keep,
         queue_cap: config.queue_cap,
         default_deadline: config.deadline_ms.map(std::time::Duration::from_millis),
         restart: gmc_serve::RestartPolicy::default(),
+        routing: config.routing,
         faults: faults.clone(),
         slow_request: config.slow_ms.map(std::time::Duration::from_millis),
     })
     .map_err(|e| DriverError::Compile(e.to_string()))?;
+
+    // `--listen` fronts the same service with the multiplexed socket
+    // transport instead of the stdin/file line loop.
+    if config.listen.is_some() {
+        return run_serve_socket(config, service, default_emit, &faults);
+    }
+
+    let source = config.serve.as_deref().unwrap_or("-");
+    let mut reader: Box<dyn BufRead + Send> = if source == "-" {
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    } else {
+        let path = PathBuf::from(source);
+        let file = std::fs::File::open(&path).map_err(|e| DriverError::Io(path, e))?;
+        Box::new(std::io::BufReader::new(file))
+    };
 
     // Input is read on its own thread so the serve loop can keep
     // streaming responses and polling the shutdown flag while the
@@ -947,6 +1024,166 @@ pub fn run_serve(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
     Ok((requests, failures))
 }
 
+/// Socket serve mode (`gmcc --serve --listen <addr>`): front the shared
+/// [`gmc_serve::CompileService`] with the multiplexed socket transport
+/// instead of the stdin/file line loop — many concurrent JSONL
+/// connections, pipelined request ids, out-of-order responses matched
+/// by id on the submitting connection. Admission control, deadlines,
+/// routing, and persistence flags mean exactly what they mean on the
+/// stdin daemon; `{"op":"health"}`/`{"op":"metrics"}` responses
+/// additionally carry a `"transport"` object and the Prometheus dump
+/// gains connection gauges. SIGTERM/SIGINT runs the same graceful
+/// drain: stop accepting, answer everything in flight on its
+/// connection, write the final snapshot, exit.
+fn run_serve_socket(
+    config: &DriverConfig,
+    service: gmc_serve::CompileService,
+    default_emit: gmc_serve::Emit,
+    faults: &gmc_serve::fault::FaultPlan,
+) -> Result<(u64, u64), DriverError> {
+    use gmc_serve::transport::{self, ListenAddr, SocketListener, TransportOptions};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    let addr = ListenAddr::parse(
+        config
+            .listen
+            .as_deref()
+            .expect("socket mode requires --listen"),
+    );
+    let addr_path = PathBuf::from(addr.to_string());
+    let listener =
+        SocketListener::bind(&addr).map_err(|e| DriverError::Io(addr_path.clone(), e))?;
+    eprintln!("gmcc --serve: listening on {}", listener.local_addr());
+    let options = TransportOptions {
+        default_emit,
+        enable_faults: config.enable_faults,
+        faults: faults.clone(),
+        max_line_bytes: config.max_line_bytes,
+        metrics_file: config.metrics_file.clone(),
+        attach_runtime_header: true,
+    };
+    // The signal handler stores into the process-wide flag; the
+    // transport polls an `Arc`, so a bridge thread forwards the edge
+    // (and exits once either side is set).
+    let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        let flag = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                if SHUTDOWN_SIGNAL.load(Ordering::SeqCst) {
+                    eprintln!("gmcc --serve: shutdown signal received; draining connections");
+                    flag.store(true, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        });
+    }
+    let (service, report) = transport::serve(listener, service, options, Arc::clone(&shutdown))
+        .map_err(|e| DriverError::Io(addr_path, e))?;
+    shutdown.store(true, Ordering::SeqCst);
+    if let Some(path) = &config.persist {
+        service
+            .save_snapshot(path)
+            .map_err(|e| DriverError::Compile(e.to_string()))?;
+    }
+    // Final Prometheus dump, transport counters included.
+    if let Some(path) = &config.metrics_file {
+        let mut text = service.metrics().to_prometheus();
+        report.snapshot.write_prometheus(&mut text);
+        std::fs::write(path, text).map_err(|e| DriverError::Io(path.clone(), e))?;
+    }
+    let stats = service.shutdown();
+    eprintln!(
+        "gmcc --serve: {} request(s) over {} connection(s), {} failed, {} shard(s), \
+         {} cache hit(s), {} restored from snapshot, {} panic(s) caught, {} restart(s)",
+        report.requests,
+        report.accepted,
+        report.failures,
+        stats.shards.len(),
+        stats.cache_hits(),
+        stats.restored(),
+        stats.panics(),
+        stats.restarts(),
+    );
+    Ok((report.requests, report.failures))
+}
+
+/// Client mode (`gmcc --connect <addr> [requests.jsonl|-]`): connect to
+/// a listening daemon, pipeline every request line from the input file
+/// (or stdin) without waiting for responses, half-close the socket, and
+/// print each response line to stdout as it arrives (completion order —
+/// match them to requests by `id`). Returns `(responses, failures)`.
+///
+/// # Errors
+///
+/// Returns [`DriverError`] for connect/transport failures; request
+/// failures come back in-band as `"ok":false` lines.
+pub fn run_connect(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
+    use gmc_serve::transport::{ListenAddr, SocketStream};
+    use std::io::{BufRead, BufReader, Write};
+
+    let addr = ListenAddr::parse(
+        config
+            .connect
+            .as_deref()
+            .expect("client mode requires --connect"),
+    );
+    let addr_path = PathBuf::from(addr.to_string());
+    let stream = SocketStream::connect(&addr).map_err(|e| DriverError::Io(addr_path.clone(), e))?;
+    let mut write_half = stream
+        .try_clone()
+        .map_err(|e| DriverError::Io(addr_path.clone(), e))?;
+    // Responses print from their own thread so a deep pipeline can't
+    // deadlock on a full socket buffer.
+    let printer = std::thread::spawn(move || -> std::io::Result<(u64, u64)> {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let (mut responses, mut failures) = (0u64, 0u64);
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            responses += 1;
+            if line.contains("\"ok\":false") {
+                failures += 1;
+            }
+            out.write_all(line.as_bytes())?;
+        }
+        out.flush()?;
+        Ok((responses, failures))
+    });
+    let input: Box<dyn BufRead> = match config.inputs.first() {
+        Some(path) if path != Path::new("-") => {
+            let file = std::fs::File::open(path).map_err(|e| DriverError::Io(path.clone(), e))?;
+            Box::new(BufReader::new(file))
+        }
+        _ => Box::new(BufReader::new(std::io::stdin())),
+    };
+    for line in input.lines() {
+        let line = line.map_err(|e| DriverError::Io(PathBuf::from("<requests>"), e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        write_half
+            .write_all(line.as_bytes())
+            .and_then(|()| write_half.write_all(b"\n"))
+            .map_err(|e| DriverError::Io(addr_path.clone(), e))?;
+    }
+    write_half
+        .flush()
+        .and_then(|()| write_half.shutdown_write())
+        .map_err(|e| DriverError::Io(addr_path.clone(), e))?;
+    printer
+        .join()
+        .expect("printer thread panicked")
+        .map_err(|e| DriverError::Io(addr_path, e))
+}
+
 /// Usage text for `gmcc --help`.
 #[must_use]
 pub fn usage() -> &'static str {
@@ -956,9 +1193,12 @@ USAGE:
     gmcc <input.gmc>... [--out DIR] [--name IDENT] [--emit cpp|rust|both]
          [--expand K] [--train N] [--jobs N] [--report] [--timings]
     gmcc --serve <requests.jsonl|-> [--jobs SHARDS] [--cache-cap N]
-         [--persist FILE] [--deadline-ms MS] [--queue-cap N]
-         [--max-line-bytes N] [--enable-faults] [--metrics-file FILE]
-         [--slow-ms MS] [--emit cpp|rust|both] [--expand K] [--train N]
+         [--persist FILE] [--persist-keep K] [--deadline-ms MS]
+         [--queue-cap N] [--max-line-bytes N] [--enable-faults]
+         [--metrics-file FILE] [--slow-ms MS] [--emit cpp|rust|both]
+         [--expand K] [--train N] [--routing two-choices|hash-mod]
+    gmcc --listen <unix:PATH|tcp:HOST:PORT> [same flags as --serve]
+    gmcc --connect <unix:PATH|tcp:HOST:PORT> [requests.jsonl|-]
 
 Multiple inputs compile as one batch ( --jobs N splits it across N
 worker threads; artifacts are identical for every N). A failing input
@@ -973,10 +1213,15 @@ With --serve, gmcc becomes a sharded compile service: each line of the
 request source is a JSON object like
     {\"id\": 1, \"name\": \"x\", \"emit\": \"both\", \"source\": \"...\"}
 and each response is streamed back as one JSON line. --jobs sets the
-shard count (requests route by shape hash, so repeat shapes hit a warm
-shard); --persist FILE snapshots the compiled-chain caches on shutdown
-and restores them on the next start (a corrupt snapshot is quarantined
-to FILE.bad and the daemon starts cold). Shards are supervised: a
+shard count. Requests route by power-of-two-choices over live queue
+depths: each shape has a stable cache-warm home shard and routes there
+unless its queue is markedly deeper than the shape's alternate
+(--routing hash-mod pins the plain modulo policy instead). --persist
+FILE snapshots the compiled-chain caches on shutdown and restores them
+on the next start; --persist-keep K rotates the last K snapshot
+generations (FILE, FILE.1, ...) and startup warms from the newest one
+that decodes, quarantining corrupt generations to FILE.bad. Shards are
+supervised: a
 panicking shard restarts warm from the latest snapshot, with a circuit
 breaker after repeated failures. --queue-cap bounds each shard's queue
 (overflow is shed with an in-band `overloaded` error), --deadline-ms
@@ -990,6 +1235,18 @@ counters, {\"op\": \"metrics\"} full per-shard latency histograms and
 counters; {\"op\": \"fault\", \"spec\": \"panic:0:3\"} arms fault
 injection when the daemon runs with --enable-faults (the GMC_FAULT
 environment variable arms the same faults at startup).
+
+With --listen, the same daemon serves a Unix-domain or TCP socket
+instead of stdin: many clients connect concurrently, each may pipeline
+requests without waiting, and responses come back on the submitting
+connection in completion order, matched by id (ids are per-connection;
+requests without one get their 1-based position in that connection's
+stream). {\"op\": \"health\"} and {\"op\": \"metrics\"} responses
+additionally carry a `transport` object (open/accepted/closed
+connections, per-connection in-flight), and the Prometheus dump gains
+a gmc_connections gauge. gmcc --connect ADDR [FILE|-] is the matching
+client: it pipelines FILE's request lines over one connection and
+prints each response line to stdout.
 
 Observability: --timings prints a per-stage timing breakdown (parse,
 enumerate, dp, select, expand, emit) for each input after its variant

@@ -414,6 +414,21 @@ pub fn write_prom_counter(out: &mut String, name: &str, labels: &str, value: u64
     }
 }
 
+/// Append one Prometheus gauge line — same shape as
+/// [`write_prom_counter`] but typed `gauge`, for values that go down as
+/// well as up (e.g. the serving layer's open-connection count).
+pub fn write_prom_gauge(out: &mut String, name: &str, labels: &str, value: u64, with_type: bool) {
+    use std::fmt::Write as _;
+    if with_type {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+    }
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Pipeline stages, stage profile, recorder.
 // ---------------------------------------------------------------------------

@@ -371,6 +371,60 @@ pub fn ack_line(id: u64, op: &str) -> String {
     format!("{{\"id\":{id},\"ok\":true,\"op\":\"{}\"}}", escape(op))
 }
 
+/// Render a [`TransportSnapshot`](crate::transport::TransportSnapshot)
+/// as a JSON object: open/accepted/closed connection counters plus one
+/// `{"conn":N,"in_flight":N}` entry per open connection in accept
+/// order.
+#[must_use]
+pub fn transport_json(transport: &crate::transport::TransportSnapshot) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"open\":{},\"accepted\":{},\"closed\":{},\"connections\":[",
+        transport.open, transport.accepted, transport.closed,
+    );
+    for (i, (conn, in_flight)) in transport.connections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"conn\":{conn},\"in_flight\":{in_flight}}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Splice an extra `"transport"` field into a rendered response line
+/// (the socket daemon's health/metrics responses carry the transport
+/// counters; the stdin daemon's lines are unchanged).
+fn with_transport(mut line: String, transport: &crate::transport::TransportSnapshot) -> String {
+    debug_assert!(line.ends_with('}'));
+    line.pop();
+    let _ = write!(line, ",\"transport\":{}}}", transport_json(transport));
+    line
+}
+
+/// [`health_line`] plus a `"transport"` object of connection counters —
+/// what the socket daemon answers for `{"op":"health"}`.
+#[must_use]
+pub fn health_line_with_transport(
+    id: u64,
+    shards: &[crate::ShardHealth],
+    transport: &crate::transport::TransportSnapshot,
+) -> String {
+    with_transport(health_line(id, shards), transport)
+}
+
+/// [`metrics_line`] plus a `"transport"` object of connection counters —
+/// what the socket daemon answers for `{"op":"metrics"}`.
+#[must_use]
+pub fn metrics_line_with_transport(
+    id: u64,
+    metrics: &crate::ServiceMetrics,
+    transport: &crate::transport::TransportSnapshot,
+) -> String {
+    with_transport(metrics_line(id, metrics), transport)
+}
+
 /// JSON-escape a string (quotes, backslashes, and control characters).
 #[must_use]
 pub fn escape(s: &str) -> String {
@@ -546,6 +600,43 @@ impl Parser<'_> {
 mod tests {
     use super::*;
     use crate::Artifacts;
+
+    #[test]
+    fn transport_object_renders_counters_and_connections() {
+        let snapshot = crate::transport::TransportSnapshot {
+            open: 2,
+            accepted: 5,
+            closed: 3,
+            connections: vec![(4, 1), (5, 0)],
+        };
+        assert_eq!(
+            transport_json(&snapshot),
+            r#"{"open":2,"accepted":5,"closed":3,"connections":[{"conn":4,"in_flight":1},{"conn":5,"in_flight":0}]}"#
+        );
+        let empty = crate::transport::TransportSnapshot::default();
+        assert_eq!(
+            transport_json(&empty),
+            r#"{"open":0,"accepted":0,"closed":0,"connections":[]}"#
+        );
+    }
+
+    #[test]
+    fn transport_field_is_spliced_into_health_and_metrics_lines() {
+        let snapshot = crate::transport::TransportSnapshot {
+            open: 1,
+            accepted: 1,
+            closed: 0,
+            connections: vec![(1, 0)],
+        };
+        let health = health_line_with_transport(9, &[], &snapshot);
+        assert_eq!(
+            health,
+            r#"{"id":9,"ok":true,"op":"health","shards":[],"live":0,"transport":{"open":1,"accepted":1,"closed":0,"connections":[{"conn":1,"in_flight":0}]}}"#
+        );
+        assert!(health.ends_with("}}"));
+        let plain = health_line(9, &[]);
+        assert!(health.starts_with(&plain[..plain.len() - 1]));
+    }
 
     #[test]
     fn parses_a_full_request() {

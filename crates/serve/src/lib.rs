@@ -11,15 +11,23 @@
 //! * **Shard pool.** [`CompileService::start`] spawns `shards` worker
 //!   threads, each owning one `CompileSession` (sessions are
 //!   single-threaded by design — one per worker, never shared).
-//! * **Shape-hash routing with fallover.** [`CompileService::submit`]
+//! * **Two-choices routing with fallover.** [`CompileService::submit`]
 //!   parses the request in the submitting thread and routes it by
-//!   [`route`] — a stable hash of the chain *shape* modulo the shard
-//!   count — so repeated shapes always land on the shard whose bounded
-//!   LRU cache (and warm DP solver) already holds them. Routing is a
-//!   performance hint only: every shard can compile every shape, and
-//!   compilation is deterministic, so artifacts are identical wherever
-//!   a request lands — which is what makes falling over past a down
-//!   shard safe.
+//!   power-of-two-choices over live queue depths
+//!   ([`pick_two_choices`]): [`route`] — a stable hash of the chain
+//!   *shape* — names the cache-warm home shard, [`route_alt`] (a
+//!   salted rehash, always distinct from home) names the alternative,
+//!   and the request leaves home only when home's queue is more than
+//!   [`ROUTE_AWAY_MARGIN`] entries deeper — sticky enough to keep the
+//!   warm cache earning its keep, responsive enough to spill a backed-
+//!   up shard's overflow. Ties break deterministically toward home;
+//!   down shards are skipped (falling over to the least-loaded live
+//!   shard when both candidates are down); [`RoutingMode::HashMod`]
+//!   pins the old pure hash%N policy for A/B comparison (`gmcc
+//!   --routing hash`). Routing is a performance hint only: every shard
+//!   can compile every shape, and compilation is deterministic, so
+//!   artifacts are identical wherever a request lands — which is what
+//!   makes both route-away and fallover safe.
 //! * **Supervision.** Each worker wraps every compile in
 //!   `catch_unwind`: a panic costs its request (answered with a typed
 //!   `shard_panic` failure) but not the shard — the supervisor discards
@@ -43,9 +51,13 @@
 //!   the per-shard caches into one [`gmc_core::SessionSnapshot`] —
 //!   shape descriptors plus selected parenthesizations, *not* emitted
 //!   code (see `gmc_core::persist` for the `gmc-session-snapshot v1`
-//!   format). Saves are atomic (temp file + rename); a corrupt snapshot
-//!   found at startup is quarantined to `<path>.bad` and the service
-//!   starts cold instead of failing. On start, each shard restores
+//!   format). Saves are atomic (temp file + rename) and **rotated**:
+//!   [`ServeConfig::snapshot_keep`] keeps the last K generations
+//!   (`snap`, `snap.1`, …, shifted by a rename chain on every save),
+//!   and startup restores the newest *decodable* generation — a
+//!   corrupt generation is quarantined to `<path>.bad` and the next
+//!   older one warms the service, so a torn final write costs one
+//!   save's worth of history, not all of it. On start, each shard restores
 //!   exactly the shapes that route to it under the *current* shard
 //!   count, so snapshots survive resharding. Restored chains are
 //!   bit-identical to freshly compiled ones (pinned by tests below).
@@ -91,9 +103,19 @@
 //! Responses stream back over a channel as shards finish, tagged with
 //! the caller's request id (completion order is not submission order).
 //! The `gmcc --serve` daemon fronts this API with JSONL over
-//! stdin/stdout ([`jsonl`]); `bench_serve` records the cold vs. warm
-//! vs. restored-from-disk throughput trajectory plus shed/deadline
-//! behavior under an overload burst in `BENCH_serve.json`.
+//! stdin/stdout ([`jsonl`]); the [`transport`] module fronts the same
+//! service over unix/TCP sockets (`gmcc --listen`) with one
+//! reader/writer thread pair per connection and a single dispatcher
+//! that remaps per-connection request ids onto private tokens, so many
+//! clients pipeline concurrently and each response returns to its
+//! submitting connection (ids are scoped per connection; `gmcc
+//! --connect` is the matching client). `bench_serve` records the cold
+//! vs. warm vs. restored-from-disk throughput trajectory plus
+//! shed/deadline behavior under an overload burst in
+//! `BENCH_serve.json`, and `bench_serve --load` drives the socket
+//! stack closed-loop: a connections × shards QPS/latency sweep plus a
+//! skewed workload where two-choices routing must beat hash%N tail
+//! latency.
 
 #![warn(missing_docs)]
 
@@ -101,14 +123,18 @@ pub mod fault;
 pub mod jsonl;
 mod service;
 pub mod supervisor;
+pub mod transport;
 
 pub use gmc_codegen::emit_runtime_header;
 pub use service::{
-    route, Artifacts, CompileRequest, CompileResponse, CompileService, Emit, Failure, FailureKind,
-    ServeConfig, ServeError, ServiceMetrics, ServiceStats, ShardMetrics, ShardStatus,
-    DEFAULT_QUEUE_CAP,
+    pick_two_choices, route, route_alt, Artifacts, CompileRequest, CompileResponse, CompileService,
+    Emit, Failure, FailureKind, RoutingMode, ServeConfig, ServeError, ServiceMetrics, ServiceStats,
+    ShardMetrics, ShardStatus, DEFAULT_QUEUE_CAP, ROUTE_AWAY_MARGIN,
 };
 pub use supervisor::{RestartPolicy, ShardHealth, ShardState, ShardStats};
+pub use transport::{
+    ListenAddr, SocketListener, SocketStream, TransportOptions, TransportReport, TransportSnapshot,
+};
 
 #[cfg(test)]
 mod tests {
@@ -378,6 +404,72 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_rotation_warms_from_next_newest_past_a_corrupt_generation() {
+        let dir = std::env::temp_dir().join("gmc_serve_rotation_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.txt");
+
+        let mut cfg = config(1);
+        cfg.snapshot_path = Some(path.clone());
+        cfg.snapshot_keep = 3;
+        let mut service = CompileService::start(cfg.clone()).unwrap();
+        // Three saves with keep=3: each shifts the generation chain, so
+        // the generations hold {A}, {A,B}, {A,B,C} oldest to newest.
+        for (i, src) in [SRC_A, SRC_B, SRC_C].iter().enumerate() {
+            service.submit(request(i as u64, src));
+            assert_eq!(service.drain().len(), 1);
+            service.save_snapshot(&path).unwrap();
+        }
+        let _ = service.shutdown();
+        let generation = |g: usize| gmc_core::SessionSnapshot::rotation_path(&path, g);
+        assert_eq!(gmc_core::SessionSnapshot::load(&path).unwrap().len(), 3);
+        assert_eq!(
+            gmc_core::SessionSnapshot::load(generation(1))
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            gmc_core::SessionSnapshot::load(generation(2))
+                .unwrap()
+                .len(),
+            1
+        );
+
+        // Corrupt the newest generation; startup must quarantine it to
+        // `<path>.bad` and warm from generation 1 instead of starting
+        // cold.
+        std::fs::write(&path, "gmc-session-snapshot v1\ngarbage").unwrap();
+        let mut warm = CompileService::start(cfg).unwrap();
+        for (i, src) in [SRC_A, SRC_B, SRC_C].iter().enumerate() {
+            warm.submit(request(i as u64, src));
+        }
+        let responses = by_id(warm.drain());
+        assert!(responses[0].cache_hit, "A restored from generation 1");
+        assert!(responses[1].cache_hit, "B restored from generation 1");
+        assert!(!responses[2].cache_hit, "C only existed in the bad newest");
+        assert!(!path.exists(), "corrupt generation moved aside");
+        assert!(dir.join("snapshot.txt.bad").exists(), "quarantined copy");
+        assert!(generation(1).exists(), "fallback generation untouched");
+
+        // Saving again rotates {A,B} one slot older and never grows the
+        // chain past `keep` generations.
+        warm.save_snapshot(&path).unwrap();
+        let stats = warm.shutdown();
+        assert_eq!(stats.restored(), 2);
+        assert_eq!(gmc_core::SessionSnapshot::load(&path).unwrap().len(), 3);
+        assert_eq!(
+            gmc_core::SessionSnapshot::load(generation(2))
+                .unwrap()
+                .len(),
+            2,
+            "previous fallback shifted one slot older"
+        );
+        assert!(!generation(3).exists(), "keep=3 bounds the chain");
+    }
+
+    #[test]
     fn routing_is_stable_and_in_range() {
         let program = gmc_ir::grammar::parse_program(SRC_A).unwrap();
         for shards in 1..=5 {
@@ -385,5 +477,77 @@ mod tests {
             assert!(r < shards);
             assert_eq!(r, route(program.shape(), shards), "stable");
         }
+    }
+
+    #[test]
+    fn alternate_route_is_stable_distinct_and_in_range() {
+        for src in [SRC_A, SRC_B, SRC_C] {
+            let program = gmc_ir::grammar::parse_program(src).unwrap();
+            let shape = program.shape();
+            assert_eq!(route_alt(shape, 1), 0, "single shard has no alternate");
+            for shards in 2..=5 {
+                let alt = route_alt(shape, shards);
+                assert!(alt < shards);
+                assert_eq!(alt, route_alt(shape, shards), "stable");
+                assert_ne!(alt, route(shape, shards), "candidates are distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn two_choices_picker_is_sticky_with_a_deterministic_tie_break() {
+        let live = [true, true, true];
+        // Equal depths: the cache-warm home shard wins (the tie-break).
+        assert_eq!(pick_two_choices(0, 2, &[5, 0, 5], &live), Some(0));
+        // Comparable depths (difference exactly the margin): still home.
+        let depths = [ROUTE_AWAY_MARGIN, 0, 0];
+        assert_eq!(pick_two_choices(0, 2, &depths, &live), Some(0));
+        // One past the margin: route away to the alternate.
+        let depths = [ROUTE_AWAY_MARGIN + 1, 0, 0];
+        assert_eq!(pick_two_choices(0, 2, &depths, &live), Some(2));
+        // The alternate being deeper never routes away from home.
+        assert_eq!(pick_two_choices(1, 2, &[0, 3, 100], &live), Some(1));
+    }
+
+    #[test]
+    fn two_choices_picker_avoids_down_shards() {
+        // Home down: the alternate takes the traffic (hash-spread, not a
+        // fixed successor).
+        assert_eq!(
+            pick_two_choices(0, 2, &[0, 0, 50], &[false, true, true]),
+            Some(2)
+        );
+        // Alternate down: home keeps it even when deep.
+        assert_eq!(
+            pick_two_choices(0, 2, &[50, 0, 0], &[true, true, false]),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn two_choices_picker_falls_over_to_all_live_shards() {
+        // All but one shard down: every (home, alt) pair lands on the
+        // lone live shard, wherever it is.
+        for survivor in 0..4 {
+            let mut live = [false; 4];
+            live[survivor] = true;
+            for home in 0..4 {
+                for alt in 0..4 {
+                    assert_eq!(
+                        pick_two_choices(home, alt, &[3, 1, 4, 1], &live),
+                        Some(survivor),
+                        "home {home} alt {alt} survivor {survivor}"
+                    );
+                }
+            }
+        }
+        // Both candidates down, several survivors: least-loaded wins,
+        // equal depths break deterministically walking from home.
+        let live = [false, true, false, true];
+        assert_eq!(pick_two_choices(0, 2, &[0, 9, 0, 4], &live), Some(3));
+        assert_eq!(pick_two_choices(0, 2, &[0, 6, 0, 6], &live), Some(1));
+        assert_eq!(pick_two_choices(2, 0, &[0, 6, 0, 6], &live), Some(3));
+        // Everything down: no shard to pick.
+        assert_eq!(pick_two_choices(0, 1, &[0, 0], &[false, false]), None);
     }
 }

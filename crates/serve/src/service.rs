@@ -28,6 +28,14 @@ use std::time::{Duration, Instant};
 /// submissions beyond it are shed with an in-band `overloaded` error.
 pub const DEFAULT_QUEUE_CAP: usize = 1024;
 
+/// Stickiness margin of the two-choices picker: the cache-warm home
+/// shard keeps a request unless its queue is deeper than the alternate
+/// candidate's by **more than** this many entries. Small enough that a
+/// hot shape class spills before its home queue melts down, large
+/// enough that ordinary burst jitter (a handful of in-flight requests)
+/// never sacrifices chain/fragment locality.
+pub const ROUTE_AWAY_MARGIN: usize = 8;
+
 /// Which back-end(s) a request wants emitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Emit {
@@ -201,6 +209,38 @@ impl CompileResponse {
     }
 }
 
+/// Which shard-selection policy the submitter runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Power-of-two-choices over live queue depths: candidates are the
+    /// stable home shard ([`route`]) and a second hash-derived shard
+    /// ([`route_alt`]); the home shard wins unless its queue exceeds the
+    /// alternate's by more than [`ROUTE_AWAY_MARGIN`]. Down shards
+    /// never receive traffic; with both candidates down the picker
+    /// falls back to the least-loaded live shard. The default.
+    #[default]
+    TwoChoices,
+    /// Legacy `hash % N` with a fixed forward probe past down shards.
+    /// Kept so `bench_serve --load` can measure the two-choices win on
+    /// skewed workloads instead of asserting it.
+    HashMod,
+}
+
+impl RoutingMode {
+    /// Parse a routing selector (`two-choices` or `hash-mod`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown value.
+    pub fn parse(s: &str) -> Result<RoutingMode, String> {
+        match s {
+            "two-choices" => Ok(RoutingMode::TwoChoices),
+            "hash-mod" => Ok(RoutingMode::HashMod),
+            other => Err(format!("unknown routing mode `{other}`")),
+        }
+    }
+}
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -218,10 +258,12 @@ pub struct ServeConfig {
     /// fragments, so restarts and restores warm all shards from the
     /// union.
     pub frag_cache_capacity: usize,
-    /// Snapshot file for warm restarts: loaded on start when it exists
-    /// (missing file = cold start; a corrupt file is quarantined to
-    /// `<path>.bad` and the service starts cold); written by
-    /// [`CompileService::save_snapshot`].
+    /// Snapshot file for warm restarts: the newest decodable generation
+    /// is loaded on start (missing files = cold start; a corrupt
+    /// generation is quarantined to `<generation>.bad` and the scan
+    /// falls back to the next-newest); written by
+    /// [`CompileService::save_snapshot`], rotated per
+    /// [`ServeConfig::snapshot_keep`].
     pub snapshot_path: Option<PathBuf>,
     /// Admission control: max queued + in-flight requests per shard
     /// before submissions are shed with `overloaded`.
@@ -239,6 +281,13 @@ pub struct ServeConfig {
     /// this threshold gets its per-stage breakdown printed to stderr by
     /// the serving shard (`gmcc --slow-ms`). `None` disables the log.
     pub slow_request: Option<Duration>,
+    /// Shard-selection policy (default: power-of-two-choices).
+    pub routing: RoutingMode,
+    /// Snapshot generations [`CompileService::save_snapshot`] keeps on
+    /// disk (`<path>`, `<path>.1`, ... `<path>.{K-1}`, rotated by atomic
+    /// renames). `0` or `1` keeps only the newest — the pre-rotation
+    /// behavior. Startup restores the newest decodable generation.
+    pub snapshot_keep: usize,
 }
 
 impl Default for ServeConfig {
@@ -254,6 +303,8 @@ impl Default for ServeConfig {
             restart: RestartPolicy::default(),
             faults: FaultPlan::new(),
             slow_request: None,
+            routing: RoutingMode::default(),
+            snapshot_keep: 1,
         }
     }
 }
@@ -354,21 +405,85 @@ impl From<PersistError> for ServeError {
     }
 }
 
-/// Stable shard routing: hash of the chain shape modulo the shard count.
+/// Stable **home** shard of a shape: hash of the chain shape modulo the
+/// shard count.
 ///
 /// Uses `DefaultHasher::new()` (fixed keys, process-independent), so a
 /// restarted service with the same shard count routes every shape to the
-/// shard that restored it. Correctness never depends on this stability:
-/// the startup restore filters with the *same* function in the same
-/// process, and any shard compiles any shape identically. When the
-/// routed shard is down (circuit breaker open), submission falls over to
-/// the next live shard — see [`CompileService::submit`].
+/// shard that restored it — this is the function the startup restore and
+/// supervisor rewarm filter snapshots with, which is why it stays purely
+/// shape-determined even though live routing is load-aware. Correctness
+/// never depends on this stability: any shard compiles any shape
+/// identically. Live submission runs the two-choices picker over this
+/// home shard and [`route_alt`] — see [`pick_two_choices`].
 #[must_use]
 pub fn route(shape: &Shape, shards: usize) -> usize {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     shape.hash(&mut h);
     (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// The shape's **alternate** candidate for two-choices routing: a second
+/// independent hash, folded so it never collides with [`route`]'s home
+/// shard when more than one shard exists. As stable across restarts as
+/// `route` itself.
+#[must_use]
+pub fn route_alt(shape: &Shape, shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let n = shards.max(1);
+    if n == 1 {
+        return 0;
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    // Salt so the alternate hash is independent of the home hash.
+    0x9e37_79b9_7f4a_7c15_u64.hash(&mut h);
+    shape.hash(&mut h);
+    let step = 1 + (h.finish() % (n as u64 - 1)) as usize;
+    (route(shape, n) + step) % n
+}
+
+/// The power-of-two-choices picker, pure so tests can pin it: choose
+/// between the cache-warm `home` shard and the `alt`ernate candidate by
+/// live queue depth.
+///
+/// Policy, in order:
+/// - both candidates live: `home` wins unless `depths[home]` exceeds
+///   `depths[alt]` by **more than** [`ROUTE_AWAY_MARGIN`] (ties and
+///   comparable depths stay home, preserving chain/fragment locality;
+///   the strict inequality is the deterministic tie-break).
+/// - exactly one candidate live: that one.
+/// - both candidates down: the least-loaded live shard anywhere, walking
+///   `home, home+1, ...` so equal depths break deterministically —
+///   a down shard's traffic spreads over **all** live shards instead of
+///   spilling onto one fixed successor.
+/// - no live shard: `None` (the caller answers `shard_down`).
+///
+/// `depths` and `live` are indexed by shard; `home`/`alt` out of range
+/// are reduced modulo the shard count.
+#[must_use]
+pub fn pick_two_choices(home: usize, alt: usize, depths: &[usize], live: &[bool]) -> Option<usize> {
+    let n = depths.len().min(live.len());
+    if n == 0 {
+        return None;
+    }
+    let home = home % n;
+    let alt = alt % n;
+    match (live[home], live[alt]) {
+        (true, true) => {
+            if depths[home] > depths[alt] + ROUTE_AWAY_MARGIN {
+                Some(alt)
+            } else {
+                Some(home)
+            }
+        }
+        (true, false) => Some(home),
+        (false, true) => Some(alt),
+        (false, false) => (0..n)
+            .map(|k| (home + k) % n)
+            .filter(|&s| live[s])
+            .min_by_key(|&s| depths[s]),
+    }
 }
 
 /// Live observability counters of one shard, collected in-band by
@@ -574,6 +689,8 @@ pub struct CompileService {
     faults: FaultPlan,
     queue_cap: usize,
     default_deadline: Option<Duration>,
+    routing: RoutingMode,
+    snapshot_keep: usize,
     /// Enqueued-but-unanswered requests keyed by sequence number; the
     /// single source of truth for exactly-once delivery.
     outstanding: HashMap<u64, Outstanding>,
@@ -587,53 +704,28 @@ pub struct CompileService {
 }
 
 impl CompileService {
-    /// Spawn the shard pool, restoring the snapshot in
-    /// `config.snapshot_path` (when present) into the shards its shapes
-    /// route to. A corrupt or truncated snapshot is quarantined to
-    /// `<path>.bad` with a logged warning and the service starts cold —
-    /// a bad persist file must never take serving down.
+    /// Spawn the shard pool, restoring the newest decodable snapshot
+    /// generation under `config.snapshot_path` (when present) into the
+    /// shards its shapes route to. Generations are scanned newest-first
+    /// (`<path>`, `<path>.1`, ... up to [`ServeConfig::snapshot_keep`]);
+    /// a corrupt or truncated generation is quarantined to
+    /// `<generation>.bad` with a logged warning and the scan falls back
+    /// to the next-newest — a bad persist file must never take serving
+    /// down, and with rotation it does not even cost the warm start.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError`] if the snapshot file exists but cannot be
-    /// read (I/O, not corruption) or was taken under different compile
-    /// options.
+    /// Returns [`ServeError`] if a snapshot generation exists but cannot
+    /// be read (I/O, not corruption) or the restored snapshot was taken
+    /// under different compile options.
     pub fn start(config: ServeConfig) -> Result<CompileService, ServeError> {
         let shards = config.shards.max(1);
         let snapshot = match &config.snapshot_path {
-            Some(path) if path.exists() => match SessionSnapshot::load(path) {
-                Ok(snap) => {
-                    if !snap.compatible_with(&config.options) {
-                        return Err(ServeError::SnapshotMismatch {
-                            found: snap.options_fingerprint().to_string(),
-                        });
-                    }
-                    Some(Arc::new(snap))
-                }
-                Err(e @ PersistError::Io(_)) => return Err(e.into()),
-                Err(e) => {
-                    // Corrupt/truncated (e.g. a torn write from a crash
-                    // mid-save): move it aside and start cold.
-                    let mut bad = path.clone().into_os_string();
-                    bad.push(".bad");
-                    let bad = PathBuf::from(bad);
-                    match std::fs::rename(path, &bad) {
-                        Ok(()) => eprintln!(
-                            "gmc-serve: snapshot {} is corrupt ({e}); \
-                             quarantined to {} and starting cold",
-                            path.display(),
-                            bad.display()
-                        ),
-                        Err(mv) => eprintln!(
-                            "gmc-serve: snapshot {} is corrupt ({e}); \
-                             quarantine rename failed ({mv}), starting cold",
-                            path.display()
-                        ),
-                    }
-                    None
-                }
-            },
-            _ => None,
+            Some(path) => {
+                Self::load_newest_generation(path, config.snapshot_keep, &config.options)?
+                    .map(Arc::new)
+            }
+            None => None,
         };
         let latest = Arc::new(Mutex::new(snapshot));
         let (results_tx, results_rx) = channel::<Response>();
@@ -671,12 +763,68 @@ impl CompileService {
             faults: config.faults,
             queue_cap: config.queue_cap.max(1),
             default_deadline: config.default_deadline,
+            routing: config.routing,
+            snapshot_keep: config.snapshot_keep,
             outstanding: HashMap::new(),
             ready: VecDeque::new(),
             pending_by_shard: vec![0; shards],
             next_seq: 0,
             late_drops: 0,
         })
+    }
+
+    /// Scan snapshot generations newest-first and return the first that
+    /// decodes; quarantine corrupt generations to `<generation>.bad`.
+    fn load_newest_generation(
+        path: &PathBuf,
+        keep: usize,
+        options: &CompileOptions,
+    ) -> Result<Option<SessionSnapshot>, ServeError> {
+        for generation in 0..keep.max(1) {
+            let gen_path = SessionSnapshot::rotation_path(path, generation);
+            if !gen_path.exists() {
+                continue;
+            }
+            match SessionSnapshot::load(&gen_path) {
+                Ok(snap) => {
+                    if !snap.compatible_with(options) {
+                        return Err(ServeError::SnapshotMismatch {
+                            found: snap.options_fingerprint().to_string(),
+                        });
+                    }
+                    if generation > 0 {
+                        eprintln!(
+                            "gmc-serve: warm start from snapshot generation {generation} ({})",
+                            gen_path.display()
+                        );
+                    }
+                    return Ok(Some(snap));
+                }
+                Err(e @ PersistError::Io(_)) => return Err(e.into()),
+                Err(e) => {
+                    // Corrupt/truncated (e.g. a torn write from a crash
+                    // mid-save): move it aside and try the next-newest
+                    // generation (cold start if none decodes).
+                    let mut bad = gen_path.clone().into_os_string();
+                    bad.push(".bad");
+                    let bad = PathBuf::from(bad);
+                    match std::fs::rename(&gen_path, &bad) {
+                        Ok(()) => eprintln!(
+                            "gmc-serve: snapshot {} is corrupt ({e}); \
+                             quarantined to {}",
+                            gen_path.display(),
+                            bad.display()
+                        ),
+                        Err(mv) => eprintln!(
+                            "gmc-serve: snapshot {} is corrupt ({e}); \
+                             quarantine rename failed ({mv})",
+                            gen_path.display()
+                        ),
+                    }
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// Number of shards.
@@ -691,12 +839,22 @@ impl CompileService {
         self.ready.len() + self.outstanding.len()
     }
 
-    /// First non-down shard probing from `preferred` — the fallover walk.
-    fn pick_shard(&self, preferred: usize) -> Option<usize> {
+    /// Select the serving shard for `shape` under the configured
+    /// [`RoutingMode`]; `None` when every shard is down.
+    fn pick_shard(&self, shape: &Shape) -> Option<usize> {
         let n = self.shards();
-        (0..n)
-            .map(|k| (preferred + k) % n)
-            .find(|&s| self.shared[s].state() != ShardState::Down)
+        let home = route(shape, n);
+        match self.routing {
+            RoutingMode::TwoChoices => {
+                let live: Vec<bool> = (0..n)
+                    .map(|s| self.shared[s].state() != ShardState::Down)
+                    .collect();
+                pick_two_choices(home, route_alt(shape, n), &self.pending_by_shard, &live)
+            }
+            RoutingMode::HashMod => (0..n)
+                .map(|k| (home + k) % n)
+                .find(|&s| self.shared[s].state() != ShardState::Down),
+        }
     }
 
     /// Parse, admit, route, and enqueue a request. Every submission is
@@ -708,7 +866,8 @@ impl CompileService {
     /// [`ServeConfig::queue_cap`] requests, the request is shed with an
     /// `overloaded` failure instead of growing the queue — on overload
     /// the service degrades by refusing work it could only serve late.
-    /// Routing falls over past shards whose circuit breaker is open.
+    /// Routing is load-aware ([`pick_two_choices`] by default) and never
+    /// targets a shard whose circuit breaker is open.
     pub fn submit(&mut self, request: CompileRequest) {
         let submitted = Instant::now();
         let id = request.id;
@@ -725,8 +884,7 @@ impl CompileService {
         };
         let name = request.name.unwrap_or_else(|| program.lhs().to_lowercase());
         let shape = program.shape().clone();
-        let preferred = route(&shape, self.shards());
-        let Some(shard) = self.pick_shard(preferred) else {
+        let Some(shard) = self.pick_shard(&shape) else {
             self.ready.push_back(CompileResponse::failure(
                 id,
                 FailureKind::ShardDown,
@@ -911,6 +1069,18 @@ impl CompileService {
         }
     }
 
+    /// Run the submitter-side maintenance [`CompileService::recv`]
+    /// performs on its 25 ms timeout tick — deadline expiry and
+    /// dead-worker write-offs — without blocking. Front-ends that poll
+    /// with [`CompileService::try_recv`] instead of blocking in `recv`
+    /// (the socket transport's dispatcher) must call this periodically,
+    /// or a wedged shard could stall their streams past the caller's
+    /// deadline.
+    pub fn tick(&mut self) {
+        self.expire_deadlines();
+        self.reap_dead_shards();
+    }
+
     /// The next response only if one is already available.
     pub fn try_recv(&mut self) -> Option<CompileResponse> {
         loop {
@@ -1064,7 +1234,10 @@ impl CompileService {
     }
 
     /// [`CompileService::snapshot`] straight to a file, atomically
-    /// (temp file + rename, see [`SessionSnapshot::save`]) — unless the
+    /// (temp file + rename, see [`SessionSnapshot::save`]) and with
+    /// rotation when [`ServeConfig::snapshot_keep`] > 1 (the previous
+    /// generations shift to `<path>.1`, `<path>.2`, ... first, see
+    /// [`SessionSnapshot::save_rotated`]) — unless the
     /// `snapshot_torn` or `frag_torn` fault is armed, in which case a
     /// truncated file is written directly to the target path to
     /// simulate a crash mid-write (`frag_torn` cuts inside the trailing
@@ -1076,6 +1249,9 @@ impl CompileService {
     pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
         let snap = self.snapshot();
         if self.faults.tear_frag_section() {
+            // Simulated crash mid-save: the rotation shift completed
+            // (renames are atomic), the final write did not.
+            SessionSnapshot::rotate_generations(path.as_ref(), self.snapshot_keep)?;
             // Cut mid-way through the final line. The fragment section
             // is the snapshot's tail, so when the snapshot carries
             // fragments this lands inside a `frag` line and the
@@ -1097,6 +1273,7 @@ impl CompileService {
             return Ok(());
         }
         if self.faults.tear_snapshot() {
+            SessionSnapshot::rotate_generations(path.as_ref(), self.snapshot_keep)?;
             // Cut mid-way through the final line: the tail of the write
             // never made it to disk. (Cutting at an arbitrary byte could
             // land inside the options header and masquerade as an
@@ -1114,7 +1291,7 @@ impl CompileService {
             );
             return Ok(());
         }
-        Ok(snap.save(path)?)
+        Ok(snap.save_rotated(path, self.snapshot_keep)?)
     }
 
     /// Stop accepting work, join every shard, and return the collected

@@ -1,0 +1,1121 @@
+//! Multiplexed socket transport for the serving layer: a Unix-domain
+//! (or TCP) accept loop that fronts one shared [`CompileService`] with
+//! many concurrent JSONL connections — `gmcc --serve --listen <addr>`.
+//!
+//! # Threading model
+//!
+//! ```text
+//!            accept thread ──┐ (one per daemon; non-blocking accept,
+//!                            │  polls the shutdown flag)
+//!   conn 1: reader thread ───┤
+//!   conn 1: writer thread ◄──┤            ┌── shard 0 thread
+//!   conn 2: reader thread ───┼─ dispatcher┼── shard 1 thread
+//!   conn 2: writer thread ◄──┤ (owns the  └── ...
+//!            ...             │  CompileService)
+//! ```
+//!
+//! Every connection gets **one reader thread** (bounded-line JSONL
+//! parsing, so a hostile client cannot grow daemon memory) and **one
+//! writer thread** (owns the write half; responses to one connection
+//! never block another). The single **dispatcher** — the thread that
+//! called [`serve`] — owns the [`CompileService`] unchanged: admission
+//! control, deadlines, two-choices routing, and exactly-once response
+//! bookkeeping are shared across all connections because there is still
+//! exactly one submitter.
+//!
+//! # Pipelining and id remapping
+//!
+//! Clients may pipeline requests without waiting: responses come back
+//! on the submitting connection in **completion order**, matched by
+//! `id`. Ids are the client's own namespace — two connections may both
+//! use id 1 — so the dispatcher submits under a private token and
+//! remaps each response back to the submitting connection's id on
+//! delivery. Requests without an id get their 1-based position in that
+//! connection's stream, mirroring the stdin daemon.
+//!
+//! # Shutdown
+//!
+//! The shutdown flag (SIGTERM/SIGINT in `gmcc`) runs the same graceful
+//! drain as the stdin daemon: the accept loop stops, readers stop
+//! pulling new requests, everything in flight is answered to its
+//! connection, and [`serve`] returns the service (still running) so the
+//! caller can write the final snapshot and metrics dump before
+//! [`CompileService::shutdown`].
+//!
+//! # Transport counters
+//!
+//! The dispatcher keeps live transport counters — connections open /
+//! accepted / closed and per-connection in-flight — snapshotted as
+//! [`TransportSnapshot`]: `{"op":"health"}` and `{"op":"metrics"}`
+//! responses on a socket carry them as a `"transport"` object, and the
+//! Prometheus dump gains a `gmc_connections` gauge (plus
+//! accepted/closed totals and per-connection in-flight gauges).
+
+use crate::fault::FaultPlan;
+use crate::jsonl;
+use crate::service::{CompileRequest, CompileResponse, CompileService, Emit, FailureKind};
+use gmc_obs::{write_prom_counter, write_prom_gauge};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked threads (accept loop, connection readers) poll the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A parsed `--listen` address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// TCP socket at this `host:port`.
+    Tcp(String),
+}
+
+impl ListenAddr {
+    /// Parse an address: `unix:<path>` and `tcp:<host:port>` are
+    /// explicit; a bare value that parses as a socket address (e.g.
+    /// `127.0.0.1:7070`) is TCP, anything else is a Unix socket path.
+    #[must_use]
+    pub fn parse(s: &str) -> ListenAddr {
+        if let Some(path) = s.strip_prefix("unix:") {
+            ListenAddr::Unix(PathBuf::from(path))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            ListenAddr::Tcp(addr.to_string())
+        } else if s.parse::<std::net::SocketAddr>().is_ok() {
+            ListenAddr::Tcp(s.to_string())
+        } else {
+            ListenAddr::Unix(PathBuf::from(s))
+        }
+    }
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            ListenAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+enum ListenerKind {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// A bound-but-not-yet-serving socket listener.
+pub struct SocketListener {
+    inner: ListenerKind,
+    /// The path to unlink when serving ends (Unix sockets only).
+    cleanup: Option<PathBuf>,
+    local: ListenAddr,
+}
+
+impl SocketListener {
+    /// Bind the address. A stale Unix socket file at the path is
+    /// removed first — the daemon takes over the address — and removed
+    /// again when [`serve`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &ListenAddr) -> std::io::Result<SocketListener> {
+        match addr {
+            ListenAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Ok(SocketListener {
+                    inner: ListenerKind::Unix(listener),
+                    cleanup: Some(path.clone()),
+                    local: addr.clone(),
+                })
+            }
+            ListenAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec)?;
+                listener.set_nonblocking(true)?;
+                let local = ListenAddr::Tcp(
+                    listener
+                        .local_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| spec.clone()),
+                );
+                Ok(SocketListener {
+                    inner: ListenerKind::Tcp(listener),
+                    cleanup: None,
+                    local,
+                })
+            }
+        }
+    }
+
+    /// The actually-bound address (TCP port 0 resolves to the assigned
+    /// port, which is how tests bind without collisions).
+    #[must_use]
+    pub fn local_addr(&self) -> &ListenAddr {
+        &self.local
+    }
+
+    fn accept(&self) -> std::io::Result<SocketStream> {
+        match &self.inner {
+            ListenerKind::Unix(l) => l.accept().map(|(s, _)| SocketStream::Unix(s)),
+            ListenerKind::Tcp(l) => l.accept().map(|(s, _)| SocketStream::Tcp(s)),
+        }
+    }
+}
+
+/// One connected socket stream (either family), used by the transport
+/// internally and by clients (tests, `bench_serve --load`,
+/// `gmcc --connect`) via [`SocketStream::connect`].
+#[derive(Debug)]
+pub enum SocketStream {
+    /// A Unix-domain stream.
+    Unix(UnixStream),
+    /// A TCP stream.
+    Tcp(TcpStream),
+}
+
+impl SocketStream {
+    /// Connect to a listening daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: &ListenAddr) -> std::io::Result<SocketStream> {
+        match addr {
+            ListenAddr::Unix(path) => UnixStream::connect(path).map(SocketStream::Unix),
+            ListenAddr::Tcp(spec) => TcpStream::connect(spec).map(SocketStream::Tcp),
+        }
+    }
+
+    /// Clone the handle (reader/writer halves share one socket).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `try_clone` failure.
+    pub fn try_clone(&self) -> std::io::Result<SocketStream> {
+        match self {
+            SocketStream::Unix(s) => s.try_clone().map(SocketStream::Unix),
+            SocketStream::Tcp(s) => s.try_clone().map(SocketStream::Tcp),
+        }
+    }
+
+    /// Bound the blocking time of reads (the transport's readers poll
+    /// the shutdown flag between timeouts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying setter failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.set_read_timeout(timeout),
+            SocketStream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Close the write half, signalling EOF to the daemon while
+    /// responses can still stream back (how a client says "no more
+    /// requests").
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying shutdown failure.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            SocketStream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            SocketStream::Unix(s) => s.read(buf),
+            SocketStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            SocketStream::Unix(s) => s.write(buf),
+            SocketStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.flush(),
+            SocketStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Transport configuration (the socket-mode analogue of the stdin
+/// daemon's flags).
+#[derive(Debug, Clone)]
+pub struct TransportOptions {
+    /// Emit selector applied to requests without an `emit` field.
+    pub default_emit: Emit,
+    /// Honor in-band `{"op":"fault"}` requests (`--enable-faults`).
+    pub enable_faults: bool,
+    /// The fault plan `{"op":"fault"}` re-arms (shared with the
+    /// service's plan by cloning).
+    pub faults: FaultPlan,
+    /// Bound on one request line (`--max-line-bytes`); oversized lines
+    /// are consumed and answered `bad_request` without being buffered.
+    pub max_line_bytes: usize,
+    /// Prometheus dump refreshed on every `{"op":"metrics"}` request,
+    /// with transport gauges appended (`--metrics-file`).
+    pub metrics_file: Option<PathBuf>,
+    /// Attach the C++ runtime header to the first `.cpp`-carrying
+    /// response of **each connection** (every client needs it once).
+    pub attach_runtime_header: bool,
+}
+
+impl Default for TransportOptions {
+    fn default() -> Self {
+        TransportOptions {
+            default_emit: Emit::default(),
+            enable_faults: false,
+            faults: FaultPlan::new(),
+            max_line_bytes: 1 << 20,
+            metrics_file: None,
+            attach_runtime_header: true,
+        }
+    }
+}
+
+/// Point-in-time transport counters, rendered into `{"op":"health"}` /
+/// `{"op":"metrics"}` responses ([`jsonl::health_line_with_transport`])
+/// and the Prometheus dump.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportSnapshot {
+    /// Connections currently open.
+    pub open: u64,
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Connections closed since start.
+    pub closed: u64,
+    /// `(connection id, in-flight compile requests)` per open
+    /// connection, in accept order. Connection ids are 1-based and
+    /// never reused within a daemon's lifetime.
+    pub connections: Vec<(u64, u64)>,
+}
+
+impl TransportSnapshot {
+    /// Append the transport gauges/counters in Prometheus text
+    /// exposition format: the `gmc_connections` open-connection gauge,
+    /// accepted/closed totals, and one `gmc_conn_in_flight` gauge per
+    /// open connection.
+    pub fn write_prometheus(&self, out: &mut String) {
+        write_prom_gauge(out, "gmc_connections", "", self.open, true);
+        write_prom_counter(
+            out,
+            "gmc_connections_accepted_total",
+            "",
+            self.accepted,
+            true,
+        );
+        write_prom_counter(out, "gmc_connections_closed_total", "", self.closed, true);
+        for (i, (conn, in_flight)) in self.connections.iter().enumerate() {
+            write_prom_gauge(
+                out,
+                "gmc_conn_in_flight",
+                &format!("conn=\"{conn}\""),
+                *in_flight,
+                i == 0,
+            );
+        }
+    }
+}
+
+/// What [`serve`] reports when the daemon drains.
+#[derive(Debug, Clone, Default)]
+pub struct TransportReport {
+    /// Connections accepted over the daemon's lifetime.
+    pub accepted: u64,
+    /// Request lines processed (all connections, ops included).
+    pub requests: u64,
+    /// In-band failure responses delivered (`"ok":false`).
+    pub failures: u64,
+    /// Final transport counters (for the drain-time Prometheus dump).
+    pub snapshot: TransportSnapshot,
+}
+
+/// What connection readers and the accept loop feed the dispatcher.
+enum Event {
+    Opened {
+        conn: u64,
+        writer: Sender<String>,
+        writer_handle: JoinHandle<()>,
+    },
+    Line {
+        conn: u64,
+        line_no: u64,
+        line: String,
+    },
+    Oversized {
+        conn: u64,
+        line_no: u64,
+    },
+    BadUtf8 {
+        conn: u64,
+        line_no: u64,
+    },
+    Eof {
+        conn: u64,
+    },
+}
+
+/// One bounded line read from a socket (see the stdin daemon's
+/// equivalent in the `gmc` driver — same bound, same semantics, plus
+/// shutdown-flag polling on read timeouts).
+enum SocketLine {
+    Line(String),
+    Oversized,
+    BadUtf8,
+    Eof,
+    Shutdown,
+}
+
+fn read_bounded_line(
+    reader: &mut BufReader<SocketStream>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> SocketLine {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    // Drain: stop pulling new requests (a partial line
+                    // is abandoned, exactly like unread stdin).
+                    return SocketLine::Shutdown;
+                }
+                continue;
+            }
+            // Connection reset and friends: the peer is gone.
+            Err(_) => return SocketLine::Eof,
+        };
+        if chunk.is_empty() {
+            if buf.is_empty() && !oversized {
+                return SocketLine::Eof;
+            }
+            break; // final line without trailing newline
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !oversized && buf.len() + pos <= max {
+                    buf.extend_from_slice(&chunk[..pos]);
+                } else {
+                    oversized = true;
+                }
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                if !oversized && buf.len() + len <= max {
+                    buf.extend_from_slice(chunk);
+                } else {
+                    oversized = true;
+                    buf.clear();
+                }
+                reader.consume(len);
+            }
+        }
+    }
+    if oversized {
+        return SocketLine::Oversized;
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => SocketLine::Line(s),
+        Err(_) => SocketLine::BadUtf8,
+    }
+}
+
+fn reader_loop(
+    stream: SocketStream,
+    conn: u64,
+    max_line: usize,
+    events: &Sender<Event>,
+    shutdown: &AtomicBool,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut line_no: u64 = 0;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_bounded_line(&mut reader, max_line, shutdown) {
+            SocketLine::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                line_no += 1;
+                if events
+                    .send(Event::Line {
+                        conn,
+                        line_no,
+                        line,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            SocketLine::Oversized => {
+                line_no += 1;
+                if events.send(Event::Oversized { conn, line_no }).is_err() {
+                    break;
+                }
+            }
+            SocketLine::BadUtf8 => {
+                line_no += 1;
+                if events.send(Event::BadUtf8 { conn, line_no }).is_err() {
+                    break;
+                }
+            }
+            SocketLine::Eof | SocketLine::Shutdown => break,
+        }
+    }
+    let _ = events.send(Event::Eof { conn });
+}
+
+fn writer_loop(stream: SocketStream, lines: &Receiver<String>) {
+    let mut out = std::io::BufWriter::new(stream);
+    while let Ok(line) = lines.recv() {
+        let write = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush());
+        if write.is_err() {
+            break; // peer gone; the dispatcher notices on its next send
+        }
+    }
+}
+
+/// Dispatcher-side state of one open connection.
+struct ConnState {
+    writer: Sender<String>,
+    writer_handle: Option<JoinHandle<()>>,
+    in_flight: u64,
+    header_sent: bool,
+    /// Reader saw EOF: close once `in_flight` drains.
+    draining: bool,
+}
+
+struct Dispatcher {
+    service: CompileService,
+    options: TransportOptions,
+    conns: HashMap<u64, ConnState>,
+    /// Accept order of open connections (snapshot stability).
+    conn_order: Vec<u64>,
+    /// Private submission token → (connection, client id).
+    pending: HashMap<u64, (u64, u64)>,
+    next_token: u64,
+    accepted: u64,
+    closed: u64,
+    requests: u64,
+    failures: u64,
+}
+
+impl Dispatcher {
+    fn transport_snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            open: self.conns.len() as u64,
+            accepted: self.accepted,
+            closed: self.closed,
+            connections: self
+                .conn_order
+                .iter()
+                .filter_map(|conn| self.conns.get(conn).map(|state| (*conn, state.in_flight)))
+                .collect(),
+        }
+    }
+
+    fn close_conn(&mut self, conn: u64) {
+        if let Some(state) = self.conns.remove(&conn) {
+            self.conn_order.retain(|&c| c != conn);
+            self.closed += 1;
+            drop(state.writer);
+            if let Some(handle) = state.writer_handle {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Send a rendered line to a connection; a dead writer closes the
+    /// connection (its in-flight responses are delivered to nowhere,
+    /// which is where the peer went).
+    fn send_line(&mut self, conn: u64, line: String) {
+        let dead = match self.conns.get(&conn) {
+            Some(state) => state.writer.send(line).is_err(),
+            None => false,
+        };
+        if dead {
+            self.close_conn(conn);
+        }
+    }
+
+    /// Deliver a service response to its submitting connection,
+    /// remapping the private token back to the client's id.
+    fn deliver(&mut self, mut response: CompileResponse) {
+        let Some((conn, client_id)) = self.pending.remove(&response.id) else {
+            // Unknown token: the service answers exactly the tokens we
+            // submitted, so this cannot happen; drop defensively.
+            return;
+        };
+        response.id = client_id;
+        if response.result.is_err() {
+            self.failures += 1;
+        }
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return; // connection closed while the request was in flight
+        };
+        state.in_flight = state.in_flight.saturating_sub(1);
+        if self.options.attach_runtime_header && !state.header_sent {
+            if let Ok(artifacts) = &mut response.result {
+                if artifacts.files.iter().any(|(n, _)| n.ends_with(".cpp")) {
+                    artifacts.files.insert(
+                        0,
+                        ("gmc_runtime.hpp".to_string(), crate::emit_runtime_header()),
+                    );
+                    state.header_sent = true;
+                }
+            }
+        }
+        let close = state.draining && state.in_flight == 0;
+        self.send_line(conn, jsonl::response_line(&response));
+        if close {
+            self.close_conn(conn);
+        }
+    }
+
+    fn bad_request(&mut self, conn: u64, id: u64, message: String) {
+        self.failures += 1;
+        let response = CompileResponse::failure(id, FailureKind::BadRequest, message);
+        self.send_line(conn, jsonl::response_line(&response));
+    }
+
+    fn handle_line(&mut self, conn: u64, line_no: u64, line: &str) {
+        self.requests += 1;
+        let raw = match jsonl::parse_request(line) {
+            Ok(raw) => raw,
+            Err(msg) => {
+                self.bad_request(conn, line_no, format!("bad request line: {msg}"));
+                return;
+            }
+        };
+        let id = raw.id.unwrap_or(line_no);
+        match raw.op.as_deref() {
+            Some("stats") => {
+                let line = jsonl::stats_line(id, &self.service.stats());
+                self.send_line(conn, line);
+            }
+            Some("health") => {
+                let line = jsonl::health_line_with_transport(
+                    id,
+                    &self.service.health(),
+                    &self.transport_snapshot(),
+                );
+                self.send_line(conn, line);
+            }
+            Some("metrics") => {
+                let metrics = self.service.metrics();
+                let transport = self.transport_snapshot();
+                // A metrics query also refreshes the Prometheus dump,
+                // transport gauges included.
+                if let Some(path) = &self.options.metrics_file {
+                    let mut text = metrics.to_prometheus();
+                    transport.write_prometheus(&mut text);
+                    if let Err(e) = std::fs::write(path, text) {
+                        eprintln!(
+                            "gmc-serve: writing metrics file {} failed: {e}",
+                            path.display()
+                        );
+                    }
+                }
+                let line = jsonl::metrics_line_with_transport(id, &metrics, &transport);
+                self.send_line(conn, line);
+            }
+            Some("fault") if !self.options.enable_faults => {
+                self.bad_request(
+                    conn,
+                    id,
+                    "fault injection is disabled (run with --enable-faults)".into(),
+                );
+            }
+            Some("fault") => match raw.spec.as_deref() {
+                Some(spec) => match self.options.faults.arm(spec) {
+                    Ok(()) => self.send_line(conn, jsonl::ack_line(id, "fault")),
+                    Err(e) => self.bad_request(conn, id, format!("bad fault spec: {e}")),
+                },
+                None => self.bad_request(conn, id, "fault op needs a `spec` field".into()),
+            },
+            Some(other) => self.bad_request(conn, id, format!("unknown op `{other}`")),
+            None => {
+                let emit = match raw.emit.as_deref().map(Emit::parse) {
+                    None => self.options.default_emit,
+                    Some(Ok(emit)) => emit,
+                    Some(Err(msg)) => {
+                        self.bad_request(conn, id, msg);
+                        return;
+                    }
+                };
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending.insert(token, (conn, id));
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.in_flight += 1;
+                }
+                self.service.submit(CompileRequest {
+                    id: token,
+                    name: raw.name,
+                    source: raw.source,
+                    emit,
+                    deadline: raw.deadline_ms.map(Duration::from_millis),
+                });
+            }
+        }
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::Opened {
+                conn,
+                writer,
+                writer_handle,
+            } => {
+                self.accepted += 1;
+                self.conn_order.push(conn);
+                self.conns.insert(
+                    conn,
+                    ConnState {
+                        writer,
+                        writer_handle: Some(writer_handle),
+                        in_flight: 0,
+                        header_sent: false,
+                        draining: false,
+                    },
+                );
+            }
+            Event::Line {
+                conn,
+                line_no,
+                line,
+            } => self.handle_line(conn, line_no, &line),
+            Event::Oversized { conn, line_no } => {
+                self.requests += 1;
+                let max = self.options.max_line_bytes;
+                self.bad_request(conn, line_no, format!("request line exceeds {max} bytes"));
+            }
+            Event::BadUtf8 { conn, line_no } => {
+                self.requests += 1;
+                self.bad_request(conn, line_no, "request line is not valid UTF-8".into());
+            }
+            Event::Eof { conn } => {
+                let close_now = match self.conns.get_mut(&conn) {
+                    Some(state) => {
+                        state.draining = true;
+                        state.in_flight == 0
+                    }
+                    None => false,
+                };
+                if close_now {
+                    self.close_conn(conn);
+                }
+            }
+        }
+    }
+}
+
+/// Run the socket daemon: accept connections on `listener` and serve
+/// them from one shared `service` until `shutdown` is set (or the
+/// listener dies), then drain gracefully. Returns the still-running
+/// service — the caller persists the final snapshot and metrics dump,
+/// then calls [`CompileService::shutdown`] — plus the transport report.
+///
+/// The calling thread becomes the dispatcher (see the module docs for
+/// the full threading model).
+///
+/// # Errors
+///
+/// Propagates listener I/O failures surfaced by the accept loop.
+pub fn serve(
+    listener: SocketListener,
+    service: CompileService,
+    options: TransportOptions,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<(CompileService, TransportReport)> {
+    let cleanup = listener.cleanup.clone();
+    let (events_tx, events) = channel::<Event>();
+    let accept_shutdown = Arc::clone(&shutdown);
+    let max_line = options.max_line_bytes;
+    let accept_handle: JoinHandle<std::io::Result<()>> = std::thread::spawn(move || {
+        let mut next_conn: u64 = 0;
+        loop {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok(stream) => {
+                    next_conn += 1;
+                    let conn = next_conn;
+                    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+                    let write_half = stream.try_clone()?;
+                    let (writer_tx, writer_rx) = channel::<String>();
+                    let writer_handle =
+                        std::thread::spawn(move || writer_loop(write_half, &writer_rx));
+                    // Opened is enqueued before the reader spawns, so
+                    // the dispatcher never sees a Line for an unknown
+                    // connection.
+                    if events_tx
+                        .send(Event::Opened {
+                            conn,
+                            writer: writer_tx,
+                            writer_handle,
+                        })
+                        .is_err()
+                    {
+                        return Ok(()); // dispatcher gone
+                    }
+                    let reader_events = events_tx.clone();
+                    let reader_shutdown = Arc::clone(&accept_shutdown);
+                    std::thread::spawn(move || {
+                        reader_loop(stream, conn, max_line, &reader_events, &reader_shutdown);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    });
+
+    let mut d = Dispatcher {
+        service,
+        options,
+        conns: HashMap::new(),
+        conn_order: Vec::new(),
+        pending: HashMap::new(),
+        next_token: 1,
+        accepted: 0,
+        closed: 0,
+        requests: 0,
+        failures: 0,
+    };
+    let mut last_tick = Instant::now();
+    loop {
+        // Everything already queued, then everything already finished.
+        while let Ok(event) = events.try_recv() {
+            d.handle_event(event);
+        }
+        while let Some(response) = d.service.try_recv() {
+            d.deliver(response);
+        }
+        if last_tick.elapsed() >= Duration::from_millis(25) {
+            d.service.tick();
+            last_tick = Instant::now();
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            eprintln!("gmc-serve: shutdown signal received; draining");
+            // Requests that already crossed the socket get answered;
+            // readers stop pulling new ones.
+            while let Ok(event) = events.try_recv() {
+                d.handle_event(event);
+            }
+            break;
+        }
+        // Idle daemons sleep the full poll interval; with responses in
+        // flight the dispatcher wakes fast so pipelined clients never
+        // wait on the tick.
+        let wait = if d.pending.is_empty() {
+            POLL_INTERVAL
+        } else {
+            Duration::from_micros(500)
+        };
+        match events.recv_timeout(wait) {
+            Ok(event) => d.handle_event(event),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Graceful drain: answer everything in flight to its connection
+    // (recv ticks internally, so deadlines still bound a wedged shard).
+    while let Some(response) = d.service.recv() {
+        d.deliver(response);
+    }
+    let open: Vec<u64> = d.conns.keys().copied().collect();
+    for conn in open {
+        d.close_conn(conn);
+    }
+    match accept_handle.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            if let Some(path) = &cleanup {
+                let _ = std::fs::remove_file(path);
+            }
+            return Err(e);
+        }
+        Err(_) => {}
+    }
+    if let Some(path) = &cleanup {
+        let _ = std::fs::remove_file(path);
+    }
+    let report = TransportReport {
+        accepted: d.accepted,
+        requests: d.requests,
+        failures: d.failures,
+        snapshot: d.transport_snapshot(),
+    };
+    Ok((d.service, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+
+    #[test]
+    fn listen_addresses_parse_both_families() {
+        assert_eq!(
+            ListenAddr::parse("unix:/tmp/gmc.sock"),
+            ListenAddr::Unix(PathBuf::from("/tmp/gmc.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("tcp:127.0.0.1:7070"),
+            ListenAddr::Tcp("127.0.0.1:7070".into())
+        );
+        // A bare socket address is TCP; anything else is a path.
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:0"),
+            ListenAddr::Tcp("127.0.0.1:0".into())
+        );
+        assert_eq!(
+            ListenAddr::parse("/run/gmc.sock"),
+            ListenAddr::Unix(PathBuf::from("/run/gmc.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("unix:/a b/c.sock").to_string(),
+            "unix:/a b/c.sock"
+        );
+    }
+
+    #[test]
+    fn transport_snapshot_renders_prometheus_gauges() {
+        let snapshot = TransportSnapshot {
+            open: 2,
+            accepted: 3,
+            closed: 1,
+            connections: vec![(2, 4), (3, 0)],
+        };
+        let mut out = String::new();
+        snapshot.write_prometheus(&mut out);
+        assert!(out.contains("# TYPE gmc_connections gauge"));
+        assert!(out.contains("gmc_connections 2\n"));
+        assert!(out.contains("# TYPE gmc_connections_accepted_total counter"));
+        assert!(out.contains("gmc_connections_accepted_total 3\n"));
+        assert!(out.contains("gmc_connections_closed_total 1\n"));
+        assert!(out.contains("gmc_conn_in_flight{conn=\"2\"} 4\n"));
+        assert!(out.contains("gmc_conn_in_flight{conn=\"3\"} 0\n"));
+        // One TYPE line covers every per-connection gauge.
+        assert_eq!(out.matches("# TYPE gmc_conn_in_flight").count(), 1);
+    }
+
+    const SRC: &str = "
+        Matrix A <General, Singular>;
+        Matrix L <LowerTri, NonSingular>;
+        X := A * L^-1;
+    ";
+
+    fn fast_config(shards: usize) -> ServeConfig {
+        ServeConfig {
+            shards,
+            options: gmc_core::CompileOptions {
+                training_instances: 60,
+                ..gmc_core::CompileOptions::default()
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    fn request_line(id: u64) -> String {
+        format!(
+            "{{\"id\":{id},\"emit\":\"cpp\",\"source\":\"{}\"}}",
+            SRC.replace('\n', "\\n")
+        )
+    }
+
+    /// Two clients pipeline requests over one Unix socket daemon:
+    /// every id is answered exactly once on the submitting connection
+    /// (both clients reuse the same ids — the id namespace is
+    /// per-connection), ops interleave with compiles, and the report
+    /// sees both connections.
+    #[test]
+    fn socket_round_trip_pipelines_and_remaps_ids() {
+        let dir = std::env::temp_dir().join("gmc_transport_roundtrip_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr = ListenAddr::Unix(dir.join("gmc.sock"));
+        let listener = SocketListener::bind(&addr).unwrap();
+        let service = CompileService::start(fast_config(2)).unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let serve_shutdown = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            serve(
+                listener,
+                service,
+                TransportOptions::default(),
+                serve_shutdown,
+            )
+        });
+
+        let run_client = |ids: &[u64], with_health: bool| {
+            let mut stream = SocketStream::connect(&addr).unwrap();
+            for id in ids {
+                stream.write_all(request_line(*id).as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+            }
+            if with_health {
+                stream
+                    .write_all(b"{\"op\":\"health\",\"id\":9000}\n")
+                    .unwrap();
+            }
+            stream.flush().unwrap();
+            stream.shutdown_write().unwrap();
+            let mut lines = Vec::new();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap() > 0 {
+                lines.push(std::mem::take(&mut line).trim_end().to_string());
+            }
+            lines
+        };
+
+        let ids_a: Vec<u64> = vec![100, 1, 7];
+        let ids_b: Vec<u64> = vec![7, 100];
+        let (lines_a, lines_b) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| run_client(&ids_a, true));
+            let b = scope.spawn(|| run_client(&ids_b, false));
+            (a.join().unwrap(), b.join().unwrap())
+        });
+
+        // Exactly one response per submitted id, on the right
+        // connection, every compile ok.
+        let collect_ids = |lines: &[String]| -> Vec<u64> {
+            lines
+                .iter()
+                .filter(|l| !l.contains("\"op\":\"health\""))
+                .map(|l| {
+                    assert!(l.contains("\"ok\":true"), "unexpected failure: {l}");
+                    let rest = &l[l.find("\"id\":").unwrap() + 5..];
+                    rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+                })
+                .collect()
+        };
+        let mut got_a = collect_ids(&lines_a);
+        got_a.sort_unstable();
+        assert_eq!(got_a, vec![1, 7, 100]);
+        let mut got_b = collect_ids(&lines_b);
+        got_b.sort_unstable();
+        assert_eq!(got_b, vec![7, 100]);
+
+        // Client A's health response carries the transport object.
+        let health = lines_a
+            .iter()
+            .find(|l| l.contains("\"op\":\"health\""))
+            .expect("health answered");
+        assert!(health.contains("\"id\":9000"));
+        assert!(health.contains("\"transport\":{\"open\":"));
+        assert!(health.contains("\"accepted\":"));
+
+        // The runtime header rides the first .cpp response of EACH
+        // connection (generated .cpp files merely *include* it, so
+        // match the attached-file name, not the include line).
+        for lines in [&lines_a, &lines_b] {
+            let headers = lines
+                .iter()
+                .filter(|l| l.contains("{\"name\":\"gmc_runtime.hpp\""))
+                .count();
+            assert_eq!(headers, 1, "one header per connection");
+        }
+
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = handle.join().unwrap().unwrap();
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.requests, 6, "5 compiles + 1 health");
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.snapshot.open, 0, "both clients drained and closed");
+        assert_eq!(report.snapshot.closed, 2);
+        let stats = service.shutdown();
+        assert_eq!(stats.requests(), 5);
+        assert!(!addr.to_string().is_empty());
+        assert!(
+            !dir.join("gmc.sock").exists(),
+            "socket file cleaned up after serve"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// TCP binds to an ephemeral port and resolves the real address.
+    #[test]
+    fn tcp_listener_resolves_ephemeral_port() {
+        let listener = SocketListener::bind(&ListenAddr::parse("127.0.0.1:0")).unwrap();
+        let local = listener.local_addr().clone();
+        match &local {
+            ListenAddr::Tcp(addr) => assert!(!addr.ends_with(":0"), "real port resolved: {addr}"),
+            ListenAddr::Unix(_) => panic!("bound TCP, got unix"),
+        }
+        let service = CompileService::start(fast_config(1)).unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let serve_shutdown = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            serve(
+                listener,
+                service,
+                TransportOptions::default(),
+                serve_shutdown,
+            )
+        });
+        let mut stream = SocketStream::connect(&local).unwrap();
+        stream.write_all(request_line(1).as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        stream.shutdown_write().unwrap();
+        let mut response = String::new();
+        BufReader::new(stream).read_line(&mut response).unwrap();
+        assert!(response.contains("\"id\":1"));
+        assert!(response.contains("\"ok\":true"));
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = handle.join().unwrap().unwrap();
+        assert_eq!(report.accepted, 1);
+        let _ = service.shutdown();
+    }
+}

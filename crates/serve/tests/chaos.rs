@@ -343,6 +343,139 @@ fn killed_shard_mid_stream_then_drained_snapshot_restores_bit_identical() {
     let _ = warm.shutdown();
 }
 
+/// Multi-connection chaos over the socket transport: several
+/// concurrent clients pipeline request streams (all reusing the SAME
+/// ids — the id namespace is per-connection) against one faulted
+/// daemon. Injected panics kill individual requests, malformed sources
+/// fail to parse, an in-band op rides the middle of each stream — and
+/// still every id is answered exactly once on the connection that
+/// submitted it, with service counters that balance across the fleet.
+#[test]
+fn concurrent_socket_clients_with_faults_get_exactly_one_response_each() {
+    use gmc_serve::transport::{self, ListenAddr, SocketListener, SocketStream, TransportOptions};
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const CLIENTS: usize = 3;
+    const REQUESTS: usize = 12;
+    let sources = [SRC_A, SRC_B, SRC_C, SRC_BAD];
+
+    let dir = std::env::temp_dir().join("gmc_socket_chaos_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let addr = ListenAddr::Unix(dir.join("chaos.sock"));
+
+    let faults = FaultPlan::parse("panic:0:3,panic:1:4,delay:1").unwrap();
+    let service = CompileService::start(config(2, faults)).unwrap();
+    let listener = SocketListener::bind(&addr).unwrap();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let serve_shutdown = Arc::clone(&shutdown);
+    let daemon = std::thread::spawn(move || {
+        transport::serve(
+            listener,
+            service,
+            TransportOptions::default(),
+            serve_shutdown,
+        )
+    });
+
+    let escape = |s: &str| s.replace('\n', "\\n");
+    let run_client = |offset: usize| -> Vec<String> {
+        let mut stream = SocketStream::connect(&addr).unwrap();
+        for id in 0..REQUESTS {
+            // Interleave an in-band op mid-stream; it must be answered
+            // on this connection under its own id like any request.
+            if id == REQUESTS / 2 {
+                stream
+                    .write_all(b"{\"op\":\"stats\",\"id\":9999}\n")
+                    .unwrap();
+            }
+            let source = sources[(offset + id) % sources.len()];
+            let line = format!(
+                "{{\"id\":{id},\"emit\":\"cpp\",\"source\":\"{}\"}}\n",
+                escape(source)
+            );
+            stream.write_all(line.as_bytes()).unwrap();
+        }
+        stream.flush().unwrap();
+        stream.shutdown_write().unwrap();
+        let mut lines = Vec::new();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            lines.push(std::mem::take(&mut line).trim_end().to_string());
+        }
+        lines
+    };
+
+    let per_client: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| scope.spawn(move || run_client(c)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let id_of = |line: &str| -> u64 {
+        let rest = &line[line.find("\"id\":").unwrap() + 5..];
+        rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+    };
+    let (mut ok, mut shed, mut panicked, mut parse_failed) = (0u64, 0u64, 0u64, 0u64);
+    for lines in &per_client {
+        // Exactly one response per submitted id, on this connection —
+        // ids 0..REQUESTS once each plus the op's 9999.
+        let mut ids: Vec<u64> = lines.iter().map(|l| id_of(l)).collect();
+        ids.sort_unstable();
+        let mut expected: Vec<u64> = (0..REQUESTS as u64).collect();
+        expected.push(9999);
+        assert_eq!(ids, expected, "exactly one response per id per connection");
+        for line in lines {
+            if line.contains("\"op\":\"stats\"") {
+                continue;
+            }
+            if line.contains("\"ok\":true") {
+                ok += 1;
+            } else if line.contains("\"kind\":\"overloaded\"") {
+                shed += 1;
+            } else if line.contains("\"kind\":\"shard_panic\"") {
+                panicked += 1;
+            } else if line.contains("\"kind\":\"parse\"") {
+                parse_failed += 1;
+            } else {
+                panic!("unexpected failure class: {line}");
+            }
+        }
+    }
+    let submitted = (CLIENTS * REQUESTS) as u64;
+    assert_eq!(ok + shed + panicked + parse_failed, submitted);
+    assert_eq!(panicked, 2, "each injected panic kills exactly one request");
+    assert!(parse_failed > 0, "the malformed source rode every stream");
+
+    shutdown.store(true, Ordering::SeqCst);
+    let (service, report) = daemon.join().unwrap().unwrap();
+    assert_eq!(report.accepted, CLIENTS as u64);
+    assert_eq!(
+        report.requests,
+        submitted + CLIENTS as u64,
+        "compiles + one op per connection"
+    );
+    assert_eq!(report.snapshot.open, 0, "all connections drained closed");
+    let stats = service.shutdown();
+    assert_eq!(stats.panics(), panicked);
+    let compiled = stats
+        .shards
+        .iter()
+        .map(|s| s.cache.hits + s.cache.misses)
+        .sum::<u64>();
+    assert_eq!(compiled, ok, "every ok response is a hit or a miss");
+    assert_eq!(
+        compiled + shed + panicked + parse_failed,
+        submitted,
+        "hits + misses + shed + failed == submitted, fleet-wide"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

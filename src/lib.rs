@@ -33,10 +33,16 @@
 //!
 //! * **Sharded service** (`gmc_serve::CompileService`): N worker
 //!   threads, each owning one session, fed through a work queue.
-//!   Requests are parsed in the submitting thread and routed by a
-//!   stable hash of the chain *shape* modulo the shard count, so repeat
-//!   shapes always land on the shard whose caches are already warm.
-//!   Routing is purely a performance hint — compilation is
+//!   Requests are parsed in the submitting thread and routed by
+//!   **power-of-two-choices over live queue depths**: a stable hash of
+//!   the chain *shape* picks the cache-warm home shard, a second
+//!   (salted) hash picks a distinct alternative, and the request
+//!   routes away from home only when home's queue is deeper by more
+//!   than a stickiness margin — so repeat shapes stay on the shard
+//!   whose caches are warm until that shard is genuinely backed up
+//!   (`RoutingMode::HashMod` / `--routing hash` pins the old pure
+//!   hash%N policy for comparison; ties break deterministically toward
+//!   home). Routing is purely a performance hint — compilation is
 //!   deterministic, so artifacts are identical wherever a request lands.
 //! * **Bounded chain cache**: each session's compiled-chain cache is
 //!   LRU-bounded (`CompileSession::set_chain_cache_capacity`) with
@@ -53,6 +59,24 @@
 //!   `--persist FILE` makes restarts warm). Batch mode is hardened the
 //!   same way: per-file diagnostics, healthy inputs still emit, dirty
 //!   exit code.
+//! * **Multiplexed socket transport** (`gmc_serve::transport`,
+//!   `gmcc --listen unix:PATH|tcp:HOST:PORT`): the same JSONL protocol
+//!   over unix/TCP sockets with many concurrent connections. Each
+//!   connection gets a reader and a writer thread; a single dispatcher
+//!   owns the `CompileService`, remapping per-connection request ids
+//!   onto private tokens so clients can **pipeline** requests and
+//!   receive responses out of order (matched by id, ids scoped per
+//!   connection). Half-close (client shutdown of its write side)
+//!   drains that connection's in-flight work before closing; transport
+//!   counters (`gmc_connections`, accepted/closed totals, per-conn
+//!   in-flight) ride the in-band health/metrics responses and the
+//!   Prometheus dump. `gmcc --connect ADDR` is the matching pipelining
+//!   client.
+//! * **Snapshot rotation**: `--persist-keep K` keeps the last K
+//!   snapshot generations (`cache.snap`, `cache.snap.1`, …) via an
+//!   atomic rename chain; startup restores the newest *decodable*
+//!   generation, quarantining corrupt ones to `.bad` — a torn final
+//!   write can no longer cost the whole warm-start history.
 //! * **Supervision** (`gmc_serve::supervisor`): each compile runs under
 //!   a per-shard panic boundary; a panicking shard answers the doomed
 //!   request with a typed `shard_panic` error, then restarts with a
@@ -224,7 +248,9 @@
 //!
 //! Selection latency is tracked in `BENCH_select.json`
 //! (`cargo run --release --features parallel --bin bench_select`), the
-//! serving trajectory (cold vs. warm vs. restored-from-disk) in
+//! serving trajectory (cold vs. warm vs. restored-from-disk, plus the
+//! `--load` closed-loop socket sweep: connections × shards QPS/latency
+//! table and the skewed-workload two-choices-vs-hash%N comparison) in
 //! `BENCH_serve.json` (`cargo run --release --bin bench_serve`),
 //! alongside `BENCH_gemm.json` / `BENCH_dp.json` for the kernel and DP
 //! trajectories.
