@@ -115,6 +115,24 @@ pub struct DriverConfig {
     /// stderr, with a per-stage breakdown when tracing is on (serve
     /// mode).
     pub slow_ms: Option<u64>,
+    /// Per-connection in-flight cap (socket serve mode): a connection
+    /// with this many unanswered compile requests has further requests
+    /// shed in band with a retryable `overloaded` error. 0 disables.
+    pub conn_in_flight_cap: usize,
+    /// Max concurrently open connections (socket serve mode): beyond
+    /// this the daemon accepts, answers one typed `overloaded` line,
+    /// and closes. 0 disables.
+    pub max_conns: usize,
+    /// Idle-connection timeout in milliseconds (socket serve mode):
+    /// connections with zero in-flight requests and no traffic for this
+    /// long are closed.
+    pub idle_timeout_ms: Option<u64>,
+    /// Client mode: resend a request up to this many times when the
+    /// daemon answers with a retryable failure (`overloaded`,
+    /// `deadline_exceeded`, `shard_panic`, `shard_down`), with jittered
+    /// capped exponential backoff. 0 disables; only requests carrying
+    /// an explicit `id` are retried.
+    pub retry: u32,
 }
 
 /// Default bound on a JSONL request line in serve mode (1 MiB).
@@ -172,6 +190,10 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
         timings: false,
         metrics_file: None,
         slow_ms: None,
+        conn_in_flight_cap: 64,
+        max_conns: 0,
+        idle_timeout_ms: None,
+        retry: 3,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -263,6 +285,32 @@ pub fn parse_args(args: &[String]) -> Result<DriverConfig, DriverError> {
                     .ok_or_else(|| {
                         DriverError::Usage("--max-line-bytes needs an integer >= 2".into())
                     })?;
+            }
+            "--conn-in-flight-cap" => {
+                config.conn_in_flight_cap =
+                    it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                        DriverError::Usage("--conn-in-flight-cap needs an integer (0 = off)".into())
+                    })?;
+            }
+            "--max-conns" => {
+                config.max_conns = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    DriverError::Usage("--max-conns needs an integer (0 = off)".into())
+                })?;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms: &u64| ms >= 1)
+                        .ok_or_else(|| {
+                            DriverError::Usage("--idle-timeout-ms needs a positive integer".into())
+                        })?,
+                );
+            }
+            "--retry" => {
+                config.retry = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    DriverError::Usage("--retry needs an integer (0 = off)".into())
+                })?;
             }
             "--enable-faults" => config.enable_faults = true,
             "--timings" => config.timings = true,
@@ -1062,6 +1110,10 @@ fn run_serve_socket(
         max_line_bytes: config.max_line_bytes,
         metrics_file: config.metrics_file.clone(),
         attach_runtime_header: true,
+        conn_in_flight_cap: config.conn_in_flight_cap,
+        max_conns: config.max_conns,
+        idle_timeout: config.idle_timeout_ms.map(std::time::Duration::from_millis),
+        ..TransportOptions::default()
     };
     // The signal handler stores into the process-wide flag; the
     // transport polls an `Arc`, so a bridge thread forwards the edge
@@ -1110,11 +1162,55 @@ fn run_serve_socket(
     Ok((report.requests, report.failures))
 }
 
+/// The explicit `"id":N` field of a JSONL request or response line, if
+/// it has one.
+fn jsonl_id(line: &str) -> Option<u64> {
+    let rest = line[line.find("\"id\":")? + 5..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Whether a `"ok":false` response line carries a retryable failure
+/// kind (shedding, deadline, panic, down shard — transient daemon
+/// states an identical resend can outlive).
+fn retryable_response(line: &str) -> bool {
+    let kind = line
+        .split("\"kind\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next());
+    matches!(
+        kind,
+        Some("overloaded" | "deadline_exceeded" | "shard_panic" | "shard_down")
+    )
+}
+
+/// Jittered capped exponential backoff before resending request `id`
+/// for the `attempt`-th time (1-based): base 10 ms doubling to a 200 ms
+/// cap, with the actual sleep drawn deterministically from
+/// `[cap/2, cap]` by hashing `(id, attempt)` — concurrent clients
+/// retrying the same shed burst decorrelate without a shared RNG.
+fn retry_backoff(id: u64, attempt: u32) -> std::time::Duration {
+    let cap = (10u64 << attempt.min(5)).min(200);
+    let hash = id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    std::time::Duration::from_millis(cap / 2 + hash % (cap / 2 + 1))
+}
+
 /// Client mode (`gmcc --connect <addr> [requests.jsonl|-]`): connect to
 /// a listening daemon, pipeline every request line from the input file
-/// (or stdin) without waiting for responses, half-close the socket, and
-/// print each response line to stdout as it arrives (completion order —
-/// match them to requests by `id`). Returns `(responses, failures)`.
+/// (or stdin) without waiting for responses, and print each response
+/// line to stdout as it arrives (completion order — match them to
+/// requests by `id`). Responses with a retryable failure kind
+/// (`overloaded` from admission control, `deadline_exceeded`,
+/// `shard_panic`, `shard_down`) are resent up to `--retry` times with
+/// jittered capped backoff instead of being printed, so shed traffic
+/// converges; only requests carrying an explicit `id` participate
+/// (positional ids shift on resend). Once every request has a final
+/// response the socket is half-closed. Returns `(responses, failures)`
+/// counting final responses only.
 ///
 /// # Errors
 ///
@@ -1135,27 +1231,24 @@ pub fn run_connect(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
     let mut write_half = stream
         .try_clone()
         .map_err(|e| DriverError::Io(addr_path.clone(), e))?;
-    // Responses print from their own thread so a deep pipeline can't
-    // deadlock on a full socket buffer.
-    let printer = std::thread::spawn(move || -> std::io::Result<(u64, u64)> {
-        let stdout = std::io::stdout();
-        let mut out = stdout.lock();
+    // Responses arrive on their own thread so a deep pipeline can't
+    // deadlock on a full socket buffer; the main thread owns stdout,
+    // the retry bookkeeping, and the write half.
+    let (lines_tx, lines_rx) = std::sync::mpsc::channel::<String>();
+    let reader_thread = std::thread::spawn(move || {
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
-        let (mut responses, mut failures) = (0u64, 0u64);
         loop {
             line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                break;
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if lines_tx.send(std::mem::take(&mut line)).is_err() {
+                        break;
+                    }
+                }
             }
-            responses += 1;
-            if line.contains("\"ok\":false") {
-                failures += 1;
-            }
-            out.write_all(line.as_bytes())?;
         }
-        out.flush()?;
-        Ok((responses, failures))
     });
     let input: Box<dyn BufRead> = match config.inputs.first() {
         Some(path) if path != Path::new("-") => {
@@ -1164,6 +1257,9 @@ pub fn run_connect(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
         }
         _ => Box::new(BufReader::new(std::io::stdin())),
     };
+    // Requests with an explicit id are kept around for resending.
+    let mut sent: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    let mut outstanding = 0u64;
     for line in input.lines() {
         let line = line.map_err(|e| DriverError::Io(PathBuf::from("<requests>"), e))?;
         if line.trim().is_empty() {
@@ -1173,15 +1269,64 @@ pub fn run_connect(config: &DriverConfig) -> Result<(u64, u64), DriverError> {
             .write_all(line.as_bytes())
             .and_then(|()| write_half.write_all(b"\n"))
             .map_err(|e| DriverError::Io(addr_path.clone(), e))?;
+        outstanding += 1;
+        if config.retry > 0 {
+            if let Some(id) = jsonl_id(&line) {
+                sent.insert(id, line);
+            }
+        }
     }
     write_half
         .flush()
-        .and_then(|()| write_half.shutdown_write())
         .map_err(|e| DriverError::Io(addr_path.clone(), e))?;
-    printer
-        .join()
-        .expect("printer thread panicked")
-        .map_err(|e| DriverError::Io(addr_path, e))
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut attempts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let (mut responses, mut failures, mut retried) = (0u64, 0u64, 0u64);
+    while outstanding > 0 {
+        let Ok(line) = lines_rx.recv() else {
+            break; // connection closed with responses still outstanding
+        };
+        let id = jsonl_id(&line);
+        if line.contains("\"ok\":false") && retryable_response(&line) {
+            if let Some(request) = id.filter(|i| sent.contains_key(i)).map(|i| &sent[&i]) {
+                let attempt = attempts.entry(id.unwrap_or(0)).or_insert(0);
+                if *attempt < config.retry {
+                    *attempt += 1;
+                    std::thread::sleep(retry_backoff(id.unwrap_or(0), *attempt));
+                    let resent = write_half
+                        .write_all(request.as_bytes())
+                        .and_then(|()| write_half.write_all(b"\n"))
+                        .and_then(|()| write_half.flush());
+                    if resent.is_ok() {
+                        retried += 1;
+                        continue; // withhold the failure; await the retry's response
+                    }
+                    // The daemon hung up: fall through and report the
+                    // failure we were about to swallow.
+                }
+            }
+        }
+        responses += 1;
+        if line.contains("\"ok\":false") {
+            failures += 1;
+        }
+        out.write_all(line.as_bytes())
+            .map_err(|e| DriverError::Io(PathBuf::from("<stdout>"), e))?;
+        outstanding -= 1;
+    }
+    out.flush()
+        .map_err(|e| DriverError::Io(PathBuf::from("<stdout>"), e))?;
+    // Every request has a final response (or the daemon hung up):
+    // half-close so the daemon drains the connection.
+    let _ = write_half.shutdown_write();
+    drop(lines_rx);
+    reader_thread.join().expect("reader thread panicked");
+    if retried > 0 {
+        eprintln!("gmcc --connect: {retried} retryable failure(s) resent with backoff");
+    }
+    Ok((responses, failures))
 }
 
 /// Usage text for `gmcc --help`.
@@ -1198,7 +1343,8 @@ USAGE:
          [--metrics-file FILE] [--slow-ms MS] [--emit cpp|rust|both]
          [--expand K] [--train N] [--routing two-choices|hash-mod]
     gmcc --listen <unix:PATH|tcp:HOST:PORT> [same flags as --serve]
-    gmcc --connect <unix:PATH|tcp:HOST:PORT> [requests.jsonl|-]
+         [--conn-in-flight-cap N] [--max-conns N] [--idle-timeout-ms MS]
+    gmcc --connect <unix:PATH|tcp:HOST:PORT> [requests.jsonl|-] [--retry N]
 
 Multiple inputs compile as one batch ( --jobs N splits it across N
 worker threads; artifacts are identical for every N). A failing input
@@ -1244,9 +1390,20 @@ requests without one get their 1-based position in that connection's
 stream). {\"op\": \"health\"} and {\"op\": \"metrics\"} responses
 additionally carry a `transport` object (open/accepted/closed
 connections, per-connection in-flight), and the Prometheus dump gains
-a gmc_connections gauge. gmcc --connect ADDR [FILE|-] is the matching
-client: it pipelines FILE's request lines over one connection and
-prints each response line to stdout.
+a gmc_connections gauge. The socket daemon applies end-to-end
+backpressure: --conn-in-flight-cap N (default 64, 0 = off) sheds a
+connection's requests over N outstanding with a retryable `overloaded`
+error; each connection's outbound queue is bounded, and a client that
+stops reading past a grace window is closed with its in-flight work
+written off (late shard replies are dropped and counted); --max-conns
+N refuses connections beyond N with one typed line; --idle-timeout-ms
+MS reaps connections with zero in-flight. gmcc --connect ADDR [FILE|-]
+is the matching client: it pipelines FILE's request lines over one
+connection and prints each response line to stdout; retryable
+failures (overloaded, deadline_exceeded, shard_panic, shard_down) are
+resent up to --retry N times (default 3, 0 = off) with jittered
+capped backoff before the failure is surfaced, so shed traffic
+converges instead of failing.
 
 Observability: --timings prints a per-stage timing breakdown (parse,
 enumerate, dp, select, expand, emit) for each input after its variant
@@ -1787,5 +1944,154 @@ mod tests {
         enabled.push("--enable-faults".into());
         let config = parse_args(&enabled).unwrap();
         assert_eq!(run_serve(&config).unwrap(), (1, 0));
+    }
+
+    #[test]
+    fn backpressure_and_client_flags_parse() {
+        let c = parse_args(&[
+            "--listen".into(),
+            "unix:/tmp/gmc.sock".into(),
+            "--conn-in-flight-cap".into(),
+            "8".into(),
+            "--max-conns".into(),
+            "2".into(),
+            "--idle-timeout-ms".into(),
+            "500".into(),
+        ])
+        .unwrap();
+        assert_eq!(c.conn_in_flight_cap, 8);
+        assert_eq!(c.max_conns, 2);
+        assert_eq!(c.idle_timeout_ms, Some(500));
+        // Defaults: cap on at 64, no conn limit, no idle reaping, 3 retries.
+        let d = parse_args(&["--listen".into(), "unix:/tmp/gmc.sock".into()]).unwrap();
+        assert_eq!(d.conn_in_flight_cap, 64);
+        assert_eq!(d.max_conns, 0);
+        assert_eq!(d.idle_timeout_ms, None);
+        assert_eq!(d.retry, 3);
+        // 0 disables the cap and retries explicitly; a zero idle
+        // timeout would reap every connection and is rejected.
+        let z = parse_args(&[
+            "--listen".into(),
+            "unix:/tmp/gmc.sock".into(),
+            "--conn-in-flight-cap".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        assert_eq!(z.conn_in_flight_cap, 0);
+        let r = parse_args(&[
+            "--connect".into(),
+            "unix:/tmp/gmc.sock".into(),
+            "--retry".into(),
+            "0".into(),
+        ])
+        .unwrap();
+        assert_eq!(r.retry, 0);
+        assert!(matches!(
+            parse_args(&[
+                "--listen".into(),
+                "unix:/tmp/gmc.sock".into(),
+                "--idle-timeout-ms".into(),
+                "0".into()
+            ]),
+            Err(DriverError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn retry_helpers_classify_and_bound() {
+        assert_eq!(jsonl_id("{\"id\":42,\"ok\":true}"), Some(42));
+        assert_eq!(jsonl_id("{\"id\": 7, \"source\": \"...\"}"), Some(7));
+        assert_eq!(jsonl_id("{\"ok\":true}"), None);
+        assert!(retryable_response(
+            "{\"id\":1,\"ok\":false,\"kind\":\"overloaded\",\"error\":\"x\"}"
+        ));
+        assert!(retryable_response(
+            "{\"id\":1,\"ok\":false,\"kind\":\"shard_panic\",\"error\":\"x\"}"
+        ));
+        assert!(!retryable_response(
+            "{\"id\":1,\"ok\":false,\"kind\":\"parse\",\"error\":\"x\"}"
+        ));
+        assert!(!retryable_response("{\"id\":1,\"ok\":false}"));
+        for id in 0..20u64 {
+            for attempt in 1..=8u32 {
+                let d = retry_backoff(id, attempt).as_millis() as u64;
+                let cap = (10u64 << attempt.min(5)).min(200);
+                assert!(d >= cap / 2 && d <= cap, "backoff in [cap/2, cap]");
+            }
+        }
+        // Jitter actually varies across ids (decorrelated retries).
+        let spread: std::collections::HashSet<u128> = (0..50u64)
+            .map(|id| retry_backoff(id, 3).as_millis())
+            .collect();
+        assert!(spread.len() > 10, "ids decorrelate: {spread:?}");
+    }
+
+    /// End to end: a daemon with a per-connection in-flight cap of 1
+    /// sheds the pipelined burst, and the client's retry/backoff loop
+    /// converges it to zero final failures.
+    #[test]
+    fn connect_retries_shed_requests_until_they_converge() {
+        use gmc_serve::transport::{self, ListenAddr, SocketListener, TransportOptions};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join("gmcc_connect_retry_e2e");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("gmc.sock");
+        let requests = dir.join("requests.jsonl");
+        let src = SRC.replace('\n', " ");
+        std::fs::write(
+            &requests,
+            format!(
+                "{{\"id\": 1, \"source\": \"{src}\"}}\n\
+                 {{\"id\": 2, \"source\": \"{src}\"}}\n\
+                 {{\"id\": 3, \"source\": \"{src}\"}}\n"
+            ),
+        )
+        .unwrap();
+
+        let faults = gmc_serve::fault::FaultPlan::parse("delay:10").unwrap();
+        let service = gmc_serve::CompileService::start(gmc_serve::ServeConfig {
+            options: gmc_core::CompileOptions {
+                training_instances: 40,
+                ..gmc_core::CompileOptions::default()
+            },
+            faults: faults.clone(),
+            ..gmc_serve::ServeConfig::default()
+        })
+        .unwrap();
+        let listener = SocketListener::bind(&ListenAddr::Unix(sock.clone())).unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let serve_shutdown = Arc::clone(&shutdown);
+        let options = TransportOptions {
+            conn_in_flight_cap: 1,
+            faults,
+            ..TransportOptions::default()
+        };
+        let daemon = std::thread::spawn(move || {
+            transport::serve(listener, service, options, serve_shutdown)
+        });
+
+        let config = parse_args(&[
+            "--connect".into(),
+            format!("unix:{}", sock.display()),
+            requests.to_string_lossy().into_owned(),
+            "--retry".into(),
+            "5".into(),
+        ])
+        .unwrap();
+        let (responses, failures) = run_connect(&config).unwrap();
+        assert_eq!(responses, 3, "every request gets one final response");
+        assert_eq!(failures, 0, "the shed burst converged through retries");
+
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = daemon.join().unwrap().unwrap();
+        assert!(
+            report.snapshot.conn_shed >= 1,
+            "the cap actually shed at least one pipelined request"
+        );
+        let _ = service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

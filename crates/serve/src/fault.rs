@@ -22,6 +22,9 @@
 //! | `delay:<ms>` | every compile on every shard sleeps `<ms>` ms first | queue growth, admission control (shedding), deadline expiry at dequeue and in the submitter |
 //! | `snapshot_torn` | snapshot saves write a truncated file directly to the target path, bypassing the atomic rename | corrupt-snapshot quarantine and cold start on the next boot |
 //! | `frag_torn` | snapshot saves cut the file mid-way through its trailing fragment section (truncated write, no rename) | the fragment section's count check: a torn fragment tail must corrupt the whole snapshot, never restore a partial store |
+//! | `conn_drop:<conn>:<nth>` | socket connection `<conn>` (1-based accept order) is severed in place of its `<nth>` outbound line — an abrupt disconnect mid-response | killed-connection write-off: in-flight work leaves the exactly-once tables, late shard replies are dropped and counted |
+//! | `conn_stall:<conn>:<ms>` | connection `<conn>`'s writer sleeps `<ms>` ms before every line it writes (a slow reader / slowloris peer) | bounded writer queues: overflow, the slow-consumer grace window, and slow-close |
+//! | `conn_garbage:<conn>` | connection `<conn>`'s 2nd request line is read as non-UTF-8 garbage | in-band `bad_request` answers keep per-connection id accounting exact even mid-stream |
 //!
 //! Panics fire *before* the session is touched, so a killed shard's
 //! session never observes a half-applied compile — which also keeps the
@@ -47,6 +50,13 @@ struct Spec {
     snapshot_torn: bool,
     /// Tear snapshot saves mid-way through the fragment section.
     frag_torn: bool,
+    /// `(connection, nth outbound line)` pairs that sever the
+    /// connection in place of that line, 1-based.
+    conn_drops: Vec<(u64, u64)>,
+    /// Per-connection writer stall before every outbound line.
+    conn_stalls: Vec<(u64, Duration)>,
+    /// Connections whose 2nd request line is read as garbage.
+    conn_garbage: Vec<u64>,
 }
 
 /// A shared, thread-safe fault plan (see the [module docs](self) for
@@ -136,6 +146,41 @@ impl FaultPlan {
                 }
                 "snapshot_torn" => add.snapshot_torn = true,
                 "frag_torn" => add.frag_torn = true,
+                "conn_drop" => {
+                    let conn: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| format!("`{clause}`: expected conn_drop:<conn>:<nth>"))?;
+                    let nth: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!("`{clause}`: expected conn_drop:<conn>:<nth> with nth >= 1")
+                        })?;
+                    add.conn_drops.push((conn, nth));
+                }
+                "conn_stall" => {
+                    let conn: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| format!("`{clause}`: expected conn_stall:<conn>:<ms>"))?;
+                    let ms: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("`{clause}`: expected conn_stall:<conn>:<ms>"))?;
+                    add.conn_stalls.push((conn, Duration::from_millis(ms)));
+                }
+                "conn_garbage" => {
+                    let conn: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&c| c >= 1)
+                        .ok_or_else(|| format!("`{clause}`: expected conn_garbage:<conn>"))?;
+                    add.conn_garbage.push(conn);
+                }
                 other => return Err(format!("unknown fault `{other}` in `{clause}`")),
             }
             if parts.next().is_some() {
@@ -149,8 +194,16 @@ impl FaultPlan {
         }
         spec.snapshot_torn |= add.snapshot_torn;
         spec.frag_torn |= add.frag_torn;
-        let armed =
-            !spec.panics.is_empty() || spec.delay.is_some() || spec.snapshot_torn || spec.frag_torn;
+        spec.conn_drops.extend(add.conn_drops);
+        spec.conn_stalls.extend(add.conn_stalls);
+        spec.conn_garbage.extend(add.conn_garbage);
+        let armed = !spec.panics.is_empty()
+            || spec.delay.is_some()
+            || spec.snapshot_torn
+            || spec.frag_torn
+            || !spec.conn_drops.is_empty()
+            || !spec.conn_stalls.is_empty()
+            || !spec.conn_garbage.is_empty();
         self.inner.armed.store(armed, Ordering::Release);
         Ok(())
     }
@@ -203,6 +256,54 @@ impl FaultPlan {
     pub(crate) fn tear_frag_section(&self) -> bool {
         self.is_armed() && self.inner.spec.lock().expect("fault spec lock").frag_torn
     }
+
+    /// Transport hook: `true` if connection `conn`'s `nth` outbound
+    /// line (1-based) should sever the connection instead of being
+    /// written — an abrupt disconnect mid-response.
+    pub(crate) fn conn_drop_hit(&self, conn: u64, nth: u64) -> bool {
+        self.is_armed()
+            && self
+                .inner
+                .spec
+                .lock()
+                .expect("fault spec lock")
+                .conn_drops
+                .contains(&(conn, nth))
+    }
+
+    /// Transport hook: the armed writer stall for connection `conn`,
+    /// slept before every line its writer thread flushes (a slow
+    /// reader from the daemon's point of view).
+    pub(crate) fn conn_stall(&self, conn: u64) -> Option<Duration> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.inner
+            .spec
+            .lock()
+            .expect("fault spec lock")
+            .conn_stalls
+            .iter()
+            .find(|(c, _)| *c == conn)
+            .map(|(_, d)| *d)
+    }
+
+    /// Transport hook: `true` if connection `conn`'s request line
+    /// `line_no` should be read as non-UTF-8 garbage. The trigger is
+    /// pinned to the 2nd line so the fault lands mid-stream (after the
+    /// connection has proven it can speak the protocol) and stays a
+    /// deterministic function of the request stream.
+    pub(crate) fn conn_garbage_hit(&self, conn: u64, line_no: u64) -> bool {
+        line_no == 2
+            && self.is_armed()
+            && self
+                .inner
+                .spec
+                .lock()
+                .expect("fault spec lock")
+                .conn_garbage
+                .contains(&conn)
+    }
 }
 
 #[cfg(test)]
@@ -211,14 +312,38 @@ mod tests {
 
     #[test]
     fn parses_the_full_matrix() {
-        let plan =
-            FaultPlan::parse("panic:0:3, delay:7 ,snapshot_torn,panic:1:2,frag_torn").unwrap();
+        let plan = FaultPlan::parse(
+            "panic:0:3, delay:7 ,snapshot_torn,panic:1:2,frag_torn,\
+             conn_drop:2:5,conn_stall:1:40,conn_garbage:3",
+        )
+        .unwrap();
         assert!(plan.is_armed());
         assert!(plan.tear_snapshot());
         assert!(plan.tear_frag_section());
         let spec = plan.inner.spec.lock().unwrap();
         assert_eq!(spec.panics, vec![(0, 3), (1, 2)]);
         assert_eq!(spec.delay, Some(Duration::from_millis(7)));
+        assert_eq!(spec.conn_drops, vec![(2, 5)]);
+        assert_eq!(spec.conn_stalls, vec![(1, Duration::from_millis(40))]);
+        assert_eq!(spec.conn_garbage, vec![3]);
+    }
+
+    #[test]
+    fn connection_hooks_trigger_exactly() {
+        let plan = FaultPlan::parse("conn_drop:2:5,conn_stall:1:40,conn_garbage:3").unwrap();
+        assert!(plan.conn_drop_hit(2, 5));
+        assert!(!plan.conn_drop_hit(2, 4), "nth is exact");
+        assert!(!plan.conn_drop_hit(1, 5), "conn is exact");
+        assert_eq!(plan.conn_stall(1), Some(Duration::from_millis(40)));
+        assert_eq!(plan.conn_stall(2), None);
+        assert!(plan.conn_garbage_hit(3, 2), "pinned to the 2nd line");
+        assert!(!plan.conn_garbage_hit(3, 1));
+        assert!(!plan.conn_garbage_hit(3, 3));
+        assert!(!plan.conn_garbage_hit(1, 2));
+        plan.clear();
+        assert!(!plan.conn_drop_hit(2, 5));
+        assert_eq!(plan.conn_stall(1), None);
+        assert!(!plan.conn_garbage_hit(3, 2));
     }
 
     #[test]
@@ -243,6 +368,17 @@ mod tests {
             "frobnicate",
             "snapshot_torn:5",
             "frag_torn:1",
+            "conn_drop",
+            "conn_drop:1",
+            "conn_drop:0:1",
+            "conn_drop:1:0",
+            "conn_drop:1:2:3",
+            "conn_stall:1",
+            "conn_stall:0:5",
+            "conn_stall:1:x",
+            "conn_garbage",
+            "conn_garbage:0",
+            "conn_garbage:1:2",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
         }

@@ -372,16 +372,25 @@ pub fn ack_line(id: u64, op: &str) -> String {
 }
 
 /// Render a [`TransportSnapshot`](crate::transport::TransportSnapshot)
-/// as a JSON object: open/accepted/closed connection counters plus one
-/// `{"conn":N,"in_flight":N}` entry per open connection in accept
-/// order.
+/// as a JSON object: open/accepted/closed connection counters, the
+/// backpressure counters (shed/slow-closed/idle-reaped/refused/
+/// written-off), plus one `{"conn":N,"in_flight":N}` entry per open
+/// connection in accept order.
 #[must_use]
 pub fn transport_json(transport: &crate::transport::TransportSnapshot) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"open\":{},\"accepted\":{},\"closed\":{},\"connections\":[",
-        transport.open, transport.accepted, transport.closed,
+        "{{\"open\":{},\"accepted\":{},\"closed\":{},\"shed\":{},\"slow_closed\":{},\
+         \"idle_reaped\":{},\"refused\":{},\"written_off\":{},\"connections\":[",
+        transport.open,
+        transport.accepted,
+        transport.closed,
+        transport.conn_shed,
+        transport.conn_slow_closed,
+        transport.conn_idle_reaped,
+        transport.conn_refused,
+        transport.conn_written_off,
     );
     for (i, (conn, in_flight)) in transport.connections.iter().enumerate() {
         if i > 0 {
@@ -608,15 +617,20 @@ mod tests {
             accepted: 5,
             closed: 3,
             connections: vec![(4, 1), (5, 0)],
+            conn_shed: 9,
+            conn_slow_closed: 2,
+            conn_idle_reaped: 4,
+            conn_refused: 1,
+            conn_written_off: 6,
         };
         assert_eq!(
             transport_json(&snapshot),
-            r#"{"open":2,"accepted":5,"closed":3,"connections":[{"conn":4,"in_flight":1},{"conn":5,"in_flight":0}]}"#
+            r#"{"open":2,"accepted":5,"closed":3,"shed":9,"slow_closed":2,"idle_reaped":4,"refused":1,"written_off":6,"connections":[{"conn":4,"in_flight":1},{"conn":5,"in_flight":0}]}"#
         );
         let empty = crate::transport::TransportSnapshot::default();
         assert_eq!(
             transport_json(&empty),
-            r#"{"open":0,"accepted":0,"closed":0,"connections":[]}"#
+            r#"{"open":0,"accepted":0,"closed":0,"shed":0,"slow_closed":0,"idle_reaped":0,"refused":0,"written_off":0,"connections":[]}"#
         );
     }
 
@@ -627,11 +641,12 @@ mod tests {
             accepted: 1,
             closed: 0,
             connections: vec![(1, 0)],
+            ..crate::transport::TransportSnapshot::default()
         };
         let health = health_line_with_transport(9, &[], &snapshot);
         assert_eq!(
             health,
-            r#"{"id":9,"ok":true,"op":"health","shards":[],"live":0,"transport":{"open":1,"accepted":1,"closed":0,"connections":[{"conn":1,"in_flight":0}]}}"#
+            r#"{"id":9,"ok":true,"op":"health","shards":[],"live":0,"transport":{"open":1,"accepted":1,"closed":0,"shed":0,"slow_closed":0,"idle_reaped":0,"refused":0,"written_off":0,"connections":[{"conn":1,"in_flight":0}]}}"#
         );
         assert!(health.ends_with("}}"));
         let plain = health_line(9, &[]);

@@ -47,6 +47,27 @@
 //!   Every submitted request receives **exactly one** response: an
 //!   internal sequence number deduplicates late shard responses against
 //!   submitter-side write-offs.
+//! * **Connection backpressure.** The socket transport extends the same
+//!   discipline from the shard queues to the connection layer, so one
+//!   abusive connection cannot grow daemon memory or starve its
+//!   neighbors. A per-connection in-flight admission cap
+//!   ([`TransportOptions::conn_in_flight_cap`]) sheds over-cap requests
+//!   in band with retryable `overloaded` — cap → shed → client
+//!   retry/backoff is the intended control loop, not an error path.
+//!   Outbound writers are bounded ([`TransportOptions::writer_queue`]):
+//!   a connection that stops reading spills to a dispatcher-side
+//!   overflow, and once that overflow outgrows one queue's worth — or
+//!   the queue stays full past [`TransportOptions::writer_grace`] — the
+//!   connection is slow-closed and its in-flight work is *written off*
+//!   through the same exactly-once sequence numbers (late shard replies
+//!   dropped and counted, never delivered to a dead socket). Lifecycle
+//!   limits bound the population: [`TransportOptions::max_conns`]
+//!   refuses extra connections with a typed in-band line before
+//!   closing, and [`TransportOptions::idle_timeout`] reaps silent
+//!   connections (in-flight or undelivered work exempts). Every
+//!   shed/refusal/slow-close/reap/write-off increments a
+//!   [`TransportSnapshot`] counter exposed in band and in the
+//!   Prometheus dump.
 //! * **Warm-restart persistence.** [`CompileService::snapshot`] merges
 //!   the per-shard caches into one [`gmc_core::SessionSnapshot`] —
 //!   shape descriptors plus selected parenthesizations, *not* emitted
@@ -96,9 +117,12 @@
 //!   slower than `gmcc --slow-ms` log their per-stage breakdown
 //!   (parse → enumerate → DP → select → expand → emit) to stderr.
 //! * **Deterministic fault injection.** The [`fault`] module arms
-//!   shard panics, compile delays, and torn snapshot writes from a spec
-//!   string (`GMC_FAULT=panic:0:3,delay:5,snapshot_torn`), so every
-//!   robustness claim above is exercised by tests rather than asserted.
+//!   shard panics, compile delays, torn snapshot writes, and
+//!   connection-level faults — dropped, stalled, and garbage-injecting
+//!   connections — from a spec string
+//!   (`GMC_FAULT=panic:0:3,delay:5,conn_drop:2:4,snapshot_torn`), so
+//!   every robustness claim above is exercised by tests (including a
+//!   transport chaos property test) rather than asserted.
 //!
 //! Responses stream back over a channel as shards finish, tagged with
 //! the caller's request id (completion order is not submission order).
@@ -113,9 +137,14 @@
 //! vs. warm vs. restored-from-disk throughput trajectory plus
 //! shed/deadline behavior under an overload burst in
 //! `BENCH_serve.json`, and `bench_serve --load` drives the socket
-//! stack closed-loop: a connections × shards QPS/latency sweep plus a
+//! stack closed-loop: a connections × shards QPS/latency sweep, a
 //! skewed workload where two-choices routing must beat hash%N tail
-//! latency.
+//! latency, and a greedy-contention A/B where a polite client's p99
+//! under a co-resident greedy pipeliner must improve with the
+//! in-flight cap on vs. off. `bench_serve --load --open-loop` adds
+//! fixed-rate open-loop rows whose latency is measured from the
+//! *scheduled* send time, so queueing delay under overload is charged
+//! to the tail instead of hidden by coordinated omission.
 
 #![warn(missing_docs)]
 

@@ -805,9 +805,7 @@ impl CompileService {
                     // Corrupt/truncated (e.g. a torn write from a crash
                     // mid-save): move it aside and try the next-newest
                     // generation (cold start if none decodes).
-                    let mut bad = gen_path.clone().into_os_string();
-                    bad.push(".bad");
-                    let bad = PathBuf::from(bad);
+                    let bad = Self::quarantine_path(&gen_path);
                     match std::fs::rename(&gen_path, &bad) {
                         Ok(()) => eprintln!(
                             "gmc-serve: snapshot {} is corrupt ({e}); \
@@ -825,6 +823,29 @@ impl CompileService {
             }
         }
         Ok(None)
+    }
+
+    /// First free quarantine name for a corrupt snapshot: `<path>.bad`,
+    /// then `<path>.bad.1`, `.bad.2`, … — repeated corruption keeps
+    /// every piece of evidence instead of overwriting the last one.
+    fn quarantine_path(gen_path: &std::path::Path) -> PathBuf {
+        let base = {
+            let mut s = gen_path.to_path_buf().into_os_string();
+            s.push(".bad");
+            PathBuf::from(s)
+        };
+        if !base.exists() {
+            return base;
+        }
+        for n in 1.. {
+            let mut s = base.clone().into_os_string();
+            s.push(format!(".{n}"));
+            let candidate = PathBuf::from(s);
+            if !candidate.exists() {
+                return candidate;
+            }
+        }
+        unreachable!("some quarantine suffix is free")
     }
 
     /// Number of shards.
@@ -1033,6 +1054,30 @@ impl CompileService {
             ));
         }
         self.pending_by_shard[shard] = 0;
+    }
+
+    /// Write off one outstanding request by its request id — the socket
+    /// transport's dropped-connection policy. The entry leaves the
+    /// outstanding table (no response will be surfaced for it; there is
+    /// no connection left to deliver one to), its shard's pending depth
+    /// drops so routing and admission see the truth, and its end-to-end
+    /// latency sample is recorded like every other shard-attributed
+    /// outcome. The shard may still be working on the request; its
+    /// eventual reply hits [`accept`](Self::accept)'s unknown-sequence
+    /// path and is dropped and counted (`late_drops`) — exactly-once
+    /// stays exact. Returns `false` if no such request is outstanding
+    /// (it already completed or was shed).
+    pub fn write_off(&mut self, id: u64) -> bool {
+        let seq = self
+            .outstanding
+            .iter()
+            .find(|(_, o)| o.id == id)
+            .map(|(&seq, _)| seq);
+        let Some(seq) = seq else { return false };
+        let out = self.outstanding.remove(&seq).expect("seq was just found");
+        self.pending_by_shard[out.shard] = self.pending_by_shard[out.shard].saturating_sub(1);
+        self.shared[out.shard].e2e.record(out.submitted.elapsed());
+        true
     }
 
     /// Block for the next response; `None` once nothing is outstanding.

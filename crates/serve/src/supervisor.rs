@@ -223,7 +223,11 @@ pub(crate) struct ShardCtx {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShardStats {
     /// Compile requests this shard answered (including panicked and
-    /// deadline-expired ones).
+    /// deadline-expired ones). Work the transport *wrote off* for a
+    /// slow-closed connection still counts here: shards never cancel
+    /// admitted work, the write-off only drops the reply at the
+    /// connection layer — which is what makes `requests` equal the
+    /// admitted-request count in the transport chaos invariants.
     pub requests: u64,
     /// Cumulative compiled-chain cache counters, carried across
     /// supervisor restarts.

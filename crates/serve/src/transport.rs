@@ -33,6 +33,42 @@
 //! delivery. Requests without an id get their 1-based position in that
 //! connection's stream, mirroring the stdin daemon.
 //!
+//! # Backpressure and the connection lifecycle
+//!
+//! Per-shard admission ([`ServeConfig::queue_cap`](crate::ServeConfig))
+//! bounds the *fleet*; this layer bounds each *connection* so one
+//! misbehaving client cannot starve the rest:
+//!
+//! * **Per-connection admission**
+//!   ([`TransportOptions::conn_in_flight_cap`]): a request arriving
+//!   while the connection already has `cap` compiles in flight is
+//!   answered in band with retryable `overloaded` — the cap → shed →
+//!   client-retry loop (`gmcc --connect`'s jittered backoff) converges
+//!   instead of letting a greedy pipeliner fill every shard queue. Ops
+//!   (`stats`/`health`/`metrics`/`fault`) bypass the cap so a saturated
+//!   daemon stays observable.
+//! * **Bounded writers** ([`TransportOptions::writer_queue`]): each
+//!   writer thread is fed through a bounded channel; the dispatcher
+//!   never blocks on a slow peer. Lines that do not fit spill to a
+//!   dispatcher-side overflow buffer, and a connection whose overflow
+//!   stays non-empty past [`TransportOptions::writer_grace`] — or grows
+//!   past one queue's worth — is **slow-closed**: the socket is shut
+//!   down and its in-flight work written off through the exactly-once
+//!   bookkeeping ([`CompileService::write_off`]; late shard replies are
+//!   dropped and counted). Daemon memory stays bounded under a client
+//!   that pipelines forever and never reads.
+//! * **Lifecycle limits**: [`TransportOptions::max_conns`] refuses
+//!   connections over the limit with a typed in-band `overloaded` line
+//!   before closing; [`TransportOptions::idle_timeout`] reaps
+//!   connections with zero in-flight work; reads poll on a timeout and
+//!   writes carry an OS-level deadline, so no socket thread can block
+//!   forever on a dead peer.
+//!
+//! Every shed/refusal/slow-close/reap increments a transport counter
+//! (`conn_shed`, `conn_refused`, `conn_slow_closed`, `conn_idle_reaped`,
+//! `conn_written_off`) that rides health/metrics responses and the
+//! Prometheus dump.
+//!
 //! # Shutdown
 //!
 //! The shutdown flag (SIGTERM/SIGINT in `gmcc`) runs the same graceful
@@ -45,23 +81,26 @@
 //! # Transport counters
 //!
 //! The dispatcher keeps live transport counters — connections open /
-//! accepted / closed and per-connection in-flight — snapshotted as
-//! [`TransportSnapshot`]: `{"op":"health"}` and `{"op":"metrics"}`
-//! responses on a socket carry them as a `"transport"` object, and the
-//! Prometheus dump gains a `gmc_connections` gauge (plus
-//! accepted/closed totals and per-connection in-flight gauges).
+//! accepted / closed, per-connection in-flight, and the backpressure
+//! counters above — snapshotted as [`TransportSnapshot`]:
+//! `{"op":"health"}` and `{"op":"metrics"}` responses on a socket carry
+//! them as a `"transport"` object, and the Prometheus dump gains a
+//! `gmc_connections` gauge (plus accepted/closed totals, per-connection
+//! in-flight gauges, and `gmc_conn_*_total` counters).
 
 use crate::fault::FaultPlan;
 use crate::jsonl;
 use crate::service::{CompileRequest, CompileResponse, CompileService, Emit, FailureKind};
 use gmc_obs::{write_prom_counter, write_prom_gauge};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -221,6 +260,20 @@ impl SocketStream {
         }
     }
 
+    /// Bound the blocking time of writes — the transport's write
+    /// deadline, so a writer thread cannot block forever on a peer
+    /// that stopped reading.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying setter failure.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.set_write_timeout(timeout),
+            SocketStream::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+
     /// Close the write half, signalling EOF to the daemon while
     /// responses can still stream back (how a client says "no more
     /// requests").
@@ -232,6 +285,21 @@ impl SocketStream {
         match self {
             SocketStream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
             SocketStream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// Sever the connection in both directions: blocked reads see EOF
+    /// and blocked writes fail immediately, on every clone of the
+    /// underlying socket — how the dispatcher force-closes a
+    /// connection whose reader/writer threads hold their own handles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying shutdown failure.
+    pub fn shutdown_both(&self) -> std::io::Result<()> {
+        match self {
+            SocketStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            SocketStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
         }
     }
 }
@@ -281,6 +349,27 @@ pub struct TransportOptions {
     /// Attach the C++ runtime header to the first `.cpp`-carrying
     /// response of **each connection** (every client needs it once).
     pub attach_runtime_header: bool,
+    /// Per-connection admission cap (`--conn-in-flight-cap`): a compile
+    /// request arriving while the connection already has this many in
+    /// flight is shed in band with retryable `overloaded`. `0` disables
+    /// the cap.
+    pub conn_in_flight_cap: usize,
+    /// Connection limit (`--max-conns`): a connection accepted past the
+    /// limit is refused with one typed in-band `overloaded` line and
+    /// closed. `0` disables the limit.
+    pub max_conns: usize,
+    /// Reap connections with zero in-flight work after this long
+    /// without a request line (`--idle-timeout-ms`); `None` disables.
+    pub idle_timeout: Option<Duration>,
+    /// Bounded writer-queue depth per connection (lines). The
+    /// dispatcher never blocks on a full queue — excess lines spill to
+    /// an overflow buffer governed by [`writer_grace`](Self::writer_grace).
+    pub writer_queue: usize,
+    /// Slow-consumer grace window: a connection whose writer queue
+    /// stays full (overflow non-empty) this long — or whose overflow
+    /// outgrows one queue's worth — is closed and its in-flight work
+    /// written off. Also bounds each socket write (write deadline).
+    pub writer_grace: Duration,
 }
 
 impl Default for TransportOptions {
@@ -292,6 +381,11 @@ impl Default for TransportOptions {
             max_line_bytes: 1 << 20,
             metrics_file: None,
             attach_runtime_header: true,
+            conn_in_flight_cap: 64,
+            max_conns: 0,
+            idle_timeout: None,
+            writer_queue: 128,
+            writer_grace: Duration::from_secs(2),
         }
     }
 }
@@ -311,6 +405,19 @@ pub struct TransportSnapshot {
     /// connection, in accept order. Connection ids are 1-based and
     /// never reused within a daemon's lifetime.
     pub connections: Vec<(u64, u64)>,
+    /// Requests shed at the per-connection in-flight cap.
+    pub conn_shed: u64,
+    /// Connections closed by the slow-consumer policy (writer queue
+    /// full past the grace window, or overflow past one queue's worth).
+    pub conn_slow_closed: u64,
+    /// Connections reaped by the idle timeout.
+    pub conn_idle_reaped: u64,
+    /// Connections refused at the `max_conns` limit.
+    pub conn_refused: u64,
+    /// In-flight requests written off because their connection died
+    /// (slow-close, idle reap with a racing request, peer gone,
+    /// injected `conn_drop`).
+    pub conn_written_off: u64,
 }
 
 impl TransportSnapshot {
@@ -328,6 +435,29 @@ impl TransportSnapshot {
             true,
         );
         write_prom_counter(out, "gmc_connections_closed_total", "", self.closed, true);
+        write_prom_counter(out, "gmc_conn_shed_total", "", self.conn_shed, true);
+        write_prom_counter(
+            out,
+            "gmc_conn_slow_closed_total",
+            "",
+            self.conn_slow_closed,
+            true,
+        );
+        write_prom_counter(
+            out,
+            "gmc_conn_idle_reaped_total",
+            "",
+            self.conn_idle_reaped,
+            true,
+        );
+        write_prom_counter(out, "gmc_conn_refused_total", "", self.conn_refused, true);
+        write_prom_counter(
+            out,
+            "gmc_conn_written_off_total",
+            "",
+            self.conn_written_off,
+            true,
+        );
         for (i, (conn, in_flight)) in self.connections.iter().enumerate() {
             write_prom_gauge(
                 out,
@@ -357,8 +487,11 @@ pub struct TransportReport {
 enum Event {
     Opened {
         conn: u64,
-        writer: Sender<String>,
+        writer: SyncSender<String>,
         writer_handle: JoinHandle<()>,
+        /// A control clone of the socket: `shutdown_both` on it severs
+        /// the reader's and writer's handles too (force-close).
+        ctrl: SocketStream,
     },
     Line {
         conn: u64,
@@ -463,6 +596,7 @@ fn reader_loop(
     max_line: usize,
     events: &Sender<Event>,
     shutdown: &AtomicBool,
+    faults: &FaultPlan,
 ) {
     let mut reader = BufReader::new(stream);
     let mut line_no: u64 = 0;
@@ -476,14 +610,18 @@ fn reader_loop(
                     continue;
                 }
                 line_no += 1;
-                if events
-                    .send(Event::Line {
+                // Injected garbage: this request line arrives as
+                // non-UTF-8 bytes (answered in band as bad_request).
+                let event = if faults.conn_garbage_hit(conn, line_no) {
+                    Event::BadUtf8 { conn, line_no }
+                } else {
+                    Event::Line {
                         conn,
                         line_no,
                         line,
-                    })
-                    .is_err()
-                {
+                    }
+                };
+                if events.send(event).is_err() {
                     break;
                 }
             }
@@ -505,9 +643,14 @@ fn reader_loop(
     let _ = events.send(Event::Eof { conn });
 }
 
-fn writer_loop(stream: SocketStream, lines: &Receiver<String>) {
+fn writer_loop(stream: SocketStream, lines: &Receiver<String>, conn: u64, faults: &FaultPlan) {
     let mut out = std::io::BufWriter::new(stream);
     while let Ok(line) = lines.recv() {
+        // Injected slowloris: this connection's peer reads slowly, so
+        // every line takes `conn_stall` ms to leave the daemon.
+        if let Some(stall) = faults.conn_stall(conn) {
+            std::thread::sleep(stall);
+        }
         let write = out
             .write_all(line.as_bytes())
             .and_then(|()| out.write_all(b"\n"))
@@ -520,12 +663,38 @@ fn writer_loop(stream: SocketStream, lines: &Receiver<String>) {
 
 /// Dispatcher-side state of one open connection.
 struct ConnState {
-    writer: Sender<String>,
+    writer: SyncSender<String>,
     writer_handle: Option<JoinHandle<()>>,
+    /// Control clone of the socket for force-closes.
+    ctrl: SocketStream,
     in_flight: u64,
     header_sent: bool,
-    /// Reader saw EOF: close once `in_flight` drains.
+    /// Reader saw EOF: close once `in_flight` and the overflow drain.
     draining: bool,
+    /// Lines that did not fit the bounded writer queue; flushed
+    /// opportunistically, governed by the slow-consumer policy.
+    overflow: VecDeque<String>,
+    /// When the writer queue first refused a line (overflow became
+    /// non-empty); cleared when the overflow drains.
+    blocked_since: Option<Instant>,
+    /// Last request line (or delivery) — feeds the idle timeout.
+    last_activity: Instant,
+    /// Outbound lines handed to this connection (1-based when the next
+    /// line is `sent_lines + 1`); drives the `conn_drop` fault.
+    sent_lines: u64,
+}
+
+/// How a connection is torn down.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CloseMode {
+    /// Flush everything queued to the peer, then sever: drop the
+    /// writer's sender (it drains the queue), join it, shut the socket
+    /// down so the peer sees EOF even if it never half-closed.
+    Graceful,
+    /// Sever first, then reap: shut the socket down (unblocking a
+    /// writer stuck in a send to a non-reading peer), drop the sender,
+    /// join. Queued/overflowed lines are discarded.
+    Abort,
 }
 
 struct Dispatcher {
@@ -541,6 +710,11 @@ struct Dispatcher {
     closed: u64,
     requests: u64,
     failures: u64,
+    conn_shed: u64,
+    conn_slow_closed: u64,
+    conn_idle_reaped: u64,
+    conn_refused: u64,
+    conn_written_off: u64,
 }
 
 impl Dispatcher {
@@ -554,39 +728,196 @@ impl Dispatcher {
                 .iter()
                 .filter_map(|conn| self.conns.get(conn).map(|state| (*conn, state.in_flight)))
                 .collect(),
+            conn_shed: self.conn_shed,
+            conn_slow_closed: self.conn_slow_closed,
+            conn_idle_reaped: self.conn_idle_reaped,
+            conn_refused: self.conn_refused,
+            conn_written_off: self.conn_written_off,
         }
     }
 
-    fn close_conn(&mut self, conn: u64) {
-        if let Some(state) = self.conns.remove(&conn) {
-            self.conn_order.retain(|&c| c != conn);
-            self.closed += 1;
-            drop(state.writer);
-            if let Some(handle) = state.writer_handle {
-                let _ = handle.join();
+    /// Close a connection and write off whatever it still has in
+    /// flight: each pending token leaves the exactly-once tables
+    /// ([`CompileService::write_off`]) so late shard replies are
+    /// dropped and counted instead of delivered to nowhere.
+    fn close_conn(&mut self, conn: u64, mode: CloseMode) {
+        let Some(state) = self.conns.remove(&conn) else {
+            return;
+        };
+        self.conn_order.retain(|&c| c != conn);
+        self.closed += 1;
+        let tokens: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, (c, _))| *c == conn)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in tokens {
+            self.pending.remove(&token);
+            self.conn_written_off += 1;
+            // `false` means the response already left the service and
+            // sits in our delivery path; `deliver` drops it (the token
+            // is no longer pending) — still exactly once.
+            let _ = self.service.write_off(token);
+        }
+        if mode == CloseMode::Abort {
+            // Sever before joining: a writer blocked mid-send to a
+            // non-reading peer wakes with an error instead of wedging
+            // the dispatcher on the join below.
+            let _ = state.ctrl.shutdown_both();
+        }
+        drop(state.writer);
+        if let Some(handle) = state.writer_handle {
+            let _ = handle.join();
+        }
+        if mode == CloseMode::Graceful {
+            // Writer has flushed; now tell a peer that never
+            // half-closed that this side is done.
+            let _ = state.ctrl.shutdown_both();
+        }
+    }
+
+    /// Hand a rendered line to a connection's writer without ever
+    /// blocking the dispatcher: a full queue spills to the overflow
+    /// buffer (slow-consumer policy applies later), a dead writer or an
+    /// injected `conn_drop` closes the connection. Returns `false` iff
+    /// the line will never reach the peer.
+    fn send_line(&mut self, conn: u64, line: String) -> bool {
+        let next = match self.conns.get(&conn) {
+            Some(state) => state.sent_lines + 1,
+            None => return false,
+        };
+        if self.options.faults.conn_drop_hit(conn, next) {
+            // Abrupt disconnect in place of this line.
+            self.close_conn(conn, CloseMode::Abort);
+            return false;
+        }
+        let state = self.conns.get_mut(&conn).expect("conn checked above");
+        state.sent_lines = next;
+        if !state.overflow.is_empty() {
+            state.overflow.push_back(line);
+            return true;
+        }
+        match state.writer.try_send(line) {
+            Ok(()) => true,
+            Err(TrySendError::Full(line)) => {
+                state.blocked_since = Some(Instant::now());
+                state.overflow.push_back(line);
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Writer thread exited: the peer is gone.
+                self.close_conn(conn, CloseMode::Abort);
+                false
             }
         }
     }
 
-    /// Send a rendered line to a connection; a dead writer closes the
-    /// connection (its in-flight responses are delivered to nowhere,
-    /// which is where the peer went).
-    fn send_line(&mut self, conn: u64, line: String) {
-        let dead = match self.conns.get(&conn) {
-            Some(state) => state.writer.send(line).is_err(),
-            None => false,
-        };
-        if dead {
-            self.close_conn(conn);
+    /// Per-loop writer maintenance: drain overflow buffers into freed
+    /// queue slots, slow-close connections blocked past the grace
+    /// window (or with more than one queue's worth spilled), and finish
+    /// the graceful close of drained connections.
+    fn flush_writers(&mut self) {
+        enum Verdict {
+            Keep,
+            SlowClose,
+            DrainClose,
+            PeerGone,
         }
+        let conns: Vec<u64> = self.conn_order.clone();
+        for conn in conns {
+            let verdict = {
+                let Some(state) = self.conns.get_mut(&conn) else {
+                    continue;
+                };
+                let mut peer_gone = false;
+                while let Some(line) = state.overflow.pop_front() {
+                    match state.writer.try_send(line) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(line)) => {
+                            state.overflow.push_front(line);
+                            break;
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            peer_gone = true;
+                            break;
+                        }
+                    }
+                }
+                if peer_gone {
+                    Verdict::PeerGone
+                } else if state.overflow.is_empty() {
+                    state.blocked_since = None;
+                    if state.draining && state.in_flight == 0 {
+                        Verdict::DrainClose
+                    } else {
+                        Verdict::Keep
+                    }
+                } else {
+                    let over_budget = state.overflow.len() > self.options.writer_queue;
+                    let grace_expired = state
+                        .blocked_since
+                        .get_or_insert_with(Instant::now)
+                        .elapsed()
+                        >= self.options.writer_grace;
+                    if over_budget || grace_expired {
+                        Verdict::SlowClose
+                    } else {
+                        Verdict::Keep
+                    }
+                }
+            };
+            match verdict {
+                Verdict::Keep => {}
+                Verdict::SlowClose => {
+                    self.conn_slow_closed += 1;
+                    self.close_conn(conn, CloseMode::Abort);
+                }
+                Verdict::DrainClose => self.close_conn(conn, CloseMode::Graceful),
+                Verdict::PeerGone => self.close_conn(conn, CloseMode::Abort),
+            }
+        }
+    }
+
+    /// Reap connections with zero in-flight work that have been silent
+    /// past the idle timeout. A request arriving in the same tick wins:
+    /// events are drained before this runs, and any in-flight work (or
+    /// an undelivered overflow) exempts the connection.
+    fn reap_idle(&mut self) {
+        let Some(timeout) = self.options.idle_timeout else {
+            return;
+        };
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, s)| {
+                s.in_flight == 0
+                    && s.overflow.is_empty()
+                    && !s.draining
+                    && s.last_activity.elapsed() >= timeout
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        for conn in idle {
+            self.conn_idle_reaped += 1;
+            self.close_conn(conn, CloseMode::Graceful);
+        }
+    }
+
+    /// `true` if any connection has spilled lines waiting on its writer
+    /// (the dispatcher should poll fast rather than sleep).
+    fn has_backlog(&self) -> bool {
+        self.conns.values().any(|s| !s.overflow.is_empty())
     }
 
     /// Deliver a service response to its submitting connection,
     /// remapping the private token back to the client's id.
     fn deliver(&mut self, mut response: CompileResponse) {
         let Some((conn, client_id)) = self.pending.remove(&response.id) else {
-            // Unknown token: the service answers exactly the tokens we
-            // submitted, so this cannot happen; drop defensively.
+            // Unknown token: a response for a request whose connection
+            // was closed and written off while it was in flight (or,
+            // defensively, a token we never submitted). Drop it — the
+            // write-off already accounted for it.
             return;
         };
         response.id = client_id;
@@ -597,6 +928,7 @@ impl Dispatcher {
             return; // connection closed while the request was in flight
         };
         state.in_flight = state.in_flight.saturating_sub(1);
+        state.last_activity = Instant::now();
         if self.options.attach_runtime_header && !state.header_sent {
             if let Ok(artifacts) = &mut response.result {
                 if artifacts.files.iter().any(|(n, _)| n.ends_with(".cpp")) {
@@ -608,20 +940,30 @@ impl Dispatcher {
                 }
             }
         }
-        let close = state.draining && state.in_flight == 0;
-        self.send_line(conn, jsonl::response_line(&response));
-        if close {
-            self.close_conn(conn);
+        let close = state.draining && state.in_flight == 0 && state.overflow.is_empty();
+        let sent = self.send_line(conn, jsonl::response_line(&response));
+        if !sent {
+            // The connection died with this response in hand; the
+            // request is written off like its siblings.
+            self.conn_written_off += 1;
+            return;
+        }
+        if close && self.conns.get(&conn).is_some_and(|s| s.overflow.is_empty()) {
+            self.close_conn(conn, CloseMode::Graceful);
         }
     }
 
     fn bad_request(&mut self, conn: u64, id: u64, message: String) {
         self.failures += 1;
         let response = CompileResponse::failure(id, FailureKind::BadRequest, message);
-        self.send_line(conn, jsonl::response_line(&response));
+        let _ = self.send_line(conn, jsonl::response_line(&response));
     }
 
     fn handle_line(&mut self, conn: u64, line_no: u64, line: &str) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return; // closed (slow-close/reap/refusal) while the line was in transit
+        };
+        state.last_activity = Instant::now();
         self.requests += 1;
         let raw = match jsonl::parse_request(line) {
             Ok(raw) => raw,
@@ -671,7 +1013,9 @@ impl Dispatcher {
             }
             Some("fault") => match raw.spec.as_deref() {
                 Some(spec) => match self.options.faults.arm(spec) {
-                    Ok(()) => self.send_line(conn, jsonl::ack_line(id, "fault")),
+                    Ok(()) => {
+                        self.send_line(conn, jsonl::ack_line(id, "fault"));
+                    }
                     Err(e) => self.bad_request(conn, id, format!("bad fault spec: {e}")),
                 },
                 None => self.bad_request(conn, id, "fault op needs a `spec` field".into()),
@@ -686,6 +1030,29 @@ impl Dispatcher {
                         return;
                     }
                 };
+                // Per-connection admission: over the cap, shed in band
+                // with retryable `overloaded` (ops bypass the cap, so a
+                // saturated daemon stays observable).
+                let cap = self.options.conn_in_flight_cap;
+                if cap > 0
+                    && self
+                        .conns
+                        .get(&conn)
+                        .is_some_and(|s| s.in_flight >= cap as u64)
+                {
+                    self.conn_shed += 1;
+                    self.failures += 1;
+                    let response = CompileResponse::failure(
+                        id,
+                        FailureKind::Overloaded,
+                        format!(
+                            "connection in-flight cap reached ({cap} outstanding); \
+                             read a response before sending more, or retry"
+                        ),
+                    );
+                    let _ = self.send_line(conn, jsonl::response_line(&response));
+                    return;
+                }
                 let token = self.next_token;
                 self.next_token += 1;
                 self.pending.insert(token, (conn, id));
@@ -709,17 +1076,44 @@ impl Dispatcher {
                 conn,
                 writer,
                 writer_handle,
+                ctrl,
             } => {
                 self.accepted += 1;
+                if self.options.max_conns > 0 && self.conns.len() >= self.options.max_conns {
+                    // Accept-then-refuse: the peer gets one typed line
+                    // telling it why (and that retrying is sane), then
+                    // the connection closes.
+                    self.conn_refused += 1;
+                    self.closed += 1;
+                    self.failures += 1;
+                    let refusal = CompileResponse::failure(
+                        0,
+                        FailureKind::Overloaded,
+                        format!(
+                            "connection refused: daemon at max-conns ({}); retry later",
+                            self.options.max_conns
+                        ),
+                    );
+                    let _ = writer.try_send(jsonl::response_line(&refusal));
+                    drop(writer);
+                    let _ = writer_handle.join();
+                    let _ = ctrl.shutdown_both();
+                    return;
+                }
                 self.conn_order.push(conn);
                 self.conns.insert(
                     conn,
                     ConnState {
                         writer,
                         writer_handle: Some(writer_handle),
+                        ctrl,
                         in_flight: 0,
                         header_sent: false,
                         draining: false,
+                        overflow: VecDeque::new(),
+                        blocked_since: None,
+                        last_activity: Instant::now(),
+                        sent_lines: 0,
                     },
                 );
             }
@@ -729,11 +1123,17 @@ impl Dispatcher {
                 line,
             } => self.handle_line(conn, line_no, &line),
             Event::Oversized { conn, line_no } => {
+                if !self.conns.contains_key(&conn) {
+                    return;
+                }
                 self.requests += 1;
                 let max = self.options.max_line_bytes;
                 self.bad_request(conn, line_no, format!("request line exceeds {max} bytes"));
             }
             Event::BadUtf8 { conn, line_no } => {
+                if !self.conns.contains_key(&conn) {
+                    return;
+                }
                 self.requests += 1;
                 self.bad_request(conn, line_no, "request line is not valid UTF-8".into());
             }
@@ -741,12 +1141,12 @@ impl Dispatcher {
                 let close_now = match self.conns.get_mut(&conn) {
                     Some(state) => {
                         state.draining = true;
-                        state.in_flight == 0
+                        state.in_flight == 0 && state.overflow.is_empty()
                     }
                     None => false,
                 };
                 if close_now {
-                    self.close_conn(conn);
+                    self.close_conn(conn, CloseMode::Graceful);
                 }
             }
         }
@@ -775,6 +1175,12 @@ pub fn serve(
     let (events_tx, events) = channel::<Event>();
     let accept_shutdown = Arc::clone(&shutdown);
     let max_line = options.max_line_bytes;
+    let writer_queue = options.writer_queue.max(1);
+    // Write deadline: a single socket write may block at most this long
+    // (the grace window, floored so tiny test windows don't trip
+    // healthy peers on a loaded host).
+    let write_timeout = options.writer_grace.max(Duration::from_millis(250));
+    let accept_faults = options.faults.clone();
     let accept_handle: JoinHandle<std::io::Result<()>> = std::thread::spawn(move || {
         let mut next_conn: u64 = 0;
         loop {
@@ -787,9 +1193,13 @@ pub fn serve(
                     let conn = next_conn;
                     stream.set_read_timeout(Some(POLL_INTERVAL))?;
                     let write_half = stream.try_clone()?;
-                    let (writer_tx, writer_rx) = channel::<String>();
-                    let writer_handle =
-                        std::thread::spawn(move || writer_loop(write_half, &writer_rx));
+                    write_half.set_write_timeout(Some(write_timeout))?;
+                    let ctrl = stream.try_clone()?;
+                    let (writer_tx, writer_rx) = sync_channel::<String>(writer_queue);
+                    let writer_faults = accept_faults.clone();
+                    let writer_handle = std::thread::spawn(move || {
+                        writer_loop(write_half, &writer_rx, conn, &writer_faults);
+                    });
                     // Opened is enqueued before the reader spawns, so
                     // the dispatcher never sees a Line for an unknown
                     // connection.
@@ -798,6 +1208,7 @@ pub fn serve(
                             conn,
                             writer: writer_tx,
                             writer_handle,
+                            ctrl,
                         })
                         .is_err()
                     {
@@ -805,8 +1216,16 @@ pub fn serve(
                     }
                     let reader_events = events_tx.clone();
                     let reader_shutdown = Arc::clone(&accept_shutdown);
+                    let reader_faults = accept_faults.clone();
                     std::thread::spawn(move || {
-                        reader_loop(stream, conn, max_line, &reader_events, &reader_shutdown);
+                        reader_loop(
+                            stream,
+                            conn,
+                            max_line,
+                            &reader_events,
+                            &reader_shutdown,
+                            &reader_faults,
+                        );
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -829,6 +1248,11 @@ pub fn serve(
         closed: 0,
         requests: 0,
         failures: 0,
+        conn_shed: 0,
+        conn_slow_closed: 0,
+        conn_idle_reaped: 0,
+        conn_refused: 0,
+        conn_written_off: 0,
     };
     let mut last_tick = Instant::now();
     loop {
@@ -839,8 +1263,12 @@ pub fn serve(
         while let Some(response) = d.service.try_recv() {
             d.deliver(response);
         }
+        // Writer maintenance every pass (overflow drains, slow-consumer
+        // closes, drained graceful closes) — cheap when nothing spilled.
+        d.flush_writers();
         if last_tick.elapsed() >= Duration::from_millis(25) {
             d.service.tick();
+            d.reap_idle();
             last_tick = Instant::now();
         }
         if shutdown.load(Ordering::SeqCst) {
@@ -853,9 +1281,9 @@ pub fn serve(
             break;
         }
         // Idle daemons sleep the full poll interval; with responses in
-        // flight the dispatcher wakes fast so pipelined clients never
-        // wait on the tick.
-        let wait = if d.pending.is_empty() {
+        // flight (or spilled lines waiting on a writer) the dispatcher
+        // wakes fast so pipelined clients never wait on the tick.
+        let wait = if d.pending.is_empty() && !d.has_backlog() {
             POLL_INTERVAL
         } else {
             Duration::from_micros(500)
@@ -872,9 +1300,15 @@ pub fn serve(
     while let Some(response) = d.service.recv() {
         d.deliver(response);
     }
+    // Flush spilled lines before the graceful closes; a peer that still
+    // won't read is slow-closed by the grace policy, so this terminates.
+    while d.has_backlog() {
+        d.flush_writers();
+        std::thread::sleep(Duration::from_millis(1));
+    }
     let open: Vec<u64> = d.conns.keys().copied().collect();
     for conn in open {
-        d.close_conn(conn);
+        d.close_conn(conn, CloseMode::Graceful);
     }
     match accept_handle.join() {
         Ok(Ok(())) => {}
@@ -935,6 +1369,11 @@ mod tests {
             accepted: 3,
             closed: 1,
             connections: vec![(2, 4), (3, 0)],
+            conn_shed: 7,
+            conn_slow_closed: 2,
+            conn_idle_reaped: 5,
+            conn_refused: 1,
+            conn_written_off: 6,
         };
         let mut out = String::new();
         snapshot.write_prometheus(&mut out);
@@ -943,6 +1382,12 @@ mod tests {
         assert!(out.contains("# TYPE gmc_connections_accepted_total counter"));
         assert!(out.contains("gmc_connections_accepted_total 3\n"));
         assert!(out.contains("gmc_connections_closed_total 1\n"));
+        assert!(out.contains("# TYPE gmc_conn_shed_total counter"));
+        assert!(out.contains("gmc_conn_shed_total 7\n"));
+        assert!(out.contains("gmc_conn_slow_closed_total 2\n"));
+        assert!(out.contains("gmc_conn_idle_reaped_total 5\n"));
+        assert!(out.contains("gmc_conn_refused_total 1\n"));
+        assert!(out.contains("gmc_conn_written_off_total 6\n"));
         assert!(out.contains("gmc_conn_in_flight{conn=\"2\"} 4\n"));
         assert!(out.contains("gmc_conn_in_flight{conn=\"3\"} 0\n"));
         // One TYPE line covers every per-connection gauge.
@@ -1081,6 +1526,309 @@ mod tests {
             !dir.join("gmc.sock").exists(),
             "socket file cleaned up after serve"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    type DaemonHandle = JoinHandle<std::io::Result<(CompileService, TransportReport)>>;
+
+    fn start_daemon(
+        dir: &std::path::Path,
+        config: ServeConfig,
+        options: TransportOptions,
+    ) -> (ListenAddr, Arc<AtomicBool>, DaemonHandle) {
+        let addr = ListenAddr::Unix(dir.join("gmc.sock"));
+        let listener = SocketListener::bind(&addr).unwrap();
+        let service = CompileService::start(config).unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let serve_shutdown = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || serve(listener, service, options, serve_shutdown));
+        (addr, shutdown, handle)
+    }
+
+    fn read_all_lines(stream: SocketStream) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            lines.push(std::mem::take(&mut line).trim_end().to_string());
+        }
+        lines
+    }
+
+    /// Exactly at the cap requests are admitted; one past the cap is
+    /// shed in band with retryable `overloaded`; once responses drain
+    /// the window, the connection is under the cap again and new
+    /// requests are served.
+    #[test]
+    fn in_flight_cap_sheds_at_cap_and_frees_as_responses_drain() {
+        let dir = std::env::temp_dir().join("gmc_transport_cap_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let faults = FaultPlan::parse("delay:100").unwrap();
+        let mut config = fast_config(1);
+        config.faults = faults.clone();
+        let options = TransportOptions {
+            conn_in_flight_cap: 2,
+            faults,
+            ..TransportOptions::default()
+        };
+        let (addr, shutdown, handle) = start_daemon(&dir, config, options);
+
+        let mut stream = SocketStream::connect(&addr).unwrap();
+        // Pipeline cap + 1 requests while the shard sleeps in the
+        // injected delay: ids 1 and 2 occupy the window, id 3 is shed.
+        for id in [1, 2, 3] {
+            stream.write_all(request_line(id).as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+        }
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        for _ in 0..3 {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0);
+            lines.push(line.trim_end().to_string());
+        }
+        let shed = lines
+            .iter()
+            .find(|l| l.contains("\"id\":3"))
+            .expect("shed response for id 3");
+        assert!(shed.contains("\"ok\":false"), "shed in band: {shed}");
+        assert!(
+            shed.contains("\"kind\":\"overloaded\""),
+            "retryable: {shed}"
+        );
+        assert!(shed.contains("connection in-flight cap reached"));
+        for id in [1, 2] {
+            let ok = lines
+                .iter()
+                .find(|l| l.contains(&format!("\"id\":{id}")))
+                .expect("admitted response");
+            assert!(ok.contains("\"ok\":true"), "under the cap: {ok}");
+        }
+        // Window drained: the next request is admitted again.
+        stream.write_all(request_line(4).as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        stream.shutdown_write().unwrap();
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0);
+        assert!(line.contains("\"id\":4") && line.contains("\"ok\":true"));
+
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = handle.join().unwrap().unwrap();
+        assert_eq!(report.snapshot.conn_shed, 1);
+        assert_eq!(report.failures, 1);
+        assert_eq!(report.snapshot.conn_written_off, 0);
+        let _ = service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Over `max_conns`, a connection is accepted, refused with one
+    /// typed in-band `overloaded` line, and closed — and once the
+    /// population drops, new connections are served again.
+    #[test]
+    fn max_conns_refuses_with_a_typed_line_then_recovers() {
+        let dir = std::env::temp_dir().join("gmc_transport_maxconns_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let options = TransportOptions {
+            max_conns: 1,
+            ..TransportOptions::default()
+        };
+        let (addr, shutdown, handle) = start_daemon(&dir, fast_config(1), options);
+
+        // First client occupies the only slot.
+        let mut first = SocketStream::connect(&addr).unwrap();
+        first.write_all(request_line(1).as_bytes()).unwrap();
+        first.write_all(b"\n").unwrap();
+        first.flush().unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        let mut line = String::new();
+        assert!(first_reader.read_line(&mut line).unwrap() > 0);
+        assert!(line.contains("\"ok\":true"));
+
+        // Second client is refused with exactly one typed line, then EOF.
+        let second = SocketStream::connect(&addr).unwrap();
+        let refused = read_all_lines(second);
+        assert_eq!(
+            refused,
+            vec!["{\"id\":0,\"ok\":false,\"kind\":\"overloaded\",\
+                 \"error\":\"connection refused: daemon at max-conns (1); retry later\"}"
+                .to_string()]
+        );
+
+        // Slot freed: a third client is served.
+        first.shutdown_write().unwrap();
+        line.clear();
+        assert_eq!(first_reader.read_line(&mut line).unwrap(), 0, "drained");
+        let mut third = SocketStream::connect(&addr).unwrap();
+        third.write_all(request_line(1).as_bytes()).unwrap();
+        third.write_all(b"\n").unwrap();
+        third.flush().unwrap();
+        third.shutdown_write().unwrap();
+        let lines = read_all_lines(third);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"ok\":true"));
+
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = handle.join().unwrap().unwrap();
+        assert_eq!(report.snapshot.conn_refused, 1);
+        assert_eq!(report.accepted, 3, "refused connections count as accepted");
+        assert_eq!(report.snapshot.closed, 3);
+        let _ = service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A client that pipelines forever and never reads is slow-closed
+    /// once its overflow outgrows one queue's worth, even though it
+    /// half-closed with the write queue full; its in-flight work is
+    /// written off through the exactly-once tables, daemon memory stays
+    /// bounded, and the daemon keeps serving polite clients.
+    #[test]
+    fn never_reading_pipeliner_is_slow_closed_and_written_off() {
+        let dir = std::env::temp_dir().join("gmc_transport_slowclose_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Responses finish every ~40 ms (injected delay, one shard);
+        // the connection's writer stalls 300 ms per line, so the
+        // bounded queue (2) fills and the overflow trips the
+        // one-queue's-worth budget on the 6th response — with 4
+        // requests still in flight behind it.
+        let faults = FaultPlan::parse("delay:40,conn_stall:1:300").unwrap();
+        let mut config = fast_config(1);
+        config.faults = faults.clone();
+        let options = TransportOptions {
+            writer_queue: 2,
+            writer_grace: Duration::from_millis(10_000),
+            faults,
+            ..TransportOptions::default()
+        };
+        let (addr, shutdown, handle) = start_daemon(&dir, config, options);
+
+        let mut greedy = SocketStream::connect(&addr).unwrap();
+        for id in 1..=10 {
+            greedy.write_all(request_line(id).as_bytes()).unwrap();
+            greedy.write_all(b"\n").unwrap();
+        }
+        greedy.flush().unwrap();
+        // Half-close with the write queue about to fill: the draining
+        // connection must still be torn down by the slow-consumer
+        // policy, not leaked.
+        greedy.shutdown_write().unwrap();
+        let lines = read_all_lines(greedy);
+        assert!(
+            lines.len() < 10,
+            "slow-closed before all responses: {} lines",
+            lines.len()
+        );
+
+        // The daemon is healthy: a polite client still gets served.
+        let mut polite = SocketStream::connect(&addr).unwrap();
+        polite.write_all(request_line(1).as_bytes()).unwrap();
+        polite.write_all(b"\n").unwrap();
+        polite.flush().unwrap();
+        polite.shutdown_write().unwrap();
+        let polite_lines = read_all_lines(polite);
+        assert_eq!(polite_lines.len(), 1);
+        assert!(polite_lines[0].contains("\"ok\":true"));
+
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = handle.join().unwrap().unwrap();
+        assert_eq!(report.snapshot.conn_slow_closed, 1);
+        assert_eq!(
+            report.snapshot.conn_written_off, 4,
+            "responses 7-10 were in flight when the overflow tripped"
+        );
+        assert_eq!(report.snapshot.conn_shed, 0);
+        let stats = service.shutdown();
+        // Written-off work still reaches its shard exactly once (late
+        // replies are dropped, not double-served).
+        assert_eq!(stats.requests(), 11);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The grace window alone (without the overflow budget) slow-closes
+    /// a connection whose write queue stays full.
+    #[test]
+    fn write_queue_full_past_grace_is_slow_closed() {
+        let dir = std::env::temp_dir().join("gmc_transport_grace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let faults = FaultPlan::parse("delay:40,conn_stall:1:300").unwrap();
+        let mut config = fast_config(1);
+        config.faults = faults.clone();
+        let options = TransportOptions {
+            writer_queue: 3,
+            writer_grace: Duration::from_millis(100),
+            faults,
+            ..TransportOptions::default()
+        };
+        let (addr, shutdown, handle) = start_daemon(&dir, config, options);
+        let mut greedy = SocketStream::connect(&addr).unwrap();
+        for id in 1..=6 {
+            greedy.write_all(request_line(id).as_bytes()).unwrap();
+            greedy.write_all(b"\n").unwrap();
+        }
+        greedy.flush().unwrap();
+        greedy.shutdown_write().unwrap();
+        let lines = read_all_lines(greedy);
+        assert!(lines.len() < 6, "grace expired: {} lines", lines.len());
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = handle.join().unwrap().unwrap();
+        assert_eq!(report.snapshot.conn_slow_closed, 1);
+        let _ = service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Idle connections are reaped after the timeout; in-flight work
+    /// exempts a connection even when the compile outlasts the idle
+    /// window (a request racing the reaper wins — events are drained
+    /// before the reap check runs).
+    #[test]
+    fn idle_connections_are_reaped_but_in_flight_work_is_exempt() {
+        let dir = std::env::temp_dir().join("gmc_transport_idle_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let faults = FaultPlan::parse("delay:200").unwrap();
+        let mut config = fast_config(1);
+        config.faults = faults.clone();
+        let options = TransportOptions {
+            idle_timeout: Some(Duration::from_millis(80)),
+            faults,
+            ..TransportOptions::default()
+        };
+        let (addr, shutdown, handle) = start_daemon(&dir, config, options);
+
+        let (silent_lines, busy_lines) = std::thread::scope(|scope| {
+            let silent = scope.spawn(|| {
+                // Never sends anything: reaped at the idle timeout.
+                let stream = SocketStream::connect(&addr).unwrap();
+                read_all_lines(stream)
+            });
+            let busy = scope.spawn(|| {
+                // One request whose compile (injected 200 ms delay)
+                // outlasts the 80 ms idle window: in-flight work
+                // exempts the connection, so the response arrives;
+                // only then does idleness reap it.
+                let mut stream = SocketStream::connect(&addr).unwrap();
+                stream.write_all(request_line(1).as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                stream.flush().unwrap();
+                read_all_lines(stream)
+            });
+            (silent.join().unwrap(), busy.join().unwrap())
+        });
+        assert!(silent_lines.is_empty(), "reaped without a response");
+        assert_eq!(busy_lines.len(), 1);
+        assert!(busy_lines[0].contains("\"ok\":true"));
+
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = handle.join().unwrap().unwrap();
+        assert_eq!(report.snapshot.conn_idle_reaped, 2);
+        assert_eq!(report.snapshot.conn_written_off, 0);
+        let _ = service.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

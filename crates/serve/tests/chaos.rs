@@ -280,6 +280,44 @@ fn torn_fragment_sections_are_quarantined_on_the_next_start() {
     assert!(dir.join("snapshot.txt.bad").exists(), "kept for inspection");
 }
 
+#[test]
+fn repeated_corruption_quarantines_without_clobbering_evidence() {
+    let dir = std::env::temp_dir().join("gmc_serve_quarantine_suffix_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snapshot.txt");
+    let mut cfg = config(1, FaultPlan::new());
+    cfg.snapshot_path = Some(path.clone());
+
+    // First corruption moves aside to `<path>.bad`.
+    std::fs::write(&path, "first corruption").unwrap();
+    let mut service = CompileService::start(cfg.clone()).unwrap();
+    service_compiles_cold(&mut service);
+    let _ = service.shutdown();
+    assert!(dir.join("snapshot.txt.bad").exists());
+
+    // A second corrupt snapshot must not overwrite that evidence:
+    // the quarantine name gains a numeric suffix instead.
+    std::fs::remove_file(&path).ok();
+    std::fs::write(&path, "second corruption").unwrap();
+    let mut service = CompileService::start(cfg.clone()).unwrap();
+    service_compiles_cold(&mut service);
+    let _ = service.shutdown();
+
+    // And a third, for the suffix counter itself.
+    std::fs::remove_file(&path).ok();
+    std::fs::write(&path, "third corruption").unwrap();
+    let mut service = CompileService::start(cfg).unwrap();
+    service_compiles_cold(&mut service);
+    let _ = service.shutdown();
+
+    let read = |p: std::path::PathBuf| std::fs::read_to_string(p).unwrap();
+    assert_eq!(read(dir.join("snapshot.txt.bad")), "first corruption");
+    assert_eq!(read(dir.join("snapshot.txt.bad.1")), "second corruption");
+    assert_eq!(read(dir.join("snapshot.txt.bad.2")), "third corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn service_compiles_cold(service: &mut CompileService) {
     service.submit(request(9, SRC_A));
     let r = service.drain().remove(0);
@@ -557,5 +595,175 @@ proptest! {
             picks.len() as u64,
             "hits + misses + shed + failed == submitted"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Transport chaos: three concurrent clients pipeline identical
+    /// streams (ids 1..=N, valid sources, no deadlines) against a
+    /// daemon with random connection faults (one connection dropped
+    /// mid-response, one stalled, one fed garbage) on top of shard
+    /// panics and delays, plus a randomized per-connection in-flight
+    /// cap. Invariants pinned:
+    ///
+    /// * every request on a *surviving* connection is answered exactly
+    ///   once (the garbage-swapped line is answered in band as
+    ///   `bad_request` under its positional id);
+    /// * the *killed* connection sees a duplicate-free subset — never a
+    ///   resend, never an id it didn't submit;
+    /// * fleet counters balance: `hits + misses + conn_shed + panics`
+    ///   equals the compile lines the dispatcher admitted, every
+    ///   admitted token reaches a shard exactly once (written-off work
+    ///   included), and late shard replies never exceed the write-off
+    ///   count;
+    /// * the daemon drains to zero open connections.
+    #[test]
+    fn transport_chaos_preserves_exactly_once_and_balanced_counters(
+        drop_conn in 1u64..4,
+        drop_nth in 1u64..12,
+        stall_conn in 1u64..4,
+        stall_tick in 0u64..3,
+        panic_nth in 1u64..8,
+        delay_ms in 0u64..3,
+        cap_pick in 0usize..3,
+    ) {
+        use gmc_serve::transport::{self, ListenAddr, SocketListener, SocketStream, TransportOptions};
+        use std::io::{BufRead as _, BufReader, Write as _};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        const CLIENTS: usize = 3;
+        const REQUESTS: u64 = 12;
+        // The garbage target must survive: picking it off the dropped
+        // connection keeps the swapped line's accounting deterministic.
+        let garbage_conn = (drop_conn % CLIENTS as u64) + 1;
+        let cap = [0usize, 3, 64][cap_pick];
+        let sources = [SRC_A, SRC_B, SRC_C];
+
+        let dir = std::env::temp_dir().join(format!(
+            "gmc_transport_chaos_{drop_conn}_{drop_nth}_{stall_conn}_{stall_tick}_{panic_nth}_{delay_ms}_{cap}"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr = ListenAddr::Unix(dir.join("chaos.sock"));
+
+        let spec = format!(
+            "conn_drop:{drop_conn}:{drop_nth},conn_stall:{stall_conn}:{},conn_garbage:{garbage_conn},\
+             panic:0:{panic_nth},delay:{delay_ms}",
+            stall_tick * 10
+        );
+        let faults = FaultPlan::parse(&spec).unwrap();
+        let mut cfg = config(2, faults.clone());
+        cfg.faults = faults.clone();
+        let service = CompileService::start(cfg).unwrap();
+        let listener = SocketListener::bind(&addr).unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let serve_shutdown = Arc::clone(&shutdown);
+        let options = TransportOptions {
+            conn_in_flight_cap: cap,
+            faults,
+            ..TransportOptions::default()
+        };
+        let daemon = std::thread::spawn(move || {
+            transport::serve(listener, service, options, serve_shutdown)
+        });
+
+        let escape = |s: &str| s.replace('\n', "\\n");
+        let run_client = |offset: usize| -> Vec<String> {
+            let mut stream = SocketStream::connect(&addr).unwrap();
+            for id in 1..=REQUESTS {
+                let source = sources[(offset + id as usize) % sources.len()];
+                let line = format!(
+                    "{{\"id\":{id},\"emit\":\"cpp\",\"source\":\"{}\"}}\n",
+                    escape(source)
+                );
+                // Writes may fail once the daemon aborts this
+                // connection (conn_drop) — that's the chaos under test.
+                if stream.write_all(line.as_bytes()).is_err() {
+                    break;
+                }
+            }
+            let _ = stream.flush();
+            let _ = stream.shutdown_write();
+            let mut lines = Vec::new();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                lines.push(std::mem::take(&mut line).trim_end().to_string());
+            }
+            lines
+        };
+
+        let per_client: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| scope.spawn(move || run_client(c)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let id_of = |line: &str| -> u64 {
+            let rest = &line[line.find("\"id\":").unwrap() + 5..];
+            rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+        };
+        let mut killed = 0usize;
+        let mut bad_request_lines = 0u64;
+        for lines in &per_client {
+            let ids: Vec<u64> = lines.iter().map(|l| id_of(l)).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), ids.len(), "no id answered twice on one connection");
+            prop_assert!(
+                sorted.iter().all(|&i| (1..=REQUESTS).contains(&i)),
+                "never an id the client didn't submit"
+            );
+            bad_request_lines +=
+                lines.iter().filter(|l| l.contains("\"kind\":\"bad_request\"")).count() as u64;
+            if lines.len() < REQUESTS as usize {
+                killed += 1;
+            } else {
+                prop_assert_eq!(
+                    sorted,
+                    (1..=REQUESTS).collect::<Vec<u64>>(),
+                    "surviving connection: exactly once per id"
+                );
+            }
+        }
+        prop_assert_eq!(killed, 1, "exactly the dropped connection lost responses");
+        prop_assert!(
+            bad_request_lines <= 1,
+            "at most the one garbage-swapped line fails typed"
+        );
+
+        shutdown.store(true, Ordering::SeqCst);
+        let (service, report) = daemon.join().unwrap().unwrap();
+        prop_assert_eq!(report.snapshot.open, 0, "daemon drained to zero connections");
+        prop_assert_eq!(report.accepted, CLIENTS as u64);
+
+        // The garbage connection survives, so its swapped line is
+        // always processed: admitted compile lines are everything the
+        // dispatcher read minus that one line.
+        let processed_lines = report.requests;
+        let admitted = processed_lines - 1 - report.snapshot.conn_shed;
+
+        let stats = service.shutdown();
+        prop_assert_eq!(
+            stats.requests(),
+            admitted,
+            "every admitted token reaches a shard exactly once (write-offs included)"
+        );
+        let compiled = stats.shards.iter().map(|s| s.cache.hits + s.cache.misses).sum::<u64>();
+        prop_assert_eq!(
+            compiled + stats.panics() + report.snapshot.conn_shed,
+            processed_lines - 1,
+            "hits + misses + shed + panics == submitted"
+        );
+        prop_assert!(
+            stats.late_drops <= report.snapshot.conn_written_off,
+            "late drops only for written-off work"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -72,6 +72,28 @@
 //!   in-flight) ride the in-band health/metrics responses and the
 //!   Prometheus dump. `gmcc --connect ADDR` is the matching pipelining
 //!   client.
+//! * **End-to-end connection backpressure**: the transport bounds what
+//!   any single connection can cost the daemon. A per-connection
+//!   in-flight admission cap (`--conn-in-flight-cap`, default 64) sheds
+//!   over-cap requests *in band* with a retryable `overloaded` error —
+//!   cap → shed → client retry/backoff is the intended control loop,
+//!   and `gmcc --connect --retry N` closes it with jittered capped
+//!   exponential backoff. Outbound writers are **bounded**: a
+//!   connection that stops reading (slowloris, greedy pipeliner) is
+//!   slow-closed once its write queue stays full past a grace window or
+//!   its overflow outgrows one queue's worth, and its in-flight work is
+//!   written off through the exactly-once bookkeeping (late shard
+//!   replies dropped and counted) instead of buffering without bound.
+//!   `--max-conns` refuses connections past a limit with a typed
+//!   in-band line before closing; `--idle-timeout-ms` reaps silent
+//!   connections (in-flight or undelivered work exempts). Every
+//!   shed/refusal/slow-close/reap increments a transport counter
+//!   (`gmc_conn_shed_total`, `gmc_conn_slow_closed_total`, …) that
+//!   rides health/metrics and the Prometheus dump, and connection-level
+//!   fault injection (`GMC_FAULT=conn_drop:…`, `conn_stall:…`,
+//!   `conn_garbage:…`) drives a transport chaos property test pinning
+//!   the exactly-once and counter-balance invariants under dropped,
+//!   stalled, and garbage-injecting connections.
 //! * **Snapshot rotation**: `--persist-keep K` keeps the last K
 //!   snapshot generations (`cache.snap`, `cache.snap.1`, …) via an
 //!   atomic rename chain; startup restores the newest *decodable*
